@@ -1,0 +1,238 @@
+//! Δ-stepping SSSP — the bucketed refinement of the Bellman–Ford kernel.
+//!
+//! [`crate::sssp`] relaxes every improved vertex each round, which on
+//! weighted graphs re-relaxes long-distance vertices many times.
+//! Δ-stepping (Meyer & Sanders) processes vertices in distance buckets of
+//! width Δ: *light* edges (weight ≤ Δ) are relaxed repeatedly inside the
+//! current bucket until it stabilizes, *heavy* edges once when the bucket
+//! retires. Communication stays shuffle-shaped — `(target, candidate)`
+//! records to owners — so it slots into the same exchange machinery and
+//! benefits from the same relay batching.
+
+use crate::runtime::{edge_weight, AlgoCluster};
+use crate::sssp::INF;
+use swbfs_core::messages::EdgeRec;
+use sw_graph::Vid;
+
+/// Runs Δ-stepping from `root` with synthetic weights in `1..=max_weight`
+/// and bucket width `delta`. Returns per-vertex distances.
+pub fn sssp_delta_stepping(
+    cluster: &mut AlgoCluster,
+    root: Vid,
+    max_weight: u64,
+    delta: u64,
+) -> Vec<u64> {
+    assert!(delta > 0, "zero bucket width");
+    let ranks = cluster.num_ranks() as usize;
+    let n = cluster.num_vertices() as usize;
+
+    let mut dist: Vec<Vec<u64>> = (0..ranks)
+        .map(|r| vec![INF; cluster.part.owned_count(r as u32) as usize])
+        .collect();
+    // Vertices whose distance improved and whose edges (of the given
+    // class) are pending relaxation.
+    let mut pending: Vec<Vec<bool>> = dist.iter().map(|d| vec![false; d.len()]).collect();
+    {
+        let r = cluster.part.owner(root) as usize;
+        let l = cluster.part.to_local(root) as usize;
+        dist[r][l] = 0;
+        pending[r][l] = true;
+    }
+
+    let mut bucket = 0u64;
+    loop {
+        // --- light-edge phases within the current bucket ---
+        loop {
+            let mut out = cluster.empty_outboxes();
+            let mut any = false;
+            for r in 0..ranks {
+                let csr = &cluster.csrs[r];
+                let (start, _) = cluster.part.range(r as u32);
+                for i in 0..dist[r].len() {
+                    let du = dist[r][i];
+                    if !pending[r][i] || du >= (bucket + 1) * delta {
+                        continue;
+                    }
+                    // Stays pending for the heavy phase; light edges relax
+                    // now.
+                    let u = start + i as Vid;
+                    any = true;
+                    pending[r][i] = false;
+                    for &v in csr.neighbors_local(i) {
+                        let w = edge_weight(u, v, max_weight);
+                        if w > delta {
+                            continue;
+                        }
+                        relax(
+                            cluster,
+                            &mut dist,
+                            &mut pending,
+                            &mut out,
+                            r,
+                            v,
+                            du + w,
+                            (bucket + 1) * delta,
+                        );
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+            let inboxes = cluster.exchange_round(out);
+            apply(cluster, &mut dist, &mut pending, inboxes, (bucket + 1) * delta);
+        }
+
+        // --- heavy-edge phase: every settled vertex of this bucket fires
+        // its heavy edges once ---
+        let mut out = cluster.empty_outboxes();
+        for r in 0..ranks {
+            let csr = &cluster.csrs[r];
+            let (start, _) = cluster.part.range(r as u32);
+            for i in 0..dist[r].len() {
+                let du = dist[r][i];
+                if du == INF || du / delta != bucket {
+                    continue;
+                }
+                let u = start + i as Vid;
+                for &v in csr.neighbors_local(i) {
+                    let w = edge_weight(u, v, max_weight);
+                    if w <= delta {
+                        continue;
+                    }
+                    // Heavy targets land in future buckets; the bucket
+                    // advance re-marks them, so no horizon here.
+                    relax(cluster, &mut dist, &mut pending, &mut out, r, v, du + w, 0);
+                }
+            }
+        }
+        let inboxes = cluster.exchange_round(out);
+        apply(cluster, &mut dist, &mut pending, inboxes, 0);
+
+        // --- advance to the next non-empty bucket ---
+        let mut next = u64::MAX;
+        for r in 0..ranks {
+            for i in 0..dist[r].len() {
+                let d = dist[r][i];
+                if d != INF && d / delta > bucket {
+                    next = next.min(d / delta);
+                }
+                if pending[r][i] && d != INF {
+                    next = next.min(d / delta);
+                }
+            }
+        }
+        if next == u64::MAX {
+            break;
+        }
+        bucket = next;
+        // Vertices in the new bucket become pending.
+        for r in 0..ranks {
+            for i in 0..dist[r].len() {
+                let d = dist[r][i];
+                if d != INF && d / delta == bucket {
+                    pending[r][i] = true;
+                }
+            }
+        }
+    }
+
+    let mut result = vec![INF; n];
+    for (r, d) in dist.into_iter().enumerate() {
+        let (s, _) = cluster.part.range(r as u32);
+        result[s as usize..s as usize + d.len()].copy_from_slice(&d);
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn relax(
+    cluster: &AlgoCluster,
+    dist: &mut [Vec<u64>],
+    pending: &mut [Vec<bool>],
+    out: &mut [Vec<Vec<EdgeRec>>],
+    from_rank: usize,
+    v: Vid,
+    cand: u64,
+    light_horizon: u64,
+) {
+    let owner = cluster.part.owner(v) as usize;
+    if owner == from_rank {
+        let vl = cluster.part.to_local(v) as usize;
+        if cand < dist[from_rank][vl] {
+            dist[from_rank][vl] = cand;
+            if cand < light_horizon {
+                pending[from_rank][vl] = true;
+            }
+        }
+    } else {
+        out[from_rank][owner].push(EdgeRec { u: v, v: cand });
+    }
+}
+
+fn apply(
+    cluster: &AlgoCluster,
+    dist: &mut [Vec<u64>],
+    pending: &mut [Vec<bool>],
+    inboxes: Vec<Vec<EdgeRec>>,
+    light_horizon: u64,
+) {
+    for (r, inbox) in inboxes.into_iter().enumerate() {
+        for rec in inbox {
+            let vl = cluster.part.to_local(rec.u) as usize;
+            if rec.v < dist[r][vl] {
+                dist[r][vl] = rec.v;
+                if rec.v < light_horizon {
+                    pending[r][vl] = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sssp::{sssp_distributed, sssp_oracle};
+    use sw_graph::{generate_kronecker, EdgeList, KroneckerConfig};
+    use swbfs_core::config::Messaging;
+
+    #[test]
+    fn matches_dijkstra_and_bellman_ford() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(9, 4));
+        let oracle = sssp_oracle(&el, 2, 20);
+        for delta in [1u64, 4, 8, 20] {
+            let mut c = AlgoCluster::new(&el, 5, 2, Messaging::Relay);
+            let got = sssp_delta_stepping(&mut c, 2, 20, delta);
+            assert_eq!(got, oracle, "delta = {delta}");
+        }
+        let mut c = AlgoCluster::new(&el, 5, 2, Messaging::Relay);
+        assert_eq!(sssp_distributed(&mut c, 2, 20), oracle);
+    }
+
+    #[test]
+    fn big_delta_reduces_to_bellman_ford_rounds() {
+        // Δ ≥ max distance: a single bucket, still correct.
+        let el = EdgeList::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let oracle = sssp_oracle(&el, 0, 10);
+        let mut c = AlgoCluster::new(&el, 2, 2, Messaging::Direct);
+        assert_eq!(sssp_delta_stepping(&mut c, 0, 10, 1_000_000), oracle);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_inf() {
+        let el = EdgeList::new(4, vec![(0, 1)]);
+        let mut c = AlgoCluster::new(&el, 2, 2, Messaging::Relay);
+        let d = sssp_delta_stepping(&mut c, 0, 5, 3);
+        assert_eq!(d[2], INF);
+        assert_eq!(d[3], INF);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bucket width")]
+    fn zero_delta_rejected() {
+        let el = EdgeList::new(2, vec![(0, 1)]);
+        let mut c = AlgoCluster::new(&el, 1, 1, Messaging::Direct);
+        sssp_delta_stepping(&mut c, 0, 5, 0);
+    }
+}

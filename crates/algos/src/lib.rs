@@ -1,0 +1,37 @@
+//! # sw-algos — other irregular graph kernels on the BFS framework
+//!
+//! Paper §8: "the key operations of the distributed BFS can be viewed as
+//! shuffling dynamically generated data, which is also the major operation
+//! of many other graph algorithms, such as Single Source Shortest Path
+//! (SSSP), Weakly Connected Component (WCC), PageRank, and K-core
+//! decomposition. All the three key techniques we used are readily
+//! applicable."
+//!
+//! This crate makes that claim executable: each kernel runs on the same
+//! 1-D partitioning, the same typed record exchange (Direct or Relay,
+//! i.e. group-based message batching), and the same shuffle-shaped
+//! generate → exchange → apply structure as the BFS:
+//!
+//! * [`wcc`] — label propagation to the minimum component id;
+//! * [`sssp`] — level-synchronous relaxation with deterministic synthetic
+//!   edge weights;
+//! * [`pagerank`] — damped power iteration with shuffled contributions;
+//! * [`kcore`] — iterative peeling with remote degree-decrement records.
+//!
+//! [`runtime`] holds the shared distributed scaffolding.
+
+pub mod betweenness;
+pub mod delta_stepping;
+pub mod kcore;
+pub mod pagerank;
+pub mod runtime;
+pub mod sssp;
+pub mod wcc;
+
+pub use betweenness::betweenness_distributed;
+pub use delta_stepping::sssp_delta_stepping;
+pub use kcore::kcore_distributed;
+pub use pagerank::pagerank_distributed;
+pub use runtime::AlgoCluster;
+pub use sssp::sssp_distributed;
+pub use wcc::wcc_distributed;

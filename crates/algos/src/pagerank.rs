@@ -1,0 +1,163 @@
+//! PageRank by damped power iteration over the shuffle framework.
+//!
+//! Per iteration every vertex shuffles `rank/degree` contributions to its
+//! neighbours' owners — a pure reaction-module workload (the paper's §8
+//! point: the shuffle *is* the algorithm). Contributions are f64 payloads
+//! carried in the record's second word. Dangling mass (degree-0 vertices)
+//! is redistributed uniformly, keeping the distribution stochastic.
+
+use crate::runtime::AlgoCluster;
+use sw_graph::Vid;
+use swbfs_core::messages::EdgeRec;
+
+/// Damping factor used by the standard formulation.
+pub const DAMPING: f64 = 0.85;
+
+/// Runs `iterations` of distributed PageRank; returns per-vertex scores
+/// summing to 1.
+pub fn pagerank_distributed(cluster: &mut AlgoCluster, iterations: u32) -> Vec<f64> {
+    let ranks = cluster.num_ranks() as usize;
+    let n = cluster.num_vertices() as usize;
+
+    let mut score: Vec<Vec<f64>> = (0..ranks)
+        .map(|r| vec![1.0 / n as f64; cluster.part.owned_count(r as u32) as usize])
+        .collect();
+
+    for _ in 0..iterations {
+        // Generate contributions.
+        let mut out = cluster.empty_outboxes();
+        let mut local_acc: Vec<Vec<f64>> = score.iter().map(|s| vec![0.0; s.len()]).collect();
+        let mut dangling = 0.0;
+        for r in 0..ranks {
+            let csr = &cluster.csrs[r];
+            for i in 0..score[r].len() {
+                let deg = csr.degree_local(i);
+                if deg == 0 {
+                    dangling += score[r][i];
+                    continue;
+                }
+                let contrib = score[r][i] / deg as f64;
+                for &v in csr.neighbors_local(i) {
+                    let owner = cluster.part.owner(v) as usize;
+                    if owner == r {
+                        local_acc[r][cluster.part.to_local(v) as usize] += contrib;
+                    } else {
+                        out[r][owner].push(EdgeRec {
+                            u: v,
+                            v: contrib.to_bits(),
+                        });
+                    }
+                }
+            }
+        }
+        // Exchange and reduce.
+        let inboxes = cluster.exchange_round(out);
+        for (r, inbox) in inboxes.into_iter().enumerate() {
+            for rec in inbox {
+                local_acc[r][cluster.part.to_local(rec.u) as usize] += f64::from_bits(rec.v);
+            }
+        }
+        // Apply damping + dangling redistribution.
+        let base = (1.0 - DAMPING) / n as f64 + DAMPING * dangling / n as f64;
+        for r in 0..ranks {
+            for i in 0..score[r].len() {
+                score[r][i] = base + DAMPING * local_acc[r][i];
+            }
+        }
+    }
+
+    let mut result = vec![0.0; n];
+    for (r, s) in score.into_iter().enumerate() {
+        let (start, _) = cluster.part.range(r as u32);
+        result[start as usize..start as usize + s.len()].copy_from_slice(&s);
+    }
+    result
+}
+
+/// Single-node oracle with identical update order semantics (the sums are
+/// associative up to float rounding; compare with tolerance).
+pub fn pagerank_oracle(el: &sw_graph::EdgeList, iterations: u32) -> Vec<f64> {
+    let csr = sw_graph::Csr::from_edge_list(el);
+    let n = el.num_vertices as usize;
+    let mut score = vec![1.0 / n as f64; n];
+    for _ in 0..iterations {
+        let mut acc = vec![0.0; n];
+        let mut dangling = 0.0;
+        for u in 0..n {
+            let deg = csr.degree_local(u);
+            if deg == 0 {
+                dangling += score[u];
+                continue;
+            }
+            let contrib = score[u] / deg as f64;
+            for &v in csr.neighbors_local(u) {
+                acc[v as usize] += contrib;
+            }
+        }
+        let base = (1.0 - DAMPING) / n as f64 + DAMPING * dangling / n as f64;
+        for v in 0..n {
+            score[v] = base + DAMPING * acc[v];
+        }
+    }
+    score
+}
+
+/// The top-`k` vertices by score, descending (ties by ascending id).
+pub fn top_k(scores: &[f64], k: usize) -> Vec<(Vid, f64)> {
+    let mut idx: Vec<(Vid, f64)> = scores
+        .iter()
+        .enumerate()
+        .map(|(v, &s)| (v as Vid, s))
+        .collect();
+    idx.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_graph::{generate_kronecker, EdgeList, KroneckerConfig};
+    use swbfs_core::config::Messaging;
+
+    #[test]
+    fn matches_oracle_within_rounding() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(9, 3));
+        let oracle = pagerank_oracle(&el, 15);
+        let mut c = AlgoCluster::new(&el, 5, 2, Messaging::Relay);
+        let got = pagerank_distributed(&mut c, 15);
+        for (g, o) in got.iter().zip(&oracle) {
+            assert!((g - o).abs() < 1e-10, "{g} vs {o}");
+        }
+    }
+
+    #[test]
+    fn scores_sum_to_one() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(8, 1));
+        let mut c = AlgoCluster::new(&el, 3, 2, Messaging::Relay);
+        let s = pagerank_distributed(&mut c, 10);
+        let total: f64 = s.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "mass {total}");
+    }
+
+    #[test]
+    fn hub_outranks_leaf_on_a_star() {
+        let el = EdgeList::new(6, vec![(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let mut c = AlgoCluster::new(&el, 2, 2, Messaging::Direct);
+        let s = pagerank_distributed(&mut c, 30);
+        let top = top_k(&s, 1);
+        assert_eq!(top[0].0, 0);
+        assert!(s[0] > 2.0 * s[1]);
+    }
+
+    #[test]
+    fn dangling_mass_is_conserved() {
+        // Vertex 3 is isolated (dangling).
+        let el = EdgeList::new(4, vec![(0, 1), (1, 2)]);
+        let mut c = AlgoCluster::new(&el, 2, 2, Messaging::Relay);
+        let s = pagerank_distributed(&mut c, 25);
+        let total: f64 = s.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(s[3] > 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Shared distributed scaffolding for the non-BFS kernels: 1-D partitioned
+//! CSRs plus the BFS's record exchange.
+
+use rayon::prelude::*;
+use sw_graph::{Csr, EdgeList, Partition1D, Vid};
+use swbfs_core::config::Messaging;
+use swbfs_core::exchange::{exchange, Codec, ExchangeStats};
+use swbfs_core::messages::EdgeRec;
+use sw_net::GroupLayout;
+
+/// A cluster of ranks for shuffle-shaped graph kernels.
+pub struct AlgoCluster {
+    /// Vertex ownership.
+    pub part: Partition1D,
+    /// Relay-group arrangement.
+    pub layout: GroupLayout,
+    /// Per-rank CSR partitions.
+    pub csrs: Vec<Csr>,
+    /// Transport mode for every exchange.
+    pub messaging: Messaging,
+    /// Accumulated exchange statistics.
+    pub stats: ExchangeStats,
+}
+
+impl AlgoCluster {
+    /// Partitions `el` over `ranks` ranks with relay groups of
+    /// `group_size`.
+    pub fn new(el: &EdgeList, ranks: u32, group_size: u32, messaging: Messaging) -> Self {
+        assert!(ranks > 0 && el.num_vertices >= ranks as u64);
+        let part = Partition1D::new(el.num_vertices, ranks);
+        let csrs: Vec<Csr> = (0..ranks)
+            .into_par_iter()
+            .map(|r| {
+                let (s, e) = part.range(r);
+                Csr::from_edge_list_rows(el, s, e - s)
+            })
+            .collect();
+        Self {
+            part,
+            layout: GroupLayout::new(ranks, group_size.min(ranks)),
+            csrs,
+            messaging,
+            stats: ExchangeStats::default(),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> u32 {
+        self.part.num_ranks()
+    }
+
+    /// Global vertex count.
+    pub fn num_vertices(&self) -> Vid {
+        self.part.num_vertices()
+    }
+
+    /// Runs one exchange round under the configured transport, sorting
+    /// inboxes for determinism, and accumulates traffic statistics.
+    pub fn exchange_round(&mut self, out: Vec<Vec<Vec<EdgeRec>>>) -> Vec<Vec<EdgeRec>> {
+        let (mut inboxes, st) = exchange(self.messaging, out, &self.layout, Codec::Fixed(16));
+        self.stats.absorb(&st);
+        inboxes.par_iter_mut().for_each(|b| b.sort_unstable());
+        inboxes
+    }
+
+    /// Empty per-rank outboxes.
+    pub fn empty_outboxes(&self) -> Vec<Vec<Vec<EdgeRec>>> {
+        vec![vec![Vec::new(); self.num_ranks() as usize]; self.num_ranks() as usize]
+    }
+}
+
+/// Deterministic synthetic edge weight in `1..=max_weight` (the paper's
+/// substrate has no weighted inputs; SSSP needs weights that both the
+/// distributed kernel and the oracle can recompute from the endpoints).
+pub fn edge_weight(u: Vid, v: Vid, max_weight: u64) -> u64 {
+    let (a, b) = if u < v { (u, v) } else { (v, u) };
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 31;
+    1 + z % max_weight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_partitions_cover_graph() {
+        let el = EdgeList::new(10, vec![(0, 9), (4, 5)]);
+        let c = AlgoCluster::new(&el, 3, 2, Messaging::Relay);
+        let rows: u64 = c.csrs.iter().map(|x| x.num_rows()).sum();
+        assert_eq!(rows, 10);
+        assert_eq!(c.csrs[2].neighbors(9), &[0]);
+    }
+
+    #[test]
+    fn exchange_round_delivers_and_sorts() {
+        let el = EdgeList::new(4, vec![(0, 1)]);
+        let mut c = AlgoCluster::new(&el, 2, 2, Messaging::Direct);
+        let mut out = c.empty_outboxes();
+        out[0][1].push(EdgeRec { u: 9, v: 1 });
+        out[0][1].push(EdgeRec { u: 3, v: 2 });
+        let inbox = c.exchange_round(out);
+        assert_eq!(
+            inbox[1],
+            vec![EdgeRec { u: 3, v: 2 }, EdgeRec { u: 9, v: 1 }]
+        );
+        assert!(c.stats.messages > 0);
+    }
+
+    #[test]
+    fn edge_weight_symmetric_and_bounded() {
+        for (u, v) in [(0u64, 1u64), (17, 3), (1000, 1000)] {
+            let w = edge_weight(u, v, 10);
+            assert_eq!(w, edge_weight(v, u, 10));
+            assert!((1..=10).contains(&w));
+        }
+        assert_ne!(edge_weight(0, 1, 1000), edge_weight(0, 2, 1000));
+    }
+}

@@ -1,0 +1,94 @@
+//! A CPE cluster: 64 CPEs, their mesh, their SPMs, and the shared DMA path.
+
+use crate::config::ChipConfig;
+use crate::dma::DmaEngine;
+use crate::mesh::{CpeId, Mesh};
+use crate::spm::Spm;
+
+/// One core group's CPE cluster.
+#[derive(Clone, Debug)]
+pub struct CpeCluster {
+    cfg: ChipConfig,
+    mesh: Mesh,
+    dma: DmaEngine,
+    spms: Vec<Spm>,
+}
+
+impl CpeCluster {
+    /// A cluster of the given chip configuration.
+    pub fn new(cfg: ChipConfig) -> Self {
+        let mesh = Mesh::new(cfg.mesh_side as u8);
+        let spms = (0..cfg.mesh_side as u8)
+            .flat_map(|r| (0..cfg.mesh_side as u8).map(move |c| CpeId::new(r, c)))
+            .map(|id| Spm::new(id, cfg.spm_bytes as usize))
+            .collect();
+        Self {
+            cfg,
+            mesh,
+            dma: DmaEngine::new(cfg),
+            spms,
+        }
+    }
+
+    /// The chip configuration.
+    pub fn config(&self) -> &ChipConfig {
+        &self.cfg
+    }
+
+    /// The register mesh.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The DMA timing engine.
+    pub fn dma(&self) -> &DmaEngine {
+        &self.dma
+    }
+
+    /// Immutable view of a CPE's scratch-pad.
+    pub fn spm(&self, id: CpeId) -> &Spm {
+        &self.spms[id.linear(self.mesh.side())]
+    }
+
+    /// Mutable view of a CPE's scratch-pad.
+    pub fn spm_mut(&mut self, id: CpeId) -> &mut Spm {
+        &mut self.spms[id.linear(self.mesh.side())]
+    }
+
+    /// Releases every SPM allocation on every CPE.
+    pub fn reset_spms(&mut self) {
+        for s in &mut self.spms {
+            s.reset();
+        }
+    }
+
+    /// Iterates all CPE ids row-major.
+    pub fn cpe_ids(&self) -> impl Iterator<Item = CpeId> + '_ {
+        let side = self.mesh.side();
+        (0..side).flat_map(move |r| (0..side).map(move |c| CpeId::new(r, c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_has_64_cpes_with_64kb_each() {
+        let cl = CpeCluster::new(ChipConfig::sw26010());
+        assert_eq!(cl.cpe_ids().count(), 64);
+        for id in cl.cpe_ids() {
+            assert_eq!(cl.spm(id).capacity(), 64 * 1024);
+        }
+    }
+
+    #[test]
+    fn spm_mutation_is_per_cpe() {
+        let mut cl = CpeCluster::new(ChipConfig::sw26010());
+        cl.spm_mut(CpeId::new(3, 3)).alloc("buf", 1000).unwrap();
+        assert_eq!(cl.spm(CpeId::new(3, 3)).in_use(), 1000);
+        assert_eq!(cl.spm(CpeId::new(3, 4)).in_use(), 0);
+        cl.reset_spms();
+        assert_eq!(cl.spm(CpeId::new(3, 3)).in_use(), 0);
+    }
+}

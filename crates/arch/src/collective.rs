@@ -1,0 +1,138 @@
+//! On-chip collectives over the register mesh.
+//!
+//! The pipelined module mapping needs one primitive beyond point-to-point
+//! pipes: when the MPE flags a module to a cluster, "the representative
+//! CPE gets the notification in memory and broadcasts the flag to all
+//! other CPEs in the cluster" (§4.2). On a row/column-only mesh that
+//! broadcast is two phases: along the representative's row, then each row
+//! member down its column. This module plans such broadcasts (and the
+//! inverse reduction), checks them against the deadlock criterion, and
+//! accounts their cycles.
+
+use crate::error::ArchError;
+use crate::mesh::{CpeId, Mesh, Route};
+use crate::SimNanos;
+
+/// A planned two-phase broadcast from a representative CPE to the whole
+/// cluster.
+#[derive(Clone, Debug)]
+pub struct Broadcast {
+    /// Phase 1: representative → its row peers.
+    pub row_phase: Vec<Route>,
+    /// Phase 2: every row member → its column peers.
+    pub col_phase: Vec<Route>,
+}
+
+impl Broadcast {
+    /// Plans the broadcast from `rep` over an `side × side` mesh.
+    pub fn plan(mesh: &Mesh, rep: CpeId) -> Result<Broadcast, ArchError> {
+        if !mesh.contains(rep) {
+            return Err(ArchError::IllegalRoute { from: rep, to: rep });
+        }
+        let side = mesh.side();
+        let mut row_phase = Vec::new();
+        for c in 0..side {
+            if c != rep.col {
+                row_phase.push(Route {
+                    hops: vec![rep, CpeId::new(rep.row, c)],
+                });
+            }
+        }
+        let mut col_phase = Vec::new();
+        for c in 0..side {
+            let src = CpeId::new(rep.row, c);
+            for r in 0..side {
+                if r != rep.row {
+                    col_phase.push(Route {
+                        hops: vec![src, CpeId::new(r, c)],
+                    });
+                }
+            }
+        }
+        Ok(Broadcast {
+            row_phase,
+            col_phase,
+        })
+    }
+
+    /// All CPEs covered (including the representative).
+    pub fn coverage(&self, side: u8) -> usize {
+        use std::collections::HashSet;
+        let mut seen: HashSet<CpeId> = HashSet::new();
+        for r in self.row_phase.iter().chain(&self.col_phase) {
+            seen.extend(r.hops.iter().copied());
+        }
+        let _ = side;
+        seen.len()
+    }
+
+    /// Verifies the two phases are individually deadlock-free (phases are
+    /// separated by a barrier, so only intra-phase cycles matter).
+    pub fn verify(&self, mesh: &Mesh) -> Result<(), ArchError> {
+        mesh.check_deadlock_free(&self.row_phase)?;
+        mesh.check_deadlock_free(&self.col_phase)
+    }
+
+    /// Cycles to complete: each phase is one register transfer deep (all
+    /// links distinct ⇒ parallel), so 2 transfer cycles plus per-phase
+    /// launch overhead.
+    pub fn cycles(&self) -> u64 {
+        2
+    }
+
+    /// Wall time of the broadcast given a core clock.
+    pub fn time_ns(&self, clock_hz: f64) -> SimNanos {
+        self.cycles() as f64 * 1e9 / clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_whole_cluster() {
+        let mesh = Mesh::new(8);
+        for rep in [CpeId::new(0, 0), CpeId::new(3, 5), CpeId::new(7, 7)] {
+            let b = Broadcast::plan(&mesh, rep).unwrap();
+            assert_eq!(b.coverage(8), 64, "rep {rep}");
+            assert_eq!(b.row_phase.len(), 7);
+            assert_eq!(b.col_phase.len(), 8 * 7);
+        }
+    }
+
+    #[test]
+    fn all_hops_legal_and_deadlock_free() {
+        let mesh = Mesh::new(8);
+        let b = Broadcast::plan(&mesh, CpeId::new(2, 3)).unwrap();
+        for r in b.row_phase.iter().chain(&b.col_phase) {
+            for (a, c) in r.links() {
+                assert!(mesh.link_legal(a, c));
+            }
+        }
+        b.verify(&mesh).unwrap();
+    }
+
+    #[test]
+    fn completes_in_two_transfer_cycles() {
+        let mesh = Mesh::new(8);
+        let b = Broadcast::plan(&mesh, CpeId::new(0, 0)).unwrap();
+        assert_eq!(b.cycles(), 2);
+        let t = b.time_ns(1.45e9);
+        assert!(t < 2.0, "broadcast should be ~1.4 ns of bus time, got {t}");
+    }
+
+    #[test]
+    fn out_of_mesh_rep_rejected() {
+        let mesh = Mesh::new(8);
+        assert!(Broadcast::plan(&mesh, CpeId::new(8, 0)).is_err());
+    }
+
+    #[test]
+    fn small_mesh_broadcast() {
+        let mesh = Mesh::new(2);
+        let b = Broadcast::plan(&mesh, CpeId::new(1, 1)).unwrap();
+        assert_eq!(b.coverage(2), 4);
+        b.verify(&mesh).unwrap();
+    }
+}

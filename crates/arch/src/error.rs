@@ -1,0 +1,124 @@
+//! Structured errors for constraint violations the real hardware would
+//! punish with hangs, corruption, or crashes.
+
+use crate::mesh::CpeId;
+use std::fmt;
+
+/// A violated hardware constraint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArchError {
+    /// A scratch-pad allocation exceeded the 64 KB capacity.
+    SpmOverflow {
+        /// The CPE whose SPM overflowed.
+        cpe: CpeId,
+        /// Bytes requested in the failing allocation.
+        requested: usize,
+        /// Bytes already allocated.
+        in_use: usize,
+        /// SPM capacity.
+        capacity: usize,
+    },
+    /// A register transfer between CPEs sharing neither row nor column.
+    IllegalRoute {
+        /// Sender.
+        from: CpeId,
+        /// Receiver.
+        to: CpeId,
+    },
+    /// The channel dependency graph of a communication schedule contains a
+    /// cycle, i.e. the synchronous register mesh can deadlock.
+    MeshDeadlock {
+        /// One cycle of links, as `(from, to)` pairs, witnessing the hazard.
+        cycle: Vec<(CpeId, CpeId)>,
+    },
+    /// A shuffle layout requires more destination buckets than its
+    /// consumers' combined SPM can buffer (paper §4.3: ~1024 in practice).
+    TooManyDestinations {
+        /// Buckets required.
+        requested: usize,
+        /// Feasible maximum under the layout.
+        max: usize,
+    },
+    /// A shuffle layout is structurally invalid (e.g. zero producer or
+    /// consumer columns, overlapping roles).
+    BadLayout(String),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::SpmOverflow {
+                cpe,
+                requested,
+                in_use,
+                capacity,
+            } => write!(
+                f,
+                "SPM overflow on CPE {cpe}: requested {requested} B with {in_use}/{capacity} B in use"
+            ),
+            ArchError::IllegalRoute { from, to } => write!(
+                f,
+                "illegal register route {from} -> {to}: CPEs share neither row nor column"
+            ),
+            ArchError::MeshDeadlock { cycle } => {
+                write!(f, "register mesh deadlock hazard; witness cycle: ")?;
+                for (i, (a, b)) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "[{a}->{b}]")?;
+                }
+                Ok(())
+            }
+            ArchError::TooManyDestinations { requested, max } => write!(
+                f,
+                "shuffle needs {requested} destination buckets but SPM capacity allows {max}"
+            ),
+            ArchError::BadLayout(msg) => write!(f, "bad shuffle layout: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ArchError::SpmOverflow {
+            cpe: CpeId::new(1, 2),
+            requested: 100,
+            in_use: 65500,
+            capacity: 65536,
+        };
+        let s = e.to_string();
+        assert!(s.contains("SPM overflow"));
+        assert!(s.contains("65536"));
+
+        let e = ArchError::IllegalRoute {
+            from: CpeId::new(0, 0),
+            to: CpeId::new(1, 1),
+        };
+        assert!(e.to_string().contains("neither row nor column"));
+
+        let e = ArchError::TooManyDestinations {
+            requested: 40000,
+            max: 1024,
+        };
+        assert!(e.to_string().contains("40000"));
+    }
+
+    #[test]
+    fn deadlock_witness_renders_cycle() {
+        let a = CpeId::new(0, 4);
+        let b = CpeId::new(1, 4);
+        let e = ArchError::MeshDeadlock {
+            cycle: vec![(a, b), (b, a)],
+        };
+        let s = e.to_string();
+        assert!(s.contains("deadlock"));
+        assert!(s.contains("->"));
+    }
+}

@@ -1,0 +1,69 @@
+//! # sw-arch — SW26010 many-core chip simulator
+//!
+//! The paper's on-chip technique ("contention-free data shuffling", §4.3)
+//! exists because of four hardware constraints of the SW26010 CPE cluster:
+//!
+//! 1. CPEs talk to each other **only** over an 8×8 register mesh, and only
+//!    within a row or a column, with synchronous explicit messaging — so an
+//!    arbitrary communication pattern can deadlock.
+//! 2. Each CPE has a 64 KB scratch-pad memory (SPM) and no cache — all main
+//!    memory traffic is explicit DMA, efficient only in ≥256 B chunks.
+//! 3. Main memory atomics are limited to fetch-add and are slow.
+//! 4. The MPE is a single-threaded general-purpose core with ~10× less
+//!    memory bandwidth than a CPE cluster.
+//!
+//! This crate simulates exactly those constraints:
+//!
+//! * [`config`] — the Table 1 machine constants and calibrated bandwidth
+//!   parameters.
+//! * [`dma`] — the DMA engine timing model that reproduces the Figure 3
+//!   (bandwidth vs chunk size) and Figure 5 (bandwidth vs #CPEs) curves.
+//! * [`mesh`] — CPE coordinates, register-pipe legality, route planning and
+//!   a channel-dependency-graph deadlock detector.
+//! * [`spm`] — scratch-pad capacity accounting with overflow errors.
+//! * [`mpe`] — the management core's timing model (memory bandwidth,
+//!   interrupt latency, flag-polling notification costs).
+//! * [`cluster`] — a CPE cluster: 64 CPEs + mesh + DMA + SPM.
+//! * [`shuffle`] — the contention-free producer/router/consumer shuffle
+//!   engine: functional packet movement with cycle accounting, SPM
+//!   feasibility checks, and steady-state throughput estimates.
+//!
+//! Algorithms that run deadlock-free and SPM-feasible on this simulator do
+//! so for the same structural reasons as on the real silicon, and the same
+//! sizing arithmetic (16 consumers × 64 KB / 256 B batches ⇒ max ~1024
+//! destination buckets, paper §4.3) emerges from the capacity checks.
+
+pub mod cluster;
+pub mod collective;
+pub mod config;
+pub mod cyclesim;
+pub mod dma;
+pub mod error;
+pub mod mesh;
+pub mod mpe;
+pub mod shuffle;
+pub mod spm;
+pub mod spm_cache;
+
+pub use cluster::CpeCluster;
+pub use collective::Broadcast;
+pub use config::ChipConfig;
+pub use cyclesim::{CycleReport, CycleSim};
+pub use dma::DmaEngine;
+pub use error::ArchError;
+pub use mesh::{CpeId, Mesh, Route};
+pub use mpe::Mpe;
+pub use shuffle::{ShuffleEngine, ShuffleLayout, ShuffleReport};
+pub use spm::Spm;
+pub use spm_cache::ClusterBitmap;
+
+/// Simulated time in nanoseconds.
+pub type SimNanos = f64;
+
+/// Converts a byte count moved in `nanos` simulated nanoseconds to GB/s.
+pub fn gbps(bytes: u64, nanos: SimNanos) -> f64 {
+    if nanos <= 0.0 {
+        return 0.0;
+    }
+    bytes as f64 / nanos
+}

@@ -1,0 +1,103 @@
+//! The management processing element (MPE) timing model.
+//!
+//! The MPE is a full 64-bit RISC core, but for BFS purposes three numbers
+//! define it (§3.1–3.2):
+//!
+//! * one practical thread per MPE — no efficient multithreading, so the
+//!   pipelined module mapping dedicates whole MPEs to send/receive roles;
+//! * memory bandwidth roughly a tenth of the CPE cluster's (≈2.9 GB/s per
+//!   MPE at 256 B batches — see [`crate::config::ChipConfig::mpe_peak_gbps`]
+//!   on how this is reconciled with §3.2's 9.4 GB/s quote);
+//! * a ~10 µs system interrupt, which rules interrupts out for MPE↔CPE
+//!   notification; flag polling through main memory (~100 cycles) is used
+//!   instead (§4.2).
+
+use crate::config::ChipConfig;
+use crate::SimNanos;
+
+/// One MPE's timing model.
+#[derive(Clone, Copy, Debug)]
+pub struct Mpe {
+    cfg: ChipConfig,
+}
+
+impl Mpe {
+    /// An MPE of the given chip.
+    pub fn new(cfg: ChipConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Sustained memory bandwidth (GB/s) when accessing memory in
+    /// `chunk`-byte batches.
+    pub fn bandwidth_gbps(&self, chunk: u32) -> f64 {
+        if chunk == 0 {
+            return 0.0;
+        }
+        self.cfg.mpe_peak_gbps * chunk as f64 / (chunk as f64 + self.cfg.mpe_access_overhead_bytes)
+    }
+
+    /// Simulated time to move `bytes` of memory traffic in `chunk`-byte
+    /// batches.
+    pub fn transfer_ns(&self, bytes: u64, chunk: u32) -> SimNanos {
+        let bw = self.bandwidth_gbps(chunk);
+        if bw <= 0.0 {
+            return f64::INFINITY;
+        }
+        bytes as f64 / bw
+    }
+
+    /// Cost of notifying a CPE cluster and getting it onto a module: a
+    /// memory flag round trip plus the cluster launch (flag broadcast,
+    /// DMA descriptor setup, pipeline fill).
+    pub fn notify_cluster_ns(&self) -> SimNanos {
+        self.cfg.flag_poll_ns + self.cfg.cluster_launch_ns
+    }
+
+    /// Cost of the interrupt path, for comparison — the reason polling wins.
+    pub fn interrupt_ns(&self) -> SimNanos {
+        self.cfg.mpe_interrupt_ns
+    }
+
+    /// The chip configuration.
+    pub fn config(&self) -> &ChipConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mpe() -> Mpe {
+        Mpe::new(ChipConfig::sw26010())
+    }
+
+    #[test]
+    fn bandwidth_saturates_with_chunk() {
+        let m = mpe();
+        assert!(m.bandwidth_gbps(8) < m.bandwidth_gbps(256));
+        assert!(m.bandwidth_gbps(256) <= m.config().mpe_peak_gbps);
+        // Calibration point: ~2.9 GB/s at 256 B.
+        let at256 = m.bandwidth_gbps(256);
+        assert!((2.7..3.1).contains(&at256), "got {at256}");
+    }
+
+    #[test]
+    fn polling_beats_interrupts_by_an_order_of_magnitude() {
+        let m = mpe();
+        assert!(m.interrupt_ns() / m.notify_cluster_ns() > 10.0);
+        assert!((m.interrupt_ns() - 10_000.0).abs() < 1.0);
+        // Notification + launch lands near the 1 KB cutoff derivation:
+        // 1 KB/mpe_rate - 1 KB/cpe_rate ≈ notify overhead.
+        assert!((600.0..1200.0).contains(&m.notify_cluster_ns()));
+    }
+
+    #[test]
+    fn transfer_time_consistent() {
+        let m = mpe();
+        let ns = m.transfer_ns(1 << 20, 256);
+        let bw = (1u64 << 20) as f64 / ns;
+        assert!((bw - m.bandwidth_gbps(256)).abs() < 1e-9);
+        assert!(m.transfer_ns(1, 0).is_infinite());
+    }
+}

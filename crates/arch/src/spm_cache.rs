@@ -1,0 +1,227 @@
+//! Collaborative SPM: a cluster-wide sharded bitmap cache.
+//!
+//! §3.1: "BFS accesses a large range of data, normally several MB,
+//! randomly. However, the SPM size of each CPE is only 64 KB. In the
+//! memory hierarchy, the next level of SPM is global memory, which has a
+//! latency that is 100 times larger. **Collaboratively using the whole
+//! SPM in a CPE cluster is a possible solution.**"
+//!
+//! This module implements that suggestion for the structure BFS actually
+//! needs — a big bitmap (frontier / visited state): the bit space is
+//! sharded round-robin across all 64 SPMs (4 MB aggregate), and any CPE
+//! reaches any bit in at most two register hops (row, then column), each
+//! a ~1-cycle bus transfer — versus the ~100-cycle main-memory round
+//! trip. Capacity, routing legality and the latency advantage are all
+//! enforced/accounted.
+
+use crate::config::ChipConfig;
+use crate::error::ArchError;
+use crate::mesh::{CpeId, Mesh};
+use crate::SimNanos;
+use sw_graph::Bitmap;
+
+/// A bitmap sharded across every SPM of one CPE cluster.
+#[derive(Debug)]
+pub struct ClusterBitmap {
+    cfg: ChipConfig,
+    mesh: Mesh,
+    bits: u64,
+    /// Per-CPE shard, row-major CPE order; bit `i` lives in shard
+    /// `i % 64` at local index `i / 64` (round-robin keeps hot ranges
+    /// spread across the mesh).
+    shards: Vec<Bitmap>,
+    /// SPM bytes reserved per CPE for everything else.
+    reserved_per_cpe: u32,
+    /// Register hops accumulated by lookups (for time accounting).
+    hops: u64,
+    /// Lookups served.
+    lookups: u64,
+}
+
+impl ClusterBitmap {
+    /// Allocates a `bits`-bit cluster bitmap, reserving
+    /// `reserved_per_cpe` bytes of every SPM for other uses.
+    ///
+    /// Fails with [`ArchError::SpmOverflow`] when a shard would not fit.
+    pub fn new(cfg: ChipConfig, bits: u64, reserved_per_cpe: u32) -> Result<Self, ArchError> {
+        let cpes = cfg.cpes_per_cluster as u64;
+        let shard_bits = bits.div_ceil(cpes);
+        let shard_bytes = shard_bits.div_ceil(8);
+        let budget = cfg.spm_bytes.saturating_sub(reserved_per_cpe) as u64;
+        if shard_bytes > budget {
+            return Err(ArchError::SpmOverflow {
+                cpe: CpeId::new(0, 0),
+                requested: shard_bytes as usize,
+                in_use: reserved_per_cpe as usize,
+                capacity: cfg.spm_bytes as usize,
+            });
+        }
+        Ok(Self {
+            mesh: Mesh::new(cfg.mesh_side as u8),
+            shards: (0..cpes).map(|_| Bitmap::new(shard_bits as usize)).collect(),
+            cfg,
+            bits,
+            reserved_per_cpe,
+            hops: 0,
+            lookups: 0,
+        })
+    }
+
+    /// Largest bitmap this chip can host with the given reserve — the
+    /// "several MB" §3.1 asks for.
+    pub fn capacity_bits(cfg: &ChipConfig, reserved_per_cpe: u32) -> u64 {
+        cfg.cpes_per_cluster as u64 * cfg.spm_bytes.saturating_sub(reserved_per_cpe) as u64 * 8
+    }
+
+    /// Number of addressable bits.
+    pub fn len(&self) -> u64 {
+        self.bits
+    }
+
+    /// True if zero-capacity.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// The CPE whose SPM holds bit `i`.
+    pub fn home_of(&self, i: u64) -> CpeId {
+        let lin = (i % self.cfg.cpes_per_cluster as u64) as u8;
+        let side = self.mesh.side();
+        CpeId::new(lin / side, lin % side)
+    }
+
+    fn shard_slot(&self, i: u64) -> (usize, usize) {
+        assert!(i < self.bits, "bit {i} out of range {}", self.bits);
+        (
+            (i % self.cfg.cpes_per_cluster as u64) as usize,
+            (i / self.cfg.cpes_per_cluster as u64) as usize,
+        )
+    }
+
+    fn account(&mut self, from: CpeId, i: u64) {
+        let home = self.home_of(i);
+        // Row-then-column route; 0–2 hops, each request + reply.
+        let hops = if from == home {
+            0
+        } else if from.row == home.row || from.col == home.col {
+            1
+        } else {
+            2
+        };
+        self.hops += 2 * hops; // round trip
+        self.lookups += 1;
+        debug_assert!(
+            hops == 0 || self.mesh.plan_row_first(from, home).is_ok(),
+            "unreachable home"
+        );
+    }
+
+    /// Reads bit `i` from CPE `from`, accounting the register hops.
+    pub fn get(&mut self, from: CpeId, i: u64) -> bool {
+        self.account(from, i);
+        let (s, b) = self.shard_slot(i);
+        self.shards[s].get(b)
+    }
+
+    /// Sets bit `i` from CPE `from`; returns the previous value. The
+    /// home CPE serializes its shard's updates, so no atomics are needed —
+    /// the same ownership trick as the shuffle's consumers.
+    pub fn set(&mut self, from: CpeId, i: u64) -> bool {
+        self.account(from, i);
+        let (s, b) = self.shard_slot(i);
+        self.shards[s].set(b)
+    }
+
+    /// Simulated time spent on lookups so far: two bus cycles per hop
+    /// round trip plus one for the shard probe itself.
+    pub fn elapsed_ns(&self) -> SimNanos {
+        (self.hops + self.lookups) as f64 * self.cfg.cycle_ns()
+    }
+
+    /// What the same lookups would have cost through main memory.
+    pub fn memory_equivalent_ns(&self) -> SimNanos {
+        self.lookups as f64 * self.cfg.flag_poll_ns
+    }
+
+    /// Bytes of SPM used per CPE (shard only).
+    pub fn shard_bytes(&self) -> usize {
+        self.shards[0].byte_size()
+    }
+
+    /// The per-CPE reserve this bitmap was created with.
+    pub fn reserved_per_cpe(&self) -> u32 {
+        self.reserved_per_cpe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> ChipConfig {
+        ChipConfig::sw26010()
+    }
+
+    #[test]
+    fn capacity_is_several_mb() {
+        // Half-reserved SPMs still hold a 16-Mbit (2 MB) bitmap: the
+        // "several MB" random-access range of §3.1.
+        let cap = ClusterBitmap::capacity_bits(&chip(), 32 * 1024);
+        assert_eq!(cap, 64 * 32 * 1024 * 8);
+        assert!(cap >= 16 << 20);
+        ClusterBitmap::new(chip(), 16 << 20, 32 * 1024).unwrap();
+    }
+
+    #[test]
+    fn overflow_is_rejected() {
+        let err = ClusterBitmap::new(chip(), 40 << 20, 32 * 1024).unwrap_err();
+        assert!(matches!(err, ArchError::SpmOverflow { .. }));
+    }
+
+    #[test]
+    fn set_get_round_trip_across_shards() {
+        let mut cb = ClusterBitmap::new(chip(), 1 << 20, 0).unwrap();
+        let me = CpeId::new(3, 3);
+        for i in [0u64, 1, 63, 64, 65, 4095, (1 << 20) - 1] {
+            assert!(!cb.get(me, i));
+            assert!(!cb.set(me, i));
+            assert!(cb.get(me, i), "bit {i}");
+        }
+        // Bits land on different home CPEs (round-robin sharding).
+        assert_ne!(cb.home_of(0), cb.home_of(1));
+        assert_eq!(cb.home_of(0), cb.home_of(64));
+    }
+
+    #[test]
+    fn lookups_beat_main_memory_by_an_order_of_magnitude() {
+        let mut cb = ClusterBitmap::new(chip(), 1 << 20, 0).unwrap();
+        let me = CpeId::new(0, 0);
+        for i in 0..10_000u64 {
+            cb.set(me, i * 97 % (1 << 20));
+        }
+        let spm = cb.elapsed_ns();
+        let mem = cb.memory_equivalent_ns();
+        assert!(
+            mem / spm > 10.0,
+            "SPM {spm} ns vs memory {mem} ns — expected >10x win"
+        );
+    }
+
+    #[test]
+    fn home_routing_is_always_legal() {
+        let cb = ClusterBitmap::new(chip(), 4096, 0).unwrap();
+        let mesh = Mesh::new(8);
+        for i in 0..4096u64 {
+            let home = cb.home_of(i);
+            assert!(mesh.contains(home));
+            assert!(mesh.plan_row_first(CpeId::new(7, 0), home).is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_bit_panics() {
+        let mut cb = ClusterBitmap::new(chip(), 100, 0).unwrap();
+        cb.get(CpeId::new(0, 0), 100);
+    }
+}

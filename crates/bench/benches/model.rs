@@ -1,0 +1,43 @@
+//! Performance of the machine-scale model itself (a Figure 11 sweep cell
+//! must be cheap enough to evaluate interactively) and of the chip timing
+//! primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sw_arch::{ChipConfig, DmaEngine};
+use sw_net::NetworkConfig;
+use swbfs_core::traffic::typical_kronecker_profile;
+use swbfs_core::{BfsConfig, ModeledCluster};
+
+fn bench_model_run(c: &mut Criterion) {
+    let profile = typical_kronecker_profile();
+    c.bench_function("modeled_cluster_full_machine", |b| {
+        b.iter(|| {
+            ModeledCluster::new(
+                ChipConfig::sw26010(),
+                NetworkConfig::taihulight(40_960),
+                BfsConfig::paper(),
+                26 << 20,
+                profile.clone(),
+            )
+            .run()
+        });
+    });
+}
+
+fn bench_dma_curves(c: &mut Criterion) {
+    let dma = DmaEngine::new(ChipConfig::sw26010());
+    c.bench_function("dma_fig3_curve_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for chunk in [8u32, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096] {
+                for n in 1..=64 {
+                    acc += dma.cluster_gbps(chunk, n);
+                }
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(benches, bench_model_run, bench_dma_curves);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Host-side performance of the graph substrate: Kronecker generation,
+//! CSR construction, hub selection, and frontier bitmap operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sw_graph::hub::HubSet;
+use sw_graph::{generate_kronecker, Bitmap, Csr, KroneckerConfig};
+
+fn bench_kronecker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kronecker_generate");
+    for scale in [14u32, 16, 18] {
+        let cfg = KroneckerConfig::graph500(scale, 1);
+        g.throughput(Throughput::Elements(cfg.num_edges()));
+        g.bench_with_input(BenchmarkId::from_parameter(scale), &cfg, |b, cfg| {
+            b.iter(|| generate_kronecker(cfg));
+        });
+    }
+    g.finish();
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("csr_build");
+    g.sample_size(20);
+    for scale in [14u32, 16] {
+        let el = generate_kronecker(&KroneckerConfig::graph500(scale, 2));
+        g.throughput(Throughput::Elements(el.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(scale), &el, |b, el| {
+            b.iter(|| Csr::from_edge_list(el));
+        });
+    }
+    g.finish();
+}
+
+fn bench_hub_selection(c: &mut Criterion) {
+    let el = generate_kronecker(&KroneckerConfig::graph500(16, 3));
+    let csr = Csr::from_edge_list(&el);
+    c.bench_function("hub_top_4096_scale16", |b| {
+        b.iter(|| HubSet::top_k(&csr, 4096));
+    });
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let n = 1 << 20;
+    let mut bm = Bitmap::new(n);
+    for i in (0..n).step_by(37) {
+        bm.set(i);
+    }
+    c.bench_function("bitmap_iter_ones_1m_sparse", |b| {
+        b.iter(|| bm.iter_ones().sum::<usize>());
+    });
+    c.bench_function("bitmap_count_union_1m", |b| {
+        let other = bm.clone();
+        let mut acc = Bitmap::new(n);
+        b.iter(|| {
+            acc.union_with(&other);
+            acc.count_ones()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_kronecker,
+    bench_csr_build,
+    bench_hub_selection,
+    bench_bitmap
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! End-to-end traversal benchmarks on the threaded backend, including the
+//! ablations DESIGN.md calls out: direction optimization on/off, hub
+//! prefetch on/off, Direct vs Relay transport, and the single-node
+//! parallel baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sw_graph::{generate_kronecker, Csr, EdgeList, KroneckerConfig};
+use swbfs_core::baseline::parallel_bfs;
+use swbfs_core::{BfsConfig, Messaging, ThreadedCluster};
+
+const SCALE: u32 = 15;
+const RANKS: u32 = 8;
+
+fn graph() -> EdgeList {
+    generate_kronecker(&KroneckerConfig::graph500(SCALE, 7))
+}
+
+fn bench_config(c: &mut Criterion, name: &str, el: &EdgeList, cfg: BfsConfig) {
+    let mut cluster = ThreadedCluster::new(el, RANKS, cfg).unwrap();
+    let root = (0..el.num_vertices)
+        .max_by_key(|&v| cluster.degree_of(v))
+        .unwrap();
+    let mut g = c.benchmark_group("threaded_bfs");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(el.len() as u64));
+    g.bench_function(name, |b| {
+        b.iter(|| cluster.run(root).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let el = graph();
+    // The paper's configuration (direction-optimized, hubs, relay).
+    bench_config(c, "paper_relay_scale15", &el, BfsConfig::threaded_small(4));
+    // Transport ablation.
+    bench_config(
+        c,
+        "ablation_direct_scale15",
+        &el,
+        BfsConfig::threaded_small(4).with_messaging(Messaging::Direct),
+    );
+    // Direction-optimization ablation (conventional top-down BFS).
+    bench_config(
+        c,
+        "ablation_top_down_only_scale15",
+        &el,
+        BfsConfig {
+            force_top_down: true,
+            ..BfsConfig::threaded_small(4)
+        },
+    );
+    // Hub-prefetch ablation.
+    bench_config(
+        c,
+        "ablation_no_hubs_scale15",
+        &el,
+        BfsConfig {
+            top_down_hubs: 1,
+            bottom_up_hubs: 1,
+            ..BfsConfig::threaded_small(4)
+        },
+    );
+}
+
+fn bench_single_node(c: &mut Criterion) {
+    let el = graph();
+    let csr = Csr::from_edge_list(&el);
+    let root = (0..el.num_vertices)
+        .max_by_key(|&v| csr.degree(v))
+        .unwrap();
+    let mut g = c.benchmark_group("single_node_bfs");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(el.len() as u64));
+    g.bench_function("parallel_atomic_scale15", |b| {
+        b.iter(|| parallel_bfs(&csr, root));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_traversal, bench_single_node);
+criterion_main!(benches);

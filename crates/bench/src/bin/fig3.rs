@@ -1,0 +1,35 @@
+//! Regenerates Figure 3: DMA bandwidth of a CPE cluster vs chunk size,
+//! with the MPE curve for comparison. Measured by issuing simulated
+//! transfers through the timing engine (not by printing the formula's
+//! constants): a fixed 256 MiB of traffic is moved per point and the
+//! bandwidth computed from the simulated elapsed time.
+
+use sw_arch::{gbps, ChipConfig, DmaEngine, Mpe};
+use sw_bench::print_table;
+
+fn main() {
+    let chip = ChipConfig::sw26010();
+    let dma = DmaEngine::new(chip);
+    let mpe = Mpe::new(chip);
+    let bytes: u64 = 256 << 20;
+
+    println!("Figure 3: DMA bandwidth vs chunk size (simulated measurement)\n");
+    let mut rows = Vec::new();
+    for chunk in [8u32, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096] {
+        let t_cluster = dma.transfer_ns(bytes, chunk, chip.cpes_per_cluster);
+        let t_mpe = mpe.transfer_ns(bytes, chunk);
+        rows.push(vec![
+            format!("{chunk}"),
+            format!("{:.2}", gbps(bytes, t_cluster)),
+            format!("{:.2}", gbps(bytes, t_mpe)),
+            format!("{:.1}x", gbps(bytes, t_cluster) / gbps(bytes, t_mpe)),
+        ]);
+    }
+    print_table(
+        &["chunk (B)", "CPE cluster (GB/s)", "MPE (GB/s)", "ratio"],
+        &rows,
+    );
+    println!();
+    println!("Paper shape targets: cluster saturates at 28.9 GB/s for >=256 B;");
+    println!("cluster ≈ 10x MPE (Fig. 3 caption); both curves monotone in chunk size.");
+}

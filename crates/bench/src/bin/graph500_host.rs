@@ -1,0 +1,25 @@
+//! Runs the full Graph500 benchmark (all six steps, official output
+//! block) on the threaded backend at host scale.
+//!
+//! Usage: `graph500_host [scale] [ranks] [roots] [seed]`
+
+use sw_graph500::{report::format_report, run_benchmark, Graph500Spec};
+use swbfs_core::BfsConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(18);
+    let ranks: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let roots: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let seed: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    eprintln!("Graph500: scale {scale}, {ranks} ranks, {roots} roots, seed {seed}");
+    let spec = Graph500Spec::quick(scale, seed, roots);
+    let res = run_benchmark(&spec, ranks, BfsConfig::threaded_small((ranks / 4).max(1)))
+        .expect("benchmark failed");
+    print!("{}", format_report(&res));
+    eprintln!(
+        "\nall {} parent trees passed the five validation rules",
+        res.runs.len()
+    );
+}

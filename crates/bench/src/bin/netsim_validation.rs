@@ -1,0 +1,84 @@
+//! Validates the flow-level network cost model against the event-driven
+//! message simulator on BFS-shaped exchange phases.
+//!
+//! For a 512-node job (eight 64-node super nodes), each measured BFS level
+//! is expanded into individual messages (per-destination batches with the
+//! shifted all-to-all schedule) and pushed through
+//! [`sw_net::simulate_phase`]; the same level's aggregate load goes
+//! through [`sw_net::CostModel`]. The two should agree within a small
+//! factor — that agreement is what justifies using the (scalable) flow
+//! model for the 40,960-node sweeps of Figures 11 and 12.
+
+use sw_bench::{experiment_profile, print_table};
+use sw_net::{simulate_phase, CostModel, NetworkConfig, PhaseLoad, SimMessage};
+
+fn main() {
+    let nodes = 512u32;
+    let mut net = NetworkConfig::taihulight(nodes);
+    net.supernode_size = 64; // eight super nodes at this job size
+    let cost = CostModel::new(net);
+
+    eprintln!("measuring traffic profile (scale 16, 8 ranks)...");
+    let profile = experiment_profile(16, 8);
+
+    // Scale the measured per-level traffic to this job: 2^30 vertices
+    // total (2M vertices/node) — big enough that heavy levels are
+    // byte-bound while the tails stay latency-bound, exercising both
+    // regimes of the model.
+    let m_dir: f64 = 32.0 * (1u64 << 30) as f64;
+    let wire = 8.0;
+
+    println!("\nFlow model vs event simulation, per BFS level ({nodes} nodes):\n");
+    let mut rows = Vec::new();
+    for (i, l) in profile.iter().enumerate() {
+        let records_total = l.records_frac * m_dir;
+        let per_node = records_total / nodes as f64;
+        let per_dest_bytes = (per_node * wire / (nodes - 1) as f64).max(1.0) as u64;
+
+        // Event sim: shifted all-to-all of per-destination batches.
+        let mut msgs = Vec::with_capacity((nodes as usize) * (nodes as usize - 1));
+        for k in 1..nodes {
+            for s in 0..nodes {
+                msgs.push(SimMessage {
+                    src: s,
+                    dst: (s + k) % nodes,
+                    bytes: per_dest_bytes,
+                });
+            }
+        }
+        let sim = simulate_phase(&net, &msgs);
+
+        // Flow model on the same aggregate load.
+        let send = per_dest_bytes as f64 * (nodes - 1) as f64;
+        let cross_frac = (nodes - net.supernode_size) as f64 / nodes as f64;
+        let flow = cost.phase_time_ns(&PhaseLoad {
+            max_send_bytes: send,
+            max_send_cross_bytes: send * cross_frac,
+            max_recv_bytes: send,
+            max_recv_cross_bytes: send * cross_frac,
+            max_send_msgs: (nodes - 1) as f64,
+            max_recv_msgs: (nodes - 1) as f64,
+            inter_supernode_bytes: send * cross_frac * nodes as f64,
+            max_hops: 3,
+        });
+        rows.push(vec![
+            format!("{i} ({:?})", l.direction),
+            format!("{per_dest_bytes}"),
+            format!("{:.1}", sim.makespan_ns / 1e3),
+            format!("{:.1}", flow / 1e3),
+            format!("{:.2}", sim.makespan_ns / flow),
+        ]);
+    }
+    print_table(
+        &[
+            "level",
+            "bytes/dest",
+            "event sim (µs)",
+            "flow model (µs)",
+            "ratio",
+        ],
+        &rows,
+    );
+    println!("\nRatios near 1 justify the flow model at scales the event sim");
+    println!("cannot reach (40,960 nodes → 1.7e9 messages per phase).");
+}

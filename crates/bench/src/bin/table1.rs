@@ -1,0 +1,86 @@
+//! Regenerates Table 1: the Sunway TaihuLight specification, printed from
+//! the simulator's configuration structs (so the table is exactly what the
+//! models run with).
+
+use sw_arch::ChipConfig;
+use sw_bench::print_table;
+use sw_net::NetworkConfig;
+
+fn main() {
+    let chip = ChipConfig::sw26010();
+    let net = NetworkConfig::full_machine();
+
+    println!("Table 1: Sunway TaihuLight specifications (simulator configuration)\n");
+    let rows = vec![
+        vec![
+            "MPE".into(),
+            format!(
+                "{:.2} GHz, {} KB L1 D-Cache, {} KB L2",
+                chip.clock_hz / 1e9,
+                chip.mpe_l1d_bytes / 1024,
+                chip.mpe_l2_bytes / 1024
+            ),
+        ],
+        vec![
+            "CPE".into(),
+            format!(
+                "{:.2} GHz, {} KB SPM",
+                chip.clock_hz / 1e9,
+                chip.spm_bytes / 1024
+            ),
+        ],
+        vec![
+            "CG".into(),
+            format!("1 MPE + {} CPEs + 1 MC", chip.cpes_per_cluster),
+        ],
+        vec![
+            "Node".into(),
+            format!(
+                "1 CPU ({} CGs) + 4 x {} GB DDR3 Memory",
+                chip.core_groups,
+                chip.memory_per_cg_bytes >> 30
+            ),
+        ],
+        vec![
+            "Super Node".into(),
+            format!(
+                "{} Nodes, FDR {} Gbps InfiniBand",
+                net.supernode_size,
+                (net.nic_gbps * 8.0) as u64
+            ),
+        ],
+        vec!["Cabinet".into(), "4 Super Nodes".into()],
+        vec![
+            "TaihuLight".into(),
+            format!(
+                "{} Nodes ({} Super Nodes), 1:{} over-subscribed central switch",
+                net.nodes,
+                net.num_supernodes(),
+                net.oversubscription as u64
+            ),
+        ],
+    ];
+    print_table(&["Item", "Specifications"], &rows);
+
+    println!("\nDerived calibration points:");
+    println!(
+        "  CPE cluster peak DRAM bandwidth : {:.1} GB/s (Fig. 3 plateau)",
+        chip.cluster_peak_gbps
+    );
+    println!(
+        "  single MPE bandwidth @256B      : {:.2} GB/s (~10x below cluster)",
+        sw_arch::Mpe::new(chip).bandwidth_gbps(256)
+    );
+    println!(
+        "  register link bandwidth         : {:.1} GB/s per CPE pair",
+        chip.reg_link_gbps()
+    );
+    println!(
+        "  super-node uplink (oversubbed)  : {:.0} GB/s",
+        net.supernode_uplink_gbps()
+    );
+    println!(
+        "  central bisection               : {:.1} TB/s",
+        net.central_bisection_gbps() / 1000.0
+    );
+}

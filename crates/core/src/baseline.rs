@@ -1,0 +1,146 @@
+//! Baseline traversals: the oracles and comparison points.
+//!
+//! * [`sequential_bfs_levels`] — textbook queue BFS over the edge list; the
+//!   correctness oracle every backend is tested against.
+//! * [`sequential_bfs_parents`] — same, returning a parent tree.
+//! * [`parallel_bfs`] — shared-memory top-down BFS with atomic claims
+//!   (rayon), the single-node comparison point.
+//! * The distributed "conventional BFS" baseline (no direction
+//!   optimization) is [`crate::config::BfsConfig::force_top_down`] on the
+//!   regular backends, so it shares all transport code.
+
+use crate::NO_PARENT;
+use rayon::prelude::*;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use sw_graph::{Csr, EdgeList, Vid};
+
+/// Hop distance of every vertex from `root` (`None` if unreached), by
+/// textbook queue BFS.
+pub fn sequential_bfs_levels(el: &EdgeList, root: Vid) -> Vec<Option<u32>> {
+    let csr = Csr::from_edge_list(el);
+    let n = el.num_vertices as usize;
+    let mut level: Vec<Option<u32>> = vec![None; n];
+    let mut q = VecDeque::new();
+    level[root as usize] = Some(0);
+    q.push_back(root);
+    while let Some(u) = q.pop_front() {
+        let next = level[u as usize].unwrap() + 1;
+        for &v in csr.neighbors(u) {
+            if level[v as usize].is_none() {
+                level[v as usize] = Some(next);
+                q.push_back(v);
+            }
+        }
+    }
+    level
+}
+
+/// Parent tree from `root` by sequential BFS (`NO_PARENT` if unreached,
+/// `parent[root] == root`).
+pub fn sequential_bfs_parents(csr: &Csr, root: Vid) -> Vec<Vid> {
+    assert_eq!(csr.row_base(), 0, "oracle needs the whole graph");
+    let n = csr.num_vertices() as usize;
+    let mut parent = vec![NO_PARENT; n];
+    let mut q = VecDeque::new();
+    parent[root as usize] = root;
+    q.push_back(root);
+    while let Some(u) = q.pop_front() {
+        for &v in csr.neighbors(u) {
+            if parent[v as usize] == NO_PARENT {
+                parent[v as usize] = u;
+                q.push_back(v);
+            }
+        }
+    }
+    parent
+}
+
+/// Shared-memory parallel top-down BFS with atomic parent claims.
+///
+/// Per level, frontier vertices scan their edges in parallel; claims use
+/// compare-exchange on the parent word, so exactly one claimant wins each
+/// vertex. Returns the parent tree.
+pub fn parallel_bfs(csr: &Csr, root: Vid) -> Vec<Vid> {
+    assert_eq!(csr.row_base(), 0, "parallel_bfs needs the whole graph");
+    let n = csr.num_vertices() as usize;
+    let parent: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NO_PARENT)).collect();
+    parent[root as usize].store(root, Ordering::Relaxed);
+    let mut frontier: Vec<Vid> = vec![root];
+    while !frontier.is_empty() {
+        let parent_ref = &parent;
+        frontier = frontier
+            .par_iter()
+            .flat_map_iter(|&u| {
+                csr.neighbors(u).iter().filter_map(move |&v| {
+                    parent_ref[v as usize]
+                        .compare_exchange(NO_PARENT, u, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                        .then_some(v)
+                })
+            })
+            .collect();
+    }
+    parent.into_iter().map(|a| a.into_inner()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_graph::{generate_kronecker, KroneckerConfig};
+
+    fn levels_from_parents(parents: &[Vid], root: Vid) -> Vec<Option<u32>> {
+        crate::result::BfsOutput {
+            root,
+            parents: parents.to_vec(),
+            levels: vec![],
+        }
+        .levels_from_parents()
+    }
+
+    #[test]
+    fn sequential_levels_on_path() {
+        let el = EdgeList::new(5, vec![(0, 1), (1, 2), (2, 3)]);
+        let lv = sequential_bfs_levels(&el, 0);
+        assert_eq!(lv, vec![Some(0), Some(1), Some(2), Some(3), None]);
+    }
+
+    #[test]
+    fn sequential_parents_form_valid_tree() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(9, 2));
+        let csr = Csr::from_edge_list(&el);
+        let parents = sequential_bfs_parents(&csr, 0);
+        assert_eq!(parents[0], 0);
+        let lv = levels_from_parents(&parents, 0);
+        let oracle = sequential_bfs_levels(&el, 0);
+        assert_eq!(lv, oracle);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_levels() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(11, 6));
+        let csr = Csr::from_edge_list(&el);
+        let par = parallel_bfs(&csr, 4);
+        let lv = levels_from_parents(&par, 4);
+        let oracle = sequential_bfs_levels(&el, 4);
+        assert_eq!(lv, oracle);
+        // Parent edges exist.
+        for (v, &p) in par.iter().enumerate() {
+            if p != NO_PARENT && v as Vid != 4 {
+                assert!(csr.neighbors(p).contains(&(v as Vid)));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_components_unreached() {
+        let el = EdgeList::new(6, vec![(0, 1), (3, 4)]);
+        let csr = Csr::from_edge_list(&el);
+        let parents = sequential_bfs_parents(&csr, 0);
+        assert_eq!(parents[3], NO_PARENT);
+        assert_eq!(parents[4], NO_PARENT);
+        assert_eq!(parents[5], NO_PARENT);
+        let par = parallel_bfs(&csr, 0);
+        assert_eq!(par[3], NO_PARENT);
+    }
+}

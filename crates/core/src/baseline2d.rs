@@ -1,0 +1,287 @@
+//! 2-D-partitioned BFS — the main alternative the paper weighs its 1-D
+//! choice against (§7: "The distributed BFS algorithm can be divided into
+//! 1D and 2D partitioning in terms of data layout \[26\]. Buluc et al.
+//! discuss the pros and cons \[6\]").
+//!
+//! Processors form an `R × C` grid. The adjacency matrix is blocked: the
+//! directed edge `u → v` is stored at processor
+//! `(rowchunk(v), colchunk(u))`. A Top-Down level then needs only
+//! grid-aligned collectives:
+//!
+//! 1. **expand** — every owner broadcasts its frontier vertices down the
+//!    processor *column* that stores their out-edges (`R-1` peers);
+//! 2. **scan** — each processor matches received frontier vertices
+//!    against its block, producing candidates `(u, v)` with `v` in its
+//!    row chunk;
+//! 3. **fold** — candidates go to `v`'s owner, which lies in the same
+//!    processor *row* (`C-1` peers), and first-claim wins.
+//!
+//! So a processor talks to `R + C - 2` peers instead of `P - 1` — the 2-D
+//! pitch. The paper's relay technique reaches a comparable `N + M - 1`
+//! *without* giving up the 1-D layout (and its cheap Bottom-Up), which is
+//! exactly the comparison the `ablation2d` harness prints.
+
+use crate::messages::EdgeRec;
+use crate::result::{BfsOutput, LevelStats};
+use crate::NO_PARENT;
+use sw_graph::{EdgeList, Vid};
+
+/// Traffic counters of a 2-D run, comparable to `LevelStats` totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats2D {
+    /// Frontier-vertex announcements sent during expands.
+    pub expand_records: u64,
+    /// Candidate records sent during folds.
+    pub fold_records: u64,
+    /// Discrete messages (termination indicators included): per level each
+    /// processor runs one column collective and one row collective.
+    pub messages: u64,
+    /// Levels executed.
+    pub levels: u32,
+}
+
+/// The processor grid and block algebra.
+#[derive(Clone, Copy, Debug)]
+pub struct Grid2D {
+    /// Grid rows.
+    pub r: u32,
+    /// Grid columns.
+    pub c: u32,
+    n: Vid,
+    row_chunk: Vid,
+    col_chunk: Vid,
+}
+
+impl Grid2D {
+    /// An `r × c` grid over `n` vertices.
+    pub fn new(n: Vid, r: u32, c: u32) -> Self {
+        assert!(r > 0 && c > 0 && n >= (r * c) as u64, "grid too fine");
+        Self {
+            r,
+            c,
+            n,
+            row_chunk: n.div_ceil(r as u64),
+            col_chunk: n.div_ceil(c as u64),
+        }
+    }
+
+    /// Total processors.
+    pub fn procs(&self) -> u32 {
+        self.r * self.c
+    }
+
+    /// Vertex-id space size.
+    pub fn num_vertices(&self) -> Vid {
+        self.n
+    }
+
+    /// Grid row whose processors store edges *into* `v`.
+    pub fn rowchunk(&self, v: Vid) -> u32 {
+        debug_assert!(v < self.n, "vertex out of range");
+        (v / self.row_chunk) as u32
+    }
+
+    /// Grid column whose processors store edges *out of* `u`.
+    pub fn colchunk(&self, u: Vid) -> u32 {
+        (u / self.col_chunk) as u32
+    }
+
+    /// The owner processor of `v`: the vertices of row chunk `i` are split
+    /// into `c` consecutive sub-blocks, one per processor of grid row `i`,
+    /// so an owner always sits in `rowchunk(v)`'s grid row (which is what
+    /// keeps the fold a row-local collective).
+    pub fn owner(&self, v: Vid) -> u32 {
+        let row = self.rowchunk(v);
+        let within = v - row as u64 * self.row_chunk;
+        let col = (within / self.row_chunk.div_ceil(self.c as u64)) as u32;
+        self.cell(row, col.min(self.c - 1))
+    }
+
+    /// Linear processor id of `(row, col)`.
+    pub fn cell(&self, row: u32, col: u32) -> u32 {
+        row * self.c + col
+    }
+
+    /// Grid row of a linear processor id.
+    pub fn row_of(&self, p: u32) -> u32 {
+        p / self.c
+    }
+}
+
+/// Runs a Top-Down 2-D-partitioned BFS; returns the parent map (as a
+/// [`BfsOutput`] with per-level frontier/settled stats) plus the 2-D
+/// traffic counters.
+pub fn bfs_2d(el: &EdgeList, r: u32, c: u32, root: Vid) -> (BfsOutput, Stats2D) {
+    let grid = Grid2D::new(el.num_vertices, r, c);
+    let procs = grid.procs() as usize;
+
+    // Block storage: per processor, edges grouped as (u, v) pairs sorted
+    // by u for scan locality.
+    let mut blocks: Vec<Vec<EdgeRec>> = vec![Vec::new(); procs];
+    for (u, v) in el.symmetric_iter() {
+        let p = grid.cell(grid.rowchunk(v), grid.colchunk(u));
+        blocks[p as usize].push(EdgeRec { u, v });
+    }
+    for b in &mut blocks {
+        b.sort_unstable();
+    }
+
+    let n = el.num_vertices as usize;
+    let mut parent: Vec<Vid> = vec![NO_PARENT; n];
+    parent[root as usize] = root;
+    let mut frontier: Vec<Vid> = vec![root];
+    let mut stats = Stats2D::default();
+    let mut levels: Vec<LevelStats> = Vec::new();
+
+    while !frontier.is_empty() {
+        // --- expand: owners announce frontier vertices down the column
+        // that stores their out-edges. One announcement reaches R block
+        // processors; it stays local for the announcer's own cell.
+        let mut announced: Vec<Vec<Vid>> = vec![Vec::new(); procs];
+        for &u in &frontier {
+            let col = grid.colchunk(u);
+            let owner = grid.owner(u);
+            for row in 0..grid.r {
+                let dest = grid.cell(row, col);
+                announced[dest as usize].push(u);
+                if dest != owner {
+                    stats.expand_records += 1;
+                }
+            }
+        }
+
+        // --- scan: every block processor matches announcements against
+        // its edges, generating fold candidates addressed to owners in
+        // its own grid row.
+        let mut claims: Vec<EdgeRec> = Vec::new();
+        for (p, us) in announced.iter().enumerate() {
+            if us.is_empty() {
+                continue;
+            }
+            let block = &blocks[p];
+            for &u in us {
+                // Binary search the sorted (u, v) pairs for u's range.
+                let lo = block.partition_point(|e| e.u < u);
+                let hi = block.partition_point(|e| e.u <= u);
+                for e in &block[lo..hi] {
+                    debug_assert_eq!(grid.rowchunk(e.v), grid.row_of(p as u32));
+                    let owner = grid.owner(e.v);
+                    if owner != p as u32 {
+                        stats.fold_records += 1;
+                    }
+                    claims.push(*e);
+                }
+            }
+        }
+
+        // Collectives run once per level per processor regardless of
+        // payload: column allgather (R-1 msgs) + row fold (C-1 msgs).
+        stats.messages += procs as u64 * (grid.r as u64 - 1 + grid.c as u64 - 1);
+
+        // --- fold/claim: owners apply first-claim-wins in deterministic
+        // order.
+        claims.sort_unstable_by(|a, b| a.v.cmp(&b.v).then(a.u.cmp(&b.u)));
+        let mut next: Vec<Vid> = Vec::new();
+        let mut scanned = 0u64;
+        for e in &claims {
+            scanned += 1;
+            if parent[e.v as usize] == NO_PARENT {
+                parent[e.v as usize] = e.u;
+                next.push(e.v);
+            }
+        }
+
+        levels.push(LevelStats {
+            level: stats.levels,
+            frontier_vertices: frontier.len() as u64,
+            edges_scanned: scanned,
+            records_generated: stats.fold_records,
+            settled: next.len() as u64,
+            ..Default::default()
+        });
+        stats.levels += 1;
+        frontier = next;
+    }
+
+    (
+        BfsOutput {
+            root,
+            parents: parent,
+            levels,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::sequential_bfs_levels;
+    use sw_graph::{generate_kronecker, KroneckerConfig};
+
+    #[test]
+    fn matches_oracle_levels() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(10, 6));
+        let oracle = sequential_bfs_levels(&el, 2);
+        for (r, c) in [(1u32, 1u32), (2, 2), (4, 4), (2, 8), (3, 5)] {
+            let (out, _) = bfs_2d(&el, r, c, 2);
+            assert_eq!(out.levels_from_parents(), oracle, "grid {r}x{c}");
+        }
+    }
+
+    #[test]
+    fn tree_edges_exist() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(9, 3));
+        let (out, _) = bfs_2d(&el, 4, 4, 0);
+        let edges: std::collections::HashSet<(Vid, Vid)> = el.symmetric_iter().collect();
+        for (v, &p) in out.parents.iter().enumerate() {
+            if p != NO_PARENT && v as Vid != out.root {
+                assert!(edges.contains(&(p, v as Vid)));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_algebra_consistent() {
+        let g = Grid2D::new(1000, 4, 8);
+        assert_eq!(g.procs(), 32);
+        for v in [0u64, 1, 499, 500, 999] {
+            let owner = g.owner(v);
+            // Owner sits in the grid row that stores v's in-edges.
+            assert_eq!(g.row_of(owner), g.rowchunk(v), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn peer_count_is_grid_aligned() {
+        // 16 processors as 4x4: 6 peers per processor per level, vs 15
+        // under 1-D direct.
+        let el = generate_kronecker(&KroneckerConfig::graph500(10, 1));
+        let (out, stats) = bfs_2d(&el, 4, 4, 1);
+        let per_proc_per_level = stats.messages / (16 * out.depth() as u64);
+        assert_eq!(per_proc_per_level, 4 - 1 + 4 - 1);
+    }
+
+    #[test]
+    fn square_grid_minimizes_messages() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(9, 9));
+        let (_, sq) = bfs_2d(&el, 4, 4, 0);
+        let (_, flat) = bfs_2d(&el, 1, 16, 0);
+        let (_, tall) = bfs_2d(&el, 16, 1, 0);
+        assert!(sq.messages < flat.messages);
+        assert!(sq.messages < tall.messages);
+    }
+
+    #[test]
+    fn degenerate_grids_reduce_sanely() {
+        // 1×1 grid: no communication at all.
+        let el = generate_kronecker(&KroneckerConfig::graph500(8, 2));
+        let (out, stats) = bfs_2d(&el, 1, 1, 0);
+        assert_eq!(stats.messages, 0);
+        assert_eq!(stats.expand_records + stats.fold_records, 0);
+        assert_eq!(
+            out.levels_from_parents(),
+            sequential_bfs_levels(&el, 0)
+        );
+    }
+}

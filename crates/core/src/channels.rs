@@ -1,0 +1,487 @@
+//! A true multi-threaded rank runtime over crossbeam channels.
+//!
+//! [`crate::threaded::ThreadedCluster`] executes ranks as data (parallel
+//! phases over a rank vector) — ideal for determinism and statistics.
+//! [`ChannelCluster`] instead runs **one OS thread per rank**, with all
+//! communication over MPI-like point-to-point channels: every rank sends
+//! exactly one `Records` message to every peer per phase (empty ones are
+//! the paper's termination indicators), statistics travel as broadcast
+//! packets, and the direction policy is evaluated redundantly on every
+//! rank from identical global sums — no coordinator, exactly like the
+//! real SPMD program.
+//!
+//! The two backends must produce identical parent maps; the test suite
+//! holds them to that.
+
+use crate::config::BfsConfig;
+use crate::error::ExecError;
+use crate::hubs::HubState;
+use crate::messages::EdgeRec;
+use crate::modules::{
+    backward_generator, backward_handler, forward_generator, forward_handler, Outboxes,
+};
+use crate::policy::{Direction, PolicyInputs, TraversalPolicy};
+use crate::rank::RankState;
+use crate::result::BfsOutput;
+use crate::NO_PARENT;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use sw_graph::hub::HubSet;
+use sw_graph::{Bitmap, EdgeList, Partition1D, Vid};
+
+/// Wire packets between rank threads. Every packet carries the sender's
+/// global phase sequence number: ranks advance through communication
+/// phases in lockstep logically, but threads run ahead physically, so a
+/// receiver must be able to stash packets of future phases (the classic
+/// MPI tag/epoch discipline).
+enum Payload {
+    /// One phase's records from a peer (empty = termination indicator).
+    Records(Vec<EdgeRec>),
+    /// A peer's per-level statistic triple `(n_f, m_f, m_u)`.
+    Stats(u64, u64, u64),
+    /// A peer's hub contribution (curr words, visited words).
+    Hubs(Vec<u64>, Vec<u64>),
+}
+
+struct Packet {
+    seq: u64,
+    payload: Payload,
+}
+
+/// Receiver with an out-of-phase stash.
+struct Mailbox {
+    rx: Receiver<Packet>,
+    pending: Vec<Packet>,
+}
+
+impl Mailbox {
+    fn new(rx: Receiver<Packet>) -> Self {
+        Self {
+            rx,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Receives exactly `count` packets of phase `seq`, stashing any
+    /// future-phase packets that arrive in between.
+    fn recv_phase(&mut self, seq: u64, count: usize) -> Vec<Payload> {
+        let mut got = Vec::with_capacity(count);
+        // Drain matching stashed packets first.
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].seq == seq {
+                got.push(self.pending.swap_remove(i).payload);
+            } else {
+                i += 1;
+            }
+        }
+        while got.len() < count {
+            let pkt = self.rx.recv().expect("channel closed");
+            debug_assert!(pkt.seq >= seq, "stale packet from phase {}", pkt.seq);
+            if pkt.seq == seq {
+                got.push(pkt.payload);
+            } else {
+                self.pending.push(pkt);
+            }
+        }
+        got
+    }
+}
+
+/// A cluster whose ranks are OS threads communicating over channels.
+pub struct ChannelCluster {
+    cfg: BfsConfig,
+    part: Partition1D,
+    ranks: Vec<RankState>,
+    hub_set: HubSet,
+    td_limit: u32,
+}
+
+impl ChannelCluster {
+    /// Builds per-rank state (same construction as the phase backend).
+    pub fn new(el: &EdgeList, num_ranks: u32, cfg: BfsConfig) -> Result<Self, ExecError> {
+        if num_ranks == 0 {
+            return Err(ExecError::BadSetup("zero ranks".into()));
+        }
+        cfg.validate().map_err(ExecError::BadSetup)?;
+        if el.num_vertices < num_ranks as u64 {
+            return Err(ExecError::BadSetup("more ranks than vertices".into()));
+        }
+        let part = Partition1D::new(el.num_vertices, num_ranks);
+        let ranks: Vec<RankState> = (0..num_ranks)
+            .map(|r| RankState::build(r, part, el))
+            .collect();
+        let k = cfg.bottom_up_hubs;
+        let mut nominations: Vec<(Vid, u64)> = Vec::new();
+        for r in &ranks {
+            let mut d = r.owned_degrees();
+            d.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            d.truncate(k);
+            nominations.extend(d);
+        }
+        let hub_set = HubSet::from_degrees(nominations, k);
+        let td_limit = cfg.top_down_hubs.min(hub_set.len()) as u32;
+        Ok(Self {
+            cfg,
+            part,
+            ranks,
+            hub_set,
+            td_limit,
+        })
+    }
+
+    /// Runs one BFS from `root` with every rank on its own thread.
+    pub fn run(&mut self, root: Vid) -> Result<BfsOutput, ExecError> {
+        if root >= self.part.num_vertices() {
+            return Err(ExecError::BadRoot {
+                root,
+                reason: "outside the vertex id space",
+            });
+        }
+        let p = self.part.num_ranks() as usize;
+
+        // Channel mesh: chans[d] receives what anyone sends to rank d.
+        let mut senders: Vec<Sender<Packet>> = Vec::with_capacity(p);
+        let mut receivers: Vec<Option<Receiver<Packet>>> = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+
+        // Move rank states into the threads; get them back when done.
+        let states: Vec<RankState> = std::mem::take(&mut self.ranks);
+        let cfg = self.cfg;
+        let hub_set = &self.hub_set;
+        let td_limit = self.td_limit;
+        let senders_ref = &senders;
+
+        let results: Vec<(RankState, Vec<crate::result::LevelStats>)> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(p);
+                for (r, mut st) in states.into_iter().enumerate() {
+                    let rx = receivers[r].take().expect("receiver taken once");
+                    handles.push(scope.spawn(move || {
+                        let stats = rank_main(
+                            &mut st,
+                            Mailbox::new(rx),
+                            senders_ref,
+                            cfg,
+                            hub_set,
+                            td_limit,
+                            root,
+                        );
+                        (st, stats)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rank thread panicked"))
+                    .collect()
+            });
+
+        // Reassemble.
+        let mut parents = vec![NO_PARENT; self.part.num_vertices() as usize];
+        let mut states = Vec::with_capacity(p);
+        let mut levels = Vec::new();
+        for (st, stats) in results {
+            let (start, _) = self.part.range(st.rank);
+            parents[start as usize..start as usize + st.owned()].copy_from_slice(&st.parent);
+            if st.rank == 0 {
+                // Every rank derives identical global stats; rank 0's copy
+                // is the canonical record.
+                levels = stats;
+            }
+            states.push(st);
+        }
+        states.sort_by_key(|s| s.rank);
+        self.ranks = states;
+        Ok(BfsOutput {
+            root,
+            parents,
+            levels,
+        })
+    }
+}
+
+/// The SPMD body every rank thread executes. Returns the per-level
+/// global statistics this rank derived (identical on every rank).
+fn rank_main(
+    st: &mut RankState,
+    mut mbox: Mailbox,
+    senders: &[Sender<Packet>],
+    cfg: BfsConfig,
+    hub_set: &HubSet,
+    td_limit: u32,
+    root: Vid,
+) -> Vec<crate::result::LevelStats> {
+    let p = senders.len();
+    let me = st.rank as usize;
+    let mut hubs = HubState::with_td_limit(hub_set.clone(), td_limit);
+    let mut policy = TraversalPolicy::new(cfg.alpha, cfg.beta);
+    // Global phase counter; identical progression on every rank because
+    // the policy decisions are computed from identical global sums.
+    let mut seq = 0u64;
+
+    // Reset and seed.
+    st.parent.fill(NO_PARENT);
+    st.curr.clear();
+    st.next.clear();
+    if st.owns(root) {
+        let rl = st.local(root);
+        st.claim(rl, root);
+    }
+    exchange_hubs(st, &mut hubs, &mut mbox, senders, me, &mut seq);
+    st.advance_level();
+
+    let mut levels: Vec<crate::result::LevelStats> = Vec::new();
+    loop {
+        // Global statistics by symmetric broadcast.
+        let (n_f, m_f, m_u) = allreduce_stats(st, &mut mbox, senders, me, &mut seq);
+        if let Some(last) = levels.last_mut() {
+            // Everything in this frontier settled during the prior level.
+            last.settled = n_f;
+        }
+        if n_f == 0 {
+            break;
+        }
+        let dir = if cfg.force_top_down {
+            Direction::TopDown
+        } else {
+            policy.decide(&PolicyInputs {
+                frontier_vertices: n_f,
+                frontier_edges: m_f,
+                unvisited_edges: m_u,
+                total_vertices: st.part.num_vertices(),
+            })
+        };
+
+        levels.push(crate::result::LevelStats {
+            level: levels.len() as u32,
+            direction: dir,
+            frontier_vertices: n_f,
+            frontier_edges: m_f,
+            unvisited_edges: m_u,
+            ..Default::default()
+        });
+        match dir {
+            Direction::TopDown => {
+                let mut out = Outboxes::new(p);
+                forward_generator(st, &hubs, &mut out);
+                let inbox = exchange_phase(out, &mut mbox, senders, me, &mut seq);
+                forward_handler(st, &inbox);
+            }
+            Direction::BottomUp => {
+                let mut out = Outboxes::new(p);
+                backward_generator(st, &hubs, &mut out);
+                let inbox = exchange_phase(out, &mut mbox, senders, me, &mut seq);
+                let mut replies = Outboxes::new(p);
+                backward_handler(st, &inbox, &mut replies);
+                let inbox = exchange_phase(replies, &mut mbox, senders, me, &mut seq);
+                forward_handler(st, &inbox);
+            }
+        }
+        exchange_hubs(st, &mut hubs, &mut mbox, senders, me, &mut seq);
+        st.advance_level();
+    }
+    levels
+}
+
+/// One communication phase: send exactly one `Records` packet to every
+/// peer (the termination indicator when empty), then assemble the inbox
+/// in sender-rank order for determinism.
+fn exchange_phase(
+    out: Outboxes,
+    mbox: &mut Mailbox,
+    senders: &[Sender<Packet>],
+    me: usize,
+    seq: &mut u64,
+) -> Vec<EdgeRec> {
+    let p = senders.len();
+    let this = *seq;
+    *seq += 1;
+    let boxes = out.into_inner();
+    for (d, recs) in boxes.into_iter().enumerate() {
+        if d != me {
+            senders[d]
+                .send(Packet {
+                    seq: this,
+                    payload: Payload::Records(recs),
+                })
+                .expect("peer hung up");
+        }
+    }
+    let mut inbox: Vec<EdgeRec> = mbox
+        .recv_phase(this, p - 1)
+        .into_iter()
+        .flat_map(|pl| match pl {
+            Payload::Records(recs) => recs,
+            _ => unreachable!("phase {this} expected records"),
+        })
+        .collect();
+    inbox.sort_unstable();
+    inbox
+}
+
+/// Broadcast local stats, sum all ranks' (deterministic policy input).
+fn allreduce_stats(
+    st: &RankState,
+    mbox: &mut Mailbox,
+    senders: &[Sender<Packet>],
+    me: usize,
+    seq: &mut u64,
+) -> (u64, u64, u64) {
+    let this = *seq;
+    *seq += 1;
+    let local = (
+        st.frontier_vertices(),
+        st.frontier_edges(),
+        st.unvisited_edges(),
+    );
+    for (d, tx) in senders.iter().enumerate() {
+        if d != me {
+            tx.send(Packet {
+                seq: this,
+                payload: Payload::Stats(local.0, local.1, local.2),
+            })
+            .expect("peer hung up");
+        }
+    }
+    let (mut n_f, mut m_f, mut m_u) = local;
+    for pl in mbox.recv_phase(this, senders.len() - 1) {
+        match pl {
+            Payload::Stats(a, b, c) => {
+                n_f += a;
+                m_f += b;
+                m_u += c;
+            }
+            _ => unreachable!("phase {this} expected stats"),
+        }
+    }
+    (n_f, m_f, m_u)
+}
+
+/// Broadcast hub contributions (from `next` + parent state) and merge.
+fn exchange_hubs(
+    st: &RankState,
+    hubs: &mut HubState,
+    mbox: &mut Mailbox,
+    senders: &[Sender<Packet>],
+    me: usize,
+    seq: &mut u64,
+) {
+    let this = *seq;
+    *seq += 1;
+    let nbits = hubs.set.len();
+    let mut curr = Bitmap::new(nbits);
+    let mut visited = Bitmap::new(nbits);
+    for (i, &hv) in hubs.set.hubs().iter().enumerate() {
+        if st.owns(hv) {
+            let l = st.local(hv);
+            if st.next.contains(l) {
+                curr.set(i);
+            }
+            if st.visited(l) {
+                visited.set(i);
+            }
+        }
+    }
+    for (d, tx) in senders.iter().enumerate() {
+        if d != me {
+            tx.send(Packet {
+                seq: this,
+                payload: Payload::Hubs(
+                    curr.as_words().to_vec(),
+                    visited.as_words().to_vec(),
+                ),
+            })
+            .expect("peer hung up");
+        }
+    }
+    let mut merged_curr = curr;
+    let mut merged_visited = visited;
+    for pl in mbox.recv_phase(this, senders.len() - 1) {
+        match pl {
+            Payload::Hubs(curr, visited) => {
+                merged_curr.union_with(&Bitmap::from_words(nbits, &curr));
+                merged_visited.union_with(&Bitmap::from_words(nbits, &visited));
+            }
+            _ => unreachable!("phase {this} expected hub contributions"),
+        }
+    }
+    hubs.curr = merged_curr;
+    hubs.visited.union_with(&merged_visited);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threaded::ThreadedCluster;
+    use sw_graph::{generate_kronecker, KroneckerConfig};
+
+    #[test]
+    fn channel_backend_matches_phase_backend() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(11, 13));
+        let cfg = BfsConfig::threaded_small(4)
+            .with_messaging(crate::config::Messaging::Direct);
+        let mut phase = ThreadedCluster::new(&el, 6, cfg).unwrap();
+        let mut chans = ChannelCluster::new(&el, 6, cfg).unwrap();
+        for root in [0u64, 5, 1234] {
+            let a = phase.run(root).unwrap();
+            let b = chans.run(root).unwrap();
+            assert_eq!(a.parents, b.parents, "root {root}");
+        }
+    }
+
+    #[test]
+    fn channel_level_stats_match_phase_backend() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(10, 4));
+        let cfg = BfsConfig::threaded_small(2)
+            .with_messaging(crate::config::Messaging::Direct);
+        let mut phase = ThreadedCluster::new(&el, 4, cfg).unwrap();
+        let mut chans = ChannelCluster::new(&el, 4, cfg).unwrap();
+        let a = phase.run(2).unwrap();
+        let b = chans.run(2).unwrap();
+        assert_eq!(a.depth(), b.depth());
+        for (x, y) in a.levels.iter().zip(&b.levels) {
+            assert_eq!(x.direction, y.direction, "level {}", x.level);
+            assert_eq!(x.frontier_vertices, y.frontier_vertices);
+            assert_eq!(x.settled, y.settled);
+        }
+    }
+
+    #[test]
+    fn repeat_runs_identical() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(10, 2));
+        let mut c = ChannelCluster::new(&el, 4, BfsConfig::threaded_small(2)).unwrap();
+        let a = c.run(7).unwrap();
+        let b = c.run(7).unwrap();
+        assert_eq!(a.parents, b.parents);
+    }
+
+    #[test]
+    fn single_rank_works() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(9, 1));
+        let mut c = ChannelCluster::new(&el, 1, BfsConfig::threaded_small(1)).unwrap();
+        let out = c.run(3).unwrap();
+        let oracle = crate::baseline::sequential_bfs_levels(&el, 3);
+        assert_eq!(out.levels_from_parents(), oracle);
+    }
+
+    #[test]
+    fn validates_under_graph500_rules() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(10, 8));
+        let mut c = ChannelCluster::new(&el, 5, BfsConfig::threaded_small(2)).unwrap();
+        let out = c.run(1).unwrap();
+        // Levels must equal the oracle.
+        let oracle = crate::baseline::sequential_bfs_levels(&el, 1);
+        assert_eq!(out.levels_from_parents(), oracle);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(8, 1));
+        assert!(ChannelCluster::new(&el, 0, BfsConfig::threaded_small(1)).is_err());
+        let mut c = ChannelCluster::new(&el, 2, BfsConfig::threaded_small(1)).unwrap();
+        assert!(c.run(1 << 40).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Execution errors: the structured crash modes of Figure 11 plus input
+//! validation.
+
+use std::fmt;
+use sw_arch::ArchError;
+use sw_net::NetError;
+
+/// Why a BFS run could not complete.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// A chip-level constraint was violated (SPM overflow, mesh deadlock,
+    /// too many shuffle destinations — the Direct-CPE crash).
+    Arch(ArchError),
+    /// A network-level failure (connection memory exhausted — the
+    /// Direct-MPE crash at 16 Ki nodes).
+    Net(NetError),
+    /// The root vertex is outside the graph or has no edges.
+    BadRoot {
+        /// The offending root.
+        root: sw_graph::Vid,
+        /// Explanation.
+        reason: &'static str,
+    },
+    /// Inconsistent setup (e.g. zero ranks).
+    BadSetup(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Arch(e) => write!(f, "chip constraint violated: {e}"),
+            ExecError::Net(e) => write!(f, "network failure: {e}"),
+            ExecError::BadRoot { root, reason } => write!(f, "bad root {root}: {reason}"),
+            ExecError::BadSetup(msg) => write!(f, "bad setup: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Arch(e) => Some(e),
+            ExecError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchError> for ExecError {
+    fn from(e: ArchError) -> Self {
+        ExecError::Arch(e)
+    }
+}
+
+impl From<NetError> for ExecError {
+    fn from(e: NetError) -> Self {
+        ExecError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ExecError = ArchError::TooManyDestinations {
+            requested: 4096,
+            max: 1024,
+        }
+        .into();
+        assert!(e.to_string().contains("chip constraint"));
+
+        let e: ExecError = NetError::BadNode { node: 3, nodes: 2 }.into();
+        assert!(e.to_string().contains("network failure"));
+
+        let e = ExecError::BadRoot {
+            root: 7,
+            reason: "isolated vertex",
+        };
+        assert!(e.to_string().contains("isolated"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e: ExecError = ArchError::BadLayout("x".into()).into();
+        assert!(e.source().is_some());
+        assert!(ExecError::BadSetup("y".into()).source().is_none());
+    }
+}

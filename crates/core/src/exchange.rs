@@ -1,0 +1,437 @@
+//! Record exchange between ranks: Direct vs Relay transport.
+//!
+//! Both transports deliver exactly the same multiset of records to each
+//! destination; what differs is the message structure the network sees:
+//!
+//! * **Direct** — every rank sends to every destination rank it has records
+//!   for, *plus a termination-indicator message to every other rank* ("at
+//!   least one message transfer … for each pair of nodes", §1) — `P-1`
+//!   messages per rank per phase no matter how empty the level is.
+//! * **Relay** (§4.4) — records for a remote group are batched into one
+//!   message to the relay node (same column as the source, same row/group
+//!   as the destination); the relay module re-buckets them per final
+//!   destination (this is the Forward/Backward Relay of Figure 1) and
+//!   forwards inside the group. Termination indicators are per column-peer
+//!   and per group-mate: `(N-1) + (M-1)` per rank.
+//!
+//! The exchange also accounts the traffic quantities the cost model needs:
+//! message counts, payload bytes, group-boundary (≙ super-node) crossing
+//! bytes, and per-rank maxima.
+
+use crate::compress::compressed_size;
+use crate::config::Messaging;
+use crate::messages::EdgeRec;
+use sw_net::GroupLayout;
+
+/// How record payloads are sized on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Codec {
+    /// Fixed framing: this many bytes per record.
+    Fixed(usize),
+    /// Delta + varint compression ([`crate::compress`], the §7 future-work
+    /// integration).
+    Compressed,
+}
+
+impl Codec {
+    /// Wire bytes a record batch occupies under this codec.
+    pub fn payload_bytes(&self, recs: &[EdgeRec]) -> u64 {
+        match self {
+            Codec::Fixed(w) => (recs.len() * w) as u64,
+            Codec::Compressed => {
+                if recs.is_empty() {
+                    0
+                } else {
+                    compressed_size(recs)
+                }
+            }
+        }
+    }
+}
+
+/// Per-message framing overhead, bytes (header + termination marker).
+pub const MSG_HEADER_BYTES: u64 = 8;
+
+/// Maximum payload per discrete message; larger batches split.
+pub const MAX_BATCH_BYTES: u64 = 1 << 20;
+
+/// Aggregate traffic of one exchange.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExchangeStats {
+    /// Record deliveries counted per network traversal (a relayed record
+    /// counts twice: source→relay and relay→destination).
+    pub record_hops: u64,
+    /// Discrete messages, termination indicators included.
+    pub messages: u64,
+    /// Wire bytes (payload + per-message headers).
+    pub bytes: u64,
+    /// Bytes whose source and destination lie in different groups.
+    pub inter_group_bytes: u64,
+    /// Largest per-rank outgoing message count.
+    pub max_send_msgs_per_rank: u64,
+    /// Largest per-rank outgoing byte count.
+    pub max_send_bytes_per_rank: u64,
+}
+
+impl ExchangeStats {
+    /// Accumulates another exchange.
+    pub fn absorb(&mut self, o: &ExchangeStats) {
+        self.record_hops += o.record_hops;
+        self.messages += o.messages;
+        self.bytes += o.bytes;
+        self.inter_group_bytes += o.inter_group_bytes;
+        self.max_send_msgs_per_rank += o.max_send_msgs_per_rank;
+        self.max_send_bytes_per_rank += o.max_send_bytes_per_rank;
+    }
+}
+
+fn msgs_for(payload: u64) -> u64 {
+    // At least the termination indicator; big payloads split into batches.
+    1 + payload / MAX_BATCH_BYTES
+}
+
+/// Delivers `out[s][d]` (records from rank `s` to rank `d`) and returns
+/// per-destination inboxes plus traffic stats.
+///
+/// `wire` is the per-record wire size; `layout` is used by relay transport
+/// and, for both transports, to classify group-crossing bytes.
+pub fn exchange(
+    mode: Messaging,
+    out: Vec<Vec<Vec<EdgeRec>>>,
+    layout: &GroupLayout,
+    codec: Codec,
+) -> (Vec<Vec<EdgeRec>>, ExchangeStats) {
+    match mode {
+        Messaging::Direct => exchange_direct(out, layout, codec),
+        Messaging::Relay => exchange_relay(out, layout, codec),
+    }
+}
+
+/// Direct point-to-point delivery.
+pub fn exchange_direct(
+    out: Vec<Vec<Vec<EdgeRec>>>,
+    layout: &GroupLayout,
+    codec: Codec,
+) -> (Vec<Vec<EdgeRec>>, ExchangeStats) {
+    let ranks = out.len();
+    let mut stats = ExchangeStats::default();
+    let mut inbox: Vec<Vec<EdgeRec>> = vec![Vec::new(); ranks];
+    for (s, boxes) in out.iter().enumerate() {
+        let mut send_msgs = 0u64;
+        let mut send_bytes = 0u64;
+        for (d, recs) in boxes.iter().enumerate() {
+            if d == s {
+                // Self-records are a module bug; generators claim locally.
+                debug_assert!(recs.is_empty(), "self-addressed records");
+                continue;
+            }
+            let payload = codec.payload_bytes(recs);
+            let msgs = msgs_for(payload);
+            let bytes = payload + msgs * MSG_HEADER_BYTES;
+            send_msgs += msgs;
+            send_bytes += bytes;
+            stats.record_hops += recs.len() as u64;
+            if layout.group_of(s as u32) != layout.group_of(d as u32) {
+                stats.inter_group_bytes += bytes;
+            }
+            inbox[d].extend_from_slice(recs);
+        }
+        stats.messages += send_msgs;
+        stats.bytes += send_bytes;
+        stats.max_send_msgs_per_rank = stats.max_send_msgs_per_rank.max(send_msgs);
+        stats.max_send_bytes_per_rank = stats.max_send_bytes_per_rank.max(send_bytes);
+    }
+    (inbox, stats)
+}
+
+/// Two-stage relayed delivery with group batching.
+pub fn exchange_relay(
+    out: Vec<Vec<Vec<EdgeRec>>>,
+    layout: &GroupLayout,
+    codec: Codec,
+) -> (Vec<Vec<EdgeRec>>, ExchangeStats) {
+    let ranks = out.len();
+    let groups = layout.num_groups() as usize;
+    let mut stats = ExchangeStats::default();
+
+    // Per-rank send accounting, accumulated over both stages.
+    let mut send_msgs = vec![0u64; ranks];
+    let mut send_bytes = vec![0u64; ranks];
+
+    // Stage 1: source → relay (batched per destination group), or direct
+    // delivery within the source's own group.
+    // relay_inbox[r] holds (final_dest, rec) streams, in source order.
+    let mut relay_inbox: Vec<Vec<(u32, EdgeRec)>> = vec![Vec::new(); ranks];
+    let mut inbox: Vec<Vec<EdgeRec>> = vec![Vec::new(); ranks];
+
+    for (s, boxes) in out.iter().enumerate() {
+        let s = s as u32;
+        let my_group = layout.group_of(s);
+        // Batch records per destination group.
+        let mut per_group: Vec<Vec<(u32, EdgeRec)>> = vec![Vec::new(); groups];
+        for (d, recs) in boxes.iter().enumerate() {
+            let d = d as u32;
+            if d == s {
+                debug_assert!(recs.is_empty(), "self-addressed records");
+                continue;
+            }
+            for &r in recs {
+                per_group[layout.group_of(d) as usize].push((d, r));
+            }
+        }
+        // Own group: deliver directly to each group-mate (one message per
+        // mate, termination included).
+        let (gs, ge) = group_bounds(layout, my_group);
+        for d in gs..ge {
+            if d == s {
+                continue;
+            }
+            let recs: Vec<EdgeRec> = per_group[my_group as usize]
+                .iter()
+                .filter(|(dest, _)| *dest == d)
+                .map(|&(_, r)| r)
+                .collect();
+            let payload = codec.payload_bytes(&recs);
+            let msgs = msgs_for(payload);
+            let bytes = payload + msgs * MSG_HEADER_BYTES;
+            send_msgs[s as usize] += msgs;
+            send_bytes[s as usize] += bytes;
+            stats.record_hops += recs.len() as u64;
+            inbox[d as usize].extend(recs);
+        }
+        // Remote groups: one batched message to the group's relay node.
+        for g in 0..groups as u32 {
+            if g == my_group {
+                continue;
+            }
+            let batch = &per_group[g as usize];
+            let relay = layout.node_at(g, layout.index_of(s));
+            let batch_recs: Vec<EdgeRec> = batch.iter().map(|&(_, r)| r).collect();
+            let payload = codec.payload_bytes(&batch_recs);
+            let msgs = msgs_for(payload);
+            let bytes = payload + msgs * MSG_HEADER_BYTES;
+            send_msgs[s as usize] += msgs;
+            send_bytes[s as usize] += bytes;
+            stats.record_hops += batch.len() as u64;
+            stats.inter_group_bytes += bytes;
+            relay_inbox[relay as usize].extend(batch.iter().copied());
+        }
+    }
+
+    // Stage 2: the Relay module — re-bucket by final destination and
+    // forward inside the group.
+    for (r, stream) in relay_inbox.iter().enumerate() {
+        let r = r as u32;
+        let my_group = layout.group_of(r);
+        let (gs, ge) = group_bounds(layout, my_group);
+        for d in gs..ge {
+            let recs: Vec<EdgeRec> = stream
+                .iter()
+                .filter(|(dest, _)| *dest == d)
+                .map(|(_, rec)| *rec)
+                .collect();
+            if d == r {
+                // Records whose final destination is the relay itself.
+                inbox[d as usize].extend(recs);
+                continue;
+            }
+            let payload = codec.payload_bytes(&recs);
+            let msgs = msgs_for(payload);
+            let bytes = payload + msgs * MSG_HEADER_BYTES;
+            send_msgs[r as usize] += msgs;
+            send_bytes[r as usize] += bytes;
+            stats.record_hops += recs.len() as u64;
+            inbox[d as usize].extend(recs);
+        }
+    }
+
+    for s in 0..ranks {
+        stats.messages += send_msgs[s];
+        stats.bytes += send_bytes[s];
+        stats.max_send_msgs_per_rank = stats.max_send_msgs_per_rank.max(send_msgs[s]);
+        stats.max_send_bytes_per_rank = stats.max_send_bytes_per_rank.max(send_bytes[s]);
+    }
+    (inbox, stats)
+}
+
+fn group_bounds(layout: &GroupLayout, group: u32) -> (u32, u32) {
+    let start = group * layout.group_size();
+    (start, start + layout.group_size_of(group))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn rec(u: u64, v: u64) -> EdgeRec {
+        EdgeRec { u, v }
+    }
+
+    /// All-to-all test pattern: rank s sends (s, d) to every d != s.
+    fn all_to_all(ranks: usize) -> Vec<Vec<Vec<EdgeRec>>> {
+        (0..ranks)
+            .map(|s| {
+                (0..ranks)
+                    .map(|d| {
+                        if s == d {
+                            vec![]
+                        } else {
+                            vec![rec(s as u64, d as u64)]
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn sorted_multiset(inbox: &[Vec<EdgeRec>]) -> Vec<Vec<EdgeRec>> {
+        inbox
+            .iter()
+            .map(|b| {
+                let mut v = b.clone();
+                v.sort_unstable();
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn direct_and_relay_deliver_identical_multisets() {
+        let layout = GroupLayout::new(8, 4);
+        let (di, _) = exchange_direct(all_to_all(8), &layout, Codec::Fixed(8));
+        let (ri, _) = exchange_relay(all_to_all(8), &layout, Codec::Fixed(8));
+        assert_eq!(sorted_multiset(&di), sorted_multiset(&ri));
+        // Every rank received one record from each peer.
+        for (d, b) in di.iter().enumerate() {
+            assert_eq!(b.len(), 7);
+            assert!(b.iter().all(|r| r.v == d as u64));
+        }
+    }
+
+    #[test]
+    fn direct_message_count_is_all_pairs() {
+        let layout = GroupLayout::new(8, 4);
+        let (_, st) = exchange_direct(all_to_all(8), &layout, Codec::Fixed(8));
+        // 8 × 7 ordered pairs, one message each (termination counted).
+        assert_eq!(st.messages, 56);
+        assert_eq!(st.max_send_msgs_per_rank, 7);
+        assert_eq!(st.record_hops, 56);
+    }
+
+    #[test]
+    fn direct_termination_messages_survive_empty_exchange() {
+        let layout = GroupLayout::new(8, 4);
+        let empty: Vec<Vec<Vec<EdgeRec>>> = vec![vec![vec![]; 8]; 8];
+        let (_, st) = exchange_direct(empty, &layout, Codec::Fixed(8));
+        assert_eq!(st.messages, 56);
+        assert_eq!(st.bytes, 56 * MSG_HEADER_BYTES);
+        assert_eq!(st.record_hops, 0);
+    }
+
+    #[test]
+    fn relay_message_count_collapses() {
+        let layout = GroupLayout::new(16, 4); // 4 groups of 4
+        let (_, st) = exchange_relay(all_to_all(16), &layout, Codec::Fixed(8));
+        // Per rank stage 1: 3 group-mates + 3 remote groups = 6;
+        // stage 2 forwards ≤ 3. Total ≤ 16 × 9 = 144, far below direct 240.
+        let (_, direct) = exchange_direct(all_to_all(16), &layout, Codec::Fixed(8));
+        assert!(st.messages < direct.messages, "{} !< {}", st.messages, direct.messages);
+        assert_eq!(st.max_send_msgs_per_rank, 9);
+    }
+
+    #[test]
+    fn relayed_records_pay_two_hops() {
+        let layout = GroupLayout::new(8, 4);
+        // One record crossing groups: 0 -> 5.
+        let mut out: Vec<Vec<Vec<EdgeRec>>> = vec![vec![vec![]; 8]; 8];
+        out[0][5] = vec![rec(0, 5)];
+        let (inbox, st) = exchange_relay(out, &layout, Codec::Fixed(8));
+        assert_eq!(inbox[5], vec![rec(0, 5)]);
+        assert_eq!(st.record_hops, 2);
+        // Relay node: group of 5 is 1, column of 0 is 0 -> node 4.
+        // Stage 1 bytes cross groups; stage 2 bytes do not.
+        assert!(st.inter_group_bytes > 0);
+        assert!(st.inter_group_bytes < st.bytes);
+    }
+
+    #[test]
+    fn intra_group_records_skip_the_relay() {
+        let layout = GroupLayout::new(8, 4);
+        let mut out: Vec<Vec<Vec<EdgeRec>>> = vec![vec![vec![]; 8]; 8];
+        out[0][2] = vec![rec(0, 2)];
+        let (inbox, st) = exchange_relay(out, &layout, Codec::Fixed(8));
+        assert_eq!(inbox[2], vec![rec(0, 2)]);
+        assert_eq!(st.record_hops, 1);
+        // Only stage-1 termination headers cross groups (8 ranks x 1
+        // remote group x 1 header); the record itself stays inside.
+        assert_eq!(st.inter_group_bytes, 8 * MSG_HEADER_BYTES);
+    }
+
+    #[test]
+    fn relay_to_self_destination_works() {
+        // Record whose final destination IS the relay node.
+        let layout = GroupLayout::new(8, 4);
+        let mut out: Vec<Vec<Vec<EdgeRec>>> = vec![vec![vec![]; 8]; 8];
+        // src 0 (group 0, col 0) -> dst 4 (group 1, col 0): relay is node 4
+        // itself.
+        out[0][4] = vec![rec(0, 4)];
+        let (inbox, st) = exchange_relay(out, &layout, Codec::Fixed(8));
+        assert_eq!(inbox[4], vec![rec(0, 4)]);
+        assert_eq!(st.record_hops, 1);
+    }
+
+    #[test]
+    fn big_payload_splits_into_batches() {
+        let layout = GroupLayout::new(2, 2);
+        let n = (MAX_BATCH_BYTES / 8 + 10) as usize;
+        let mut out: Vec<Vec<Vec<EdgeRec>>> = vec![vec![vec![]; 2]; 2];
+        out[0][1] = (0..n).map(|i| rec(i as u64, 1)).collect();
+        let (_, st) = exchange_direct(out, &layout, Codec::Fixed(8));
+        assert_eq!(st.messages, 2 + 1); // 2 batches s0->s1, 1 termination s1->s0
+    }
+
+    #[test]
+    fn inter_group_classification_direct() {
+        let layout = GroupLayout::new(8, 4);
+        let mut out: Vec<Vec<Vec<EdgeRec>>> = vec![vec![vec![]; 8]; 8];
+        out[0][1] = vec![rec(0, 1)]; // same group
+        out[0][7] = vec![rec(0, 7)]; // cross group
+        let (_, st) = exchange_direct(out, &layout, Codec::Fixed(8));
+        // Only the 0->7 bytes cross; termination messages to the other 6
+        // peers: 5 of them... all (s,d) pairs get termination, crossing
+        // ones counted too.
+        assert!(st.inter_group_bytes > 0);
+        assert!(st.inter_group_bytes < st.bytes);
+    }
+
+    #[test]
+    fn random_pattern_delivery_matches_direct() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let ranks = 12;
+        let layout = GroupLayout::new(12, 5); // uneven trailing group
+        let mut out: Vec<Vec<Vec<EdgeRec>>> = vec![vec![vec![]; ranks]; ranks];
+        let mut expected: HashMap<usize, Vec<EdgeRec>> = HashMap::new();
+        for s in 0..ranks {
+            for _ in 0..50 {
+                let d = rng.gen_range(0..ranks);
+                if d == s {
+                    continue;
+                }
+                let r = rec(rng.gen_range(0..1000), d as u64);
+                out[s][d].push(r);
+                expected.entry(d).or_default().push(r);
+            }
+        }
+        let (di, _) = exchange_direct(out.clone(), &layout, Codec::Fixed(8));
+        let (ri, _) = exchange_relay(out, &layout, Codec::Fixed(8));
+        assert_eq!(sorted_multiset(&di), sorted_multiset(&ri));
+        for (d, mut exp) in expected {
+            exp.sort_unstable();
+            let mut got = di[d].clone();
+            got.sort_unstable();
+            assert_eq!(got, exp);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Hybrid frontier representation.
+//!
+//! A BFS frontier is consulted two ways: membership tests (the Bottom-Up
+//! handler's "is u in Curr?") and full iteration (the generators). A
+//! bitmap answers membership in O(1) but iterating it costs O(n/64) words
+//! even when three vertices are set — and power-law BFS spends most of
+//! its *levels* (not its time) on tiny frontiers. The hybrid keeps the
+//! bitmap always (membership, and the §5 bitmap-compressed hub gathers
+//! read it directly) plus an insertion-order queue while the population
+//! is small, abandoning the queue once the frontier grows past a density
+//! threshold — Beamer's queue/bitmap switch, applied per rank.
+
+use sw_graph::Bitmap;
+
+/// Queue kept while `population * DENSITY_DIVISOR <= capacity`.
+const DENSITY_DIVISOR: usize = 32;
+
+/// A frontier over local vertex indices `0..len`.
+#[derive(Clone, Debug)]
+pub struct Frontier {
+    bits: Bitmap,
+    /// Insertion-order queue; `None` once the frontier went dense.
+    queue: Option<Vec<u32>>,
+    population: usize,
+}
+
+impl Frontier {
+    /// An empty frontier of `len` slots.
+    pub fn new(len: usize) -> Self {
+        Self {
+            bits: Bitmap::new(len),
+            queue: Some(Vec::new()),
+            population: 0,
+        }
+    }
+
+    /// Capacity in slots.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True if no member is set.
+    pub fn is_empty(&self) -> bool {
+        self.population == 0
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.population
+    }
+
+    /// True while the queue representation is live.
+    pub fn is_sparse(&self) -> bool {
+        self.queue.is_some()
+    }
+
+    /// Membership test (always O(1)).
+    pub fn contains(&self, i: usize) -> bool {
+        self.bits.get(i)
+    }
+
+    /// Inserts `i`; returns whether it was already present.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let was = self.bits.set(i);
+        if !was {
+            self.population += 1;
+            if let Some(q) = &mut self.queue {
+                if self.population * DENSITY_DIVISOR > self.bits.len() {
+                    self.queue = None; // went dense
+                } else {
+                    q.push(i as u32);
+                }
+            }
+        }
+        was
+    }
+
+    /// Iterates members: insertion order while sparse, ascending index
+    /// once dense. (Callers that need a fixed order sort; the BFS's
+    /// claim semantics are order-independent at the level of validity,
+    /// and deterministic for a fixed representation.)
+    pub fn iter(&self) -> Box<dyn Iterator<Item = usize> + '_> {
+        match &self.queue {
+            Some(q) => Box::new(q.iter().map(|&i| i as usize)),
+            None => Box::new(self.bits.iter_ones()),
+        }
+    }
+
+    /// Members in ascending index order regardless of representation.
+    pub fn sorted_members(&self) -> Vec<usize> {
+        match &self.queue {
+            Some(q) => {
+                let mut v: Vec<usize> = q.iter().map(|&i| i as usize).collect();
+                v.sort_unstable();
+                v
+            }
+            None => self.bits.iter_ones().collect(),
+        }
+    }
+
+    /// Empties the frontier, keeping capacity and re-arming the queue.
+    pub fn clear(&mut self) {
+        self.bits.clear_all();
+        self.queue = Some(Vec::new());
+        self.population = 0;
+    }
+
+    /// Read-only view of the underlying bitmap (hub gathers use it).
+    pub fn as_bitmap(&self) -> &Bitmap {
+        &self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_sparse_goes_dense() {
+        let mut f = Frontier::new(1000);
+        assert!(f.is_sparse());
+        for i in 0..31 {
+            assert!(!f.insert(i));
+        }
+        assert!(f.is_sparse(), "31/1000 is still sparse at divisor 32");
+        f.insert(100);
+        assert!(!f.is_sparse(), "32*32 > 1000 — dense now");
+        assert_eq!(f.count(), 32);
+    }
+
+    #[test]
+    fn duplicate_inserts_do_not_grow() {
+        let mut f = Frontier::new(100);
+        assert!(!f.insert(5));
+        assert!(f.insert(5));
+        assert_eq!(f.count(), 1);
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn iteration_matches_membership_in_both_modes() {
+        let mut f = Frontier::new(64); // divisor 32 -> dense at 3
+        f.insert(9);
+        f.insert(3);
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![9, 3]); // insertion order
+        f.insert(50);
+        f.insert(20);
+        assert!(!f.is_sparse());
+        assert_eq!(f.sorted_members(), vec![3, 9, 20, 50]);
+        for i in 0..64 {
+            assert_eq!(f.contains(i), [3, 9, 20, 50].contains(&i));
+        }
+    }
+
+    #[test]
+    fn clear_rearms_the_queue() {
+        let mut f = Frontier::new(64);
+        for i in 0..10 {
+            f.insert(i);
+        }
+        assert!(!f.is_sparse());
+        f.clear();
+        assert!(f.is_empty());
+        assert!(f.is_sparse());
+        f.insert(7);
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn bitmap_view_tracks_members() {
+        let mut f = Frontier::new(128);
+        f.insert(127);
+        assert!(f.as_bitmap().get(127));
+        assert_eq!(f.as_bitmap().count_ones(), 1);
+    }
+}

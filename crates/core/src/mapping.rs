@@ -1,0 +1,245 @@
+//! Pipelined module mapping (§4.2): which on-chip unit runs what, and how
+//! long a level's module work takes on one node.
+//!
+//! The paper dedicates MPEs to communication (M0 sends, M1 receives) and
+//! hands each module activation to an idle CPE cluster, first-come-first-
+//! served. Notifications are flag polls through main memory (interrupts
+//! are 10 µs, §3.1). Two §5 refinements are modeled: inputs under 1 KB are
+//! processed directly on the MPE (notification would cost more than the
+//! work), and when all four clusters are busy — possible in Bottom-Up,
+//! which has five modules — the surplus module runs on a spare MPE rather
+//! than deadlocking the scheduler.
+
+use crate::config::{BfsConfig, Processing};
+use crate::shuffling::processing_rate_gbps;
+use sw_arch::{ChipConfig, Mpe, SimNanos};
+
+/// The BFS processing modules of Figure 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Module {
+    /// Scans the frontier, emits forward records.
+    ForwardGenerator,
+    /// Re-buckets relayed forward records (Relay messaging only).
+    ForwardRelay,
+    /// Applies forward claims.
+    ForwardHandler,
+    /// Scans unvisited vertices, emits backward queries.
+    BackwardGenerator,
+    /// Re-buckets relayed backward records (Relay messaging only).
+    BackwardRelay,
+    /// Answers backward queries with forward records.
+    BackwardHandler,
+}
+
+/// One module activation: the module and its input size.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Activation {
+    /// Which module runs.
+    pub module: Module,
+    /// Bytes of input it must stream.
+    pub input_bytes: u64,
+}
+
+/// Node-level execution model for module work.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineModel {
+    /// Effective streaming rate of the configured processing unit, GB/s.
+    rate_gbps: f64,
+    /// MPE fallback rate, GB/s (used for small inputs and spill-over).
+    mpe_rate_gbps: f64,
+    /// Workers available for module processing (4 CPE clusters, or the 2
+    /// spare MPEs in MPE mode).
+    workers: usize,
+    /// Whether a spare MPE can absorb overflow modules (CPE mode only; in
+    /// MPE mode the spare MPEs *are* the workers).
+    has_spill: bool,
+    small_input_bytes: u64,
+    notify_ns: SimNanos,
+}
+
+impl PipelineModel {
+    /// Builds the model for a BFS configuration.
+    pub fn new(cfg: &BfsConfig, chip: &ChipConfig) -> Self {
+        let mpe_cfg = BfsConfig {
+            processing: Processing::Mpe,
+            ..*cfg
+        };
+        let mpe_rate = processing_rate_gbps(&mpe_cfg, chip);
+        let (rate, workers, has_spill) = match cfg.processing {
+            Processing::Cpe => (processing_rate_gbps(cfg, chip), 4, true),
+            Processing::Mpe => (mpe_rate, 2, false),
+        };
+        Self {
+            rate_gbps: rate,
+            mpe_rate_gbps: mpe_rate,
+            workers,
+            has_spill,
+            small_input_bytes: cfg.small_input_bytes as u64,
+            notify_ns: Mpe::new(*chip).notify_cluster_ns(),
+        }
+    }
+
+    /// Effective streaming rate, GB/s.
+    pub fn rate_gbps(&self) -> f64 {
+        self.rate_gbps
+    }
+
+    /// Time for one module activation on its assigned unit.
+    pub fn activation_ns(&self, a: &Activation) -> SimNanos {
+        if a.input_bytes == 0 {
+            return 0.0;
+        }
+        if a.input_bytes < self.small_input_bytes {
+            // §5 quick path: the MPE does it in place, no notification.
+            return a.input_bytes as f64 / self.mpe_rate_gbps;
+        }
+        self.notify_ns + a.input_bytes as f64 / self.rate_gbps
+    }
+
+    /// Makespan of a level's activations under FCFS list scheduling on the
+    /// available workers; when every worker is busy the activation spills
+    /// to a (10× slower in CPE mode) MPE, as §4.4 prescribes, instead of
+    /// waiting — but only if that is actually faster than queueing.
+    pub fn level_makespan_ns(&self, activations: &[Activation]) -> SimNanos {
+        let mut workers = vec![0.0f64; self.workers];
+        let mut spill_mpe = 0.0f64; // one spare MPE absorbs overflow work
+        for a in activations {
+            let t = self.activation_ns(a);
+            if t == 0.0 {
+                continue;
+            }
+            // Earliest-available worker...
+            let (wi, &earliest) = workers
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("at least one worker");
+            // ... versus running on the spare MPE immediately.
+            let mpe_t = a.input_bytes as f64 / self.mpe_rate_gbps;
+            if self.has_spill && earliest > 0.0 && spill_mpe + mpe_t < earliest + t {
+                spill_mpe += mpe_t;
+            } else {
+                workers[wi] = earliest + t;
+            }
+        }
+        workers
+            .into_iter()
+            .fold(spill_mpe, |acc, w| acc.max(w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BfsConfig;
+
+    fn model(p: Processing) -> PipelineModel {
+        PipelineModel::new(
+            &BfsConfig::paper().with_processing(p),
+            &ChipConfig::sw26010(),
+        )
+    }
+
+    #[test]
+    fn cpe_mode_streams_10x_faster() {
+        let cpe = model(Processing::Cpe);
+        let mpe = model(Processing::Mpe);
+        let a = Activation {
+            module: Module::ForwardGenerator,
+            input_bytes: 1 << 26,
+        };
+        let ratio = mpe.activation_ns(&a) / cpe.activation_ns(&a);
+        assert!((8.0..12.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn small_inputs_take_the_mpe_quick_path() {
+        let m = model(Processing::Cpe);
+        let small = Activation {
+            module: Module::ForwardHandler,
+            input_bytes: 512,
+        };
+        // No notification cost: time is well under notify_ns + stream.
+        let t = m.activation_ns(&small);
+        assert!(t < m.notify_ns);
+        // Just over the threshold pays the notification.
+        let big = Activation {
+            module: Module::ForwardHandler,
+            input_bytes: 1024,
+        };
+        assert!(m.activation_ns(&big) > m.notify_ns);
+    }
+
+    #[test]
+    fn zero_input_is_free() {
+        let m = model(Processing::Cpe);
+        assert_eq!(
+            m.activation_ns(&Activation {
+                module: Module::ForwardRelay,
+                input_bytes: 0
+            }),
+            0.0
+        );
+    }
+
+    #[test]
+    fn four_equal_modules_run_concurrently() {
+        let m = model(Processing::Cpe);
+        let a = Activation {
+            module: Module::ForwardGenerator,
+            input_bytes: 1 << 24,
+        };
+        let one = m.level_makespan_ns(&[a]);
+        let four = m.level_makespan_ns(&[a; 4]);
+        assert!((four - one).abs() / one < 1e-9, "one {one}, four {four}");
+    }
+
+    #[test]
+    fn fifth_module_spills_without_doubling_makespan() {
+        // Five equal big modules on four clusters: the fifth goes to the
+        // spare MPE if profitable, else queues; either way makespan is
+        // under 2× the single-module time ... for CPE mode with 10× slower
+        // MPE, queuing wins: makespan = 2 activations on one cluster.
+        let m = model(Processing::Cpe);
+        let a = Activation {
+            module: Module::BackwardGenerator,
+            input_bytes: 1 << 24,
+        };
+        let one = m.level_makespan_ns(&[a]);
+        let five = m.level_makespan_ns(&[a; 5]);
+        assert!(five <= 2.0 * one + 1.0);
+        assert!(five > one);
+    }
+
+    #[test]
+    fn tiny_fifth_module_prefers_spare_mpe() {
+        let m = model(Processing::Cpe);
+        let big = Activation {
+            module: Module::BackwardGenerator,
+            input_bytes: 1 << 26,
+        };
+        let small = Activation {
+            module: Module::ForwardRelay,
+            input_bytes: 4096,
+        };
+        // Four big + one small: the small one runs on the MPE concurrently,
+        // so makespan equals the big modules alone.
+        let base = m.level_makespan_ns(&[big; 4]);
+        let with_small = m.level_makespan_ns(&[big, big, big, big, small]);
+        assert!((with_small - base).abs() / base < 0.01);
+    }
+
+    #[test]
+    fn mpe_mode_uses_two_workers() {
+        let m = model(Processing::Mpe);
+        let a = Activation {
+            module: Module::ForwardGenerator,
+            input_bytes: 1 << 24,
+        };
+        let one = m.level_makespan_ns(&[a]);
+        let two = m.level_makespan_ns(&[a; 2]);
+        let three = m.level_makespan_ns(&[a; 3]);
+        assert!((two - one).abs() / one < 1e-9);
+        assert!(three > two);
+    }
+}

@@ -1,0 +1,99 @@
+//! Typed wire messages between ranks.
+//!
+//! Two record kinds flow during a traversal (Algorithm 2):
+//!
+//! * a **forward** record `(u, v)` — "u, already settled, claims v";
+//! * a **backward** record `(u, v)` — "unvisited v asks u's owner whether
+//!   u is in the current frontier".
+//!
+//! Records are fixed-size and batched; [`encode_batch`]/[`decode_batch`]
+//! give the byte-level framing the relay stage shuffles (using `bytes` for
+//! zero-copy splitting on the receive side).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sw_graph::Vid;
+
+/// One edge record on the wire. Used for both forward claims and backward
+/// queries — the surrounding stage determines the meaning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EdgeRec {
+    /// Source endpoint (settled vertex for forward, queried for backward).
+    pub u: Vid,
+    /// Destination endpoint (claimed vertex for forward, asker for
+    /// backward).
+    pub v: Vid,
+}
+
+impl EdgeRec {
+    /// Wire bytes per record in the serialized framing.
+    pub const WIRE_BYTES: usize = 16;
+}
+
+/// Serializes a batch of records (length-prefixed).
+pub fn encode_batch(records: &[EdgeRec]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + records.len() * EdgeRec::WIRE_BYTES);
+    buf.put_u64_le(records.len() as u64);
+    for r in records {
+        buf.put_u64_le(r.u);
+        buf.put_u64_le(r.v);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a batch produced by [`encode_batch`].
+///
+/// # Panics
+/// Panics on a malformed frame (truncated or over-long).
+pub fn decode_batch(mut buf: Bytes) -> Vec<EdgeRec> {
+    assert!(buf.len() >= 8, "frame shorter than its header");
+    let n = buf.get_u64_le() as usize;
+    assert_eq!(
+        buf.len(),
+        n * EdgeRec::WIRE_BYTES,
+        "frame length disagrees with record count"
+    );
+    (0..n)
+        .map(|_| EdgeRec {
+            u: buf.get_u64_le(),
+            v: buf.get_u64_le(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let recs = vec![
+            EdgeRec { u: 0, v: 1 },
+            EdgeRec { u: u64::MAX - 1, v: 42 },
+        ];
+        let bytes = encode_batch(&recs);
+        assert_eq!(bytes.len(), 8 + 2 * 16);
+        assert_eq!(decode_batch(bytes), recs);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let bytes = encode_batch(&[]);
+        assert_eq!(decode_batch(bytes), Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees")]
+    fn truncated_frame_rejected() {
+        let mut b = BytesMut::new();
+        b.put_u64_le(5);
+        b.put_u64_le(1);
+        decode_batch(b.freeze());
+    }
+
+    #[test]
+    fn ordering_is_by_u_then_v() {
+        let a = EdgeRec { u: 1, v: 9 };
+        let b = EdgeRec { u: 2, v: 0 };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,557 @@
+//! The modeled execution backend: replays a measured per-level traffic
+//! profile through the chip and network cost models at machine scale.
+//!
+//! This is what regenerates Figures 11 and 12. For each level the model
+//! charges:
+//!
+//! * **module compute** — the level's activations (generator, handlers,
+//!   relay re-bucketing) on the pipelined module mapping, at the CPE
+//!   shuffle rate or the ~10×-slower MPE rate;
+//! * **network phases** — per-phase [`PhaseLoad`]s through the flow-level
+//!   cost model, plus the per-connection MPI progress cost that strangles
+//!   Direct messaging at large node counts;
+//! * **hub gather + policy allreduce** — the §5 global operations, with
+//!   the empty-flag shortcut on inactive levels.
+//!
+//! Compute and network overlap within a level (the asynchronous pipeline
+//! of §4.2), so the level charge is their max; the gather is synchronous.
+//!
+//! Before timing anything the model applies the same feasibility gates the
+//! real machine enforces: shuffle destinations against consumer SPM
+//! (Direct-CPE crash) and MPI connection memory against node RAM
+//! (Direct-MPE crash at 16 Ki nodes).
+
+use crate::config::{BfsConfig, Messaging};
+use crate::error::ExecError;
+use crate::exchange::{MAX_BATCH_BYTES, MSG_HEADER_BYTES};
+use crate::mapping::{Activation, Module, PipelineModel};
+use crate::policy::Direction;
+use crate::shuffling::check_chip_feasibility;
+use crate::traffic::LevelProfile;
+use sw_arch::ChipConfig;
+use sw_net::{ConnectionTable, CostModel, GroupLayout, NetworkConfig, PhaseLoad, Placement};
+
+/// Residual per-node load imbalance after vertex permutation (power-law
+/// stragglers): the busiest node carries this multiple of the average.
+const IMBALANCE: f64 = 1.3;
+
+/// A machine-scale BFS performance model.
+///
+/// ```
+/// use sw_arch::ChipConfig;
+/// use sw_net::NetworkConfig;
+/// use swbfs_core::traffic::typical_kronecker_profile;
+/// use swbfs_core::{BfsConfig, ModeledCluster};
+///
+/// // The paper's full machine: 40,768 nodes, 26.2M vertices each.
+/// let outcome = ModeledCluster::new(
+///     ChipConfig::sw26010(),
+///     NetworkConfig::taihulight(40_768),
+///     BfsConfig::paper(),
+///     26_200_000,
+///     typical_kronecker_profile(),
+/// )
+/// .run();
+/// let gteps = outcome.gteps().expect("relay+CPE is feasible");
+/// assert!(gteps > 5_000.0, "full-machine GTEPS {gteps}");
+/// ```
+#[derive(Clone, Debug)]
+pub struct ModeledCluster {
+    chip: ChipConfig,
+    net: NetworkConfig,
+    cfg: BfsConfig,
+    vertices_per_node: u64,
+    profile: Vec<LevelProfile>,
+    placement: Placement,
+}
+
+/// Timing breakdown of one modeled level.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LevelTime {
+    /// Level index.
+    pub level: u32,
+    /// Traversal direction.
+    pub direction: Direction,
+    /// Module-processing makespan on the busiest node, ns.
+    pub compute_ns: f64,
+    /// Network phase time (incl. MPI progress), ns.
+    pub network_ns: f64,
+    /// Hub gather + policy allreduce, ns.
+    pub gather_ns: f64,
+    /// Level total: `max(compute, network) + gather`.
+    pub total_ns: f64,
+}
+
+/// A completed model run.
+#[derive(Clone, Debug)]
+pub struct ModelReport {
+    /// Job size in nodes.
+    pub nodes: u32,
+    /// Vertices per node.
+    pub vertices_per_node: u64,
+    /// Total vertices.
+    pub total_vertices: u64,
+    /// Graph500 TEPS numerator: input edge tuples (edge factor 16).
+    pub input_edges: u64,
+    /// One-BFS wall time, seconds.
+    pub time_s: f64,
+    /// Giga-traversed edges per second.
+    pub gteps: f64,
+    /// Per-level breakdown.
+    pub levels: Vec<LevelTime>,
+    /// Application (graph) memory per node, bytes.
+    pub app_bytes_per_node: u64,
+    /// MPI connections per node.
+    pub connections_per_node: u32,
+}
+
+/// Outcome of a model run: either performance numbers or the structured
+/// crash Figure 11 reports as a truncated line.
+#[derive(Clone, Debug)]
+pub enum ModelOutcome {
+    /// The configuration is feasible; here is its performance.
+    Completed(ModelReport),
+    /// The configuration violates a hardware constraint.
+    Crashed {
+        /// What failed.
+        error: ExecError,
+    },
+}
+
+impl ModelOutcome {
+    /// GTEPS if completed.
+    pub fn gteps(&self) -> Option<f64> {
+        match self {
+            ModelOutcome::Completed(r) => Some(r.gteps),
+            ModelOutcome::Crashed { .. } => None,
+        }
+    }
+
+    /// The report, panicking on a crash.
+    pub fn expect_completed(self, what: &str) -> ModelReport {
+        match self {
+            ModelOutcome::Completed(r) => r,
+            ModelOutcome::Crashed { error } => panic!("{what} crashed: {error}"),
+        }
+    }
+}
+
+impl ModeledCluster {
+    /// A model of `net.nodes` nodes each holding `vertices_per_node`
+    /// vertices of a Kronecker graph, traversed per `profile`.
+    pub fn new(
+        chip: ChipConfig,
+        net: NetworkConfig,
+        cfg: BfsConfig,
+        vertices_per_node: u64,
+        profile: Vec<LevelProfile>,
+    ) -> Self {
+        Self {
+            chip,
+            net,
+            cfg,
+            vertices_per_node,
+            profile,
+            placement: Placement::Contiguous,
+        }
+    }
+
+    /// Overrides the rank-to-node placement (Figure 9 ablation: the
+    /// paper's contiguous mapping aligns relay groups with super nodes;
+    /// anything else pushes relay stage-2 traffic through the
+    /// over-subscribed central switch).
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Estimated per-node application (graph) footprint: parent map,
+    /// CSR offsets + targets (edge factor 16, symmetrized), bitmaps.
+    pub fn app_bytes_per_node(&self) -> u64 {
+        let vpn = self.vertices_per_node;
+        vpn * 8            // parent map
+            + (vpn + 1) * 8 // CSR offsets
+            + vpn * 32 * 8  // CSR targets
+            + vpn / 2       // frontier/visited bitmaps & hub caches
+    }
+
+    /// Runs the model.
+    pub fn run(&self) -> ModelOutcome {
+        let p = self.net.nodes;
+        if p == 0 {
+            return ModelOutcome::Crashed {
+                error: ExecError::BadSetup("zero nodes".into()),
+            };
+        }
+        if self.profile.is_empty() {
+            return ModelOutcome::Crashed {
+                error: ExecError::BadSetup("empty traffic profile".into()),
+            };
+        }
+        let layout = GroupLayout::new(p, self.cfg.group_size.min(p));
+
+        // Gate 1: shuffle destination capacity (Direct-CPE crash).
+        if let Err(error) = check_chip_feasibility(&self.cfg, &self.chip, &layout) {
+            return ModelOutcome::Crashed { error };
+        }
+
+        // Gate 2: memory — graph plus MPI connection state (Direct-MPE
+        // crash at 16 Ki nodes).
+        let app = self.app_bytes_per_node();
+        if app > self.net.node_memory_bytes {
+            return ModelOutcome::Crashed {
+                error: ExecError::BadSetup(format!(
+                    "graph needs {app} B/node, machine has {}",
+                    self.net.node_memory_bytes
+                )),
+            };
+        }
+        let conns = match self.cfg.messaging {
+            Messaging::Direct => p.saturating_sub(1),
+            Messaging::Relay => layout.connections_per_node(0),
+        };
+        let table = ConnectionTable::new(self.net, 0, app);
+        if let Err(e) = table.check_capacity(conns as usize) {
+            return ModelOutcome::Crashed { error: e.into() };
+        }
+
+        // Timing.
+        let n = self.vertices_per_node * p as u64;
+        let m_dir = 32 * n;
+        // Compression shrinks records to ~5 bytes on BFS traffic (measured
+        // by the compress module's tests and the ablation harness).
+        let wire = if self.cfg.compress {
+            5.0
+        } else {
+            self.cfg.edge_msg_bytes as f64
+        };
+        let pipeline = PipelineModel::new(&self.cfg, &self.chip);
+        let cost = CostModel::new(self.net);
+        let hub_contrib_bytes = (self.cfg.top_down_hubs.div_ceil(8)
+            + self.cfg.bottom_up_hubs.div_ceil(8)) as f64;
+        // Fraction of a node's records that leave its group/super node.
+        let group_m = layout.group_size().min(p) as f64;
+        let cross_frac = (p as f64 - group_m) / p as f64;
+        // Under the paper's contiguous placement, relay stage-2 stays
+        // inside the super node; other placements push (almost all of) it
+        // across — measured exactly for small jobs, asymptotic for large.
+        let stage2_cross = match self.placement {
+            Placement::Contiguous => 0.0,
+            _ if p <= 2048 => self.placement.stage2_cross_fraction(&self.net, &layout),
+            _ => 1.0 - 1.0 / self.net.num_supernodes().max(1) as f64,
+        };
+
+        let mut levels = Vec::with_capacity(self.profile.len());
+        let mut total_ns = 0.0;
+        for (i, l) in self.profile.iter().enumerate() {
+            let scanned_bytes_pn = l.edges_scanned_frac * m_dir as f64 / p as f64 * 8.0;
+            let records_total = l.records_frac * m_dir as f64;
+            let rec_bytes_pn = records_total / p as f64 * wire;
+            let phases = match l.direction {
+                Direction::TopDown => 1u32,
+                Direction::BottomUp => 2,
+            };
+
+            // --- compute ---
+            let mut acts = vec![Activation {
+                module: match l.direction {
+                    Direction::TopDown => Module::ForwardGenerator,
+                    Direction::BottomUp => Module::BackwardGenerator,
+                },
+                input_bytes: (scanned_bytes_pn * IMBALANCE) as u64,
+            }];
+            match l.direction {
+                Direction::TopDown => {
+                    acts.push(Activation {
+                        module: Module::ForwardHandler,
+                        input_bytes: (rec_bytes_pn * IMBALANCE) as u64,
+                    });
+                    if self.cfg.messaging == Messaging::Relay {
+                        acts.push(Activation {
+                            module: Module::ForwardRelay,
+                            input_bytes: (rec_bytes_pn * cross_frac * IMBALANCE) as u64,
+                        });
+                    }
+                }
+                Direction::BottomUp => {
+                    acts.push(Activation {
+                        module: Module::BackwardHandler,
+                        input_bytes: (rec_bytes_pn / 2.0 * IMBALANCE) as u64,
+                    });
+                    acts.push(Activation {
+                        module: Module::ForwardHandler,
+                        input_bytes: (rec_bytes_pn / 2.0 * IMBALANCE) as u64,
+                    });
+                    if self.cfg.messaging == Messaging::Relay {
+                        acts.push(Activation {
+                            module: Module::BackwardRelay,
+                            input_bytes: (rec_bytes_pn / 2.0 * cross_frac * IMBALANCE) as u64,
+                        });
+                        acts.push(Activation {
+                            module: Module::ForwardRelay,
+                            input_bytes: (rec_bytes_pn / 2.0 * cross_frac * IMBALANCE) as u64,
+                        });
+                    }
+                }
+            }
+            let compute_ns = pipeline.level_makespan_ns(&acts);
+
+            // --- network ---
+            let mut network_ns = 0.0;
+            for _ in 0..phases {
+                let payload_pn = rec_bytes_pn / phases as f64;
+                let cross_pn = payload_pn * cross_frac;
+                let (send_bytes, send_cross, msgs) = match self.cfg.messaging {
+                    Messaging::Direct => {
+                        let msgs = (p - 1) as f64 + payload_pn / MAX_BATCH_BYTES as f64;
+                        let hdr = msgs * MSG_HEADER_BYTES as f64;
+                        (payload_pn + hdr, cross_pn + hdr * cross_frac, msgs)
+                    }
+                    Messaging::Relay => {
+                        // Stage 1 carries every record (cross ones batched
+                        // to relays); stage 2 re-forwards the cross records
+                        // inside the destination super node — unless the
+                        // placement broke the Figure 9 alignment.
+                        let nm = layout.num_groups() as f64 + 2.0 * group_m - 3.0;
+                        let msgs = nm + 2.0 * payload_pn / MAX_BATCH_BYTES as f64;
+                        let hdr = msgs * MSG_HEADER_BYTES as f64;
+                        (
+                            payload_pn + cross_pn + hdr,
+                            cross_pn * (1.0 + stage2_cross) + hdr * cross_frac,
+                            msgs,
+                        )
+                    }
+                };
+                let load = PhaseLoad {
+                    max_send_bytes: send_bytes * IMBALANCE,
+                    max_send_cross_bytes: send_cross * IMBALANCE,
+                    max_recv_bytes: send_bytes * IMBALANCE,
+                    max_recv_cross_bytes: send_cross * IMBALANCE,
+                    max_send_msgs: msgs,
+                    max_recv_msgs: msgs,
+                    inter_supernode_bytes: records_total * wire * cross_frac
+                        * (1.0 + stage2_cross)
+                        / phases as f64,
+                    max_hops: 3,
+                };
+                network_ns += cost.phase_time_ns(&load)
+                    + conns as f64 * self.net.per_connection_progress_ns;
+            }
+
+            // --- hub gather + policy allreduce ---
+            let contrib = if l.hub_gather_active {
+                hub_contrib_bytes
+            } else {
+                1.0
+            };
+            let logp = (p.max(2) as f64).log2();
+            let gather_ns = p as f64 * contrib / self.net.effective_node_gbps
+                + logp * (self.net.per_message_ns + self.net.hop_latency_ns)
+                + logp * self.net.per_message_ns; // policy stats allreduce
+
+            let level_total = compute_ns.max(network_ns) + gather_ns;
+            total_ns += level_total;
+            levels.push(LevelTime {
+                level: i as u32,
+                direction: l.direction,
+                compute_ns,
+                network_ns,
+                gather_ns,
+                total_ns: level_total,
+            });
+        }
+
+        let input_edges = 16 * n;
+        let time_s = total_ns / 1e9;
+        ModelOutcome::Completed(ModelReport {
+            nodes: p,
+            vertices_per_node: self.vertices_per_node,
+            total_vertices: n,
+            input_edges,
+            time_s,
+            gteps: input_edges as f64 / time_s / 1e9,
+            levels,
+            app_bytes_per_node: app,
+            connections_per_node: conns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Processing;
+    use crate::traffic::typical_kronecker_profile;
+
+    fn model(nodes: u32, vpn: u64, cfg: BfsConfig) -> ModeledCluster {
+        ModeledCluster::new(
+            ChipConfig::sw26010(),
+            NetworkConfig::taihulight(nodes),
+            cfg,
+            vpn,
+            typical_kronecker_profile(),
+        )
+    }
+
+    #[test]
+    fn relay_cpe_full_machine_hits_paper_band() {
+        let r = model(40_768, 26 << 20, BfsConfig::paper())
+            .run()
+            .expect_completed("relay cpe");
+        // Paper: 23,755.7 GTEPS. Same order of magnitude required.
+        assert!(
+            (8_000.0..70_000.0).contains(&r.gteps),
+            "full-machine GTEPS {} outside band",
+            r.gteps
+        );
+        assert!(r.time_s > 0.05 && r.time_s < 10.0, "time {}", r.time_s);
+    }
+
+    #[test]
+    fn direct_cpe_crashes_from_spm() {
+        let cfg = BfsConfig::paper().with_messaging(Messaging::Direct);
+        match model(1024, 16 << 20, cfg).run() {
+            ModelOutcome::Crashed {
+                error: ExecError::Arch(sw_arch::ArchError::TooManyDestinations { .. }),
+            } => {}
+            other => panic!("expected SPM crash, got {other:?}"),
+        }
+        // And it completes at 256.
+        model(256, 16 << 20, cfg).run().expect_completed("direct cpe 256");
+    }
+
+    #[test]
+    fn direct_mpe_crashes_from_connection_memory_at_16k() {
+        let cfg = BfsConfig::paper()
+            .with_messaging(Messaging::Direct)
+            .with_processing(Processing::Mpe);
+        match model(16_384, 16 << 20, cfg).run() {
+            ModelOutcome::Crashed {
+                error: ExecError::Net(sw_net::NetError::ConnectionMemoryExhausted { .. }),
+            } => {}
+            other => panic!("expected connection crash, got {other:?}"),
+        }
+        model(4_096, 16 << 20, cfg).run().expect_completed("direct mpe 4k");
+    }
+
+    #[test]
+    fn cpe_beats_mpe_by_big_factor() {
+        let vpn = 16 << 20;
+        let cpe = model(256, vpn, BfsConfig::paper()).run().gteps().unwrap();
+        let mpe = model(256, vpn, BfsConfig::paper().with_processing(Processing::Mpe))
+            .run()
+            .gteps()
+            .unwrap();
+        let ratio = cpe / mpe;
+        assert!((3.0..15.0).contains(&ratio), "CPE/MPE ratio {ratio}");
+    }
+
+    #[test]
+    fn relay_cpe_weak_scaling_is_near_linear() {
+        let vpn = 26 << 20;
+        let g80 = model(80, vpn, BfsConfig::paper()).run().gteps().unwrap();
+        let g320 = model(320, vpn, BfsConfig::paper()).run().gteps().unwrap();
+        let g1280 = model(1280, vpn, BfsConfig::paper()).run().gteps().unwrap();
+        assert!(g320 / g80 > 2.8, "80→320 speedup {}", g320 / g80);
+        assert!(g1280 / g320 > 2.8, "320→1280 speedup {}", g1280 / g320);
+    }
+
+    #[test]
+    fn direct_mpe_plateaus_while_relay_keeps_scaling() {
+        let vpn = 16 << 20;
+        let direct = |p| {
+            model(
+                p,
+                vpn,
+                BfsConfig::paper()
+                    .with_messaging(Messaging::Direct)
+                    .with_processing(Processing::Mpe),
+            )
+            .run()
+            .gteps()
+            .unwrap()
+        };
+        let relay = |p| {
+            model(p, vpn, BfsConfig::paper().with_processing(Processing::Mpe))
+                .run()
+                .gteps()
+                .unwrap()
+        };
+        // Direct gains from 1Ki to 4Ki fall well short of the 4× node
+        // growth; relay keeps near-linear.
+        let d_ratio = direct(4096) / direct(1024);
+        let r_ratio = relay(4096) / relay(1024);
+        assert!(d_ratio < 3.5, "direct 1k→4k ratio {d_ratio}");
+        assert!(r_ratio > 3.4, "relay 1k→4k ratio {r_ratio}");
+        assert!(r_ratio > d_ratio + 0.2, "no separation: {r_ratio} vs {d_ratio}");
+    }
+
+    #[test]
+    fn bigger_per_node_graphs_scale_better() {
+        // Figure 12: at full scale the 26.2M line sits ~4× above 6.5M,
+        // which sits above 1.6M.
+        let p = 40_768;
+        let g_big = model(p, 26 << 20, BfsConfig::paper()).run().gteps().unwrap();
+        let g_mid = model(p, 13 << 19, BfsConfig::paper()).run().gteps().unwrap();
+        let g_small = model(p, 16 << 17, BfsConfig::paper()).run().gteps().unwrap();
+        assert!(g_big > g_mid && g_mid > g_small);
+        assert!(g_big / g_small > 3.0, "spread {}", g_big / g_small);
+    }
+
+    #[test]
+    fn figure9_contiguous_placement_beats_round_robin() {
+        let base = model(4096, 26 << 20, BfsConfig::paper());
+        let aligned = base.clone().run().gteps().unwrap();
+        let scattered = base
+            .with_placement(sw_net::Placement::RoundRobin)
+            .run()
+            .gteps()
+            .unwrap();
+        assert!(
+            aligned > scattered,
+            "contiguous {aligned} should beat round-robin {scattered}"
+        );
+    }
+
+    #[test]
+    fn empty_profile_is_rejected() {
+        let m = ModeledCluster::new(
+            ChipConfig::sw26010(),
+            NetworkConfig::taihulight(64),
+            BfsConfig::paper(),
+            1 << 20,
+            Vec::new(),
+        );
+        assert!(matches!(
+            m.run(),
+            ModelOutcome::Crashed {
+                error: ExecError::BadSetup(_)
+            }
+        ));
+    }
+
+    #[test]
+    fn oversized_graph_is_rejected() {
+        match model(64, 1 << 32, BfsConfig::paper()).run() {
+            ModelOutcome::Crashed {
+                error: ExecError::BadSetup(_),
+            } => {}
+            other => panic!("expected memory rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_is_internally_consistent() {
+        let r = model(256, 1 << 20, BfsConfig::paper())
+            .run()
+            .expect_completed("small run");
+        let sum: f64 = r.levels.iter().map(|l| l.total_ns).sum();
+        assert!((sum / 1e9 - r.time_s).abs() < 1e-9);
+        for l in &r.levels {
+            assert!(l.total_ns >= l.gather_ns);
+            assert!(l.total_ns >= l.compute_ns.max(l.network_ns));
+        }
+        assert_eq!(r.total_vertices, 256 << 20);
+        assert_eq!(r.input_edges, 16 * (256 << 20));
+    }
+}

@@ -1,0 +1,151 @@
+//! Backward Generator (Algorithm 2, `BACKWARD_GENERATOR`): every unvisited
+//! owned vertex searches its neighbours for a frontier parent.
+//!
+//! Three resolution tiers, cheapest first:
+//!
+//! 1. **local** — the neighbour is owned here; its frontier bit answers
+//!    immediately and the scan short-circuits on a hit;
+//! 2. **hub** — the neighbour is a hub; the replicated hub-curr bitmap is
+//!    *authoritative* (in the frontier → claim and stop; not → no query
+//!    needed at all);
+//! 3. **remote** — a backward query `(u, v)` must go to `owner(u)`; these
+//!    are queued only if tiers 1–2 found no parent.
+
+use super::{ModuleStats, Outboxes};
+use crate::hubs::HubState;
+use crate::messages::EdgeRec;
+use crate::rank::RankState;
+
+/// Runs the Backward Generator over `state`'s unvisited vertices.
+pub fn backward_generator(
+    state: &mut RankState,
+    hubs: &HubState,
+    out: &mut Outboxes,
+) -> ModuleStats {
+    let mut stats = ModuleStats::default();
+    let mut queries: Vec<EdgeRec> = Vec::new();
+    for v_local in 0..state.owned() {
+        if state.visited(v_local) {
+            continue;
+        }
+        let v = state.global(v_local);
+        queries.clear();
+        let mut found: Option<sw_graph::Vid> = None;
+        let deg = state.csr.degree_local(v_local) as usize;
+        for e in 0..deg {
+            let u = state.csr.neighbors_local(v_local)[e];
+            stats.edges_scanned += 1;
+            if state.owns(u) {
+                if state.curr.contains(state.local(u)) {
+                    found = Some(u);
+                    break;
+                }
+            } else if let Some(idx) = hubs.hub_index(u) {
+                if hubs.in_frontier(idx) {
+                    found = Some(u);
+                    break;
+                }
+                // Hub not in frontier: authoritative no — skip the query.
+                stats.hub_skips += 1;
+            } else {
+                queries.push(EdgeRec { u, v });
+            }
+        }
+        if let Some(u) = found {
+            state.claim(v_local, u);
+            stats.local_claims += 1;
+        } else {
+            for q in &queries {
+                out.push(state.part.owner(q.u), *q);
+                stats.records_out += 1;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_graph::hub::HubSet;
+    use sw_graph::{EdgeList, Partition1D};
+
+    // 8 vertices over 2 ranks; rank 0 owns 0..4.
+    // Edges: 0-1, 1-4, 2-6 (6 is a hub), 3-5, 3-7.
+    fn setup() -> (RankState, HubState) {
+        let el = EdgeList::new(8, vec![(0, 1), (1, 4), (2, 6), (3, 5), (3, 7)]);
+        let part = Partition1D::new(8, 2);
+        let state = RankState::build(0, part, &el);
+        let hubs = HubState::new(HubSet::from_degrees(vec![(6, 50)], 4));
+        (state, hubs)
+    }
+
+    #[test]
+    fn local_frontier_parent_short_circuits() {
+        let (mut state, hubs) = setup();
+        state.parent[0] = 0;
+        state.curr.insert(0); // 0 in frontier
+        let mut out = Outboxes::new(2);
+        let stats = backward_generator(&mut state, &hubs, &mut out);
+        // v=1 finds local parent 0 and sends nothing for itself — and its
+        // remote neighbour 4 is never queried because of the break.
+        assert!(state.visited(state.local(1)));
+        assert_eq!(state.parent[1], 0);
+        assert!(stats.local_claims >= 1);
+        for r in out.for_rank(1) {
+            assert_ne!(r.v, 1, "v=1 should not have queried after local hit");
+        }
+    }
+
+    #[test]
+    fn hub_in_frontier_claims_without_query() {
+        let (mut state, mut hubs) = setup();
+        let idx = hubs.hub_index(6).unwrap();
+        hubs.curr.set(idx as usize);
+        let mut out = Outboxes::new(2);
+        backward_generator(&mut state, &hubs, &mut out);
+        // v=2's only neighbour is hub 6, in frontier: claimed locally.
+        assert_eq!(state.parent[2], 6);
+        for r in out.for_rank(1) {
+            assert_ne!(r.v, 2);
+        }
+    }
+
+    #[test]
+    fn hub_not_in_frontier_skips_query_entirely() {
+        let (mut state, hubs) = setup();
+        let mut out = Outboxes::new(2);
+        let stats = backward_generator(&mut state, &hubs, &mut out);
+        // v=2 -> hub 6 not in frontier: no query, counted as hub skip.
+        assert!(stats.hub_skips >= 1);
+        for r in out.for_rank(1) {
+            assert_ne!(r.u, 6, "no query should ever target a hub");
+        }
+    }
+
+    #[test]
+    fn remote_non_hub_neighbours_are_queried() {
+        let (mut state, hubs) = setup();
+        let mut out = Outboxes::new(2);
+        backward_generator(&mut state, &hubs, &mut out);
+        // v=3 has remote neighbours 5 and 7: two queries to rank 1.
+        let qs: Vec<_> = out.for_rank(1).iter().filter(|r| r.v == 3).collect();
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[0].u, 5);
+        assert_eq!(qs[1].u, 7);
+        // v=1 queries remote 4 (0 not in frontier).
+        assert!(out.for_rank(1).iter().any(|r| r.v == 1 && r.u == 4));
+    }
+
+    #[test]
+    fn visited_vertices_do_not_scan() {
+        let (mut state, hubs) = setup();
+        for i in 0..4 {
+            state.parent[i] = 0;
+        }
+        let mut out = Outboxes::new(2);
+        let stats = backward_generator(&mut state, &hubs, &mut out);
+        assert_eq!(stats.edges_scanned, 0);
+        assert_eq!(out.total_records(), 0);
+    }
+}

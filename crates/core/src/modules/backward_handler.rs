@@ -1,0 +1,88 @@
+//! Backward Handler (Algorithm 2, `BACKWARD_HANDLER`): answer backward
+//! queries — a *reaction* module: for each query `(u, v)` with `u` in the
+//! current frontier, emit the forward claim `(u, v)` towards `owner(v)`.
+
+use super::{ModuleStats, Outboxes};
+use crate::messages::EdgeRec;
+use crate::rank::RankState;
+
+/// Answers a batch of backward queries. Queries must target vertices this
+/// rank owns (`u` owned here).
+pub fn backward_handler(
+    state: &mut RankState,
+    records: &[EdgeRec],
+    out: &mut Outboxes,
+) -> ModuleStats {
+    let mut stats = ModuleStats::default();
+    for rec in records {
+        debug_assert!(state.owns(rec.u), "backward record misrouted");
+        stats.edges_scanned += 1;
+        if state.curr.contains(state.local(rec.u)) {
+            let dest = state.part.owner(rec.v);
+            if dest == state.rank {
+                // The asker is this very rank (possible when a relay path
+                // folds back): claim directly.
+                let vl = state.local(rec.v);
+                if state.claim(vl, rec.u) {
+                    stats.local_claims += 1;
+                }
+            } else {
+                out.push(dest, *rec);
+                stats.records_out += 1;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_graph::{EdgeList, Partition1D};
+
+    fn state() -> RankState {
+        // rank 1 owns 4..8; edge 4-5 so both have nonzero degree.
+        let el = EdgeList::new(8, vec![(4, 5), (4, 0)]);
+        RankState::build(1, Partition1D::new(8, 2), &el)
+    }
+
+    #[test]
+    fn frontier_hit_emits_forward_claim() {
+        let mut s = state();
+        let l4 = s.local(4);
+        s.parent[l4] = 4;
+        s.curr.insert(l4);
+        let mut out = Outboxes::new(2);
+        let stats = backward_handler(
+            &mut s,
+            &[EdgeRec { u: 4, v: 0 }, EdgeRec { u: 5, v: 0 }],
+            &mut out,
+        );
+        assert_eq!(stats.records_out, 1);
+        assert_eq!(out.for_rank(0), &[EdgeRec { u: 4, v: 0 }]);
+        assert_eq!(out.for_rank(1).len(), 0);
+    }
+
+    #[test]
+    fn non_frontier_query_is_dropped() {
+        let mut s = state();
+        let mut out = Outboxes::new(2);
+        let stats = backward_handler(&mut s, &[EdgeRec { u: 4, v: 0 }], &mut out);
+        assert_eq!(stats.records_out, 0);
+        assert_eq!(out.total_records(), 0);
+        assert_eq!(stats.edges_scanned, 1);
+    }
+
+    #[test]
+    fn self_targeted_reply_claims_directly() {
+        let mut s = state();
+        let l4 = s.local(4);
+        s.parent[l4] = 4;
+        s.curr.insert(l4);
+        let mut out = Outboxes::new(2);
+        let stats = backward_handler(&mut s, &[EdgeRec { u: 4, v: 5 }], &mut out);
+        assert_eq!(stats.local_claims, 1);
+        assert_eq!(s.parent[s.local(5)], 4);
+        assert_eq!(out.total_records(), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Forward Generator (Algorithm 2, `FORWARD_GENERATOR`): scan the current
+//! frontier's edges, claim local targets immediately, and queue a forward
+//! record `(u, v)` to `owner(v)` for remote targets — unless the replicated
+//! hub-visited bitmap proves the message pointless.
+
+use super::{ModuleStats, Outboxes};
+use crate::hubs::HubState;
+use crate::messages::EdgeRec;
+use crate::rank::RankState;
+
+/// Runs the Forward Generator over `state`'s current frontier.
+pub fn forward_generator(
+    state: &mut RankState,
+    hubs: &HubState,
+    out: &mut Outboxes,
+) -> ModuleStats {
+    let mut stats = ModuleStats::default();
+    let frontier: Vec<usize> = state.curr.iter().collect();
+    for u_local in frontier {
+        let u = state.global(u_local);
+        // Neighbour list borrowed per edge to keep `claim` callable.
+        let deg = state.csr.degree_local(u_local) as usize;
+        for e in 0..deg {
+            let v = state.csr.neighbors_local(u_local)[e];
+            stats.edges_scanned += 1;
+            if let Some(idx) = hubs.hub_index(v) {
+                if idx < hubs.td_limit && hubs.is_visited(idx) {
+                    stats.hub_skips += 1;
+                    continue;
+                }
+            }
+            if state.owns(v) {
+                let vl = state.local(v);
+                if state.claim(vl, u) {
+                    stats.local_claims += 1;
+                }
+            } else {
+                out.push(state.part.owner(v), EdgeRec { u, v });
+                stats.records_out += 1;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_graph::hub::HubSet;
+    use sw_graph::{EdgeList, Partition1D};
+
+    fn setup() -> (RankState, HubState) {
+        // 8 vertices over 2 ranks; rank 0 owns 0..4.
+        // Edges: 0-1 (local to r0), 0-5 (remote), 0-6 (remote hub), 1-2.
+        let el = EdgeList::new(8, vec![(0, 1), (0, 5), (0, 6), (1, 2)]);
+        let part = Partition1D::new(8, 2);
+        let state = RankState::build(0, part, &el);
+        let hubs = HubState::new(HubSet::from_degrees(vec![(6, 50)], 4));
+        (state, hubs)
+    }
+
+    #[test]
+    fn claims_local_and_queues_remote() {
+        let (mut state, hubs) = setup();
+        state.parent[0] = 0;
+        state.curr.insert(0); // frontier = {0}
+        let mut out = Outboxes::new(2);
+        let stats = forward_generator(&mut state, &hubs, &mut out);
+        assert_eq!(stats.edges_scanned, 3);
+        assert_eq!(stats.local_claims, 1); // v=1
+        assert_eq!(stats.records_out, 2); // v=5, v=6 (hub not yet visited)
+        assert_eq!(out.for_rank(1), &[EdgeRec { u: 0, v: 5 }, EdgeRec { u: 0, v: 6 }]);
+        assert!(state.visited(1));
+        assert!(state.next.contains(1));
+    }
+
+    #[test]
+    fn hub_visited_suppresses_message() {
+        let (mut state, mut hubs) = setup();
+        state.parent[0] = 0;
+        state.curr.insert(0);
+        let idx = hubs.hub_index(6).unwrap();
+        hubs.visited.set(idx as usize);
+        let mut out = Outboxes::new(2);
+        let stats = forward_generator(&mut state, &hubs, &mut out);
+        assert_eq!(stats.hub_skips, 1);
+        assert_eq!(stats.records_out, 1); // only v=5
+        assert_eq!(out.for_rank(1), &[EdgeRec { u: 0, v: 5 }]);
+    }
+
+    #[test]
+    fn already_visited_local_target_not_reclaimed() {
+        let (mut state, hubs) = setup();
+        state.parent[0] = 0;
+        state.parent[1] = 0; // v=1 pre-settled
+        state.curr.insert(0);
+        let mut out = Outboxes::new(2);
+        let stats = forward_generator(&mut state, &hubs, &mut out);
+        assert_eq!(stats.local_claims, 0);
+        assert!(!state.next.contains(1));
+    }
+
+    #[test]
+    fn empty_frontier_is_a_noop() {
+        let (mut state, hubs) = setup();
+        let mut out = Outboxes::new(2);
+        let stats = forward_generator(&mut state, &hubs, &mut out);
+        assert_eq!(stats, ModuleStats::default());
+        assert_eq!(out.total_records(), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! The Figure 1 processing modules.
+//!
+//! The BFS body is six modules — Forward Generator / Relay / Handler and
+//! Backward Generator / Relay / Handler. Generators and handlers live here
+//! as pure functions over [`RankState`](crate::rank::RankState) plus
+//! outboxes; the relay modules are transport-level and live in
+//! [`crate::exchange`]. Handlers are *dispose* modules (no output data);
+//! everything else is a *reaction* module (produces records to send),
+//! which on the real machine runs on the contention-free shuffle engine.
+
+mod backward_generator;
+mod backward_handler;
+mod forward_generator;
+mod forward_handler;
+
+pub use backward_generator::backward_generator;
+pub use backward_handler::backward_handler;
+pub use forward_generator::forward_generator;
+pub use forward_handler::forward_handler;
+
+use crate::messages::EdgeRec;
+
+/// Per-destination-rank record buffers a reaction module fills.
+#[derive(Clone, Debug)]
+pub struct Outboxes {
+    boxes: Vec<Vec<EdgeRec>>,
+}
+
+impl Outboxes {
+    /// Empty outboxes for `ranks` destinations.
+    pub fn new(ranks: usize) -> Self {
+        Self {
+            boxes: vec![Vec::new(); ranks],
+        }
+    }
+
+    /// Queues a record for `dest`.
+    pub fn push(&mut self, dest: u32, rec: EdgeRec) {
+        self.boxes[dest as usize].push(rec);
+    }
+
+    /// Number of destination slots.
+    pub fn ranks(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Records queued for `dest`.
+    pub fn for_rank(&self, dest: u32) -> &[EdgeRec] {
+        &self.boxes[dest as usize]
+    }
+
+    /// Total queued records.
+    pub fn total_records(&self) -> u64 {
+        self.boxes.iter().map(|b| b.len() as u64).sum()
+    }
+
+    /// Consumes into the raw per-destination vectors.
+    pub fn into_inner(self) -> Vec<Vec<EdgeRec>> {
+        self.boxes
+    }
+}
+
+/// What a module did — the per-module slice of
+/// [`LevelStats`](crate::result::LevelStats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ModuleStats {
+    /// Adjacency entries scanned.
+    pub edges_scanned: u64,
+    /// Claims applied without leaving the rank.
+    pub local_claims: u64,
+    /// Records suppressed by the replicated hub bitmaps.
+    pub hub_skips: u64,
+    /// Records queued for other ranks.
+    pub records_out: u64,
+}
+
+impl ModuleStats {
+    /// Accumulates another module's counters.
+    pub fn absorb(&mut self, other: ModuleStats) {
+        self.edges_scanned += other.edges_scanned;
+        self.local_claims += other.local_claims;
+        self.hub_skips += other.hub_skips;
+        self.records_out += other.records_out;
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-rank state: the slice of the graph a node owns plus its share of
+//! the traversal state.
+
+use crate::frontier::Frontier;
+use crate::NO_PARENT;
+use sw_graph::{Csr, EdgeList, Partition1D, Vid};
+
+/// One rank's (node's) state under 1-D partitioning.
+#[derive(Clone, Debug)]
+pub struct RankState {
+    /// This rank's id.
+    pub rank: u32,
+    /// The global partition map.
+    pub part: Partition1D,
+    /// CSR rows owned by this rank (columns are global ids).
+    pub csr: Csr,
+    /// Parent of each owned vertex, by local index; `NO_PARENT` when
+    /// unvisited.
+    pub parent: Vec<Vid>,
+    /// Local frontier: owned vertices in the current level (hybrid
+    /// sparse/dense representation).
+    pub curr: Frontier,
+    /// Owned vertices discovered this level.
+    pub next: Frontier,
+}
+
+impl RankState {
+    /// Builds rank `rank`'s state from the global edge list.
+    pub fn build(rank: u32, part: Partition1D, edges: &EdgeList) -> Self {
+        let (start, end) = part.range(rank);
+        let csr = Csr::from_edge_list_rows(edges, start, end - start);
+        let owned = (end - start) as usize;
+        Self {
+            rank,
+            part,
+            csr,
+            parent: vec![NO_PARENT; owned],
+            curr: Frontier::new(owned),
+            next: Frontier::new(owned),
+        }
+    }
+
+    /// Number of owned vertices.
+    pub fn owned(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if this rank owns global vertex `v`.
+    pub fn owns(&self, v: Vid) -> bool {
+        self.part.owner(v) == self.rank
+    }
+
+    /// Local index of an owned global vertex.
+    pub fn local(&self, v: Vid) -> usize {
+        debug_assert!(self.owns(v));
+        self.part.to_local(v) as usize
+    }
+
+    /// Global id of a local index.
+    pub fn global(&self, local: usize) -> Vid {
+        self.part.to_global(self.rank, local as u32)
+    }
+
+    /// True if the owned vertex at `local` has been settled.
+    pub fn visited(&self, local: usize) -> bool {
+        self.parent[local] != NO_PARENT
+    }
+
+    /// Claims vertex `local` for `parent` if unclaimed; returns whether the
+    /// claim won. Winners enter `next`.
+    pub fn claim(&mut self, local: usize, parent: Vid) -> bool {
+        if self.parent[local] == NO_PARENT {
+            self.parent[local] = parent;
+            self.next.insert(local);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Ends the level: `next` becomes `curr`, `next` clears. Returns the
+    /// number of vertices settled this level.
+    pub fn advance_level(&mut self) -> u64 {
+        let settled = self.next.count() as u64;
+        std::mem::swap(&mut self.curr, &mut self.next);
+        self.next.clear();
+        settled
+    }
+
+    /// Sum of degrees of current-frontier vertices (this rank's share of
+    /// `m_f`).
+    pub fn frontier_edges(&self) -> u64 {
+        self.curr.iter().map(|i| self.csr.degree_local(i)).sum()
+    }
+
+    /// Sum of degrees of unvisited owned vertices (this rank's share of
+    /// `m_u`).
+    pub fn unvisited_edges(&self) -> u64 {
+        (0..self.owned())
+            .filter(|&i| !self.visited(i))
+            .map(|i| self.csr.degree_local(i))
+            .sum()
+    }
+
+    /// Frontier vertex count (this rank's share of `n_f`).
+    pub fn frontier_vertices(&self) -> u64 {
+        self.curr.count() as u64
+    }
+
+    /// Degrees of owned vertices as `(global, degree)` pairs with nonzero
+    /// degree — input to distributed hub selection.
+    pub fn owned_degrees(&self) -> Vec<(Vid, u64)> {
+        (0..self.owned())
+            .filter_map(|i| {
+                let d = self.csr.degree_local(i);
+                (d > 0).then(|| (self.global(i), d))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_rank_setup() -> (RankState, RankState) {
+        // 6 vertices, path 0-1-2-3-4-5; ranks own [0,3) and [3,6).
+        let el = EdgeList::new(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let part = Partition1D::new(6, 2);
+        (
+            RankState::build(0, part, &el),
+            RankState::build(1, part, &el),
+        )
+    }
+
+    #[test]
+    fn build_partitions_rows() {
+        let (r0, r1) = two_rank_setup();
+        assert_eq!(r0.owned(), 3);
+        assert_eq!(r1.owned(), 3);
+        assert!(r0.owns(2) && !r0.owns(3));
+        assert_eq!(r1.local(3), 0);
+        assert_eq!(r1.global(0), 3);
+        assert_eq!(r0.csr.neighbors(2), &[1, 3]);
+    }
+
+    #[test]
+    fn claim_is_first_wins() {
+        let (mut r0, _) = two_rank_setup();
+        assert!(r0.claim(1, 0));
+        assert!(!r0.claim(1, 2));
+        assert_eq!(r0.parent[1], 0);
+        assert!(r0.next.contains(1));
+        assert!(r0.visited(1));
+    }
+
+    #[test]
+    fn advance_level_swaps_and_counts() {
+        let (mut r0, _) = two_rank_setup();
+        r0.claim(0, 0);
+        r0.claim(2, 1);
+        assert_eq!(r0.advance_level(), 2);
+        assert!(r0.curr.contains(0) && r0.curr.contains(2));
+        assert!(r0.next.is_empty());
+        assert_eq!(r0.frontier_vertices(), 2);
+        // degrees: v0 = 1 (0-1), v2 = 2 (1-2, 2-3).
+        assert_eq!(r0.frontier_edges(), 3);
+    }
+
+    #[test]
+    fn unvisited_edges_shrinks_as_claims_land() {
+        let (mut r0, _) = two_rank_setup();
+        let before = r0.unvisited_edges();
+        r0.claim(1, 0); // degree 2
+        assert_eq!(r0.unvisited_edges(), before - 2);
+    }
+
+    #[test]
+    fn owned_degrees_skip_isolated() {
+        let el = EdgeList::new(4, vec![(0, 1)]);
+        let part = Partition1D::new(4, 1);
+        let r = RankState::build(0, part, &el);
+        assert_eq!(r.owned_degrees(), vec![(0, 1), (1, 1)]);
+    }
+}

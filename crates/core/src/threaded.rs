@@ -1,0 +1,597 @@
+//! The threaded execution backend: every simulated node is a real rank.
+//!
+//! Ranks execute the Figure 1 module graph level-synchronously — the
+//! paper's asynchrony is a latency-hiding device whose *output* equals a
+//! level-synchronized execution; the pipeline overlap is charged by the
+//! modeled backend instead. Within each phase ranks run in parallel
+//! (rayon), records really travel through [`crate::exchange`] (Direct or
+//! Relay — bit-identical deliveries), hub bitmaps are really gathered, and
+//! every [`LevelStats`] field is measured, which is what
+//! [`crate::traffic`] turns into the scale-extrapolation profile.
+
+use crate::config::BfsConfig;
+#[cfg(test)]
+use crate::config::Processing;
+use crate::error::ExecError;
+use crate::exchange::{exchange, ExchangeStats};
+use crate::hubs::{gather_hub_level, HubState};
+use crate::messages::EdgeRec;
+use crate::modules::{
+    backward_generator, backward_handler, forward_generator, forward_handler, ModuleStats,
+    Outboxes,
+};
+use crate::policy::{Direction, PolicyInputs, TraversalPolicy};
+use crate::rank::RankState;
+use crate::result::{BfsOutput, LevelStats};
+use crate::shuffling::check_chip_feasibility;
+use crate::NO_PARENT;
+use rayon::prelude::*;
+use sw_arch::ChipConfig;
+use sw_graph::hub::HubSet;
+use sw_graph::{Bitmap, EdgeList, Partition1D, Vid};
+use sw_net::GroupLayout;
+
+/// A cluster of in-process ranks executing the distributed BFS.
+pub struct ThreadedCluster {
+    cfg: BfsConfig,
+    part: Partition1D,
+    layout: GroupLayout,
+    ranks: Vec<RankState>,
+    hub_states: Vec<HubState>,
+    /// `(hub_index, local_index)` pairs per rank, for contribution builds.
+    owned_hubs: Vec<Vec<(u32, u32)>>,
+    /// Total directed adjacency entries across ranks.
+    total_directed_edges: u64,
+    /// Input edge tuples (the Graph500 TEPS numerator).
+    input_edges: u64,
+}
+
+impl ThreadedCluster {
+    /// Partitions `el` over `num_ranks` ranks and builds all per-rank
+    /// state, including the distributed hub selection.
+    pub fn new(el: &EdgeList, num_ranks: u32, cfg: BfsConfig) -> Result<Self, ExecError> {
+        if num_ranks == 0 {
+            return Err(ExecError::BadSetup("zero ranks".into()));
+        }
+        cfg.validate().map_err(ExecError::BadSetup)?;
+        if el.num_vertices < num_ranks as u64 {
+            return Err(ExecError::BadSetup(format!(
+                "{} ranks for {} vertices",
+                num_ranks, el.num_vertices
+            )));
+        }
+        let part = Partition1D::new(el.num_vertices, num_ranks);
+        let layout = GroupLayout::new(num_ranks, cfg.group_size.min(num_ranks));
+        check_chip_feasibility(&cfg, &ChipConfig::sw26010(), &layout)?;
+
+        let mut ranks: Vec<RankState> = (0..num_ranks)
+            .into_par_iter()
+            .map(|r| RankState::build(r, part, el))
+            .collect();
+
+        if cfg.degree_ordered_adjacency {
+            // Yasui-style Bottom-Up refinement: likely parents (hubs)
+            // first in every neighbour list. Degrees are global, so build
+            // the lookup once from all ranks' owned degrees.
+            let mut degrees = vec![0u64; el.num_vertices as usize];
+            for r in &ranks {
+                for (v, d) in r.owned_degrees() {
+                    degrees[v as usize] = d;
+                }
+            }
+            let degrees = &degrees;
+            ranks
+                .par_iter_mut()
+                .for_each(|r| r.csr.reorder_neighbors_by_degree(|v| degrees[v as usize]));
+        }
+
+        // Distributed hub selection: every rank nominates its local top-k;
+        // the global top-k is drawn from the union of nominations.
+        let k = cfg.bottom_up_hubs;
+        let nominations: Vec<(Vid, u64)> = ranks
+            .par_iter()
+            .flat_map_iter(|r| {
+                let mut d = r.owned_degrees();
+                d.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                d.truncate(k);
+                d
+            })
+            .collect();
+        let set = HubSet::from_degrees(nominations, k);
+        let td_limit = cfg.top_down_hubs.min(set.len()) as u32;
+        let hub_states: Vec<HubState> = (0..num_ranks)
+            .map(|_| HubState::with_td_limit(set.clone(), td_limit))
+            .collect();
+        let owned_hubs: Vec<Vec<(u32, u32)>> = (0..num_ranks)
+            .map(|r| {
+                set.hubs()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| part.owner(v) == r)
+                    .map(|(i, &v)| (i as u32, part.to_local(v)))
+                    .collect()
+            })
+            .collect();
+
+        let total_directed_edges = ranks.iter().map(|r| r.csr.num_entries()).sum();
+        Ok(Self {
+            cfg,
+            part,
+            layout,
+            ranks,
+            hub_states,
+            owned_hubs,
+            total_directed_edges,
+            input_edges: el.len() as u64,
+        })
+    }
+
+    /// Builds the cluster with the *distributed* construction path
+    /// (Graph500 step 3 as the machine runs it): generator chunks are
+    /// shuffled to endpoint owners over the configured transport before
+    /// the local CSR builds. Functionally identical to [`Self::new`];
+    /// also returns the construction traffic.
+    pub fn new_distributed(
+        el: &EdgeList,
+        num_ranks: u32,
+        cfg: BfsConfig,
+    ) -> Result<(Self, crate::exchange::ExchangeStats), ExecError> {
+        let mut cluster = Self::new(el, num_ranks, cfg)?;
+        let built = crate::construction::build_distributed(
+            el,
+            &cluster.part,
+            &cluster.layout,
+            cfg.messaging,
+        );
+        for (rank, csr) in built.csrs.into_iter().enumerate() {
+            debug_assert_eq!(csr, cluster.ranks[rank].csr);
+            cluster.ranks[rank].csr = csr;
+        }
+        Ok((cluster, built.stats))
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> u32 {
+        self.part.num_ranks()
+    }
+
+    /// Global vertex count.
+    pub fn num_vertices(&self) -> Vid {
+        self.part.num_vertices()
+    }
+
+    /// Total directed adjacency entries.
+    pub fn total_directed_edges(&self) -> u64 {
+        self.total_directed_edges
+    }
+
+    /// Input edge tuples.
+    pub fn input_edges(&self) -> u64 {
+        self.input_edges
+    }
+
+    /// The BFS configuration in use.
+    pub fn config(&self) -> &BfsConfig {
+        &self.cfg
+    }
+
+    /// Degree (with multiplicity) of a global vertex.
+    pub fn degree_of(&self, v: Vid) -> u64 {
+        self.ranks[self.part.owner(v) as usize].csr.degree(v)
+    }
+
+    /// Runs one BFS from `root`, returning the parent map and per-level
+    /// statistics. The cluster resets itself first, so runs are repeatable.
+    pub fn run(&mut self, root: Vid) -> Result<BfsOutput, ExecError> {
+        if root >= self.part.num_vertices() {
+            return Err(ExecError::BadRoot {
+                root,
+                reason: "outside the vertex id space",
+            });
+        }
+        self.reset();
+
+        // Seed the root and promote it into the first frontier.
+        let owner = self.part.owner(root) as usize;
+        let rl = self.part.to_local(root) as usize;
+        self.ranks[owner].claim(rl, root);
+        let mut gather = self.update_hubs();
+        for r in &mut self.ranks {
+            r.advance_level();
+        }
+
+        let mut policy = TraversalPolicy::new(self.cfg.alpha, self.cfg.beta);
+        let mut levels: Vec<LevelStats> = Vec::new();
+        let mut level = 0u32;
+
+        loop {
+            let n_f: u64 = self.ranks.iter().map(|r| r.frontier_vertices()).sum();
+            if n_f == 0 {
+                break;
+            }
+            let m_f: u64 = self.ranks.par_iter().map(|r| r.frontier_edges()).sum();
+            let m_u: u64 = self.ranks.par_iter().map(|r| r.unvisited_edges()).sum();
+            let dir = if self.cfg.force_top_down {
+                Direction::TopDown
+            } else {
+                policy.decide(&PolicyInputs {
+                    frontier_vertices: n_f,
+                    frontier_edges: m_f,
+                    unvisited_edges: m_u,
+                    total_vertices: self.part.num_vertices(),
+                })
+            };
+
+            let mut ls = LevelStats {
+                level,
+                direction: dir,
+                frontier_vertices: n_f,
+                frontier_edges: m_f,
+                unvisited_edges: m_u,
+                hub_gather_bytes: gather,
+                ..Default::default()
+            };
+
+            match dir {
+                Direction::TopDown => self.top_down_level(&mut ls),
+                Direction::BottomUp => self.bottom_up_level(&mut ls),
+            }
+
+            gather = self.update_hubs();
+            ls.settled = self
+                .ranks
+                .iter_mut()
+                .map(|r| r.advance_level())
+                .sum();
+            levels.push(ls);
+            level += 1;
+        }
+
+        // Gather the distributed parent map.
+        let mut parents = vec![NO_PARENT; self.part.num_vertices() as usize];
+        for r in &self.ranks {
+            let (start, _) = self.part.range(r.rank);
+            parents[start as usize..start as usize + r.owned()].copy_from_slice(&r.parent);
+        }
+        Ok(BfsOutput {
+            root,
+            parents,
+            levels,
+        })
+    }
+
+    fn reset(&mut self) {
+        for r in &mut self.ranks {
+            r.parent.fill(NO_PARENT);
+            r.curr.clear();
+            r.next.clear();
+        }
+        for h in &mut self.hub_states {
+            h.curr.clear_all();
+            h.visited.clear_all();
+        }
+    }
+
+    /// One Top-Down level: Forward Generator → exchange → Forward Handler.
+    fn top_down_level(&mut self, ls: &mut LevelStats) {
+        let gen: Vec<(Outboxes, ModuleStats)> = self
+            .ranks
+            .par_iter_mut()
+            .zip(self.hub_states.par_iter())
+            .map(|(r, h)| {
+                let mut out = Outboxes::new(self.part.num_ranks() as usize);
+                let st = forward_generator(r, h, &mut out);
+                (out, st)
+            })
+            .collect();
+        let mut outs = Vec::with_capacity(gen.len());
+        for (o, st) in gen {
+            ls.edges_scanned += st.edges_scanned;
+            ls.local_claims += st.local_claims;
+            ls.hub_skips += st.hub_skips;
+            ls.records_generated += st.records_out;
+            outs.push(o.into_inner());
+        }
+
+        let (inboxes, xs) = exchange(
+            self.cfg.messaging,
+            outs,
+            &self.layout,
+            self.cfg.codec(),
+        );
+        self.absorb_exchange(ls, &xs);
+        let inboxes = self.canonicalize(inboxes);
+
+        self.ranks
+            .par_iter_mut()
+            .zip(inboxes.into_par_iter())
+            .for_each(|(r, inbox)| {
+                forward_handler(r, &inbox);
+            });
+    }
+
+    /// One Bottom-Up level: Backward Generator → exchange → Backward
+    /// Handler → exchange → Forward Handler.
+    fn bottom_up_level(&mut self, ls: &mut LevelStats) {
+        let gen: Vec<(Outboxes, ModuleStats)> = self
+            .ranks
+            .par_iter_mut()
+            .zip(self.hub_states.par_iter())
+            .map(|(r, h)| {
+                let mut out = Outboxes::new(self.part.num_ranks() as usize);
+                let st = backward_generator(r, h, &mut out);
+                (out, st)
+            })
+            .collect();
+        let mut outs = Vec::with_capacity(gen.len());
+        for (o, st) in gen {
+            ls.edges_scanned += st.edges_scanned;
+            ls.local_claims += st.local_claims;
+            ls.hub_skips += st.hub_skips;
+            ls.records_generated += st.records_out;
+            outs.push(o.into_inner());
+        }
+
+        let (inboxes, xs) = exchange(
+            self.cfg.messaging,
+            outs,
+            &self.layout,
+            self.cfg.codec(),
+        );
+        self.absorb_exchange(ls, &xs);
+        let inboxes = self.canonicalize(inboxes);
+
+        let replies: Vec<(Outboxes, ModuleStats)> = self
+            .ranks
+            .par_iter_mut()
+            .zip(inboxes.into_par_iter())
+            .map(|(r, inbox)| {
+                let mut out = Outboxes::new(self.part.num_ranks() as usize);
+                let st = backward_handler(r, &inbox, &mut out);
+                (out, st)
+            })
+            .collect();
+        let mut outs = Vec::with_capacity(replies.len());
+        for (o, st) in replies {
+            ls.edges_scanned += st.edges_scanned;
+            ls.local_claims += st.local_claims;
+            ls.records_generated += st.records_out;
+            outs.push(o.into_inner());
+        }
+
+        let (inboxes, xs) = exchange(
+            self.cfg.messaging,
+            outs,
+            &self.layout,
+            self.cfg.codec(),
+        );
+        self.absorb_exchange(ls, &xs);
+        let inboxes = self.canonicalize(inboxes);
+
+        self.ranks
+            .par_iter_mut()
+            .zip(inboxes.into_par_iter())
+            .for_each(|(r, inbox)| {
+                forward_handler(r, &inbox);
+            });
+    }
+
+    fn absorb_exchange(&self, ls: &mut LevelStats, xs: &ExchangeStats) {
+        ls.records_sent += xs.record_hops;
+        ls.messages_sent += xs.messages;
+        ls.bytes_sent += xs.bytes;
+    }
+
+    fn canonicalize(&self, mut inboxes: Vec<Vec<EdgeRec>>) -> Vec<Vec<EdgeRec>> {
+        if self.cfg.canonical_order {
+            inboxes.par_iter_mut().for_each(|b| b.sort_unstable());
+        }
+        inboxes
+    }
+
+    /// Rebuilds the replicated hub bitmaps from every rank's `next` +
+    /// parent state; returns the gather traffic in bytes.
+    fn update_hubs(&mut self) -> u64 {
+        let num_ranks = self.part.num_ranks() as usize;
+        let nbits = self.hub_states[0].curr.len();
+        let mut contrib_curr = Vec::with_capacity(num_ranks);
+        let mut contrib_visited = Vec::with_capacity(num_ranks);
+        for r in 0..num_ranks {
+            let mut c = Bitmap::new(nbits);
+            let mut v = Bitmap::new(nbits);
+            for &(hub_idx, local) in &self.owned_hubs[r] {
+                if self.ranks[r].next.contains(local as usize) {
+                    c.set(hub_idx as usize);
+                }
+                if self.ranks[r].visited(local as usize) {
+                    v.set(hub_idx as usize);
+                }
+            }
+            contrib_curr.push(c);
+            contrib_visited.push(v);
+        }
+        gather_hub_level(&mut self.hub_states, &contrib_curr, &contrib_visited).bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::sequential_bfs_levels;
+    use crate::config::Messaging;
+    use sw_graph::{generate_kronecker, KroneckerConfig};
+
+    fn kron(scale: u32, seed: u64) -> EdgeList {
+        generate_kronecker(&KroneckerConfig::graph500(scale, seed))
+    }
+
+    /// A root inside the giant component: the highest-degree vertex among
+    /// the first 512 ids (vertex labels are permuted, so ids are isolated
+    /// with noticeable probability on RMAT graphs).
+    fn good_root(tc: &ThreadedCluster) -> Vid {
+        (0..512.min(tc.num_vertices()))
+            .max_by_key(|&v| tc.degree_of(v))
+            .unwrap()
+    }
+
+    fn assert_valid_against_oracle(el: &EdgeList, out: &BfsOutput) {
+        let oracle = sequential_bfs_levels(el, out.root);
+        let got = out.levels_from_parents();
+        assert_eq!(got.len(), oracle.len());
+        for (v, (g, o)) in got.iter().zip(oracle.iter()).enumerate() {
+            assert_eq!(g, o, "level mismatch at vertex {v}");
+        }
+        // Tree edges must exist in the graph.
+        use std::collections::HashSet;
+        let edges: HashSet<(Vid, Vid)> = el
+            .symmetric_iter()
+            .collect();
+        for (v, &p) in out.parents.iter().enumerate() {
+            if p == NO_PARENT || v as Vid == out.root {
+                continue;
+            }
+            assert!(
+                edges.contains(&(p, v as Vid)),
+                "tree edge {p}->{v} not in graph"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_matches_oracle() {
+        let el = kron(10, 1);
+        let mut tc = ThreadedCluster::new(&el, 1, BfsConfig::threaded_small(4)).unwrap();
+        let out = tc.run(0).unwrap();
+        assert_valid_against_oracle(&el, &out);
+    }
+
+    #[test]
+    fn multi_rank_matches_oracle() {
+        let el = kron(11, 7);
+        for ranks in [2u32, 5, 8] {
+            let mut tc = ThreadedCluster::new(&el, ranks, BfsConfig::threaded_small(4)).unwrap();
+            let out = tc.run(3).unwrap();
+            assert_valid_against_oracle(&el, &out);
+        }
+    }
+
+    #[test]
+    fn direct_and_relay_agree() {
+        let el = kron(11, 3);
+        let cfg = BfsConfig::threaded_small(3);
+        let mut direct = ThreadedCluster::new(
+            &el,
+            7,
+            cfg.with_messaging(Messaging::Direct),
+        )
+        .unwrap();
+        let mut relay =
+            ThreadedCluster::new(&el, 7, cfg.with_messaging(Messaging::Relay)).unwrap();
+        let od = direct.run(5).unwrap();
+        let or = relay.run(5).unwrap();
+        // Canonical ordering makes even the parent maps identical.
+        assert_eq!(od.parents, or.parents);
+        // Relay moves fewer messages but more record hops.
+        let (dm, rm) = (od.total_messages_sent(), or.total_messages_sent());
+        assert!(rm < dm, "relay msgs {rm} !< direct msgs {dm}");
+        assert!(or.total_records_sent() >= od.total_records_sent());
+    }
+
+    #[test]
+    fn mpe_and_cpe_processing_agree() {
+        let el = kron(10, 9);
+        let cfg = BfsConfig::threaded_small(4);
+        let mut a =
+            ThreadedCluster::new(&el, 6, cfg.with_processing(Processing::Cpe)).unwrap();
+        let mut b =
+            ThreadedCluster::new(&el, 6, cfg.with_processing(Processing::Mpe)).unwrap();
+        assert_eq!(a.run(1).unwrap().parents, b.run(1).unwrap().parents);
+    }
+
+    #[test]
+    fn repeat_runs_are_identical_and_reset() {
+        let el = kron(10, 4);
+        let mut tc = ThreadedCluster::new(&el, 4, BfsConfig::threaded_small(2)).unwrap();
+        let a = tc.run(2).unwrap();
+        let b = tc.run(2).unwrap();
+        assert_eq!(a, b);
+        let c = tc.run(9).unwrap();
+        assert_eq!(c.root, 9);
+    }
+
+    #[test]
+    fn direction_optimization_engages_on_rmat() {
+        let el = kron(12, 5);
+        let mut tc = ThreadedCluster::new(&el, 4, BfsConfig::threaded_small(2)).unwrap();
+        let root = good_root(&tc);
+        let out = tc.run(root).unwrap();
+        let dirs: Vec<Direction> = out.levels.iter().map(|l| l.direction).collect();
+        assert!(
+            dirs.contains(&Direction::BottomUp),
+            "RMAT run never went bottom-up: {dirs:?}"
+        );
+        assert_eq!(dirs[0], Direction::TopDown);
+        // Most of the graph is reached (RMAT giant component).
+        assert!(out.reached() as f64 > 0.5 * el.num_vertices as f64 / 2.0);
+    }
+
+    #[test]
+    fn hub_skips_happen() {
+        let el = kron(12, 8);
+        let mut tc = ThreadedCluster::new(&el, 4, BfsConfig::threaded_small(2)).unwrap();
+        let root = good_root(&tc);
+        let out = tc.run(root).unwrap();
+        let skips: u64 = out.levels.iter().map(|l| l.hub_skips).sum();
+        assert!(skips > 0, "hub machinery never fired");
+    }
+
+    #[test]
+    fn isolated_root_reaches_only_itself() {
+        // Vertex ids 0..8, edges only among 0..4; root 7 is isolated.
+        let el = EdgeList::new(8, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut tc = ThreadedCluster::new(&el, 2, BfsConfig::threaded_small(2)).unwrap();
+        let out = tc.run(7).unwrap();
+        assert_eq!(out.reached(), 1);
+        assert_eq!(out.parents[7], 7);
+    }
+
+    #[test]
+    fn distributed_construction_equals_shortcut() {
+        let el = kron(10, 6);
+        let cfg = BfsConfig::threaded_small(2);
+        let (mut dist, stats) = ThreadedCluster::new_distributed(&el, 5, cfg).unwrap();
+        let mut direct = ThreadedCluster::new(&el, 5, cfg).unwrap();
+        assert!(stats.record_hops > 0);
+        assert_eq!(dist.run(3).unwrap(), direct.run(3).unwrap());
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let el = kron(8, 1);
+        assert!(matches!(
+            ThreadedCluster::new(&el, 0, BfsConfig::threaded_small(2)),
+            Err(ExecError::BadSetup(_))
+        ));
+        let mut tc = ThreadedCluster::new(&el, 2, BfsConfig::threaded_small(2)).unwrap();
+        assert!(matches!(
+            tc.run(1 << 30),
+            Err(ExecError::BadRoot { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let el = kron(11, 2);
+        let mut tc = ThreadedCluster::new(&el, 5, BfsConfig::threaded_small(3)).unwrap();
+        let root = good_root(&tc);
+        let out = tc.run(root).unwrap();
+        let settled: u64 = out.levels.iter().map(|l| l.settled).sum();
+        // The root settles during setup, before level 0 is recorded.
+        assert_eq!(settled + 1, out.reached());
+        for l in &out.levels {
+            assert!(l.records_sent >= l.records_generated);
+            assert!(l.bytes_sent >= l.records_sent * 8);
+            assert!(l.frontier_vertices > 0);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Dense bitsets for frontiers, visited maps, and hub-frontier broadcast.
+//!
+//! The paper compresses hub frontiers with bitmaps (§5, "a bitmap is used
+//! for compressing the frontiers") and frontier/visited state is naturally a
+//! bitset per rank. Two flavours are provided: a plain [`Bitmap`] for
+//! single-owner state and an [`AtomicBitmap`] for rayon-parallel set phases.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-size dense bitset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bitmap {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    /// An all-zeros bitmap of `len` bits.
+    pub fn new(len: usize) -> Self {
+        Self {
+            len,
+            words: vec![0; len.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Number of addressable bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap has zero bits of capacity.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Sets bit `i`; returns the previous value.
+    pub fn set(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let prev = *w & mask != 0;
+        *w |= mask;
+        prev
+    }
+
+    /// Clears bit `i`.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Zeroes the whole bitmap, keeping capacity.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn all_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union with another bitmap of the same length.
+    pub fn union_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Iterates the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            BitIter { word: w }.map(move |b| wi * WORD_BITS + b)
+        })
+    }
+
+    /// Serializes to the packed word representation (for network transfer).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds from packed words produced by [`Bitmap::as_words`].
+    pub fn from_words(len: usize, words: &[u64]) -> Self {
+        assert_eq!(words.len(), len.div_ceil(WORD_BITS), "word count mismatch");
+        Self {
+            len,
+            words: words.to_vec(),
+        }
+    }
+
+    /// Size in bytes of the packed representation.
+    pub fn byte_size(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+struct BitIter {
+    word: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let b = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(b)
+    }
+}
+
+/// A bitset whose bits can be set concurrently from many threads.
+#[derive(Debug)]
+pub struct AtomicBitmap {
+    len: usize,
+    words: Vec<AtomicU64>,
+}
+
+impl AtomicBitmap {
+    /// An all-zeros atomic bitmap of `len` bits.
+    pub fn new(len: usize) -> Self {
+        Self {
+            len,
+            words: (0..len.div_ceil(WORD_BITS)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of addressable bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap has zero bits of capacity.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i` (Relaxed — callers synchronize phases externally).
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / WORD_BITS].load(Ordering::Relaxed) & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Atomically sets bit `i`; returns the previous value. The fetch_or is
+    /// Relaxed: winners are established per-bit, and cross-thread visibility
+    /// of *other* data is provided by the phase barrier (thread join /
+    /// channel) between set and read phases.
+    pub fn set(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        self.words[i / WORD_BITS].fetch_or(mask, Ordering::Relaxed) & mask != 0
+    }
+
+    /// Snapshots into a plain [`Bitmap`].
+    pub fn to_bitmap(&self) -> Bitmap {
+        Bitmap {
+            len: self.len,
+            words: self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bitmap::new(130);
+        assert!(!b.get(0));
+        assert!(!b.set(0));
+        assert!(b.set(0));
+        assert!(!b.set(129));
+        assert!(b.get(129));
+        b.clear(129);
+        assert!(!b.get(129));
+        assert_eq!(b.count_ones(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Bitmap::new(64).get(64);
+    }
+
+    #[test]
+    fn iter_ones_matches_set() {
+        let mut b = Bitmap::new(300);
+        let idxs = [0usize, 1, 63, 64, 65, 127, 128, 255, 299];
+        for &i in &idxs {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(got, idxs);
+    }
+
+    #[test]
+    fn union_and_clear_all() {
+        let mut a = Bitmap::new(100);
+        let mut b = Bitmap::new(100);
+        a.set(3);
+        b.set(97);
+        a.union_with(&b);
+        assert!(a.get(3) && a.get(97));
+        a.clear_all();
+        assert!(a.all_zero());
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let mut a = Bitmap::new(70);
+        a.set(69);
+        a.set(2);
+        let b = Bitmap::from_words(70, a.as_words());
+        assert_eq!(a, b);
+        assert_eq!(a.byte_size(), 16);
+    }
+
+    #[test]
+    fn atomic_concurrent_set_loses_nothing() {
+        let b = AtomicBitmap::new(4096);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let b = &b;
+                s.spawn(move || {
+                    for i in (t..4096).step_by(8) {
+                        b.set(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.to_bitmap().count_ones(), 4096);
+    }
+
+    #[test]
+    fn atomic_set_reports_previous() {
+        let b = AtomicBitmap::new(10);
+        assert!(!b.set(5));
+        assert!(b.set(5));
+        assert!(b.get(5));
+        let ones: HashSet<usize> = b.to_bitmap().iter_ones().collect();
+        assert_eq!(ones, HashSet::from([5]));
+    }
+}

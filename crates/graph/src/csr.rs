@@ -1,0 +1,287 @@
+//! Compressed Sparse Row adjacency.
+//!
+//! The paper stores the (symmetrized) adjacency matrix in CSR and partitions
+//! it by rows. This module builds a CSR from an edge list — either the whole
+//! graph or only the rows owned by one partition — with rayon-parallel
+//! counting sort. Neighbour lists are sorted, which the Bottom-Up traversal
+//! exploits (early exit on the first parent found is deterministic).
+
+use crate::{EdgeList, Vid};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// CSR adjacency for a contiguous row range `[row_base, row_base + rows)`.
+///
+/// Column ids are always *global* vertex ids; rows are addressed by local
+/// index (`0..num_rows`). A whole-graph CSR is simply one with
+/// `row_base == 0` and `rows == num_vertices`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    /// Global id of row 0.
+    row_base: Vid,
+    /// Global vertex count (id space size).
+    num_vertices: Vid,
+    /// `offsets[i]..offsets[i+1]` indexes `targets` for local row `i`.
+    offsets: Vec<u64>,
+    /// Concatenated neighbour lists (global ids), sorted within each row.
+    targets: Vec<Vid>,
+}
+
+impl Csr {
+    /// Builds the CSR over all vertices from an undirected edge list.
+    ///
+    /// Every non-loop edge contributes entries in both directions; self
+    /// loops contribute one. Duplicate edges are kept (Graph500 permits
+    /// multigraph inputs; BFS is insensitive to multiplicity).
+    pub fn from_edge_list(el: &EdgeList) -> Self {
+        Self::from_edge_list_rows(el, 0, el.num_vertices)
+    }
+
+    /// Builds only the rows `[row_base, row_base + rows)` from an edge list,
+    /// i.e. the CSR partition owned by one rank under 1-D partitioning.
+    pub fn from_edge_list_rows(el: &EdgeList, row_base: Vid, rows: Vid) -> Self {
+        assert!(row_base + rows <= el.num_vertices, "row range out of bounds");
+        let rows_usize = usize::try_from(rows).expect("row count exceeds address space");
+        let in_range = |x: Vid| x >= row_base && x < row_base + rows;
+
+        // 1. Count degree per owned row (atomic histogram).
+        let counts: Vec<AtomicU64> = (0..rows_usize).map(|_| AtomicU64::new(0)).collect();
+        el.edges.par_iter().for_each(|&(u, v)| {
+            if in_range(u) {
+                counts[(u - row_base) as usize].fetch_add(1, Ordering::Relaxed);
+            }
+            if u != v && in_range(v) {
+                counts[(v - row_base) as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+
+        // 2. Prefix sum -> offsets.
+        let mut offsets = Vec::with_capacity(rows_usize + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for c in &counts {
+            acc += c.load(Ordering::Relaxed);
+            offsets.push(acc);
+        }
+        let nnz = usize::try_from(acc).expect("nnz exceeds address space");
+
+        // 3. Scatter targets using the counts as per-row write cursors.
+        let cursors: Vec<AtomicU64> = offsets[..rows_usize]
+            .iter()
+            .map(|&o| AtomicU64::new(o))
+            .collect();
+        let targets: Vec<AtomicU64> = (0..nnz).map(|_| AtomicU64::new(0)).collect();
+        el.edges.par_iter().for_each(|&(u, v)| {
+            if in_range(u) {
+                let slot = cursors[(u - row_base) as usize].fetch_add(1, Ordering::Relaxed);
+                targets[slot as usize].store(v, Ordering::Relaxed);
+            }
+            if u != v && in_range(v) {
+                let slot = cursors[(v - row_base) as usize].fetch_add(1, Ordering::Relaxed);
+                targets[slot as usize].store(u, Ordering::Relaxed);
+            }
+        });
+        let mut targets: Vec<Vid> = targets
+            .into_iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+
+        // 4. Sort each row's neighbour list (deterministic layout).
+        {
+            let offs = &offsets;
+            // Split `targets` into per-row slices for parallel sorting.
+            let mut slices: Vec<&mut [Vid]> = Vec::with_capacity(rows_usize);
+            let mut rest: &mut [Vid] = &mut targets;
+            for i in 0..rows_usize {
+                let len = (offs[i + 1] - offs[i]) as usize;
+                let (head, tail) = rest.split_at_mut(len);
+                slices.push(head);
+                rest = tail;
+            }
+            slices.par_iter_mut().for_each(|s| s.sort_unstable());
+        }
+
+        Self {
+            row_base,
+            num_vertices: el.num_vertices,
+            offsets,
+            targets,
+        }
+    }
+
+    /// Global id of the first owned row.
+    pub fn row_base(&self) -> Vid {
+        self.row_base
+    }
+
+    /// Number of owned rows.
+    pub fn num_rows(&self) -> Vid {
+        (self.offsets.len() - 1) as Vid
+    }
+
+    /// Size of the global vertex id space.
+    pub fn num_vertices(&self) -> Vid {
+        self.num_vertices
+    }
+
+    /// Total stored directed adjacency entries.
+    pub fn num_entries(&self) -> u64 {
+        *self.offsets.last().unwrap()
+    }
+
+    /// True if the global vertex is an owned row.
+    pub fn owns(&self, v: Vid) -> bool {
+        v >= self.row_base && v - self.row_base < self.num_rows()
+    }
+
+    /// Neighbours (global ids, sorted) of an owned global vertex.
+    ///
+    /// # Panics
+    /// Panics if `v` is not owned.
+    pub fn neighbors(&self, v: Vid) -> &[Vid] {
+        assert!(self.owns(v), "vertex {v} not in rows {}..", self.row_base);
+        self.neighbors_local((v - self.row_base) as usize)
+    }
+
+    /// Neighbours of local row `i`.
+    pub fn neighbors_local(&self, i: usize) -> &[Vid] {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Degree (with multiplicity) of an owned global vertex.
+    pub fn degree(&self, v: Vid) -> u64 {
+        self.neighbors(v).len() as u64
+    }
+
+    /// Degree of local row `i`.
+    pub fn degree_local(&self, i: usize) -> u64 {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Iterates `(global_id, neighbors)` over owned rows.
+    pub fn rows(&self) -> impl Iterator<Item = (Vid, &[Vid])> + '_ {
+        (0..self.num_rows() as usize).map(move |i| (self.row_base + i as Vid, self.neighbors_local(i)))
+    }
+
+    /// Raw offsets slice (for traffic models and tests).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Reorders every neighbour list by **descending degree** of the
+    /// neighbour (ties by ascending id) — the Yasui-style Bottom-Up
+    /// refinement (paper §7, ref \[25\]): scanning likely parents (hubs)
+    /// first lets the Bottom-Up early exit fire sooner. `degree_of` must
+    /// return the global degree of any vertex id.
+    pub fn reorder_neighbors_by_degree(&mut self, degree_of: impl Fn(Vid) -> u64 + Sync) {
+        let rows = self.num_rows() as usize;
+        let offs = self.offsets.clone();
+        let mut slices: Vec<&mut [Vid]> = Vec::with_capacity(rows);
+        let mut rest: &mut [Vid] = &mut self.targets;
+        for i in 0..rows {
+            let len = (offs[i + 1] - offs[i]) as usize;
+            let (head, tail) = rest.split_at_mut(len);
+            slices.push(head);
+            rest = tail;
+        }
+        let deg = &degree_of;
+        slices.par_iter_mut().for_each(|s| {
+            s.sort_unstable_by(|&a, &b| deg(b).cmp(&deg(a)).then(a.cmp(&b)));
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeList;
+
+    fn tiny() -> EdgeList {
+        // 0-1, 0-2, 1-2, 3-3 (loop), duplicate 0-1
+        EdgeList::new(5, vec![(0, 1), (0, 2), (1, 2), (3, 3), (1, 0)])
+    }
+
+    #[test]
+    fn whole_graph_shape() {
+        let csr = Csr::from_edge_list(&tiny());
+        assert_eq!(csr.num_rows(), 5);
+        // 0: {1,2,1} 1: {0,2,0} 2: {0,1} 3: {3} 4: {}
+        assert_eq!(csr.num_entries(), 3 + 3 + 2 + 1);
+        assert_eq!(csr.neighbors(0), &[1, 1, 2]);
+        assert_eq!(csr.neighbors(1), &[0, 0, 2]);
+        assert_eq!(csr.neighbors(2), &[0, 1]);
+        assert_eq!(csr.neighbors(3), &[3]);
+        assert_eq!(csr.neighbors(4), &[] as &[Vid]);
+    }
+
+    #[test]
+    fn partitioned_rows_match_whole() {
+        let el = tiny();
+        let whole = Csr::from_edge_list(&el);
+        let part = Csr::from_edge_list_rows(&el, 1, 3);
+        assert_eq!(part.row_base(), 1);
+        assert_eq!(part.num_rows(), 3);
+        for v in 1..4 {
+            assert_eq!(part.neighbors(v), whole.neighbors(v));
+        }
+        assert!(!part.owns(0));
+        assert!(!part.owns(4));
+    }
+
+    #[test]
+    fn self_loop_counted_once() {
+        let el = EdgeList::new(2, vec![(1, 1)]);
+        let csr = Csr::from_edge_list(&el);
+        assert_eq!(csr.degree(1), 1);
+        assert_eq!(csr.degree(0), 0);
+    }
+
+    #[test]
+    fn symmetric_degree_sum() {
+        let el = crate::generate_kronecker(&crate::KroneckerConfig::graph500(10, 4));
+        let csr = Csr::from_edge_list(&el);
+        let loops = el.self_loops() as u64;
+        assert_eq!(csr.num_entries(), 2 * el.len() as u64 - loops);
+    }
+
+    #[test]
+    fn rows_sorted() {
+        let el = crate::generate_kronecker(&crate::KroneckerConfig::graph500(8, 4));
+        let csr = Csr::from_edge_list(&el);
+        for (_, nbrs) in csr.rows() {
+            assert!(nbrs.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in rows")]
+    fn neighbors_panics_on_unowned() {
+        let csr = Csr::from_edge_list_rows(&tiny(), 1, 2);
+        csr.neighbors(0);
+    }
+
+    #[test]
+    fn degree_reorder_puts_hubs_first() {
+        // 0 is the hub (degree 3); 1-2 edge makes 1 and 2 degree 2.
+        let el = EdgeList::new(4, vec![(0, 1), (0, 2), (0, 3), (1, 2)]);
+        let full = Csr::from_edge_list(&el);
+        let degs: Vec<u64> = (0..4).map(|v| full.degree(v)).collect();
+        let mut csr = Csr::from_edge_list(&el);
+        csr.reorder_neighbors_by_degree(|v| degs[v as usize]);
+        // 3's only neighbour is 0; 1's neighbours: 0 (deg 3) then 2 (deg 2).
+        assert_eq!(csr.neighbors(1), &[0, 2]);
+        assert_eq!(csr.neighbors(2), &[0, 1]);
+        // Ascending id among equal degrees.
+        assert_eq!(csr.neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let el = crate::generate_kronecker(&crate::KroneckerConfig::graph500(9, 17));
+        let a = Csr::from_edge_list(&el);
+        let b = Csr::from_edge_list(&el);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,91 @@
+//! Raw edge lists as produced by the Kronecker generator.
+//!
+//! Graph500 step (1) emits an unordered list of undirected edge tuples; the
+//! construction step (3) turns it into CSR. The list may contain self-loops
+//! and duplicate edges — the spec permits both, and the construction step may
+//! keep or drop them (we keep them by default; BFS is insensitive to either).
+
+use crate::Vid;
+
+/// An unordered list of undirected edges `(u, v)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    /// Number of vertices in the id space (`0..num_vertices`).
+    pub num_vertices: Vid,
+    /// Edge tuples. Undirected: `(u, v)` represents `{u, v}`.
+    pub edges: Vec<(Vid, Vid)>,
+}
+
+impl EdgeList {
+    /// Creates an edge list over `num_vertices` ids from raw tuples.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is out of range.
+    pub fn new(num_vertices: Vid, edges: Vec<(Vid, Vid)>) -> Self {
+        for &(u, v) in &edges {
+            assert!(
+                u < num_vertices && v < num_vertices,
+                "edge ({u}, {v}) out of range for {num_vertices} vertices"
+            );
+        }
+        Self { num_vertices, edges }
+    }
+
+    /// Number of edge tuples (each undirected edge counted once).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the list holds no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Iterates over both directions of every edge: `(u,v)` and `(v,u)`.
+    ///
+    /// Self-loops are emitted once.
+    pub fn symmetric_iter(&self) -> impl Iterator<Item = (Vid, Vid)> + '_ {
+        self.edges.iter().flat_map(|&(u, v)| {
+            let back = if u != v { Some((v, u)) } else { None };
+            std::iter::once((u, v)).chain(back)
+        })
+    }
+
+    /// Number of self-loop tuples.
+    pub fn self_loops(&self) -> usize {
+        self.edges.iter().filter(|&&(u, v)| u == v).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_in_range_edges() {
+        let el = EdgeList::new(4, vec![(0, 1), (2, 3), (3, 3)]);
+        assert_eq!(el.len(), 3);
+        assert!(!el.is_empty());
+        assert_eq!(el.self_loops(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        EdgeList::new(2, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn symmetric_iter_doubles_non_loops() {
+        let el = EdgeList::new(3, vec![(0, 1), (2, 2)]);
+        let sym: Vec<_> = el.symmetric_iter().collect();
+        assert_eq!(sym, vec![(0, 1), (1, 0), (2, 2)]);
+    }
+
+    #[test]
+    fn empty_list() {
+        let el = EdgeList::new(10, vec![]);
+        assert!(el.is_empty());
+        assert_eq!(el.symmetric_iter().count(), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Degree-aware hub vertex selection (paper §5, "Degree aware prefetch").
+//!
+//! Power-law graphs concentrate most edges on a few high-degree "hub"
+//! vertices. The paper replicates the frontier state of a fixed number of
+//! hubs on every node (2^12 for Top-Down, 2^14 for Bottom-Up), compressed
+//! as a bitmap, so edge look-ups that hit a hub need no network message.
+//!
+//! This module picks the global top-k vertices by degree and assigns each a
+//! dense *hub index* used to address the replicated bitmap.
+
+use crate::{Csr, Vid};
+use std::collections::HashMap;
+
+/// Number of hub vertices the paper replicates during Top-Down levels.
+pub const TOP_DOWN_HUBS: usize = 1 << 12;
+/// Number of hub vertices the paper replicates during Bottom-Up levels.
+pub const BOTTOM_UP_HUBS: usize = 1 << 14;
+
+/// The global hub set: the `k` highest-degree vertices, each with a dense
+/// index into the replicated hub bitmap.
+#[derive(Clone, Debug, Default)]
+pub struct HubSet {
+    /// Hub global ids, ordered by descending degree (ties by ascending id).
+    hubs: Vec<Vid>,
+    /// Reverse map global id -> dense hub index.
+    index: HashMap<Vid, u32>,
+}
+
+impl HubSet {
+    /// Selects the top-`k` vertices by degree from a whole-graph CSR.
+    ///
+    /// Deterministic: ties broken by ascending vertex id. If the graph has
+    /// fewer than `k` vertices with nonzero degree, only those are hubs.
+    pub fn top_k(csr: &Csr, k: usize) -> Self {
+        let mut by_degree: Vec<(u64, Vid)> = csr
+            .rows()
+            .enumerate()
+            .filter(|(_, (_, nbrs))| !nbrs.is_empty())
+            .map(|(i, (v, _))| (csr.degree_local(i), v))
+            .collect();
+        by_degree.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        by_degree.truncate(k);
+        let hubs: Vec<Vid> = by_degree.into_iter().map(|(_, v)| v).collect();
+        let index = hubs
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        Self { hubs, index }
+    }
+
+    /// Builds a hub set from per-rank degree observations: each entry is
+    /// `(vertex, degree)`. Used by the distributed build where no single
+    /// rank holds the whole CSR.
+    pub fn from_degrees(mut degrees: Vec<(Vid, u64)>, k: usize) -> Self {
+        degrees.retain(|&(_, d)| d > 0);
+        degrees.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        degrees.truncate(k);
+        let hubs: Vec<Vid> = degrees.into_iter().map(|(v, _)| v).collect();
+        let index = hubs
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        Self { hubs, index }
+    }
+
+    /// Number of hubs actually selected.
+    pub fn len(&self) -> usize {
+        self.hubs.len()
+    }
+
+    /// True if no hubs were selected.
+    pub fn is_empty(&self) -> bool {
+        self.hubs.is_empty()
+    }
+
+    /// Dense hub index of a vertex, if it is a hub.
+    pub fn hub_index(&self, v: Vid) -> Option<u32> {
+        self.index.get(&v).copied()
+    }
+
+    /// Global id of hub `i`.
+    pub fn hub_vertex(&self, i: u32) -> Vid {
+        self.hubs[i as usize]
+    }
+
+    /// All hub ids, descending by degree.
+    pub fn hubs(&self) -> &[Vid] {
+        &self.hubs
+    }
+
+    /// Bytes of the replicated frontier bitmap for this hub set.
+    pub fn bitmap_bytes(&self) -> usize {
+        self.hubs.len().div_ceil(64) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_kronecker, EdgeList, KroneckerConfig};
+
+    fn star_plus_path() -> Csr {
+        // 0 is a hub (degree 4), 5-6-7 a path.
+        let el = EdgeList::new(
+            8,
+            vec![(0, 1), (0, 2), (0, 3), (0, 4), (5, 6), (6, 7)],
+        );
+        Csr::from_edge_list(&el)
+    }
+
+    #[test]
+    fn picks_highest_degree_first() {
+        let hs = HubSet::top_k(&star_plus_path(), 2);
+        assert_eq!(hs.len(), 2);
+        assert_eq!(hs.hub_vertex(0), 0); // degree 4
+        assert_eq!(hs.hub_vertex(1), 6); // degree 2
+        assert_eq!(hs.hub_index(0), Some(0));
+        assert_eq!(hs.hub_index(6), Some(1));
+        assert_eq!(hs.hub_index(5), None);
+    }
+
+    #[test]
+    fn skips_isolated_vertices() {
+        let el = EdgeList::new(10, vec![(0, 1)]);
+        let hs = HubSet::top_k(&Csr::from_edge_list(&el), 5);
+        assert_eq!(hs.len(), 2);
+        assert!(hs.is_empty() == false);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // All degree-1 pairs: hubs must be ascending ids.
+        let el = EdgeList::new(8, vec![(0, 1), (2, 3), (4, 5), (6, 7)]);
+        let hs = HubSet::top_k(&Csr::from_edge_list(&el), 3);
+        assert_eq!(hs.hubs(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn from_degrees_matches_top_k() {
+        let csr = Csr::from_edge_list(&generate_kronecker(&KroneckerConfig::graph500(10, 3)));
+        let degrees: Vec<(Vid, u64)> = csr.rows().map(|(v, n)| (v, n.len() as u64)).collect();
+        let a = HubSet::top_k(&csr, 64);
+        let b = HubSet::from_degrees(degrees, 64);
+        assert_eq!(a.hubs(), b.hubs());
+    }
+
+    #[test]
+    fn hubs_cover_disproportionate_edges() {
+        // Power-law check: top 1% of vertices should own far more than 1%
+        // of edge endpoints on a Kronecker graph.
+        let csr = Csr::from_edge_list(&generate_kronecker(&KroneckerConfig::graph500(12, 5)));
+        let k = (csr.num_vertices() / 100) as usize;
+        let hs = HubSet::top_k(&csr, k);
+        let hub_entries: u64 = hs.hubs().iter().map(|&v| csr.degree(v)).sum();
+        let frac = hub_entries as f64 / csr.num_entries() as f64;
+        assert!(frac > 0.10, "top 1% hubs only cover {frac:.3} of entries");
+    }
+
+    #[test]
+    fn bitmap_bytes_rounds_to_words() {
+        let el = EdgeList::new(4, vec![(0, 1), (2, 3)]);
+        let hs = HubSet::top_k(&Csr::from_edge_list(&el), 3);
+        assert_eq!(hs.bitmap_bytes(), 8);
+    }
+}

@@ -1,0 +1,189 @@
+//! Graph I/O: persisting and loading edge lists.
+//!
+//! Graph500 step (1) materializes the raw edge list before construction;
+//! real deployments keep it on disk. Two formats are supported:
+//!
+//! * **binary** — the benchmark's packed representation: little-endian
+//!   `u64` pairs, preceded by a magic/header with the vertex count;
+//! * **text** — whitespace-separated `u v` lines (comments with `#`),
+//!   interoperable with common graph tools (SNAP, METIS converters).
+
+use crate::{EdgeList, Vid};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"SWBFSEL1";
+
+/// Writes the binary format.
+pub fn write_binary<W: Write>(el: &EdgeList, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&el.num_vertices.to_le_bytes())?;
+    w.write_all(&(el.len() as u64).to_le_bytes())?;
+    for &(u, v) in &el.edges {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads the binary format.
+pub fn read_binary<R: Read>(r: R) -> io::Result<EdgeList> {
+    let mut r = BufReader::new(r);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a swbfs edge-list file",
+        ));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let n = u64::from_le_bytes(buf8);
+    r.read_exact(&mut buf8)?;
+    let m = u64::from_le_bytes(buf8) as usize;
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        r.read_exact(&mut buf8)?;
+        let u = u64::from_le_bytes(buf8);
+        r.read_exact(&mut buf8)?;
+        let v = u64::from_le_bytes(buf8);
+        if u >= n || v >= n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("edge ({u},{v}) out of range for {n} vertices"),
+            ));
+        }
+        edges.push((u, v));
+    }
+    Ok(EdgeList::new(n, edges))
+}
+
+/// Writes the text format (`# vertices <n>` header then `u v` lines).
+pub fn write_text<W: Write>(el: &EdgeList, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "# vertices {}", el.num_vertices)?;
+    for &(u, v) in &el.edges {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Reads the text format. The vertex count comes from the header if
+/// present, otherwise from `1 + max(endpoint)`.
+pub fn read_text<R: Read>(r: R) -> io::Result<EdgeList> {
+    let r = BufReader::new(r);
+    let mut edges: Vec<(Vid, Vid)> = Vec::new();
+    let mut declared_n: Option<Vid> = None;
+    for (ln, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix('#') {
+            let mut it = rest.split_whitespace();
+            if it.next() == Some("vertices") {
+                declared_n = it.next().and_then(|x| x.parse().ok());
+            }
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |x: Option<&str>| {
+            x.and_then(|s| s.parse::<Vid>().ok()).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad edge on line {}", ln + 1),
+                )
+            })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        edges.push((u, v));
+    }
+    let max_id = edges.iter().map(|&(u, v)| u.max(v)).max().map_or(0, |m| m + 1);
+    let n = declared_n.unwrap_or(max_id).max(max_id).max(1);
+    Ok(EdgeList::new(n, edges))
+}
+
+/// Convenience: write binary to a path.
+pub fn save(el: &EdgeList, path: &Path) -> io::Result<()> {
+    write_binary(el, std::fs::File::create(path)?)
+}
+
+/// Convenience: read binary from a path.
+pub fn load(path: &Path) -> io::Result<EdgeList> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_kronecker, KroneckerConfig};
+
+    #[test]
+    fn binary_round_trip() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(8, 5));
+        let mut buf = Vec::new();
+        write_binary(&el, &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), el);
+        // Header size + 16 B per edge.
+        assert_eq!(buf.len(), 24 + 16 * el.len());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let el = EdgeList::new(10, vec![(0, 9), (3, 3), (7, 2)]);
+        let mut buf = Vec::new();
+        write_text(&el, &mut buf).unwrap();
+        assert_eq!(read_text(&buf[..]).unwrap(), el);
+    }
+
+    #[test]
+    fn text_without_header_infers_vertices() {
+        let el = read_text("0 1\n5 2\n".as_bytes()).unwrap();
+        assert_eq!(el.num_vertices, 6);
+        assert_eq!(el.edges, vec![(0, 1), (5, 2)]);
+    }
+
+    #[test]
+    fn text_skips_comments_and_blank_lines() {
+        let el = read_text("# a comment\n\n1 2\n# another\n3 4\n".as_bytes()).unwrap();
+        assert_eq!(el.len(), 2);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_binary(&b"NOTMAGIC........"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let el = EdgeList::new(4, vec![(0, 3)]);
+        let mut buf = Vec::new();
+        write_binary(&el, &mut buf).unwrap();
+        // Corrupt the edge target to 7.
+        let off = buf.len() - 8;
+        buf[off..].copy_from_slice(&7u64.to_le_bytes());
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn malformed_text_line_rejected() {
+        assert!(read_text("1 banana\n".as_bytes()).is_err());
+        assert!(read_text("1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(6, 1));
+        let dir = std::env::temp_dir().join("swbfs_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.swel");
+        save(&el, &path).unwrap();
+        assert_eq!(load(&path).unwrap(), el);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,141 @@
+//! Degree-distribution statistics.
+//!
+//! Used by tests (to check the generator produces a power law), by the hub
+//! machinery, and by the traffic model in `swbfs-core` (which needs per-level
+//! edge-count expectations when extrapolating to machine scale).
+
+use crate::Csr;
+
+/// Summary statistics of a degree distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Number of rows inspected.
+    pub num_vertices: u64,
+    /// Number of rows with degree 0.
+    pub isolated: u64,
+    /// Maximum degree.
+    pub max: u64,
+    /// Mean degree over all rows.
+    pub mean: f64,
+    /// Fraction of adjacency entries owned by the top 1% of rows by degree.
+    pub top1pct_edge_fraction: f64,
+    /// Gini coefficient of the degree distribution (0 = uniform, →1 =
+    /// concentrated). Power-law graphs score high.
+    pub gini: f64,
+}
+
+/// Computes [`DegreeStats`] over the rows of a CSR.
+pub fn degree_stats(csr: &Csr) -> DegreeStats {
+    let n = csr.num_rows();
+    let mut degrees: Vec<u64> = (0..n as usize).map(|i| csr.degree_local(i)).collect();
+    degrees.sort_unstable();
+    let total: u64 = degrees.iter().sum();
+    let isolated = degrees.iter().take_while(|&&d| d == 0).count() as u64;
+    let max = degrees.last().copied().unwrap_or(0);
+    let mean = if n == 0 { 0.0 } else { total as f64 / n as f64 };
+
+    let top1 = ((n as usize).max(100) / 100).max(1);
+    let top1pct: u64 = degrees.iter().rev().take(top1).sum();
+    let top1pct_edge_fraction = if total == 0 {
+        0.0
+    } else {
+        top1pct as f64 / total as f64
+    };
+
+    // Gini over the sorted degrees: G = (2*sum(i*d_i)/(n*sum d)) - (n+1)/n.
+    let gini = if total == 0 || n == 0 {
+        0.0
+    } else {
+        let weighted: f64 = degrees
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
+            .sum();
+        (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+    };
+
+    DegreeStats {
+        num_vertices: n,
+        isolated,
+        max,
+        mean,
+        top1pct_edge_fraction,
+        gini,
+    }
+}
+
+/// Degree histogram in powers of two: `hist[k]` counts rows with degree in
+/// `[2^k, 2^(k+1))`; `hist[0]` additionally includes degree-1 rows and
+/// isolated rows are excluded.
+pub fn log2_degree_histogram(csr: &Csr) -> Vec<u64> {
+    let mut hist = vec![0u64; 65];
+    let mut max_bucket = 0;
+    for i in 0..csr.num_rows() as usize {
+        let d = csr.degree_local(i);
+        if d == 0 {
+            continue;
+        }
+        let b = 63 - d.leading_zeros() as usize;
+        hist[b] += 1;
+        max_bucket = max_bucket.max(b);
+    }
+    hist.truncate(max_bucket + 1);
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_kronecker, Csr, EdgeList, KroneckerConfig};
+
+    #[test]
+    fn uniform_graph_has_low_gini() {
+        // A cycle: every vertex degree 2.
+        let n = 64u64;
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let csr = Csr::from_edge_list(&EdgeList::new(n, edges));
+        let st = degree_stats(&csr);
+        assert_eq!(st.max, 2);
+        assert!(st.gini.abs() < 1e-9, "gini = {}", st.gini);
+        assert_eq!(st.isolated, 0);
+    }
+
+    #[test]
+    fn kronecker_is_heavy_tailed() {
+        let csr = Csr::from_edge_list(&generate_kronecker(&KroneckerConfig::graph500(13, 2)));
+        let st = degree_stats(&csr);
+        assert!(st.gini > 0.5, "expected skewed degrees, gini = {}", st.gini);
+        assert!(st.top1pct_edge_fraction > 0.1);
+        assert!(st.max as f64 > 20.0 * st.mean);
+        // Graph500 EF16 symmetric: mean ~ 32 (minus loop effects).
+        assert!((st.mean - 32.0).abs() < 2.0, "mean = {}", st.mean);
+    }
+
+    #[test]
+    fn histogram_counts_every_nonisolated_vertex() {
+        let csr = Csr::from_edge_list(&generate_kronecker(&KroneckerConfig::graph500(10, 6)));
+        let st = degree_stats(&csr);
+        let hist = log2_degree_histogram(&csr);
+        let counted: u64 = hist.iter().sum();
+        assert_eq!(counted, st.num_vertices - st.isolated);
+    }
+
+    #[test]
+    fn histogram_buckets_correct() {
+        // Degrees: v0 = 3 edges, v1..v3 = 1.
+        let el = EdgeList::new(4, vec![(0, 1), (0, 2), (0, 3)]);
+        let hist = log2_degree_histogram(&Csr::from_edge_list(&el));
+        // degree 1 -> bucket 0 (three vertices); degree 3 -> bucket 1.
+        assert_eq!(hist, vec![3, 1]);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let csr = Csr::from_edge_list(&EdgeList::new(5, vec![]));
+        let st = degree_stats(&csr);
+        assert_eq!(st.isolated, 5);
+        assert_eq!(st.max, 0);
+        assert_eq!(st.gini, 0.0);
+        assert_eq!(st.top1pct_edge_fraction, 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Edge-list transforms: the clean-up passes real deployments run between
+//! generation and construction.
+//!
+//! Graph500 inputs are multigraphs with self-loops by design; downstream
+//! consumers (and some of the example workloads) want simple graphs,
+//! degree-ordered labels, or just the giant component. All transforms are
+//! deterministic.
+
+use crate::{Csr, EdgeList, Vid};
+use std::collections::HashSet;
+
+/// Removes self-loops.
+pub fn remove_self_loops(el: &EdgeList) -> EdgeList {
+    EdgeList::new(
+        el.num_vertices,
+        el.edges.iter().copied().filter(|&(u, v)| u != v).collect(),
+    )
+}
+
+/// Removes duplicate undirected edges (keeps the first occurrence of each
+/// `{u, v}`; self-loops dedup too).
+pub fn dedup_edges(el: &EdgeList) -> EdgeList {
+    let mut seen: HashSet<(Vid, Vid)> = HashSet::with_capacity(el.len());
+    let mut edges = Vec::new();
+    for &(u, v) in &el.edges {
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            edges.push((u, v));
+        }
+    }
+    EdgeList::new(el.num_vertices, edges)
+}
+
+/// Relabels vertices by descending degree (the hubs become ids 0, 1, …) —
+/// the whole-graph version of the Yasui layout refinement. Returns the
+/// relabeled list and the permutation `new_id[old_id]`.
+pub fn relabel_by_degree(el: &EdgeList) -> (EdgeList, Vec<Vid>) {
+    let csr = Csr::from_edge_list(el);
+    let mut order: Vec<Vid> = (0..el.num_vertices).collect();
+    order.sort_by(|&a, &b| csr.degree(b).cmp(&csr.degree(a)).then(a.cmp(&b)));
+    let mut new_id = vec![0 as Vid; el.num_vertices as usize];
+    for (new, &old) in order.iter().enumerate() {
+        new_id[old as usize] = new as Vid;
+    }
+    let edges = el
+        .edges
+        .iter()
+        .map(|&(u, v)| (new_id[u as usize], new_id[v as usize]))
+        .collect();
+    (EdgeList::new(el.num_vertices, edges), new_id)
+}
+
+/// Extracts the largest connected component as its own compact graph.
+/// Returns the sub-list plus the mapping `old -> Option<new>`.
+pub fn largest_component(el: &EdgeList) -> (EdgeList, Vec<Option<Vid>>) {
+    // Union-find over the edges.
+    let n = el.num_vertices as usize;
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(p: &mut [usize], mut x: usize) -> usize {
+        while p[x] != x {
+            p[x] = p[p[x]];
+            x = p[x];
+        }
+        x
+    }
+    for &(u, v) in &el.edges {
+        let (a, b) = (find(&mut parent, u as usize), find(&mut parent, v as usize));
+        if a != b {
+            parent[a.max(b)] = a.min(b);
+        }
+    }
+    let mut size = vec![0u64; n];
+    for v in 0..n {
+        let r = find(&mut parent, v);
+        size[r] += 1;
+    }
+    let giant = (0..n).max_by_key(|&r| (size[r], usize::MAX - r)).unwrap_or(0);
+
+    let mut map: Vec<Option<Vid>> = vec![None; n];
+    let mut next = 0 as Vid;
+    for v in 0..n {
+        if find(&mut parent, v) == giant {
+            map[v] = Some(next);
+            next += 1;
+        }
+    }
+    let edges = el
+        .edges
+        .iter()
+        .filter_map(|&(u, v)| Some((map[u as usize]?, map[v as usize]?)))
+        .collect();
+    (EdgeList::new(next.max(1), edges), map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_kronecker, KroneckerConfig};
+
+    fn messy() -> EdgeList {
+        EdgeList::new(6, vec![(0, 1), (1, 0), (2, 2), (0, 1), (3, 4)])
+    }
+
+    #[test]
+    fn self_loops_removed() {
+        let el = remove_self_loops(&messy());
+        assert_eq!(el.self_loops(), 0);
+        assert_eq!(el.len(), 4);
+    }
+
+    #[test]
+    fn dedup_collapses_both_directions() {
+        let el = dedup_edges(&messy());
+        // {0,1} once, {2,2} once, {3,4} once.
+        assert_eq!(el.len(), 3);
+        assert_eq!(el.edges[0], (0, 1));
+    }
+
+    #[test]
+    fn relabel_puts_hubs_first() {
+        // Star: 0 has degree 4.
+        let el = EdgeList::new(5, vec![(4, 0), (4, 1), (4, 2), (4, 3)]);
+        let (relabeled, new_id) = relabel_by_degree(&el);
+        assert_eq!(new_id[4], 0, "hub must become vertex 0");
+        let csr = Csr::from_edge_list(&relabeled);
+        assert_eq!(csr.degree(0), 4);
+        // Degree multiset preserved.
+        let before = Csr::from_edge_list(&el);
+        let mut a: Vec<u64> = (0..5).map(|v| before.degree(v)).collect();
+        let mut b: Vec<u64> = (0..5).map(|v| csr.degree(v)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn relabel_preserves_connectivity() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(9, 3));
+        let (relabeled, new_id) = relabel_by_degree(&el);
+        use crate::stats::degree_stats;
+        let a = degree_stats(&Csr::from_edge_list(&el));
+        let b = degree_stats(&Csr::from_edge_list(&relabeled));
+        assert_eq!(a.max, b.max);
+        assert_eq!(a.isolated, b.isolated);
+        // Bijection.
+        let set: HashSet<Vid> = new_id.iter().copied().collect();
+        assert_eq!(set.len(), el.num_vertices as usize);
+    }
+
+    #[test]
+    fn largest_component_extracts_giant() {
+        // Components: {0,1,2} (triangle), {3,4}, {5} isolated.
+        let el = EdgeList::new(6, vec![(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let (sub, map) = largest_component(&el);
+        assert_eq!(sub.num_vertices, 3);
+        assert_eq!(sub.len(), 3);
+        assert!(map[0].is_some() && map[1].is_some() && map[2].is_some());
+        assert!(map[3].is_none() && map[5].is_none());
+    }
+
+    #[test]
+    fn largest_component_of_kronecker_is_most_of_it() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(10, 7));
+        let (sub, _) = largest_component(&el);
+        // Giant component holds the overwhelming share of edges.
+        assert!(sub.len() as f64 > 0.95 * el.len() as f64);
+        assert!(sub.num_vertices < el.num_vertices);
+    }
+
+    #[test]
+    fn empty_graph_survives_everything() {
+        let el = EdgeList::new(3, vec![]);
+        assert_eq!(remove_self_loops(&el).len(), 0);
+        assert_eq!(dedup_edges(&el).len(), 0);
+        let (sub, _) = largest_component(&el);
+        assert!(sub.is_empty());
+    }
+}

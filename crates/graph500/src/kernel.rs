@@ -1,0 +1,216 @@
+//! The benchmark kernel driver: generate, build, run each root, validate,
+//! and time.
+
+use crate::roots::select_roots;
+use crate::spec::Graph500Spec;
+use crate::teps::TepsStats;
+use crate::validate::{validate_bfs, ValidationError};
+use std::time::Instant;
+use sw_graph::{generate_kronecker, Vid};
+use swbfs_core::{BfsConfig, ExecError, ThreadedCluster};
+
+/// One root's kernel run.
+#[derive(Clone, Copy, Debug)]
+pub struct RootRun {
+    /// The search key.
+    pub root: Vid,
+    /// Kernel wall time, seconds.
+    pub time_s: f64,
+    /// Input edges with a reached endpoint (from validation).
+    pub traversed_edges: u64,
+    /// TEPS for this run.
+    pub teps: f64,
+    /// Vertices reached.
+    pub reached: u64,
+    /// BFS depth.
+    pub depth: u32,
+}
+
+/// Results of a full benchmark run.
+#[derive(Clone, Debug)]
+pub struct BenchmarkResult {
+    /// The instance parameters.
+    pub spec: Graph500Spec,
+    /// Number of simulated ranks.
+    pub ranks: u32,
+    /// Graph construction wall time, seconds.
+    pub construction_s: f64,
+    /// Per-root kernel runs.
+    pub runs: Vec<RootRun>,
+    /// TEPS statistics over the runs.
+    pub stats: TepsStats,
+}
+
+/// Why a benchmark could not complete.
+#[derive(Debug)]
+pub enum BenchmarkError {
+    /// The backend failed.
+    Exec(ExecError),
+    /// A parent tree failed validation — the whole benchmark is void.
+    Invalid {
+        /// The root whose result failed.
+        root: Vid,
+        /// The violated rule.
+        error: ValidationError,
+    },
+    /// No eligible roots or degenerate TEPS.
+    Degenerate(String),
+}
+
+impl std::fmt::Display for BenchmarkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchmarkError::Exec(e) => write!(f, "execution failed: {e}"),
+            BenchmarkError::Invalid { root, error } => {
+                write!(f, "validation failed for root {root}: {error}")
+            }
+            BenchmarkError::Degenerate(m) => write!(f, "degenerate benchmark: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchmarkError {}
+
+impl From<ExecError> for BenchmarkError {
+    fn from(e: ExecError) -> Self {
+        BenchmarkError::Exec(e)
+    }
+}
+
+/// Runs the whole benchmark (steps 1–6) on the threaded backend with
+/// `ranks` simulated nodes, validating with the centralized checker.
+pub fn run_benchmark(
+    spec: &Graph500Spec,
+    ranks: u32,
+    cfg: BfsConfig,
+) -> Result<BenchmarkResult, BenchmarkError> {
+    run_benchmark_with(spec, ranks, cfg, false)
+}
+
+/// Like [`run_benchmark`] but validating with the §5 *distributed*
+/// validator (pointer jumping over the same exchanges as the BFS).
+pub fn run_benchmark_distributed_validation(
+    spec: &Graph500Spec,
+    ranks: u32,
+    cfg: BfsConfig,
+) -> Result<BenchmarkResult, BenchmarkError> {
+    run_benchmark_with(spec, ranks, cfg, true)
+}
+
+fn run_benchmark_with(
+    spec: &Graph500Spec,
+    ranks: u32,
+    cfg: BfsConfig,
+    distributed_validation: bool,
+) -> Result<BenchmarkResult, BenchmarkError> {
+    // Steps 1–2.
+    let el = generate_kronecker(&spec.kronecker());
+    let roots = select_roots(&el, spec.num_roots, spec.seed);
+    if roots.is_empty() {
+        return Err(BenchmarkError::Degenerate("no eligible roots".into()));
+    }
+
+    // Step 3 (timed, reported separately — the paper also reports only
+    // the kernel in its headline). Uses the distributed construction
+    // path: generator chunks are shuffled to endpoint owners before the
+    // local CSR builds, as on the real machine.
+    let t0 = Instant::now();
+    let (mut cluster, _construction_traffic) =
+        ThreadedCluster::new_distributed(&el, ranks, cfg)?;
+    let construction_s = t0.elapsed().as_secs_f64();
+
+    // Steps 4–5.
+    let mut runs = Vec::with_capacity(roots.len());
+    for root in roots {
+        let t = Instant::now();
+        let out = cluster.run(root)?;
+        let time_s = t.elapsed().as_secs_f64();
+        let traversed = if distributed_validation {
+            crate::validate_dist::DistValidator::new(
+                el.num_vertices,
+                ranks,
+                cfg.group_size.min(ranks),
+                cfg.messaging,
+            )
+            .validate(&el, &out)
+        } else {
+            validate_bfs(&el, &out)
+        }
+        .map_err(|error| BenchmarkError::Invalid { root, error })?;
+        runs.push(RootRun {
+            root,
+            time_s,
+            traversed_edges: traversed,
+            teps: traversed as f64 / time_s,
+            reached: out.reached(),
+            depth: out.depth(),
+        });
+    }
+
+    // Step 6.
+    let samples: Vec<f64> = runs.iter().map(|r| r.teps).collect();
+    let stats = TepsStats::from_samples(&samples)
+        .ok_or_else(|| BenchmarkError::Degenerate("non-positive TEPS sample".into()))?;
+    Ok(BenchmarkResult {
+        spec: *spec,
+        ranks,
+        construction_s,
+        runs,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_benchmark_completes_and_validates() {
+        let spec = Graph500Spec::quick(10, 42, 4);
+        let res = run_benchmark(&spec, 4, BfsConfig::threaded_small(2)).unwrap();
+        assert_eq!(res.runs.len(), 4);
+        assert!(res.stats.harmonic_mean > 0.0);
+        for r in &res.runs {
+            assert!(r.traversed_edges > 0);
+            assert!(r.reached > 1);
+            assert!(r.depth >= 1);
+        }
+    }
+
+    #[test]
+    fn direct_and_relay_benchmarks_agree_on_traversal() {
+        let spec = Graph500Spec::quick(9, 7, 3);
+        let a = run_benchmark(
+            &spec,
+            5,
+            BfsConfig::threaded_small(2).with_messaging(swbfs_core::Messaging::Direct),
+        )
+        .unwrap();
+        let b = run_benchmark(&spec, 5, BfsConfig::threaded_small(2)).unwrap();
+        for (ra, rb) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(ra.root, rb.root);
+            assert_eq!(ra.traversed_edges, rb.traversed_edges);
+            assert_eq!(ra.reached, rb.reached);
+        }
+    }
+
+    #[test]
+    fn distributed_validation_gives_identical_results() {
+        let spec = Graph500Spec::quick(9, 4, 3);
+        let a = run_benchmark(&spec, 4, BfsConfig::threaded_small(2)).unwrap();
+        let b = run_benchmark_distributed_validation(&spec, 4, BfsConfig::threaded_small(2))
+            .unwrap();
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(x.root, y.root);
+            assert_eq!(x.traversed_edges, y.traversed_edges);
+        }
+    }
+
+    #[test]
+    fn single_rank_benchmark() {
+        let spec = Graph500Spec::quick(9, 3, 2);
+        let res = run_benchmark(&spec, 1, BfsConfig::threaded_small(1)).unwrap();
+        assert_eq!(res.ranks, 1);
+        assert_eq!(res.runs.len(), 2);
+    }
+}

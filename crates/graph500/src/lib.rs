@@ -1,0 +1,33 @@
+//! # sw-graph500 — the Graph500 benchmark harness
+//!
+//! Implements the benchmark steps the paper follows (§2.3):
+//!
+//! 1. generate the raw Kronecker edge list ([`sw_graph::kronecker`]),
+//! 2. randomly select 64 non-trivial search roots ([`roots`]),
+//! 3. construct the distributed graph (the backend's build),
+//! 4. run the BFS kernel for each root ([`kernel`]),
+//! 5. validate every parent tree under the benchmark's rules
+//!    ([`validate`]),
+//! 6. compute and report TEPS statistics ([`teps`], [`report`]).
+//!
+//! The kernel times the *threaded* backend with real wall clocks — these
+//! are host-machine TEPS, honest numbers for the hardware they ran on. The
+//! machine-scale projections of the paper's figures come from
+//! `swbfs_core::modeled` and are reported separately by `sw-bench`.
+
+pub mod kernel;
+pub mod kernel2;
+pub mod report;
+pub mod roots;
+pub mod spec;
+pub mod teps;
+pub mod validate;
+pub mod validate_dist;
+
+pub use kernel::{run_benchmark, run_benchmark_distributed_validation, BenchmarkResult, RootRun};
+pub use kernel2::{run_kernel2, Kernel2Result};
+pub use roots::select_roots;
+pub use spec::Graph500Spec;
+pub use teps::TepsStats;
+pub use validate::{validate_bfs, ValidationError};
+pub use validate_dist::DistValidator;

@@ -1,0 +1,66 @@
+//! Formatted benchmark output, mirroring the reference implementation's
+//! result block.
+
+use crate::kernel::BenchmarkResult;
+use std::fmt::Write;
+
+/// Renders a result in the official output style.
+pub fn format_report(res: &BenchmarkResult) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "SCALE:                 {}", res.spec.scale);
+    let _ = writeln!(s, "edgefactor:            {}", res.spec.edge_factor);
+    let _ = writeln!(s, "NBFS:                  {}", res.runs.len());
+    let _ = writeln!(s, "num_mpi_processes:     {}", res.ranks);
+    let _ = writeln!(s, "construction_time:     {:.6}", res.construction_s);
+    let times: Vec<f64> = res.runs.iter().map(|r| r.time_s).collect();
+    let _ = writeln!(s, "min_time:              {:.6}", min(&times));
+    let _ = writeln!(s, "max_time:              {:.6}", max(&times));
+    let st = &res.stats;
+    let _ = writeln!(s, "min_TEPS:              {:.4e}", st.min);
+    let _ = writeln!(s, "firstquartile_TEPS:    {:.4e}", st.q1);
+    let _ = writeln!(s, "median_TEPS:           {:.4e}", st.median);
+    let _ = writeln!(s, "thirdquartile_TEPS:    {:.4e}", st.q3);
+    let _ = writeln!(s, "max_TEPS:              {:.4e}", st.max);
+    let _ = writeln!(s, "harmonic_mean_TEPS:    {:.4e}", st.harmonic_mean);
+    let _ = writeln!(s, "harmonic_stddev_TEPS:  {:.4e}", st.harmonic_stddev);
+    s
+}
+
+fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::run_benchmark;
+    use crate::spec::Graph500Spec;
+    use swbfs_core::BfsConfig;
+
+    #[test]
+    fn report_contains_all_fields() {
+        let res = run_benchmark(
+            &Graph500Spec::quick(9, 1, 2),
+            2,
+            BfsConfig::threaded_small(2),
+        )
+        .unwrap();
+        let rep = format_report(&res);
+        for field in [
+            "SCALE",
+            "edgefactor",
+            "NBFS",
+            "construction_time",
+            "harmonic_mean_TEPS",
+            "harmonic_stddev_TEPS",
+            "median_TEPS",
+        ] {
+            assert!(rep.contains(field), "missing {field} in:\n{rep}");
+        }
+        assert!(rep.contains("SCALE:                 9"));
+    }
+}

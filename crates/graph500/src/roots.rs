@@ -1,0 +1,89 @@
+//! Search-root selection: step (2) of the benchmark.
+//!
+//! The spec requires roots sampled uniformly from vertices with degree at
+//! least one (self-loops not counted), without repetition.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use sw_graph::{Csr, EdgeList, Vid};
+
+/// Selects up to `count` distinct non-trivial roots. Returns fewer only if
+/// the graph has fewer eligible vertices.
+pub fn select_roots(el: &EdgeList, count: usize, seed: u64) -> Vec<Vid> {
+    // Degree not counting self-loops.
+    let csr = Csr::from_edge_list(el);
+    let eligible = |v: Vid| {
+        csr.neighbors(v).iter().any(|&w| w != v)
+    };
+    let n = el.num_vertices;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6a09_e667_f3bc_c908);
+    let mut chosen = Vec::with_capacity(count);
+    let mut seen = HashSet::new();
+    let mut attempts = 0u64;
+    // Rejection sampling with a fallback scan if the graph is tiny/sparse.
+    while chosen.len() < count && attempts < 64 * count as u64 + 1024 {
+        let v = rng.gen_range(0..n);
+        attempts += 1;
+        if seen.insert(v) && eligible(v) {
+            chosen.push(v);
+        }
+    }
+    if chosen.len() < count {
+        for v in 0..n {
+            if chosen.len() >= count {
+                break;
+            }
+            if !seen.contains(&v) && eligible(v) {
+                chosen.push(v);
+                seen.insert(v);
+            }
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_graph::{generate_kronecker, KroneckerConfig};
+
+    #[test]
+    fn roots_are_distinct_and_nontrivial() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(12, 3));
+        let csr = Csr::from_edge_list(&el);
+        let roots = select_roots(&el, 64, 7);
+        assert_eq!(roots.len(), 64);
+        let set: HashSet<_> = roots.iter().collect();
+        assert_eq!(set.len(), 64);
+        for &r in &roots {
+            assert!(csr.neighbors(r).iter().any(|&w| w != r), "trivial root {r}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(10, 3));
+        assert_eq!(select_roots(&el, 8, 1), select_roots(&el, 8, 1));
+        assert_ne!(select_roots(&el, 8, 1), select_roots(&el, 8, 2));
+    }
+
+    #[test]
+    fn self_loop_only_vertices_excluded() {
+        let el = EdgeList::new(4, vec![(0, 0), (1, 2)]);
+        let roots = select_roots(&el, 4, 5);
+        assert_eq!(roots.len(), 2);
+        assert!(!roots.contains(&0));
+        assert!(!roots.contains(&3));
+    }
+
+    #[test]
+    fn fallback_scan_finds_scarce_roots() {
+        // Only 2 eligible vertices in a big id space.
+        let el = EdgeList::new(1 << 16, vec![(10, 20)]);
+        let roots = select_roots(&el, 2, 9);
+        let mut r = roots.clone();
+        r.sort_unstable();
+        assert_eq!(r, vec![10, 20]);
+    }
+}

@@ -1,0 +1,258 @@
+//! BFS result validation: step (5) of the benchmark.
+//!
+//! The official suite checks five properties of the parent map against the
+//! original edge list:
+//!
+//! 1. the parent "tree" is actually a tree rooted at the search key (no
+//!    cycles, every reached vertex walks up to the root);
+//! 2. tree edges connect vertices whose BFS levels differ by exactly one;
+//! 3. every input edge connects vertices whose levels differ by at most
+//!    one — or both endpoints are unreached;
+//! 4. the tree spans exactly the root's connected component (an input edge
+//!    never joins a reached and an unreached vertex);
+//! 5. every (child, parent) tree edge exists in the input edge list.
+
+use std::collections::HashSet;
+use sw_graph::{EdgeList, Vid};
+use swbfs_core::{BfsOutput, NO_PARENT};
+
+/// A validation failure, identifying the violated rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Rule 1: a parent chain does not terminate at the root.
+    NotATree {
+        /// A vertex on the offending chain.
+        vertex: Vid,
+    },
+    /// Rule 1: `parent[root] != root`.
+    BadRoot,
+    /// Rule 2: a tree edge skips a level.
+    TreeEdgeLevelSkip {
+        /// Child vertex.
+        child: Vid,
+        /// Its recorded parent.
+        parent: Vid,
+    },
+    /// Rule 3: an input edge spans more than one level.
+    EdgeLevelSpan {
+        /// Edge endpoints.
+        edge: (Vid, Vid),
+        /// Their levels.
+        levels: (u32, u32),
+    },
+    /// Rule 4: an input edge joins reached and unreached vertices.
+    ComponentNotSpanned {
+        /// The offending edge.
+        edge: (Vid, Vid),
+    },
+    /// Rule 5: a claimed tree edge is not in the graph.
+    PhantomTreeEdge {
+        /// Child vertex.
+        child: Vid,
+        /// Its recorded parent.
+        parent: Vid,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::NotATree { vertex } => {
+                write!(f, "rule 1: parent chain from {vertex} does not reach the root")
+            }
+            ValidationError::BadRoot => write!(f, "rule 1: root is not its own parent"),
+            ValidationError::TreeEdgeLevelSkip { child, parent } => {
+                write!(f, "rule 2: tree edge {parent}->{child} skips a level")
+            }
+            ValidationError::EdgeLevelSpan { edge, levels } => write!(
+                f,
+                "rule 3: edge {:?} spans levels {:?}",
+                edge, levels
+            ),
+            ValidationError::ComponentNotSpanned { edge } => write!(
+                f,
+                "rule 4: edge {:?} joins reached and unreached vertices",
+                edge
+            ),
+            ValidationError::PhantomTreeEdge { child, parent } => {
+                write!(f, "rule 5: tree edge {parent}->{child} not in the graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates a BFS output against the input edge list under all five
+/// rules. Returns the number of input edges with at least one reached
+/// endpoint (the quantity the TEPS calculation traverses).
+pub fn validate_bfs(el: &EdgeList, out: &BfsOutput) -> Result<u64, ValidationError> {
+    let parents = &out.parents;
+    let root = out.root;
+    if parents[root as usize] != root {
+        return Err(ValidationError::BadRoot);
+    }
+
+    // Rule 1 (+ level derivation): walk every parent chain with memoized
+    // levels; a chain that exceeds n steps or hits an unreached parent is
+    // broken.
+    let levels = out.levels_from_parents();
+    for (v, &p) in parents.iter().enumerate() {
+        if p == NO_PARENT {
+            continue;
+        }
+        if levels[v].is_none() {
+            return Err(ValidationError::NotATree { vertex: v as Vid });
+        }
+    }
+
+    // Rules 2 and 5 over tree edges.
+    let edge_set: HashSet<(Vid, Vid)> = el
+        .symmetric_iter()
+        .collect();
+    for (v, &p) in parents.iter().enumerate() {
+        let v = v as Vid;
+        if p == NO_PARENT || v == root {
+            continue;
+        }
+        let (lv, lp) = (levels[v as usize].unwrap(), levels[p as usize].unwrap());
+        if lv != lp + 1 {
+            return Err(ValidationError::TreeEdgeLevelSkip { child: v, parent: p });
+        }
+        if !edge_set.contains(&(p, v)) {
+            return Err(ValidationError::PhantomTreeEdge { child: v, parent: p });
+        }
+    }
+
+    // Rules 3 and 4 over input edges; count traversed edges on the way.
+    let mut traversed = 0u64;
+    for &(u, v) in &el.edges {
+        match (levels[u as usize], levels[v as usize]) {
+            (Some(lu), Some(lv)) => {
+                traversed += 1;
+                if lu.abs_diff(lv) > 1 {
+                    return Err(ValidationError::EdgeLevelSpan {
+                        edge: (u, v),
+                        levels: (lu, lv),
+                    });
+                }
+            }
+            (None, None) => {}
+            _ => return Err(ValidationError::ComponentNotSpanned { edge: (u, v) }),
+        }
+    }
+    Ok(traversed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swbfs_core::baseline::sequential_bfs_parents;
+    use sw_graph::{generate_kronecker, Csr, KroneckerConfig};
+
+    fn valid_output(el: &EdgeList, root: Vid) -> BfsOutput {
+        let csr = Csr::from_edge_list(el);
+        BfsOutput {
+            root,
+            parents: sequential_bfs_parents(&csr, root),
+            levels: vec![],
+        }
+    }
+
+    #[test]
+    fn oracle_output_validates() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(10, 4));
+        let out = valid_output(&el, 1);
+        let traversed = validate_bfs(&el, &out).unwrap();
+        assert!(traversed > 0);
+        assert!(traversed <= el.len() as u64);
+    }
+
+    #[test]
+    fn detects_bad_root() {
+        let el = EdgeList::new(3, vec![(0, 1), (1, 2)]);
+        let mut out = valid_output(&el, 0);
+        out.parents[0] = 1;
+        assert_eq!(validate_bfs(&el, &out), Err(ValidationError::BadRoot));
+    }
+
+    #[test]
+    fn detects_level_skip() {
+        // Path 0-1-2-3; forge parent[3] = 0 — not even a graph edge, but
+        // rule 2 fires first via level arithmetic? parent 0 is level 0,
+        // child 3 would be level 1; edge (0,3) missing -> either rule 2 or
+        // 5 catches it. Make a true level skip with a real edge: square
+        // 0-1-2-3-0 plus chord 1-3. parent map: 1<-0, 3<-0, 2<-1 is valid;
+        // forging 2's parent to 3 keeps levels 2 = 1+1 valid... use a
+        // 5-cycle: 0-1-2-3-4-0. Correct levels: 1:1, 4:1, 2:2, 3:2.
+        // Forge parent[3] = 0: level(3) becomes 1? levels are *derived*
+        // from parents, so forging rewrites levels; rule 3 then sees edge
+        // (2,3) spanning levels (2,1) — fine — and edge (3,4): (1,1) fine.
+        // Rule 5 sees 0->3 missing. So rule 5 catches the forgery.
+        let el = EdgeList::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let mut out = valid_output(&el, 0);
+        out.parents[3] = 0;
+        assert_eq!(
+            validate_bfs(&el, &out),
+            Err(ValidationError::PhantomTreeEdge { child: 3, parent: 0 })
+        );
+    }
+
+    #[test]
+    fn detects_span_violation() {
+        // Path 0-1-2 plus edge 0-2. Claim 2's parent is 1 but ALSO forge
+        // 1's parent to make 2 sit at level 3: chain 0-1-2-3-4 with edge
+        // 0-4: correct BFS gives level(4)=1 via edge 0-4... simplest: path
+        // 0-1-2-3 with extra edge (0,3). Forged parents along the path put
+        // 3 at level 3 while 0 is at level 0: edge (0,3) spans 3 levels.
+        let el = EdgeList::new(4, vec![(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let out = BfsOutput {
+            root: 0,
+            parents: vec![0, 0, 1, 2], // ignores the shortcut edge
+            levels: vec![],
+        };
+        assert_eq!(
+            validate_bfs(&el, &out),
+            Err(ValidationError::EdgeLevelSpan {
+                edge: (0, 3),
+                levels: (0, 3)
+            })
+        );
+    }
+
+    #[test]
+    fn detects_unspanned_component() {
+        let el = EdgeList::new(3, vec![(0, 1), (1, 2)]);
+        let out = BfsOutput {
+            root: 0,
+            parents: vec![0, 0, NO_PARENT], // 2 reachable but unreached
+            levels: vec![],
+        };
+        assert_eq!(
+            validate_bfs(&el, &out),
+            Err(ValidationError::ComponentNotSpanned { edge: (1, 2) })
+        );
+    }
+
+    #[test]
+    fn detects_parent_cycle() {
+        let el = EdgeList::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 1)]);
+        let out = BfsOutput {
+            root: 0,
+            parents: vec![0, 2, 3, 1], // 1<-2<-3<-1 cycle, disconnected from root
+            levels: vec![],
+        };
+        assert!(matches!(
+            validate_bfs(&el, &out),
+            Err(ValidationError::NotATree { .. })
+        ));
+    }
+
+    #[test]
+    fn traversed_counts_touched_edges_only() {
+        // Two components: 0-1 and 2-3; root 0 touches only edge (0,1).
+        let el = EdgeList::new(4, vec![(0, 1), (2, 3)]);
+        let out = valid_output(&el, 0);
+        assert_eq!(validate_bfs(&el, &out).unwrap(), 1);
+    }
+}

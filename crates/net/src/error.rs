@@ -1,0 +1,66 @@
+//! Structured network-layer failures.
+
+use std::fmt;
+
+/// A modeled network failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetError {
+    /// MPI connection state no longer fits in node memory — the failure
+    /// that killed Direct messaging at 16 Ki nodes in Figure 11.
+    ConnectionMemoryExhausted {
+        /// Node that exhausted its memory.
+        node: u32,
+        /// Open connections at the point of failure.
+        connections: usize,
+        /// Bytes MPI state would need.
+        required_bytes: u64,
+        /// Bytes available to MPI after the application's share.
+        available_bytes: u64,
+    },
+    /// A node id outside the job.
+    BadNode {
+        /// Offending id.
+        node: u32,
+        /// Job size.
+        nodes: u32,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::ConnectionMemoryExhausted {
+                node,
+                connections,
+                required_bytes,
+                available_bytes,
+            } => write!(
+                f,
+                "node {node}: {connections} MPI connections need {required_bytes} B but only {available_bytes} B are free"
+            ),
+            NetError::BadNode { node, nodes } => {
+                write!(f, "node id {node} outside job of {nodes} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::ConnectionMemoryExhausted {
+            node: 7,
+            connections: 16384,
+            required_bytes: 1 << 34,
+            available_bytes: 1 << 33,
+        };
+        assert!(e.to_string().contains("16384"));
+        let e = NetError::BadNode { node: 9, nodes: 8 };
+        assert!(e.to_string().contains("outside job"));
+    }
+}

@@ -1,0 +1,391 @@
+//! Event-driven message-level network simulator.
+//!
+//! The flow-level [`CostModel`](crate::cost::CostModel) charges aggregate
+//! limits; this module cross-checks it by actually simulating individual
+//! messages through the two-tier fat tree: per-node egress/ingress
+//! serialization at the tier-appropriate rate, per-message software
+//! overhead at the sender, and shared super-node uplinks with the 1:4
+//! over-subscription. It is practical up to a few thousand nodes and a
+//! few hundred thousand messages — enough to validate the model on real
+//! BFS exchange patterns (see the `netsim_validation` bench binary and
+//! the cross-check unit tests).
+//!
+//! Simplifications (shared with the flow model, so the comparison is
+//! apples-to-apples): store-and-forward at message granularity, no
+//! per-packet interleaving, uplink contention spread uniformly.
+
+use crate::routing::{classify, PathClass};
+use crate::topology::NetworkConfig;
+use crate::NodeId;
+
+/// One message to simulate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimMessage {
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+/// Outcome of simulating a batch of messages that all start at t = 0.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimOutcome {
+    /// Time at which the last message was fully received, ns.
+    pub makespan_ns: f64,
+    /// Total bytes that crossed super-node boundaries.
+    pub cross_bytes: u64,
+    /// Messages simulated.
+    pub messages: usize,
+}
+
+/// Simulates a phase: every message is injected at its source as soon as
+/// the source's egress port frees up (FIFO per sender, in input order),
+/// traverses its path, and is drained by the destination's ingress port.
+///
+/// Each resource (egress port, uplink share, ingress port) serializes the
+/// work assigned to it; a message's arrival is the max of its resources'
+/// availability plus its own serialization, propagation and per-message
+/// overheads.
+pub fn simulate_phase(cfg: &NetworkConfig, messages: &[SimMessage]) -> SimOutcome {
+    let nodes = cfg.nodes as usize;
+    let sn = cfg.num_supernodes() as usize;
+    // Resource availability times.
+    let mut egress = vec![0.0f64; nodes];
+    let mut ingress = vec![0.0f64; nodes];
+    let mut uplink = vec![0.0f64; sn]; // up+down share per super node
+    let mut downlink = vec![0.0f64; sn];
+
+    let intra_bw = (cfg.effective_node_gbps * cfg.oversubscription).min(cfg.nic_gbps);
+    let uplink_bw = cfg.supernode_uplink_gbps();
+
+    let mut makespan = 0.0f64;
+    let mut cross_bytes = 0;
+    for m in messages {
+        assert!(m.src < cfg.nodes && m.dst < cfg.nodes, "node out of range");
+        let class = classify(cfg, m.src, m.dst);
+        let overhead = cfg.per_message_ns + class.hops() as f64 * cfg.hop_latency_ns;
+        match class {
+            PathClass::Local => {
+                makespan = makespan.max(overhead);
+            }
+            PathClass::IntraSupernode => {
+                let ser = m.bytes as f64 / intra_bw;
+                // Egress serialization (FIFO per sender).
+                let sent = egress[m.src as usize] + ser + cfg.per_message_ns;
+                egress[m.src as usize] = sent;
+                // Ingress drain overlaps cut-through with the egress: the
+                // port's busy time accumulates (including the receive-side
+                // per-message handling), but a lone message arrives when
+                // its send completes.
+                let drained =
+                    (ingress[m.dst as usize] + ser + cfg.per_message_ns).max(sent);
+                ingress[m.dst as usize] = drained;
+                makespan = makespan.max(drained + overhead);
+            }
+            PathClass::InterSupernode => {
+                cross_bytes += m.bytes;
+                let ser_nic = m.bytes as f64 / cfg.nic_gbps;
+                // The uplink is a shared resource serialized at its full
+                // aggregate rate; contention emerges from the queueing.
+                let ser_up = m.bytes as f64 / uplink_bw;
+                let s_sn = cfg.supernode_of(m.src) as usize;
+                let d_sn = cfg.supernode_of(m.dst) as usize;
+                // Egress serialization at the NIC.
+                let sent = egress[m.src as usize] + ser_nic + cfg.per_message_ns;
+                egress[m.src as usize] = sent;
+                // Per-node fair share of the over-subscribed uplink, then
+                // the destination super node's downlink, each cut-through.
+                let up_done = (uplink[s_sn] + ser_up).max(sent);
+                uplink[s_sn] = up_done;
+                let down_done = (downlink[d_sn] + ser_up).max(up_done);
+                downlink[d_sn] = down_done;
+                // Ingress drain (incl. receive-side message handling).
+                let drained =
+                    (ingress[m.dst as usize] + ser_nic + cfg.per_message_ns).max(down_done);
+                ingress[m.dst as usize] = drained;
+                makespan = makespan.max(drained + overhead);
+            }
+        }
+    }
+    SimOutcome {
+        makespan_ns: makespan,
+        cross_bytes,
+        messages: messages.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostModel, PhaseLoad};
+
+    fn cfg(nodes: u32) -> NetworkConfig {
+        NetworkConfig::taihulight(nodes)
+    }
+
+    #[test]
+    fn single_big_intra_message_is_fast_tier() {
+        let c = cfg(512);
+        let out = simulate_phase(
+            &c,
+            &[SimMessage {
+                src: 0,
+                dst: 1,
+                bytes: 1 << 20,
+            }],
+        );
+        // ~1 MiB at 4.8 GB/s ≈ 218 µs (plus overheads).
+        let expect = (1u64 << 20) as f64 / 4.8;
+        assert!(
+            (out.makespan_ns - expect).abs() / expect < 0.1,
+            "got {} expect ~{}",
+            out.makespan_ns,
+            expect
+        );
+        assert_eq!(out.cross_bytes, 0);
+    }
+
+    #[test]
+    fn cross_supernode_message_pays_the_slow_share() {
+        let c = cfg(512);
+        let out = simulate_phase(
+            &c,
+            &[SimMessage {
+                src: 0,
+                dst: 300,
+                bytes: 1 << 20,
+            }],
+        );
+        // A lone cross message is NIC-bound (~bytes/7 GB/s + overheads);
+        // uplink contention only appears under load.
+        let expect = (1u64 << 20) as f64 / 7.0;
+        assert!(
+            out.makespan_ns > expect && out.makespan_ns < 2.0 * expect,
+            "got {} expect ~{}",
+            out.makespan_ns,
+            expect
+        );
+        assert_eq!(out.cross_bytes, 1 << 20);
+
+        // Under saturating cross load the shared over-subscribed uplink
+        // becomes the bottleneck: 256 senders × 1 MiB through one 448 GB/s
+        // uplink + one downlink.
+        let msgs: Vec<SimMessage> = (0..256u32)
+            .map(|i| SimMessage {
+                src: i,
+                dst: 300 + (i % 100),
+                bytes: 1 << 20,
+            })
+            .collect();
+        let loaded = simulate_phase(&c, &msgs);
+        let uplink_time = 256.0 * (1u64 << 20) as f64 / c.supernode_uplink_gbps();
+        assert!(
+            loaded.makespan_ns > uplink_time,
+            "loaded {} should exceed uplink serialization {}",
+            loaded.makespan_ns,
+            uplink_time
+        );
+    }
+
+    #[test]
+    fn many_small_messages_bound_by_sender_overhead() {
+        let c = cfg(512);
+        let msgs: Vec<SimMessage> = (1..401)
+            .map(|d| SimMessage {
+                src: 0,
+                dst: d,
+                bytes: 64,
+            })
+            .collect();
+        let out = simulate_phase(&c, &msgs);
+        // 400 × 2 µs of per-message cost at the single sender.
+        assert!(out.makespan_ns > 400.0 * c.per_message_ns * 0.9);
+        assert!(out.makespan_ns < 400.0 * c.per_message_ns * 2.0);
+    }
+
+    #[test]
+    fn event_sim_agrees_with_flow_model_on_uniform_alltoall() {
+        // 64 nodes (sub-super-node job), every pair exchanges 64 KiB,
+        // using the classic shifted all-to-all schedule (round k: node s
+        // sends to (s+k) mod P) that real MPI collectives use to avoid
+        // receiver convoys.
+        let c = cfg(64);
+        let per_pair = 64u64 << 10;
+        let mut shifted = Vec::new();
+        for k in 1..64u32 {
+            for s in 0..64u32 {
+                shifted.push(SimMessage {
+                    src: s,
+                    dst: (s + k) % 64,
+                    bytes: per_pair,
+                });
+            }
+        }
+        let sim = simulate_phase(&c, &shifted);
+
+        let send = 63.0 * per_pair as f64;
+        let flow = CostModel::new(c).phase_time_ns(&PhaseLoad {
+            max_send_bytes: send,
+            max_send_cross_bytes: 0.0,
+            max_recv_bytes: send,
+            max_recv_cross_bytes: 0.0,
+            max_send_msgs: 63.0,
+            max_recv_msgs: 63.0,
+            inter_supernode_bytes: 0.0,
+            max_hops: 1,
+        });
+        let ratio = sim.makespan_ns / flow;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "event sim {} vs flow model {} (ratio {ratio})",
+            sim.makespan_ns,
+            flow
+        );
+
+        // The naive s-major schedule creates a receiver convoy (every
+        // destination's messages land at once) — the event sim captures
+        // the resulting contention that the flow model averages away.
+        let mut convoy = Vec::new();
+        for s in 0..64u32 {
+            for d in 0..64u32 {
+                if s != d {
+                    convoy.push(SimMessage {
+                        src: s,
+                        dst: d,
+                        bytes: per_pair,
+                    });
+                }
+            }
+        }
+        let bad = simulate_phase(&c, &convoy);
+        assert!(
+            bad.makespan_ns > 1.5 * sim.makespan_ns,
+            "convoy {} should be markedly slower than shifted {}",
+            bad.makespan_ns,
+            sim.makespan_ns
+        );
+    }
+
+    #[test]
+    fn relay_and_direct_big_messages_similar_in_event_sim() {
+        // The §4.4 experiment replayed at message level: one 16 MiB
+        // message per node to a random remote-super-node peer, directly vs
+        // with a relay stage.
+        let c = cfg(1024);
+        let bytes = 16u64 << 20;
+        let direct: Vec<SimMessage> = (0..256u32)
+            .map(|i| SimMessage {
+                src: i,
+                dst: 512 + i,
+                bytes,
+            })
+            .collect();
+        let d = simulate_phase(&c, &direct);
+        // Relay through node (dst_supernode, src_index): stage 1 cross,
+        // stage 2 intra.
+        let mut relayed = Vec::new();
+        for i in 0..256u32 {
+            relayed.push(SimMessage {
+                src: i,
+                dst: 512 + ((i + 7) % 256), // relay in dst super node
+                bytes,
+            });
+        }
+        for i in 0..256u32 {
+            relayed.push(SimMessage {
+                src: 512 + ((i + 7) % 256),
+                dst: 512 + i,
+                bytes,
+            });
+        }
+        let r = simulate_phase(&c, &relayed);
+        let penalty = r.makespan_ns / d.makespan_ns;
+        assert!(
+            penalty < 1.35,
+            "relay penalty {penalty} too high ({} vs {})",
+            r.makespan_ns,
+            d.makespan_ns
+        );
+    }
+
+    #[test]
+    fn relay_batching_wins_at_message_level_too() {
+        // The Figure 11 mechanism replayed packet-by-packet: 512 nodes in
+        // 32 groups of 16 (groups ≙ super nodes), each node owing 64 B to
+        // every other node. Direct pays 511 per-message overheads per
+        // sender; relay pays 31 + 15 + 15 = 61 batched ones.
+        const M: u32 = 16;
+        let mut c = cfg(512);
+        c.supernode_size = M;
+        let layout = crate::group::GroupLayout::new(512, M);
+
+        let mut direct = Vec::new();
+        for k in 1..512u32 {
+            for s in 0..512u32 {
+                direct.push(SimMessage {
+                    src: s,
+                    dst: (s + k) % 512,
+                    bytes: 64,
+                });
+            }
+        }
+        let d = simulate_phase(&c, &direct);
+
+        // Relay stage 1: one batch per remote group + direct to mates.
+        let mut relay = Vec::new();
+        for s in 0..512u32 {
+            let g = layout.group_of(s);
+            for other in 0..layout.num_groups() {
+                if other != g {
+                    relay.push(SimMessage {
+                        src: s,
+                        dst: layout.node_at(other, layout.index_of(s)),
+                        bytes: 64 * M as u64,
+                    });
+                }
+            }
+            for mate in 0..M {
+                let dst = g * M + mate;
+                if dst != s {
+                    relay.push(SimMessage { src: s, dst, bytes: 64 });
+                }
+            }
+        }
+        // Stage 2: each relay forwards its collected batches per mate.
+        for r in 0..512u32 {
+            let g = layout.group_of(r);
+            for mate in 0..M {
+                let dst = g * M + mate;
+                if dst != r {
+                    relay.push(SimMessage {
+                        src: r,
+                        dst,
+                        bytes: (layout.num_groups() as u64 - 1) * 64,
+                    });
+                }
+            }
+        }
+        let rsim = simulate_phase(&c, &relay);
+        assert!(
+            rsim.makespan_ns < 0.35 * d.makespan_ns,
+            "relay {} should beat direct {} on tiny messages",
+            rsim.makespan_ns,
+            d.makespan_ns
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_nodes() {
+        simulate_phase(
+            &cfg(4),
+            &[SimMessage {
+                src: 0,
+                dst: 9,
+                bytes: 1,
+            }],
+        );
+    }
+}

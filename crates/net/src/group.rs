@@ -1,0 +1,235 @@
+//! The N×M relay-group layout of group-based message batching (§4.4).
+//!
+//! Nodes are arranged as an `N × M` matrix: `N` groups (rows) of `M` nodes
+//! (columns). A message from `src = (gs, is)` to `dst = (gd, id)` is sent in
+//! two stages through the relay node `(gd, is)` — "in the same row as the
+//! destination node and the same column as the source node":
+//!
+//! * **stage 1** `src → relay`: crosses groups, but all of `src`'s traffic
+//!   to group `gd` shares this one connection and is batched into large
+//!   messages;
+//! * **stage 2** `relay → dst`: stays inside group `gd`, which the job maps
+//!   onto one super node, where bandwidth is full-bisection.
+//!
+//! Each node therefore keeps `(N-1) + (M-1)` connections instead of
+//! `N×M - 1`, and an all-to-all needs `N + M - 1` messages per node instead
+//! of `N × M` (the paper's counting, which includes the self row/column
+//! slots), collapsing the MPI memory footprint from ~4 GB to ~40 MB at full
+//! machine scale.
+
+use crate::topology::NetworkConfig;
+use crate::NodeId;
+
+/// The relay-group arrangement.
+///
+/// ```
+/// use sw_net::GroupLayout;
+///
+/// let g = GroupLayout::new(40_960, 256);
+/// // Relay sits in the destination's group, the source's column.
+/// let relay = g.relay(5, 3 * 256 + 7);
+/// assert_eq!(g.group_of(relay), 3);
+/// assert_eq!(g.index_of(relay), 5);
+/// // The §4.4 collapse: N + M - 1 messages instead of N × M.
+/// assert_eq!(g.messages_per_all_to_all(), 160 + 256 - 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupLayout {
+    nodes: u32,
+    group_size: u32,
+}
+
+impl GroupLayout {
+    /// Arranges `nodes` into groups of `group_size` (the last group may be
+    /// smaller).
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn new(nodes: u32, group_size: u32) -> Self {
+        assert!(nodes > 0, "empty job");
+        assert!(group_size > 0, "empty groups");
+        Self { nodes, group_size }
+    }
+
+    /// The paper's mapping: one group per super node.
+    pub fn aligned_to_supernodes(cfg: &NetworkConfig) -> Self {
+        Self::new(cfg.nodes, cfg.supernode_size)
+    }
+
+    /// Job size.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Nodes per full group (M).
+    pub fn group_size(&self) -> u32 {
+        self.group_size
+    }
+
+    /// Number of groups (N), counting a trailing partial group.
+    pub fn num_groups(&self) -> u32 {
+        self.nodes.div_ceil(self.group_size)
+    }
+
+    /// Group (row) of a node.
+    pub fn group_of(&self, node: NodeId) -> u32 {
+        node / self.group_size
+    }
+
+    /// Column of a node within its group.
+    pub fn index_of(&self, node: NodeId) -> u32 {
+        node % self.group_size
+    }
+
+    /// Size of a specific group (the last may be partial).
+    pub fn group_size_of(&self, group: u32) -> u32 {
+        let start = group * self.group_size;
+        self.group_size.min(self.nodes - start)
+    }
+
+    /// Node at `(group, index)`; `index` is wrapped into the group's actual
+    /// size so relays for partial trailing groups stay well-defined.
+    pub fn node_at(&self, group: u32, index: u32) -> NodeId {
+        let size = self.group_size_of(group);
+        group * self.group_size + (index % size)
+    }
+
+    /// The relay node for `src → dst`: same group as `dst`, same column as
+    /// `src`. When `src` and `dst` share a group (or are equal) no relay is
+    /// needed and `dst` itself is returned.
+    pub fn relay(&self, src: NodeId, dst: NodeId) -> NodeId {
+        if self.group_of(src) == self.group_of(dst) {
+            dst
+        } else {
+            self.node_at(self.group_of(dst), self.index_of(src))
+        }
+    }
+
+    /// The full store-and-forward path `src → … → dst` (1 or 2 network
+    /// stages; zero for a self-message).
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let mut p = vec![src];
+        let relay = self.relay(src, dst);
+        if relay != src && relay != dst {
+            p.push(relay);
+        }
+        if dst != src {
+            p.push(dst);
+        }
+        p
+    }
+
+    /// Distinct connections a node keeps under relaying: its column peers
+    /// (one per other group) plus its group peers.
+    pub fn connections_per_node(&self, node: NodeId) -> u32 {
+        let g = self.group_of(node);
+        let idx = self.index_of(node);
+        let group_peers = self.group_size_of(g) - 1;
+        // One column peer in every other group that actually contains the
+        // wrapped index (all of them, since wrapping maps into the group).
+        let column_peers = self.num_groups() - 1;
+        let _ = idx;
+        group_peers + column_peers
+    }
+
+    /// Messages per node for an all-to-all under relaying, the paper's
+    /// `N + M - 1` count.
+    pub fn messages_per_all_to_all(&self) -> u32 {
+        self.num_groups() + self.group_size - 1
+    }
+
+    /// Messages per node for an all-to-all with direct messaging, `N × M`
+    /// in the paper's counting.
+    pub fn direct_messages_per_all_to_all(&self) -> u32 {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relay_address_algebra() {
+        let g = GroupLayout::new(1024, 256);
+        // src = (0, 5), dst = (3, 7) -> relay = (3, 5).
+        let src = 5;
+        let dst = 3 * 256 + 7;
+        let relay = g.relay(src, dst);
+        assert_eq!(g.group_of(relay), 3);
+        assert_eq!(g.index_of(relay), 5);
+        assert_eq!(g.path(src, dst), vec![src, relay, dst]);
+    }
+
+    #[test]
+    fn same_group_is_direct() {
+        let g = GroupLayout::new(1024, 256);
+        assert_eq!(g.relay(10, 20), 20);
+        assert_eq!(g.path(10, 20), vec![10, 20]);
+        assert_eq!(g.path(10, 10), vec![10]);
+    }
+
+    #[test]
+    fn relay_stage2_stays_in_group() {
+        let g = GroupLayout::new(40_960, 256);
+        for &(s, d) in &[(0u32, 40_959u32), (12_345, 678), (255, 256), (40_000, 3)] {
+            let path = g.path(s, d);
+            let last_hop_src = path[path.len() - 2];
+            assert_eq!(
+                g.group_of(last_hop_src),
+                g.group_of(d),
+                "stage 2 must be intra-group for {s}->{d}"
+            );
+            assert!(path.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn partial_trailing_group_wraps() {
+        // 10 nodes in groups of 4: groups {0..4},{4..8},{8..10}.
+        let g = GroupLayout::new(10, 4);
+        assert_eq!(g.num_groups(), 3);
+        assert_eq!(g.group_size_of(2), 2);
+        // src column 3, dst in group 2 (size 2): relay wraps 3 % 2 = 1.
+        let relay = g.relay(3, 8);
+        assert_eq!(relay, 9);
+        assert_eq!(g.group_of(relay), 2);
+    }
+
+    #[test]
+    fn connection_collapse_matches_paper() {
+        let g = GroupLayout::new(40_960, 256);
+        // ~200 + 200 - 1 messages instead of 40,960.
+        assert_eq!(g.messages_per_all_to_all(), 160 + 256 - 1);
+        assert!(g.messages_per_all_to_all() < g.direct_messages_per_all_to_all() / 90);
+        let conns = g.connections_per_node(0);
+        assert_eq!(conns, 255 + 159);
+        // Paper arithmetic: 40 MB vs 4 GB at 100 KB per connection.
+        let relay_mb = conns as u64 * 100 * 1024 / (1 << 20);
+        assert!((30..60).contains(&relay_mb), "relay MPI state {relay_mb} MB");
+    }
+
+    #[test]
+    fn relay_load_is_balanced() {
+        // Every node should relay a similar number of (src,dst) pairs.
+        let g = GroupLayout::new(64, 8);
+        let mut load = vec![0u32; 64];
+        for s in 0..64 {
+            for d in 0..64 {
+                let p = g.path(s, d);
+                if p.len() == 3 {
+                    load[p[1] as usize] += 1;
+                }
+            }
+        }
+        let max = *load.iter().max().unwrap();
+        let min = *load.iter().min().unwrap();
+        assert!(max - min <= 8, "relay load imbalance: min {min}, max {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty groups")]
+    fn zero_group_size_rejected() {
+        GroupLayout::new(10, 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Rank-to-node placement — the mechanism behind Figure 9's "logical and
+//! physical group mapping".
+//!
+//! The relay technique only cancels its overhead if each communication
+//! group lands inside one super node ("we map each communication group
+//! into the same super node"). This module makes placement an explicit,
+//! comparable choice: contiguous (the paper's), round-robin across super
+//! nodes (the classic load-balancing default that *destroys* the
+//! alignment), and seeded random. The measured cross-super-node fraction
+//! of relay stage-2 traffic quantifies why the paper chose contiguous.
+
+use crate::group::GroupLayout;
+use crate::topology::NetworkConfig;
+use crate::NodeId;
+use rand_shim::shuffle;
+
+/// How logical ranks map onto physical nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Rank `r` on node `r` — groups align with super nodes (Figure 9).
+    Contiguous,
+    /// Rank `r` on node `(r % S) * supernode_size + r / S` for `S` super
+    /// nodes: consecutive ranks land on *different* super nodes.
+    RoundRobin,
+    /// Seeded random permutation.
+    Random(u64),
+}
+
+impl Placement {
+    /// Materializes the rank→node table for a job of `cfg.nodes` ranks.
+    pub fn table(&self, cfg: &NetworkConfig) -> Vec<NodeId> {
+        let p = cfg.nodes;
+        match *self {
+            Placement::Contiguous => (0..p).collect(),
+            Placement::RoundRobin => {
+                let sn = cfg.num_supernodes();
+                let mut slots: Vec<Vec<NodeId>> = (0..sn)
+                    .map(|s| {
+                        let start = s * cfg.supernode_size;
+                        (start..(start + cfg.supernode_size).min(p)).collect()
+                    })
+                    .collect();
+                let mut table = Vec::with_capacity(p as usize);
+                let mut s = 0usize;
+                while table.len() < p as usize {
+                    if let Some(n) = slots[s % sn as usize].pop() {
+                        table.push(n);
+                    }
+                    s += 1;
+                }
+                table
+            }
+            Placement::Random(seed) => {
+                let mut table: Vec<NodeId> = (0..p).collect();
+                shuffle(&mut table, seed);
+                table
+            }
+        }
+    }
+
+    /// Fraction of relay **stage-2** record deliveries that cross a
+    /// super-node boundary under this placement, for uniform all-to-all
+    /// traffic over `layout`. Zero means the Figure 9 alignment holds.
+    pub fn stage2_cross_fraction(&self, cfg: &NetworkConfig, layout: &GroupLayout) -> f64 {
+        let table = self.table(cfg);
+        let p = cfg.nodes;
+        let mut cross = 0u64;
+        let mut total = 0u64;
+        for s in 0..p {
+            for d in 0..p {
+                if s == d {
+                    continue;
+                }
+                let path = layout.path(s, d);
+                if path.len() == 3 {
+                    // stage 2: relay -> destination.
+                    total += 1;
+                    let a = table[path[1] as usize];
+                    let b = table[path[2] as usize];
+                    if cfg.supernode_of(a) != cfg.supernode_of(b) {
+                        cross += 1;
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            cross as f64 / total as f64
+        }
+    }
+}
+
+/// Minimal deterministic Fisher–Yates (kept local so `sw-net` needs no
+/// rand dependency).
+mod rand_shim {
+    /// SplitMix64-driven shuffle.
+    pub fn shuffle<T>(v: &mut [T], seed: u64) {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        };
+        for i in (1..v.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            v.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NetworkConfig {
+        let mut c = NetworkConfig::taihulight(64);
+        c.supernode_size = 16; // 4 super nodes of 16
+        c
+    }
+
+    #[test]
+    fn tables_are_permutations() {
+        let c = cfg();
+        for p in [Placement::Contiguous, Placement::RoundRobin, Placement::Random(7)] {
+            let t = p.table(&c);
+            let mut sorted = t.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..64).collect::<Vec<_>>(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn contiguous_keeps_stage2_inside_supernodes() {
+        let c = cfg();
+        let layout = GroupLayout::new(c.nodes, c.supernode_size);
+        let f = Placement::Contiguous.stage2_cross_fraction(&c, &layout);
+        assert_eq!(f, 0.0, "Figure 9 alignment must make stage 2 free");
+    }
+
+    #[test]
+    fn round_robin_destroys_the_alignment() {
+        let c = cfg();
+        let layout = GroupLayout::new(c.nodes, c.supernode_size);
+        let f = Placement::RoundRobin.stage2_cross_fraction(&c, &layout);
+        assert!(f > 0.7, "round-robin stage-2 cross fraction {f}");
+    }
+
+    #[test]
+    fn random_is_mostly_cross() {
+        let c = cfg();
+        let layout = GroupLayout::new(c.nodes, c.supernode_size);
+        let f = Placement::Random(3).stage2_cross_fraction(&c, &layout);
+        // With 4 super nodes a random pair is cross ~3/4 of the time.
+        assert!((0.55..0.95).contains(&f), "random cross fraction {f}");
+    }
+
+    #[test]
+    fn round_robin_spreads_consecutive_ranks() {
+        let c = cfg();
+        let t = Placement::RoundRobin.table(&c);
+        let crossings = t
+            .windows(2)
+            .filter(|w| c.supernode_of(w[0]) != c.supernode_of(w[1]))
+            .count();
+        assert!(crossings > 55, "only {crossings} adjacent crossings");
+    }
+}

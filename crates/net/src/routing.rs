@@ -1,0 +1,73 @@
+//! Static destination-based routing over the two-level fat tree.
+//!
+//! A message either stays inside its super node (one switch level, full
+//! bisection) or climbs through the central switching network (three
+//! levels, over-subscribed). The cost model only needs this classification
+//! plus hop counts; the actual switch-port choice is static and
+//! destination-based (§3.3) and does not affect aggregate behaviour.
+
+use crate::topology::NetworkConfig;
+use crate::NodeId;
+
+/// Which part of the fat tree a point-to-point message traverses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathClass {
+    /// Source and destination are the same node; no network traversal.
+    Local,
+    /// Same super node: routed by the bottom-level switch, full bisection.
+    IntraSupernode,
+    /// Different super nodes: up through the central switches and back
+    /// down, subject to 1:4 over-subscription.
+    InterSupernode,
+}
+
+impl PathClass {
+    /// Switch levels crossed (for latency accounting).
+    pub fn hops(self) -> u32 {
+        match self {
+            PathClass::Local => 0,
+            PathClass::IntraSupernode => 1,
+            PathClass::InterSupernode => 3,
+        }
+    }
+}
+
+/// Classifies the path from `src` to `dst`.
+pub fn classify(cfg: &NetworkConfig, src: NodeId, dst: NodeId) -> PathClass {
+    if src == dst {
+        PathClass::Local
+    } else if cfg.supernode_of(src) == cfg.supernode_of(dst) {
+        PathClass::IntraSupernode
+    } else {
+        PathClass::InterSupernode
+    }
+}
+
+/// One-way propagation latency of a single message on the given path.
+pub fn path_latency_ns(cfg: &NetworkConfig, class: PathClass) -> f64 {
+    cfg.per_message_ns + class.hops() as f64 * cfg.hop_latency_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let cfg = NetworkConfig::taihulight(1024);
+        assert_eq!(classify(&cfg, 5, 5), PathClass::Local);
+        assert_eq!(classify(&cfg, 0, 255), PathClass::IntraSupernode);
+        assert_eq!(classify(&cfg, 0, 256), PathClass::InterSupernode);
+        assert_eq!(classify(&cfg, 700, 701), PathClass::IntraSupernode);
+    }
+
+    #[test]
+    fn latency_orders() {
+        let cfg = NetworkConfig::taihulight(1024);
+        let local = path_latency_ns(&cfg, PathClass::Local);
+        let intra = path_latency_ns(&cfg, PathClass::IntraSupernode);
+        let inter = path_latency_ns(&cfg, PathClass::InterSupernode);
+        assert!(local < intra && intra < inter);
+        assert_eq!(PathClass::InterSupernode.hops(), 3);
+    }
+}

@@ -1,0 +1,103 @@
+//! Social-network analytics — the workload class the paper's introduction
+//! motivates ("analyzing unstructured data, such as social network
+//! graphs").
+//!
+//! Treats a Kronecker graph as a social network and answers four classic
+//! questions with the distributed kernels, all running on the same
+//! shuffle/relay framework as the BFS:
+//!
+//! * degrees of separation (BFS hop histogram),
+//! * communities (weakly connected components),
+//! * influencers (PageRank top-10),
+//! * the tightly-knit core (k-core decomposition).
+//!
+//! Run with: `cargo run --release --example social_network`
+
+use swbfs::algos::pagerank::top_k;
+use swbfs::algos::{
+    betweenness_distributed, kcore_distributed, pagerank_distributed, wcc_distributed,
+    AlgoCluster,
+};
+use swbfs::bfs::config::Messaging;
+use swbfs::bfs::{BfsConfig, ThreadedCluster};
+use swbfs::graph::{generate_kronecker, KroneckerConfig};
+
+fn main() {
+    let el = generate_kronecker(&KroneckerConfig::graph500(15, 2026));
+    let n = el.num_vertices;
+    println!("social network: {n} members, {} friendships\n", el.len());
+
+    // --- Degrees of separation ---------------------------------------
+    let mut bfs = ThreadedCluster::new(&el, 8, BfsConfig::threaded_small(4)).unwrap();
+    let celebrity = (0..n).max_by_key(|&v| bfs.degree_of(v)).unwrap();
+    let out = bfs.run(celebrity).unwrap();
+    let levels = out.levels_from_parents();
+    let mut hist = vec![0u64; out.depth() as usize + 1];
+    for l in levels.iter().flatten() {
+        hist[*l as usize] += 1;
+    }
+    println!(
+        "degrees of separation from the best-connected member ({} friends):",
+        bfs.degree_of(celebrity)
+    );
+    for (hop, count) in hist.iter().enumerate() {
+        let bar = "#".repeat((count * 50 / out.reached().max(1)) as usize);
+        println!("  {hop} hops: {count:>7} {bar}");
+    }
+    println!(
+        "  unreachable: {}\n",
+        n - out.reached()
+    );
+
+    // --- Communities ---------------------------------------------------
+    let mut cluster = AlgoCluster::new(&el, 8, 4, Messaging::Relay);
+    let labels = wcc_distributed(&mut cluster);
+    let sizes = swbfs::algos::wcc::component_sizes(&labels);
+    let mut by_size: Vec<u64> = sizes.values().copied().collect();
+    by_size.sort_unstable_by(|a, b| b.cmp(a));
+    println!(
+        "communities: {} total; largest {} members ({:.1}% of the network); \
+         {} singletons",
+        sizes.len(),
+        by_size[0],
+        100.0 * by_size[0] as f64 / n as f64,
+        by_size.iter().filter(|&&s| s == 1).count()
+    );
+
+    // --- Influencers -----------------------------------------------------
+    let mut cluster = AlgoCluster::new(&el, 8, 4, Messaging::Relay);
+    let scores = pagerank_distributed(&mut cluster, 20);
+    println!("\ntop-10 influencers by PageRank (20 iterations):");
+    for (i, (v, s)) in top_k(&scores, 10).into_iter().enumerate() {
+        println!(
+            "  {:>2}. member {v:>6}  score {s:.3e}  ({} friends)",
+            i + 1,
+            bfs.degree_of(v)
+        );
+    }
+
+    // --- Brokers (sampled betweenness) ------------------------------------
+    let mut cluster = AlgoCluster::new(&el, 8, 4, Messaging::Relay);
+    let pivots: Vec<u64> = (0..16).map(|i| (i * 2039) % n).collect();
+    let bc = betweenness_distributed(&mut cluster, &pivots);
+    let brokers = top_k(&bc, 5);
+    println!(
+        "\ntop-5 brokers by sampled betweenness ({} pivots):",
+        pivots.len()
+    );
+    for (i, (v, score)) in brokers.into_iter().enumerate() {
+        println!("  {:>2}. member {v:>6}  bc {score:.1}", i + 1);
+    }
+
+    // --- Tightly-knit core ----------------------------------------------
+    println!("\nk-core survivors:");
+    for k in [2u64, 4, 8, 16, 32] {
+        let mut cluster = AlgoCluster::new(&el, 8, 4, Messaging::Relay);
+        let core = kcore_distributed(&mut cluster, k);
+        let survivors = core.iter().filter(|&&x| x).count();
+        println!(
+            "  {k:>2}-core: {survivors:>7} members ({:.2}%)",
+            100.0 * survivors as f64 / n as f64
+        );
+    }
+}

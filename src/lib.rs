@@ -1,0 +1,32 @@
+//! # swbfs — Scalable Graph Traversal on (a simulated) Sunway TaihuLight
+//!
+//! Umbrella crate re-exporting the whole workspace. See the individual
+//! crates for detail:
+//!
+//! * [`graph`] ([`sw_graph`]) — Kronecker generator, CSR, partitioning.
+//! * [`arch`] ([`sw_arch`]) — SW26010 chip simulator.
+//! * [`net`] ([`sw_net`]) — TaihuLight interconnect model.
+//! * [`bfs`] ([`swbfs_core`]) — the distributed direction-optimizing BFS.
+//! * [`algos`] ([`sw_algos`]) — SSSP / WCC / PageRank / K-core extensions.
+//! * [`graph500`] ([`sw_graph500`]) — the Graph500 benchmark harness.
+//!
+//! ```
+//! use swbfs::bfs::{BfsConfig, ThreadedCluster};
+//! use swbfs::graph::{generate_kronecker, KroneckerConfig};
+//! use swbfs::graph500::validate_bfs;
+//!
+//! // Graph500 steps 1–5 in a few lines.
+//! let el = generate_kronecker(&KroneckerConfig::graph500(10, 42));
+//! let mut cluster = ThreadedCluster::new(&el, 4, BfsConfig::threaded_small(2)).unwrap();
+//! let root = (0..64).max_by_key(|&v| cluster.degree_of(v)).unwrap();
+//! let out = cluster.run(root).unwrap();
+//! let traversed = validate_bfs(&el, &out).unwrap();
+//! assert!(traversed > 0 && out.reached() > 1);
+//! ```
+
+pub use sw_algos as algos;
+pub use sw_arch as arch;
+pub use sw_graph as graph;
+pub use sw_graph500 as graph500;
+pub use sw_net as net;
+pub use swbfs_core as bfs;
