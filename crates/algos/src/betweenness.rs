@@ -50,7 +50,7 @@ pub fn betweenness_distributed(cluster: &mut AlgoCluster, sources: &[Vid]) -> Ve
         let mut depth = 0i64;
         loop {
             // Frontier vertices send (neighbor, sigma) to owners.
-            let mut out = cluster.empty_outboxes();
+            let mut out = cluster.lend_outboxes();
             let mut local: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ranks];
             let mut any = false;
             for r in 0..ranks {
@@ -66,10 +66,13 @@ pub fn betweenness_distributed(cluster: &mut AlgoCluster, sources: &[Vid]) -> Ve
                         if owner == r {
                             local[r].push((cluster.part.to_local(v) as usize, sg));
                         } else {
-                            out[r][owner].push(EdgeRec {
-                                u: v,
-                                v: sg.to_bits(),
-                            });
+                            out[r].push(
+                                owner as u32,
+                                EdgeRec {
+                                    u: v,
+                                    v: sg.to_bits(),
+                                },
+                            );
                         }
                     }
                 }
@@ -98,6 +101,7 @@ pub fn betweenness_distributed(cluster: &mut AlgoCluster, sources: &[Vid]) -> Ve
                     );
                 }
             }
+            cluster.recycle_inboxes(inboxes);
             depth += 1;
         }
 
@@ -108,7 +112,7 @@ pub fn betweenness_distributed(cluster: &mut AlgoCluster, sources: &[Vid]) -> Ve
             // does not know sigma[u], so it ships (u, (1+delta[v])/sigma[v])
             // and the owner multiplies by its sigma[u] — but only for true
             // predecessors, which the owner checks by level.
-            let mut out = cluster.empty_outboxes();
+            let mut out = cluster.lend_outboxes();
             let mut local: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ranks];
             for r in 0..ranks {
                 let csr = &cluster.csrs[r];
@@ -122,10 +126,13 @@ pub fn betweenness_distributed(cluster: &mut AlgoCluster, sources: &[Vid]) -> Ve
                         if owner == r {
                             local[r].push((cluster.part.to_local(u) as usize, coeff));
                         } else {
-                            out[r][owner].push(EdgeRec {
-                                u,
-                                v: coeff.to_bits(),
-                            });
+                            out[r].push(
+                                owner as u32,
+                                EdgeRec {
+                                    u,
+                                    v: coeff.to_bits(),
+                                },
+                            );
                         }
                     }
                 }
@@ -148,15 +155,16 @@ pub fn betweenness_distributed(cluster: &mut AlgoCluster, sources: &[Vid]) -> Ve
                     );
                 }
             }
+            cluster.recycle_inboxes(inboxes);
         }
 
         // Accumulate (excluding the source; halve for undirected pairs).
-        for r in 0..ranks {
+        for (r, swr) in sw.iter().enumerate() {
             let (start, _) = cluster.part.range(r as u32);
-            for i in 0..sw[r].delta.len() {
+            for (i, &dv) in swr.delta.iter().enumerate() {
                 let v = start + i as u64;
                 if v != s {
-                    bc[v as usize] += sw[r].delta[i] / 2.0;
+                    bc[v as usize] += dv / 2.0;
                 }
             }
         }
@@ -241,8 +249,8 @@ mod tests {
         assert!(close(&bc, &betweenness_oracle(&el, &sources)));
         // Hub carries all C(5,2) = 10 pairs; leaves none.
         assert!((bc[0] - 10.0).abs() < 1e-9, "bc = {bc:?}");
-        for v in 1..6 {
-            assert!(bc[v].abs() < 1e-12);
+        for leaf in &bc[1..] {
+            assert!(leaf.abs() < 1e-12);
         }
     }
 

@@ -12,6 +12,7 @@
 use crate::runtime::{edge_weight, AlgoCluster};
 use crate::sssp::INF;
 use swbfs_core::messages::EdgeRec;
+use swbfs_core::modules::Outboxes;
 use sw_graph::Vid;
 
 /// Runs Δ-stepping from `root` with synthetic weights in `1..=max_weight`
@@ -43,7 +44,7 @@ pub fn sssp_delta_stepping(
     loop {
         // --- light-edge phases within the current bucket ---
         loop {
-            let mut out = cluster.empty_outboxes();
+            let mut out = cluster.lend_outboxes();
             let mut any = false;
             for r in 0..ranks {
                 let csr = &cluster.csrs[r];
@@ -80,12 +81,13 @@ pub fn sssp_delta_stepping(
                 break;
             }
             let inboxes = cluster.exchange_round(out);
-            apply(cluster, &mut dist, &mut pending, inboxes, (bucket + 1) * delta);
+            apply(cluster, &mut dist, &mut pending, &inboxes, (bucket + 1) * delta);
+            cluster.recycle_inboxes(inboxes);
         }
 
         // --- heavy-edge phase: every settled vertex of this bucket fires
         // its heavy edges once ---
-        let mut out = cluster.empty_outboxes();
+        let mut out = cluster.lend_outboxes();
         for r in 0..ranks {
             let csr = &cluster.csrs[r];
             let (start, _) = cluster.part.range(r as u32);
@@ -107,7 +109,8 @@ pub fn sssp_delta_stepping(
             }
         }
         let inboxes = cluster.exchange_round(out);
-        apply(cluster, &mut dist, &mut pending, inboxes, 0);
+        apply(cluster, &mut dist, &mut pending, &inboxes, 0);
+        cluster.recycle_inboxes(inboxes);
 
         // --- advance to the next non-empty bucket ---
         let mut next = u64::MAX;
@@ -150,7 +153,7 @@ fn relax(
     cluster: &AlgoCluster,
     dist: &mut [Vec<u64>],
     pending: &mut [Vec<bool>],
-    out: &mut [Vec<Vec<EdgeRec>>],
+    out: &mut [Outboxes],
     from_rank: usize,
     v: Vid,
     cand: u64,
@@ -166,7 +169,7 @@ fn relax(
             }
         }
     } else {
-        out[from_rank][owner].push(EdgeRec { u: v, v: cand });
+        out[from_rank].push(owner as u32, EdgeRec { u: v, v: cand });
     }
 }
 
@@ -174,10 +177,10 @@ fn apply(
     cluster: &AlgoCluster,
     dist: &mut [Vec<u64>],
     pending: &mut [Vec<bool>],
-    inboxes: Vec<Vec<EdgeRec>>,
+    inboxes: &[Vec<EdgeRec>],
     light_horizon: u64,
 ) {
-    for (r, inbox) in inboxes.into_iter().enumerate() {
+    for (r, inbox) in inboxes.iter().enumerate() {
         for rec in inbox {
             let vl = cluster.part.to_local(rec.u) as usize;
             if rec.v < dist[r][vl] {

@@ -33,7 +33,7 @@ pub fn kcore_distributed(cluster: &mut AlgoCluster, k: u64) -> Vec<bool> {
 
     loop {
         // Peel everything currently below threshold.
-        let mut out = cluster.empty_outboxes();
+        let mut out = cluster.lend_outboxes();
         let mut peeled_any = false;
         for r in 0..ranks {
             let csr = &cluster.csrs[r];
@@ -55,7 +55,7 @@ pub fn kcore_distributed(cluster: &mut AlgoCluster, k: u64) -> Vec<bool> {
                             let vl = cluster.part.to_local(v) as usize;
                             deg[r][vl] = deg[r][vl].saturating_sub(1);
                         } else {
-                            out[r][owner].push(EdgeRec { u: v, v: 1 });
+                            out[r].push(owner as u32, EdgeRec { u: v, v: 1 });
                         }
                     }
                 }
@@ -68,12 +68,13 @@ pub fn kcore_distributed(cluster: &mut AlgoCluster, k: u64) -> Vec<bool> {
         // the outbox to keep one code path; owner == r records deliver to
         // self, which the exchange forbids, so subtract them inline).
         let inboxes = cluster.exchange_round(out);
-        for (r, inbox) in inboxes.into_iter().enumerate() {
+        for (r, inbox) in inboxes.iter().enumerate() {
             for rec in inbox {
                 let vl = cluster.part.to_local(rec.u) as usize;
                 deg[r][vl] = deg[r][vl].saturating_sub(rec.v);
             }
         }
+        cluster.recycle_inboxes(inboxes);
     }
 
     let mut result = vec![false; n];

@@ -25,38 +25,42 @@ pub fn pagerank_distributed(cluster: &mut AlgoCluster, iterations: u32) -> Vec<f
 
     for _ in 0..iterations {
         // Generate contributions.
-        let mut out = cluster.empty_outboxes();
+        let mut out = cluster.lend_outboxes();
         let mut local_acc: Vec<Vec<f64>> = score.iter().map(|s| vec![0.0; s.len()]).collect();
         let mut dangling = 0.0;
         for r in 0..ranks {
             let csr = &cluster.csrs[r];
-            for i in 0..score[r].len() {
+            for (i, &sc) in score[r].iter().enumerate() {
                 let deg = csr.degree_local(i);
                 if deg == 0 {
-                    dangling += score[r][i];
+                    dangling += sc;
                     continue;
                 }
-                let contrib = score[r][i] / deg as f64;
+                let contrib = sc / deg as f64;
                 for &v in csr.neighbors_local(i) {
                     let owner = cluster.part.owner(v) as usize;
                     if owner == r {
                         local_acc[r][cluster.part.to_local(v) as usize] += contrib;
                     } else {
-                        out[r][owner].push(EdgeRec {
-                            u: v,
-                            v: contrib.to_bits(),
-                        });
+                        out[r].push(
+                            owner as u32,
+                            EdgeRec {
+                                u: v,
+                                v: contrib.to_bits(),
+                            },
+                        );
                     }
                 }
             }
         }
         // Exchange and reduce.
         let inboxes = cluster.exchange_round(out);
-        for (r, inbox) in inboxes.into_iter().enumerate() {
+        for (r, inbox) in inboxes.iter().enumerate() {
             for rec in inbox {
                 local_acc[r][cluster.part.to_local(rec.u) as usize] += f64::from_bits(rec.v);
             }
         }
+        cluster.recycle_inboxes(inboxes);
         // Apply damping + dangling redistribution.
         let base = (1.0 - DAMPING) / n as f64 + DAMPING * dangling / n as f64;
         for r in 0..ranks {
@@ -83,13 +87,13 @@ pub fn pagerank_oracle(el: &sw_graph::EdgeList, iterations: u32) -> Vec<f64> {
     for _ in 0..iterations {
         let mut acc = vec![0.0; n];
         let mut dangling = 0.0;
-        for u in 0..n {
+        for (u, &su) in score.iter().enumerate() {
             let deg = csr.degree_local(u);
             if deg == 0 {
-                dangling += score[u];
+                dangling += su;
                 continue;
             }
-            let contrib = score[u] / deg as f64;
+            let contrib = su / deg as f64;
             for &v in csr.neighbors_local(u) {
                 acc[v as usize] += contrib;
             }

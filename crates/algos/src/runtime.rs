@@ -3,9 +3,11 @@
 
 use rayon::prelude::*;
 use sw_graph::{Csr, EdgeList, Partition1D, Vid};
+use swbfs_core::arena::ExchangeArena;
 use swbfs_core::config::Messaging;
-use swbfs_core::exchange::{exchange, Codec, ExchangeStats};
+use swbfs_core::exchange::{Codec, ExchangeStats};
 use swbfs_core::messages::EdgeRec;
+use swbfs_core::modules::Outboxes;
 use sw_net::GroupLayout;
 
 /// A cluster of ranks for shuffle-shaped graph kernels.
@@ -20,6 +22,9 @@ pub struct AlgoCluster {
     pub messaging: Messaging,
     /// Accumulated exchange statistics.
     pub stats: ExchangeStats,
+    /// Pooled exchange buffers shared by every round of every kernel run
+    /// on this cluster.
+    arena: ExchangeArena,
 }
 
 impl AlgoCluster {
@@ -41,6 +46,7 @@ impl AlgoCluster {
             csrs,
             messaging,
             stats: ExchangeStats::default(),
+            arena: ExchangeArena::new(ranks as usize),
         }
     }
 
@@ -56,16 +62,26 @@ impl AlgoCluster {
 
     /// Runs one exchange round under the configured transport, sorting
     /// inboxes for determinism, and accumulates traffic statistics.
-    pub fn exchange_round(&mut self, out: Vec<Vec<Vec<EdgeRec>>>) -> Vec<Vec<EdgeRec>> {
-        let (mut inboxes, st) = exchange(self.messaging, out, &self.layout, Codec::Fixed(16));
+    pub fn exchange_round(&mut self, out: Vec<Outboxes>) -> Vec<Vec<EdgeRec>> {
+        let (mut inboxes, st) = self
+            .arena
+            .exchange(self.messaging, out, &self.layout, Codec::Fixed(16));
         self.stats.absorb(&st);
         inboxes.par_iter_mut().for_each(|b| b.sort_unstable());
         inboxes
     }
 
-    /// Empty per-rank outboxes.
-    pub fn empty_outboxes(&self) -> Vec<Vec<Vec<EdgeRec>>> {
-        vec![vec![Vec::new(); self.num_ranks() as usize]; self.num_ranks() as usize]
+    /// Checks per-rank outboxes out of the pooled arena (cleared, with
+    /// the capacity earlier rounds grew).
+    pub fn lend_outboxes(&mut self) -> Vec<Outboxes> {
+        self.arena.lend_outboxes()
+    }
+
+    /// Returns inbox buffers to the pool after a round's records have
+    /// been applied, so multi-round kernels stop allocating once buffers
+    /// reach the working size.
+    pub fn recycle_inboxes(&mut self, inboxes: Vec<Vec<EdgeRec>>) {
+        self.arena.recycle_inboxes(inboxes);
     }
 }
 
@@ -99,15 +115,33 @@ mod tests {
     fn exchange_round_delivers_and_sorts() {
         let el = EdgeList::new(4, vec![(0, 1)]);
         let mut c = AlgoCluster::new(&el, 2, 2, Messaging::Direct);
-        let mut out = c.empty_outboxes();
-        out[0][1].push(EdgeRec { u: 9, v: 1 });
-        out[0][1].push(EdgeRec { u: 3, v: 2 });
+        let mut out = c.lend_outboxes();
+        out[0].push(1, EdgeRec { u: 9, v: 1 });
+        out[0].push(1, EdgeRec { u: 3, v: 2 });
         let inbox = c.exchange_round(out);
         assert_eq!(
             inbox[1],
             vec![EdgeRec { u: 3, v: 2 }, EdgeRec { u: 9, v: 1 }]
         );
         assert!(c.stats.messages > 0);
+        c.recycle_inboxes(inbox);
+    }
+
+    #[test]
+    fn repeated_rounds_reuse_pooled_buffers() {
+        let el = EdgeList::new(4, vec![(0, 1)]);
+        let mut c = AlgoCluster::new(&el, 2, 2, Messaging::Direct);
+        for round in 0..3 {
+            let mut out = c.lend_outboxes();
+            for i in 0..32u64 {
+                out[0].push(1, EdgeRec { u: i, v: round });
+            }
+            let inbox = c.exchange_round(out);
+            assert_eq!(inbox[1].len(), 32);
+            c.recycle_inboxes(inbox);
+        }
+        // Warm-up round may grow buffers; later identical rounds must not.
+        assert!(c.stats.pool_reused_bytes > 0);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub fn sssp_distributed(cluster: &mut AlgoCluster, root: Vid, max_weight: u64) -
     }
 
     loop {
-        let mut out = cluster.empty_outboxes();
+        let mut out = cluster.lend_outboxes();
         let mut any = false;
         for r in 0..ranks {
             let csr = &cluster.csrs[r];
@@ -56,7 +56,7 @@ pub fn sssp_distributed(cluster: &mut AlgoCluster, root: Vid, max_weight: u64) -
                             dirty[r][vl] = true;
                         }
                     } else {
-                        out[r][owner].push(EdgeRec { u: v, v: cand });
+                        out[r].push(owner as u32, EdgeRec { u: v, v: cand });
                     }
                 }
             }
@@ -65,7 +65,7 @@ pub fn sssp_distributed(cluster: &mut AlgoCluster, root: Vid, max_weight: u64) -
             break;
         }
         let inboxes = cluster.exchange_round(out);
-        for (r, inbox) in inboxes.into_iter().enumerate() {
+        for (r, inbox) in inboxes.iter().enumerate() {
             for rec in inbox {
                 let vl = cluster.part.to_local(rec.u) as usize;
                 if rec.v < dist[r][vl] {
@@ -74,6 +74,7 @@ pub fn sssp_distributed(cluster: &mut AlgoCluster, root: Vid, max_weight: u64) -
                 }
             }
         }
+        cluster.recycle_inboxes(inboxes);
     }
 
     let mut result = vec![INF; n];

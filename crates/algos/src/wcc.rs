@@ -27,7 +27,7 @@ pub fn wcc_distributed(cluster: &mut AlgoCluster) -> Vec<Vid> {
 
     loop {
         // Generate: every dirty vertex offers its label to all neighbours.
-        let mut out = cluster.empty_outboxes();
+        let mut out = cluster.lend_outboxes();
         let mut any = false;
         for r in 0..ranks {
             let csr = &cluster.csrs[r];
@@ -47,7 +47,7 @@ pub fn wcc_distributed(cluster: &mut AlgoCluster) -> Vec<Vid> {
                             dirty[r][vl] = true;
                         }
                     } else {
-                        out[r][owner].push(EdgeRec { u: v, v: lab });
+                        out[r].push(owner as u32, EdgeRec { u: v, v: lab });
                     }
                 }
             }
@@ -57,7 +57,7 @@ pub fn wcc_distributed(cluster: &mut AlgoCluster) -> Vec<Vid> {
         }
         // Exchange + apply minima.
         let inboxes = cluster.exchange_round(out);
-        for (r, inbox) in inboxes.into_iter().enumerate() {
+        for (r, inbox) in inboxes.iter().enumerate() {
             for rec in inbox {
                 let vl = cluster.part.to_local(rec.u) as usize;
                 if rec.v < labels[r][vl] {
@@ -66,6 +66,7 @@ pub fn wcc_distributed(cluster: &mut AlgoCluster) -> Vec<Vid> {
                 }
             }
         }
+        cluster.recycle_inboxes(inboxes);
     }
 
     let mut result = vec![0; n];

@@ -130,7 +130,7 @@ impl CycleSim {
             }
 
             // Inject new flits at the DMA pace.
-            if cycles % inject_interval == 0 {
+            if cycles.is_multiple_of(inject_interval) {
                 for (pi, p) in producers.iter().enumerate() {
                     if injected[pi] >= flits_per_producer {
                         continue;

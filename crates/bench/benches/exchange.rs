@@ -1,0 +1,107 @@
+//! Old vs pooled exchange pipeline, Direct and Relay, under BFS-shaped
+//! traffic at Graph500 scales 14 and 16.
+//!
+//! "old" rebuilds the seed's nested `Vec<Vec<Vec<EdgeRec>>>` outboxes
+//! every iteration and runs the legacy per-destination materializing
+//! exchange — the per-level allocation behaviour the arena removes.
+//! "pooled" checks flat outboxes out of a warm [`ExchangeArena`], fills
+//! them with the same records, exchanges, and recycles the inboxes — the
+//! steady-state loop the threaded backend now runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sw_net::GroupLayout;
+use swbfs_core::arena::ExchangeArena;
+use swbfs_core::config::Messaging;
+use swbfs_core::exchange::{legacy, Codec};
+use swbfs_core::messages::EdgeRec;
+use swbfs_core::modules::Outboxes;
+
+const RANKS: usize = 32;
+const GROUP: u32 = 8;
+
+/// Records per ordered rank pair for a peak BFS level at `scale`:
+/// roughly half the directed edges leave the generating rank, spread
+/// uniformly over the other ranks (Kronecker traffic is near-uniform
+/// across a 1-D partition at this rank count).
+fn per_pair(scale: u32) -> usize {
+    let records = (16u64 << scale) / 2;
+    (records as usize) / (RANKS * (RANKS - 1))
+}
+
+/// One frontier record: ascending scan order in `u`, destination-owned
+/// block in `v` — the clustering the compressed codec exploits.
+fn rec(s: usize, d: usize, i: usize) -> EdgeRec {
+    EdgeRec {
+        u: ((s << 22) + i) as u64,
+        v: ((d << 22) + (i * 17) % (1 << 14)) as u64,
+    }
+}
+
+fn fill_nested(per_pair: usize) -> Vec<Vec<Vec<EdgeRec>>> {
+    (0..RANKS)
+        .map(|s| {
+            (0..RANKS)
+                .map(|d| {
+                    if s == d {
+                        Vec::new()
+                    } else {
+                        (0..per_pair).map(|i| rec(s, d, i)).collect()
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn fill_flat(out: &mut [Outboxes], per_pair: usize) {
+    for (s, o) in out.iter_mut().enumerate() {
+        for d in 0..RANKS {
+            if d == s {
+                continue;
+            }
+            for i in 0..per_pair {
+                o.push(d as u32, rec(s, d, i));
+            }
+        }
+    }
+}
+
+fn bench_exchange_pipeline(c: &mut Criterion) {
+    let layout = GroupLayout::new(RANKS as u32, GROUP);
+    let mut g = c.benchmark_group("exchange_pipeline");
+    g.sample_size(10);
+    for scale in [14u32, 16] {
+        let pp = per_pair(scale);
+        let records = (RANKS * (RANKS - 1) * pp) as u64;
+        g.throughput(Throughput::Elements(records));
+
+        for (mode_name, mode) in [("direct", Messaging::Direct), ("relay", Messaging::Relay)] {
+            g.bench_function(BenchmarkId::new(format!("{mode_name}_old"), scale), |b| {
+                b.iter(|| {
+                    let out = fill_nested(pp);
+                    legacy::exchange(mode, out, &layout, Codec::Fixed(16))
+                });
+            });
+
+            let mut arena = ExchangeArena::new(RANKS);
+            // Warm the pool so the measured loop is the steady state.
+            let mut out = arena.lend_outboxes();
+            fill_flat(&mut out, pp);
+            let (inboxes, _) = arena.exchange(mode, out, &layout, Codec::Fixed(16));
+            arena.recycle_inboxes(inboxes);
+            g.bench_function(BenchmarkId::new(format!("{mode_name}_pooled"), scale), |b| {
+                b.iter(|| {
+                    let mut out = arena.lend_outboxes();
+                    fill_flat(&mut out, pp);
+                    let (inboxes, stats) = arena.exchange(mode, out, &layout, Codec::Fixed(16));
+                    arena.recycle_inboxes(inboxes);
+                    stats
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_exchange_pipeline);
+criterion_main!(benches);

@@ -234,6 +234,10 @@ fn rank_main(
     st.advance_level();
 
     let mut levels: Vec<crate::result::LevelStats> = Vec::new();
+    // Flat record buffers reused across every level of the run; each
+    // exchange drains them but keeps the capacity.
+    let mut out = Outboxes::new(p);
+    let mut replies = Outboxes::new(p);
     loop {
         // Global statistics by symmetric broadcast.
         let (n_f, m_f, m_u) = allreduce_stats(st, &mut mbox, senders, me, &mut seq);
@@ -265,18 +269,15 @@ fn rank_main(
         });
         match dir {
             Direction::TopDown => {
-                let mut out = Outboxes::new(p);
                 forward_generator(st, &hubs, &mut out);
-                let inbox = exchange_phase(out, &mut mbox, senders, me, &mut seq);
+                let inbox = exchange_phase(&mut out, &mut mbox, senders, me, &mut seq);
                 forward_handler(st, &inbox);
             }
             Direction::BottomUp => {
-                let mut out = Outboxes::new(p);
                 backward_generator(st, &hubs, &mut out);
-                let inbox = exchange_phase(out, &mut mbox, senders, me, &mut seq);
-                let mut replies = Outboxes::new(p);
+                let inbox = exchange_phase(&mut out, &mut mbox, senders, me, &mut seq);
                 backward_handler(st, &inbox, &mut replies);
-                let inbox = exchange_phase(replies, &mut mbox, senders, me, &mut seq);
+                let inbox = exchange_phase(&mut replies, &mut mbox, senders, me, &mut seq);
                 forward_handler(st, &inbox);
             }
         }
@@ -290,7 +291,7 @@ fn rank_main(
 /// peer (the termination indicator when empty), then assemble the inbox
 /// in sender-rank order for determinism.
 fn exchange_phase(
-    out: Outboxes,
+    out: &mut Outboxes,
     mbox: &mut Mailbox,
     senders: &[Sender<Packet>],
     me: usize,
@@ -299,7 +300,7 @@ fn exchange_phase(
     let p = senders.len();
     let this = *seq;
     *seq += 1;
-    let boxes = out.into_inner();
+    let boxes = out.drain_into_boxes();
     for (d, recs) in boxes.into_iter().enumerate() {
         if d != me {
             senders[d]

@@ -58,19 +58,31 @@ fn unzigzag(z: u64) -> i64 {
     ((z >> 1) as i64) ^ -((z & 1) as i64)
 }
 
-/// Compresses a record batch: count, then per record the zig-zag deltas
-/// of `u` and `v` against the previous record (first record deltas
-/// against 0).
-pub fn encode_compressed(records: &[EdgeRec]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(8 + records.len() * 6);
-    put_varint(&mut buf, records.len() as u64);
+/// Compresses a record batch into a caller-owned buffer: count, then per
+/// record the zig-zag deltas of `u` and `v` against the previous record
+/// (first record deltas against 0).
+///
+/// Appends to `buf`, so a pooled `BytesMut` can be cleared and refilled
+/// across levels without reallocating once it has grown to the level's
+/// working size. Returns the bytes written.
+pub fn encode_compressed_into(records: &[EdgeRec], buf: &mut BytesMut) -> usize {
+    let start = buf.len();
+    buf.reserve(8 + records.len() * 6);
+    put_varint(buf, records.len() as u64);
     let (mut pu, mut pv) = (0i64, 0i64);
     for r in records {
-        put_varint(&mut buf, zigzag(r.u as i64 - pu));
-        put_varint(&mut buf, zigzag(r.v as i64 - pv));
+        put_varint(buf, zigzag(r.u as i64 - pu));
+        put_varint(buf, zigzag(r.v as i64 - pv));
         pu = r.u as i64;
         pv = r.v as i64;
     }
+    buf.len() - start
+}
+
+/// One-shot [`encode_compressed_into`] allocating a fresh frozen buffer.
+pub fn encode_compressed(records: &[EdgeRec]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + records.len() * 6);
+    encode_compressed_into(records, &mut buf);
     buf.freeze()
 }
 
@@ -173,6 +185,22 @@ mod tests {
         let compressed = compressed_size(&records);
         assert!(compressed < fixed, "{compressed} !< {fixed}");
         assert_eq!(decode_compressed(&encode_compressed(&records)), records);
+    }
+
+    #[test]
+    fn pooled_encode_round_trips_and_reuses_capacity() {
+        let r = recs();
+        let mut buf = BytesMut::new();
+        let n1 = encode_compressed_into(&r, &mut buf);
+        assert_eq!(n1, buf.len());
+        assert_eq!(&buf[..], &encode_compressed(&r)[..]);
+        assert_eq!(decode_compressed(&buf), r);
+        let cap = buf.capacity();
+        buf.clear();
+        let n2 = encode_compressed_into(&r, &mut buf);
+        assert_eq!(n1, n2);
+        assert_eq!(buf.capacity(), cap, "pooled buffer re-grew");
+        assert_eq!(decode_compressed(&buf), r);
     }
 
     #[test]

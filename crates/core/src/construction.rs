@@ -10,8 +10,9 @@
 //! proves (by test) that the resulting partitioned CSRs are identical to
 //! the shortcut build from the full list.
 
+use crate::arena::ExchangeArena;
 use crate::config::Messaging;
-use crate::exchange::{exchange, Codec, ExchangeStats};
+use crate::exchange::{Codec, ExchangeStats};
 use crate::messages::EdgeRec;
 use sw_graph::{Csr, EdgeList, Partition1D, Vid};
 use sw_net::GroupLayout;
@@ -44,7 +45,8 @@ pub fn build_distributed(
     // Shuffle edges to owners. Each rank keeps locally-owned edges and
     // sends the rest.
     let mut kept: Vec<Vec<(Vid, Vid)>> = vec![Vec::new(); ranks];
-    let mut out: Vec<Vec<Vec<EdgeRec>>> = vec![vec![Vec::new(); ranks]; ranks];
+    let mut arena = ExchangeArena::new(ranks);
+    let mut out = arena.lend_outboxes();
     for (r, edges) in el.edges.chunks(chunk.max(1)).enumerate() {
         for &(u, v) in edges {
             let ou = part.owner(u) as usize;
@@ -52,18 +54,18 @@ pub fn build_distributed(
             if ou == r {
                 kept[r].push((u, v));
             } else {
-                out[r][ou].push(EdgeRec { u, v });
+                out[r].push(ou as u32, EdgeRec { u, v });
             }
             if ov != ou {
                 if ov == r {
                     kept[r].push((u, v));
                 } else {
-                    out[r][ov].push(EdgeRec { u, v });
+                    out[r].push(ov as u32, EdgeRec { u, v });
                 }
             }
         }
     }
-    let (inboxes, stats) = exchange(messaging, out, layout, Codec::Fixed(16));
+    let (inboxes, stats) = arena.exchange(messaging, out, layout, Codec::Fixed(16));
 
     // Assemble per-rank edge sets and build the CSR rows. The local CSR
     // build sorts neighbour lists, so arrival order does not matter.

@@ -17,7 +17,16 @@
 //! The exchange also accounts the traffic quantities the cost model needs:
 //! message counts, payload bytes, group-boundary (≙ super-node) crossing
 //! bytes, and per-rank maxima.
+//!
+//! The hot path lives in [`crate::arena::ExchangeArena`] — a pooled,
+//! two-pass counting-sort pipeline with no per-record pushes. The
+//! functions here are thin entry points that run a throwaway arena over
+//! nested per-destination vectors; long-lived clusters hold their own
+//! arena and call it directly so every buffer is recycled across levels
+//! and roots. The seed's literal allocate-classify-push implementation
+//! survives in [`legacy`] as a differential oracle and bench baseline.
 
+use crate::arena::ExchangeArena;
 use crate::compress::compressed_size;
 use crate::config::Messaging;
 use crate::messages::EdgeRec;
@@ -71,6 +80,12 @@ pub struct ExchangeStats {
     pub max_send_msgs_per_rank: u64,
     /// Largest per-rank outgoing byte count.
     pub max_send_bytes_per_rank: u64,
+    /// Pooled-buffer acquisitions that had to allocate or grow on the
+    /// heap (0 in steady state once the arena is warm).
+    pub pool_allocs: u64,
+    /// Bytes placed into pooled buffers whose retained capacity made the
+    /// write allocation-free.
+    pub pool_reused_bytes: u64,
 }
 
 impl ExchangeStats {
@@ -82,187 +97,262 @@ impl ExchangeStats {
         self.inter_group_bytes += o.inter_group_bytes;
         self.max_send_msgs_per_rank += o.max_send_msgs_per_rank;
         self.max_send_bytes_per_rank += o.max_send_bytes_per_rank;
+        self.pool_allocs += o.pool_allocs;
+        self.pool_reused_bytes += o.pool_reused_bytes;
+    }
+
+    /// The wire-traffic fields, without the allocator bookkeeping —
+    /// what must be bit-identical across implementations of the same
+    /// transport.
+    pub fn wire(&self) -> (u64, u64, u64, u64, u64, u64) {
+        (
+            self.record_hops,
+            self.messages,
+            self.bytes,
+            self.inter_group_bytes,
+            self.max_send_msgs_per_rank,
+            self.max_send_bytes_per_rank,
+        )
     }
 }
 
-fn msgs_for(payload: u64) -> u64 {
+pub(crate) fn msgs_for(payload: u64) -> u64 {
     // At least the termination indicator; big payloads split into batches.
     1 + payload / MAX_BATCH_BYTES
+}
+
+/// Converts a nested per-destination outbox matrix into flat outboxes
+/// (destinations ascending, push order preserved within a destination —
+/// the order every inbox guarantee is stated in).
+fn flatten(out: Vec<Vec<Vec<EdgeRec>>>) -> Vec<crate::modules::Outboxes> {
+    let ranks = out.len();
+    out.into_iter()
+        .map(|boxes| {
+            debug_assert_eq!(boxes.len(), ranks);
+            let mut o = crate::modules::Outboxes::new(ranks);
+            for (d, recs) in boxes.into_iter().enumerate() {
+                for r in recs {
+                    o.push(d as u32, r);
+                }
+            }
+            o
+        })
+        .collect()
 }
 
 /// Delivers `out[s][d]` (records from rank `s` to rank `d`) and returns
 /// per-destination inboxes plus traffic stats.
 ///
-/// `wire` is the per-record wire size; `layout` is used by relay transport
-/// and, for both transports, to classify group-crossing bytes.
+/// `codec` sizes the per-record wire format; `layout` is used by relay
+/// transport and, for both transports, to classify group-crossing bytes.
+///
+/// One-shot convenience over a throwaway [`ExchangeArena`]; hot paths
+/// keep an arena alive instead.
 pub fn exchange(
     mode: Messaging,
     out: Vec<Vec<Vec<EdgeRec>>>,
     layout: &GroupLayout,
     codec: Codec,
 ) -> (Vec<Vec<EdgeRec>>, ExchangeStats) {
-    match mode {
-        Messaging::Direct => exchange_direct(out, layout, codec),
-        Messaging::Relay => exchange_relay(out, layout, codec),
-    }
+    let mut arena = ExchangeArena::new(out.len());
+    arena.exchange(mode, flatten(out), layout, codec)
 }
 
-/// Direct point-to-point delivery.
+/// Direct point-to-point delivery (see [`exchange`]).
 pub fn exchange_direct(
     out: Vec<Vec<Vec<EdgeRec>>>,
     layout: &GroupLayout,
     codec: Codec,
 ) -> (Vec<Vec<EdgeRec>>, ExchangeStats) {
-    let ranks = out.len();
-    let mut stats = ExchangeStats::default();
-    let mut inbox: Vec<Vec<EdgeRec>> = vec![Vec::new(); ranks];
-    for (s, boxes) in out.iter().enumerate() {
-        let mut send_msgs = 0u64;
-        let mut send_bytes = 0u64;
-        for (d, recs) in boxes.iter().enumerate() {
-            if d == s {
-                // Self-records are a module bug; generators claim locally.
-                debug_assert!(recs.is_empty(), "self-addressed records");
-                continue;
-            }
-            let payload = codec.payload_bytes(recs);
-            let msgs = msgs_for(payload);
-            let bytes = payload + msgs * MSG_HEADER_BYTES;
-            send_msgs += msgs;
-            send_bytes += bytes;
-            stats.record_hops += recs.len() as u64;
-            if layout.group_of(s as u32) != layout.group_of(d as u32) {
-                stats.inter_group_bytes += bytes;
-            }
-            inbox[d].extend_from_slice(recs);
-        }
-        stats.messages += send_msgs;
-        stats.bytes += send_bytes;
-        stats.max_send_msgs_per_rank = stats.max_send_msgs_per_rank.max(send_msgs);
-        stats.max_send_bytes_per_rank = stats.max_send_bytes_per_rank.max(send_bytes);
-    }
-    (inbox, stats)
+    exchange(Messaging::Direct, out, layout, codec)
 }
 
-/// Two-stage relayed delivery with group batching.
+/// Two-stage relayed delivery with group batching (see [`exchange`]).
 pub fn exchange_relay(
     out: Vec<Vec<Vec<EdgeRec>>>,
     layout: &GroupLayout,
     codec: Codec,
 ) -> (Vec<Vec<EdgeRec>>, ExchangeStats) {
-    let ranks = out.len();
-    let groups = layout.num_groups() as usize;
-    let mut stats = ExchangeStats::default();
-
-    // Per-rank send accounting, accumulated over both stages.
-    let mut send_msgs = vec![0u64; ranks];
-    let mut send_bytes = vec![0u64; ranks];
-
-    // Stage 1: source → relay (batched per destination group), or direct
-    // delivery within the source's own group.
-    // relay_inbox[r] holds (final_dest, rec) streams, in source order.
-    let mut relay_inbox: Vec<Vec<(u32, EdgeRec)>> = vec![Vec::new(); ranks];
-    let mut inbox: Vec<Vec<EdgeRec>> = vec![Vec::new(); ranks];
-
-    for (s, boxes) in out.iter().enumerate() {
-        let s = s as u32;
-        let my_group = layout.group_of(s);
-        // Batch records per destination group.
-        let mut per_group: Vec<Vec<(u32, EdgeRec)>> = vec![Vec::new(); groups];
-        for (d, recs) in boxes.iter().enumerate() {
-            let d = d as u32;
-            if d == s {
-                debug_assert!(recs.is_empty(), "self-addressed records");
-                continue;
-            }
-            for &r in recs {
-                per_group[layout.group_of(d) as usize].push((d, r));
-            }
-        }
-        // Own group: deliver directly to each group-mate (one message per
-        // mate, termination included).
-        let (gs, ge) = group_bounds(layout, my_group);
-        for d in gs..ge {
-            if d == s {
-                continue;
-            }
-            let recs: Vec<EdgeRec> = per_group[my_group as usize]
-                .iter()
-                .filter(|(dest, _)| *dest == d)
-                .map(|&(_, r)| r)
-                .collect();
-            let payload = codec.payload_bytes(&recs);
-            let msgs = msgs_for(payload);
-            let bytes = payload + msgs * MSG_HEADER_BYTES;
-            send_msgs[s as usize] += msgs;
-            send_bytes[s as usize] += bytes;
-            stats.record_hops += recs.len() as u64;
-            inbox[d as usize].extend(recs);
-        }
-        // Remote groups: one batched message to the group's relay node.
-        for g in 0..groups as u32 {
-            if g == my_group {
-                continue;
-            }
-            let batch = &per_group[g as usize];
-            let relay = layout.node_at(g, layout.index_of(s));
-            let batch_recs: Vec<EdgeRec> = batch.iter().map(|&(_, r)| r).collect();
-            let payload = codec.payload_bytes(&batch_recs);
-            let msgs = msgs_for(payload);
-            let bytes = payload + msgs * MSG_HEADER_BYTES;
-            send_msgs[s as usize] += msgs;
-            send_bytes[s as usize] += bytes;
-            stats.record_hops += batch.len() as u64;
-            stats.inter_group_bytes += bytes;
-            relay_inbox[relay as usize].extend(batch.iter().copied());
-        }
-    }
-
-    // Stage 2: the Relay module — re-bucket by final destination and
-    // forward inside the group.
-    for (r, stream) in relay_inbox.iter().enumerate() {
-        let r = r as u32;
-        let my_group = layout.group_of(r);
-        let (gs, ge) = group_bounds(layout, my_group);
-        for d in gs..ge {
-            let recs: Vec<EdgeRec> = stream
-                .iter()
-                .filter(|(dest, _)| *dest == d)
-                .map(|(_, rec)| *rec)
-                .collect();
-            if d == r {
-                // Records whose final destination is the relay itself.
-                inbox[d as usize].extend(recs);
-                continue;
-            }
-            let payload = codec.payload_bytes(&recs);
-            let msgs = msgs_for(payload);
-            let bytes = payload + msgs * MSG_HEADER_BYTES;
-            send_msgs[r as usize] += msgs;
-            send_bytes[r as usize] += bytes;
-            stats.record_hops += recs.len() as u64;
-            inbox[d as usize].extend(recs);
-        }
-    }
-
-    for s in 0..ranks {
-        stats.messages += send_msgs[s];
-        stats.bytes += send_bytes[s];
-        stats.max_send_msgs_per_rank = stats.max_send_msgs_per_rank.max(send_msgs[s]);
-        stats.max_send_bytes_per_rank = stats.max_send_bytes_per_rank.max(send_bytes[s]);
-    }
-    (inbox, stats)
+    exchange(Messaging::Relay, out, layout, codec)
 }
 
-fn group_bounds(layout: &GroupLayout, group: u32) -> (u32, u32) {
+pub(crate) fn group_bounds(layout: &GroupLayout, group: u32) -> (u32, u32) {
     let start = group * layout.group_size();
     (start, start + layout.group_size_of(group))
+}
+
+/// The seed's allocate-classify-push exchange, kept verbatim as the
+/// differential oracle for the pooled pipeline (and as the "before" side
+/// of the exchange benchmark). Not part of the public API surface.
+#[doc(hidden)]
+pub mod legacy {
+    use super::*;
+
+    /// Legacy dispatch over [`exchange_direct`]/[`exchange_relay`].
+    pub fn exchange(
+        mode: Messaging,
+        out: Vec<Vec<Vec<EdgeRec>>>,
+        layout: &GroupLayout,
+        codec: Codec,
+    ) -> (Vec<Vec<EdgeRec>>, ExchangeStats) {
+        match mode {
+            Messaging::Direct => exchange_direct(out, layout, codec),
+            Messaging::Relay => exchange_relay(out, layout, codec),
+        }
+    }
+
+    /// Direct point-to-point delivery, seed implementation.
+    pub fn exchange_direct(
+        out: Vec<Vec<Vec<EdgeRec>>>,
+        layout: &GroupLayout,
+        codec: Codec,
+    ) -> (Vec<Vec<EdgeRec>>, ExchangeStats) {
+        let ranks = out.len();
+        let mut stats = ExchangeStats::default();
+        let mut inbox: Vec<Vec<EdgeRec>> = vec![Vec::new(); ranks];
+        for (s, boxes) in out.iter().enumerate() {
+            let mut send_msgs = 0u64;
+            let mut send_bytes = 0u64;
+            for (d, recs) in boxes.iter().enumerate() {
+                if d == s {
+                    // Self-records are a module bug; generators claim locally.
+                    debug_assert!(recs.is_empty(), "self-addressed records");
+                    continue;
+                }
+                let payload = codec.payload_bytes(recs);
+                let msgs = msgs_for(payload);
+                let bytes = payload + msgs * MSG_HEADER_BYTES;
+                send_msgs += msgs;
+                send_bytes += bytes;
+                stats.record_hops += recs.len() as u64;
+                if layout.group_of(s as u32) != layout.group_of(d as u32) {
+                    stats.inter_group_bytes += bytes;
+                }
+                inbox[d].extend_from_slice(recs);
+            }
+            stats.messages += send_msgs;
+            stats.bytes += send_bytes;
+            stats.max_send_msgs_per_rank = stats.max_send_msgs_per_rank.max(send_msgs);
+            stats.max_send_bytes_per_rank = stats.max_send_bytes_per_rank.max(send_bytes);
+        }
+        (inbox, stats)
+    }
+
+    /// Two-stage relayed delivery with group batching, seed implementation.
+    pub fn exchange_relay(
+        out: Vec<Vec<Vec<EdgeRec>>>,
+        layout: &GroupLayout,
+        codec: Codec,
+    ) -> (Vec<Vec<EdgeRec>>, ExchangeStats) {
+        let ranks = out.len();
+        let groups = layout.num_groups() as usize;
+        let mut stats = ExchangeStats::default();
+
+        // Per-rank send accounting, accumulated over both stages.
+        let mut send_msgs = vec![0u64; ranks];
+        let mut send_bytes = vec![0u64; ranks];
+
+        // Stage 1: source → relay (batched per destination group), or direct
+        // delivery within the source's own group.
+        // relay_inbox[r] holds (final_dest, rec) streams, in source order.
+        let mut relay_inbox: Vec<Vec<(u32, EdgeRec)>> = vec![Vec::new(); ranks];
+        let mut inbox: Vec<Vec<EdgeRec>> = vec![Vec::new(); ranks];
+
+        for (s, boxes) in out.iter().enumerate() {
+            let s = s as u32;
+            let my_group = layout.group_of(s);
+            // Batch records per destination group.
+            let mut per_group: Vec<Vec<(u32, EdgeRec)>> = vec![Vec::new(); groups];
+            for (d, recs) in boxes.iter().enumerate() {
+                let d = d as u32;
+                if d == s {
+                    debug_assert!(recs.is_empty(), "self-addressed records");
+                    continue;
+                }
+                for &r in recs {
+                    per_group[layout.group_of(d) as usize].push((d, r));
+                }
+            }
+            // Own group: deliver directly to each group-mate (one message per
+            // mate, termination included).
+            let (gs, ge) = group_bounds(layout, my_group);
+            for d in gs..ge {
+                if d == s {
+                    continue;
+                }
+                let recs: Vec<EdgeRec> = per_group[my_group as usize]
+                    .iter()
+                    .filter(|(dest, _)| *dest == d)
+                    .map(|&(_, r)| r)
+                    .collect();
+                let payload = codec.payload_bytes(&recs);
+                let msgs = msgs_for(payload);
+                let bytes = payload + msgs * MSG_HEADER_BYTES;
+                send_msgs[s as usize] += msgs;
+                send_bytes[s as usize] += bytes;
+                stats.record_hops += recs.len() as u64;
+                inbox[d as usize].extend(recs);
+            }
+            // Remote groups: one batched message to the group's relay node.
+            for g in 0..groups as u32 {
+                if g == my_group {
+                    continue;
+                }
+                let batch = &per_group[g as usize];
+                let relay = layout.node_at(g, layout.index_of(s));
+                let batch_recs: Vec<EdgeRec> = batch.iter().map(|&(_, r)| r).collect();
+                let payload = codec.payload_bytes(&batch_recs);
+                let msgs = msgs_for(payload);
+                let bytes = payload + msgs * MSG_HEADER_BYTES;
+                send_msgs[s as usize] += msgs;
+                send_bytes[s as usize] += bytes;
+                stats.record_hops += batch.len() as u64;
+                stats.inter_group_bytes += bytes;
+                relay_inbox[relay as usize].extend(batch.iter().copied());
+            }
+        }
+
+        // Stage 2: the Relay module — re-bucket by final destination and
+        // forward inside the group.
+        for (r, stream) in relay_inbox.iter().enumerate() {
+            let r = r as u32;
+            let my_group = layout.group_of(r);
+            let (gs, ge) = group_bounds(layout, my_group);
+            for d in gs..ge {
+                let recs: Vec<EdgeRec> = stream
+                    .iter()
+                    .filter(|(dest, _)| *dest == d)
+                    .map(|(_, rec)| *rec)
+                    .collect();
+                if d == r {
+                    // Records whose final destination is the relay itself.
+                    inbox[d as usize].extend(recs);
+                    continue;
+                }
+                let payload = codec.payload_bytes(&recs);
+                let msgs = msgs_for(payload);
+                let bytes = payload + msgs * MSG_HEADER_BYTES;
+                send_msgs[r as usize] += msgs;
+                send_bytes[r as usize] += bytes;
+                stats.record_hops += recs.len() as u64;
+                inbox[d as usize].extend(recs);
+            }
+        }
+
+        for s in 0..ranks {
+            stats.messages += send_msgs[s];
+            stats.bytes += send_bytes[s];
+            stats.max_send_msgs_per_rank = stats.max_send_msgs_per_rank.max(send_msgs[s]);
+            stats.max_send_bytes_per_rank = stats.max_send_bytes_per_rank.max(send_bytes[s]);
+        }
+        (inbox, stats)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     fn rec(u: u64, v: u64) -> EdgeRec {
         EdgeRec { u, v }
@@ -285,15 +375,36 @@ mod tests {
             .collect()
     }
 
-    fn sorted_multiset(inbox: &[Vec<EdgeRec>]) -> Vec<Vec<EdgeRec>> {
+    /// Per-destination record multisets, built by borrowing the inboxes.
+    fn multisets(inbox: &[Vec<EdgeRec>]) -> Vec<BTreeMap<EdgeRec, usize>> {
         inbox
             .iter()
             .map(|b| {
-                let mut v = b.clone();
-                v.sort_unstable();
-                v
+                let mut m = BTreeMap::new();
+                for &r in b {
+                    *m.entry(r).or_insert(0) += 1;
+                }
+                m
             })
             .collect()
+    }
+
+    /// Deterministic pseudo-random traffic pattern (regenerable, so the
+    /// two transports each get their own copy without cloning).
+    fn random_out(ranks: usize, seed: u64) -> Vec<Vec<Vec<EdgeRec>>> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut out: Vec<Vec<Vec<EdgeRec>>> = vec![vec![vec![]; ranks]; ranks];
+        for (s, row) in out.iter_mut().enumerate() {
+            for _ in 0..50 {
+                let d = rng.gen_range(0..ranks);
+                if d == s {
+                    continue;
+                }
+                row[d].push(rec(rng.gen_range(0..1000), d as u64));
+            }
+        }
+        out
     }
 
     #[test]
@@ -301,7 +412,7 @@ mod tests {
         let layout = GroupLayout::new(8, 4);
         let (di, _) = exchange_direct(all_to_all(8), &layout, Codec::Fixed(8));
         let (ri, _) = exchange_relay(all_to_all(8), &layout, Codec::Fixed(8));
-        assert_eq!(sorted_multiset(&di), sorted_multiset(&ri));
+        assert_eq!(multisets(&di), multisets(&ri));
         // Every rank received one record from each peer.
         for (d, b) in di.iter().enumerate() {
             assert_eq!(b.len(), 7);
@@ -407,31 +518,39 @@ mod tests {
 
     #[test]
     fn random_pattern_delivery_matches_direct() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         let ranks = 12;
         let layout = GroupLayout::new(12, 5); // uneven trailing group
-        let mut out: Vec<Vec<Vec<EdgeRec>>> = vec![vec![vec![]; ranks]; ranks];
-        let mut expected: HashMap<usize, Vec<EdgeRec>> = HashMap::new();
-        for s in 0..ranks {
-            for _ in 0..50 {
-                let d = rng.gen_range(0..ranks);
-                if d == s {
-                    continue;
-                }
-                let r = rec(rng.gen_range(0..1000), d as u64);
-                out[s][d].push(r);
-                expected.entry(d).or_default().push(r);
-            }
+        let (di, _) = exchange_direct(random_out(ranks, 42), &layout, Codec::Fixed(8));
+        let (ri, _) = exchange_relay(random_out(ranks, 42), &layout, Codec::Fixed(8));
+        assert_eq!(multisets(&di), multisets(&ri));
+        // Every destination got exactly the records addressed to it.
+        for (d, b) in di.iter().enumerate() {
+            assert!(b.iter().all(|r| r.v == d as u64));
         }
-        let (di, _) = exchange_direct(out.clone(), &layout, Codec::Fixed(8));
-        let (ri, _) = exchange_relay(out, &layout, Codec::Fixed(8));
-        assert_eq!(sorted_multiset(&di), sorted_multiset(&ri));
-        for (d, mut exp) in expected {
-            exp.sort_unstable();
-            let mut got = di[d].clone();
-            got.sort_unstable();
-            assert_eq!(got, exp);
+    }
+
+    /// The pooled pipeline must reproduce the seed implementation
+    /// bit-for-bit: same inbox contents *in the same order*, same wire
+    /// stats — across both transports, uneven trailing groups included.
+    #[test]
+    fn arena_matches_legacy_exactly() {
+        for &(ranks, group) in &[(8usize, 4u32), (12, 5), (16, 4), (9, 3), (7, 7), (5, 2)] {
+            let layout = GroupLayout::new(ranks as u32, group);
+            for seed in 0..4 {
+                for &codec in &[Codec::Fixed(16), Codec::Compressed] {
+                    let (di, ds) = exchange_direct(random_out(ranks, seed), &layout, codec);
+                    let (ldi, lds) =
+                        legacy::exchange_direct(random_out(ranks, seed), &layout, codec);
+                    assert_eq!(di, ldi, "direct inbox order r={ranks} g={group} s={seed}");
+                    assert_eq!(ds.wire(), lds.wire(), "direct stats r={ranks} g={group}");
+
+                    let (ri, rs) = exchange_relay(random_out(ranks, seed), &layout, codec);
+                    let (lri, lrs) =
+                        legacy::exchange_relay(random_out(ranks, seed), &layout, codec);
+                    assert_eq!(ri, lri, "relay inbox order r={ranks} g={group} s={seed}");
+                    assert_eq!(rs.wire(), lrs.wire(), "relay stats r={ranks} g={group}");
+                }
+            }
         }
     }
 }

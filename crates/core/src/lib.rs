@@ -28,6 +28,7 @@
 //! the plain top-down distributed BFS), and [`policy`] the direction
 //! heuristic.
 
+pub mod arena;
 pub mod baseline;
 pub mod baseline2d;
 pub mod channels;

@@ -129,7 +129,7 @@ mod tests {
         let mut out = Outboxes::new(2);
         backward_generator(&mut state, &hubs, &mut out);
         // v=3 has remote neighbours 5 and 7: two queries to rank 1.
-        let qs: Vec<_> = out.for_rank(1).iter().filter(|r| r.v == 3).collect();
+        let qs: Vec<_> = out.for_rank(1).into_iter().filter(|r| r.v == 3).collect();
         assert_eq!(qs.len(), 2);
         assert_eq!(qs[0].u, 5);
         assert_eq!(qs[1].u, 7);

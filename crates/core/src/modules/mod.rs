@@ -20,43 +20,121 @@ pub use forward_handler::forward_handler;
 
 use crate::messages::EdgeRec;
 
-/// Per-destination-rank record buffers a reaction module fills.
-#[derive(Clone, Debug)]
+/// Record buffer a reaction module fills, tagged per destination rank.
+///
+/// Storage is **flat**: two parallel vectors in push order (records and
+/// destination tags) instead of one `Vec` per destination. A push is a
+/// single append with no per-destination growth, the buffers recycle
+/// through [`ExchangeArena`](crate::arena::ExchangeArena) with their
+/// capacity intact, and the exchange turns the flat stream into
+/// per-destination batches with one counting-sort pass.
+#[derive(Clone, Debug, Default)]
 pub struct Outboxes {
-    boxes: Vec<Vec<EdgeRec>>,
+    ranks: usize,
+    recs: Vec<EdgeRec>,
+    dests: Vec<u32>,
+    /// Record capacity at checkout time; the arena compares against it
+    /// on return to detect growth (= heap work) during generation.
+    lent_cap: usize,
 }
 
 impl Outboxes {
     /// Empty outboxes for `ranks` destinations.
     pub fn new(ranks: usize) -> Self {
         Self {
-            boxes: vec![Vec::new(); ranks],
+            ranks,
+            recs: Vec::new(),
+            dests: Vec::new(),
+            lent_cap: 0,
         }
     }
 
+    /// Rebuilds outboxes on top of recycled buffers (cleared, capacity
+    /// kept). Used by the exchange arena's buffer pool.
+    pub(crate) fn from_pooled(ranks: usize, mut recs: Vec<EdgeRec>, mut dests: Vec<u32>) -> Self {
+        recs.clear();
+        dests.clear();
+        let lent_cap = recs.capacity();
+        Self {
+            ranks,
+            recs,
+            dests,
+            lent_cap,
+        }
+    }
+
+    /// Capacity the buffers had when checked out of the arena pool.
+    pub(crate) fn lent_capacity(&self) -> usize {
+        self.lent_cap
+    }
+
     /// Queues a record for `dest`.
+    #[inline]
     pub fn push(&mut self, dest: u32, rec: EdgeRec) {
-        self.boxes[dest as usize].push(rec);
+        debug_assert!((dest as usize) < self.ranks, "destination out of range");
+        self.recs.push(rec);
+        self.dests.push(dest);
     }
 
     /// Number of destination slots.
     pub fn ranks(&self) -> usize {
-        self.boxes.len()
+        self.ranks
     }
 
-    /// Records queued for `dest`.
-    pub fn for_rank(&self, dest: u32) -> &[EdgeRec] {
-        &self.boxes[dest as usize]
+    /// Records queued for `dest`, in push order. O(total records) — a
+    /// diagnostic/test accessor, not a hot-path API.
+    pub fn for_rank(&self, dest: u32) -> Vec<EdgeRec> {
+        self.recs
+            .iter()
+            .zip(&self.dests)
+            .filter(|&(_, &d)| d == dest)
+            .map(|(&r, _)| r)
+            .collect()
     }
 
     /// Total queued records.
     pub fn total_records(&self) -> u64 {
-        self.boxes.iter().map(|b| b.len() as u64).sum()
+        self.recs.len() as u64
     }
 
-    /// Consumes into the raw per-destination vectors.
-    pub fn into_inner(self) -> Vec<Vec<EdgeRec>> {
-        self.boxes
+    /// Forgets all queued records, keeping the buffers' capacity.
+    pub fn clear(&mut self) {
+        self.recs.clear();
+        self.dests.clear();
+    }
+
+    /// The flat (records, destination tags) streams, in push order.
+    pub fn parts(&self) -> (&[EdgeRec], &[u32]) {
+        (&self.recs, &self.dests)
+    }
+
+    /// Consumes into the flat (records, destination tags) buffers.
+    pub(crate) fn into_parts(self) -> (Vec<EdgeRec>, Vec<u32>) {
+        (self.recs, self.dests)
+    }
+
+    /// Buckets the flat stream into per-destination vectors and clears
+    /// the flat buffers, keeping their capacity for the next level. The
+    /// per-destination allocation is inherent for callers that hand each
+    /// box to a different owner, e.g. the channel transport.
+    pub fn drain_into_boxes(&mut self) -> Vec<Vec<EdgeRec>> {
+        let mut counts = vec![0usize; self.ranks];
+        for &d in &self.dests {
+            counts[d as usize] += 1;
+        }
+        let mut boxes: Vec<Vec<EdgeRec>> =
+            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for (&r, &d) in self.recs.iter().zip(&self.dests) {
+            boxes[d as usize].push(r);
+        }
+        self.clear();
+        boxes
+    }
+
+    /// Consumes into per-destination vectors (buckets the flat stream;
+    /// allocates).
+    pub fn into_inner(mut self) -> Vec<Vec<EdgeRec>> {
+        self.drain_into_boxes()
     }
 }
 

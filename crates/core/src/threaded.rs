@@ -9,11 +9,12 @@
 //! every [`LevelStats`] field is measured, which is what
 //! [`crate::traffic`] turns into the scale-extrapolation profile.
 
+use crate::arena::ExchangeArena;
 use crate::config::BfsConfig;
 #[cfg(test)]
 use crate::config::Processing;
 use crate::error::ExecError;
-use crate::exchange::{exchange, ExchangeStats};
+use crate::exchange::ExchangeStats;
 use crate::hubs::{gather_hub_level, HubState};
 use crate::messages::EdgeRec;
 use crate::modules::{
@@ -44,6 +45,17 @@ pub struct ThreadedCluster {
     total_directed_edges: u64,
     /// Input edge tuples (the Graph500 TEPS numerator).
     input_edges: u64,
+    /// Pooled exchange buffers, recycled across levels and runs.
+    arena: ExchangeArena,
+    /// Pooled-buffer growths during the most recent [`Self::run`].
+    pool_allocs: u64,
+    /// Bytes served from already-pooled capacity during the most recent
+    /// [`Self::run`].
+    pool_reused_bytes: u64,
+    /// Tests flip this to route records through the seed's nested-Vec
+    /// exchange, the differential oracle for the arena path.
+    #[cfg(test)]
+    use_legacy_exchange: bool,
 }
 
 impl ThreadedCluster {
@@ -123,6 +135,11 @@ impl ThreadedCluster {
             owned_hubs,
             total_directed_edges,
             input_edges: el.len() as u64,
+            arena: ExchangeArena::new(num_ranks as usize),
+            pool_allocs: 0,
+            pool_reused_bytes: 0,
+            #[cfg(test)]
+            use_legacy_exchange: false,
         })
     }
 
@@ -178,6 +195,14 @@ impl ThreadedCluster {
     /// Degree (with multiplicity) of a global vertex.
     pub fn degree_of(&self, v: Vid) -> u64 {
         self.ranks[self.part.owner(v) as usize].csr.degree(v)
+    }
+
+    /// Exchange-arena telemetry for the most recent [`Self::run`]:
+    /// `(buffer growths, bytes served from pooled capacity)`. After a
+    /// warm-up run the growth count stays at zero — the steady-state
+    /// exchange is allocation-free.
+    pub fn pool_counters(&self) -> (u64, u64) {
+        (self.pool_allocs, self.pool_reused_bytes)
     }
 
     /// Runs one BFS from `root`, returning the parent map and per-level
@@ -261,6 +286,8 @@ impl ThreadedCluster {
     }
 
     fn reset(&mut self) {
+        self.pool_allocs = 0;
+        self.pool_reused_bytes = 0;
         for r in &mut self.ranks {
             r.parent.fill(NO_PARENT);
             r.curr.clear();
@@ -274,112 +301,110 @@ impl ThreadedCluster {
 
     /// One Top-Down level: Forward Generator → exchange → Forward Handler.
     fn top_down_level(&mut self, ls: &mut LevelStats) {
-        let gen: Vec<(Outboxes, ModuleStats)> = self
+        let mut outs = self.arena.lend_outboxes();
+        let gen: Vec<ModuleStats> = self
             .ranks
             .par_iter_mut()
             .zip(self.hub_states.par_iter())
-            .map(|(r, h)| {
-                let mut out = Outboxes::new(self.part.num_ranks() as usize);
-                let st = forward_generator(r, h, &mut out);
-                (out, st)
-            })
+            .zip(outs.par_iter_mut())
+            .map(|((r, h), out)| forward_generator(r, h, out))
             .collect();
-        let mut outs = Vec::with_capacity(gen.len());
-        for (o, st) in gen {
+        for st in gen {
             ls.edges_scanned += st.edges_scanned;
             ls.local_claims += st.local_claims;
             ls.hub_skips += st.hub_skips;
             ls.records_generated += st.records_out;
-            outs.push(o.into_inner());
         }
 
-        let (inboxes, xs) = exchange(
-            self.cfg.messaging,
-            outs,
-            &self.layout,
-            self.cfg.codec(),
-        );
-        self.absorb_exchange(ls, &xs);
-        let inboxes = self.canonicalize(inboxes);
+        let inboxes = self.run_exchange(outs, ls);
 
         self.ranks
             .par_iter_mut()
-            .zip(inboxes.into_par_iter())
+            .zip(inboxes.par_iter())
             .for_each(|(r, inbox)| {
-                forward_handler(r, &inbox);
+                forward_handler(r, inbox);
             });
+        self.arena.recycle_inboxes(inboxes);
     }
 
     /// One Bottom-Up level: Backward Generator → exchange → Backward
     /// Handler → exchange → Forward Handler.
     fn bottom_up_level(&mut self, ls: &mut LevelStats) {
-        let gen: Vec<(Outboxes, ModuleStats)> = self
+        let mut outs = self.arena.lend_outboxes();
+        let gen: Vec<ModuleStats> = self
             .ranks
             .par_iter_mut()
             .zip(self.hub_states.par_iter())
-            .map(|(r, h)| {
-                let mut out = Outboxes::new(self.part.num_ranks() as usize);
-                let st = backward_generator(r, h, &mut out);
-                (out, st)
-            })
+            .zip(outs.par_iter_mut())
+            .map(|((r, h), out)| backward_generator(r, h, out))
             .collect();
-        let mut outs = Vec::with_capacity(gen.len());
-        for (o, st) in gen {
+        for st in gen {
             ls.edges_scanned += st.edges_scanned;
             ls.local_claims += st.local_claims;
             ls.hub_skips += st.hub_skips;
             ls.records_generated += st.records_out;
-            outs.push(o.into_inner());
         }
 
-        let (inboxes, xs) = exchange(
-            self.cfg.messaging,
-            outs,
-            &self.layout,
-            self.cfg.codec(),
-        );
-        self.absorb_exchange(ls, &xs);
-        let inboxes = self.canonicalize(inboxes);
+        let inboxes = self.run_exchange(outs, ls);
 
-        let replies: Vec<(Outboxes, ModuleStats)> = self
+        let mut replies = self.arena.lend_outboxes();
+        let handled: Vec<ModuleStats> = self
             .ranks
             .par_iter_mut()
-            .zip(inboxes.into_par_iter())
-            .map(|(r, inbox)| {
-                let mut out = Outboxes::new(self.part.num_ranks() as usize);
-                let st = backward_handler(r, &inbox, &mut out);
-                (out, st)
-            })
+            .zip(inboxes.par_iter())
+            .zip(replies.par_iter_mut())
+            .map(|((r, inbox), out)| backward_handler(r, inbox, out))
             .collect();
-        let mut outs = Vec::with_capacity(replies.len());
-        for (o, st) in replies {
+        // Return the query inboxes *before* the reply exchange so its
+        // assembly pass finds the pooled buffers in their slots.
+        self.arena.recycle_inboxes(inboxes);
+        for st in handled {
             ls.edges_scanned += st.edges_scanned;
             ls.local_claims += st.local_claims;
             ls.records_generated += st.records_out;
-            outs.push(o.into_inner());
         }
 
-        let (inboxes, xs) = exchange(
-            self.cfg.messaging,
-            outs,
-            &self.layout,
-            self.cfg.codec(),
-        );
-        self.absorb_exchange(ls, &xs);
-        let inboxes = self.canonicalize(inboxes);
+        let inboxes = self.run_exchange(replies, ls);
 
         self.ranks
             .par_iter_mut()
-            .zip(inboxes.into_par_iter())
+            .zip(inboxes.par_iter())
             .for_each(|(r, inbox)| {
-                forward_handler(r, &inbox);
+                forward_handler(r, inbox);
             });
+        self.arena.recycle_inboxes(inboxes);
     }
 
-    fn absorb_exchange(&self, ls: &mut LevelStats, xs: &ExchangeStats) {
+    /// Runs one record exchange through the pooled arena — or, when a test
+    /// has requested the oracle, through the seed's nested-Vec path — and
+    /// folds the transport stats into `ls`.
+    fn run_exchange(&mut self, out: Vec<Outboxes>, ls: &mut LevelStats) -> Vec<Vec<EdgeRec>> {
+        #[cfg(test)]
+        if self.use_legacy_exchange {
+            let nested: Vec<Vec<Vec<EdgeRec>>> =
+                out.into_iter().map(|o| o.into_inner()).collect();
+            let (inboxes, xs) = crate::exchange::legacy::exchange(
+                self.cfg.messaging,
+                nested,
+                &self.layout,
+                self.cfg.codec(),
+            );
+            self.absorb_exchange(ls, &xs);
+            return self.canonicalize(inboxes);
+        }
+        let (inboxes, xs) =
+            self.arena
+                .exchange(self.cfg.messaging, out, &self.layout, self.cfg.codec());
+        self.absorb_exchange(ls, &xs);
+        self.canonicalize(inboxes)
+    }
+
+    fn absorb_exchange(&mut self, ls: &mut LevelStats, xs: &ExchangeStats) {
         ls.records_sent += xs.record_hops;
         ls.messages_sent += xs.messages;
         ls.bytes_sent += xs.bytes;
+        self.pool_allocs += xs.pool_allocs;
+        self.pool_reused_bytes += xs.pool_reused_bytes;
     }
 
     fn canonicalize(&self, mut inboxes: Vec<Vec<EdgeRec>>) -> Vec<Vec<EdgeRec>> {
@@ -577,6 +602,40 @@ mod tests {
             tc.run(1 << 30),
             Err(ExecError::BadRoot { .. })
         ));
+    }
+
+    /// Acceptance gate for the pooled exchange: at Graph500 scale 16 the
+    /// arena pipeline must produce *bit-identical* parent maps (and level
+    /// stats) to the seed's nested-Vec exchange, on both transports.
+    #[test]
+    fn arena_parents_bit_identical_to_legacy_at_scale_16() {
+        let el = kron(16, 42);
+        for msg in [Messaging::Direct, Messaging::Relay] {
+            let cfg = BfsConfig::threaded_small(4).with_messaging(msg);
+            let mut pooled = ThreadedCluster::new(&el, 8, cfg).unwrap();
+            let mut legacy = ThreadedCluster::new(&el, 8, cfg).unwrap();
+            legacy.use_legacy_exchange = true;
+            let root = good_root(&pooled);
+            let op = pooled.run(root).unwrap();
+            let ol = legacy.run(root).unwrap();
+            assert_eq!(op.parents, ol.parents, "{msg:?} parent maps diverge");
+            assert_eq!(op.levels, ol.levels, "{msg:?} level stats diverge");
+        }
+    }
+
+    #[test]
+    fn steady_state_runs_are_allocation_free() {
+        let el = kron(12, 5);
+        let cfg = BfsConfig::threaded_small(3).with_messaging(Messaging::Relay);
+        let mut tc = ThreadedCluster::new(&el, 6, cfg).unwrap();
+        let root = good_root(&tc);
+        tc.run(root).unwrap();
+        let (warmup_allocs, _) = tc.pool_counters();
+        assert!(warmup_allocs > 0, "warm-up run should grow the pool");
+        tc.run(root).unwrap();
+        let (allocs, reused) = tc.pool_counters();
+        assert_eq!(allocs, 0, "steady-state run grew pooled buffers");
+        assert!(reused > 0, "pooled capacity never reused");
     }
 
     #[test]

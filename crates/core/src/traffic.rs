@@ -131,7 +131,7 @@ pub fn extrapolate_depth(profile: &[LevelProfile], growth_factor: f64) -> Vec<Le
         records_frac: 0.0,
         hub_gather_active: false,
     };
-    p.extend(std::iter::repeat(tail).take(extra));
+    p.extend(std::iter::repeat_n(tail, extra));
     p
 }
 

@@ -1,0 +1,103 @@
+//! Property test: the pooled arena exchange delivers exactly the same
+//! per-destination record multisets (and wire statistics) as the seed's
+//! nested-Vec exchange, over random traffic shapes, layouts, transports,
+//! and codecs. The seed path is kept in `swbfs_core::exchange::legacy`
+//! as the differential oracle.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use sw_net::GroupLayout;
+use swbfs_core::arena::ExchangeArena;
+use swbfs_core::config::Messaging;
+use swbfs_core::exchange::{legacy, Codec};
+use swbfs_core::messages::EdgeRec;
+use swbfs_core::modules::Outboxes;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The same random traffic in both representations: flat arena outboxes
+/// and the seed's nested per-destination vectors, identical push order.
+fn traffic(ranks: usize, seed: u64) -> (Vec<Outboxes>, Vec<Vec<Vec<EdgeRec>>>) {
+    let mut st = seed;
+    let mut flat: Vec<Outboxes> = (0..ranks).map(|_| Outboxes::new(ranks)).collect();
+    let mut nested: Vec<Vec<Vec<EdgeRec>>> = vec![vec![Vec::new(); ranks]; ranks];
+    for s in 0..ranks {
+        let n = (splitmix(&mut st) % 48) as usize;
+        for _ in 0..n {
+            let d = (splitmix(&mut st) as usize) % ranks;
+            if d == s {
+                continue; // the exchange never ships rank-to-self records
+            }
+            let rec = EdgeRec {
+                u: splitmix(&mut st) % (1 << 20),
+                v: splitmix(&mut st) % (1 << 20),
+            };
+            flat[s].push(d as u32, rec);
+            nested[s][d].push(rec);
+        }
+    }
+    (flat, nested)
+}
+
+fn multiset(recs: &[EdgeRec]) -> BTreeMap<EdgeRec, usize> {
+    let mut m = BTreeMap::new();
+    for &r in recs {
+        *m.entry(r).or_insert(0) += 1;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn arena_matches_seed_exchange(
+        ranks in 1usize..12,
+        group in 1u32..12,
+        seed in 0u64..u64::MAX,
+        relay in any::<bool>(),
+        compressed in any::<bool>(),
+    ) {
+        let layout = GroupLayout::new(ranks as u32, group.min(ranks as u32));
+        let mode = if relay { Messaging::Relay } else { Messaging::Direct };
+        let codec = if compressed { Codec::Compressed } else { Codec::Fixed(16) };
+        let (flat, nested) = traffic(ranks, seed);
+
+        let mut arena = ExchangeArena::new(ranks);
+        let (arena_in, arena_stats) = arena.exchange(mode, flat, &layout, codec);
+        let (seed_in, seed_stats) = legacy::exchange(mode, nested, &layout, codec);
+
+        prop_assert_eq!(arena_in.len(), seed_in.len());
+        for d in 0..ranks {
+            prop_assert_eq!(multiset(&arena_in[d]), multiset(&seed_in[d]));
+        }
+        prop_assert_eq!(arena_stats.wire(), seed_stats.wire());
+    }
+
+    /// Recycling and re-lending must not change delivery: a second
+    /// exchange through the same (now warm) arena equals a fresh one.
+    #[test]
+    fn warm_arena_equals_cold_arena(
+        ranks in 1usize..8,
+        group in 1u32..8,
+        seed in 0u64..u64::MAX,
+    ) {
+        let layout = GroupLayout::new(ranks as u32, group.min(ranks as u32));
+        let mut warm = ExchangeArena::new(ranks);
+        // Warm-up round with different traffic.
+        let (w, _) = traffic(ranks, seed ^ 0xDEAD_BEEF);
+        let (inboxes, _) = warm.exchange(Messaging::Relay, w, &layout, Codec::Fixed(16));
+        warm.recycle_inboxes(inboxes);
+
+        let (flat, nested) = traffic(ranks, seed);
+        let (warm_in, warm_stats) = warm.exchange(Messaging::Relay, flat, &layout, Codec::Fixed(16));
+        let (seed_in, seed_stats) = legacy::exchange_relay(nested, &layout, Codec::Fixed(16));
+        prop_assert_eq!(&warm_in, &seed_in);
+        prop_assert_eq!(warm_stats.wire(), seed_stats.wire());
+    }
+}

@@ -126,7 +126,7 @@ mod tests {
         let el = EdgeList::new(10, vec![(0, 1)]);
         let hs = HubSet::top_k(&Csr::from_edge_list(&el), 5);
         assert_eq!(hs.len(), 2);
-        assert!(hs.is_empty() == false);
+        assert!(!hs.is_empty());
     }
 
     #[test]

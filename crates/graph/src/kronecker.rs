@@ -225,7 +225,9 @@ mod tests {
     #[test]
     fn permutation_scrambles_degree_locality() {
         // After permutation the low half of the id space should hold roughly
-        // half of the endpoints.
+        // half of the endpoints. The degree mass is heavy-tailed, so the
+        // split fluctuates by several percent across RNG streams; without
+        // permutation it sits far above 0.6 (see the quadrant test above).
         let cfg = KroneckerConfig::graph500(12, 11);
         let el = generate_kronecker(&cfg);
         let half = el.num_vertices / 2;
@@ -238,7 +240,7 @@ mod tests {
         let total = el.len() * 2;
         let frac = low_endpoints as f64 / total as f64;
         assert!(
-            (0.45..0.55).contains(&frac),
+            (0.42..0.58).contains(&frac),
             "permuted endpoint split should be ~50%, got {frac}"
         );
     }

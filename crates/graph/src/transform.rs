@@ -78,9 +78,9 @@ pub fn largest_component(el: &EdgeList) -> (EdgeList, Vec<Option<Vid>>) {
 
     let mut map: Vec<Option<Vid>> = vec![None; n];
     let mut next = 0 as Vid;
-    for v in 0..n {
+    for (v, slot) in map.iter_mut().enumerate() {
         if find(&mut parent, v) == giant {
-            map[v] = Some(next);
+            *slot = Some(next);
             next += 1;
         }
     }

@@ -21,8 +21,9 @@
 //! identical to the centralized validator (tested).
 
 use crate::validate::ValidationError;
+use swbfs_core::arena::ExchangeArena;
 use swbfs_core::config::Messaging;
-use swbfs_core::exchange::{exchange, Codec};
+use swbfs_core::exchange::Codec;
 use swbfs_core::messages::EdgeRec;
 use swbfs_core::{BfsOutput, NO_PARENT};
 use sw_graph::{EdgeList, Partition1D, Vid};
@@ -83,13 +84,15 @@ impl DistValidator {
         }
         let mut hops: Vec<u32> = vec![1; n];
 
+        // Pooled buffers shared by every exchange of the validation run.
+        let mut arena = ExchangeArena::new(ranks);
+
         // log2(n)+1 jumping rounds: query each unresolved vertex's current
         // ancestor for (its ancestor, its hops, its level-if-known).
         let max_rounds = 2 + (n.max(2) as f64).log2().ceil() as usize;
         for _ in 0..max_rounds {
             // Collect queries per owner rank: (ancestor, asker).
-            let mut out_q: Vec<Vec<Vec<EdgeRec>>> =
-                vec![vec![Vec::new(); ranks]; ranks];
+            let mut out_q = arena.lend_outboxes();
             // Queries answerable locally (ancestor owned by the asker's
             // own rank) are applied at round end from the same snapshot.
             let mut local_q: Vec<(usize, Vid)> = Vec::new();
@@ -103,22 +106,24 @@ impl DistValidator {
                     if owner_a == asker_rank {
                         local_q.push((v, a));
                     } else {
-                        out_q[asker_rank][owner_a].push(EdgeRec {
-                            u: a,
-                            v: v as Vid,
-                        });
+                        out_q[asker_rank].push(
+                            owner_a as u32,
+                            EdgeRec {
+                                u: a,
+                                v: v as Vid,
+                            },
+                        );
                     }
                 }
             }
             if !any {
                 break;
             }
-            let (inbox, _) = exchange(self.messaging, out_q, &self.layout, Codec::Fixed(16));
+            let (inbox, _) = arena.exchange(self.messaging, out_q, &self.layout, Codec::Fixed(16));
             // Answer: for query (a, v) -> reply (v, packed(anc[a], hops[a],
             // lvl[a])). Replies routed back through a second exchange.
-            let mut out_r: Vec<Vec<Vec<EdgeRec>>> =
-                vec![vec![Vec::new(); ranks]; ranks];
-            for (r, msgs) in inbox.into_iter().enumerate() {
+            let mut out_r = arena.lend_outboxes();
+            for (r, msgs) in inbox.iter().enumerate() {
                 for q in msgs {
                     let a = q.u as usize;
                     // Pack the reply: anc in u-field low bits is impossible
@@ -126,18 +131,25 @@ impl DistValidator {
                     // (v, anc[a]) tagged even, (v, hops[a]<<32 | lvl[a])
                     // tagged odd via the high bit of u.
                     let asker = q.v;
-                    let dest = self.owner(asker) as usize;
-                    out_r[r][dest].push(EdgeRec {
-                        u: asker << 1,
-                        v: anc[a],
-                    });
-                    out_r[r][dest].push(EdgeRec {
-                        u: (asker << 1) | 1,
-                        v: ((hops[a] as u64) << 32) | lvl[a] as u64,
-                    });
+                    let dest = self.owner(asker);
+                    out_r[r].push(
+                        dest,
+                        EdgeRec {
+                            u: asker << 1,
+                            v: anc[a],
+                        },
+                    );
+                    out_r[r].push(
+                        dest,
+                        EdgeRec {
+                            u: (asker << 1) | 1,
+                            v: ((hops[a] as u64) << 32) | lvl[a] as u64,
+                        },
+                    );
                 }
             }
-            let (replies, _) = exchange(self.messaging, out_r, &self.layout, Codec::Fixed(16));
+            arena.recycle_inboxes(inbox);
+            let (replies, _) = arena.exchange(self.messaging, out_r, &self.layout, Codec::Fixed(16));
             // Apply: both reply halves arrive in the same inbox; local
             // queries answer from the same pre-round snapshot.
             let mut anc_new: Vec<(Vid, Vid)> = Vec::new();
@@ -150,7 +162,7 @@ impl DistValidator {
                     ((hops[a] as u64) << 32) | lvl[a] as u64,
                 ));
             }
-            for msgs in replies {
+            for msgs in &replies {
                 for rec in msgs {
                     if rec.u & 1 == 0 {
                         anc_new.push((rec.u >> 1, rec.v));
@@ -159,6 +171,7 @@ impl DistValidator {
                     }
                 }
             }
+            arena.recycle_inboxes(replies);
             for (v, a) in anc_new {
                 if lvl[v as usize] == CYCLIC {
                     anc[v as usize] = a;
@@ -188,22 +201,21 @@ impl DistValidator {
         // ---- Phase 2: rules 2 & 5 — each rank checks its owned children
         // against the parent's level (one query exchange) and the local
         // adjacency.
-        let mut out_q: Vec<Vec<Vec<EdgeRec>>> = vec![vec![Vec::new(); ranks]; ranks];
+        let mut out_q = arena.lend_outboxes();
         let mut local_checks: Vec<(Vid, Vid)> = Vec::new();
-        for v in 0..n {
-            let p = parents[v];
+        for (v, &p) in parents.iter().enumerate() {
             if p == NO_PARENT || v as Vid == root {
                 continue;
             }
             let vr = self.owner(v as Vid) as usize;
-            let pr = self.owner(p) as usize;
-            if pr == vr {
+            let pr = self.owner(p);
+            if pr as usize == vr {
                 local_checks.push((p, v as Vid));
             } else {
-                out_q[vr][pr].push(EdgeRec { u: p, v: v as Vid });
+                out_q[vr].push(pr, EdgeRec { u: p, v: v as Vid });
             }
         }
-        let (inbox, _) = exchange(self.messaging, out_q, &self.layout, Codec::Fixed(16));
+        let (inbox, _) = arena.exchange(self.messaging, out_q, &self.layout, Codec::Fixed(16));
         let check = |p: Vid, v: Vid| -> Result<(), ValidationError> {
             // Owner of the parent checks the level step using its
             // authoritative copy of lvl[p] (and the asker's lvl[v], both
@@ -216,11 +228,12 @@ impl DistValidator {
         for (p, v) in local_checks {
             check(p, v)?;
         }
-        for msgs in inbox {
+        for msgs in &inbox {
             for q in msgs {
                 check(q.u, q.v)?;
             }
         }
+        arena.recycle_inboxes(inbox);
         // Rule 5 by the rank owning the child: the (parent, child) pair
         // must appear among the child's incident input edges.
         use std::collections::HashSet;
@@ -229,8 +242,7 @@ impl DistValidator {
             incident[self.owner(u) as usize].insert((u, v));
             incident[self.owner(v) as usize].insert((v, u));
         }
-        for v in 0..n {
-            let p = parents[v];
+        for (v, &p) in parents.iter().enumerate() {
             if p == NO_PARENT || v as Vid == root {
                 continue;
             }

@@ -43,8 +43,7 @@ fn main() {
     // connected to everything).
     let mut bfs = ThreadedCluster::new(&el, 6, BfsConfig::threaded_small(3)).unwrap();
     let query = (0..el.num_vertices)
-        .filter(|&v| (4..=8).contains(&bfs.degree_of(v)))
-        .next()
+        .find(|&v| (4..=8).contains(&bfs.degree_of(v)))
         .expect("a mid-degree protein");
     println!(
         "query protein: {query} ({} direct interactions)",

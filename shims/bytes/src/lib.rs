@@ -1,0 +1,310 @@
+//! Offline shim for the `bytes` 1.x API subset this workspace uses:
+//! [`Bytes`] (cheaply cloneable, consuming reads advance a cursor),
+//! [`BytesMut`] (growable builder, `freeze` into `Bytes`), and the
+//! [`Buf`]/[`BufMut`] traits with the little-endian accessors the wire
+//! framing needs.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Immutable, cheaply cloneable byte buffer with a read cursor.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::from(Vec::new())
+    }
+
+    /// Remaining (unread) length.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the remaining bytes into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Sub-range view sharing the same allocation.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", self.as_slice())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+/// Growable byte builder.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Written length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Current allocation size.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Drops the contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Ensures room for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Appends a byte slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+
+    /// Converts into an immutable [`Bytes`] (consumes the allocation).
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    /// Splits off everything written so far into a [`Bytes`], leaving
+    /// this builder empty but *not* reusing the allocation (the
+    /// returned `Bytes` owns it).
+    pub fn split(&mut self) -> Bytes {
+        Bytes::from(std::mem::take(&mut self.buf))
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({:?})", &self.buf)
+    }
+}
+
+/// Consuming read access.
+pub trait Buf {
+    /// Unread byte count.
+    fn remaining(&self) -> usize;
+    /// View of the unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a little-endian u32.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut a = [0u8; 4];
+        a.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(a)
+    }
+
+    /// Reads a little-endian u64.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(a)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of Bytes");
+        self.start += cnt;
+    }
+}
+
+/// Appending write access.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, s: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8) {
+        self.put_slice(&[b]);
+    }
+
+    /// Appends a little-endian u32.
+    fn put_u32_le(&mut self, x: u32) {
+        self.put_slice(&x.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    fn put_u64_le(&mut self, x: u64) {
+        self.put_slice(&x.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_freeze_read() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u64_le(7);
+        b.put_u8(0xAB);
+        let mut bytes = b.freeze();
+        assert_eq!(bytes.len(), 9);
+        assert_eq!(bytes.get_u64_le(), 7);
+        assert_eq!(bytes.len(), 1);
+        assert_eq!(bytes.get_u8(), 0xAB);
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn clone_is_cheap_and_independent() {
+        let mut b = BytesMut::new();
+        b.put_u64_le(1);
+        b.put_u64_le(2);
+        let a = b.freeze();
+        let mut c = a.clone();
+        assert_eq!(c.get_u64_le(), 1);
+        assert_eq!(a.len(), 16); // original cursor untouched
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn deref_and_to_vec() {
+        let mut b = BytesMut::new();
+        b.put_slice(&[1, 2, 3]);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        let f = b.freeze();
+        assert_eq!(f.to_vec(), vec![1, 2, 3]);
+        assert_eq!(f.slice(1..3).to_vec(), vec![2, 3]);
+    }
+}

@@ -1,0 +1,500 @@
+//! Offline shim for the `proptest` API subset this workspace uses:
+//! the [`proptest!`] macro, [`strategy::Strategy`] with integer-range,
+//! tuple, `prop_map`, and `prop_flat_map` strategies, `any::<T>()`,
+//! [`collection::vec`], `prop_assume!`/`prop_assert!*`, and
+//! [`test_runner::Config`].
+//!
+//! Differences from upstream: no shrinking (a failing case panics with
+//! the generated inputs' `Debug` rendering), and generation is
+//! deterministic per test name unless `PROPTEST_SEED` is set in the
+//! environment.
+
+/// Outcome signal of one generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case does not apply (from `prop_assume!`); try another.
+    Reject,
+    /// The property failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Constructs a rejection.
+    pub fn reject(_msg: impl Into<String>) -> Self {
+        TestCaseError::Reject
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject => write!(f, "rejected"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-run configuration.
+
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of accepted (non-rejected) cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+pub mod rng {
+    //! Deterministic generation source (SplitMix64).
+
+    /// Deterministic RNG driving strategy generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded from the test name, or `PROPTEST_SEED` when set.
+        pub fn deterministic(name: &str) -> Self {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or_else(|| {
+                    name.bytes()
+                        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+                        })
+                });
+            Self { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw below `bound` (> 0).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::rng::TestRng;
+    use std::ops::Range;
+
+    /// Generates values of `Self::Value` from a [`TestRng`].
+    pub trait Strategy {
+        /// Generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Chains a dependent strategy.
+        fn prop_flat_map<U: Strategy, F: Fn(Self::Value) -> U>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Filters generated values (rejection by regeneration, bounded
+        /// attempts).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            _whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Strategy, F: Fn(S::Value) -> U> Strategy for FlatMap<S, F> {
+        type Value = U::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.new_value(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 10000 consecutive values");
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo + 1) as u64;
+                    (lo + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// `any::<T>()` marker strategy.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Full-domain generation for `any::<T>()`.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The `any::<T>()` entry point.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $S:ident),+))*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+
+    /// A fixed value as a strategy (proptest's `Just`).
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::ops::Range;
+
+    /// Strategy for vectors with lengths drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            assert!(self.len.start < self.len.end, "empty vec length range");
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Generates `#[test]` functions from property definitions.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]   // optional
+///     #[test]
+///     fn prop_name(x in strategy_expr, y in strategy_expr) { body }
+///     ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr) $($(#[$attr:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let cfg: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::rng::TestRng::deterministic(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = cfg.cases.saturating_mul(20).max(1000);
+                while accepted < cfg.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "proptest shim: {} rejected too many generated cases",
+                        stringify!($name),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}\n",)+),
+                        $(&$arg),+
+                    );
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::TestCaseError::Reject) => {}
+                        Err($crate::TestCaseError::Fail(msg)) => panic!(
+                            "proptest case failed: {}\ninputs:\n{}",
+                            msg, __inputs
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Skips the current case when `cond` does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fails the current case when `cond` does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! Everything `use proptest::prelude::*` is expected to bring in.
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in 0usize..5, b in any::<bool>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+            let _ = b;
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vec_and_flat_map_compose(
+            v in crate::collection::vec((0u64..50, 0u64..50), 0..20),
+            n in (1u64..9).prop_flat_map(|n| (crate::strategy::Just(n), 0..n)),
+        ) {
+            prop_assert!(v.len() < 20);
+            for (a, b) in &v {
+                prop_assert!(*a < 50 && *b < 50);
+            }
+            let (bound, below) = n;
+            prop_assert!(below < bound);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_panic() {
+        proptest! {
+            fn inner(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,286 @@
+//! Offline shim for the `rand` 0.8 API subset this workspace uses.
+//!
+//! Provides [`rngs::StdRng`] (xoshiro256++ seeded through SplitMix64),
+//! the [`Rng`] extension trait with `gen`, `gen_range`, and `gen_bool`,
+//! and [`SeedableRng::seed_from_u64`]. The generated stream is
+//! deterministic for a seed but differs from upstream `rand`'s
+//! ChaCha-based `StdRng`; all in-repo consumers are self-consistent
+//! (oracle or cross-backend comparisons), so only determinism matters.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core randomness source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (only the `seed_from_u64` entry point is used).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ with SplitMix64
+    /// seed expansion.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from the standard distribution of `Self`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / ((1u64 << 24) as f32))
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait UniformInt: Copy + PartialOrd {
+    /// Widens to u64 with the ordering preserved via sign-bias.
+    fn to_biased_u64(self) -> u64;
+    /// Inverse of [`Self::to_biased_u64`].
+    fn from_biased_u64(x: u64) -> Self;
+}
+
+macro_rules! uniform_uint {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_biased_u64(self) -> u64 { self as u64 }
+            fn from_biased_u64(x: u64) -> Self { x as $t }
+        }
+    )*};
+}
+uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! uniform_sint {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_biased_u64(self) -> u64 {
+                (self as $u ^ (1 << (<$u>::BITS - 1))) as u64
+            }
+            fn from_biased_u64(x: u64) -> Self {
+                ((x as $u) ^ (1 << (<$u>::BITS - 1))) as $t
+            }
+        }
+    )*};
+}
+uniform_sint!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform draw from `[0, span)` by 128-bit multiply-shift.
+fn bounded<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    (((rng.next_u64() as u128) * (span as u128)) >> 64) as u64
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let lo = self.start.to_biased_u64();
+        let hi = self.end.to_biased_u64();
+        assert!(lo < hi, "gen_range called with an empty range");
+        T::from_biased_u64(lo + bounded(rng, hi - lo))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let lo = self.start().to_biased_u64();
+        let hi = self.end().to_biased_u64();
+        assert!(lo <= hi, "gen_range called with an empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return T::from_biased_u64(rng.next_u64());
+        }
+        T::from_biased_u64(lo + bounded(rng, span + 1))
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range called with an empty range");
+        self.start + f64::sample_standard(rng) * (self.end - self.start)
+    }
+}
+
+/// The user-facing extension trait (auto-implemented for every
+/// [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Draws a value of an inferred type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draws uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// `rand::thread_rng` stand-in: a fresh generator seeded from the
+/// system clock and a counter (not cryptographic, like the original).
+pub fn thread_rng() -> rngs::StdRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::{SystemTime, UNIX_EPOCH};
+    static CTR: AtomicU64 = AtomicU64::new(0);
+    let t = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    rngs::StdRng::seed_from_u64(t ^ CTR.fetch_add(0x9E37_79B9, Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: usize = rng.gen_range(0..=5);
+            assert!(y <= 5);
+            let z: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn range_coverage_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "bucket count {c}");
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Offline shim for the `rayon` API subset this workspace uses.
+//!
+//! The parallel-iterator entry points (`par_iter`, `par_iter_mut`,
+//! `into_par_iter`) return the corresponding *standard* iterators, so
+//! every adapter chain (`map`, `zip`, `filter`, `collect`, `sum`,
+//! `for_each`, …) type-checks and runs **sequentially**. `flat_map_iter`
+//! and `with_min_len`, which exist only on rayon's iterators, are
+//! provided by a blanket extension trait.
+//!
+//! This container exposes a single CPU, so sequential execution costs
+//! nothing here; on a multi-core machine, swapping this shim for the
+//! real rayon re-enables parallelism with no call-site changes.
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` (thread count ignored).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    _threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accepted and ignored: the shim always executes inline.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._threads = n;
+        self
+    }
+
+    /// Builds the (trivial) pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool)
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (unreachable in shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Trivial pool: `install` just invokes the closure inline.
+pub struct ThreadPool;
+
+impl ThreadPool {
+    /// Runs `f` "inside" the pool.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+}
+
+/// Runs both closures (sequentially here) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of worker threads (always 1 in the shim).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub mod iter {
+    //! Sequential stand-ins for rayon's parallel iterator traits.
+
+    /// `into_par_iter()` — the standard `IntoIterator` under another name.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// Concrete iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Converts into a ("parallel") iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter()` on shared references.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type.
+        type Item: 'a;
+        /// Concrete iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Borrowing ("parallel") iterator.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator,
+    {
+        type Item = <&'a C as IntoIterator>::Item;
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` on unique references.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Element type.
+        type Item: 'a;
+        /// Concrete iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Mutably borrowing ("parallel") iterator.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+    where
+        &'a mut C: IntoIterator,
+    {
+        type Item = <&'a mut C as IntoIterator>::Item;
+        type Iter = <&'a mut C as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Adapters that exist on rayon's iterators but not on std's.
+    pub trait ParallelIteratorExt: Iterator + Sized {
+        /// rayon's `flat_map_iter` — sequential `flat_map`.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+
+        /// Work-splitting hint; meaningless sequentially.
+        fn with_min_len(self, _len: usize) -> Self {
+            self
+        }
+
+        /// Work-splitting hint; meaningless sequentially.
+        fn with_max_len(self, _len: usize) -> Self {
+            self
+        }
+    }
+
+    impl<I: Iterator> ParallelIteratorExt for I {}
+}
+
+pub mod slice {
+    //! Sequential stand-ins for rayon's parallel slice traits.
+
+    /// rayon's `par_chunks` — sequential `chunks`.
+    pub trait ParallelSlice<T> {
+        /// Chunked ("parallel") iteration over a shared slice.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// rayon's `par_chunks_mut` — sequential `chunks_mut`.
+    pub trait ParallelSliceMut<T> {
+        /// Chunked ("parallel") iteration over a unique slice.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything `use rayon::prelude::*` is expected to bring in.
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIteratorExt,
+    };
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn iterator_surface_works() {
+        let v = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let s: u64 = v.par_iter().sum();
+        assert_eq!(s, 10);
+        let flat: Vec<u64> = (0u64..3).into_par_iter().flat_map_iter(|x| 0..x).collect();
+        assert_eq!(flat, vec![0, 0, 1]);
+        let mut m = vec![3, 1, 2];
+        m.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(m, vec![13, 11, 12]);
+    }
+
+    #[test]
+    fn pool_installs_inline() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+    }
+}

@@ -1,0 +1,33 @@
+//! Offline shim for `serde`: the `Serialize`/`Deserialize` *marker*
+//! traits plus no-op derive macros.
+//!
+//! Nothing in this workspace performs actual serialization (there is no
+//! `serde_json` or comparable consumer); the derives exist so the many
+//! `#[derive(Serialize, Deserialize)]` annotations on config/result
+//! types keep compiling offline. If real serialization is ever needed,
+//! replace this shim with upstream serde — no call site changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_markers!(
+    bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}

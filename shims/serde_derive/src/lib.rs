@@ -1,0 +1,73 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline serde
+//! shim. Each derive emits an empty marker-trait impl for the annotated
+//! type. Hand-rolled token scanning (no `syn`/`quote` available
+//! offline); supports plain structs and enums, with or without simple
+//! generic parameters.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts `(name, generics)` of the annotated struct/enum, where
+/// `generics` is the raw parameter list between `<` and `>` (empty for
+/// non-generic types). Only lifetime-free, bound-free parameter lists
+/// round-trip exactly; that covers every derive in this workspace.
+fn type_header(input: TokenStream) -> (String, String) {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("derive shim: expected type name, got {other:?}"),
+                };
+                // Collect a generic parameter list if one follows.
+                let mut generics = String::new();
+                if matches!(&iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                    iter.next();
+                    let mut depth = 1usize;
+                    for tt in iter.by_ref() {
+                        if let TokenTree::Punct(p) = &tt {
+                            match p.as_char() {
+                                '<' => depth += 1,
+                                '>' => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                        generics.push_str(&tt.to_string());
+                    }
+                }
+                return (name, generics);
+            }
+        }
+    }
+    panic!("derive shim: no struct or enum found in input");
+}
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, generics) = type_header(input);
+    let code = if generics.is_empty() {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    } else {
+        format!("impl<{generics}> ::serde::Serialize for {name}<{generics}> {{}}")
+    };
+    code.parse().expect("derive shim: generated impl must parse")
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, generics) = type_header(input);
+    let code = if generics.is_empty() {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    } else {
+        format!("impl<'de, {generics}> ::serde::Deserialize<'de> for {name}<{generics}> {{}}")
+    };
+    code.parse().expect("derive shim: generated impl must parse")
+}

@@ -26,11 +26,11 @@ fn wcc_labels_agree_with_bfs_reachability() {
     let mut tc = ThreadedCluster::new(&el, 6, BfsConfig::threaded_small(3)).unwrap();
     let out = tc.run(0).unwrap();
     let l0 = labels[0];
-    for v in 0..el.num_vertices as usize {
+    for (v, &label) in labels.iter().enumerate() {
         let reached = out.parents[v] != swbfs::bfs::NO_PARENT;
         assert_eq!(
             reached,
-            labels[v] == l0,
+            label == l0,
             "vertex {v}: BFS reach and WCC label disagree"
         );
     }
