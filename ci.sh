@@ -6,3 +6,8 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test -q
 cargo clippy -- -D warnings
+
+# Chaos smoke: the differential fault harness under its fixed seeds —
+# randomized survivable schedules must stay bit-identical to the
+# fault-free oracle, unsurvivable ones must fail structurally.
+cargo test -q -p swbfs-core --test chaos

@@ -69,6 +69,15 @@ impl Spm {
         self.allocations.clear();
     }
 
+    /// Injects SPM pressure (fault injection: a resident library pinning
+    /// scratch-pad the kernel was counting on). The pressure is a
+    /// labelled allocation, so it survives until [`Spm::reset`] and
+    /// over-commitment fails with the same structured
+    /// [`ArchError::SpmOverflow`] as an organically oversized kernel.
+    pub fn inject_pressure(&mut self, bytes: usize) -> Result<(), ArchError> {
+        self.alloc("fault: injected SPM pressure", bytes)
+    }
+
     /// Labelled allocations, in allocation order.
     pub fn allocations(&self) -> &[(String, usize)] {
         &self.allocations
@@ -108,6 +117,22 @@ mod tests {
             &[("a".to_string(), 100), ("b".to_string(), 200)]
         );
         assert_eq!(spm.in_use(), 300);
+    }
+
+    #[test]
+    fn injected_pressure_shrinks_the_budget_until_reset() {
+        let mut spm = Spm::new(CpeId::new(0, 2), 64 * 1024);
+        spm.inject_pressure(60 * 1024).unwrap();
+        let err = spm.alloc("buckets", 8 * 1024).unwrap_err();
+        assert!(matches!(err, ArchError::SpmOverflow { .. }));
+        // The pressure is an ordinary labelled allocation…
+        assert!(spm.allocations()[0].0.contains("fault"));
+        // …and reset clears it like any other.
+        spm.reset();
+        spm.alloc("buckets", 8 * 1024).unwrap();
+        // Pressure beyond capacity is itself a structured error.
+        let mut tiny = Spm::new(CpeId::new(0, 3), 128);
+        assert!(tiny.inject_pressure(256).is_err());
     }
 
     #[test]

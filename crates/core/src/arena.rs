@@ -26,7 +26,9 @@
 //! had to touch the heap; in steady state (second root onward) it is 0.
 
 use crate::config::Messaging;
+use crate::error::ExchangeError;
 use crate::exchange::{msgs_for, Codec, ExchangeStats, MSG_HEADER_BYTES};
+use crate::faults::{FaultSession, MsgDesc, RetryPolicy};
 use crate::messages::EdgeRec;
 use crate::modules::Outboxes;
 use rayon::prelude::*;
@@ -132,31 +134,120 @@ impl ExchangeArena {
         layout: &GroupLayout,
         codec: Codec,
     ) -> (Vec<Vec<EdgeRec>>, ExchangeStats) {
+        let (allocs, reused) = self.bucket_pass(out);
+        let (inboxes, mut stats) = self.deliver(mode, layout, codec);
+        stats.pool_allocs += allocs;
+        stats.pool_reused_bytes += reused;
+        (inboxes, stats)
+    }
+
+    /// [`Self::exchange`] with an armed fault session: the phase's
+    /// message set is enumerated and pushed through the session's
+    /// deterministic injection/retry simulation *before* the inboxes are
+    /// assembled. If a delivery pass fails, the level degrades (relay→
+    /// direct fallback, compression disable) and is re-delivered
+    /// idempotently from the already-bucketed `sorted` buffers — no
+    /// re-allocation, no re-bucketing — until it succeeds or every
+    /// degradation is exhausted.
+    ///
+    /// Stats are returned on both success and failure (the fault
+    /// counters of a failed phase are part of the record); wire-traffic
+    /// stats count only the successful delivery, so survivable runs stay
+    /// bit-identical to fault-free ones.
+    #[allow(clippy::too_many_arguments)]
+    pub fn exchange_faulty(
+        &mut self,
+        mode: Messaging,
+        out: Vec<Outboxes>,
+        layout: &GroupLayout,
+        codec: Codec,
+        plain_codec: Codec,
+        policy: &RetryPolicy,
+        session: &mut FaultSession,
+    ) -> (Result<Vec<Vec<EdgeRec>>, ExchangeError>, ExchangeStats) {
+        let (allocs, reused) = self.bucket_pass(out);
+        let mut stats = ExchangeStats {
+            pool_allocs: allocs,
+            pool_reused_bytes: reused,
+            ..ExchangeStats::default()
+        };
+
+        loop {
+            let eff_mode = if session.forced_direct() {
+                Messaging::Direct
+            } else {
+                mode
+            };
+            let eff_codec = if session.compression_disabled() {
+                plain_codec
+            } else {
+                codec
+            };
+            let compressed = eff_codec == Codec::Compressed;
+            let msgs = self.fault_messages(eff_mode, layout);
+            let report = session.deliver_phase(&msgs, policy, compressed);
+            stats.retries += report.retries;
+            stats.faults_injected += report.faults_injected;
+            match report.error {
+                None => {
+                    let (inboxes, wire) = self.deliver(eff_mode, layout, eff_codec);
+                    stats.absorb(&wire);
+                    session.end_phase();
+                    return (Ok(inboxes), stats);
+                }
+                Some(err) => {
+                    // Graceful degradation, cheapest repair first: a
+                    // truncation-dominated failure under compression is
+                    // cured by fixed framing; otherwise route around the
+                    // relay stage. Each engages at most once (sticky),
+                    // so the loop terminates.
+                    if policy.compression_fallback
+                        && compressed
+                        && report.truncations > 0
+                        && !session.compression_disabled()
+                    {
+                        session.degrade_compression();
+                        continue;
+                    }
+                    if policy.fallback_direct
+                        && eff_mode == Messaging::Relay
+                        && !session.forced_direct()
+                    {
+                        session.degrade_to_direct();
+                        continue;
+                    }
+                    session.end_phase();
+                    return (Err(err), stats);
+                }
+            }
+        }
+    }
+
+    /// Pass 1 — count, prefix-sum, scatter, per source rank. Each
+    /// source owns one `sorted` buffer and one row of the bucket-end
+    /// matrix, so the pass is embarrassingly parallel. Consumes the
+    /// outboxes (recycling their buffers into the pool) and returns the
+    /// `(pool allocations, reused bytes)` the pass cost.
+    fn bucket_pass(&mut self, out: Vec<Outboxes>) -> (u64, u64) {
         let ranks = self.ranks;
         assert_eq!(out.len(), ranks, "one outbox per source rank");
         debug_assert!(out.iter().all(|o| o.ranks() == ranks));
-        debug_assert!(layout.nodes() as usize == ranks, "layout/job mismatch");
 
-        let mut stats = ExchangeStats::default();
-
-        // Pass 1 — count, prefix-sum, scatter, per source rank. Each
-        // source owns one `sorted` buffer and one row of the bucket-end
-        // matrix, so the pass is embarrassingly parallel.
-        let src_stats: Vec<(SrcStats, u64, u64)> = out
+        let per_src: Vec<(u64, u64)> = out
             .par_iter()
             .zip(self.sorted.par_iter_mut())
             .zip(self.ends.par_chunks_mut(ranks))
-            .enumerate()
-            .map(|(s, ((outbox, sorted_s), ends_row))| {
+            .map(|((outbox, sorted_s), ends_row)| {
                 let (recs, dests) = outbox.parts();
-                let (allocs, reused) = bucket_by_dest(recs, dests, sorted_s, ends_row);
-                let st = match mode {
-                    Messaging::Direct => direct_src_stats(s, sorted_s, ends_row, layout, codec),
-                    Messaging::Relay => relay_src_stats(s, sorted_s, ends_row, layout, codec),
-                };
-                (st, allocs, reused)
+                bucket_by_dest(recs, dests, sorted_s, ends_row)
             })
             .collect();
+
+        let (mut allocs, mut reused) = (0u64, 0u64);
+        for (a, r) in per_src {
+            allocs += a;
+            reused += r;
+        }
 
         // Outbox buffers are spent; recycle them into their slots and
         // account the heap work their growth (if any) cost during
@@ -165,22 +256,49 @@ impl ExchangeArena {
             let lent = o.lent_capacity();
             let (recs, dests) = o.into_parts();
             if recs.capacity() > lent {
-                stats.pool_allocs += 1;
+                allocs += 1;
             } else {
-                stats.pool_reused_bytes += (recs.len() * EdgeRec::WIRE_BYTES) as u64;
+                reused += (recs.len() * EdgeRec::WIRE_BYTES) as u64;
             }
             self.out_slots[s] = (recs, dests);
         }
+        (allocs, reused)
+    }
+
+    /// Stats + assembly over the already-bucketed `sorted`/`ends`
+    /// buffers. Idempotent — `exchange_faulty` re-invokes it after a
+    /// degradation without re-bucketing.
+    fn deliver(
+        &mut self,
+        mode: Messaging,
+        layout: &GroupLayout,
+        codec: Codec,
+    ) -> (Vec<Vec<EdgeRec>>, ExchangeStats) {
+        let ranks = self.ranks;
+        debug_assert!(layout.nodes() as usize == ranks, "layout/job mismatch");
+
+        let mut stats = ExchangeStats::default();
+        let sorted_ref = &self.sorted;
+        let ends_ref = &self.ends;
+        let src_stats: Vec<SrcStats> = (0..ranks)
+            .into_par_iter()
+            .map(|s| {
+                let sorted_s = &sorted_ref[s];
+                let ends_row = &ends_ref[s * ranks..(s + 1) * ranks];
+                match mode {
+                    Messaging::Direct => direct_src_stats(s, sorted_s, ends_row, layout, codec),
+                    Messaging::Relay => relay_src_stats(s, sorted_s, ends_row, layout, codec),
+                }
+            })
+            .collect();
 
         let mut send_msgs = vec![0u64; ranks];
         let mut send_bytes = vec![0u64; ranks];
-        for (s, &(st, allocs, reused)) in src_stats.iter().enumerate() {
+        for (s, st) in src_stats.iter().enumerate() {
             send_msgs[s] = st.send_msgs;
             send_bytes[s] = st.send_bytes;
             stats.record_hops += st.record_hops;
             stats.inter_group_bytes += st.inter_group_bytes;
-            stats.pool_allocs += allocs;
-            stats.pool_reused_bytes += reused;
         }
 
         // Pass 2 — assemble every destination's inbox from contiguous
@@ -221,6 +339,103 @@ impl ExchangeArena {
             stats.max_send_bytes_per_rank = stats.max_send_bytes_per_rank.max(send_bytes[s]);
         }
         (inboxes, stats)
+    }
+
+    /// Enumerates the phase's logical transfers over the bucketed
+    /// `sorted`/`ends` buffers, in the deterministic order the fault
+    /// layer simulates them: Direct is every ordered `(s, d)` pair
+    /// (termination indicators included — empty pairs still send);
+    /// Relay is stage 1 per source (group-mate deliveries then remote-
+    /// group batches to the relay in the source's column), followed by
+    /// stage 2 per relay (forwards to its group mates). Relay-duty
+    /// messages carry their relay's id so a dead-relay fault can single
+    /// them out.
+    pub fn fault_messages(&self, mode: Messaging, layout: &GroupLayout) -> Vec<MsgDesc> {
+        let ranks = self.ranks;
+        debug_assert!(layout.nodes() as usize == ranks, "layout/job mismatch");
+        let row = |s: usize| -> (&[EdgeRec], &[usize]) {
+            (&self.sorted[s], &self.ends[s * ranks..(s + 1) * ranks])
+        };
+        let mut msgs = Vec::new();
+        match mode {
+            Messaging::Direct => {
+                for s in 0..ranks {
+                    let (b, e) = row(s);
+                    for d in 0..ranks {
+                        if d == s {
+                            continue;
+                        }
+                        msgs.push(MsgDesc {
+                            src: s as u32,
+                            dst: d as u32,
+                            records: bucket(b, e, d).len() as u64,
+                            relay: None,
+                        });
+                    }
+                }
+            }
+            Messaging::Relay => {
+                // Stage 1: sources ascending.
+                for s in 0..ranks {
+                    let (b, e) = row(s);
+                    let my_group = layout.group_of(s as u32);
+                    let (gs, ge) = group_bounds(layout, my_group);
+                    for d in gs..ge {
+                        if d as usize == s {
+                            continue;
+                        }
+                        msgs.push(MsgDesc {
+                            src: s as u32,
+                            dst: d,
+                            records: bucket(b, e, d as usize).len() as u64,
+                            relay: None,
+                        });
+                    }
+                    for g in 0..layout.num_groups() {
+                        if g == my_group {
+                            continue;
+                        }
+                        let relay = layout.node_at(g, layout.index_of(s as u32));
+                        msgs.push(MsgDesc {
+                            src: s as u32,
+                            dst: relay,
+                            records: group_slice(b, e, layout, g).len() as u64,
+                            relay: Some(relay),
+                        });
+                    }
+                }
+                // Stage 2: relays ascending, group-mate destinations
+                // ascending (mirrors `assemble_relay`'s walk).
+                for r in 0..ranks {
+                    let gr = layout.group_of(r as u32);
+                    let (gs, ge) = group_bounds(layout, gr);
+                    let size_gr = ge - gs;
+                    let col = layout.index_of(r as u32);
+                    for d in gs..ge {
+                        if d as usize == r {
+                            continue;
+                        }
+                        let mut records = 0u64;
+                        for s in 0..ranks {
+                            if layout.group_of(s as u32) == gr {
+                                continue;
+                            }
+                            if layout.index_of(s as u32) % size_gr == col {
+                                let (b, e) = row(s);
+                                records += bucket(b, e, d as usize).len() as u64;
+                            }
+                        }
+                        msgs.push(MsgDesc {
+                            src: r as u32,
+                            dst: d,
+                            records,
+                            relay: Some(r as u32),
+                        });
+                    }
+                }
+            }
+        }
+        msgs
     }
 }
 

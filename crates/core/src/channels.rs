@@ -12,9 +12,18 @@
 //!
 //! The two backends must produce identical parent maps; the test suite
 //! holds them to that.
+//!
+//! Error discipline: every send/recv failure — organic or injected by an
+//! armed [`FaultPlan`] — surfaces as a structured
+//! [`ExchangeError`], never a panic in a rank thread. A failing rank
+//! broadcasts an `Abort` packet to every peer before returning, so no
+//! peer is left blocking on a receive that will never complete (the
+//! sender mesh outlives the thread scope, so channels do not close on
+//! their own).
 
 use crate::config::BfsConfig;
-use crate::error::ExecError;
+use crate::error::{ExchangeError, ExecError};
+use crate::faults::{FaultPlan, FaultSession, MsgDesc, RetryPolicy};
 use crate::hubs::HubState;
 use crate::messages::EdgeRec;
 use crate::modules::{
@@ -40,6 +49,10 @@ enum Payload {
     Stats(u64, u64, u64),
     /// A peer's hub contribution (curr words, visited words).
     Hubs(Vec<u64>, Vec<u64>),
+    /// The sending rank failed and is shutting the job down; receivers
+    /// stop waiting and return [`ExchangeError::Aborted`] instead of
+    /// deadlocking on packets that will never arrive.
+    Abort(u32),
 }
 
 struct Packet {
@@ -62,8 +75,10 @@ impl Mailbox {
     }
 
     /// Receives exactly `count` packets of phase `seq`, stashing any
-    /// future-phase packets that arrive in between.
-    fn recv_phase(&mut self, seq: u64, count: usize) -> Vec<Payload> {
+    /// future-phase packets that arrive in between. An `Abort` packet
+    /// short-circuits regardless of its phase; a closed channel maps to
+    /// a structured error rather than a panic.
+    fn recv_phase(&mut self, seq: u64, count: usize) -> Result<Vec<Payload>, ExchangeError> {
         let mut got = Vec::with_capacity(count);
         // Drain matching stashed packets first.
         let mut i = 0;
@@ -75,7 +90,13 @@ impl Mailbox {
             }
         }
         while got.len() < count {
-            let pkt = self.rx.recv().expect("channel closed");
+            let pkt = self.rx.recv().map_err(|_| ExchangeError::Protocol {
+                phase: seq,
+                detail: "receive channel closed mid-phase",
+            })?;
+            if let Payload::Abort(by) = pkt.payload {
+                return Err(ExchangeError::Aborted { by });
+            }
             debug_assert!(pkt.seq >= seq, "stale packet from phase {}", pkt.seq);
             if pkt.seq == seq {
                 got.push(pkt.payload);
@@ -83,7 +104,27 @@ impl Mailbox {
                 self.pending.push(pkt);
             }
         }
-        got
+        Ok(got)
+    }
+}
+
+/// Sends one packet, mapping a hung-up peer to a structured error.
+fn send_to(senders: &[Sender<Packet>], d: usize, pkt: Packet) -> Result<(), ExchangeError> {
+    senders[d]
+        .send(pkt)
+        .map_err(|_| ExchangeError::PeerDisconnected { rank: d as u32 })
+}
+
+/// Tells every peer this rank is going down. Best-effort: a peer that
+/// already vanished cannot be aborted twice.
+fn broadcast_abort(senders: &[Sender<Packet>], me: usize) {
+    for (d, tx) in senders.iter().enumerate() {
+        if d != me {
+            let _ = tx.send(Packet {
+                seq: u64::MAX,
+                payload: Payload::Abort(me as u32),
+            });
+        }
     }
 }
 
@@ -94,6 +135,7 @@ pub struct ChannelCluster {
     ranks: Vec<RankState>,
     hub_set: HubSet,
     td_limit: u32,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl ChannelCluster {
@@ -126,7 +168,23 @@ impl ChannelCluster {
             ranks,
             hub_set,
             td_limit,
+            fault_plan: None,
         })
+    }
+
+    /// Arms (or disarms with `None`) a deterministic fault plan. Each
+    /// rank thread replays the same schedule against its own outgoing
+    /// traffic, so a given `(plan, root)` pair always fails — or
+    /// survives — identically.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// Builder-style variant of [`Self::set_fault_plan`].
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(Some(plan));
+        self
     }
 
     /// Runs one BFS from `root` with every rank on its own thread.
@@ -154,47 +212,75 @@ impl ChannelCluster {
         let hub_set = &self.hub_set;
         let td_limit = self.td_limit;
         let senders_ref = &senders;
+        let plan_ref = self.fault_plan.as_ref();
 
-        let results: Vec<(RankState, Vec<crate::result::LevelStats>)> =
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(p);
-                for (r, mut st) in states.into_iter().enumerate() {
-                    let rx = receivers[r].take().expect("receiver taken once");
-                    handles.push(scope.spawn(move || {
-                        let stats = rank_main(
-                            &mut st,
-                            Mailbox::new(rx),
-                            senders_ref,
-                            cfg,
-                            hub_set,
-                            td_limit,
-                            root,
-                        );
-                        (st, stats)
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("rank thread panicked"))
-                    .collect()
-            });
+        type RankResult = (
+            RankState,
+            Result<Vec<crate::result::LevelStats>, ExecError>,
+        );
+        let results: Vec<RankResult> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (r, mut st) in states.into_iter().enumerate() {
+                let rx = receivers[r].take().expect("receiver taken once");
+                handles.push(scope.spawn(move || {
+                    let stats = rank_main(
+                        &mut st,
+                        Mailbox::new(rx),
+                        senders_ref,
+                        cfg,
+                        hub_set,
+                        td_limit,
+                        root,
+                        plan_ref,
+                    );
+                    (st, stats)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        });
 
-        // Reassemble.
+        // Reassemble state unconditionally — even a failed run must hand
+        // the rank states back so the cluster stays reusable — then pick
+        // the most meaningful error: the rank that hit the root cause,
+        // not the peers that merely observed its abort.
         let mut parents = vec![NO_PARENT; self.part.num_vertices() as usize];
         let mut states = Vec::with_capacity(p);
         let mut levels = Vec::new();
+        let mut root_cause: Option<ExecError> = None;
+        let mut any_err: Option<ExecError> = None;
         for (st, stats) in results {
             let (start, _) = self.part.range(st.rank);
             parents[start as usize..start as usize + st.owned()].copy_from_slice(&st.parent);
-            if st.rank == 0 {
-                // Every rank derives identical global stats; rank 0's copy
-                // is the canonical record.
-                levels = stats;
+            match stats {
+                Ok(stats) => {
+                    if st.rank == 0 {
+                        // Every rank derives identical global stats; rank
+                        // 0's copy is the canonical record.
+                        levels = stats;
+                    }
+                }
+                Err(e) => {
+                    let secondary = matches!(
+                        e,
+                        ExecError::Exchange(ExchangeError::Aborted { .. })
+                    );
+                    if !secondary && root_cause.is_none() {
+                        root_cause = Some(e);
+                    } else if any_err.is_none() {
+                        any_err = Some(e);
+                    }
+                }
             }
             states.push(st);
         }
         states.sort_by_key(|s| s.rank);
         self.ranks = states;
+        if let Some(e) = root_cause.or(any_err) {
+            return Err(e);
+        }
         Ok(BfsOutput {
             root,
             parents,
@@ -203,9 +289,36 @@ impl ChannelCluster {
     }
 }
 
-/// The SPMD body every rank thread executes. Returns the per-level
-/// global statistics this rank derived (identical on every rank).
+/// The SPMD entry every rank thread executes. On failure the rank
+/// broadcasts an `Abort` so no peer blocks forever; a rank that failed
+/// *because* of an abort does not re-broadcast (one storm is enough).
+#[allow(clippy::too_many_arguments)]
 fn rank_main(
+    st: &mut RankState,
+    mbox: Mailbox,
+    senders: &[Sender<Packet>],
+    cfg: BfsConfig,
+    hub_set: &HubSet,
+    td_limit: u32,
+    root: Vid,
+    fault_plan: Option<&FaultPlan>,
+) -> Result<Vec<crate::result::LevelStats>, ExecError> {
+    let me = st.rank as usize;
+    match rank_body(st, mbox, senders, cfg, hub_set, td_limit, root, fault_plan) {
+        Ok(levels) => Ok(levels),
+        Err(e) => {
+            if !matches!(e, ExchangeError::Aborted { .. }) {
+                broadcast_abort(senders, me);
+            }
+            Err(ExecError::Exchange(e))
+        }
+    }
+}
+
+/// The SPMD body. Returns the per-level global statistics this rank
+/// derived (identical on every rank).
+#[allow(clippy::too_many_arguments)]
+fn rank_body(
     st: &mut RankState,
     mut mbox: Mailbox,
     senders: &[Sender<Packet>],
@@ -213,9 +326,15 @@ fn rank_main(
     hub_set: &HubSet,
     td_limit: u32,
     root: Vid,
-) -> Vec<crate::result::LevelStats> {
+    fault_plan: Option<&FaultPlan>,
+) -> Result<Vec<crate::result::LevelStats>, ExchangeError> {
     let p = senders.len();
     let me = st.rank as usize;
+    // Every rank replays the plan independently; decisions are pure
+    // functions of (seed, phase, src, dst, attempt), so the per-rank
+    // sessions agree without any cross-thread coordination.
+    let mut session: Option<FaultSession> = fault_plan.map(|pl| FaultSession::new(pl.clone()));
+    let retry = cfg.retry;
     let mut hubs = HubState::with_td_limit(hub_set.clone(), td_limit);
     let mut policy = TraversalPolicy::new(cfg.alpha, cfg.beta);
     // Global phase counter; identical progression on every rank because
@@ -230,7 +349,7 @@ fn rank_main(
         let rl = st.local(root);
         st.claim(rl, root);
     }
-    exchange_hubs(st, &mut hubs, &mut mbox, senders, me, &mut seq);
+    exchange_hubs(st, &mut hubs, &mut mbox, senders, me, &mut seq)?;
     st.advance_level();
 
     let mut levels: Vec<crate::result::LevelStats> = Vec::new();
@@ -240,7 +359,7 @@ fn rank_main(
     let mut replies = Outboxes::new(p);
     loop {
         // Global statistics by symmetric broadcast.
-        let (n_f, m_f, m_u) = allreduce_stats(st, &mut mbox, senders, me, &mut seq);
+        let (n_f, m_f, m_u) = allreduce_stats(st, &mut mbox, senders, me, &mut seq)?;
         if let Some(last) = levels.last_mut() {
             // Everything in this frontier settled during the prior level.
             last.settled = n_f;
@@ -270,57 +389,127 @@ fn rank_main(
         match dir {
             Direction::TopDown => {
                 forward_generator(st, &hubs, &mut out);
-                let inbox = exchange_phase(&mut out, &mut mbox, senders, me, &mut seq);
+                let inbox =
+                    exchange_phase(&mut out, &mut mbox, senders, me, &mut seq, &mut session, &retry, cfg.compress)?;
                 forward_handler(st, &inbox);
             }
             Direction::BottomUp => {
                 backward_generator(st, &hubs, &mut out);
-                let inbox = exchange_phase(&mut out, &mut mbox, senders, me, &mut seq);
+                let inbox =
+                    exchange_phase(&mut out, &mut mbox, senders, me, &mut seq, &mut session, &retry, cfg.compress)?;
                 backward_handler(st, &inbox, &mut replies);
-                let inbox = exchange_phase(&mut replies, &mut mbox, senders, me, &mut seq);
+                let inbox = exchange_phase(
+                    &mut replies,
+                    &mut mbox,
+                    senders,
+                    me,
+                    &mut seq,
+                    &mut session,
+                    &retry,
+                    cfg.compress,
+                )?;
                 forward_handler(st, &inbox);
             }
         }
-        exchange_hubs(st, &mut hubs, &mut mbox, senders, me, &mut seq);
+        exchange_hubs(st, &mut hubs, &mut mbox, senders, me, &mut seq)?;
         st.advance_level();
     }
-    levels
+    Ok(levels)
 }
 
 /// One communication phase: send exactly one `Records` packet to every
 /// peer (the termination indicator when empty), then assemble the inbox
 /// in sender-rank order for determinism.
+///
+/// With a fault session armed, the deterministic schedule is replayed
+/// over this rank's outgoing messages *before* anything touches the
+/// wire: the channel transport delivers at most once, so retries are
+/// simulated against the plan and only a clean phase actually sends.
+#[allow(clippy::too_many_arguments)]
 fn exchange_phase(
     out: &mut Outboxes,
     mbox: &mut Mailbox,
     senders: &[Sender<Packet>],
     me: usize,
     seq: &mut u64,
-) -> Vec<EdgeRec> {
+    session: &mut Option<FaultSession>,
+    retry: &RetryPolicy,
+    compressed: bool,
+) -> Result<Vec<EdgeRec>, ExchangeError> {
     let p = senders.len();
     let this = *seq;
     *seq += 1;
     let boxes = out.drain_into_boxes();
+    if let Some(fs) = session.as_mut() {
+        let msgs: Vec<MsgDesc> = boxes
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| *d != me)
+            .map(|(d, recs)| MsgDesc {
+                src: me as u32,
+                dst: d as u32,
+                records: recs.len() as u64,
+                relay: None,
+            })
+            .collect();
+        simulate_sends(fs, &msgs, retry, compressed)?;
+    }
     for (d, recs) in boxes.into_iter().enumerate() {
         if d != me {
-            senders[d]
-                .send(Packet {
+            send_to(
+                senders,
+                d,
+                Packet {
                     seq: this,
                     payload: Payload::Records(recs),
-                })
-                .expect("peer hung up");
+                },
+            )?;
         }
     }
-    let mut inbox: Vec<EdgeRec> = mbox
-        .recv_phase(this, p - 1)
-        .into_iter()
-        .flat_map(|pl| match pl {
-            Payload::Records(recs) => recs,
-            _ => unreachable!("phase {this} expected records"),
-        })
-        .collect();
+    let mut inbox: Vec<EdgeRec> = Vec::new();
+    for pl in mbox.recv_phase(this, p - 1)? {
+        match pl {
+            Payload::Records(recs) => inbox.extend(recs),
+            _ => {
+                return Err(ExchangeError::Protocol {
+                    phase: this,
+                    detail: "expected records",
+                })
+            }
+        }
+    }
     inbox.sort_unstable();
-    inbox
+    Ok(inbox)
+}
+
+/// Replays the fault schedule for one record phase. The only in-phase
+/// degradation available on this transport is disabling compression
+/// (the mesh is already point-to-point, so there is no relay to fall
+/// back from); anything else exhausts the retry budget into an error.
+fn simulate_sends(
+    session: &mut FaultSession,
+    msgs: &[MsgDesc],
+    retry: &RetryPolicy,
+    compressed: bool,
+) -> Result<(), ExchangeError> {
+    loop {
+        let eff_compressed = compressed && !session.compression_disabled();
+        let report = session.deliver_phase(msgs, retry, eff_compressed);
+        match report.error {
+            None => {
+                session.end_phase();
+                return Ok(());
+            }
+            Some(err) => {
+                if retry.compression_fallback && eff_compressed && report.truncations > 0 {
+                    session.degrade_compression();
+                    continue;
+                }
+                session.end_phase();
+                return Err(err);
+            }
+        }
+    }
 }
 
 /// Broadcast local stats, sum all ranks' (deterministic policy input).
@@ -330,7 +519,7 @@ fn allreduce_stats(
     senders: &[Sender<Packet>],
     me: usize,
     seq: &mut u64,
-) -> (u64, u64, u64) {
+) -> Result<(u64, u64, u64), ExchangeError> {
     let this = *seq;
     *seq += 1;
     let local = (
@@ -338,27 +527,35 @@ fn allreduce_stats(
         st.frontier_edges(),
         st.unvisited_edges(),
     );
-    for (d, tx) in senders.iter().enumerate() {
+    for d in 0..senders.len() {
         if d != me {
-            tx.send(Packet {
-                seq: this,
-                payload: Payload::Stats(local.0, local.1, local.2),
-            })
-            .expect("peer hung up");
+            send_to(
+                senders,
+                d,
+                Packet {
+                    seq: this,
+                    payload: Payload::Stats(local.0, local.1, local.2),
+                },
+            )?;
         }
     }
     let (mut n_f, mut m_f, mut m_u) = local;
-    for pl in mbox.recv_phase(this, senders.len() - 1) {
+    for pl in mbox.recv_phase(this, senders.len() - 1)? {
         match pl {
             Payload::Stats(a, b, c) => {
                 n_f += a;
                 m_f += b;
                 m_u += c;
             }
-            _ => unreachable!("phase {this} expected stats"),
+            _ => {
+                return Err(ExchangeError::Protocol {
+                    phase: this,
+                    detail: "expected stats",
+                })
+            }
         }
     }
-    (n_f, m_f, m_u)
+    Ok((n_f, m_f, m_u))
 }
 
 /// Broadcast hub contributions (from `next` + parent state) and merge.
@@ -369,7 +566,7 @@ fn exchange_hubs(
     senders: &[Sender<Packet>],
     me: usize,
     seq: &mut u64,
-) {
+) -> Result<(), ExchangeError> {
     let this = *seq;
     *seq += 1;
     let nbits = hubs.set.len();
@@ -386,31 +583,40 @@ fn exchange_hubs(
             }
         }
     }
-    for (d, tx) in senders.iter().enumerate() {
+    for d in 0..senders.len() {
         if d != me {
-            tx.send(Packet {
-                seq: this,
-                payload: Payload::Hubs(
-                    curr.as_words().to_vec(),
-                    visited.as_words().to_vec(),
-                ),
-            })
-            .expect("peer hung up");
+            send_to(
+                senders,
+                d,
+                Packet {
+                    seq: this,
+                    payload: Payload::Hubs(
+                        curr.as_words().to_vec(),
+                        visited.as_words().to_vec(),
+                    ),
+                },
+            )?;
         }
     }
     let mut merged_curr = curr;
     let mut merged_visited = visited;
-    for pl in mbox.recv_phase(this, senders.len() - 1) {
+    for pl in mbox.recv_phase(this, senders.len() - 1)? {
         match pl {
             Payload::Hubs(curr, visited) => {
                 merged_curr.union_with(&Bitmap::from_words(nbits, &curr));
                 merged_visited.union_with(&Bitmap::from_words(nbits, &visited));
             }
-            _ => unreachable!("phase {this} expected hub contributions"),
+            _ => {
+                return Err(ExchangeError::Protocol {
+                    phase: this,
+                    detail: "expected hub contributions",
+                })
+            }
         }
     }
     hubs.curr = merged_curr;
     hubs.visited.union_with(&merged_visited);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -484,5 +690,41 @@ mod tests {
         assert!(ChannelCluster::new(&el, 0, BfsConfig::threaded_small(1)).is_err());
         let mut c = ChannelCluster::new(&el, 2, BfsConfig::threaded_small(1)).unwrap();
         assert!(c.run(1 << 40).is_err());
+    }
+
+    #[test]
+    fn survivable_faults_do_not_change_channel_output() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(11, 8));
+        let cfg = BfsConfig::threaded_small(2);
+        let mut clean = ChannelCluster::new(&el, 4, cfg).unwrap();
+        let mut faulty = ChannelCluster::new(&el, 4, cfg)
+            .unwrap()
+            .with_fault_plan(FaultPlan::lossy(0xC0FF));
+        for root in [0u64, 9, 250] {
+            let a = clean.run(root).unwrap();
+            let b = faulty.run(root).unwrap();
+            assert_eq!(a.parents, b.parents, "root {root}");
+            assert_eq!(a.levels_from_parents(), b.levels_from_parents());
+        }
+    }
+
+    #[test]
+    fn dead_link_is_a_structured_error_not_a_deadlock() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(10, 4));
+        let mut c = ChannelCluster::new(&el, 4, BfsConfig::threaded_small(2))
+            .unwrap()
+            .with_fault_plan(FaultPlan::quiet(7).with_dead_link(0, 1));
+        match c.run(1) {
+            Err(ExecError::Exchange(ExchangeError::RetriesExhausted { src, dst, .. })) => {
+                assert_eq!((src, dst), (0, 1));
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        // Every rank thread came home and the cluster is reusable: disarm
+        // the plan and the same instance produces oracle-correct output.
+        c.set_fault_plan(None);
+        let out = c.run(1).unwrap();
+        let oracle = crate::baseline::sequential_bfs_levels(&el, 1);
+        assert_eq!(out.levels_from_parents(), oracle);
     }
 }

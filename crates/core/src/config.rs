@@ -62,6 +62,9 @@ pub struct BfsConfig {
     /// Bottom-Up refinement, §7 ref \[25\]; off in the paper's
     /// configuration).
     pub degree_ordered_adjacency: bool,
+    /// Bounded-retry and degradation policy for injected transport
+    /// faults; only consulted when a fault session is armed.
+    pub retry: crate::faults::RetryPolicy,
 }
 
 impl Default for BfsConfig {
@@ -88,6 +91,7 @@ impl BfsConfig {
             force_top_down: false,
             compress: false,
             degree_ordered_adjacency: false,
+            retry: crate::faults::RetryPolicy::default(),
         }
     }
 
@@ -140,6 +144,7 @@ impl BfsConfig {
         if self.edge_msg_bytes == 0 {
             return Err("edge_msg_bytes must be positive".into());
         }
+        self.retry.validate()?;
         Ok(())
     }
 
@@ -193,6 +198,15 @@ mod tests {
         .is_err());
         assert!(BfsConfig {
             edge_msg_bytes: 0,
+            ..BfsConfig::paper()
+        }
+        .validate()
+        .is_err());
+        assert!(BfsConfig {
+            retry: crate::faults::RetryPolicy {
+                max_attempts: 0,
+                ..Default::default()
+            },
             ..BfsConfig::paper()
         }
         .validate()

@@ -5,6 +5,90 @@ use std::fmt;
 use sw_arch::ArchError;
 use sw_net::NetError;
 
+/// Why an exchange phase could not deliver its messages: the structured
+/// failure modes of the fault-injection subsystem ([`crate::faults`]).
+/// Injected faults must surface as one of these — never as a panic, a
+/// hang, or silent corruption.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExchangeError {
+    /// A message burned its whole retry budget without being delivered
+    /// (dead link, or fault rates past the survivable regime).
+    RetriesExhausted {
+        /// Exchange phase that failed.
+        phase: u64,
+        /// Sending rank.
+        src: u32,
+        /// Receiving rank.
+        dst: u32,
+        /// Attempts made (= `RetryPolicy::max_attempts`).
+        attempts: u32,
+    },
+    /// Accumulated backoffs and injected delays blew the per-level
+    /// simulated-time budget.
+    LevelTimeout {
+        /// Exchange phase that failed.
+        phase: u64,
+        /// Simulated time spent when the budget tripped.
+        elapsed_ns: u64,
+        /// The budget (`RetryPolicy::level_timeout_ns`).
+        budget_ns: u64,
+    },
+    /// A peer rank's channel closed mid-run (its thread is gone).
+    PeerDisconnected {
+        /// The rank whose endpoint vanished.
+        rank: u32,
+    },
+    /// The wire protocol was violated (wrong payload kind for the
+    /// phase) — previously an `unreachable!` panic in the rank threads.
+    Protocol {
+        /// Exchange phase (sequence number) of the bad packet.
+        phase: u64,
+        /// What was wrong.
+        detail: &'static str,
+    },
+    /// A peer rank failed first and broadcast an abort; this rank shut
+    /// down cleanly instead of deadlocking on a receive.
+    Aborted {
+        /// The rank that originated the abort.
+        by: u32,
+    },
+}
+
+impl fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExchangeError::RetriesExhausted {
+                phase,
+                src,
+                dst,
+                attempts,
+            } => write!(
+                f,
+                "retries exhausted in phase {phase}: {src}->{dst} failed {attempts} attempts"
+            ),
+            ExchangeError::LevelTimeout {
+                phase,
+                elapsed_ns,
+                budget_ns,
+            } => write!(
+                f,
+                "level timeout in phase {phase}: {elapsed_ns} ns elapsed, budget {budget_ns} ns"
+            ),
+            ExchangeError::PeerDisconnected { rank } => {
+                write!(f, "peer rank {rank} disconnected")
+            }
+            ExchangeError::Protocol { phase, detail } => {
+                write!(f, "protocol violation in phase {phase}: {detail}")
+            }
+            ExchangeError::Aborted { by } => {
+                write!(f, "aborted: rank {by} failed first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExchangeError {}
+
 /// Why a BFS run could not complete.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ExecError {
@@ -14,6 +98,9 @@ pub enum ExecError {
     /// A network-level failure (connection memory exhausted — the
     /// Direct-MPE crash at 16 Ki nodes).
     Net(NetError),
+    /// The exchange pipeline failed under injected faults and could not
+    /// degrade around them.
+    Exchange(ExchangeError),
     /// The root vertex is outside the graph or has no edges.
     BadRoot {
         /// The offending root.
@@ -30,6 +117,7 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::Arch(e) => write!(f, "chip constraint violated: {e}"),
             ExecError::Net(e) => write!(f, "network failure: {e}"),
+            ExecError::Exchange(e) => write!(f, "exchange failure: {e}"),
             ExecError::BadRoot { root, reason } => write!(f, "bad root {root}: {reason}"),
             ExecError::BadSetup(msg) => write!(f, "bad setup: {msg}"),
         }
@@ -41,6 +129,7 @@ impl std::error::Error for ExecError {
         match self {
             ExecError::Arch(e) => Some(e),
             ExecError::Net(e) => Some(e),
+            ExecError::Exchange(e) => Some(e),
             _ => None,
         }
     }
@@ -55,6 +144,12 @@ impl From<ArchError> for ExecError {
 impl From<NetError> for ExecError {
     fn from(e: NetError) -> Self {
         ExecError::Net(e)
+    }
+}
+
+impl From<ExchangeError> for ExecError {
+    fn from(e: ExchangeError) -> Self {
+        ExecError::Exchange(e)
     }
 }
 
@@ -87,5 +182,37 @@ mod tests {
         let e: ExecError = ArchError::BadLayout("x".into()).into();
         assert!(e.source().is_some());
         assert!(ExecError::BadSetup("y".into()).source().is_none());
+        let e: ExecError = ExchangeError::Aborted { by: 3 }.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn exchange_error_displays() {
+        let e = ExchangeError::RetriesExhausted {
+            phase: 2,
+            src: 1,
+            dst: 5,
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("1->5"));
+        let e: ExecError = e.into();
+        assert!(e.to_string().contains("exchange failure"));
+        assert!(ExchangeError::LevelTimeout {
+            phase: 0,
+            elapsed_ns: 10,
+            budget_ns: 5
+        }
+        .to_string()
+        .contains("budget"));
+        assert!(ExchangeError::PeerDisconnected { rank: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(ExchangeError::Protocol {
+            phase: 1,
+            detail: "records where stats expected"
+        }
+        .to_string()
+        .contains("protocol"));
+        assert!(ExchangeError::Aborted { by: 2 }.to_string().contains("rank 2"));
     }
 }

@@ -86,6 +86,14 @@ pub struct ExchangeStats {
     /// Bytes placed into pooled buffers whose retained capacity made the
     /// write allocation-free.
     pub pool_reused_bytes: u64,
+    /// Transfer re-sends scheduled by the fault layer (0 without an
+    /// armed [`crate::faults::FaultSession`]).
+    pub retries: u64,
+    /// Faults the scheduler injected into this exchange's deliveries.
+    pub faults_injected: u64,
+    /// Levels delivered under an engaged degradation (relay→direct
+    /// fallback or compression disable).
+    pub degraded_levels: u64,
 }
 
 impl ExchangeStats {
@@ -99,11 +107,17 @@ impl ExchangeStats {
         self.max_send_bytes_per_rank += o.max_send_bytes_per_rank;
         self.pool_allocs += o.pool_allocs;
         self.pool_reused_bytes += o.pool_reused_bytes;
+        self.retries += o.retries;
+        self.faults_injected += o.faults_injected;
+        self.degraded_levels += o.degraded_levels;
     }
 
-    /// The wire-traffic fields, without the allocator bookkeeping —
-    /// what must be bit-identical across implementations of the same
-    /// transport.
+    /// The wire-traffic fields, without the allocator or fault-layer
+    /// bookkeeping — what must be bit-identical across implementations
+    /// of the same transport. Wire traffic counts successful deliveries
+    /// only; retry overhead lives in the separate fault counters, which
+    /// is what keeps survivable faulty runs' per-level stats identical
+    /// to fault-free ones.
     pub fn wire(&self) -> (u64, u64, u64, u64, u64, u64) {
         (
             self.record_hops,

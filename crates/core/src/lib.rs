@@ -37,6 +37,7 @@ pub mod config;
 pub mod construction;
 pub mod error;
 pub mod exchange;
+pub mod faults;
 pub mod frontier;
 pub mod hubs;
 pub mod mapping;
@@ -51,7 +52,8 @@ pub mod threaded;
 pub mod traffic;
 
 pub use config::{BfsConfig, Messaging, Processing};
-pub use error::ExecError;
+pub use error::{ExchangeError, ExecError};
+pub use faults::{FaultKind, FaultPlan, FaultSession, InjectionEvent, RetryPolicy};
 pub use modeled::{ModelOutcome, ModeledCluster};
 pub use result::{BfsOutput, LevelStats};
 pub use channels::ChannelCluster;

@@ -14,7 +14,8 @@ use crate::config::BfsConfig;
 #[cfg(test)]
 use crate::config::Processing;
 use crate::error::ExecError;
-use crate::exchange::ExchangeStats;
+use crate::exchange::{Codec, ExchangeStats};
+use crate::faults::{FaultPlan, FaultSession, InjectionEvent};
 use crate::hubs::{gather_hub_level, HubState};
 use crate::messages::EdgeRec;
 use crate::modules::{
@@ -52,6 +53,16 @@ pub struct ThreadedCluster {
     /// Bytes served from already-pooled capacity during the most recent
     /// [`Self::run`].
     pool_reused_bytes: u64,
+    /// Fault schedule this cluster runs under, if any; each [`Self::run`]
+    /// replays it from a fresh session so runs stay repeatable.
+    fault_plan: Option<FaultPlan>,
+    /// The armed injection state of the current/most recent run.
+    faults: Option<FaultSession>,
+    /// Fault-layer counters for the most recent [`Self::run`]:
+    /// re-sends, injected faults, levels delivered degraded.
+    fault_retries: u64,
+    faults_injected: u64,
+    degraded_levels: u64,
     /// Tests flip this to route records through the seed's nested-Vec
     /// exchange, the differential oracle for the arena path.
     #[cfg(test)]
@@ -138,6 +149,11 @@ impl ThreadedCluster {
             arena: ExchangeArena::new(num_ranks as usize),
             pool_allocs: 0,
             pool_reused_bytes: 0,
+            fault_plan: None,
+            faults: None,
+            fault_retries: 0,
+            faults_injected: 0,
+            degraded_levels: 0,
             #[cfg(test)]
             use_legacy_exchange: false,
         })
@@ -205,6 +221,40 @@ impl ThreadedCluster {
         (self.pool_allocs, self.pool_reused_bytes)
     }
 
+    /// Arms (or disarms, with `None`) a deterministic fault schedule.
+    /// Every subsequent [`Self::run`] replays the schedule from phase 0
+    /// with a fresh session, so faulty runs are as repeatable as clean
+    /// ones.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan.clone().map(FaultSession::new);
+        self.fault_plan = plan;
+    }
+
+    /// Builder form of [`Self::set_fault_plan`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(Some(plan));
+        self
+    }
+
+    /// Fault-layer telemetry for the most recent [`Self::run`]:
+    /// `(re-sends, faults injected, levels delivered degraded)`. All
+    /// zero without an armed plan.
+    pub fn fault_counters(&self) -> (u64, u64, u64) {
+        (self.fault_retries, self.faults_injected, self.degraded_levels)
+    }
+
+    /// The injection trace of the most recent [`Self::run`], in
+    /// injection order (empty without an armed plan).
+    pub fn injection_trace(&self) -> &[InjectionEvent] {
+        self.faults.as_ref().map_or(&[], |s| s.trace())
+    }
+
+    /// Did the most recent [`Self::run`] engage a graceful degradation
+    /// (relay→direct fallback or compression disable)?
+    pub fn is_degraded(&self) -> bool {
+        self.faults.as_ref().is_some_and(|s| s.is_degraded())
+    }
+
     /// Runs one BFS from `root`, returning the parent map and per-level
     /// statistics. The cluster resets itself first, so runs are repeatable.
     pub fn run(&mut self, root: Vid) -> Result<BfsOutput, ExecError> {
@@ -258,8 +308,11 @@ impl ThreadedCluster {
             };
 
             match dir {
-                Direction::TopDown => self.top_down_level(&mut ls),
-                Direction::BottomUp => self.bottom_up_level(&mut ls),
+                Direction::TopDown => self.top_down_level(&mut ls)?,
+                Direction::BottomUp => self.bottom_up_level(&mut ls)?,
+            }
+            if self.is_degraded() {
+                self.degraded_levels += 1;
             }
 
             gather = self.update_hubs();
@@ -288,6 +341,12 @@ impl ThreadedCluster {
     fn reset(&mut self) {
         self.pool_allocs = 0;
         self.pool_reused_bytes = 0;
+        self.fault_retries = 0;
+        self.faults_injected = 0;
+        self.degraded_levels = 0;
+        // Replay the fault schedule from phase 0 so repeat runs stay
+        // bit-identical.
+        self.faults = self.fault_plan.clone().map(FaultSession::new);
         for r in &mut self.ranks {
             r.parent.fill(NO_PARENT);
             r.curr.clear();
@@ -300,7 +359,7 @@ impl ThreadedCluster {
     }
 
     /// One Top-Down level: Forward Generator → exchange → Forward Handler.
-    fn top_down_level(&mut self, ls: &mut LevelStats) {
+    fn top_down_level(&mut self, ls: &mut LevelStats) -> Result<(), ExecError> {
         let mut outs = self.arena.lend_outboxes();
         let gen: Vec<ModuleStats> = self
             .ranks
@@ -316,7 +375,7 @@ impl ThreadedCluster {
             ls.records_generated += st.records_out;
         }
 
-        let inboxes = self.run_exchange(outs, ls);
+        let inboxes = self.run_exchange(outs, ls)?;
 
         self.ranks
             .par_iter_mut()
@@ -325,11 +384,12 @@ impl ThreadedCluster {
                 forward_handler(r, inbox);
             });
         self.arena.recycle_inboxes(inboxes);
+        Ok(())
     }
 
     /// One Bottom-Up level: Backward Generator → exchange → Backward
     /// Handler → exchange → Forward Handler.
-    fn bottom_up_level(&mut self, ls: &mut LevelStats) {
+    fn bottom_up_level(&mut self, ls: &mut LevelStats) -> Result<(), ExecError> {
         let mut outs = self.arena.lend_outboxes();
         let gen: Vec<ModuleStats> = self
             .ranks
@@ -345,7 +405,7 @@ impl ThreadedCluster {
             ls.records_generated += st.records_out;
         }
 
-        let inboxes = self.run_exchange(outs, ls);
+        let inboxes = self.run_exchange(outs, ls)?;
 
         let mut replies = self.arena.lend_outboxes();
         let handled: Vec<ModuleStats> = self
@@ -364,7 +424,7 @@ impl ThreadedCluster {
             ls.records_generated += st.records_out;
         }
 
-        let inboxes = self.run_exchange(replies, ls);
+        let inboxes = self.run_exchange(replies, ls)?;
 
         self.ranks
             .par_iter_mut()
@@ -373,12 +433,19 @@ impl ThreadedCluster {
                 forward_handler(r, inbox);
             });
         self.arena.recycle_inboxes(inboxes);
+        Ok(())
     }
 
     /// Runs one record exchange through the pooled arena — or, when a test
     /// has requested the oracle, through the seed's nested-Vec path — and
-    /// folds the transport stats into `ls`.
-    fn run_exchange(&mut self, out: Vec<Outboxes>, ls: &mut LevelStats) -> Vec<Vec<EdgeRec>> {
+    /// folds the transport stats into `ls`. With an armed fault session
+    /// the exchange runs the injection/retry/degradation pipeline; an
+    /// unsurvivable schedule surfaces as a structured error here.
+    fn run_exchange(
+        &mut self,
+        out: Vec<Outboxes>,
+        ls: &mut LevelStats,
+    ) -> Result<Vec<Vec<EdgeRec>>, ExecError> {
         #[cfg(test)]
         if self.use_legacy_exchange {
             let nested: Vec<Vec<Vec<EdgeRec>>> =
@@ -390,13 +457,29 @@ impl ThreadedCluster {
                 self.cfg.codec(),
             );
             self.absorb_exchange(ls, &xs);
-            return self.canonicalize(inboxes);
+            return Ok(self.canonicalize(inboxes));
+        }
+        if self.faults.is_some() {
+            let plain = Codec::Fixed(self.cfg.edge_msg_bytes);
+            let (messaging, codec, retry) = (self.cfg.messaging, self.cfg.codec(), self.cfg.retry);
+            let (result, xs) = self.arena.exchange_faulty(
+                messaging,
+                out,
+                &self.layout,
+                codec,
+                plain,
+                &retry,
+                self.faults.as_mut().expect("checked above"),
+            );
+            self.absorb_exchange(ls, &xs);
+            let inboxes = result?;
+            return Ok(self.canonicalize(inboxes));
         }
         let (inboxes, xs) =
             self.arena
                 .exchange(self.cfg.messaging, out, &self.layout, self.cfg.codec());
         self.absorb_exchange(ls, &xs);
-        self.canonicalize(inboxes)
+        Ok(self.canonicalize(inboxes))
     }
 
     fn absorb_exchange(&mut self, ls: &mut LevelStats, xs: &ExchangeStats) {
@@ -405,6 +488,8 @@ impl ThreadedCluster {
         ls.bytes_sent += xs.bytes;
         self.pool_allocs += xs.pool_allocs;
         self.pool_reused_bytes += xs.pool_reused_bytes;
+        self.fault_retries += xs.retries;
+        self.faults_injected += xs.faults_injected;
     }
 
     fn canonicalize(&self, mut inboxes: Vec<Vec<EdgeRec>>) -> Vec<Vec<EdgeRec>> {
@@ -636,6 +721,137 @@ mod tests {
         let (allocs, reused) = tc.pool_counters();
         assert_eq!(allocs, 0, "steady-state run grew pooled buffers");
         assert!(reused > 0, "pooled capacity never reused");
+    }
+
+    #[test]
+    fn survivable_faults_leave_output_bit_identical() {
+        // The tentpole invariant at unit scale (scale 14/16 runs live in
+        // tests/chaos.rs): a burst-clamped lossy schedule exercises the
+        // retry path yet the whole BfsOutput — parents AND per-level
+        // stats — matches the fault-free oracle bit-for-bit, because
+        // wire stats count successful deliveries only.
+        let el = kron(12, 5);
+        for msg in [Messaging::Direct, Messaging::Relay] {
+            let cfg = BfsConfig::threaded_small(3).with_messaging(msg);
+            let mut clean = ThreadedCluster::new(&el, 6, cfg).unwrap();
+            let root = good_root(&clean);
+            let oracle = clean.run(root).unwrap();
+            let mut faulty = ThreadedCluster::new(&el, 6, cfg)
+                .unwrap()
+                .with_fault_plan(FaultPlan::lossy(7));
+            let out = faulty.run(root).unwrap();
+            assert_eq!(out, oracle, "{msg:?} faulty run diverged");
+            let (retries, injected, degraded) = faulty.fault_counters();
+            assert!(injected > 0, "{msg:?}: lossy plan never fired");
+            assert!(retries > 0, "{msg:?}: faults without re-sends");
+            assert_eq!(degraded, 0, "{msg:?}: clamped faults must not degrade");
+            // And the replay is deterministic, trace included.
+            let trace: Vec<_> = faulty.injection_trace().to_vec();
+            let again = faulty.run(root).unwrap();
+            assert_eq!(again, oracle);
+            assert_eq!(faulty.injection_trace(), trace.as_slice());
+        }
+    }
+
+    #[test]
+    fn quiet_plan_changes_nothing() {
+        let el = kron(11, 4);
+        let cfg = BfsConfig::threaded_small(4);
+        let mut clean = ThreadedCluster::new(&el, 8, cfg).unwrap();
+        let root = good_root(&clean);
+        let oracle = clean.run(root).unwrap();
+        let mut armed = ThreadedCluster::new(&el, 8, cfg)
+            .unwrap()
+            .with_fault_plan(FaultPlan::quiet(99));
+        let out = armed.run(root).unwrap();
+        assert_eq!(out, oracle);
+        assert_eq!(armed.fault_counters(), (0, 0, 0));
+        assert!(armed.injection_trace().is_empty());
+    }
+
+    #[test]
+    fn dead_relay_falls_back_to_direct_mid_traversal() {
+        let el = kron(12, 8);
+        let cfg = BfsConfig::threaded_small(4).with_messaging(Messaging::Relay);
+        let mut clean = ThreadedCluster::new(&el, 8, cfg).unwrap();
+        let root = good_root(&clean);
+        let oracle = clean.run(root).unwrap();
+        let mut faulty = ThreadedCluster::new(&el, 8, cfg)
+            .unwrap()
+            .with_fault_plan(FaultPlan::quiet(3).with_dead_relay(2));
+        let out = faulty.run(root).unwrap();
+        // Degraded-identical: canonical inbox ordering makes the parent
+        // map transport-independent, so falling back to Direct preserves
+        // the exact tree and depth assignment; wire-level stats
+        // legitimately differ (different transport from the fallback on).
+        assert_eq!(out.parents, oracle.parents);
+        assert_eq!(out.levels_from_parents(), oracle.levels_from_parents());
+        assert!(faulty.is_degraded(), "dead relay must engage fallback");
+        let (_, injected, degraded) = faulty.fault_counters();
+        assert!(injected > 0);
+        assert_eq!(degraded as usize, out.levels.len(), "sticky from level 0");
+    }
+
+    #[test]
+    fn dead_link_without_usable_fallback_is_a_structured_error() {
+        let el = kron(11, 6);
+        let cfg = BfsConfig::threaded_small(3).with_messaging(Messaging::Direct);
+        let mut tc = ThreadedCluster::new(&el, 6, cfg)
+            .unwrap()
+            .with_fault_plan(FaultPlan::quiet(1).with_dead_link(0, 1));
+        let root = good_root(&tc);
+        match tc.run(root) {
+            Err(ExecError::Exchange(crate::error::ExchangeError::RetriesExhausted {
+                src,
+                dst,
+                ..
+            })) => assert_eq!((src, dst), (0, 1)),
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        // The cluster is not poisoned: disarm the plan and it recovers.
+        tc.set_fault_plan(None);
+        tc.run(root).unwrap();
+    }
+
+    #[test]
+    fn delay_storm_blows_the_level_budget() {
+        let el = kron(11, 2);
+        let mut cfg = BfsConfig::threaded_small(3);
+        cfg.retry.level_timeout_ns = 50_000;
+        let plan = FaultPlan {
+            delay_permille: 1000,
+            delay_ns: 10_000,
+            max_burst: 1,
+            ..FaultPlan::quiet(5)
+        };
+        let mut tc = ThreadedCluster::new(&el, 6, cfg)
+            .unwrap()
+            .with_fault_plan(plan);
+        assert!(matches!(
+            tc.run(good_root(&tc)),
+            Err(ExecError::Exchange(
+                crate::error::ExchangeError::LevelTimeout { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn retry_path_is_allocation_free_in_steady_state() {
+        // Acceptance criterion: pool_allocs unchanged under retries —
+        // idempotent re-send reuses the arena's sorted buffers.
+        let el = kron(12, 5);
+        let cfg = BfsConfig::threaded_small(3).with_messaging(Messaging::Relay);
+        let mut tc = ThreadedCluster::new(&el, 6, cfg)
+            .unwrap()
+            .with_fault_plan(FaultPlan::lossy(11));
+        let root = good_root(&tc);
+        tc.run(root).unwrap();
+        tc.run(root).unwrap();
+        let (allocs, reused) = tc.pool_counters();
+        let (retries, _, _) = tc.fault_counters();
+        assert!(retries > 0, "plan never exercised the retry path");
+        assert_eq!(allocs, 0, "retries must not grow pooled buffers");
+        assert!(reused > 0);
     }
 
     #[test]

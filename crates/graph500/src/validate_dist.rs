@@ -378,6 +378,49 @@ mod tests {
         ));
     }
 
+    /// A degraded traversal — relay→direct fallback engaged mid-run by a
+    /// dead relay node — must still pass all five Graph500 rules, at
+    /// scale 14. Resilience that survives by corrupting the tree would
+    /// be caught right here.
+    #[test]
+    fn degraded_run_passes_all_five_rules_at_scale_14() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(14, 8));
+        let cfg = BfsConfig::threaded_small(4)
+            .with_messaging(Messaging::Relay);
+        let mut tc = ThreadedCluster::new(&el, 8, cfg).unwrap();
+        tc.set_fault_plan(Some(swbfs_core::FaultPlan::quiet(61).with_dead_relay(2)));
+        let out = tc.run(3).unwrap();
+        assert!(tc.is_degraded(), "the dead relay must force a fallback");
+        let (_, _, degraded_levels) = tc.fault_counters();
+        assert!(degraded_levels > 0);
+        let teps_dist = DistValidator::new(el.num_vertices, 8, 4, Messaging::Relay)
+            .validate(&el, &out)
+            .unwrap();
+        let teps_central = validate_bfs(&el, &out).unwrap();
+        assert_eq!(teps_dist, teps_central);
+    }
+
+    /// The same property at scale 16, with lossy random faults layered
+    /// on top of the dead relay: retries + degradation together still
+    /// yield a fully valid BFS tree.
+    #[test]
+    fn degraded_lossy_run_passes_all_five_rules_at_scale_16() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(16, 8));
+        let cfg = BfsConfig::threaded_small(4)
+            .with_messaging(Messaging::Relay);
+        let mut tc = ThreadedCluster::new(&el, 8, cfg).unwrap();
+        tc.set_fault_plan(Some(
+            swbfs_core::FaultPlan::lossy(77).with_dead_relay(5),
+        ));
+        let out = tc.run(1).unwrap();
+        assert!(tc.is_degraded());
+        let (retries, injected, _) = tc.fault_counters();
+        assert!(injected > 0 && retries > 0, "the lossy plan must have fired");
+        DistValidator::new(el.num_vertices, 8, 4, Messaging::Relay)
+            .validate(&el, &out)
+            .unwrap();
+    }
+
     #[test]
     fn direct_and_relay_validators_agree() {
         let el = generate_kronecker(&KroneckerConfig::graph500(10, 9));

@@ -14,6 +14,7 @@
 //! apples-to-apples): store-and-forward at message granularity, no
 //! per-packet interleaving, uplink contention spread uniformly.
 
+use crate::faults::NetFaults;
 use crate::routing::{classify, PathClass};
 use crate::topology::NetworkConfig;
 use crate::NodeId;
@@ -49,6 +50,19 @@ pub struct SimOutcome {
 /// availability plus its own serialization, propagation and per-message
 /// overheads.
 pub fn simulate_phase(cfg: &NetworkConfig, messages: &[SimMessage]) -> SimOutcome {
+    simulate_phase_faulty(cfg, messages, &NetFaults::none())
+}
+
+/// [`simulate_phase`] with deterministic bandwidth brownouts applied:
+/// browned-out super nodes serialize their intra-tier and uplink traffic
+/// at `faults`' per-tier factor of nominal rate. With
+/// [`NetFaults::none`] this is bit-identical to the fault-free
+/// simulator (every factor is exactly 1.0).
+pub fn simulate_phase_faulty(
+    cfg: &NetworkConfig,
+    messages: &[SimMessage],
+    faults: &NetFaults,
+) -> SimOutcome {
     let nodes = cfg.nodes as usize;
     let sn = cfg.num_supernodes() as usize;
     // Resource availability times.
@@ -59,6 +73,9 @@ pub fn simulate_phase(cfg: &NetworkConfig, messages: &[SimMessage]) -> SimOutcom
 
     let intra_bw = (cfg.effective_node_gbps * cfg.oversubscription).min(cfg.nic_gbps);
     let uplink_bw = cfg.supernode_uplink_gbps();
+    // Brownout factors, fixed per super node for the whole phase.
+    let intra_factor: Vec<f64> = (0..sn as u32).map(|s| faults.supernode_factor(s)).collect();
+    let up_factor: Vec<f64> = (0..sn as u32).map(|s| faults.uplink_factor(s)).collect();
 
     let mut makespan = 0.0f64;
     let mut cross_bytes = 0;
@@ -71,7 +88,8 @@ pub fn simulate_phase(cfg: &NetworkConfig, messages: &[SimMessage]) -> SimOutcom
                 makespan = makespan.max(overhead);
             }
             PathClass::IntraSupernode => {
-                let ser = m.bytes as f64 / intra_bw;
+                let tier = cfg.supernode_of(m.src) as usize;
+                let ser = m.bytes as f64 / (intra_bw * intra_factor[tier]);
                 // Egress serialization (FIFO per sender).
                 let sent = egress[m.src as usize] + ser + cfg.per_message_ns;
                 egress[m.src as usize] = sent;
@@ -87,11 +105,13 @@ pub fn simulate_phase(cfg: &NetworkConfig, messages: &[SimMessage]) -> SimOutcom
             PathClass::InterSupernode => {
                 cross_bytes += m.bytes;
                 let ser_nic = m.bytes as f64 / cfg.nic_gbps;
-                // The uplink is a shared resource serialized at its full
-                // aggregate rate; contention emerges from the queueing.
-                let ser_up = m.bytes as f64 / uplink_bw;
                 let s_sn = cfg.supernode_of(m.src) as usize;
                 let d_sn = cfg.supernode_of(m.dst) as usize;
+                // The uplink is a shared resource serialized at its full
+                // aggregate rate (derated under a brownout); contention
+                // emerges from the queueing.
+                let ser_up = m.bytes as f64 / (uplink_bw * up_factor[s_sn]);
+                let ser_down = m.bytes as f64 / (uplink_bw * up_factor[d_sn]);
                 // Egress serialization at the NIC.
                 let sent = egress[m.src as usize] + ser_nic + cfg.per_message_ns;
                 egress[m.src as usize] = sent;
@@ -99,7 +119,7 @@ pub fn simulate_phase(cfg: &NetworkConfig, messages: &[SimMessage]) -> SimOutcom
                 // the destination super node's downlink, each cut-through.
                 let up_done = (uplink[s_sn] + ser_up).max(sent);
                 uplink[s_sn] = up_done;
-                let down_done = (downlink[d_sn] + ser_up).max(up_done);
+                let down_done = (downlink[d_sn] + ser_down).max(up_done);
                 downlink[d_sn] = down_done;
                 // Ingress drain (incl. receive-side message handling).
                 let drained =
@@ -374,6 +394,59 @@ mod tests {
             rsim.makespan_ns,
             d.makespan_ns
         );
+    }
+
+    #[test]
+    fn no_faults_is_bit_identical_to_fault_free() {
+        let c = cfg(512);
+        let msgs: Vec<SimMessage> = (0..256u32)
+            .map(|i| SimMessage {
+                src: i,
+                dst: 256 + (i % 200),
+                bytes: 1 << 16,
+            })
+            .collect();
+        let plain = simulate_phase(&c, &msgs);
+        let faulty = simulate_phase_faulty(&c, &msgs, &NetFaults::none());
+        assert_eq!(plain, faulty);
+    }
+
+    #[test]
+    fn brownouts_only_slow_things_down() {
+        let c = cfg(1024);
+        // Mixed intra + cross traffic over all four super nodes.
+        let mut msgs = Vec::new();
+        for i in 0..512u32 {
+            msgs.push(SimMessage {
+                src: i,
+                dst: (i + 1) % 1024,
+                bytes: 1 << 18,
+            });
+            msgs.push(SimMessage {
+                src: i,
+                dst: (i + 300) % 1024,
+                bytes: 1 << 18,
+            });
+        }
+        let plain = simulate_phase(&c, &msgs);
+        let f = NetFaults {
+            seed: 9,
+            brownout_permille: 600,
+            brownout_floor_permille: 200,
+        };
+        let slow = simulate_phase_faulty(&c, &msgs, &f);
+        // Delivery semantics are unchanged — only timing degrades.
+        assert_eq!(slow.cross_bytes, plain.cross_bytes);
+        assert_eq!(slow.messages, plain.messages);
+        assert!(
+            slow.makespan_ns > plain.makespan_ns,
+            "brownout {} should exceed nominal {}",
+            slow.makespan_ns,
+            plain.makespan_ns
+        );
+        // And deterministically: same faults, same makespan.
+        let again = simulate_phase_faulty(&c, &msgs, &f);
+        assert_eq!(slow, again);
     }
 
     #[test]

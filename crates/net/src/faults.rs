@@ -1,0 +1,121 @@
+//! Deterministic network-level fault knobs.
+//!
+//! The core fault scheduler (`swbfs-core::faults::FaultPlan`) projects
+//! its seed into this struct so the network layer can degrade the same
+//! way on every run: per-super-node bandwidth brownouts (a tier running
+//! below nominal rate — cable trouble, a congested switch board) and
+//! extra connection-memory pressure (a co-resident library pinning node
+//! memory the MPI state was counting on). Everything is a pure function
+//! of the seed; no interior state, no ordered RNG stream.
+
+/// Seeded network fault parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetFaults {
+    /// Decision seed (independent of the core plan's seed spacing).
+    pub seed: u64,
+    /// Per-super-node probability of a brownout, ‰.
+    pub brownout_permille: u16,
+    /// Bandwidth factor a browned-out tier drops to, ‰ of nominal
+    /// (e.g. 250 = quarter rate).
+    pub brownout_floor_permille: u16,
+}
+
+/// SplitMix64 finalizer (kept in sync with the core scheduler's hash).
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl NetFaults {
+    /// Injects nothing; `simulate_phase` with this is bit-identical to
+    /// the fault-free simulator.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            brownout_permille: 0,
+            brownout_floor_permille: 1000,
+        }
+    }
+
+    /// True if no brownout can fire.
+    pub fn is_none(&self) -> bool {
+        self.brownout_permille == 0 || self.brownout_floor_permille >= 1000
+    }
+
+    /// Bandwidth factor (in `(0, 1]`) of super node `sn`'s intra tier.
+    pub fn supernode_factor(&self, sn: u32) -> f64 {
+        self.factor(0x5400_0000 | sn as u64)
+    }
+
+    /// Bandwidth factor (in `(0, 1]`) of super node `sn`'s uplink.
+    pub fn uplink_factor(&self, sn: u32) -> f64 {
+        self.factor(0x5500_0000 | sn as u64)
+    }
+
+    fn factor(&self, salt: u64) -> f64 {
+        if self.is_none() {
+            return 1.0;
+        }
+        let h = mix(self.seed ^ salt);
+        if (h % 1000) as u16 >= self.brownout_permille {
+            return 1.0;
+        }
+        // Browned out: the factor itself is drawn from the upper hash
+        // bits, between the floor and nominal.
+        let floor = self.brownout_floor_permille.min(999) as f64 / 1000.0;
+        let span = 1.0 - floor;
+        floor + span * ((h >> 32) % 1000) as f64 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_unity_everywhere() {
+        let f = NetFaults::none();
+        for sn in 0..64 {
+            assert_eq!(f.supernode_factor(sn), 1.0);
+            assert_eq!(f.uplink_factor(sn), 1.0);
+        }
+    }
+
+    #[test]
+    fn factors_are_deterministic_and_bounded() {
+        let f = NetFaults {
+            seed: 42,
+            brownout_permille: 500,
+            brownout_floor_permille: 250,
+        };
+        let mut any_degraded = false;
+        for sn in 0..256 {
+            let a = f.supernode_factor(sn);
+            let b = f.supernode_factor(sn);
+            assert_eq!(a, b, "factor must be a pure function of (seed, sn)");
+            assert!(a > 0.0 && a <= 1.0);
+            assert!((0.25..=1.0).contains(&f.uplink_factor(sn)));
+            if a < 1.0 {
+                any_degraded = true;
+            }
+        }
+        assert!(any_degraded, "500‰ over 256 super nodes must hit some");
+    }
+
+    #[test]
+    fn different_seeds_brown_out_different_tiers() {
+        let a = NetFaults {
+            seed: 1,
+            brownout_permille: 300,
+            brownout_floor_permille: 500,
+        };
+        let b = NetFaults { seed: 2, ..a };
+        let pattern = |f: &NetFaults| -> Vec<bool> {
+            (0..128).map(|sn| f.supernode_factor(sn) < 1.0).collect()
+        };
+        assert_ne!(pattern(&a), pattern(&b));
+    }
+}

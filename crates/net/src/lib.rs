@@ -33,6 +33,7 @@ pub mod cost;
 pub mod endpoint;
 pub mod eventsim;
 pub mod error;
+pub mod faults;
 pub mod group;
 pub mod placement;
 pub mod routing;
@@ -40,8 +41,9 @@ pub mod topology;
 
 pub use cost::{CostModel, PhaseLoad};
 pub use endpoint::ConnectionTable;
-pub use eventsim::{simulate_phase, SimMessage, SimOutcome};
+pub use eventsim::{simulate_phase, simulate_phase_faulty, SimMessage, SimOutcome};
 pub use error::NetError;
+pub use faults::NetFaults;
 pub use group::GroupLayout;
 pub use placement::Placement;
 pub use routing::{classify, PathClass};
