@@ -11,3 +11,9 @@ cargo clippy -- -D warnings
 # randomized survivable schedules must stay bit-identical to the
 # fault-free oracle, unsurvivable ones must fail structurally.
 cargo test -q -p swbfs-core --test chaos
+
+# Trace check: replay the fixed-seed instrumented workload across every
+# layer and diff the virtual-work counter snapshot against the
+# committed BENCH_trace.json baseline. Any drift is a real accounting
+# or transport change (re-baseline intentionally with --write).
+cargo run --release -p sw-bench --bin tracecheck

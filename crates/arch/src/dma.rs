@@ -203,8 +203,13 @@ mod tests {
         for chunk in [32u32, 256, 4096] {
             assert!(d.per_cpe_gbps(chunk) < e.per_cpe_gbps(chunk));
             assert!(d.cluster_gbps(chunk, 64) <= e.cluster_gbps(chunk, 64));
-            assert!(d.transfer_ns(1 << 20, chunk, 64) > e.transfer_ns(1 << 20, chunk, 64));
+            // Not strictly slower everywhere: at tiny chunks the
+            // request-slot cap (untouched by degradation) binds both.
+            assert!(d.transfer_ns(1 << 20, chunk, 64) >= e.transfer_ns(1 << 20, chunk, 64));
         }
+        // Where the nominal engine saturates the controller, the derated
+        // peak must bite.
+        assert!(d.transfer_ns(1 << 20, 256, 64) > e.transfer_ns(1 << 20, 256, 64));
         // Derated peak shows directly at the saturating chunk size.
         assert!((d.cluster_gbps(256, 64) - 28.9 * 0.6).abs() < 1e-6);
         // The identity degradation changes nothing.

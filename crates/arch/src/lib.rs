@@ -40,6 +40,7 @@ pub mod cyclesim;
 pub mod dma;
 pub mod error;
 pub mod mesh;
+pub mod metrics;
 pub mod mpe;
 pub mod shuffle;
 pub mod spm;

@@ -1,0 +1,89 @@
+//! Tracing overhead on the exchange hot path.
+//!
+//! The sw-trace design promise is *zero overhead when disabled*: the
+//! disarmed hot path is one `Option` discriminant check per
+//! instrumentation site. This bench proves it by running the PR-2
+//! pooled exchange loop (the same workload as `benches/exchange.rs`,
+//! scale 14, Direct and Relay) three ways:
+//!
+//! * `disarmed` — no tracer; must be within noise of the PR-2 pooled
+//!   baseline in `BENCH_exchange.json`.
+//! * `armed_wall` — wall-clock spans per bucket/deliver/relay phase.
+//! * `armed_virtual` — virtual-work spans (the golden-trace domain).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sw_net::GroupLayout;
+use sw_trace::{ClockDomain, Tracer};
+use swbfs_core::arena::ExchangeArena;
+use swbfs_core::config::Messaging;
+use swbfs_core::exchange::Codec;
+use swbfs_core::messages::EdgeRec;
+use swbfs_core::modules::Outboxes;
+
+const RANKS: usize = 32;
+const GROUP: u32 = 8;
+const SCALE: u32 = 14;
+
+fn per_pair() -> usize {
+    let records = (16u64 << SCALE) / 2;
+    (records as usize) / (RANKS * (RANKS - 1))
+}
+
+fn rec(s: usize, d: usize, i: usize) -> EdgeRec {
+    EdgeRec {
+        u: ((s << 22) + i) as u64,
+        v: ((d << 22) + (i * 17) % (1 << 14)) as u64,
+    }
+}
+
+fn fill_flat(out: &mut [Outboxes], per_pair: usize) {
+    for (s, o) in out.iter_mut().enumerate() {
+        for d in 0..RANKS {
+            if d == s {
+                continue;
+            }
+            for i in 0..per_pair {
+                o.push(d as u32, rec(s, d, i));
+            }
+        }
+    }
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let layout = GroupLayout::new(RANKS as u32, GROUP);
+    let pp = per_pair();
+    let records = (RANKS * (RANKS - 1) * pp) as u64;
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(records));
+
+    for (mode_name, mode) in [("direct", Messaging::Direct), ("relay", Messaging::Relay)] {
+        for (arm, domain) in [
+            ("disarmed", None),
+            ("armed_wall", Some(ClockDomain::Wall)),
+            ("armed_virtual", Some(ClockDomain::VirtualWork)),
+        ] {
+            let mut arena = ExchangeArena::new(RANKS);
+            arena.set_tracer(domain.map(|d| Tracer::for_ranks(d, RANKS, 1 << 10)));
+            arena.set_trace_level(0);
+            // Warm the pool so the measured loop is the steady state.
+            let mut out = arena.lend_outboxes();
+            fill_flat(&mut out, pp);
+            let (inboxes, _) = arena.exchange(mode, out, &layout, Codec::Fixed(16));
+            arena.recycle_inboxes(inboxes);
+            g.bench_function(BenchmarkId::new(format!("{mode_name}_{arm}"), SCALE), |b| {
+                b.iter(|| {
+                    let mut out = arena.lend_outboxes();
+                    fill_flat(&mut out, pp);
+                    let (inboxes, stats) = arena.exchange(mode, out, &layout, Codec::Fixed(16));
+                    arena.recycle_inboxes(inboxes);
+                    stats
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

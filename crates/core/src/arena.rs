@@ -29,10 +29,12 @@ use crate::config::Messaging;
 use crate::error::ExchangeError;
 use crate::exchange::{msgs_for, Codec, ExchangeStats, MSG_HEADER_BYTES};
 use crate::faults::{FaultSession, MsgDesc, RetryPolicy};
+use crate::instrument as ins;
 use crate::messages::EdgeRec;
 use crate::modules::Outboxes;
 use rayon::prelude::*;
 use sw_net::GroupLayout;
+use sw_trace::{ClockDomain, Tracer, NO_LEVEL};
 
 const FILL: EdgeRec = EdgeRec { u: 0, v: 0 };
 
@@ -74,6 +76,12 @@ pub struct ExchangeArena {
     /// Per-destination inbox buffers, taken by [`Self::exchange`],
     /// returned by [`Self::recycle_inboxes`].
     inbox_slots: Vec<Vec<EdgeRec>>,
+    /// Armed span recorder: bucket/deliver spans per rank lane, relay
+    /// spans (wall domain only), retry/fault instants. `None` keeps the
+    /// hot path at one branch per pass.
+    trace: Option<Tracer>,
+    /// BFS level tag for recorded spans (set by the owning cluster).
+    trace_level: u32,
 }
 
 impl ExchangeArena {
@@ -86,12 +94,25 @@ impl ExchangeArena {
             sorted: (0..ranks).map(|_| Vec::new()).collect(),
             ends: vec![0; ranks * ranks],
             inbox_slots: (0..ranks).map(|_| Vec::new()).collect(),
+            trace: None,
+            trace_level: NO_LEVEL,
         }
     }
 
     /// Job size this arena serves.
     pub fn ranks(&self) -> usize {
         self.ranks
+    }
+
+    /// Arms (or disarms with `None`) span recording on the exchange
+    /// passes.
+    pub fn set_tracer(&mut self, trace: Option<Tracer>) {
+        self.trace = trace;
+    }
+
+    /// Tags subsequently recorded spans with `level`.
+    pub fn set_trace_level(&mut self, level: u32) {
+        self.trace_level = level;
     }
 
     /// Checks out one flat outbox per source rank, reusing pooled
@@ -186,6 +207,17 @@ impl ExchangeArena {
             let compressed = eff_codec == Codec::Compressed;
             let msgs = self.fault_messages(eff_mode, layout);
             let report = session.deliver_phase(&msgs, policy, compressed);
+            if let Some(t) = &self.trace {
+                // Fault-layer instants land on the run lane (last lane
+                // under the for_ranks convention); absent in clean runs.
+                let lane = t.num_lanes().saturating_sub(1);
+                if report.retries > 0 {
+                    t.instant(lane, ins::INSTANT_RETRY, ins::CAT_FAULT, self.trace_level, report.retries);
+                }
+                if report.faults_injected > 0 {
+                    t.instant(lane, ins::INSTANT_FAULT, ins::CAT_FAULT, self.trace_level, report.faults_injected);
+                }
+            }
             stats.retries += report.retries;
             stats.faults_injected += report.faults_injected;
             match report.error {
@@ -233,13 +265,22 @@ impl ExchangeArena {
         assert_eq!(out.len(), ranks, "one outbox per source rank");
         debug_assert!(out.iter().all(|o| o.ranks() == ranks));
 
+        let trace = self.trace.clone();
+        let trace = trace.as_ref();
+        let lvl = self.trace_level;
         let per_src: Vec<(u64, u64)> = out
             .par_iter()
             .zip(self.sorted.par_iter_mut())
             .zip(self.ends.par_chunks_mut(ranks))
-            .map(|((outbox, sorted_s), ends_row)| {
+            .enumerate()
+            .map(|(s, ((outbox, sorted_s), ends_row))| {
                 let (recs, dests) = outbox.parts();
-                bucket_by_dest(recs, dests, sorted_s, ends_row)
+                // Bucket work (= records sorted) is mode-independent, so
+                // virtual-domain bucket spans match across transports.
+                let t0 = ins::span_begin(trace);
+                let res = bucket_by_dest(recs, dests, sorted_s, ends_row);
+                ins::span_end(trace, s, ins::SPAN_BUCKET, ins::CAT_COMPUTE, lvl, t0, recs.len() as u64);
+                res
             })
             .collect();
 
@@ -310,20 +351,50 @@ impl ExchangeArena {
             .collect();
         let sorted = &self.sorted;
         let ends = &self.ends;
+        let trace = self.trace.clone();
+        let trace = trace.as_ref();
+        let lvl = self.trace_level;
+        let deliver0 = ins::span_begin(trace);
         let dst_stats: Vec<AssembleStats> = inboxes
             .par_iter_mut()
             .enumerate()
-            .map(|(d, inbox)| match mode {
-                Messaging::Direct => {
-                    let (allocs, reused) = assemble_direct(d, sorted, ends, ranks, inbox);
-                    (Vec::new(), allocs, reused)
-                }
-                Messaging::Relay => assemble_relay(d, sorted, ends, ranks, layout, codec, inbox),
+            .map(|(d, inbox)| {
+                // Deliver work (= records received) is identical across
+                // transports — both deliver the same multiset.
+                let t0 = ins::span_begin(trace);
+                let res = match mode {
+                    Messaging::Direct => {
+                        let (allocs, reused) = assemble_direct(d, sorted, ends, ranks, inbox);
+                        (Vec::new(), allocs, reused)
+                    }
+                    Messaging::Relay => {
+                        assemble_relay(d, sorted, ends, ranks, layout, codec, inbox)
+                    }
+                };
+                ins::span_end(trace, d, ins::SPAN_DELIVER, ins::CAT_NET, lvl, t0, inbox.len() as u64);
+                res
             })
             .collect();
 
         for (forwards, allocs, reused) in dst_stats {
             for (r, msgs, bytes, hops) in forwards {
+                // Relay forwarding is a transport artifact: record it
+                // only in the wall domain so virtual traces stay
+                // transport-invariant.
+                if let Some(t) = trace {
+                    if t.domain() == ClockDomain::Wall && (r as usize) < t.num_lanes() {
+                        let now = t.begin();
+                        t.span_at(
+                            r as usize,
+                            ins::SPAN_RELAY,
+                            ins::CAT_NET,
+                            lvl,
+                            deliver0,
+                            now.saturating_sub(deliver0),
+                            hops,
+                        );
+                    }
+                }
                 send_msgs[r as usize] += msgs;
                 send_bytes[r as usize] += bytes;
                 stats.record_hops += hops;

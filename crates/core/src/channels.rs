@@ -23,8 +23,10 @@
 
 use crate::config::BfsConfig;
 use crate::error::{ExchangeError, ExecError};
+use crate::exchange::{msgs_for, Codec, ExchangeStats, MSG_HEADER_BYTES};
 use crate::faults::{FaultPlan, FaultSession, MsgDesc, RetryPolicy};
 use crate::hubs::HubState;
+use crate::instrument as ins;
 use crate::messages::EdgeRec;
 use crate::modules::{
     backward_generator, backward_handler, forward_generator, forward_handler, Outboxes,
@@ -36,6 +38,8 @@ use crate::NO_PARENT;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use sw_graph::hub::HubSet;
 use sw_graph::{Bitmap, EdgeList, Partition1D, Vid};
+use sw_net::GroupLayout;
+use sw_trace::{CounterSet, Tracer};
 
 /// Wire packets between rank threads. Every packet carries the sender's
 /// global phase sequence number: ranks advance through communication
@@ -136,6 +140,13 @@ pub struct ChannelCluster {
     hub_set: HubSet,
     td_limit: u32,
     fault_plan: Option<FaultPlan>,
+    /// Canonical counter set of the most recent [`Self::run`]: each rank
+    /// thread accumulates its own [`CounterSet`] and the sets merge here
+    /// through the same per-key rule the threaded backend uses — one
+    /// merge path, identical counter coverage on identical traffic.
+    metrics: CounterSet,
+    /// Armed span recorder (one lane per rank, `for_ranks` convention).
+    tracer: Option<Tracer>,
 }
 
 impl ChannelCluster {
@@ -169,7 +180,38 @@ impl ChannelCluster {
             hub_set,
             td_limit,
             fault_plan: None,
+            metrics: CounterSet::new(),
+            tracer: None,
         })
+    }
+
+    /// The canonical counter set of the most recent [`Self::run`].
+    pub fn metrics(&self) -> &CounterSet {
+        &self.metrics
+    }
+
+    /// Fault-layer telemetry of the most recent [`Self::run`]:
+    /// `(re-sends, faults injected, levels delivered degraded)` — a
+    /// view over [`Self::metrics`], same keys as the threaded backend.
+    pub fn fault_counters(&self) -> (u64, u64, u64) {
+        (
+            self.metrics.get(ins::FAULTS_RETRIES),
+            self.metrics.get(ins::FAULTS_INJECTED),
+            self.metrics.get(ins::FAULTS_DEGRADED_LEVELS),
+        )
+    }
+
+    /// Arms (or disarms with `None`) a span tracer; rank `r` records
+    /// onto lane `r`.
+    pub fn set_tracer(&mut self, tracer: Option<Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// Builder form of [`Self::set_tracer`].
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.set_tracer(Some(tracer));
+        self
     }
 
     /// Arms (or disarms with `None`) a deterministic fault plan. Each
@@ -196,6 +238,7 @@ impl ChannelCluster {
             });
         }
         let p = self.part.num_ranks() as usize;
+        self.metrics.clear();
 
         // Channel mesh: chans[d] receives what anyone sends to rank d.
         let mut senders: Vec<Sender<Packet>> = Vec::with_capacity(p);
@@ -213,9 +256,11 @@ impl ChannelCluster {
         let td_limit = self.td_limit;
         let senders_ref = &senders;
         let plan_ref = self.fault_plan.as_ref();
+        let tracer_ref = self.tracer.as_ref();
 
         type RankResult = (
             RankState,
+            CounterSet,
             Result<Vec<crate::result::LevelStats>, ExecError>,
         );
         let results: Vec<RankResult> = std::thread::scope(|scope| {
@@ -223,6 +268,7 @@ impl ChannelCluster {
             for (r, mut st) in states.into_iter().enumerate() {
                 let rx = receivers[r].take().expect("receiver taken once");
                 handles.push(scope.spawn(move || {
+                    let mut metrics = CounterSet::new();
                     let stats = rank_main(
                         &mut st,
                         Mailbox::new(rx),
@@ -232,8 +278,10 @@ impl ChannelCluster {
                         td_limit,
                         root,
                         plan_ref,
+                        &mut metrics,
+                        tracer_ref,
                     );
-                    (st, stats)
+                    (st, metrics, stats)
                 }));
             }
             handles
@@ -251,9 +299,12 @@ impl ChannelCluster {
         let mut levels = Vec::new();
         let mut root_cause: Option<ExecError> = None;
         let mut any_err: Option<ExecError> = None;
-        for (st, stats) in results {
+        for (st, rank_metrics, stats) in results {
             let (start, _) = self.part.range(st.rank);
             parents[start as usize..start as usize + st.owned()].copy_from_slice(&st.parent);
+            // The one merge path: per-key rule (max_* by maximum, the
+            // rest by sum), identical to the threaded backend's.
+            self.metrics.merge(&rank_metrics);
             match stats {
                 Ok(stats) => {
                     if st.rank == 0 {
@@ -302,9 +353,11 @@ fn rank_main(
     td_limit: u32,
     root: Vid,
     fault_plan: Option<&FaultPlan>,
+    metrics: &mut CounterSet,
+    tracer: Option<&Tracer>,
 ) -> Result<Vec<crate::result::LevelStats>, ExecError> {
     let me = st.rank as usize;
-    match rank_body(st, mbox, senders, cfg, hub_set, td_limit, root, fault_plan) {
+    match rank_body(st, mbox, senders, cfg, hub_set, td_limit, root, fault_plan, metrics, tracer) {
         Ok(levels) => Ok(levels),
         Err(e) => {
             if !matches!(e, ExchangeError::Aborted { .. }) {
@@ -327,9 +380,14 @@ fn rank_body(
     td_limit: u32,
     root: Vid,
     fault_plan: Option<&FaultPlan>,
+    metrics: &mut CounterSet,
+    tracer: Option<&Tracer>,
 ) -> Result<Vec<crate::result::LevelStats>, ExchangeError> {
     let p = senders.len();
     let me = st.rank as usize;
+    // Same grouping the threaded backend's wire accounting uses, so the
+    // inter-group byte classification agrees rank for rank.
+    let layout = GroupLayout::new(p as u32, cfg.group_size.min(p as u32));
     // Every rank replays the plan independently; decisions are pure
     // functions of (seed, phase, src, dst, attempt), so the per-rank
     // sessions agree without any cross-thread coordination.
@@ -386,18 +444,47 @@ fn rank_body(
             unvisited_edges: m_u,
             ..Default::default()
         });
+        let lvl = (levels.len() - 1) as u32;
         match dir {
             Direction::TopDown => {
-                forward_generator(st, &hubs, &mut out);
-                let inbox =
-                    exchange_phase(&mut out, &mut mbox, senders, me, &mut seq, &mut session, &retry, cfg.compress)?;
+                let t0 = ins::span_begin(tracer);
+                let g = forward_generator(st, &hubs, &mut out);
+                ins::span_end(tracer, me, ins::SPAN_GEN, ins::CAT_COMPUTE, lvl, t0, g.records_out);
+                let inbox = exchange_phase(
+                    &mut out, &mut mbox, senders, me, &mut seq, &mut session, &retry, &cfg,
+                    &layout, metrics, tracer, lvl,
+                )?;
+                let t0 = ins::span_begin(tracer);
                 forward_handler(st, &inbox);
+                ins::span_end(
+                    tracer,
+                    me,
+                    ins::SPAN_HANDLE,
+                    ins::CAT_COMPUTE,
+                    lvl,
+                    t0,
+                    inbox.len() as u64,
+                );
             }
             Direction::BottomUp => {
-                backward_generator(st, &hubs, &mut out);
-                let inbox =
-                    exchange_phase(&mut out, &mut mbox, senders, me, &mut seq, &mut session, &retry, cfg.compress)?;
+                let t0 = ins::span_begin(tracer);
+                let g = backward_generator(st, &hubs, &mut out);
+                ins::span_end(tracer, me, ins::SPAN_GEN, ins::CAT_COMPUTE, lvl, t0, g.records_out);
+                let inbox = exchange_phase(
+                    &mut out, &mut mbox, senders, me, &mut seq, &mut session, &retry, &cfg,
+                    &layout, metrics, tracer, lvl,
+                )?;
+                let t0 = ins::span_begin(tracer);
                 backward_handler(st, &inbox, &mut replies);
+                ins::span_end(
+                    tracer,
+                    me,
+                    ins::SPAN_HANDLE,
+                    ins::CAT_COMPUTE,
+                    lvl,
+                    t0,
+                    inbox.len() as u64,
+                );
                 let inbox = exchange_phase(
                     &mut replies,
                     &mut mbox,
@@ -406,9 +493,23 @@ fn rank_body(
                     &mut seq,
                     &mut session,
                     &retry,
-                    cfg.compress,
+                    &cfg,
+                    &layout,
+                    metrics,
+                    tracer,
+                    lvl,
                 )?;
+                let t0 = ins::span_begin(tracer);
                 forward_handler(st, &inbox);
+                ins::span_end(
+                    tracer,
+                    me,
+                    ins::SPAN_HANDLE,
+                    ins::CAT_COMPUTE,
+                    lvl,
+                    t0,
+                    inbox.len() as u64,
+                );
             }
         }
         exchange_hubs(st, &mut hubs, &mut mbox, senders, me, &mut seq)?;
@@ -434,13 +535,19 @@ fn exchange_phase(
     seq: &mut u64,
     session: &mut Option<FaultSession>,
     retry: &RetryPolicy,
-    compressed: bool,
+    cfg: &BfsConfig,
+    layout: &GroupLayout,
+    metrics: &mut CounterSet,
+    tracer: Option<&Tracer>,
+    level: u32,
 ) -> Result<Vec<EdgeRec>, ExchangeError> {
     let p = senders.len();
     let this = *seq;
     *seq += 1;
     let boxes = out.drain_into_boxes();
-    if let Some(fs) = session.as_mut() {
+    let mut retries = 0u64;
+    let mut faults = 0u64;
+    let sim_result = if let Some(fs) = session.as_mut() {
         let msgs: Vec<MsgDesc> = boxes
             .iter()
             .enumerate()
@@ -452,7 +559,54 @@ fn exchange_phase(
                 relay: None,
             })
             .collect();
-        simulate_sends(fs, &msgs, retry, compressed)?;
+        simulate_sends(fs, &msgs, retry, cfg.compress, &mut retries, &mut faults)
+    } else {
+        Ok(())
+    };
+    // This rank's own wire accounting for the phase: exactly the arena
+    // backend's per-destination arithmetic, so the `set_max` merge of
+    // these per-rank totals reproduces the threaded backend's
+    // max-over-ranks. Fault telemetry is absorbed even when the phase
+    // dies — a post-mortem counter set must show what the fault layer
+    // did.
+    let mut xs = ExchangeStats {
+        retries,
+        faults_injected: faults,
+        ..Default::default()
+    };
+    if let Err(e) = sim_result {
+        ins::absorb_exchange(metrics, &xs);
+        return Err(e);
+    }
+    let eff_compressed =
+        cfg.compress && !session.as_ref().is_some_and(|s| s.compression_disabled());
+    let codec = if eff_compressed {
+        Codec::Compressed
+    } else {
+        Codec::Fixed(cfg.edge_msg_bytes)
+    };
+    for (d, recs) in boxes.iter().enumerate() {
+        if d == me {
+            continue;
+        }
+        let payload = codec.payload_bytes(recs);
+        let msgs = msgs_for(payload);
+        let bytes = payload + msgs * MSG_HEADER_BYTES;
+        xs.messages += msgs;
+        xs.bytes += bytes;
+        xs.record_hops += recs.len() as u64;
+        if layout.group_of(me as u32) != layout.group_of(d as u32) {
+            xs.inter_group_bytes += bytes;
+        }
+    }
+    xs.max_send_msgs_per_rank = xs.messages;
+    xs.max_send_bytes_per_rank = xs.bytes;
+    ins::absorb_exchange(metrics, &xs);
+    if retries > 0 {
+        ins::mark(tracer, me, ins::INSTANT_RETRY, ins::CAT_FAULT, level, retries);
+    }
+    if faults > 0 {
+        ins::mark(tracer, me, ins::INSTANT_FAULT, ins::CAT_FAULT, level, faults);
     }
     for (d, recs) in boxes.into_iter().enumerate() {
         if d != me {
@@ -466,6 +620,7 @@ fn exchange_phase(
             )?;
         }
     }
+    let t0 = ins::span_begin(tracer);
     let mut inbox: Vec<EdgeRec> = Vec::new();
     for pl in mbox.recv_phase(this, p - 1)? {
         match pl {
@@ -479,22 +634,37 @@ fn exchange_phase(
         }
     }
     inbox.sort_unstable();
+    ins::span_end(
+        tracer,
+        me,
+        ins::SPAN_DELIVER,
+        ins::CAT_NET,
+        level,
+        t0,
+        inbox.len() as u64,
+    );
     Ok(inbox)
 }
 
-/// Replays the fault schedule for one record phase. The only in-phase
-/// degradation available on this transport is disabling compression
-/// (the mesh is already point-to-point, so there is no relay to fall
-/// back from); anything else exhausts the retry budget into an error.
+/// Replays the fault schedule for one record phase, accumulating the
+/// retry/fault tallies into the caller's counters (kept even when the
+/// phase ultimately errors). The only in-phase degradation available on
+/// this transport is disabling compression (the mesh is already
+/// point-to-point, so there is no relay to fall back from); anything
+/// else exhausts the retry budget into an error.
 fn simulate_sends(
     session: &mut FaultSession,
     msgs: &[MsgDesc],
     retry: &RetryPolicy,
     compressed: bool,
+    retries: &mut u64,
+    faults: &mut u64,
 ) -> Result<(), ExchangeError> {
     loop {
         let eff_compressed = compressed && !session.compression_disabled();
         let report = session.deliver_phase(msgs, retry, eff_compressed);
+        *retries += report.retries;
+        *faults += report.faults_injected;
         match report.error {
             None => {
                 session.end_phase();

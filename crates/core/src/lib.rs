@@ -40,6 +40,7 @@ pub mod exchange;
 pub mod faults;
 pub mod frontier;
 pub mod hubs;
+pub mod instrument;
 pub mod mapping;
 pub mod messages;
 pub mod modeled;
@@ -54,6 +55,7 @@ pub mod traffic;
 pub use config::{BfsConfig, Messaging, Processing};
 pub use error::{ExchangeError, ExecError};
 pub use faults::{FaultKind, FaultPlan, FaultSession, InjectionEvent, RetryPolicy};
+pub use instrument::{absorb_exchange, exchange_view};
 pub use modeled::{ModelOutcome, ModeledCluster};
 pub use result::{BfsOutput, LevelStats};
 pub use channels::ChannelCluster;

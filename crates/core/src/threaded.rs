@@ -17,6 +17,7 @@ use crate::error::ExecError;
 use crate::exchange::{Codec, ExchangeStats};
 use crate::faults::{FaultPlan, FaultSession, InjectionEvent};
 use crate::hubs::{gather_hub_level, HubState};
+use crate::instrument as ins;
 use crate::messages::EdgeRec;
 use crate::modules::{
     backward_generator, backward_handler, forward_generator, forward_handler, ModuleStats,
@@ -32,6 +33,7 @@ use sw_arch::ChipConfig;
 use sw_graph::hub::HubSet;
 use sw_graph::{Bitmap, EdgeList, Partition1D, Vid};
 use sw_net::GroupLayout;
+use sw_trace::{CounterSet, Tracer, NO_LEVEL};
 
 /// A cluster of in-process ranks executing the distributed BFS.
 pub struct ThreadedCluster {
@@ -48,21 +50,21 @@ pub struct ThreadedCluster {
     input_edges: u64,
     /// Pooled exchange buffers, recycled across levels and runs.
     arena: ExchangeArena,
-    /// Pooled-buffer growths during the most recent [`Self::run`].
-    pool_allocs: u64,
-    /// Bytes served from already-pooled capacity during the most recent
-    /// [`Self::run`].
-    pool_reused_bytes: u64,
+    /// Canonical counter set of the most recent [`Self::run`]: every
+    /// exchange/pool/fault statistic flattened through
+    /// [`crate::instrument::absorb_exchange`] — the single merge path
+    /// shared with [`crate::channels::ChannelCluster`]. The tuple
+    /// accessors ([`Self::pool_counters`], [`Self::fault_counters`])
+    /// are views over this set.
+    metrics: CounterSet,
+    /// Armed span recorder, shared with the arena; `None` costs one
+    /// branch per phase.
+    tracer: Option<Tracer>,
     /// Fault schedule this cluster runs under, if any; each [`Self::run`]
     /// replays it from a fresh session so runs stay repeatable.
     fault_plan: Option<FaultPlan>,
     /// The armed injection state of the current/most recent run.
     faults: Option<FaultSession>,
-    /// Fault-layer counters for the most recent [`Self::run`]:
-    /// re-sends, injected faults, levels delivered degraded.
-    fault_retries: u64,
-    faults_injected: u64,
-    degraded_levels: u64,
     /// Tests flip this to route records through the seed's nested-Vec
     /// exchange, the differential oracle for the arena path.
     #[cfg(test)]
@@ -147,13 +149,10 @@ impl ThreadedCluster {
             total_directed_edges,
             input_edges: el.len() as u64,
             arena: ExchangeArena::new(num_ranks as usize),
-            pool_allocs: 0,
-            pool_reused_bytes: 0,
+            metrics: CounterSet::new(),
+            tracer: None,
             fault_plan: None,
             faults: None,
-            fault_retries: 0,
-            faults_injected: 0,
-            degraded_levels: 0,
             #[cfg(test)]
             use_legacy_exchange: false,
         })
@@ -216,9 +215,33 @@ impl ThreadedCluster {
     /// Exchange-arena telemetry for the most recent [`Self::run`]:
     /// `(buffer growths, bytes served from pooled capacity)`. After a
     /// warm-up run the growth count stays at zero — the steady-state
-    /// exchange is allocation-free.
+    /// exchange is allocation-free. A view over [`Self::metrics`].
     pub fn pool_counters(&self) -> (u64, u64) {
-        (self.pool_allocs, self.pool_reused_bytes)
+        (
+            self.metrics.get(ins::POOL_ALLOCS),
+            self.metrics.get(ins::POOL_REUSED_BYTES),
+        )
+    }
+
+    /// The canonical counter set of the most recent [`Self::run`].
+    pub fn metrics(&self) -> &CounterSet {
+        &self.metrics
+    }
+
+    /// Arms (or disarms with `None`) a span tracer. Lanes follow the
+    /// [`Tracer::for_ranks`] convention: lane `r` records rank `r`'s
+    /// module and transport phases, the trailing lane records run-wide
+    /// phases (whole levels, hub gathers).
+    pub fn set_tracer(&mut self, tracer: Option<Tracer>) {
+        self.arena.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Builder form of [`Self::set_tracer`].
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.set_tracer(Some(tracer));
+        self
     }
 
     /// Arms (or disarms, with `None`) a deterministic fault schedule.
@@ -238,9 +261,13 @@ impl ThreadedCluster {
 
     /// Fault-layer telemetry for the most recent [`Self::run`]:
     /// `(re-sends, faults injected, levels delivered degraded)`. All
-    /// zero without an armed plan.
+    /// zero without an armed plan. A view over [`Self::metrics`].
     pub fn fault_counters(&self) -> (u64, u64, u64) {
-        (self.fault_retries, self.faults_injected, self.degraded_levels)
+        (
+            self.metrics.get(ins::FAULTS_RETRIES),
+            self.metrics.get(ins::FAULTS_INJECTED),
+            self.metrics.get(ins::FAULTS_DEGRADED_LEVELS),
+        )
     }
 
     /// The injection trace of the most recent [`Self::run`], in
@@ -270,7 +297,7 @@ impl ThreadedCluster {
         let owner = self.part.owner(root) as usize;
         let rl = self.part.to_local(root) as usize;
         self.ranks[owner].claim(rl, root);
-        let mut gather = self.update_hubs();
+        let mut gather = self.traced_update_hubs(NO_LEVEL);
         for r in &mut self.ranks {
             r.advance_level();
         }
@@ -307,15 +334,30 @@ impl ThreadedCluster {
                 ..Default::default()
             };
 
+            self.arena.set_trace_level(level);
+            let lt0 = ins::span_begin(self.tracer.as_ref());
             match dir {
                 Direction::TopDown => self.top_down_level(&mut ls)?,
                 Direction::BottomUp => self.bottom_up_level(&mut ls)?,
             }
+            // Level work is charged in transport-invariant units (edges
+            // scanned + records generated + 1), so virtual-domain level
+            // spans line up across Direct and Relay.
+            if let Some(t) = &self.tracer {
+                t.end(
+                    t.run_lane(),
+                    ins::SPAN_LEVEL,
+                    ins::CAT_RUN,
+                    level,
+                    lt0,
+                    ls.edges_scanned + ls.records_generated + 1,
+                );
+            }
             if self.is_degraded() {
-                self.degraded_levels += 1;
+                self.metrics.add(ins::FAULTS_DEGRADED_LEVELS, 1);
             }
 
-            gather = self.update_hubs();
+            gather = self.traced_update_hubs(level);
             ls.settled = self
                 .ranks
                 .iter_mut()
@@ -339,11 +381,8 @@ impl ThreadedCluster {
     }
 
     fn reset(&mut self) {
-        self.pool_allocs = 0;
-        self.pool_reused_bytes = 0;
-        self.fault_retries = 0;
-        self.faults_injected = 0;
-        self.degraded_levels = 0;
+        self.metrics.clear();
+        self.arena.set_trace_level(NO_LEVEL);
         // Replay the fault schedule from phase 0 so repeat runs stay
         // bit-identical.
         self.faults = self.fault_plan.clone().map(FaultSession::new);
@@ -360,13 +399,21 @@ impl ThreadedCluster {
 
     /// One Top-Down level: Forward Generator → exchange → Forward Handler.
     fn top_down_level(&mut self, ls: &mut LevelStats) -> Result<(), ExecError> {
+        let trace = self.tracer.clone();
+        let trace = trace.as_ref();
+        let lvl = ls.level;
         let mut outs = self.arena.lend_outboxes();
         let gen: Vec<ModuleStats> = self
             .ranks
             .par_iter_mut()
             .zip(self.hub_states.par_iter())
             .zip(outs.par_iter_mut())
-            .map(|((r, h), out)| forward_generator(r, h, out))
+            .map(|((r, h), out)| {
+                let t0 = ins::span_begin(trace);
+                let st = forward_generator(r, h, out);
+                ins::span_end(trace, r.rank as usize, ins::SPAN_GEN, ins::CAT_COMPUTE, lvl, t0, st.records_out);
+                st
+            })
             .collect();
         for st in gen {
             ls.edges_scanned += st.edges_scanned;
@@ -381,7 +428,9 @@ impl ThreadedCluster {
             .par_iter_mut()
             .zip(inboxes.par_iter())
             .for_each(|(r, inbox)| {
+                let t0 = ins::span_begin(trace);
                 forward_handler(r, inbox);
+                ins::span_end(trace, r.rank as usize, ins::SPAN_HANDLE, ins::CAT_COMPUTE, lvl, t0, inbox.len() as u64);
             });
         self.arena.recycle_inboxes(inboxes);
         Ok(())
@@ -390,13 +439,21 @@ impl ThreadedCluster {
     /// One Bottom-Up level: Backward Generator → exchange → Backward
     /// Handler → exchange → Forward Handler.
     fn bottom_up_level(&mut self, ls: &mut LevelStats) -> Result<(), ExecError> {
+        let trace = self.tracer.clone();
+        let trace = trace.as_ref();
+        let lvl = ls.level;
         let mut outs = self.arena.lend_outboxes();
         let gen: Vec<ModuleStats> = self
             .ranks
             .par_iter_mut()
             .zip(self.hub_states.par_iter())
             .zip(outs.par_iter_mut())
-            .map(|((r, h), out)| backward_generator(r, h, out))
+            .map(|((r, h), out)| {
+                let t0 = ins::span_begin(trace);
+                let st = backward_generator(r, h, out);
+                ins::span_end(trace, r.rank as usize, ins::SPAN_GEN, ins::CAT_COMPUTE, lvl, t0, st.records_out);
+                st
+            })
             .collect();
         for st in gen {
             ls.edges_scanned += st.edges_scanned;
@@ -413,7 +470,12 @@ impl ThreadedCluster {
             .par_iter_mut()
             .zip(inboxes.par_iter())
             .zip(replies.par_iter_mut())
-            .map(|((r, inbox), out)| backward_handler(r, inbox, out))
+            .map(|((r, inbox), out)| {
+                let t0 = ins::span_begin(trace);
+                let st = backward_handler(r, inbox, out);
+                ins::span_end(trace, r.rank as usize, ins::SPAN_HANDLE, ins::CAT_COMPUTE, lvl, t0, inbox.len() as u64);
+                st
+            })
             .collect();
         // Return the query inboxes *before* the reply exchange so its
         // assembly pass finds the pooled buffers in their slots.
@@ -430,7 +492,9 @@ impl ThreadedCluster {
             .par_iter_mut()
             .zip(inboxes.par_iter())
             .for_each(|(r, inbox)| {
+                let t0 = ins::span_begin(trace);
                 forward_handler(r, inbox);
+                ins::span_end(trace, r.rank as usize, ins::SPAN_HANDLE, ins::CAT_COMPUTE, lvl, t0, inbox.len() as u64);
             });
         self.arena.recycle_inboxes(inboxes);
         Ok(())
@@ -482,14 +546,15 @@ impl ThreadedCluster {
         Ok(self.canonicalize(inboxes))
     }
 
+    /// Folds one exchange into the level record and the canonical
+    /// counter set. The per-counter merge semantics (sum vs per-phase
+    /// maximum) live in [`crate::instrument::absorb_exchange`], shared
+    /// with the channel backend — not re-implemented here.
     fn absorb_exchange(&mut self, ls: &mut LevelStats, xs: &ExchangeStats) {
         ls.records_sent += xs.record_hops;
         ls.messages_sent += xs.messages;
         ls.bytes_sent += xs.bytes;
-        self.pool_allocs += xs.pool_allocs;
-        self.pool_reused_bytes += xs.pool_reused_bytes;
-        self.fault_retries += xs.retries;
-        self.faults_injected += xs.faults_injected;
+        ins::absorb_exchange(&mut self.metrics, xs);
     }
 
     fn canonicalize(&self, mut inboxes: Vec<Vec<EdgeRec>>) -> Vec<Vec<EdgeRec>> {
@@ -497,6 +562,17 @@ impl ThreadedCluster {
             inboxes.par_iter_mut().for_each(|b| b.sort_unstable());
         }
         inboxes
+    }
+
+    /// [`Self::update_hubs`] under a `hub_gather` span on the run lane,
+    /// charged with the gather bytes (transport-invariant).
+    fn traced_update_hubs(&mut self, level: u32) -> u64 {
+        let t0 = ins::span_begin(self.tracer.as_ref());
+        let bytes = self.update_hubs();
+        if let Some(t) = &self.tracer {
+            t.end(t.run_lane(), ins::SPAN_HUB_GATHER, ins::CAT_GATHER, level, t0, bytes);
+        }
+        bytes
     }
 
     /// Rebuilds the replicated hub bitmaps from every rank's `next` +

@@ -7,7 +7,17 @@ use crate::teps::TepsStats;
 use crate::validate::{validate_bfs, ValidationError};
 use std::time::Instant;
 use sw_graph::{generate_kronecker, Vid};
+use sw_trace::Tracer;
 use swbfs_core::{BfsConfig, ExecError, ThreadedCluster};
+
+/// Span names the traced benchmark records on the tracer's run lane.
+pub const SPAN_CONSTRUCT: &str = "construct";
+/// Kernel (one BFS root) span name.
+pub const SPAN_KERNEL: &str = "kernel";
+/// Validation span name.
+pub const SPAN_VALIDATE: &str = "validate";
+/// Category of all benchmark-step spans.
+pub const CAT_BENCH: &str = "graph500";
 
 /// One root's kernel run.
 #[derive(Clone, Copy, Debug)]
@@ -84,7 +94,7 @@ pub fn run_benchmark(
     ranks: u32,
     cfg: BfsConfig,
 ) -> Result<BenchmarkResult, BenchmarkError> {
-    run_benchmark_with(spec, ranks, cfg, false)
+    run_benchmark_with(spec, ranks, cfg, false, None)
 }
 
 /// Like [`run_benchmark`] but validating with the §5 *distributed*
@@ -94,7 +104,24 @@ pub fn run_benchmark_distributed_validation(
     ranks: u32,
     cfg: BfsConfig,
 ) -> Result<BenchmarkResult, BenchmarkError> {
-    run_benchmark_with(spec, ranks, cfg, true)
+    run_benchmark_with(spec, ranks, cfg, true, None)
+}
+
+/// [`run_benchmark`] with an armed span tracer: benchmark steps
+/// (construction, each root's kernel, each validation) land as spans on
+/// the tracer's run lane — `level` carries the root's run index — and
+/// headline totals accumulate in the tracer's registry under
+/// `graph500.*` keys. The BFS cluster itself is armed with the same
+/// tracer, so per-rank `gen`/`bucket`/`deliver` spans interleave with
+/// the benchmark-step spans in one export.
+pub fn run_benchmark_traced(
+    spec: &Graph500Spec,
+    ranks: u32,
+    cfg: BfsConfig,
+    distributed_validation: bool,
+    tracer: Option<&Tracer>,
+) -> Result<BenchmarkResult, BenchmarkError> {
+    run_benchmark_with(spec, ranks, cfg, distributed_validation, tracer)
 }
 
 fn run_benchmark_with(
@@ -102,6 +129,7 @@ fn run_benchmark_with(
     ranks: u32,
     cfg: BfsConfig,
     distributed_validation: bool,
+    tracer: Option<&Tracer>,
 ) -> Result<BenchmarkResult, BenchmarkError> {
     // Steps 1–2.
     let el = generate_kronecker(&spec.kronecker());
@@ -109,22 +137,36 @@ fn run_benchmark_with(
     if roots.is_empty() {
         return Err(BenchmarkError::Degenerate("no eligible roots".into()));
     }
+    // Wall spans report real elapsed time; virtual-domain tracers get
+    // charged deterministic work (edges built, vertices reached, edges
+    // validated) instead.
+    let span = |t0: u64, name: &'static str, level: u32, work: u64| {
+        if let Some(t) = tracer {
+            t.end(t.run_lane(), name, CAT_BENCH, level, t0, work);
+        }
+    };
 
     // Step 3 (timed, reported separately — the paper also reports only
     // the kernel in its headline). Uses the distributed construction
     // path: generator chunks are shuffled to endpoint owners before the
     // local CSR builds, as on the real machine.
+    let s0 = tracer.map_or(0, |t| t.begin());
     let t0 = Instant::now();
     let (mut cluster, _construction_traffic) =
         ThreadedCluster::new_distributed(&el, ranks, cfg)?;
     let construction_s = t0.elapsed().as_secs_f64();
+    span(s0, SPAN_CONSTRUCT, sw_trace::NO_LEVEL, el.edges.len() as u64);
+    cluster.set_tracer(tracer.cloned());
 
     // Steps 4–5.
     let mut runs = Vec::with_capacity(roots.len());
-    for root in roots {
+    for (i, root) in roots.into_iter().enumerate() {
+        let s0 = tracer.map_or(0, |t| t.begin());
         let t = Instant::now();
         let out = cluster.run(root)?;
         let time_s = t.elapsed().as_secs_f64();
+        span(s0, SPAN_KERNEL, i as u32, out.reached());
+        let s0 = tracer.map_or(0, |t| t.begin());
         let traversed = if distributed_validation {
             crate::validate_dist::DistValidator::new(
                 el.num_vertices,
@@ -137,6 +179,14 @@ fn run_benchmark_with(
             validate_bfs(&el, &out)
         }
         .map_err(|error| BenchmarkError::Invalid { root, error })?;
+        span(s0, SPAN_VALIDATE, i as u32, traversed);
+        if let Some(t) = tracer {
+            let reg = t.registry();
+            reg.counter("graph500.roots_run").incr();
+            reg.counter("graph500.traversed_edges").add(traversed);
+            reg.counter("graph500.reached_vertices").add(out.reached());
+            reg.gauge("graph500.max_depth").record_max(out.depth() as u64);
+        }
         runs.push(RootRun {
             root,
             time_s,
@@ -204,6 +254,42 @@ mod tests {
             assert_eq!(x.root, y.root);
             assert_eq!(x.traversed_edges, y.traversed_edges);
         }
+    }
+
+    #[test]
+    fn traced_benchmark_records_spans_and_counters() {
+        let spec = Graph500Spec::quick(9, 5, 2);
+        let tracer = Tracer::for_ranks(sw_trace::ClockDomain::Wall, 3, 4096);
+        let res = run_benchmark_traced(
+            &spec,
+            3,
+            BfsConfig::threaded_small(2),
+            false,
+            Some(&tracer),
+        )
+        .unwrap();
+        assert_eq!(res.runs.len(), 2);
+        let report = tracer.report();
+        let run_lane = &report.lanes[tracer.run_lane()];
+        assert!(run_lane.events.iter().any(|e| e.name == SPAN_CONSTRUCT));
+        let kernels = run_lane.events.iter().filter(|e| e.name == SPAN_KERNEL);
+        assert_eq!(kernels.count(), 2, "one kernel span per root");
+        assert_eq!(
+            run_lane
+                .events
+                .iter()
+                .filter(|e| e.name == SPAN_VALIDATE)
+                .count(),
+            2
+        );
+        assert_eq!(report.counters.get("graph500.roots_run"), 2);
+        assert!(report.counters.get("graph500.traversed_edges") > 0);
+        assert!(report.counters.get("graph500.max_depth") >= 1);
+        // The armed cluster traced its own per-rank module phases too.
+        assert!(
+            report.lanes[0].events.iter().any(|e| e.cat == "compute"),
+            "rank lanes carry BFS module spans"
+        );
     }
 
     #[test]

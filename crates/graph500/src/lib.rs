@@ -24,7 +24,10 @@ pub mod teps;
 pub mod validate;
 pub mod validate_dist;
 
-pub use kernel::{run_benchmark, run_benchmark_distributed_validation, BenchmarkResult, RootRun};
+pub use kernel::{
+    run_benchmark, run_benchmark_distributed_validation, run_benchmark_traced, BenchmarkResult,
+    RootRun,
+};
 pub use kernel2::{run_kernel2, Kernel2Result};
 pub use roots::select_roots;
 pub use spec::Graph500Spec;

@@ -30,6 +30,44 @@ pub struct SimMessage {
     pub bytes: u64,
 }
 
+/// Per-resource-class busy time accumulated over one simulated phase:
+/// how many serialization-nanoseconds each tier of the fat tree
+/// absorbed, plus the per-path-class message census. Computed
+/// unconditionally by the simulator (pure arithmetic over the same
+/// inputs, so it is exactly as deterministic as the makespan) and
+/// exportable into a metrics registry via [`TierOccupancy::publish`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TierOccupancy {
+    /// Sender-port serialization + per-message software overhead, ns.
+    pub egress_busy_ns: f64,
+    /// Receiver-port serialization + per-message software overhead, ns.
+    pub ingress_busy_ns: f64,
+    /// Shared source-super-node uplink serialization, ns.
+    pub uplink_busy_ns: f64,
+    /// Shared destination-super-node downlink serialization, ns.
+    pub downlink_busy_ns: f64,
+    /// Messages that never left their node.
+    pub local_msgs: u64,
+    /// Messages confined to one super node.
+    pub intra_msgs: u64,
+    /// Messages that crossed a super-node boundary.
+    pub cross_msgs: u64,
+}
+
+impl TierOccupancy {
+    /// Adds this phase's occupancy to a counter set under the `net.`
+    /// namespace (busy times truncated to whole nanoseconds).
+    pub fn publish(&self, cs: &mut sw_trace::CounterSet) {
+        cs.add("net.egress_busy_ns", self.egress_busy_ns as u64);
+        cs.add("net.ingress_busy_ns", self.ingress_busy_ns as u64);
+        cs.add("net.uplink_busy_ns", self.uplink_busy_ns as u64);
+        cs.add("net.downlink_busy_ns", self.downlink_busy_ns as u64);
+        cs.add("net.local_msgs", self.local_msgs);
+        cs.add("net.intra_msgs", self.intra_msgs);
+        cs.add("net.cross_msgs", self.cross_msgs);
+    }
+}
+
 /// Outcome of simulating a batch of messages that all start at t = 0.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SimOutcome {
@@ -39,6 +77,8 @@ pub struct SimOutcome {
     pub cross_bytes: u64,
     /// Messages simulated.
     pub messages: usize,
+    /// Busy-time breakdown per fat-tree resource class.
+    pub tiers: TierOccupancy,
 }
 
 /// Simulates a phase: every message is injected at its source as soon as
@@ -79,20 +119,24 @@ pub fn simulate_phase_faulty(
 
     let mut makespan = 0.0f64;
     let mut cross_bytes = 0;
+    let mut tiers = TierOccupancy::default();
     for m in messages {
         assert!(m.src < cfg.nodes && m.dst < cfg.nodes, "node out of range");
         let class = classify(cfg, m.src, m.dst);
         let overhead = cfg.per_message_ns + class.hops() as f64 * cfg.hop_latency_ns;
         match class {
             PathClass::Local => {
+                tiers.local_msgs += 1;
                 makespan = makespan.max(overhead);
             }
             PathClass::IntraSupernode => {
+                tiers.intra_msgs += 1;
                 let tier = cfg.supernode_of(m.src) as usize;
                 let ser = m.bytes as f64 / (intra_bw * intra_factor[tier]);
                 // Egress serialization (FIFO per sender).
                 let sent = egress[m.src as usize] + ser + cfg.per_message_ns;
                 egress[m.src as usize] = sent;
+                tiers.egress_busy_ns += ser + cfg.per_message_ns;
                 // Ingress drain overlaps cut-through with the egress: the
                 // port's busy time accumulates (including the receive-side
                 // per-message handling), but a lone message arrives when
@@ -100,9 +144,11 @@ pub fn simulate_phase_faulty(
                 let drained =
                     (ingress[m.dst as usize] + ser + cfg.per_message_ns).max(sent);
                 ingress[m.dst as usize] = drained;
+                tiers.ingress_busy_ns += ser + cfg.per_message_ns;
                 makespan = makespan.max(drained + overhead);
             }
             PathClass::InterSupernode => {
+                tiers.cross_msgs += 1;
                 cross_bytes += m.bytes;
                 let ser_nic = m.bytes as f64 / cfg.nic_gbps;
                 let s_sn = cfg.supernode_of(m.src) as usize;
@@ -115,16 +161,20 @@ pub fn simulate_phase_faulty(
                 // Egress serialization at the NIC.
                 let sent = egress[m.src as usize] + ser_nic + cfg.per_message_ns;
                 egress[m.src as usize] = sent;
+                tiers.egress_busy_ns += ser_nic + cfg.per_message_ns;
                 // Per-node fair share of the over-subscribed uplink, then
                 // the destination super node's downlink, each cut-through.
                 let up_done = (uplink[s_sn] + ser_up).max(sent);
                 uplink[s_sn] = up_done;
+                tiers.uplink_busy_ns += ser_up;
                 let down_done = (downlink[d_sn] + ser_down).max(up_done);
                 downlink[d_sn] = down_done;
+                tiers.downlink_busy_ns += ser_down;
                 // Ingress drain (incl. receive-side message handling).
                 let drained =
                     (ingress[m.dst as usize] + ser_nic + cfg.per_message_ns).max(down_done);
                 ingress[m.dst as usize] = drained;
+                tiers.ingress_busy_ns += ser_nic + cfg.per_message_ns;
                 makespan = makespan.max(drained + overhead);
             }
         }
@@ -133,6 +183,7 @@ pub fn simulate_phase_faulty(
         makespan_ns: makespan,
         cross_bytes,
         messages: messages.len(),
+        tiers,
     }
 }
 
@@ -447,6 +498,31 @@ mod tests {
         // And deterministically: same faults, same makespan.
         let again = simulate_phase_faulty(&c, &msgs, &f);
         assert_eq!(slow, again);
+    }
+
+    #[test]
+    fn tier_occupancy_tracks_path_classes() {
+        let c = cfg(512);
+        let msgs = [
+            SimMessage { src: 3, dst: 3, bytes: 64 },       // local
+            SimMessage { src: 0, dst: 1, bytes: 1 << 16 },  // intra
+            SimMessage { src: 0, dst: 300, bytes: 1 << 16 }, // cross
+        ];
+        let out = simulate_phase(&c, &msgs);
+        assert_eq!(out.tiers.local_msgs, 1);
+        assert_eq!(out.tiers.intra_msgs, 1);
+        assert_eq!(out.tiers.cross_msgs, 1);
+        assert!(out.tiers.egress_busy_ns > 0.0);
+        assert!(out.tiers.ingress_busy_ns > 0.0);
+        assert!(out.tiers.uplink_busy_ns > 0.0, "cross message uses uplink");
+        assert!(out.tiers.downlink_busy_ns > 0.0);
+        // A busy resource never outlives the phase it serialized.
+        assert!(out.tiers.uplink_busy_ns <= out.makespan_ns);
+
+        let mut cs = sw_trace::CounterSet::new();
+        out.tiers.publish(&mut cs);
+        assert_eq!(cs.get("net.cross_msgs"), 1);
+        assert!(cs.get("net.egress_busy_ns") > 0);
     }
 
     #[test]

@@ -1,0 +1,332 @@
+//! Counters and gauges: atomic registry cells for concurrent writers,
+//! plain deterministic maps for merging and export.
+//!
+//! One merge rule serves the whole workspace: a key whose final
+//! dot-separated segment starts with `max_` merges by **maximum**,
+//! every other key merges by **sum**. Encoding the semantics in the
+//! name keeps merge sites trivial (no schema object to thread around)
+//! and makes the rule visible in every exported snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Does `name` merge by maximum rather than by sum?
+pub fn is_max_key(name: &str) -> bool {
+    name.rsplit('.').next().is_some_and(|s| s.starts_with("max_"))
+}
+
+/// An ordered name → value map with deterministic merge and JSON
+/// round-trip. The common currency of every stats producer in the
+/// workspace: `ExchangeStats`, fault counters, network tier occupancy
+/// and chip counters all flatten into one of these.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    vals: BTreeMap<String, u64>,
+}
+
+impl CounterSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to `name` (sum semantics, regardless of the key name).
+    pub fn add(&mut self, name: &str, v: u64) {
+        *self.entry(name) += v;
+    }
+
+    /// Raises `name` to at least `v` (max semantics).
+    pub fn set_max(&mut self, name: &str, v: u64) {
+        let e = self.entry(name);
+        *e = (*e).max(v);
+    }
+
+    /// Overwrites `name` with `v`.
+    pub fn set(&mut self, name: &str, v: u64) {
+        *self.entry(name) = v;
+    }
+
+    /// Folds `v` into `name` using the key's merge rule.
+    pub fn record(&mut self, name: &str, v: u64) {
+        if is_max_key(name) {
+            self.set_max(name, v);
+        } else {
+            self.add(name, v);
+        }
+    }
+
+    /// Current value of `name` (0 if never recorded).
+    pub fn get(&self, name: &str) -> u64 {
+        self.vals.get(name).copied().unwrap_or(0)
+    }
+
+    /// Merges every entry of `other` into `self` under the per-key
+    /// merge rule — the single merge path all backends share.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (k, &v) in &other.vals {
+            self.record(k, v);
+        }
+    }
+
+    /// [`Self::merge`] with `prefix` and a `.` separator prepended to
+    /// every incoming key (namespacing per backend/subsystem in a
+    /// combined snapshot). A trailing `.` on `prefix` is not doubled.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &CounterSet) {
+        let prefix = prefix.strip_suffix('.').unwrap_or(prefix);
+        for (k, &v) in &other.vals {
+            self.record(&format!("{prefix}.{k}"), v);
+        }
+    }
+
+    /// The sub-set of keys starting with `prefix`, prefix stripped.
+    pub fn section(&self, prefix: &str) -> CounterSet {
+        let mut out = CounterSet::new();
+        for (k, &v) in &self.vals {
+            if let Some(rest) = k.strip_prefix(prefix) {
+                out.set(rest, v);
+            }
+        }
+        out
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.vals.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// No keys recorded?
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.vals.clear();
+    }
+
+    /// Serializes as a flat JSON object, one key per line, keys in
+    /// lexicographic order — byte-deterministic, diff-friendly.
+    pub fn to_json(&self) -> String {
+        if self.vals.is_empty() {
+            return "{}".into();
+        }
+        let body: Vec<String> = self
+            .vals
+            .iter()
+            .map(|(k, v)| format!("  \"{}\": {v}", crate::json::escape(k)))
+            .collect();
+        format!("{{\n{}\n}}", body.join(",\n"))
+    }
+
+    /// Parses the [`Self::to_json`] format (any flat object of unsigned
+    /// integers; later duplicate keys win).
+    pub fn from_json(s: &str) -> Result<CounterSet, String> {
+        let mut out = CounterSet::new();
+        for (k, v) in crate::json::parse_flat_u64(s)? {
+            out.set(&k, v);
+        }
+        Ok(out)
+    }
+
+    fn entry(&mut self, name: &str) -> &mut u64 {
+        if !self.vals.contains_key(name) {
+            self.vals.insert(name.to_string(), 0);
+        }
+        self.vals.get_mut(name).expect("just inserted")
+    }
+}
+
+/// A concurrent counter/gauge registry: named atomic cells handed out
+/// as cheap clones, snapshotted into a [`CounterSet`] at export time.
+/// Registration takes a short lock; the cells themselves are
+/// wait-free.
+#[derive(Default)]
+pub struct Registry {
+    cells: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter cell named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter {
+            cell: self.cell(name),
+        }
+    }
+
+    /// The gauge cell named `name`, created on first use. Counters and
+    /// gauges with the same name share the cell.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge {
+            cell: self.cell(name),
+        }
+    }
+
+    /// Folds a finished [`CounterSet`] into the registry under the
+    /// per-key merge rule.
+    pub fn absorb(&self, cs: &CounterSet) {
+        for (k, v) in cs.iter() {
+            if is_max_key(k) {
+                self.gauge(k).record_max(v);
+            } else {
+                self.counter(k).add(v);
+            }
+        }
+    }
+
+    /// Copies every cell's current value.
+    pub fn snapshot(&self) -> CounterSet {
+        let mut out = CounterSet::new();
+        for (k, cell) in self.cells.lock().expect("registry poisoned").iter() {
+            out.set(k, cell.load(Ordering::Relaxed));
+        }
+        out
+    }
+
+    /// Zeroes every cell (handles stay valid).
+    pub fn reset(&self) {
+        for cell in self.cells.lock().expect("registry poisoned").values() {
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn cell(&self, name: &str) -> Arc<AtomicU64> {
+        let mut cells = self.cells.lock().expect("registry poisoned");
+        if let Some(c) = cells.get(name) {
+            return c.clone();
+        }
+        let c = Arc::new(AtomicU64::new(0));
+        cells.insert(name.to_string(), c.clone());
+        c
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("cells", &self.snapshot())
+            .finish()
+    }
+}
+
+/// A wait-free additive counter handle.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `v`.
+    pub fn add(&self, v: u64) {
+        self.cell.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A wait-free gauge handle (set / running maximum).
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to at least `v`.
+    pub fn record_max(&self, v: u64) {
+        self.cell.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_keys_are_named_not_typed() {
+        assert!(is_max_key("exchange.max_send_msgs_per_rank"));
+        assert!(is_max_key("max_x"));
+        assert!(!is_max_key("exchange.messages"));
+        assert!(!is_max_key("pool.climax_events"));
+    }
+
+    #[test]
+    fn merge_respects_per_key_semantics() {
+        let mut a = CounterSet::new();
+        a.add("exchange.bytes", 10);
+        a.set_max("exchange.max_send_bytes_per_rank", 5);
+        let mut b = CounterSet::new();
+        b.add("exchange.bytes", 7);
+        b.set_max("exchange.max_send_bytes_per_rank", 3);
+        a.merge(&b);
+        assert_eq!(a.get("exchange.bytes"), 17);
+        assert_eq!(a.get("exchange.max_send_bytes_per_rank"), 5);
+    }
+
+    #[test]
+    fn sections_and_prefixes_round_trip() {
+        let mut a = CounterSet::new();
+        a.add("net.bytes", 3);
+        a.add("pool.allocs", 1);
+        let mut all = CounterSet::new();
+        all.merge_prefixed("direct.", &a);
+        assert_eq!(all.get("direct.net.bytes"), 3);
+        let sec = all.section("direct.");
+        assert_eq!(sec, a);
+    }
+
+    #[test]
+    fn json_round_trip_is_stable() {
+        let mut a = CounterSet::new();
+        a.add("b", 2);
+        a.add("a", 1);
+        let j = a.to_json();
+        assert_eq!(j, "{\n  \"a\": 1,\n  \"b\": 2\n}");
+        assert_eq!(CounterSet::from_json(&j).unwrap(), a);
+        assert_eq!(CounterSet::new().to_json(), "{}");
+    }
+
+    #[test]
+    fn registry_cells_are_shared_and_snapshotted() {
+        let r = Registry::new();
+        let c = r.counter("hits");
+        let c2 = r.counter("hits");
+        c.add(2);
+        c2.incr();
+        r.gauge("max_depth").record_max(9);
+        r.gauge("max_depth").record_max(4);
+        let snap = r.snapshot();
+        assert_eq!(snap.get("hits"), 3);
+        assert_eq!(snap.get("max_depth"), 9);
+        r.reset();
+        assert_eq!(r.snapshot().get("hits"), 0);
+        assert_eq!(c.get(), 0, "handles observe the reset");
+    }
+}

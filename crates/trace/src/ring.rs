@@ -1,0 +1,202 @@
+//! The lock-free bounded event buffer behind every tracer lane.
+//!
+//! Design constraints, in priority order: a `push` on the hot path must
+//! never block, never allocate, and never perturb the traced code
+//! (bounded memory); overflow must be *counted*, not silently ignored
+//! and not back-pressured. The structure is a claim-counter ring: a
+//! writer claims a slot index with one relaxed `fetch_add`, writes the
+//! event, and publishes it with a release store on the slot's ready
+//! flag. Claims beyond capacity only bump the drop counter — the first
+//! `capacity` events of a run are kept, the tail is dropped, which for
+//! per-level phase spans is the right policy (early levels carry the
+//! structure; a truncated trace is still a valid trace).
+
+use crate::tracer::TraceEvent;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+struct Slot {
+    ready: AtomicBool,
+    ev: UnsafeCell<MaybeUninit<TraceEvent>>,
+}
+
+// SAFETY: a slot is written exactly once per fill cycle, by the single
+// writer that claimed its index from the `claim` counter; readers only
+// dereference the cell after observing `ready == true` with acquire
+// ordering, which happens-after the writer's release store.
+unsafe impl Sync for Slot {}
+
+/// A bounded, lock-free, drop-counting event buffer.
+pub struct EventRing {
+    slots: Box<[Slot]>,
+    /// Next slot index to claim; may run past `slots.len()` (the excess
+    /// is the drop count's twin, but drops are tracked separately so
+    /// resets cannot race a concurrent claim into losing the tally).
+    claim: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    ready: AtomicBool::new(false),
+                    ev: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect(),
+            claim: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records `ev` if a slot is free; never blocks. Returns `false`
+    /// (and counts the drop) on overflow.
+    pub fn push(&self, ev: TraceEvent) -> bool {
+        let idx = self.claim.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = self.slots.get(idx) {
+            // SAFETY: `idx` was claimed exclusively by this writer.
+            unsafe { (*slot.ev.get()).write(ev) };
+            slot.ready.store(true, Ordering::Release);
+            true
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Events dropped on overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Published events (ready slots).
+    pub fn len(&self) -> usize {
+        let claimed = self.claim.load(Ordering::Acquire).min(self.slots.len());
+        self.slots[..claimed]
+            .iter()
+            .filter(|s| s.ready.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// No events recorded?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the published events, in claim order. Non-destructive; a
+    /// slot claimed but not yet published by a still-running writer is
+    /// skipped.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let claimed = self.claim.load(Ordering::Acquire).min(self.slots.len());
+        let mut out = Vec::with_capacity(claimed);
+        for slot in &self.slots[..claimed] {
+            if slot.ready.load(Ordering::Acquire) {
+                // SAFETY: ready was observed with acquire ordering, so
+                // the writer's initialization happens-before this read.
+                out.push(unsafe { (*slot.ev.get()).assume_init() });
+            }
+        }
+        out
+    }
+
+    /// Clears the ring for a fresh run. Must only be called while no
+    /// writer is active (between runs); a push racing a reset may be
+    /// lost but never corrupts memory.
+    pub fn reset(&self) {
+        for slot in self.slots.iter() {
+            slot.ready.store(false, Ordering::Relaxed);
+        }
+        self.claim.store(0, Ordering::Release);
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{EventKind, NO_LEVEL};
+
+    fn ev(ts: u64) -> TraceEvent {
+        TraceEvent {
+            ts_ns: ts,
+            dur_ns: 1,
+            name: "t",
+            cat: "c",
+            kind: EventKind::Span,
+            level: NO_LEVEL,
+            arg: ts,
+        }
+    }
+
+    #[test]
+    fn keeps_first_capacity_events_and_counts_drops() {
+        let r = EventRing::new(3);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let got = r.snapshot();
+        assert_eq!(got.iter().map(|e| e.ts_ns).collect::<Vec<_>>(), [0, 1, 2]);
+    }
+
+    #[test]
+    fn reset_restores_full_capacity() {
+        let r = EventRing::new(2);
+        r.push(ev(1));
+        r.push(ev(2));
+        r.push(ev(3));
+        assert_eq!(r.dropped(), 1);
+        r.reset();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        assert!(r.push(ev(9)));
+        assert_eq!(r.snapshot()[0].ts_ns, 9);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_block_or_lose_the_tally() {
+        let r = std::sync::Arc::new(EventRing::new(64));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        r.push(ev(t * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.len(), 64);
+        assert_eq!(r.dropped(), 400 - 64);
+    }
+
+    #[test]
+    fn zero_capacity_only_counts() {
+        let r = EventRing::new(0);
+        assert!(!r.push(ev(1)));
+        assert_eq!(r.dropped(), 1);
+        assert!(r.snapshot().is_empty());
+    }
+}
