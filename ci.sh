@@ -17,3 +17,10 @@ cargo test -q -p swbfs-core --test chaos
 # committed BENCH_trace.json baseline. Any drift is a real accounting
 # or transport change (re-baseline intentionally with --write).
 cargo run --release -p sw-bench --bin tracecheck
+
+# Regression sentinel: the extended sw-insight snapshot (trace counters
+# + algorithm-kernel sections + mesh utilization + insight analysis +
+# flow-model deviation) against BENCH_insight.json, under per-key
+# tolerance bands (counts exact, timing-flavoured keys 50 permille).
+# Exits non-zero naming the offending keys on any drift.
+cargo run --release -p sw-bench --bin regress

@@ -11,8 +11,9 @@
 //! BC is run on large graphs.
 
 use crate::runtime::AlgoCluster;
-use swbfs_core::messages::EdgeRec;
 use sw_graph::{Csr, EdgeList, Vid};
+use swbfs_core::instrument as ins;
+use swbfs_core::messages::EdgeRec;
 
 /// Per-vertex state of one source's sweep, per rank.
 struct Sweep {
@@ -27,6 +28,11 @@ pub fn betweenness_distributed(cluster: &mut AlgoCluster, sources: &[Vid]) -> Ve
     let ranks = cluster.num_ranks() as usize;
     let n = cluster.num_vertices() as usize;
     let mut bc = vec![0.0f64; n];
+    let tracer = cluster.tracer().cloned();
+    let tr = tracer.as_ref();
+    // One monotone round counter across every source's two sweeps, so
+    // span levels stay unique per exchange like the other kernels.
+    let mut round = 0u32;
 
     for &s in sources {
         let mut sw: Vec<Sweep> = (0..ranks)
@@ -49,11 +55,14 @@ pub fn betweenness_distributed(cluster: &mut AlgoCluster, sources: &[Vid]) -> Ve
         // ---- forward: level-synchronous σ counting ----
         let mut depth = 0i64;
         loop {
+            cluster.set_round(round);
             // Frontier vertices send (neighbor, sigma) to owners.
             let mut out = cluster.lend_outboxes();
             let mut local: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ranks];
             let mut any = false;
             for r in 0..ranks {
+                let t0 = ins::span_begin(tr);
+                let mut produced = 0u64;
                 let csr = &cluster.csrs[r];
                 for i in 0..sw[r].level.len() {
                     if sw[r].level[i] != depth {
@@ -62,6 +71,7 @@ pub fn betweenness_distributed(cluster: &mut AlgoCluster, sources: &[Vid]) -> Ve
                     any = true;
                     let sg = sw[r].sigma[i];
                     for &v in csr.neighbors_local(i) {
+                        produced += 1;
                         let owner = cluster.part.owner(v) as usize;
                         if owner == r {
                             local[r].push((cluster.part.to_local(v) as usize, sg));
@@ -76,12 +86,14 @@ pub fn betweenness_distributed(cluster: &mut AlgoCluster, sources: &[Vid]) -> Ve
                         }
                     }
                 }
+                ins::span_end(tr, r, ins::SPAN_GEN, ins::CAT_COMPUTE, round, t0, produced);
             }
             if !any {
                 break;
             }
             let inboxes = cluster.exchange_round(out);
             for r in 0..ranks {
+                let t0 = ins::span_begin(tr);
                 let apply = |sw: &mut Sweep, vl: usize, sg: f64| {
                     if sw.level[vl] == -1 {
                         sw.level[vl] = depth + 1;
@@ -100,9 +112,19 @@ pub fn betweenness_distributed(cluster: &mut AlgoCluster, sources: &[Vid]) -> Ve
                         f64::from_bits(rec.v),
                     );
                 }
+                ins::span_end(
+                    tr,
+                    r,
+                    ins::SPAN_HANDLE,
+                    ins::CAT_COMPUTE,
+                    round,
+                    t0,
+                    (local[r].len() + inboxes[r].len()) as u64,
+                );
             }
             cluster.recycle_inboxes(inboxes);
             depth += 1;
+            round += 1;
         }
 
         // ---- backward: δ accumulation from the deepest level up ----
@@ -112,9 +134,12 @@ pub fn betweenness_distributed(cluster: &mut AlgoCluster, sources: &[Vid]) -> Ve
             // does not know sigma[u], so it ships (u, (1+delta[v])/sigma[v])
             // and the owner multiplies by its sigma[u] — but only for true
             // predecessors, which the owner checks by level.
+            cluster.set_round(round);
             let mut out = cluster.lend_outboxes();
             let mut local: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ranks];
             for r in 0..ranks {
+                let t0 = ins::span_begin(tr);
+                let mut produced = 0u64;
                 let csr = &cluster.csrs[r];
                 for i in 0..sw[r].level.len() {
                     if sw[r].level[i] != d {
@@ -122,6 +147,7 @@ pub fn betweenness_distributed(cluster: &mut AlgoCluster, sources: &[Vid]) -> Ve
                     }
                     let coeff = (1.0 + sw[r].delta[i]) / sw[r].sigma[i];
                     for &u in csr.neighbors_local(i) {
+                        produced += 1;
                         let owner = cluster.part.owner(u) as usize;
                         if owner == r {
                             local[r].push((cluster.part.to_local(u) as usize, coeff));
@@ -136,9 +162,11 @@ pub fn betweenness_distributed(cluster: &mut AlgoCluster, sources: &[Vid]) -> Ve
                         }
                     }
                 }
+                ins::span_end(tr, r, ins::SPAN_GEN, ins::CAT_COMPUTE, round, t0, produced);
             }
             let inboxes = cluster.exchange_round(out);
             for r in 0..ranks {
+                let t0 = ins::span_begin(tr);
                 let apply = |sw: &mut Sweep, ul: usize, coeff: f64| {
                     if sw.level[ul] == d - 1 {
                         sw.delta[ul] += sw.sigma[ul] * coeff;
@@ -154,8 +182,18 @@ pub fn betweenness_distributed(cluster: &mut AlgoCluster, sources: &[Vid]) -> Ve
                         f64::from_bits(rec.v),
                     );
                 }
+                ins::span_end(
+                    tr,
+                    r,
+                    ins::SPAN_HANDLE,
+                    ins::CAT_COMPUTE,
+                    round,
+                    t0,
+                    (local[r].len() + inboxes[r].len()) as u64,
+                );
             }
             cluster.recycle_inboxes(inboxes);
+            round += 1;
         }
 
         // Accumulate (excluding the source; halve for undirected pairs).

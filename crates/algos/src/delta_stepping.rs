@@ -11,9 +11,11 @@
 
 use crate::runtime::{edge_weight, AlgoCluster};
 use crate::sssp::INF;
+use sw_graph::Vid;
+use sw_trace::Tracer;
+use swbfs_core::instrument as ins;
 use swbfs_core::messages::EdgeRec;
 use swbfs_core::modules::Outboxes;
-use sw_graph::Vid;
 
 /// Runs Δ-stepping from `root` with synthetic weights in `1..=max_weight`
 /// and bucket width `delta`. Returns per-vertex distances.
@@ -40,13 +42,19 @@ pub fn sssp_delta_stepping(
         pending[r][l] = true;
     }
 
+    let tracer = cluster.tracer().cloned();
+    let tr = tracer.as_ref();
+    let mut round = 0u32;
     let mut bucket = 0u64;
     loop {
         // --- light-edge phases within the current bucket ---
         loop {
+            cluster.set_round(round);
             let mut out = cluster.lend_outboxes();
             let mut any = false;
             for r in 0..ranks {
+                let t0 = ins::span_begin(tr);
+                let mut produced = 0u64;
                 let csr = &cluster.csrs[r];
                 let (start, _) = cluster.part.range(r as u32);
                 for i in 0..dist[r].len() {
@@ -64,6 +72,7 @@ pub fn sssp_delta_stepping(
                         if w > delta {
                             continue;
                         }
+                        produced += 1;
                         relax(
                             cluster,
                             &mut dist,
@@ -76,19 +85,32 @@ pub fn sssp_delta_stepping(
                         );
                     }
                 }
+                ins::span_end(tr, r, ins::SPAN_GEN, ins::CAT_COMPUTE, round, t0, produced);
             }
             if !any {
                 break;
             }
             let inboxes = cluster.exchange_round(out);
-            apply(cluster, &mut dist, &mut pending, &inboxes, (bucket + 1) * delta);
+            apply(
+                cluster,
+                &mut dist,
+                &mut pending,
+                &inboxes,
+                (bucket + 1) * delta,
+                tr,
+                round,
+            );
             cluster.recycle_inboxes(inboxes);
+            round += 1;
         }
 
         // --- heavy-edge phase: every settled vertex of this bucket fires
         // its heavy edges once ---
+        cluster.set_round(round);
         let mut out = cluster.lend_outboxes();
         for r in 0..ranks {
+            let t0 = ins::span_begin(tr);
+            let mut produced = 0u64;
             let csr = &cluster.csrs[r];
             let (start, _) = cluster.part.range(r as u32);
             for i in 0..dist[r].len() {
@@ -102,15 +124,18 @@ pub fn sssp_delta_stepping(
                     if w <= delta {
                         continue;
                     }
+                    produced += 1;
                     // Heavy targets land in future buckets; the bucket
                     // advance re-marks them, so no horizon here.
                     relax(cluster, &mut dist, &mut pending, &mut out, r, v, du + w, 0);
                 }
             }
+            ins::span_end(tr, r, ins::SPAN_GEN, ins::CAT_COMPUTE, round, t0, produced);
         }
         let inboxes = cluster.exchange_round(out);
-        apply(cluster, &mut dist, &mut pending, &inboxes, 0);
+        apply(cluster, &mut dist, &mut pending, &inboxes, 0, tr, round);
         cluster.recycle_inboxes(inboxes);
+        round += 1;
 
         // --- advance to the next non-empty bucket ---
         let mut next = u64::MAX;
@@ -173,14 +198,18 @@ fn relax(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn apply(
     cluster: &AlgoCluster,
     dist: &mut [Vec<u64>],
     pending: &mut [Vec<bool>],
     inboxes: &[Vec<EdgeRec>],
     light_horizon: u64,
+    tr: Option<&Tracer>,
+    round: u32,
 ) {
     for (r, inbox) in inboxes.iter().enumerate() {
+        let t0 = ins::span_begin(tr);
         for rec in inbox {
             let vl = cluster.part.to_local(rec.u) as usize;
             if rec.v < dist[r][vl] {
@@ -190,6 +219,15 @@ fn apply(
                 }
             }
         }
+        ins::span_end(
+            tr,
+            r,
+            ins::SPAN_HANDLE,
+            ins::CAT_COMPUTE,
+            round,
+            t0,
+            inbox.len() as u64,
+        );
     }
 }
 

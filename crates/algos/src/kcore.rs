@@ -8,6 +8,7 @@
 
 use crate::runtime::AlgoCluster;
 use sw_graph::{Csr, EdgeList};
+use swbfs_core::instrument as ins;
 use swbfs_core::messages::EdgeRec;
 
 /// Runs distributed k-core; returns a boolean per vertex: true iff the
@@ -31,11 +32,17 @@ pub fn kcore_distributed(cluster: &mut AlgoCluster, k: u64) -> Vec<bool> {
         .collect();
     let mut alive: Vec<Vec<bool>> = deg.iter().map(|d| vec![true; d.len()]).collect();
 
+    let tracer = cluster.tracer().cloned();
+    let tr = tracer.as_ref();
+    let mut round = 0u32;
     loop {
+        cluster.set_round(round);
         // Peel everything currently below threshold.
         let mut out = cluster.lend_outboxes();
         let mut peeled_any = false;
         for r in 0..ranks {
+            let t0 = ins::span_begin(tr);
+            let mut produced = 0u64;
             let csr = &cluster.csrs[r];
             let (start, _) = cluster.part.range(r as u32);
             for i in 0..deg[r].len() {
@@ -47,6 +54,7 @@ pub fn kcore_distributed(cluster: &mut AlgoCluster, k: u64) -> Vec<bool> {
                         if v == u {
                             continue;
                         }
+                        produced += 1;
                         let owner = cluster.part.owner(v) as usize;
                         if owner == r {
                             // Local decrement applies immediately (and may
@@ -60,6 +68,7 @@ pub fn kcore_distributed(cluster: &mut AlgoCluster, k: u64) -> Vec<bool> {
                     }
                 }
             }
+            ins::span_end(tr, r, ins::SPAN_GEN, ins::CAT_COMPUTE, round, t0, produced);
         }
         if !peeled_any {
             break;
@@ -69,12 +78,23 @@ pub fn kcore_distributed(cluster: &mut AlgoCluster, k: u64) -> Vec<bool> {
         // self, which the exchange forbids, so subtract them inline).
         let inboxes = cluster.exchange_round(out);
         for (r, inbox) in inboxes.iter().enumerate() {
+            let t0 = ins::span_begin(tr);
             for rec in inbox {
                 let vl = cluster.part.to_local(rec.u) as usize;
                 deg[r][vl] = deg[r][vl].saturating_sub(rec.v);
             }
+            ins::span_end(
+                tr,
+                r,
+                ins::SPAN_HANDLE,
+                ins::CAT_COMPUTE,
+                round,
+                t0,
+                inbox.len() as u64,
+            );
         }
         cluster.recycle_inboxes(inboxes);
+        round += 1;
     }
 
     let mut result = vec![false; n];

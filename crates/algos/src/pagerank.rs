@@ -8,6 +8,7 @@
 
 use crate::runtime::AlgoCluster;
 use sw_graph::Vid;
+use swbfs_core::instrument as ins;
 use swbfs_core::messages::EdgeRec;
 
 /// Damping factor used by the standard formulation.
@@ -22,13 +23,18 @@ pub fn pagerank_distributed(cluster: &mut AlgoCluster, iterations: u32) -> Vec<f
     let mut score: Vec<Vec<f64>> = (0..ranks)
         .map(|r| vec![1.0 / n as f64; cluster.part.owned_count(r as u32) as usize])
         .collect();
+    let tracer = cluster.tracer().cloned();
+    let tr = tracer.as_ref();
 
-    for _ in 0..iterations {
+    for round in 0..iterations {
+        cluster.set_round(round);
         // Generate contributions.
         let mut out = cluster.lend_outboxes();
         let mut local_acc: Vec<Vec<f64>> = score.iter().map(|s| vec![0.0; s.len()]).collect();
         let mut dangling = 0.0;
         for r in 0..ranks {
+            let t0 = ins::span_begin(tr);
+            let mut produced = 0u64;
             let csr = &cluster.csrs[r];
             for (i, &sc) in score[r].iter().enumerate() {
                 let deg = csr.degree_local(i);
@@ -38,6 +44,7 @@ pub fn pagerank_distributed(cluster: &mut AlgoCluster, iterations: u32) -> Vec<f
                 }
                 let contrib = sc / deg as f64;
                 for &v in csr.neighbors_local(i) {
+                    produced += 1;
                     let owner = cluster.part.owner(v) as usize;
                     if owner == r {
                         local_acc[r][cluster.part.to_local(v) as usize] += contrib;
@@ -52,13 +59,24 @@ pub fn pagerank_distributed(cluster: &mut AlgoCluster, iterations: u32) -> Vec<f
                     }
                 }
             }
+            ins::span_end(tr, r, ins::SPAN_GEN, ins::CAT_COMPUTE, round, t0, produced);
         }
         // Exchange and reduce.
         let inboxes = cluster.exchange_round(out);
         for (r, inbox) in inboxes.iter().enumerate() {
+            let t0 = ins::span_begin(tr);
             for rec in inbox {
                 local_acc[r][cluster.part.to_local(rec.u) as usize] += f64::from_bits(rec.v);
             }
+            ins::span_end(
+                tr,
+                r,
+                ins::SPAN_HANDLE,
+                ins::CAT_COMPUTE,
+                round,
+                t0,
+                inbox.len() as u64,
+            );
         }
         cluster.recycle_inboxes(inboxes);
         // Apply damping + dangling redistribution.

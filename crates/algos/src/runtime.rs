@@ -3,12 +3,14 @@
 
 use rayon::prelude::*;
 use sw_graph::{Csr, EdgeList, Partition1D, Vid};
+use sw_net::GroupLayout;
+use sw_trace::{CounterSet, Tracer};
 use swbfs_core::arena::ExchangeArena;
 use swbfs_core::config::Messaging;
 use swbfs_core::exchange::{Codec, ExchangeStats};
+use swbfs_core::instrument as ins;
 use swbfs_core::messages::EdgeRec;
 use swbfs_core::modules::Outboxes;
-use sw_net::GroupLayout;
 
 /// A cluster of ranks for shuffle-shaped graph kernels.
 pub struct AlgoCluster {
@@ -25,6 +27,14 @@ pub struct AlgoCluster {
     /// Pooled exchange buffers shared by every round of every kernel run
     /// on this cluster.
     arena: ExchangeArena,
+    /// Optional span recorder (same `Option<&Tracer>` hooks as the BFS
+    /// backends; a `None` costs one discriminant check per phase).
+    tracer: Option<Tracer>,
+    /// Canonical flattened counters (`exchange.*`/`pool.*`/`faults.*`),
+    /// merged through `absorb_exchange` like every BFS backend.
+    metrics: CounterSet,
+    /// Current algorithm round, used as the span level tag.
+    round: u32,
 }
 
 impl AlgoCluster {
@@ -47,7 +57,43 @@ impl AlgoCluster {
             messaging,
             stats: ExchangeStats::default(),
             arena: ExchangeArena::new(ranks as usize),
+            tracer: None,
+            metrics: CounterSet::new(),
+            round: 0,
         }
+    }
+
+    /// Arms (or disarms) span/counter recording. Also arms the pooled
+    /// arena, so exchange rounds record `bucket`/`deliver` spans on the
+    /// rank lanes exactly like the BFS backends.
+    pub fn set_tracer(&mut self, t: Option<Tracer>) {
+        self.arena.set_tracer(t.clone());
+        self.tracer = t;
+    }
+
+    /// The armed tracer, if any (kernels clone this cheap handle once
+    /// per run to keep borrows of the cluster free).
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Canonical flattened counters accumulated by
+    /// [`Self::exchange_round`] — the same `exchange.*`/`pool.*`/
+    /// `faults.*` key set the BFS backends report.
+    pub fn metrics(&self) -> &CounterSet {
+        &self.metrics
+    }
+
+    /// Tags subsequent spans (including the arena's bucket/deliver
+    /// spans) with algorithm round `round` as the level.
+    pub fn set_round(&mut self, round: u32) {
+        self.round = round;
+        self.arena.set_trace_level(round);
+    }
+
+    /// The current round set by [`Self::set_round`].
+    pub fn round(&self) -> u32 {
+        self.round
     }
 
     /// Number of ranks.
@@ -67,6 +113,7 @@ impl AlgoCluster {
             .arena
             .exchange(self.messaging, out, &self.layout, Codec::Fixed(16));
         self.stats.absorb(&st);
+        ins::absorb_exchange(&mut self.metrics, &st);
         inboxes.par_iter_mut().for_each(|b| b.sort_unstable());
         inboxes
     }

@@ -11,6 +11,7 @@
 use crate::runtime::{edge_weight, AlgoCluster};
 use std::collections::BinaryHeap;
 use sw_graph::{Csr, EdgeList, Vid};
+use swbfs_core::instrument as ins;
 use swbfs_core::messages::EdgeRec;
 
 /// Unreachable marker.
@@ -33,10 +34,16 @@ pub fn sssp_distributed(cluster: &mut AlgoCluster, root: Vid, max_weight: u64) -
         dirty[r][l] = true;
     }
 
+    let tracer = cluster.tracer().cloned();
+    let tr = tracer.as_ref();
+    let mut round = 0u32;
     loop {
+        cluster.set_round(round);
         let mut out = cluster.lend_outboxes();
         let mut any = false;
         for r in 0..ranks {
+            let t0 = ins::span_begin(tr);
+            let mut produced = 0u64;
             let csr = &cluster.csrs[r];
             let (start, _) = cluster.part.range(r as u32);
             for i in 0..dist[r].len() {
@@ -47,6 +54,7 @@ pub fn sssp_distributed(cluster: &mut AlgoCluster, root: Vid, max_weight: u64) -
                 let du = dist[r][i];
                 let u = start + i as Vid;
                 for &v in csr.neighbors_local(i) {
+                    produced += 1;
                     let cand = du + edge_weight(u, v, max_weight);
                     let owner = cluster.part.owner(v) as usize;
                     if owner == r {
@@ -60,12 +68,14 @@ pub fn sssp_distributed(cluster: &mut AlgoCluster, root: Vid, max_weight: u64) -
                     }
                 }
             }
+            ins::span_end(tr, r, ins::SPAN_GEN, ins::CAT_COMPUTE, round, t0, produced);
         }
         if !any {
             break;
         }
         let inboxes = cluster.exchange_round(out);
         for (r, inbox) in inboxes.iter().enumerate() {
+            let t0 = ins::span_begin(tr);
             for rec in inbox {
                 let vl = cluster.part.to_local(rec.u) as usize;
                 if rec.v < dist[r][vl] {
@@ -73,8 +83,18 @@ pub fn sssp_distributed(cluster: &mut AlgoCluster, root: Vid, max_weight: u64) -
                     dirty[r][vl] = true;
                 }
             }
+            ins::span_end(
+                tr,
+                r,
+                ins::SPAN_HANDLE,
+                ins::CAT_COMPUTE,
+                round,
+                t0,
+                inbox.len() as u64,
+            );
         }
         cluster.recycle_inboxes(inboxes);
+        round += 1;
     }
 
     let mut result = vec![INF; n];

@@ -9,6 +9,7 @@
 
 use crate::runtime::AlgoCluster;
 use sw_graph::{Csr, EdgeList, Vid};
+use swbfs_core::instrument as ins;
 use swbfs_core::messages::EdgeRec;
 
 /// Runs distributed WCC; returns the per-vertex component label.
@@ -24,12 +25,18 @@ pub fn wcc_distributed(cluster: &mut AlgoCluster) -> Vec<Vid> {
         })
         .collect();
     let mut dirty: Vec<Vec<bool>> = labels.iter().map(|l| vec![true; l.len()]).collect();
+    let tracer = cluster.tracer().cloned();
+    let tr = tracer.as_ref();
 
+    let mut round = 0u32;
     loop {
+        cluster.set_round(round);
         // Generate: every dirty vertex offers its label to all neighbours.
         let mut out = cluster.lend_outboxes();
         let mut any = false;
         for r in 0..ranks {
+            let t0 = ins::span_begin(tr);
+            let mut produced = 0u64;
             let csr = &cluster.csrs[r];
             for i in 0..labels[r].len() {
                 if !std::mem::replace(&mut dirty[r][i], false) {
@@ -38,6 +45,7 @@ pub fn wcc_distributed(cluster: &mut AlgoCluster) -> Vec<Vid> {
                 any = true;
                 let lab = labels[r][i];
                 for &v in csr.neighbors_local(i) {
+                    produced += 1;
                     let owner = cluster.part.owner(v) as usize;
                     if owner == r {
                         // Local apply.
@@ -51,6 +59,7 @@ pub fn wcc_distributed(cluster: &mut AlgoCluster) -> Vec<Vid> {
                     }
                 }
             }
+            ins::span_end(tr, r, ins::SPAN_GEN, ins::CAT_COMPUTE, round, t0, produced);
         }
         if !any {
             break;
@@ -58,6 +67,7 @@ pub fn wcc_distributed(cluster: &mut AlgoCluster) -> Vec<Vid> {
         // Exchange + apply minima.
         let inboxes = cluster.exchange_round(out);
         for (r, inbox) in inboxes.iter().enumerate() {
+            let t0 = ins::span_begin(tr);
             for rec in inbox {
                 let vl = cluster.part.to_local(rec.u) as usize;
                 if rec.v < labels[r][vl] {
@@ -65,8 +75,18 @@ pub fn wcc_distributed(cluster: &mut AlgoCluster) -> Vec<Vid> {
                     dirty[r][vl] = true;
                 }
             }
+            ins::span_end(
+                tr,
+                r,
+                ins::SPAN_HANDLE,
+                ins::CAT_COMPUTE,
+                round,
+                t0,
+                inbox.len() as u64,
+            );
         }
         cluster.recycle_inboxes(inboxes);
+        round += 1;
     }
 
     let mut result = vec![0; n];

@@ -9,6 +9,7 @@
 //! enough for regression tracking: times truncate to whole nanoseconds,
 //! rates are published in MB/s.
 
+use crate::config::ChipConfig;
 use crate::cyclesim::CycleReport;
 use crate::dma::DmaEngine;
 use crate::shuffle::ShuffleReport;
@@ -25,6 +26,24 @@ pub fn publish_cycle_report(cs: &mut CounterSet, rep: &CycleReport) {
         "arch.mesh.max_throughput_mbps",
         (rep.throughput_gbps * 1000.0) as u64,
     );
+}
+
+/// Derived mesh utilization for bottleneck attribution: achieved
+/// throughput as a permille of one register link's line rate, and
+/// delivered flits per kilocycle. Both merge by maximum — a run's
+/// utilization is its busiest phase, not an average diluted by idle
+/// ones.
+pub fn publish_mesh_utilization(cs: &mut CounterSet, cfg: &ChipConfig, rep: &CycleReport) {
+    let link = cfg.reg_link_gbps();
+    if link > 0.0 {
+        cs.record(
+            "arch.mesh.max_util_permille",
+            (rep.throughput_gbps / link * 1000.0) as u64,
+        );
+    }
+    if let Some(per_kcycle) = (rep.delivered * 1000).checked_div(rep.cycles) {
+        cs.record("arch.mesh.max_flits_per_kcycle", per_kcycle);
+    }
 }
 
 /// Adds a shuffle run: moved bytes and simulated time sum, the busiest
@@ -85,6 +104,29 @@ mod tests {
         assert_eq!(cs.get("arch.mesh.flits_delivered"), 96);
         assert_eq!(cs.get("arch.mesh.max_in_flight"), 14, "max, not sum");
         assert_eq!(cs.get("arch.mesh.max_throughput_mbps"), 2000);
+    }
+
+    #[test]
+    fn mesh_utilization_is_a_maximum_gauge() {
+        let mut cs = CounterSet::new();
+        let cfg = ChipConfig::sw26010();
+        let link = cfg.reg_link_gbps();
+        let busy = CycleReport {
+            cycles: 1000,
+            delivered: 800,
+            peak_in_flight: 20,
+            throughput_gbps: link / 2.0,
+        };
+        let idle = CycleReport {
+            cycles: 1000,
+            delivered: 10,
+            peak_in_flight: 1,
+            throughput_gbps: link / 100.0,
+        };
+        publish_mesh_utilization(&mut cs, &cfg, &busy);
+        publish_mesh_utilization(&mut cs, &cfg, &idle);
+        assert_eq!(cs.get("arch.mesh.max_util_permille"), 500, "max, not sum");
+        assert_eq!(cs.get("arch.mesh.max_flits_per_kcycle"), 800);
     }
 
     #[test]

@@ -4,52 +4,53 @@
 //! threaded backend under Direct and Relay messaging, the channel
 //! backend, the network event simulator's tier occupancy, and the chip
 //! simulator's mesh/DMA/SPM counters — collects everything into one
-//! [`CounterSet`], and diffs it against the committed
-//! `BENCH_trace.json`. Every value is derived from virtual work
-//! (records, edges, model nanoseconds), never from wall clocks, so on
-//! a given platform the snapshot is reproducible and any drift is a
+//! [`CounterSet`](sw_trace::CounterSet), and diffs it against the
+//! committed `BENCH_trace.json`. Every value is derived from virtual
+//! work (records, edges, model nanoseconds), never from wall clocks, so
+//! on a given platform the snapshot is reproducible and any drift is a
 //! real behavioural change: an accounting bug, a transport regression,
 //! or an intentional improvement (re-baseline with `--write`).
 //!
 //! ```text
-//! tracecheck [--write] [--baseline PATH] [--threshold PCT]
+//! tracecheck [--write [--force]] [--baseline PATH] [--threshold PCT]
 //!            [--chrome PATH] [--table] [--scale N] [--ranks N] [--seed S]
 //! ```
 //!
-//! Exits non-zero when a counter is missing on either side or deviates
-//! from the baseline by more than `--threshold` percent (default 5).
+//! On mismatch prints a keyed unified diff (baseline vs measured, one
+//! hunk per offending counter) and exits non-zero. `--write` refuses
+//! to overwrite a committed baseline from a dirty git worktree unless
+//! `--force` is given, so re-baselines stay attributable to a commit.
 
 use std::fs;
 use std::process::ExitCode;
 
-use sw_arch::{metrics as arch_metrics, ChipConfig, CpeId, CycleSim, DmaEngine, ShuffleLayout, Spm};
+use sw_bench::snapshot::{
+    collect_trace, diff_snapshot, guard_baseline_overwrite, ToleranceBands, Workload,
+};
 use sw_graph::{generate_kronecker, KroneckerConfig};
-use sw_net::{simulate_phase, NetworkConfig, SimMessage};
 use sw_trace::json::parse_flat_u64;
-use sw_trace::{ClockDomain, CounterSet, Tracer};
-use swbfs_core::{BfsConfig, ChannelCluster, Messaging, ThreadedCluster};
+use sw_trace::{ClockDomain, Tracer};
+use swbfs_core::{BfsConfig, Messaging, ThreadedCluster};
 
 struct Opts {
     write: bool,
+    force: bool,
     baseline: String,
     threshold: f64,
     chrome: Option<String>,
     table: bool,
-    scale: u32,
-    ranks: u32,
-    seed: u64,
+    workload: Workload,
 }
 
 fn parse_opts() -> Result<Opts, String> {
     let mut o = Opts {
         write: false,
+        force: false,
         baseline: "BENCH_trace.json".to_string(),
         threshold: 5.0,
         chrome: None,
         table: false,
-        scale: 14,
-        ranks: 8,
-        seed: 42,
+        workload: Workload::default(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -59,6 +60,7 @@ fn parse_opts() -> Result<Opts, String> {
         };
         match a.as_str() {
             "--write" => o.write = true,
+            "--force" => o.force = true,
             "--table" => o.table = true,
             "--baseline" => o.baseline = val("--baseline")?,
             "--chrome" => o.chrome = Some(val("--chrome")?),
@@ -68,17 +70,17 @@ fn parse_opts() -> Result<Opts, String> {
                     .map_err(|e| format!("bad --threshold: {e}"))?
             }
             "--scale" => {
-                o.scale = val("--scale")?
+                o.workload.scale = val("--scale")?
                     .parse()
                     .map_err(|e| format!("bad --scale: {e}"))?
             }
             "--ranks" => {
-                o.ranks = val("--ranks")?
+                o.workload.ranks = val("--ranks")?
                     .parse()
                     .map_err(|e| format!("bad --ranks: {e}"))?
             }
             "--seed" => {
-                o.seed = val("--seed")?
+                o.workload.seed = val("--seed")?
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?
             }
@@ -86,78 +88,6 @@ fn parse_opts() -> Result<Opts, String> {
         }
     }
     Ok(o)
-}
-
-/// The fixed workload: every layer contributes a namespaced section.
-fn collect(o: &Opts) -> CounterSet {
-    let mut combined = CounterSet::new();
-    let el = generate_kronecker(&KroneckerConfig::graph500(o.scale, o.seed));
-    let root = 1u64;
-
-    // Threaded backend, both transports, traced in the virtual-work
-    // domain so the event totals themselves are checkable numbers.
-    for (prefix, messaging) in [("direct", Messaging::Direct), ("relay", Messaging::Relay)] {
-        let cfg = BfsConfig::threaded_small(4).with_messaging(messaging);
-        let mut cluster = ThreadedCluster::new(&el, o.ranks, cfg).expect("cluster setup");
-        let tracer = Tracer::for_ranks(ClockDomain::VirtualWork, o.ranks as usize, 1 << 15);
-        cluster.set_tracer(Some(tracer.clone()));
-        cluster.run(root).expect("BFS run");
-        combined.merge_prefixed(prefix, cluster.metrics());
-        combined.set(
-            &format!("{prefix}.trace.events"),
-            tracer.recorded_events() as u64,
-        );
-        combined.set(&format!("{prefix}.trace.dropped"), tracer.dropped_events());
-        if o.table && messaging == Messaging::Relay {
-            println!("{}", tracer.report().level_table());
-        }
-    }
-
-    // The channel backend on the same graph (Direct mesh).
-    let cfg = BfsConfig::threaded_small(4).with_messaging(Messaging::Direct);
-    let mut chans = ChannelCluster::new(&el, o.ranks, cfg).expect("channel setup");
-    chans.run(root).expect("channel BFS run");
-    combined.merge_prefixed("channels", chans.metrics());
-
-    // Network event simulator: a fixed mixed intra/cross phase.
-    let net = NetworkConfig::taihulight(512);
-    let msgs: Vec<SimMessage> = (0..256u32)
-        .map(|i| SimMessage {
-            src: i,
-            dst: (i * 7 + 13) % 512,
-            bytes: 1 << 14,
-        })
-        .collect();
-    let sim = simulate_phase(&net, &msgs);
-    sim.tiers.publish(&mut combined);
-    combined.set("net.makespan_ns", sim.makespan_ns as u64);
-    combined.set("net.cross_bytes", sim.cross_bytes);
-
-    // Chip simulator: mesh cycle-sim, DMA calibration, SPM pressure.
-    let chip = ChipConfig::sw26010();
-    let rep = CycleSim::new(chip, ShuffleLayout::paper_default())
-        .expect("cycle sim setup")
-        .run(64, 1, 1)
-        .expect("cycle sim run");
-    arch_metrics::publish_cycle_report(&mut combined, &rep);
-    arch_metrics::publish_dma(&mut combined, &DmaEngine::new(chip));
-    let mut spm = Spm::new(CpeId::new(0, 0), 64 * 1024);
-    spm.alloc("tracecheck staging", 48 * 1024).expect("spm alloc");
-    arch_metrics::publish_spm(&mut combined, &spm);
-
-    // Optional Chrome export: a wall-domain Relay run so transport
-    // artifacts (relay forwarding spans) are visible per rank lane.
-    if let Some(path) = &o.chrome {
-        let cfg = BfsConfig::threaded_small(4).with_messaging(Messaging::Relay);
-        let mut cluster = ThreadedCluster::new(&el, o.ranks, cfg).expect("cluster setup");
-        let tracer = Tracer::for_ranks(ClockDomain::Wall, o.ranks as usize, 1 << 15);
-        cluster.set_tracer(Some(tracer.clone()));
-        cluster.run(root).expect("BFS run");
-        fs::write(path, tracer.report().chrome_trace_json()).expect("write chrome trace");
-        eprintln!("wrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
-    }
-
-    combined
 }
 
 fn main() -> ExitCode {
@@ -168,17 +98,42 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let current = collect(&o);
+    let (current, relay_report) = collect_trace(&o.workload);
+    if o.table {
+        println!("{}", relay_report.level_table());
+    }
+
+    // Optional Chrome export: a wall-domain Relay run so transport
+    // artifacts (relay forwarding spans) are visible per rank lane.
+    if let Some(path) = &o.chrome {
+        let el = generate_kronecker(&KroneckerConfig::graph500(
+            o.workload.scale,
+            o.workload.seed,
+        ));
+        let cfg = BfsConfig::threaded_small(4).with_messaging(Messaging::Relay);
+        let mut cluster =
+            ThreadedCluster::new(&el, o.workload.ranks, cfg).expect("cluster setup");
+        let tracer =
+            Tracer::for_ranks(ClockDomain::Wall, o.workload.ranks as usize, 1 << 15);
+        cluster.set_tracer(Some(tracer.clone()));
+        cluster.run(1).expect("BFS run");
+        fs::write(path, tracer.report().chrome_trace_json()).expect("write chrome trace");
+        eprintln!("wrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
+    }
 
     if o.write {
+        if let Err(e) = guard_baseline_overwrite(&o.baseline, o.force) {
+            eprintln!("tracecheck: {e}");
+            return ExitCode::FAILURE;
+        }
         fs::write(&o.baseline, current.to_json() + "\n").expect("write baseline");
         println!(
             "wrote {} counters to {} (scale {}, {} ranks, seed {})",
             current.len(),
             o.baseline,
-            o.scale,
-            o.ranks,
-            o.seed
+            o.workload.scale,
+            o.workload.ranks,
+            o.workload.seed
         );
         return ExitCode::SUCCESS;
     }
@@ -201,41 +156,30 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut failures = 0usize;
-    let mut checked = 0usize;
-    for (k, base) in &baseline {
-        let cur = current.get(k);
-        if current.iter().all(|(ck, _)| ck != k) {
-            println!("MISSING  {k}: in baseline ({base}) but not measured");
-            failures += 1;
-            continue;
-        }
-        checked += 1;
-        let denom = (*base).max(1) as f64;
-        let drift = (cur as f64 - *base as f64).abs() / denom * 100.0;
-        if drift > o.threshold {
-            println!(
-                "DRIFT    {k}: {cur} vs baseline {base} ({drift:.1}% > {:.1}%)",
-                o.threshold
-            );
-            failures += 1;
-        }
-    }
-    for (k, v) in current.iter() {
-        if baseline.iter().all(|(bk, _)| bk != k) {
-            println!("NEW      {k}: measured {v} but absent from baseline (re-run with --write)");
-            failures += 1;
-        }
-    }
+    // The historical interface is a uniform percent threshold; express
+    // it as the default band (percent → permille).
+    let bands = uniform_bands(o.threshold);
+    let diff = diff_snapshot(&baseline, &current, &bands);
 
-    if failures > 0 {
-        println!("tracecheck: {failures} failure(s) over {checked} checked counters");
+    if diff.failures() > 0 {
+        print!("{}", diff.unified_diff(&o.baseline));
+        println!(
+            "tracecheck: {} failure(s) over {} checked counters: {}",
+            diff.failures(),
+            diff.checked,
+            diff.offending_keys().join(", ")
+        );
         ExitCode::FAILURE
     } else {
         println!(
-            "tracecheck: {checked} counters within {:.1}% of {}",
-            o.threshold, o.baseline
+            "tracecheck: {} counters within {:.1}% of {}",
+            diff.checked, o.threshold, o.baseline
         );
         ExitCode::SUCCESS
     }
+}
+
+/// Everything gets the same percent-derived band (the PR-3 semantics).
+fn uniform_bands(threshold_pct: f64) -> ToleranceBands {
+    ToleranceBands::exact().with_rule("", (threshold_pct * 10.0) as u64)
 }

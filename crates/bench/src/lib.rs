@@ -20,6 +20,8 @@
 //! exchange transports, end-to-end threaded BFS including the
 //! direction-optimization and hub ablations).
 
+pub mod snapshot;
+
 use swbfs_core::traffic::{measure_profile, LevelProfile};
 use swbfs_core::BfsConfig;
 

@@ -98,7 +98,7 @@ fn fifty_survivable_schedules_are_bit_identical_at_scale_14() {
 #[test]
 fn survivable_schedules_are_bit_identical_at_scale_16() {
     let el = scale16();
-    let mut state = 0xBEEF_16u64;
+    let mut state = 0xBEEF16u64;
     for mode in [Messaging::Direct, Messaging::Relay] {
         let cfg = BfsConfig::threaded_small(4).with_messaging(mode);
         let mut cluster = ThreadedCluster::new(&el, 8, cfg).unwrap();

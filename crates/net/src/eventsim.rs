@@ -14,6 +14,7 @@
 //! apples-to-apples): store-and-forward at message granularity, no
 //! per-packet interleaving, uplink contention spread uniformly.
 
+use crate::cost::{CostModel, PhaseLoad};
 use crate::faults::NetFaults;
 use crate::routing::{classify, PathClass};
 use crate::topology::NetworkConfig;
@@ -79,6 +80,135 @@ pub struct SimOutcome {
     pub messages: usize,
     /// Busy-time breakdown per fat-tree resource class.
     pub tiers: TierOccupancy,
+}
+
+impl SimOutcome {
+    /// Publishes the full measured outcome under `net.`: the tier
+    /// occupancy plus makespan and cross bytes, key-parallel with
+    /// [`FlowPrediction::publish`] so the two sections diff directly in
+    /// a model-vs-measured deviation report.
+    pub fn publish(&self, cs: &mut sw_trace::CounterSet) {
+        self.tiers.publish(cs);
+        cs.add("net.makespan_ns", self.makespan_ns as u64);
+        cs.add("net.cross_bytes", self.cross_bytes);
+    }
+}
+
+/// What the flow-level model predicts for a phase, computed from the
+/// same message list the event simulator consumes.
+///
+/// Tier busy times use the identical serialization arithmetic the
+/// simulator accumulates (an accounting cross-check: fault-free they
+/// must match bit-for-bit), while `makespan_ns` comes from
+/// [`CostModel::phase_time_ns`] over the aggregated [`PhaseLoad`] — the
+/// honest prediction whose deviation from the simulated makespan
+/// measures queueing and convoy effects the flow model averages away.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlowPrediction {
+    /// Flow-model phase time, ns.
+    pub makespan_ns: f64,
+    /// Analytic busy-time breakdown per fat-tree resource class.
+    pub tiers: TierOccupancy,
+    /// The aggregate load handed to the cost model.
+    pub load: PhaseLoad,
+    /// Bytes predicted to cross super-node boundaries.
+    pub cross_bytes: u64,
+}
+
+impl FlowPrediction {
+    /// Publishes the prediction under `netmodel.`, one key per measured
+    /// `net.` key so `netmodel.` vs `net.` sections align row-for-row.
+    pub fn publish(&self, cs: &mut sw_trace::CounterSet) {
+        cs.add("netmodel.egress_busy_ns", self.tiers.egress_busy_ns as u64);
+        cs.add("netmodel.ingress_busy_ns", self.tiers.ingress_busy_ns as u64);
+        cs.add("netmodel.uplink_busy_ns", self.tiers.uplink_busy_ns as u64);
+        cs.add(
+            "netmodel.downlink_busy_ns",
+            self.tiers.downlink_busy_ns as u64,
+        );
+        cs.add("netmodel.local_msgs", self.tiers.local_msgs);
+        cs.add("netmodel.intra_msgs", self.tiers.intra_msgs);
+        cs.add("netmodel.cross_msgs", self.tiers.cross_msgs);
+        cs.add("netmodel.makespan_ns", self.makespan_ns as u64);
+        cs.add("netmodel.cross_bytes", self.cross_bytes);
+    }
+}
+
+/// Runs the flow-level model over a message list: classifies every
+/// message exactly like [`simulate_phase`], aggregates per-node loads
+/// into a [`PhaseLoad`], and charges tier busy times analytically (no
+/// queueing, no ordering — pure serialization accounting).
+pub fn flow_prediction(cfg: &NetworkConfig, messages: &[SimMessage]) -> FlowPrediction {
+    let nodes = cfg.nodes as usize;
+    let intra_bw = (cfg.effective_node_gbps * cfg.oversubscription).min(cfg.nic_gbps);
+    let uplink_bw = cfg.supernode_uplink_gbps();
+
+    let mut send_bytes = vec![0.0f64; nodes];
+    let mut send_cross = vec![0.0f64; nodes];
+    let mut recv_bytes = vec![0.0f64; nodes];
+    let mut recv_cross = vec![0.0f64; nodes];
+    let mut send_msgs = vec![0.0f64; nodes];
+    let mut recv_msgs = vec![0.0f64; nodes];
+    let mut tiers = TierOccupancy::default();
+    let mut cross_bytes = 0u64;
+    let mut inter_bytes = 0.0f64;
+    let mut max_hops = 0u32;
+
+    for m in messages {
+        assert!(m.src < cfg.nodes && m.dst < cfg.nodes, "node out of range");
+        let class = classify(cfg, m.src, m.dst);
+        max_hops = max_hops.max(class.hops());
+        match class {
+            PathClass::Local => {
+                tiers.local_msgs += 1;
+            }
+            PathClass::IntraSupernode => {
+                tiers.intra_msgs += 1;
+                let ser = m.bytes as f64 / intra_bw;
+                tiers.egress_busy_ns += ser + cfg.per_message_ns;
+                tiers.ingress_busy_ns += ser + cfg.per_message_ns;
+                send_bytes[m.src as usize] += m.bytes as f64;
+                recv_bytes[m.dst as usize] += m.bytes as f64;
+                send_msgs[m.src as usize] += 1.0;
+                recv_msgs[m.dst as usize] += 1.0;
+            }
+            PathClass::InterSupernode => {
+                tiers.cross_msgs += 1;
+                cross_bytes += m.bytes;
+                inter_bytes += m.bytes as f64;
+                let ser_nic = m.bytes as f64 / cfg.nic_gbps;
+                let ser_up = m.bytes as f64 / uplink_bw;
+                tiers.egress_busy_ns += ser_nic + cfg.per_message_ns;
+                tiers.ingress_busy_ns += ser_nic + cfg.per_message_ns;
+                tiers.uplink_busy_ns += ser_up;
+                tiers.downlink_busy_ns += ser_up;
+                send_bytes[m.src as usize] += m.bytes as f64;
+                send_cross[m.src as usize] += m.bytes as f64;
+                recv_bytes[m.dst as usize] += m.bytes as f64;
+                recv_cross[m.dst as usize] += m.bytes as f64;
+                send_msgs[m.src as usize] += 1.0;
+                recv_msgs[m.dst as usize] += 1.0;
+            }
+        }
+    }
+
+    let max_of = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
+    let load = PhaseLoad {
+        max_send_bytes: max_of(&send_bytes),
+        max_send_cross_bytes: max_of(&send_cross),
+        max_recv_bytes: max_of(&recv_bytes),
+        max_recv_cross_bytes: max_of(&recv_cross),
+        max_send_msgs: max_of(&send_msgs),
+        max_recv_msgs: max_of(&recv_msgs),
+        inter_supernode_bytes: inter_bytes,
+        max_hops,
+    };
+    FlowPrediction {
+        makespan_ns: CostModel::new(*cfg).phase_time_ns(&load),
+        tiers,
+        load,
+        cross_bytes,
+    }
 }
 
 /// Simulates a phase: every message is injected at its source as soon as
@@ -523,6 +653,76 @@ mod tests {
         out.tiers.publish(&mut cs);
         assert_eq!(cs.get("net.cross_msgs"), 1);
         assert!(cs.get("net.egress_busy_ns") > 0);
+    }
+
+    #[test]
+    fn prediction_busy_times_match_fault_free_sim_exactly() {
+        // The analytic tier accounting is the same arithmetic the
+        // simulator accumulates, so fault-free they agree bit-for-bit —
+        // any drift means the two code paths diverged.
+        let c = cfg(512);
+        let msgs: Vec<SimMessage> = (0..300u32)
+            .map(|i| SimMessage {
+                src: i % 512,
+                dst: (i * 7 + 13) % 512,
+                bytes: 1 << 14,
+            })
+            .collect();
+        let sim = simulate_phase(&c, &msgs);
+        let pred = flow_prediction(&c, &msgs);
+        assert_eq!(pred.tiers, sim.tiers, "accounting cross-check");
+        assert_eq!(pred.cross_bytes, sim.cross_bytes);
+    }
+
+    #[test]
+    fn prediction_makespan_within_band_of_sim_on_shifted_alltoall() {
+        let c = cfg(64);
+        let mut shifted = Vec::new();
+        for k in 1..64u32 {
+            for s in 0..64u32 {
+                shifted.push(SimMessage {
+                    src: s,
+                    dst: (s + k) % 64,
+                    bytes: 64 << 10,
+                });
+            }
+        }
+        let sim = simulate_phase(&c, &shifted);
+        let pred = flow_prediction(&c, &shifted);
+        let ratio = sim.makespan_ns / pred.makespan_ns;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "sim {} vs predicted {} (ratio {ratio})",
+            sim.makespan_ns,
+            pred.makespan_ns
+        );
+    }
+
+    #[test]
+    fn prediction_and_outcome_publish_parallel_key_sets() {
+        let c = cfg(512);
+        let msgs = [
+            SimMessage { src: 3, dst: 3, bytes: 64 },
+            SimMessage { src: 0, dst: 1, bytes: 1 << 16 },
+            SimMessage { src: 0, dst: 300, bytes: 1 << 16 },
+        ];
+        let mut predicted = sw_trace::CounterSet::new();
+        flow_prediction(&c, &msgs).publish(&mut predicted);
+        let mut measured = sw_trace::CounterSet::new();
+        simulate_phase(&c, &msgs).publish(&mut measured);
+        let pk: Vec<String> = predicted
+            .iter()
+            .map(|(k, _)| k.strip_prefix("netmodel.").unwrap().to_string())
+            .collect();
+        let mk: Vec<String> = measured
+            .iter()
+            .map(|(k, _)| k.strip_prefix("net.").unwrap().to_string())
+            .collect();
+        assert_eq!(pk, mk, "sections align row-for-row");
+        assert_eq!(
+            predicted.get("netmodel.cross_msgs"),
+            measured.get("net.cross_msgs")
+        );
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub mod topology;
 
 pub use cost::{CostModel, PhaseLoad};
 pub use endpoint::ConnectionTable;
-pub use eventsim::{simulate_phase, simulate_phase_faulty, SimMessage, SimOutcome, TierOccupancy};
+pub use eventsim::{
+    flow_prediction, simulate_phase, simulate_phase_faulty, FlowPrediction, SimMessage,
+    SimOutcome, TierOccupancy,
+};
 pub use error::NetError;
 pub use faults::NetFaults;
 pub use group::GroupLayout;

@@ -1,0 +1,286 @@
+//! Per-level bottleneck attribution.
+//!
+//! Classifies every traced level by where its work units went, in the
+//! style of the paper's Fig. 9 discussion: is the level bound by CPE
+//! compute, the on-chip register mesh, local DMA delivery, the
+//! over-subscribed central switch, the relay transport stage, or the
+//! fault layer's retries?
+//!
+//! The rules are fixed and deterministic (documented in DESIGN.md §6):
+//!
+//! * `gen` + `handle` span units → **Compute** (module passes on CPEs);
+//! * `bucket` span units → **Mesh** (the destination-bucketing counting
+//!   sort models the register-mesh shuffle);
+//! * `deliver` span units are split between **Dma** (intra-node
+//!   delivery) and **Uplink** by the machine context's uplink share —
+//!   the fraction of `net.*` tier busy time spent on super-node
+//!   up/downlinks (integer permille; 0 without a machine context);
+//! * `hub_gather` span units → **Uplink** (the replicated hub bitmap
+//!   gather is an inter-supernode collective);
+//! * `relay` span units → **Relay** (wall-domain transport artifact —
+//!   absent in virtual domains, keeping Direct/Relay reports
+//!   byte-identical);
+//! * any `retry`/`fault` instants at a level override the unit
+//!   comparison: the level is **Retry**-bound.
+//!
+//! Ties break by the fixed order Compute, Mesh, Dma, Uplink, Relay.
+
+use crate::report::TraceReport;
+use std::collections::BTreeMap;
+
+/// What dominated a level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// Module (generator/handler) passes.
+    Compute,
+    /// Destination bucketing / register-mesh shuffle.
+    Mesh,
+    /// Intra-node record delivery.
+    Dma,
+    /// Super-node uplinks (central switch) incl. hub gathers.
+    Uplink,
+    /// Relay forwarding stage.
+    Relay,
+    /// Fault-layer retries/injections observed at this level.
+    Retry,
+}
+
+impl Bottleneck {
+    /// Stable display name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Bottleneck::Compute => "compute",
+            Bottleneck::Mesh => "mesh",
+            Bottleneck::Dma => "dma",
+            Bottleneck::Uplink => "uplink",
+            Bottleneck::Relay => "relay",
+            Bottleneck::Retry => "retry",
+        }
+    }
+
+    /// Stable ordinal for counter export.
+    pub fn ordinal(&self) -> u64 {
+        match self {
+            Bottleneck::Compute => 0,
+            Bottleneck::Mesh => 1,
+            Bottleneck::Dma => 2,
+            Bottleneck::Uplink => 3,
+            Bottleneck::Relay => 4,
+            Bottleneck::Retry => 5,
+        }
+    }
+
+    /// All classes, in ordinal order.
+    pub const ALL: [Bottleneck; 6] = [
+        Bottleneck::Compute,
+        Bottleneck::Mesh,
+        Bottleneck::Dma,
+        Bottleneck::Uplink,
+        Bottleneck::Relay,
+        Bottleneck::Retry,
+    ];
+}
+
+/// One level's unit budget and its classification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LevelAttribution {
+    /// BFS level (or algorithm round).
+    pub level: u32,
+    /// `gen` + `handle` units.
+    pub compute_units: u64,
+    /// `bucket` units.
+    pub mesh_units: u64,
+    /// Intra-node share of `deliver` units.
+    pub dma_units: u64,
+    /// Uplink share of `deliver` units plus `hub_gather` units.
+    pub uplink_units: u64,
+    /// `relay` units (wall domain only).
+    pub relay_units: u64,
+    /// Sum of `retry` instant args at this level.
+    pub retries: u64,
+    /// Sum of `fault` instant args at this level.
+    pub faults: u64,
+    /// The verdict.
+    pub class: Bottleneck,
+}
+
+/// Attribution of every traced level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttributionReport {
+    /// Uplink share of deliver units used for the Dma/Uplink split,
+    /// in permille.
+    pub uplink_permille: u64,
+    /// One entry per level, ascending.
+    pub levels: Vec<LevelAttribution>,
+}
+
+impl AttributionReport {
+    /// Number of levels classified as `class`.
+    pub fn class_count(&self, class: Bottleneck) -> u64 {
+        self.levels.iter().filter(|l| l.class == class).count() as u64
+    }
+}
+
+/// The uplink share of total network tier busy time, from a machine
+/// counter set holding `net.*` keys as published by
+/// `TierOccupancy::publish` (0 when absent).
+pub fn uplink_share_permille(machine: &crate::metrics::CounterSet) -> u64 {
+    let up = machine.get("net.uplink_busy_ns") + machine.get("net.downlink_busy_ns");
+    let total = up + machine.get("net.egress_busy_ns") + machine.get("net.ingress_busy_ns");
+    up.saturating_mul(1000).checked_div(total).unwrap_or(0)
+}
+
+/// Attributes every level of `rep` under the rules above.
+/// `uplink_permille` is the Dma/Uplink split for deliver units
+/// (see [`uplink_share_permille`]).
+pub fn attribute(rep: &TraceReport, uplink_permille: u64) -> AttributionReport {
+    let up = uplink_permille.min(1000);
+    // level → (compute, mesh, deliver, gather, relay, retries, faults)
+    let mut acc: BTreeMap<u32, [u64; 7]> = BTreeMap::new();
+    for lane in &rep.lanes {
+        for ev in &lane.events {
+            if ev.level == crate::tracer::NO_LEVEL {
+                continue;
+            }
+            let slot = match (ev.kind, ev.name) {
+                (crate::tracer::EventKind::Span, "gen" | "handle") => 0,
+                (crate::tracer::EventKind::Span, "bucket") => 1,
+                (crate::tracer::EventKind::Span, "deliver") => 2,
+                (crate::tracer::EventKind::Span, "hub_gather") => 3,
+                (crate::tracer::EventKind::Span, "relay") => 4,
+                (crate::tracer::EventKind::Instant, "retry") => 5,
+                (crate::tracer::EventKind::Instant, "fault") => 6,
+                _ => continue,
+            };
+            let row = acc.entry(ev.level).or_insert([0; 7]);
+            row[slot] += if slot >= 5 { ev.arg } else { ev.dur_ns };
+        }
+    }
+    let levels = acc
+        .into_iter()
+        .map(|(level, [compute, mesh, deliver, gather, relay, retries, faults])| {
+            let deliver_up = deliver * up / 1000;
+            let l = LevelAttribution {
+                level,
+                compute_units: compute,
+                mesh_units: mesh,
+                dma_units: deliver - deliver_up,
+                uplink_units: deliver_up + gather,
+                relay_units: relay,
+                retries,
+                faults,
+                class: Bottleneck::Compute, // placeholder
+            };
+            let class = classify(&l);
+            LevelAttribution { class, ..l }
+        })
+        .collect();
+    AttributionReport {
+        uplink_permille: up,
+        levels,
+    }
+}
+
+fn classify(l: &LevelAttribution) -> Bottleneck {
+    if l.retries + l.faults > 0 {
+        return Bottleneck::Retry;
+    }
+    // First (in the fixed order) class with the maximal unit count.
+    let budget = [
+        (Bottleneck::Compute, l.compute_units),
+        (Bottleneck::Mesh, l.mesh_units),
+        (Bottleneck::Dma, l.dma_units),
+        (Bottleneck::Uplink, l.uplink_units),
+        (Bottleneck::Relay, l.relay_units),
+    ];
+    let top = budget.iter().map(|&(_, u)| u).max().unwrap_or(0);
+    budget
+        .iter()
+        .find(|&&(_, u)| u == top)
+        .map(|&(c, _)| c)
+        .unwrap_or(Bottleneck::Compute)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::CounterSet;
+    use crate::tracer::{ClockDomain, Tracer};
+
+    fn trace() -> Tracer {
+        Tracer::for_ranks(ClockDomain::VirtualWork, 2, 64)
+    }
+
+    #[test]
+    fn compute_heavy_level_is_compute_bound() {
+        let t = trace();
+        t.end(0, "gen", "compute", 0, 0, 100);
+        t.end(0, "bucket", "compute", 0, 0, 10);
+        t.end(0, "deliver", "net", 0, 0, 5);
+        let a = attribute(&t.report(), 0);
+        assert_eq!(a.levels.len(), 1);
+        assert_eq!(a.levels[0].class, Bottleneck::Compute);
+        assert_eq!(a.levels[0].compute_units, 100);
+    }
+
+    #[test]
+    fn deliver_units_split_by_uplink_share() {
+        let t = trace();
+        t.end(0, "deliver", "net", 3, 0, 1000);
+        let a = attribute(&t.report(), 250);
+        let l = &a.levels[0];
+        assert_eq!(l.dma_units, 750);
+        assert_eq!(l.uplink_units, 250);
+        assert_eq!(l.class, Bottleneck::Dma);
+        let b = attribute(&t.report(), 900);
+        assert_eq!(b.levels[0].class, Bottleneck::Uplink);
+    }
+
+    #[test]
+    fn retries_override_unit_budgets() {
+        let t = trace();
+        t.end(0, "gen", "compute", 2, 0, 1_000_000);
+        t.instant(1, "retry", "fault", 2, 3);
+        let a = attribute(&t.report(), 0);
+        assert_eq!(a.levels[0].class, Bottleneck::Retry);
+        assert_eq!(a.levels[0].retries, 3);
+        assert_eq!(a.class_count(Bottleneck::Retry), 1);
+    }
+
+    #[test]
+    fn gather_counts_toward_uplink_and_relay_spans_toward_relay() {
+        let t = trace();
+        t.end(0, "hub_gather", "gather", 1, 0, 50);
+        t.end(0, "gen", "compute", 1, 0, 10);
+        let a = attribute(&t.report(), 0);
+        assert_eq!(a.levels[0].uplink_units, 50);
+        assert_eq!(a.levels[0].class, Bottleneck::Uplink);
+
+        let t2 = trace();
+        t2.span_at(0, "relay", "net", 0, 0, 80, 80);
+        t2.end(0, "gen", "compute", 0, 0, 10);
+        let b = attribute(&t2.report(), 0);
+        assert_eq!(b.levels[0].relay_units, 80);
+        assert_eq!(b.levels[0].class, Bottleneck::Relay);
+    }
+
+    #[test]
+    fn uplink_share_reads_tier_busy_times() {
+        let mut cs = CounterSet::new();
+        assert_eq!(uplink_share_permille(&cs), 0);
+        cs.set("net.egress_busy_ns", 400);
+        cs.set("net.ingress_busy_ns", 400);
+        cs.set("net.uplink_busy_ns", 100);
+        cs.set("net.downlink_busy_ns", 100);
+        assert_eq!(uplink_share_permille(&cs), 200);
+    }
+
+    #[test]
+    fn all_zero_level_defaults_to_compute() {
+        let t = trace();
+        t.instant(0, "note", "misc", 4, 1); // unknown instant: ignored
+        t.end(0, "warmup", "misc", 4, 0, 9); // unknown span: ignored
+        let a = attribute(&t.report(), 0);
+        assert!(a.levels.is_empty(), "unknown names do not create levels");
+    }
+}

@@ -1,0 +1,206 @@
+//! Critical-path extraction through the span DAG.
+//!
+//! The exchange pipeline is barrier-synchronized per level: every rank
+//! runs `gen → bucket → deliver → relay → handle` and no rank enters a
+//! stage before every rank finished the previous one (the threaded
+//! backend joins between phases; the channel backend blocks on
+//! receives). Under that model the critical path of a level is the sum
+//! over stages of the *slowest lane's* units in that stage, and a
+//! lane's slack in a stage is the gap to that slowest lane.
+//!
+//! Stages absent from a level (e.g. `relay` in a virtual domain, where
+//! relay forwarding is deliberately unrecorded to keep Direct/Relay
+//! traces identical) contribute nothing. Ties on the slowest lane break
+//! toward the lowest lane index, so the extraction is deterministic.
+
+use crate::report::TraceReport;
+use crate::tracer::{EventKind, NO_LEVEL};
+use std::collections::BTreeMap;
+
+/// Pipeline stages in DAG order.
+pub const STAGES: [&str; 5] = ["gen", "bucket", "deliver", "relay", "handle"];
+
+/// The slowest lane of one stage of one level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageCritical {
+    /// Stage name (one of [`STAGES`]).
+    pub stage: &'static str,
+    /// Index into the report's rank-lane list of the slowest lane.
+    pub lane: usize,
+    /// The slowest lane's units — this stage's critical-path share.
+    pub units: u64,
+    /// Total slack: Σ over lanes of (critical − lane units).
+    pub slack_units: u64,
+}
+
+/// One level's walk through the pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LevelPath {
+    /// BFS level (or algorithm round).
+    pub level: u32,
+    /// Stages with nonzero work, in DAG order.
+    pub stages: Vec<StageCritical>,
+    /// Σ stage critical units — the level's critical-path length.
+    pub units: u64,
+}
+
+/// The critical path of a whole trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CriticalPathReport {
+    /// Rank-lane display names (`run` excluded), in lane order.
+    pub lane_names: Vec<String>,
+    /// One entry per level, ascending.
+    pub levels: Vec<LevelPath>,
+    /// Σ level critical units.
+    pub total_units: u64,
+    /// Σ of every lane's units over all stages/levels (total work).
+    pub work_units: u64,
+    /// Per-lane slack summed over all stages/levels.
+    pub lane_slack: Vec<u64>,
+}
+
+impl CriticalPathReport {
+    /// Achieved parallelism `1000 × work / critical` (1000 = serial;
+    /// ideally ≈ 1000 × ranks). 0 when the critical path is empty.
+    pub fn parallelism_permille(&self) -> u64 {
+        self.work_units
+            .saturating_mul(1000)
+            .checked_div(self.total_units)
+            .unwrap_or(0)
+    }
+}
+
+/// Extracts the critical path of `rep` under the barrier-stage model.
+pub fn extract(rep: &TraceReport) -> CriticalPathReport {
+    let rank_lanes: Vec<usize> = (0..rep.lanes.len())
+        .filter(|&i| rep.lanes[i].name != "run")
+        .collect();
+    let lane_names: Vec<String> = rank_lanes
+        .iter()
+        .map(|&i| rep.lanes[i].name.clone())
+        .collect();
+    let nlanes = rank_lanes.len();
+
+    // level → stage → per-lane units.
+    let mut acc: BTreeMap<u32, Vec<Vec<u64>>> = BTreeMap::new();
+    for (pos, &i) in rank_lanes.iter().enumerate() {
+        for ev in &rep.lanes[i].events {
+            if ev.kind != EventKind::Span || ev.level == NO_LEVEL {
+                continue;
+            }
+            let Some(stage) = STAGES.iter().position(|&s| s == ev.name) else {
+                continue;
+            };
+            acc.entry(ev.level)
+                .or_insert_with(|| vec![vec![0; nlanes]; STAGES.len()])[stage][pos] += ev.dur_ns;
+        }
+    }
+
+    let mut levels = Vec::new();
+    let mut total_units = 0u64;
+    let mut work_units = 0u64;
+    let mut lane_slack = vec![0u64; nlanes];
+    for (level, stages) in acc {
+        let mut path = LevelPath {
+            level,
+            stages: Vec::new(),
+            units: 0,
+        };
+        for (si, per_lane) in stages.iter().enumerate() {
+            let crit = per_lane.iter().copied().max().unwrap_or(0);
+            if crit == 0 {
+                continue;
+            }
+            let lane = per_lane
+                .iter()
+                .position(|&u| u == crit)
+                .expect("max exists");
+            let mut slack = 0u64;
+            for (pos, &u) in per_lane.iter().enumerate() {
+                lane_slack[pos] += crit - u;
+                slack += crit - u;
+                work_units += u;
+            }
+            path.stages.push(StageCritical {
+                stage: STAGES[si],
+                lane,
+                units: crit,
+                slack_units: slack,
+            });
+            path.units += crit;
+        }
+        total_units += path.units;
+        levels.push(path);
+    }
+
+    CriticalPathReport {
+        lane_names,
+        levels,
+        total_units,
+        work_units,
+        lane_slack,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{ClockDomain, Tracer};
+
+    #[test]
+    fn critical_path_takes_stage_maxima() {
+        let t = Tracer::for_ranks(ClockDomain::VirtualWork, 2, 64);
+        // Level 0: rank0 gen 10, rank1 gen 30; rank0 handle 5, rank1 handle 5.
+        t.end(0, "gen", "compute", 0, 0, 10);
+        t.end(1, "gen", "compute", 0, 0, 30);
+        t.end(0, "handle", "compute", 0, 0, 5);
+        t.end(1, "handle", "compute", 0, 0, 5);
+        t.end(t.run_lane(), "level", "run", 0, 0, 99); // run lane ignored
+        let cp = extract(&t.report());
+        assert_eq!(cp.levels.len(), 1);
+        let l = &cp.levels[0];
+        assert_eq!(l.units, 35, "max(gen) + max(handle)");
+        assert_eq!(l.stages[0].stage, "gen");
+        assert_eq!(l.stages[0].lane, 1);
+        assert_eq!(l.stages[0].slack_units, 20);
+        assert_eq!(l.stages[1].stage, "handle");
+        assert_eq!(l.stages[1].lane, 0, "tie breaks to lowest lane");
+        assert_eq!(cp.total_units, 35);
+        assert_eq!(cp.work_units, 50);
+        assert_eq!(cp.lane_slack, vec![20, 0]);
+        // 50/35 ≈ 1.428× parallelism.
+        assert_eq!(cp.parallelism_permille(), 1428);
+    }
+
+    #[test]
+    fn absent_stages_are_skipped() {
+        let t = Tracer::for_ranks(ClockDomain::VirtualWork, 1, 16);
+        t.end(0, "gen", "compute", 0, 0, 4);
+        t.end(0, "deliver", "net", 0, 0, 6);
+        let cp = extract(&t.report());
+        let names: Vec<&str> = cp.levels[0].stages.iter().map(|s| s.stage).collect();
+        assert_eq!(names, vec!["gen", "deliver"], "no bucket/relay/handle rows");
+        assert_eq!(cp.total_units, 10);
+    }
+
+    #[test]
+    fn multiple_levels_accumulate() {
+        let t = Tracer::for_ranks(ClockDomain::VirtualWork, 2, 64);
+        for level in 0..3u32 {
+            t.end(0, "gen", "compute", level, 0, 10);
+            t.end(1, "gen", "compute", level, 0, 10 + level as u64);
+        }
+        let cp = extract(&t.report());
+        assert_eq!(cp.levels.len(), 3);
+        assert_eq!(cp.total_units, 10 + 11 + 12);
+        assert_eq!(cp.lane_slack, vec![3, 0], "rank0 trails by 1 then 2");
+    }
+
+    #[test]
+    fn empty_trace_is_empty_path() {
+        let t = Tracer::for_ranks(ClockDomain::VirtualWork, 2, 8);
+        let cp = extract(&t.report());
+        assert!(cp.levels.is_empty());
+        assert_eq!(cp.parallelism_permille(), 0);
+    }
+}

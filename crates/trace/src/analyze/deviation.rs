@@ -1,0 +1,142 @@
+//! Model-vs-measured deviation reporting.
+//!
+//! Compares two counter sets key by key — typically sw-net's flow-level
+//! predictions (`netmodel.*`, stripped to bare keys with
+//! `CounterSet::section`) against the event simulator's achieved tier
+//! busy times (`net.*`, same stripping) — and reports the per-key
+//! relative error in integer permille. Busy-time rows validate the
+//! shared accounting (both sides charge the same serialization
+//! formulas, so they should sit near zero); the makespan row carries
+//! the honest deviation, because the flow model averages away queueing
+//! and convoy effects the event simulator reproduces.
+
+use crate::metrics::CounterSet;
+
+/// One compared key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeviationRow {
+    /// Key name (as found in the *predicted* set).
+    pub key: String,
+    /// Model prediction.
+    pub predicted: u64,
+    /// Measured value (0 when the key is absent from the measured set).
+    pub measured: u64,
+    /// `1000 × |measured − predicted| / max(predicted, 1)`.
+    pub error_permille: u64,
+}
+
+/// The full comparison, rows in key order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeviationReport {
+    /// One row per predicted key.
+    pub rows: Vec<DeviationRow>,
+}
+
+impl DeviationReport {
+    /// The row with the largest relative error, if any.
+    pub fn worst(&self) -> Option<&DeviationRow> {
+        self.rows.iter().max_by_key(|r| r.error_permille)
+    }
+
+    /// Flattens the comparison for a metrics snapshot: one
+    /// `prefix.<key>.error_permille` entry per row plus a summary
+    /// `prefix.max_error_permille`.
+    pub fn to_counters(&self, prefix: &str, cs: &mut CounterSet) {
+        let prefix = prefix.strip_suffix('.').unwrap_or(prefix);
+        for r in &self.rows {
+            cs.set(&format!("{prefix}.{}.error_permille", r.key), r.error_permille);
+        }
+        cs.set(
+            &format!("{prefix}.max_error_permille"),
+            self.worst().map_or(0, |r| r.error_permille),
+        );
+    }
+
+    /// Deterministic text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("key                              predicted    measured    error\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<32} {:>9} {:>11}    {}\n",
+                r.key,
+                r.predicted,
+                r.measured,
+                super::permille_str(r.error_permille)
+            ));
+        }
+        if let Some(w) = self.worst() {
+            out.push_str(&format!(
+                "worst: {} off by {}\n",
+                w.key,
+                super::permille_str(w.error_permille)
+            ));
+        }
+        out
+    }
+}
+
+/// Compares every key of `predicted` against the same key in
+/// `measured`. Keys only in `measured` are ignored (the model predicts
+/// a subset of what the simulator measures).
+pub fn compare(predicted: &CounterSet, measured: &CounterSet) -> DeviationReport {
+    let rows = predicted
+        .iter()
+        .map(|(k, p)| {
+            let m = measured.get(k);
+            DeviationRow {
+                key: k.to_string(),
+                predicted: p,
+                measured: m,
+                error_permille: m.abs_diff(p).saturating_mul(1000) / p.max(1),
+            }
+        })
+        .collect();
+    DeviationReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_relative_to_prediction() {
+        let mut p = CounterSet::new();
+        p.set("makespan_ns", 1000);
+        p.set("uplink_busy_ns", 400);
+        let mut m = CounterSet::new();
+        m.set("makespan_ns", 1300);
+        m.set("uplink_busy_ns", 400);
+        m.set("extra_measured", 7);
+        let d = compare(&p, &m);
+        assert_eq!(d.rows.len(), 2, "measured-only keys ignored");
+        assert_eq!(d.rows[0].key, "makespan_ns");
+        assert_eq!(d.rows[0].error_permille, 300);
+        assert_eq!(d.rows[1].error_permille, 0);
+        assert_eq!(d.worst().unwrap().key, "makespan_ns");
+    }
+
+    #[test]
+    fn zero_prediction_does_not_divide_by_zero() {
+        let mut p = CounterSet::new();
+        p.set("idle_ns", 0);
+        let mut m = CounterSet::new();
+        m.set("idle_ns", 5);
+        let d = compare(&p, &m);
+        assert_eq!(d.rows[0].error_permille, 5000);
+    }
+
+    #[test]
+    fn counters_and_text_are_deterministic() {
+        let mut p = CounterSet::new();
+        p.set("a", 100);
+        let mut m = CounterSet::new();
+        m.set("a", 90);
+        let d = compare(&p, &m);
+        let mut cs = CounterSet::new();
+        d.to_counters("model", &mut cs);
+        assert_eq!(cs.get("model.a.error_permille"), 100);
+        assert_eq!(cs.get("model.max_error_permille"), 100);
+        assert_eq!(d.to_text(), d.to_text());
+        assert!(d.to_text().contains("worst: a off by 0.100"));
+    }
+}

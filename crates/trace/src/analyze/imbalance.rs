@@ -1,0 +1,212 @@
+//! Load-imbalance statistics over lanes and supernode groups.
+//!
+//! All statistics are integer permille (value × 1000) computed in
+//! `u128` fixed point with an integer square root, so a report built
+//! from a virtual-domain trace is byte-deterministic — no float
+//! formatting, no platform-dependent rounding.
+
+use crate::report::TraceReport;
+use crate::tracer::{EventKind, NO_LEVEL};
+use std::collections::BTreeMap;
+
+/// Integer square root (largest `r` with `r*r <= n`).
+pub fn isqrt(n: u128) -> u128 {
+    if n < 2 {
+        return n;
+    }
+    let mut lo = 1u128;
+    let mut hi = 1u128 << (n.ilog2() / 2 + 1);
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if mid.checked_mul(mid).map(|m| m <= n).unwrap_or(false) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+/// Dispersion of a set of work totals: the paper's balance metrics
+/// (max/mean ratio, coefficient of variation) in integer permille.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Dispersion {
+    /// Number of entities (ranks, supernodes).
+    pub n: usize,
+    /// Largest single total.
+    pub max: u64,
+    /// Sum of all totals.
+    pub sum: u64,
+    /// `1000 × max / mean` (0 when the sum is 0).
+    pub max_mean_permille: u64,
+    /// `1000 × stddev / mean`, population form (0 when the sum is 0).
+    pub cv_permille: u64,
+}
+
+/// Computes the dispersion of `vals`.
+pub fn dispersion(vals: &[u64]) -> Dispersion {
+    let n = vals.len();
+    let sum: u128 = vals.iter().map(|&v| v as u128).sum();
+    let max = vals.iter().copied().max().unwrap_or(0);
+    if n == 0 || sum == 0 {
+        return Dispersion {
+            n,
+            max,
+            sum: sum as u64,
+            ..Default::default()
+        };
+    }
+    // max/mean = max * n / sum.
+    let max_mean_permille = (1000u128 * max as u128 * n as u128 / sum) as u64;
+    // cv = stddev/mean = sqrt(n*Σv² − S²) / S  (population stddev).
+    let sum_sq: u128 = vals.iter().map(|&v| (v as u128) * (v as u128)).sum();
+    let var_num = (n as u128 * sum_sq).saturating_sub(sum * sum);
+    let cv_permille = (isqrt(1_000_000u128 * var_num) / sum) as u64;
+    Dispersion {
+        n,
+        max,
+        sum: sum as u64,
+        max_mean_permille,
+        cv_permille,
+    }
+}
+
+/// Per-level rank dispersion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LevelImbalance {
+    /// BFS level (or algorithm round).
+    pub level: u32,
+    /// Dispersion of per-rank work at this level.
+    pub ranks: Dispersion,
+}
+
+/// Rank- and supernode-level balance of one trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ImbalanceReport {
+    /// Rank-lane display names, in lane order (`run` excluded).
+    pub rank_names: Vec<String>,
+    /// Total span work per rank lane.
+    pub rank_work: Vec<u64>,
+    /// Dispersion over ranks.
+    pub ranks: Dispersion,
+    /// Ranks per supernode group used for the grouping (0 = ungrouped).
+    pub group_size: usize,
+    /// Total span work per supernode (contiguous rank groups).
+    pub supernode_work: Vec<u64>,
+    /// Dispersion over supernodes.
+    pub supernodes: Dispersion,
+    /// Per-level rank dispersion, levels in ascending order.
+    pub per_level: Vec<LevelImbalance>,
+}
+
+/// Extracts balance statistics from `rep`: every span's duration on a
+/// rank lane (any lane not named `run`) counts as that rank's work;
+/// supernodes are contiguous groups of `group_size` rank lanes
+/// (matching `GroupLayout`'s block arrangement). `group_size` of 0, or
+/// larger than the rank count, collapses to a single group.
+pub fn extract(rep: &TraceReport, group_size: usize) -> ImbalanceReport {
+    let rank_lanes: Vec<usize> = (0..rep.lanes.len())
+        .filter(|&i| rep.lanes[i].name != "run")
+        .collect();
+    let rank_names: Vec<String> = rank_lanes
+        .iter()
+        .map(|&i| rep.lanes[i].name.clone())
+        .collect();
+
+    let mut rank_work = vec![0u64; rank_lanes.len()];
+    let mut per_level: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    for (pos, &i) in rank_lanes.iter().enumerate() {
+        for ev in &rep.lanes[i].events {
+            if ev.kind != EventKind::Span {
+                continue;
+            }
+            rank_work[pos] += ev.dur_ns;
+            if ev.level != NO_LEVEL {
+                per_level.entry(ev.level).or_insert_with(|| vec![0; rank_lanes.len()])[pos] +=
+                    ev.dur_ns;
+            }
+        }
+    }
+
+    let g = if group_size == 0 || group_size >= rank_work.len().max(1) {
+        rank_work.len().max(1)
+    } else {
+        group_size
+    };
+    let supernode_work: Vec<u64> = rank_work.chunks(g).map(|c| c.iter().sum()).collect();
+
+    ImbalanceReport {
+        ranks: dispersion(&rank_work),
+        supernodes: dispersion(&supernode_work),
+        rank_names,
+        rank_work,
+        group_size: g,
+        supernode_work,
+        per_level: per_level
+            .into_iter()
+            .map(|(level, w)| LevelImbalance {
+                level,
+                ranks: dispersion(&w),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{ClockDomain, Tracer};
+
+    #[test]
+    fn isqrt_exact_and_floor() {
+        assert_eq!(isqrt(0), 0);
+        assert_eq!(isqrt(1), 1);
+        assert_eq!(isqrt(3), 1);
+        assert_eq!(isqrt(4), 2);
+        assert_eq!(isqrt(99), 9);
+        assert_eq!(isqrt(100), 10);
+        assert_eq!(isqrt(u128::from(u64::MAX)) , (1u128 << 32) - 1);
+    }
+
+    #[test]
+    fn dispersion_balanced_and_skewed() {
+        let even = dispersion(&[10, 10, 10, 10]);
+        assert_eq!(even.max_mean_permille, 1000);
+        assert_eq!(even.cv_permille, 0);
+
+        let skew = dispersion(&[30, 10, 10, 10]);
+        // mean 15, max 30 → 2.0×; stddev = sqrt(75) ≈ 8.66, cv ≈ 0.577.
+        assert_eq!(skew.max_mean_permille, 2000);
+        assert_eq!(skew.cv_permille, 577);
+
+        let empty = dispersion(&[]);
+        assert_eq!(empty.max_mean_permille, 0);
+        assert_eq!(dispersion(&[0, 0]).cv_permille, 0);
+    }
+
+    #[test]
+    fn extract_groups_ranks_into_supernodes() {
+        let t = Tracer::for_ranks(ClockDomain::VirtualWork, 4, 32);
+        for (lane, work) in [(0usize, 40u64), (1, 20), (2, 20), (3, 20)] {
+            t.end(lane, "gen", "compute", 0, 0, work);
+        }
+        t.end(t.run_lane(), "level", "run", 0, 0, 100); // ignored
+        let imb = extract(&t.report(), 2);
+        assert_eq!(imb.rank_names, vec!["rank0", "rank1", "rank2", "rank3"]);
+        assert_eq!(imb.rank_work, vec![40, 20, 20, 20]);
+        assert_eq!(imb.supernode_work, vec![60, 40]);
+        assert_eq!(imb.ranks.max_mean_permille, 1600);
+        assert_eq!(imb.supernodes.max_mean_permille, 1200);
+        assert_eq!(imb.per_level.len(), 1);
+        assert_eq!(imb.per_level[0].ranks.max_mean_permille, 1600);
+    }
+
+    #[test]
+    fn zero_group_size_collapses_to_one_group() {
+        let t = Tracer::for_ranks(ClockDomain::VirtualWork, 3, 8);
+        t.end(0, "gen", "compute", 0, 0, 5);
+        let imb = extract(&t.report(), 0);
+        assert_eq!(imb.supernode_work, vec![5]);
+        assert_eq!(imb.supernodes.max_mean_permille, 1000);
+    }
+}

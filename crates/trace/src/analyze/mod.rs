@@ -1,0 +1,456 @@
+//! # sw-insight — trace analysis on top of sw-trace
+//!
+//! Post-hoc analysis of [`TraceReport`]s: nothing in this module runs
+//! on the instrumented hot path. Given a finished report (and
+//! optionally a machine-context counter set with `net.*`/`arch.*`
+//! keys), [`analyze`] produces an [`InsightReport`] answering "why was
+//! this run slow":
+//!
+//! * [`attribution`] — per-level bottleneck classification
+//!   (compute / mesh / DMA / uplink / relay / retry-bound);
+//! * [`critical_path`] — the barrier-stage critical path through
+//!   `gen → bucket → deliver → relay → handle` with per-lane slack;
+//! * [`imbalance`] — per-rank and per-supernode load dispersion
+//!   (max/mean, coefficient of variation) in integer permille;
+//! * [`deviation`] — model-vs-measured counter comparison (attached by
+//!   callers that hold both sides, e.g. the regression sentinel).
+//!
+//! Every renderer ([`InsightReport::to_text`], [`InsightReport::to_json`],
+//! [`InsightReport::to_counters`]) is integer-only and
+//! byte-deterministic for virtual-domain traces, so insight reports are
+//! golden-testable artifacts exactly like the traces they digest.
+
+pub mod attribution;
+pub mod critical_path;
+pub mod deviation;
+pub mod imbalance;
+
+use crate::json::escape;
+use crate::metrics::CounterSet;
+use crate::report::TraceReport;
+use crate::tracer::ClockDomain;
+use attribution::{AttributionReport, Bottleneck};
+use critical_path::CriticalPathReport;
+use deviation::DeviationReport;
+use imbalance::ImbalanceReport;
+
+/// Machine-level context the trace alone does not carry: tier busy
+/// times from the network simulator (for the Dma/Uplink deliver split)
+/// and the supernode grouping.
+#[derive(Clone, Debug, Default)]
+pub struct MachineContext {
+    /// `net.*` / `arch.*` counters, e.g. from `TierOccupancy::publish`.
+    pub counters: CounterSet,
+    /// Ranks per supernode group (0 = single group).
+    pub group_size: usize,
+}
+
+impl MachineContext {
+    /// An empty context (no uplink split, one supernode group).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the supernode group size.
+    pub fn with_group_size(mut self, g: usize) -> Self {
+        self.group_size = g;
+        self
+    }
+
+    /// Sets the machine counters.
+    pub fn with_counters(mut self, cs: CounterSet) -> Self {
+        self.counters = cs;
+        self
+    }
+}
+
+/// The combined analysis artifact.
+#[derive(Clone, Debug)]
+pub struct InsightReport {
+    /// Clock domain of the analyzed trace.
+    pub domain: ClockDomain,
+    /// Per-level bottleneck attribution.
+    pub attribution: AttributionReport,
+    /// Critical path and slack.
+    pub critical_path: CriticalPathReport,
+    /// Rank/supernode balance.
+    pub imbalance: ImbalanceReport,
+    /// Optional model-vs-measured comparison.
+    pub deviation: Option<DeviationReport>,
+}
+
+/// Analyzes a finished trace under `ctx`.
+pub fn analyze(rep: &TraceReport, ctx: &MachineContext) -> InsightReport {
+    let up = attribution::uplink_share_permille(&ctx.counters);
+    InsightReport {
+        domain: rep.domain,
+        attribution: attribution::attribute(rep, up),
+        critical_path: critical_path::extract(rep),
+        imbalance: imbalance::extract(rep, ctx.group_size),
+        deviation: None,
+    }
+}
+
+/// Formats integer permille as a fixed-point decimal (`1234` → `1.234`).
+pub(crate) fn permille_str(p: u64) -> String {
+    format!("{}.{:03}", p / 1000, p % 1000)
+}
+
+impl InsightReport {
+    /// Attaches a model-vs-measured comparison.
+    pub fn with_deviation(mut self, d: DeviationReport) -> Self {
+        self.deviation = Some(d);
+        self
+    }
+
+    /// The deterministic human-readable report — the golden-test
+    /// artifact. Integer-only formatting; byte-identical for identical
+    /// virtual-domain traces.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("sw-insight report ({})\n\n", self.domain.as_str());
+
+        out.push_str(&format!(
+            "== bottleneck attribution (uplink share {}) ==\n",
+            permille_str(self.attribution.uplink_permille)
+        ));
+        out.push_str(
+            "level  class      compute       mesh        dma     uplink      relay  retries  faults\n",
+        );
+        for l in &self.attribution.levels {
+            out.push_str(&format!(
+                "{:>5}  {:<8} {:>9} {:>10} {:>10} {:>10} {:>10} {:>8} {:>7}\n",
+                l.level,
+                l.class.as_str(),
+                l.compute_units,
+                l.mesh_units,
+                l.dma_units,
+                l.uplink_units,
+                l.relay_units,
+                l.retries,
+                l.faults,
+            ));
+        }
+        out.push_str("class totals:");
+        for c in Bottleneck::ALL {
+            out.push_str(&format!(" {}={}", c.as_str(), self.attribution.class_count(c)));
+        }
+        out.push_str("\n\n");
+
+        out.push_str("== critical path (gen -> bucket -> deliver -> relay -> handle) ==\n");
+        out.push_str("level  crit_units  critical stages (stage=lane:units)\n");
+        for l in &self.critical_path.levels {
+            let stages: Vec<String> = l
+                .stages
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{}={}:{}",
+                        s.stage,
+                        self.critical_path
+                            .lane_names
+                            .get(s.lane)
+                            .map(|n| n.as_str())
+                            .unwrap_or("?"),
+                        s.units
+                    )
+                })
+                .collect();
+            out.push_str(&format!("{:>5}  {:>10}  {}\n", l.level, l.units, stages.join(" ")));
+        }
+        out.push_str(&format!(
+            "total: {} critical units, {} work units, parallelism {}\n",
+            self.critical_path.total_units,
+            self.critical_path.work_units,
+            permille_str(self.critical_path.parallelism_permille())
+        ));
+        out.push_str("lane slack:");
+        for (name, slack) in self
+            .critical_path
+            .lane_names
+            .iter()
+            .zip(&self.critical_path.lane_slack)
+        {
+            out.push_str(&format!(" {name}={slack}"));
+        }
+        out.push_str("\n\n");
+
+        out.push_str("== load imbalance ==\n");
+        out.push_str("rank work:");
+        for (name, w) in self.imbalance.rank_names.iter().zip(&self.imbalance.rank_work) {
+            out.push_str(&format!(" {name}={w}"));
+        }
+        out.push_str(&format!(
+            "\nranks: max/mean {}, cv {}\n",
+            permille_str(self.imbalance.ranks.max_mean_permille),
+            permille_str(self.imbalance.ranks.cv_permille)
+        ));
+        out.push_str(&format!("supernodes (groups of {}):", self.imbalance.group_size));
+        for (i, w) in self.imbalance.supernode_work.iter().enumerate() {
+            out.push_str(&format!(" sn{i}={w}"));
+        }
+        out.push_str(&format!(
+            "\nsupernodes: max/mean {}, cv {}\n",
+            permille_str(self.imbalance.supernodes.max_mean_permille),
+            permille_str(self.imbalance.supernodes.cv_permille)
+        ));
+        out.push_str("level  max/mean      cv\n");
+        for l in &self.imbalance.per_level {
+            out.push_str(&format!(
+                "{:>5} {:>9} {:>7}\n",
+                l.level,
+                permille_str(l.ranks.max_mean_permille),
+                permille_str(l.ranks.cv_permille)
+            ));
+        }
+
+        if let Some(d) = &self.deviation {
+            out.push_str("\n== model vs measured ==\n");
+            out.push_str(&d.to_text());
+        }
+        out
+    }
+
+    /// The report as deterministic nested JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"domain\": \"{}\",\n", self.domain.as_str()));
+
+        out.push_str(&format!(
+            "  \"attribution\": {{\"uplink_permille\": {}, \"levels\": [",
+            self.attribution.uplink_permille
+        ));
+        for (i, l) in self.attribution.levels.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"level\": {}, \"class\": \"{}\", \"compute\": {}, \"mesh\": {}, \
+                 \"dma\": {}, \"uplink\": {}, \"relay\": {}, \"retries\": {}, \"faults\": {}}}",
+                l.level,
+                l.class.as_str(),
+                l.compute_units,
+                l.mesh_units,
+                l.dma_units,
+                l.uplink_units,
+                l.relay_units,
+                l.retries,
+                l.faults
+            ));
+        }
+        out.push_str("]},\n");
+
+        out.push_str(&format!(
+            "  \"critical_path\": {{\"total_units\": {}, \"work_units\": {}, \
+             \"parallelism_permille\": {}, \"levels\": [",
+            self.critical_path.total_units,
+            self.critical_path.work_units,
+            self.critical_path.parallelism_permille()
+        ));
+        for (i, l) in self.critical_path.levels.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{{\"level\": {}, \"units\": {}, \"stages\": [", l.level, l.units));
+            for (j, s) in l.stages.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"stage\": \"{}\", \"lane\": {}, \"units\": {}, \"slack\": {}}}",
+                    s.stage, s.lane, s.units, s.slack_units
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("], \"lane_slack\": {");
+        for (i, (name, slack)) in self
+            .critical_path
+            .lane_names
+            .iter()
+            .zip(&self.critical_path.lane_slack)
+            .enumerate()
+        {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", escape(name), slack));
+        }
+        out.push_str("}},\n");
+
+        out.push_str(&format!(
+            "  \"imbalance\": {{\"group_size\": {}, \"rank_work\": [{}], \
+             \"supernode_work\": [{}], \"rank_max_mean_permille\": {}, \"rank_cv_permille\": {}, \
+             \"supernode_max_mean_permille\": {}, \"supernode_cv_permille\": {}}}",
+            self.imbalance.group_size,
+            self.imbalance
+                .rank_work
+                .iter()
+                .map(|w| w.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.imbalance
+                .supernode_work
+                .iter()
+                .map(|w| w.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.imbalance.ranks.max_mean_permille,
+            self.imbalance.ranks.cv_permille,
+            self.imbalance.supernodes.max_mean_permille,
+            self.imbalance.supernodes.cv_permille
+        ));
+
+        if let Some(d) = &self.deviation {
+            out.push_str(",\n  \"deviation\": {");
+            for (i, r) in d.rows.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\": {}", escape(&r.key), r.error_permille));
+            }
+            out.push('}');
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Flattens the analysis into `insight.*` counters for the
+    /// regression sentinel. The key set is fixed (all six class counts
+    /// always present) so baselines diff cleanly.
+    pub fn to_counters(&self) -> CounterSet {
+        let mut cs = CounterSet::new();
+        cs.set("insight.levels", self.attribution.levels.len() as u64);
+        cs.set("insight.uplink_permille", self.attribution.uplink_permille);
+        for c in Bottleneck::ALL {
+            cs.set(
+                &format!("insight.class.{}", c.as_str()),
+                self.attribution.class_count(c),
+            );
+        }
+        cs.set("insight.critical_units", self.critical_path.total_units);
+        cs.set("insight.work_units", self.critical_path.work_units);
+        cs.set(
+            "insight.parallelism_permille",
+            self.critical_path.parallelism_permille(),
+        );
+        cs.set(
+            "insight.max_lane_slack",
+            self.critical_path.lane_slack.iter().copied().max().unwrap_or(0),
+        );
+        cs.set(
+            "insight.rank_max_mean_permille",
+            self.imbalance.ranks.max_mean_permille,
+        );
+        cs.set("insight.rank_cv_permille", self.imbalance.ranks.cv_permille);
+        cs.set(
+            "insight.supernode_max_mean_permille",
+            self.imbalance.supernodes.max_mean_permille,
+        );
+        cs.set(
+            "insight.supernode_cv_permille",
+            self.imbalance.supernodes.cv_permille,
+        );
+        for l in &self.attribution.levels {
+            cs.set(
+                &format!("insight.level{:02}.class", l.level),
+                l.class.ordinal(),
+            );
+        }
+        for l in &self.critical_path.levels {
+            cs.set(&format!("insight.level{:02}.crit_units", l.level), l.units);
+        }
+        if let Some(d) = &self.deviation {
+            d.to_counters("insight.model", &mut cs);
+        }
+        cs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::check_syntax;
+    use crate::tracer::Tracer;
+
+    fn sample() -> InsightReport {
+        let t = Tracer::for_ranks(ClockDomain::VirtualWork, 2, 64);
+        for level in 0..2u32 {
+            t.end(0, "gen", "compute", level, 0, 10 + level as u64);
+            t.end(1, "gen", "compute", level, 0, 20);
+            t.end(0, "bucket", "compute", level, 0, 3);
+            t.end(1, "bucket", "compute", level, 0, 3);
+            t.end(0, "deliver", "net", level, 0, 8);
+            t.end(1, "deliver", "net", level, 0, 6);
+            t.end(0, "handle", "compute", level, 0, 5);
+            t.end(1, "handle", "compute", level, 0, 5);
+        }
+        t.instant(0, "retry", "fault", 1, 2);
+        let mut machine = CounterSet::new();
+        machine.set("net.egress_busy_ns", 800);
+        machine.set("net.ingress_busy_ns", 800);
+        machine.set("net.uplink_busy_ns", 200);
+        machine.set("net.downlink_busy_ns", 200);
+        let ctx = MachineContext::new().with_counters(machine).with_group_size(1);
+        analyze(&t.report(), &ctx)
+    }
+
+    #[test]
+    fn analyze_combines_all_three_views() {
+        let r = sample();
+        assert_eq!(r.attribution.uplink_permille, 200);
+        assert_eq!(r.attribution.levels.len(), 2);
+        assert_eq!(r.attribution.levels[0].class, Bottleneck::Compute);
+        assert_eq!(r.attribution.levels[1].class, Bottleneck::Retry);
+        assert_eq!(r.critical_path.levels.len(), 2);
+        assert_eq!(r.imbalance.rank_work.len(), 2);
+        assert_eq!(r.imbalance.supernode_work.len(), 2, "group size 1");
+    }
+
+    #[test]
+    fn renderers_are_deterministic_and_well_formed() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.to_text(), b.to_text());
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_counters(), b.to_counters());
+        check_syntax(&a.to_json()).expect("insight json");
+        assert!(a.to_text().contains("== bottleneck attribution"));
+        assert!(a.to_text().contains("== critical path"));
+        assert!(a.to_text().contains("== load imbalance"));
+    }
+
+    #[test]
+    fn counters_have_a_fixed_key_set() {
+        let cs = sample().to_counters();
+        for c in Bottleneck::ALL {
+            assert!(
+                cs.iter().any(|(k, _)| k == format!("insight.class.{}", c.as_str())),
+                "missing class key for {}",
+                c.as_str()
+            );
+        }
+        assert_eq!(cs.get("insight.levels"), 2);
+        assert_eq!(cs.get("insight.class.retry"), 1);
+        assert!(cs.get("insight.critical_units") > 0);
+        assert_eq!(cs.get("insight.level01.class"), 5, "retry ordinal");
+    }
+
+    #[test]
+    fn deviation_attaches_to_text_and_counters() {
+        let mut p = CounterSet::new();
+        p.set("makespan_ns", 100);
+        let mut m = CounterSet::new();
+        m.set("makespan_ns", 150);
+        let r = sample().with_deviation(deviation::compare(&p, &m));
+        assert!(r.to_text().contains("== model vs measured =="));
+        assert_eq!(r.to_counters().get("insight.model.max_error_permille"), 500);
+        check_syntax(&r.to_json()).expect("json with deviation");
+    }
+
+    #[test]
+    fn permille_formatting_is_fixed_point() {
+        assert_eq!(permille_str(0), "0.000");
+        assert_eq!(permille_str(1234), "1.234");
+        assert_eq!(permille_str(1002), "1.002");
+    }
+}

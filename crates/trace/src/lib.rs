@@ -33,12 +33,14 @@
 //! are no-ops): all JSON in and out of this crate is hand-rolled and
 //! deterministic.
 
+pub mod analyze;
 pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod ring;
 pub mod tracer;
 
+pub use analyze::{analyze, InsightReport, MachineContext};
 pub use json::check_syntax;
 pub use metrics::{is_max_key, Counter, CounterSet, Gauge, Registry};
 pub use report::{LaneReport, TraceReport};
