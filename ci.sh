@@ -7,6 +7,11 @@ cargo build --release
 cargo test -q
 cargo clippy -- -D warnings
 
+# Docs gate: the API surface must document cleanly (the engine module
+# additionally carries #[deny(missing_docs)], so an undocumented public
+# item on the Transport seam fails right here).
+cargo doc --no-deps -q
+
 # Chaos smoke: the differential fault harness under its fixed seeds —
 # randomized survivable schedules must stay bit-identical to the
 # fault-free oracle, unsurvivable ones must fail structurally.

@@ -11,6 +11,7 @@
 //! BC is run on large graphs.
 
 use crate::runtime::AlgoCluster;
+use swbfs_core::engine::Transport;
 use sw_graph::{Csr, EdgeList, Vid};
 use swbfs_core::instrument as ins;
 use swbfs_core::messages::EdgeRec;
@@ -24,7 +25,10 @@ struct Sweep {
 
 /// Runs exact Brandes BC from every vertex in `sources`, returning the
 /// per-vertex centrality (undirected convention: contributions halved).
-pub fn betweenness_distributed(cluster: &mut AlgoCluster, sources: &[Vid]) -> Vec<f64> {
+pub fn betweenness_distributed<T: Transport>(
+    cluster: &mut AlgoCluster<T>,
+    sources: &[Vid],
+) -> Vec<f64> {
     let ranks = cluster.num_ranks() as usize;
     let n = cluster.num_vertices() as usize;
     let mut bc = vec![0.0f64; n];

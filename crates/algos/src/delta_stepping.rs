@@ -10,6 +10,7 @@
 //! benefits from the same relay batching.
 
 use crate::runtime::{edge_weight, AlgoCluster};
+use swbfs_core::engine::Transport;
 use crate::sssp::INF;
 use sw_graph::Vid;
 use sw_trace::Tracer;
@@ -19,8 +20,8 @@ use swbfs_core::modules::Outboxes;
 
 /// Runs Δ-stepping from `root` with synthetic weights in `1..=max_weight`
 /// and bucket width `delta`. Returns per-vertex distances.
-pub fn sssp_delta_stepping(
-    cluster: &mut AlgoCluster,
+pub fn sssp_delta_stepping<T: Transport>(
+    cluster: &mut AlgoCluster<T>,
     root: Vid,
     max_weight: u64,
     delta: u64,
@@ -174,8 +175,8 @@ pub fn sssp_delta_stepping(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn relax(
-    cluster: &AlgoCluster,
+fn relax<T: Transport>(
+    cluster: &AlgoCluster<T>,
     dist: &mut [Vec<u64>],
     pending: &mut [Vec<bool>],
     out: &mut [Outboxes],
@@ -199,8 +200,8 @@ fn relax(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn apply(
-    cluster: &AlgoCluster,
+fn apply<T: Transport>(
+    cluster: &AlgoCluster<T>,
     dist: &mut [Vec<u64>],
     pending: &mut [Vec<bool>],
     inboxes: &[Vec<EdgeRec>],

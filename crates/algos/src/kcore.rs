@@ -7,13 +7,14 @@
 //! Terminates when a round peels nothing.
 
 use crate::runtime::AlgoCluster;
+use swbfs_core::engine::Transport;
 use sw_graph::{Csr, EdgeList};
 use swbfs_core::instrument as ins;
 use swbfs_core::messages::EdgeRec;
 
 /// Runs distributed k-core; returns a boolean per vertex: true iff the
 /// vertex is in the k-core.
-pub fn kcore_distributed(cluster: &mut AlgoCluster, k: u64) -> Vec<bool> {
+pub fn kcore_distributed<T: Transport>(cluster: &mut AlgoCluster<T>, k: u64) -> Vec<bool> {
     let ranks = cluster.num_ranks() as usize;
     let n = cluster.num_vertices() as usize;
 

@@ -7,6 +7,7 @@
 //! is redistributed uniformly, keeping the distribution stochastic.
 
 use crate::runtime::AlgoCluster;
+use swbfs_core::engine::Transport;
 use sw_graph::Vid;
 use swbfs_core::instrument as ins;
 use swbfs_core::messages::EdgeRec;
@@ -16,7 +17,10 @@ pub const DAMPING: f64 = 0.85;
 
 /// Runs `iterations` of distributed PageRank; returns per-vertex scores
 /// summing to 1.
-pub fn pagerank_distributed(cluster: &mut AlgoCluster, iterations: u32) -> Vec<f64> {
+pub fn pagerank_distributed<T: Transport>(
+    cluster: &mut AlgoCluster<T>,
+    iterations: u32,
+) -> Vec<f64> {
     let ranks = cluster.num_ranks() as usize;
     let n = cluster.num_vertices() as usize;
 

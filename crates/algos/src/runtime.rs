@@ -1,19 +1,24 @@
 //! Shared distributed scaffolding for the non-BFS kernels: 1-D partitioned
-//! CSRs plus the BFS's record exchange.
+//! CSRs plus the BFS's record exchange, over any [`Transport`].
 
 use rayon::prelude::*;
 use sw_graph::{Csr, EdgeList, Partition1D, Vid};
 use sw_net::GroupLayout;
 use sw_trace::{CounterSet, Tracer};
-use swbfs_core::arena::ExchangeArena;
 use swbfs_core::config::Messaging;
+use swbfs_core::engine::{SharedMem, Transport};
 use swbfs_core::exchange::{Codec, ExchangeStats};
 use swbfs_core::instrument as ins;
 use swbfs_core::messages::EdgeRec;
 use swbfs_core::modules::Outboxes;
 
 /// A cluster of ranks for shuffle-shaped graph kernels.
-pub struct AlgoCluster {
+///
+/// Generic over the same [`Transport`] seam the BFS engine runs on:
+/// kernels written against `AlgoCluster` run unchanged over the pooled
+/// shared-memory fabric (the default) or any other registered
+/// transport.
+pub struct AlgoCluster<T: Transport = SharedMem> {
     /// Vertex ownership.
     pub part: Partition1D,
     /// Relay-group arrangement.
@@ -24,23 +29,35 @@ pub struct AlgoCluster {
     pub messaging: Messaging,
     /// Accumulated exchange statistics.
     pub stats: ExchangeStats,
-    /// Pooled exchange buffers shared by every round of every kernel run
-    /// on this cluster.
-    arena: ExchangeArena,
+    /// The message fabric every round's records travel through.
+    transport: T,
     /// Optional span recorder (same `Option<&Tracer>` hooks as the BFS
-    /// backends; a `None` costs one discriminant check per phase).
+    /// engine; a `None` costs one discriminant check per phase).
     tracer: Option<Tracer>,
     /// Canonical flattened counters (`exchange.*`/`pool.*`/`faults.*`),
-    /// merged through `absorb_exchange` like every BFS backend.
+    /// merged through `absorb_exchange` like the BFS engine.
     metrics: CounterSet,
     /// Current algorithm round, used as the span level tag.
     round: u32,
 }
 
-impl AlgoCluster {
+impl AlgoCluster<SharedMem> {
     /// Partitions `el` over `ranks` ranks with relay groups of
-    /// `group_size`.
+    /// `group_size`, on the default shared-memory transport.
     pub fn new(el: &EdgeList, ranks: u32, group_size: u32, messaging: Messaging) -> Self {
+        Self::with_transport(el, ranks, group_size, messaging, SharedMem::new())
+    }
+}
+
+impl<T: Transport> AlgoCluster<T> {
+    /// [`AlgoCluster::new`] over an explicit message fabric.
+    pub fn with_transport(
+        el: &EdgeList,
+        ranks: u32,
+        group_size: u32,
+        messaging: Messaging,
+        mut transport: T,
+    ) -> Self {
         assert!(ranks > 0 && el.num_vertices >= ranks as u64);
         let part = Partition1D::new(el.num_vertices, ranks);
         let csrs: Vec<Csr> = (0..ranks)
@@ -50,24 +67,25 @@ impl AlgoCluster {
                 Csr::from_edge_list_rows(el, s, e - s)
             })
             .collect();
+        transport.setup(ranks as usize);
         Self {
             part,
             layout: GroupLayout::new(ranks, group_size.min(ranks)),
             csrs,
             messaging,
             stats: ExchangeStats::default(),
-            arena: ExchangeArena::new(ranks as usize),
+            transport,
             tracer: None,
             metrics: CounterSet::new(),
             round: 0,
         }
     }
 
-    /// Arms (or disarms) span/counter recording. Also arms the pooled
-    /// arena, so exchange rounds record `bucket`/`deliver` spans on the
-    /// rank lanes exactly like the BFS backends.
+    /// Arms (or disarms) span/counter recording. Also arms the
+    /// transport, so exchange rounds record `bucket`/`deliver` spans on
+    /// the rank lanes exactly like the BFS engine.
     pub fn set_tracer(&mut self, t: Option<Tracer>) {
-        self.arena.set_tracer(t.clone());
+        self.transport.set_tracer(t.clone());
         self.tracer = t;
     }
 
@@ -79,16 +97,16 @@ impl AlgoCluster {
 
     /// Canonical flattened counters accumulated by
     /// [`Self::exchange_round`] — the same `exchange.*`/`pool.*`/
-    /// `faults.*` key set the BFS backends report.
+    /// `faults.*` key set the BFS engine reports.
     pub fn metrics(&self) -> &CounterSet {
         &self.metrics
     }
 
-    /// Tags subsequent spans (including the arena's bucket/deliver
+    /// Tags subsequent spans (including the transport's bucket/deliver
     /// spans) with algorithm round `round` as the level.
     pub fn set_round(&mut self, round: u32) {
         self.round = round;
-        self.arena.set_trace_level(round);
+        self.transport.set_trace_level(round);
     }
 
     /// The current round set by [`Self::set_round`].
@@ -109,26 +127,28 @@ impl AlgoCluster {
     /// Runs one exchange round under the configured transport, sorting
     /// inboxes for determinism, and accumulates traffic statistics.
     pub fn exchange_round(&mut self, out: Vec<Outboxes>) -> Vec<Vec<EdgeRec>> {
-        let (mut inboxes, st) = self
-            .arena
-            .exchange(self.messaging, out, &self.layout, Codec::Fixed(16));
+        let (mut inboxes, st) =
+            self.transport
+                .exchange(self.messaging, out, &self.layout, Codec::Fixed(16));
         self.stats.absorb(&st);
         ins::absorb_exchange(&mut self.metrics, &st);
-        inboxes.par_iter_mut().for_each(|b| b.sort_unstable());
+        if !self.transport.delivers_sorted() {
+            inboxes.par_iter_mut().for_each(|b| b.sort_unstable());
+        }
         inboxes
     }
 
-    /// Checks per-rank outboxes out of the pooled arena (cleared, with
-    /// the capacity earlier rounds grew).
+    /// Checks per-rank outboxes out of the transport (cleared, with
+    /// whatever capacity a pooled fabric retained from earlier rounds).
     pub fn lend_outboxes(&mut self) -> Vec<Outboxes> {
-        self.arena.lend_outboxes()
+        self.transport.lend_outboxes()
     }
 
-    /// Returns inbox buffers to the pool after a round's records have
-    /// been applied, so multi-round kernels stop allocating once buffers
-    /// reach the working size.
+    /// Returns inbox buffers to the transport after a round's records
+    /// have been applied, so multi-round kernels on a pooled fabric stop
+    /// allocating once buffers reach the working size.
     pub fn recycle_inboxes(&mut self, inboxes: Vec<Vec<EdgeRec>>) {
-        self.arena.recycle_inboxes(inboxes);
+        self.transport.recycle_inboxes(inboxes);
     }
 }
 
@@ -148,6 +168,7 @@ pub fn edge_weight(u: Vid, v: Vid, max_weight: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use swbfs_core::engine::Channels;
 
     #[test]
     fn cluster_partitions_cover_graph() {
@@ -189,6 +210,31 @@ mod tests {
         }
         // Warm-up round may grow buffers; later identical rounds must not.
         assert!(c.stats.pool_reused_bytes > 0);
+    }
+
+    #[test]
+    fn transports_deliver_identical_rounds() {
+        let el = EdgeList::new(6, vec![(0, 1), (2, 3)]);
+        let mut shm = AlgoCluster::new(&el, 3, 2, Messaging::Direct);
+        let mut chn =
+            AlgoCluster::with_transport(&el, 3, 2, Messaging::Direct, Channels::new());
+        let fill = |out: &mut Vec<Outboxes>| {
+            for i in 0..16u64 {
+                out[0].push(1, EdgeRec { u: 16 - i, v: i });
+                out[2].push(1, EdgeRec { u: i, v: 7 });
+            }
+        };
+        let mut a = shm.lend_outboxes();
+        fill(&mut a);
+        let mut b = chn.lend_outboxes();
+        fill(&mut b);
+        let ia = shm.exchange_round(a);
+        let ib = chn.exchange_round(b);
+        assert_eq!(ia, ib, "fabrics deliver different records");
+        assert_eq!(
+            shm.stats.record_hops, chn.stats.record_hops,
+            "fabrics count different hops"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::runtime::{edge_weight, AlgoCluster};
 use std::collections::BinaryHeap;
 use sw_graph::{Csr, EdgeList, Vid};
+use swbfs_core::engine::Transport;
 use swbfs_core::instrument as ins;
 use swbfs_core::messages::EdgeRec;
 
@@ -19,7 +20,11 @@ pub const INF: u64 = u64::MAX;
 
 /// Runs distributed SSSP from `root` with weights in `1..=max_weight`;
 /// returns per-vertex distances (`INF` when unreachable).
-pub fn sssp_distributed(cluster: &mut AlgoCluster, root: Vid, max_weight: u64) -> Vec<u64> {
+pub fn sssp_distributed<T: Transport>(
+    cluster: &mut AlgoCluster<T>,
+    root: Vid,
+    max_weight: u64,
+) -> Vec<u64> {
     let ranks = cluster.num_ranks() as usize;
     let n = cluster.num_vertices() as usize;
 

@@ -9,11 +9,12 @@
 
 use crate::runtime::AlgoCluster;
 use sw_graph::{Csr, EdgeList, Vid};
+use swbfs_core::engine::Transport;
 use swbfs_core::instrument as ins;
 use swbfs_core::messages::EdgeRec;
 
 /// Runs distributed WCC; returns the per-vertex component label.
-pub fn wcc_distributed(cluster: &mut AlgoCluster) -> Vec<Vid> {
+pub fn wcc_distributed<T: Transport>(cluster: &mut AlgoCluster<T>) -> Vec<Vid> {
     let ranks = cluster.num_ranks() as usize;
     let n = cluster.num_vertices() as usize;
 

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sw_graph::{generate_kronecker, Csr, EdgeList, KroneckerConfig};
 use swbfs_core::baseline::parallel_bfs;
-use swbfs_core::{BfsConfig, Messaging, ThreadedCluster};
+use swbfs_core::{BfsConfig, ClusterBuilder, Messaging};
 
 const SCALE: u32 = 15;
 const RANKS: u32 = 8;
@@ -16,7 +16,7 @@ fn graph() -> EdgeList {
 }
 
 fn bench_config(c: &mut Criterion, name: &str, el: &EdgeList, cfg: BfsConfig) {
-    let mut cluster = ThreadedCluster::new(el, RANKS, cfg).unwrap();
+    let mut cluster = ClusterBuilder::new(el, RANKS, cfg).build().unwrap();
     let root = (0..el.num_vertices)
         .max_by_key(|&v| cluster.degree_of(v))
         .unwrap();

@@ -8,7 +8,7 @@
 use std::time::Instant;
 use sw_bench::print_table;
 use sw_graph::{generate_kronecker, KroneckerConfig};
-use swbfs_core::{BfsConfig, Messaging, ThreadedCluster};
+use swbfs_core::{BfsConfig, ClusterBuilder, Messaging};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -53,7 +53,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for (name, cfg) in variants {
-        let mut tc = ThreadedCluster::new(&el, ranks, cfg).expect("cluster");
+        let mut tc = ClusterBuilder::new(&el, ranks, cfg).build().expect("cluster");
         let root = (0..el.num_vertices.min(512))
             .max_by_key(|&v| tc.degree_of(v))
             .unwrap();

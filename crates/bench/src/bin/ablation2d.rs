@@ -7,7 +7,7 @@
 use sw_bench::print_table;
 use sw_graph::{generate_kronecker, Csr, KroneckerConfig};
 use swbfs_core::baseline2d::bfs_2d;
-use swbfs_core::{BfsConfig, Messaging, ThreadedCluster};
+use swbfs_core::{BfsConfig, ClusterBuilder, Messaging};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -34,7 +34,7 @@ fn main() {
             ..BfsConfig::threaded_small((procs / side).max(1))
         }
         .with_messaging(messaging);
-        let mut tc = ThreadedCluster::new(&el, procs, cfg).unwrap();
+        let mut tc = ClusterBuilder::new(&el, procs, cfg).build().unwrap();
         let out = tc.run(root).unwrap();
         let records: u64 = out.levels.iter().map(|l| l.records_generated).sum();
         (out, records)

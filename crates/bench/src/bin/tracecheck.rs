@@ -30,7 +30,7 @@ use sw_bench::snapshot::{
 use sw_graph::{generate_kronecker, KroneckerConfig};
 use sw_trace::json::parse_flat_u64;
 use sw_trace::{ClockDomain, Tracer};
-use swbfs_core::{BfsConfig, Messaging, ThreadedCluster};
+use swbfs_core::{BfsConfig, ClusterBuilder, Messaging};
 
 struct Opts {
     write: bool,
@@ -111,8 +111,9 @@ fn main() -> ExitCode {
             o.workload.seed,
         ));
         let cfg = BfsConfig::threaded_small(4).with_messaging(Messaging::Relay);
-        let mut cluster =
-            ThreadedCluster::new(&el, o.workload.ranks, cfg).expect("cluster setup");
+        let mut cluster = ClusterBuilder::new(&el, o.workload.ranks, cfg)
+            .build()
+            .expect("cluster setup");
         let tracer =
             Tracer::for_ranks(ClockDomain::Wall, o.workload.ranks as usize, 1 << 15);
         cluster.set_tracer(Some(tracer.clone()));

@@ -29,7 +29,7 @@ use sw_net::{flow_prediction, simulate_phase, NetworkConfig, SimMessage};
 use sw_trace::analyze::deviation;
 use sw_trace::report::TraceReport;
 use sw_trace::{analyze, ClockDomain, CounterSet, MachineContext, Tracer};
-use swbfs_core::{BfsConfig, ChannelCluster, Messaging, ThreadedCluster};
+use swbfs_core::{BfsConfig, Channels, ClusterBuilder, Messaging};
 
 /// The fixed-seed workload parameters shared by every snapshot binary.
 #[derive(Clone, Copy, Debug)]
@@ -80,7 +80,9 @@ pub fn collect_trace(w: &Workload) -> (CounterSet, TraceReport) {
     // domain so the event totals themselves are checkable numbers.
     for (prefix, messaging) in [("direct", Messaging::Direct), ("relay", Messaging::Relay)] {
         let cfg = BfsConfig::threaded_small(4).with_messaging(messaging);
-        let mut cluster = ThreadedCluster::new(&el, w.ranks, cfg).expect("cluster setup");
+        let mut cluster = ClusterBuilder::new(&el, w.ranks, cfg)
+            .build()
+            .expect("cluster setup");
         let tracer = Tracer::for_ranks(ClockDomain::VirtualWork, w.ranks as usize, 1 << 15);
         cluster.set_tracer(Some(tracer.clone()));
         cluster.run(root).expect("BFS run");
@@ -97,7 +99,10 @@ pub fn collect_trace(w: &Workload) -> (CounterSet, TraceReport) {
 
     // The channel backend on the same graph (Direct mesh).
     let cfg = BfsConfig::threaded_small(4).with_messaging(Messaging::Direct);
-    let mut chans = ChannelCluster::new(&el, w.ranks, cfg).expect("channel setup");
+    let mut chans = ClusterBuilder::new(&el, w.ranks, cfg)
+        .transport(Channels::new())
+        .build()
+        .expect("channel setup");
     chans.run(root).expect("channel BFS run");
     combined.merge_prefixed("channels", chans.metrics());
 

@@ -1,797 +1,44 @@
-//! A true multi-threaded rank runtime over crossbeam channels.
+//! Deprecated facade: the channel backend is now the channel-transport
+//! configuration of the unified superstep engine.
 //!
-//! [`crate::threaded::ThreadedCluster`] executes ranks as data (parallel
-//! phases over a rank vector) — ideal for determinism and statistics.
-//! [`ChannelCluster`] instead runs **one OS thread per rank**, with all
-//! communication over MPI-like point-to-point channels: every rank sends
-//! exactly one `Records` message to every peer per phase (empty ones are
-//! the paper's termination indicators), statistics travel as broadcast
-//! packets, and the direction policy is evaluated redundantly on every
-//! rank from identical global sums — no coordinator, exactly like the
-//! real SPMD program.
+//! The SPMD runtime that used to live here — one OS thread per rank,
+//! redundant per-rank policy loops, stat all-reduce broadcasts, hub
+//! packet exchange — duplicated the entire BFS lifecycle of the
+//! threaded backend. That lifecycle now lives once in
+//! [`crate::engine::SuperstepEngine`]; the genuinely channel-specific
+//! part (records really travelling between OS threads over a crossbeam
+//! point-to-point mesh, one `Records` message per ordered rank pair per
+//! phase, empty ones as termination indicators) became the
+//! [`crate::engine::Channels`] transport. What remains here is a name:
+//! [`ChannelCluster`] is exactly `SuperstepEngine<Channels>`, kept so
+//! existing callers compile — and, now that both names share one
+//! engine, the channel backend gained the full telemetry surface
+//! (`pool_counters`, `injection_trace`, `is_degraded`) it used to lack.
 //!
-//! The two backends must produce identical parent maps; the test suite
-//! holds them to that.
+//! New code should build through [`crate::engine::ClusterBuilder`]:
 //!
-//! Error discipline: every send/recv failure — organic or injected by an
-//! armed [`FaultPlan`] — surfaces as a structured
-//! [`ExchangeError`], never a panic in a rank thread. A failing rank
-//! broadcasts an `Abort` packet to every peer before returning, so no
-//! peer is left blocking on a receive that will never complete (the
-//! sender mesh outlives the thread scope, so channels do not close on
-//! their own).
+//! ```no_run
+//! use swbfs_core::engine::{Channels, ClusterBuilder};
+//! # let el = sw_graph::generate_kronecker(&sw_graph::KroneckerConfig::graph500(10, 1));
+//! # let cfg = swbfs_core::BfsConfig::threaded_small(2);
+//! let mut bfs = ClusterBuilder::new(&el, 4, cfg)
+//!     .transport(Channels::new())
+//!     .build()
+//!     .unwrap();
+//! ```
 
-use crate::config::BfsConfig;
-use crate::error::{ExchangeError, ExecError};
-use crate::exchange::{msgs_for, Codec, ExchangeStats, MSG_HEADER_BYTES};
-use crate::faults::{FaultPlan, FaultSession, MsgDesc, RetryPolicy};
-use crate::hubs::HubState;
-use crate::instrument as ins;
-use crate::messages::EdgeRec;
-use crate::modules::{
-    backward_generator, backward_handler, forward_generator, forward_handler, Outboxes,
-};
-use crate::policy::{Direction, PolicyInputs, TraversalPolicy};
-use crate::rank::RankState;
-use crate::result::BfsOutput;
-use crate::NO_PARENT;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use sw_graph::hub::HubSet;
-use sw_graph::{Bitmap, EdgeList, Partition1D, Vid};
-use sw_net::GroupLayout;
-use sw_trace::{CounterSet, Tracer};
+use crate::engine::{Channels, SuperstepEngine};
 
-/// Wire packets between rank threads. Every packet carries the sender's
-/// global phase sequence number: ranks advance through communication
-/// phases in lockstep logically, but threads run ahead physically, so a
-/// receiver must be able to stash packets of future phases (the classic
-/// MPI tag/epoch discipline).
-enum Payload {
-    /// One phase's records from a peer (empty = termination indicator).
-    Records(Vec<EdgeRec>),
-    /// A peer's per-level statistic triple `(n_f, m_f, m_u)`.
-    Stats(u64, u64, u64),
-    /// A peer's hub contribution (curr words, visited words).
-    Hubs(Vec<u64>, Vec<u64>),
-    /// The sending rank failed and is shutting the job down; receivers
-    /// stop waiting and return [`ExchangeError::Aborted`] instead of
-    /// deadlocking on packets that will never arrive.
-    Abort(u32),
-}
-
-struct Packet {
-    seq: u64,
-    payload: Payload,
-}
-
-/// Receiver with an out-of-phase stash.
-struct Mailbox {
-    rx: Receiver<Packet>,
-    pending: Vec<Packet>,
-}
-
-impl Mailbox {
-    fn new(rx: Receiver<Packet>) -> Self {
-        Self {
-            rx,
-            pending: Vec::new(),
-        }
-    }
-
-    /// Receives exactly `count` packets of phase `seq`, stashing any
-    /// future-phase packets that arrive in between. An `Abort` packet
-    /// short-circuits regardless of its phase; a closed channel maps to
-    /// a structured error rather than a panic.
-    fn recv_phase(&mut self, seq: u64, count: usize) -> Result<Vec<Payload>, ExchangeError> {
-        let mut got = Vec::with_capacity(count);
-        // Drain matching stashed packets first.
-        let mut i = 0;
-        while i < self.pending.len() {
-            if self.pending[i].seq == seq {
-                got.push(self.pending.swap_remove(i).payload);
-            } else {
-                i += 1;
-            }
-        }
-        while got.len() < count {
-            let pkt = self.rx.recv().map_err(|_| ExchangeError::Protocol {
-                phase: seq,
-                detail: "receive channel closed mid-phase",
-            })?;
-            if let Payload::Abort(by) = pkt.payload {
-                return Err(ExchangeError::Aborted { by });
-            }
-            debug_assert!(pkt.seq >= seq, "stale packet from phase {}", pkt.seq);
-            if pkt.seq == seq {
-                got.push(pkt.payload);
-            } else {
-                self.pending.push(pkt);
-            }
-        }
-        Ok(got)
-    }
-}
-
-/// Sends one packet, mapping a hung-up peer to a structured error.
-fn send_to(senders: &[Sender<Packet>], d: usize, pkt: Packet) -> Result<(), ExchangeError> {
-    senders[d]
-        .send(pkt)
-        .map_err(|_| ExchangeError::PeerDisconnected { rank: d as u32 })
-}
-
-/// Tells every peer this rank is going down. Best-effort: a peer that
-/// already vanished cannot be aborted twice.
-fn broadcast_abort(senders: &[Sender<Packet>], me: usize) {
-    for (d, tx) in senders.iter().enumerate() {
-        if d != me {
-            let _ = tx.send(Packet {
-                seq: u64::MAX,
-                payload: Payload::Abort(me as u32),
-            });
-        }
-    }
-}
-
-/// A cluster whose ranks are OS threads communicating over channels.
-pub struct ChannelCluster {
-    cfg: BfsConfig,
-    part: Partition1D,
-    ranks: Vec<RankState>,
-    hub_set: HubSet,
-    td_limit: u32,
-    fault_plan: Option<FaultPlan>,
-    /// Canonical counter set of the most recent [`Self::run`]: each rank
-    /// thread accumulates its own [`CounterSet`] and the sets merge here
-    /// through the same per-key rule the threaded backend uses — one
-    /// merge path, identical counter coverage on identical traffic.
-    metrics: CounterSet,
-    /// Armed span recorder (one lane per rank, `for_ranks` convention).
-    tracer: Option<Tracer>,
-}
-
-impl ChannelCluster {
-    /// Builds per-rank state (same construction as the phase backend).
-    pub fn new(el: &EdgeList, num_ranks: u32, cfg: BfsConfig) -> Result<Self, ExecError> {
-        if num_ranks == 0 {
-            return Err(ExecError::BadSetup("zero ranks".into()));
-        }
-        cfg.validate().map_err(ExecError::BadSetup)?;
-        if el.num_vertices < num_ranks as u64 {
-            return Err(ExecError::BadSetup("more ranks than vertices".into()));
-        }
-        let part = Partition1D::new(el.num_vertices, num_ranks);
-        let ranks: Vec<RankState> = (0..num_ranks)
-            .map(|r| RankState::build(r, part, el))
-            .collect();
-        let k = cfg.bottom_up_hubs;
-        let mut nominations: Vec<(Vid, u64)> = Vec::new();
-        for r in &ranks {
-            let mut d = r.owned_degrees();
-            d.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-            d.truncate(k);
-            nominations.extend(d);
-        }
-        let hub_set = HubSet::from_degrees(nominations, k);
-        let td_limit = cfg.top_down_hubs.min(hub_set.len()) as u32;
-        Ok(Self {
-            cfg,
-            part,
-            ranks,
-            hub_set,
-            td_limit,
-            fault_plan: None,
-            metrics: CounterSet::new(),
-            tracer: None,
-        })
-    }
-
-    /// The canonical counter set of the most recent [`Self::run`].
-    pub fn metrics(&self) -> &CounterSet {
-        &self.metrics
-    }
-
-    /// Fault-layer telemetry of the most recent [`Self::run`]:
-    /// `(re-sends, faults injected, levels delivered degraded)` — a
-    /// view over [`Self::metrics`], same keys as the threaded backend.
-    pub fn fault_counters(&self) -> (u64, u64, u64) {
-        (
-            self.metrics.get(ins::FAULTS_RETRIES),
-            self.metrics.get(ins::FAULTS_INJECTED),
-            self.metrics.get(ins::FAULTS_DEGRADED_LEVELS),
-        )
-    }
-
-    /// Arms (or disarms with `None`) a span tracer; rank `r` records
-    /// onto lane `r`.
-    pub fn set_tracer(&mut self, tracer: Option<Tracer>) {
-        self.tracer = tracer;
-    }
-
-    /// Builder form of [`Self::set_tracer`].
-    #[must_use]
-    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
-        self.set_tracer(Some(tracer));
-        self
-    }
-
-    /// Arms (or disarms with `None`) a deterministic fault plan. Each
-    /// rank thread replays the same schedule against its own outgoing
-    /// traffic, so a given `(plan, root)` pair always fails — or
-    /// survives — identically.
-    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
-        self.fault_plan = plan;
-    }
-
-    /// Builder-style variant of [`Self::set_fault_plan`].
-    #[must_use]
-    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.set_fault_plan(Some(plan));
-        self
-    }
-
-    /// Runs one BFS from `root` with every rank on its own thread.
-    pub fn run(&mut self, root: Vid) -> Result<BfsOutput, ExecError> {
-        if root >= self.part.num_vertices() {
-            return Err(ExecError::BadRoot {
-                root,
-                reason: "outside the vertex id space",
-            });
-        }
-        let p = self.part.num_ranks() as usize;
-        self.metrics.clear();
-
-        // Channel mesh: chans[d] receives what anyone sends to rank d.
-        let mut senders: Vec<Sender<Packet>> = Vec::with_capacity(p);
-        let mut receivers: Vec<Option<Receiver<Packet>>> = Vec::with_capacity(p);
-        for _ in 0..p {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            receivers.push(Some(rx));
-        }
-
-        // Move rank states into the threads; get them back when done.
-        let states: Vec<RankState> = std::mem::take(&mut self.ranks);
-        let cfg = self.cfg;
-        let hub_set = &self.hub_set;
-        let td_limit = self.td_limit;
-        let senders_ref = &senders;
-        let plan_ref = self.fault_plan.as_ref();
-        let tracer_ref = self.tracer.as_ref();
-
-        type RankResult = (
-            RankState,
-            CounterSet,
-            Result<Vec<crate::result::LevelStats>, ExecError>,
-        );
-        let results: Vec<RankResult> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(p);
-            for (r, mut st) in states.into_iter().enumerate() {
-                let rx = receivers[r].take().expect("receiver taken once");
-                handles.push(scope.spawn(move || {
-                    let mut metrics = CounterSet::new();
-                    let stats = rank_main(
-                        &mut st,
-                        Mailbox::new(rx),
-                        senders_ref,
-                        cfg,
-                        hub_set,
-                        td_limit,
-                        root,
-                        plan_ref,
-                        &mut metrics,
-                        tracer_ref,
-                    );
-                    (st, metrics, stats)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank thread panicked"))
-                .collect()
-        });
-
-        // Reassemble state unconditionally — even a failed run must hand
-        // the rank states back so the cluster stays reusable — then pick
-        // the most meaningful error: the rank that hit the root cause,
-        // not the peers that merely observed its abort.
-        let mut parents = vec![NO_PARENT; self.part.num_vertices() as usize];
-        let mut states = Vec::with_capacity(p);
-        let mut levels = Vec::new();
-        let mut root_cause: Option<ExecError> = None;
-        let mut any_err: Option<ExecError> = None;
-        for (st, rank_metrics, stats) in results {
-            let (start, _) = self.part.range(st.rank);
-            parents[start as usize..start as usize + st.owned()].copy_from_slice(&st.parent);
-            // The one merge path: per-key rule (max_* by maximum, the
-            // rest by sum), identical to the threaded backend's.
-            self.metrics.merge(&rank_metrics);
-            match stats {
-                Ok(stats) => {
-                    if st.rank == 0 {
-                        // Every rank derives identical global stats; rank
-                        // 0's copy is the canonical record.
-                        levels = stats;
-                    }
-                }
-                Err(e) => {
-                    let secondary = matches!(
-                        e,
-                        ExecError::Exchange(ExchangeError::Aborted { .. })
-                    );
-                    if !secondary && root_cause.is_none() {
-                        root_cause = Some(e);
-                    } else if any_err.is_none() {
-                        any_err = Some(e);
-                    }
-                }
-            }
-            states.push(st);
-        }
-        states.sort_by_key(|s| s.rank);
-        self.ranks = states;
-        if let Some(e) = root_cause.or(any_err) {
-            return Err(e);
-        }
-        Ok(BfsOutput {
-            root,
-            parents,
-            levels,
-        })
-    }
-}
-
-/// The SPMD entry every rank thread executes. On failure the rank
-/// broadcasts an `Abort` so no peer blocks forever; a rank that failed
-/// *because* of an abort does not re-broadcast (one storm is enough).
-#[allow(clippy::too_many_arguments)]
-fn rank_main(
-    st: &mut RankState,
-    mbox: Mailbox,
-    senders: &[Sender<Packet>],
-    cfg: BfsConfig,
-    hub_set: &HubSet,
-    td_limit: u32,
-    root: Vid,
-    fault_plan: Option<&FaultPlan>,
-    metrics: &mut CounterSet,
-    tracer: Option<&Tracer>,
-) -> Result<Vec<crate::result::LevelStats>, ExecError> {
-    let me = st.rank as usize;
-    match rank_body(st, mbox, senders, cfg, hub_set, td_limit, root, fault_plan, metrics, tracer) {
-        Ok(levels) => Ok(levels),
-        Err(e) => {
-            if !matches!(e, ExchangeError::Aborted { .. }) {
-                broadcast_abort(senders, me);
-            }
-            Err(ExecError::Exchange(e))
-        }
-    }
-}
-
-/// The SPMD body. Returns the per-level global statistics this rank
-/// derived (identical on every rank).
-#[allow(clippy::too_many_arguments)]
-fn rank_body(
-    st: &mut RankState,
-    mut mbox: Mailbox,
-    senders: &[Sender<Packet>],
-    cfg: BfsConfig,
-    hub_set: &HubSet,
-    td_limit: u32,
-    root: Vid,
-    fault_plan: Option<&FaultPlan>,
-    metrics: &mut CounterSet,
-    tracer: Option<&Tracer>,
-) -> Result<Vec<crate::result::LevelStats>, ExchangeError> {
-    let p = senders.len();
-    let me = st.rank as usize;
-    // Same grouping the threaded backend's wire accounting uses, so the
-    // inter-group byte classification agrees rank for rank.
-    let layout = GroupLayout::new(p as u32, cfg.group_size.min(p as u32));
-    // Every rank replays the plan independently; decisions are pure
-    // functions of (seed, phase, src, dst, attempt), so the per-rank
-    // sessions agree without any cross-thread coordination.
-    let mut session: Option<FaultSession> = fault_plan.map(|pl| FaultSession::new(pl.clone()));
-    let retry = cfg.retry;
-    let mut hubs = HubState::with_td_limit(hub_set.clone(), td_limit);
-    let mut policy = TraversalPolicy::new(cfg.alpha, cfg.beta);
-    // Global phase counter; identical progression on every rank because
-    // the policy decisions are computed from identical global sums.
-    let mut seq = 0u64;
-
-    // Reset and seed.
-    st.parent.fill(NO_PARENT);
-    st.curr.clear();
-    st.next.clear();
-    if st.owns(root) {
-        let rl = st.local(root);
-        st.claim(rl, root);
-    }
-    exchange_hubs(st, &mut hubs, &mut mbox, senders, me, &mut seq)?;
-    st.advance_level();
-
-    let mut levels: Vec<crate::result::LevelStats> = Vec::new();
-    // Flat record buffers reused across every level of the run; each
-    // exchange drains them but keeps the capacity.
-    let mut out = Outboxes::new(p);
-    let mut replies = Outboxes::new(p);
-    loop {
-        // Global statistics by symmetric broadcast.
-        let (n_f, m_f, m_u) = allreduce_stats(st, &mut mbox, senders, me, &mut seq)?;
-        if let Some(last) = levels.last_mut() {
-            // Everything in this frontier settled during the prior level.
-            last.settled = n_f;
-        }
-        if n_f == 0 {
-            break;
-        }
-        let dir = if cfg.force_top_down {
-            Direction::TopDown
-        } else {
-            policy.decide(&PolicyInputs {
-                frontier_vertices: n_f,
-                frontier_edges: m_f,
-                unvisited_edges: m_u,
-                total_vertices: st.part.num_vertices(),
-            })
-        };
-
-        levels.push(crate::result::LevelStats {
-            level: levels.len() as u32,
-            direction: dir,
-            frontier_vertices: n_f,
-            frontier_edges: m_f,
-            unvisited_edges: m_u,
-            ..Default::default()
-        });
-        let lvl = (levels.len() - 1) as u32;
-        match dir {
-            Direction::TopDown => {
-                let t0 = ins::span_begin(tracer);
-                let g = forward_generator(st, &hubs, &mut out);
-                ins::span_end(tracer, me, ins::SPAN_GEN, ins::CAT_COMPUTE, lvl, t0, g.records_out);
-                let inbox = exchange_phase(
-                    &mut out, &mut mbox, senders, me, &mut seq, &mut session, &retry, &cfg,
-                    &layout, metrics, tracer, lvl,
-                )?;
-                let t0 = ins::span_begin(tracer);
-                forward_handler(st, &inbox);
-                ins::span_end(
-                    tracer,
-                    me,
-                    ins::SPAN_HANDLE,
-                    ins::CAT_COMPUTE,
-                    lvl,
-                    t0,
-                    inbox.len() as u64,
-                );
-            }
-            Direction::BottomUp => {
-                let t0 = ins::span_begin(tracer);
-                let g = backward_generator(st, &hubs, &mut out);
-                ins::span_end(tracer, me, ins::SPAN_GEN, ins::CAT_COMPUTE, lvl, t0, g.records_out);
-                let inbox = exchange_phase(
-                    &mut out, &mut mbox, senders, me, &mut seq, &mut session, &retry, &cfg,
-                    &layout, metrics, tracer, lvl,
-                )?;
-                let t0 = ins::span_begin(tracer);
-                backward_handler(st, &inbox, &mut replies);
-                ins::span_end(
-                    tracer,
-                    me,
-                    ins::SPAN_HANDLE,
-                    ins::CAT_COMPUTE,
-                    lvl,
-                    t0,
-                    inbox.len() as u64,
-                );
-                let inbox = exchange_phase(
-                    &mut replies,
-                    &mut mbox,
-                    senders,
-                    me,
-                    &mut seq,
-                    &mut session,
-                    &retry,
-                    &cfg,
-                    &layout,
-                    metrics,
-                    tracer,
-                    lvl,
-                )?;
-                let t0 = ins::span_begin(tracer);
-                forward_handler(st, &inbox);
-                ins::span_end(
-                    tracer,
-                    me,
-                    ins::SPAN_HANDLE,
-                    ins::CAT_COMPUTE,
-                    lvl,
-                    t0,
-                    inbox.len() as u64,
-                );
-            }
-        }
-        exchange_hubs(st, &mut hubs, &mut mbox, senders, me, &mut seq)?;
-        st.advance_level();
-    }
-    Ok(levels)
-}
-
-/// One communication phase: send exactly one `Records` packet to every
-/// peer (the termination indicator when empty), then assemble the inbox
-/// in sender-rank order for determinism.
-///
-/// With a fault session armed, the deterministic schedule is replayed
-/// over this rank's outgoing messages *before* anything touches the
-/// wire: the channel transport delivers at most once, so retries are
-/// simulated against the plan and only a clean phase actually sends.
-#[allow(clippy::too_many_arguments)]
-fn exchange_phase(
-    out: &mut Outboxes,
-    mbox: &mut Mailbox,
-    senders: &[Sender<Packet>],
-    me: usize,
-    seq: &mut u64,
-    session: &mut Option<FaultSession>,
-    retry: &RetryPolicy,
-    cfg: &BfsConfig,
-    layout: &GroupLayout,
-    metrics: &mut CounterSet,
-    tracer: Option<&Tracer>,
-    level: u32,
-) -> Result<Vec<EdgeRec>, ExchangeError> {
-    let p = senders.len();
-    let this = *seq;
-    *seq += 1;
-    let boxes = out.drain_into_boxes();
-    let mut retries = 0u64;
-    let mut faults = 0u64;
-    let sim_result = if let Some(fs) = session.as_mut() {
-        let msgs: Vec<MsgDesc> = boxes
-            .iter()
-            .enumerate()
-            .filter(|(d, _)| *d != me)
-            .map(|(d, recs)| MsgDesc {
-                src: me as u32,
-                dst: d as u32,
-                records: recs.len() as u64,
-                relay: None,
-            })
-            .collect();
-        simulate_sends(fs, &msgs, retry, cfg.compress, &mut retries, &mut faults)
-    } else {
-        Ok(())
-    };
-    // This rank's own wire accounting for the phase: exactly the arena
-    // backend's per-destination arithmetic, so the `set_max` merge of
-    // these per-rank totals reproduces the threaded backend's
-    // max-over-ranks. Fault telemetry is absorbed even when the phase
-    // dies — a post-mortem counter set must show what the fault layer
-    // did.
-    let mut xs = ExchangeStats {
-        retries,
-        faults_injected: faults,
-        ..Default::default()
-    };
-    if let Err(e) = sim_result {
-        ins::absorb_exchange(metrics, &xs);
-        return Err(e);
-    }
-    let eff_compressed =
-        cfg.compress && !session.as_ref().is_some_and(|s| s.compression_disabled());
-    let codec = if eff_compressed {
-        Codec::Compressed
-    } else {
-        Codec::Fixed(cfg.edge_msg_bytes)
-    };
-    for (d, recs) in boxes.iter().enumerate() {
-        if d == me {
-            continue;
-        }
-        let payload = codec.payload_bytes(recs);
-        let msgs = msgs_for(payload);
-        let bytes = payload + msgs * MSG_HEADER_BYTES;
-        xs.messages += msgs;
-        xs.bytes += bytes;
-        xs.record_hops += recs.len() as u64;
-        if layout.group_of(me as u32) != layout.group_of(d as u32) {
-            xs.inter_group_bytes += bytes;
-        }
-    }
-    xs.max_send_msgs_per_rank = xs.messages;
-    xs.max_send_bytes_per_rank = xs.bytes;
-    ins::absorb_exchange(metrics, &xs);
-    if retries > 0 {
-        ins::mark(tracer, me, ins::INSTANT_RETRY, ins::CAT_FAULT, level, retries);
-    }
-    if faults > 0 {
-        ins::mark(tracer, me, ins::INSTANT_FAULT, ins::CAT_FAULT, level, faults);
-    }
-    for (d, recs) in boxes.into_iter().enumerate() {
-        if d != me {
-            send_to(
-                senders,
-                d,
-                Packet {
-                    seq: this,
-                    payload: Payload::Records(recs),
-                },
-            )?;
-        }
-    }
-    let t0 = ins::span_begin(tracer);
-    let mut inbox: Vec<EdgeRec> = Vec::new();
-    for pl in mbox.recv_phase(this, p - 1)? {
-        match pl {
-            Payload::Records(recs) => inbox.extend(recs),
-            _ => {
-                return Err(ExchangeError::Protocol {
-                    phase: this,
-                    detail: "expected records",
-                })
-            }
-        }
-    }
-    inbox.sort_unstable();
-    ins::span_end(
-        tracer,
-        me,
-        ins::SPAN_DELIVER,
-        ins::CAT_NET,
-        level,
-        t0,
-        inbox.len() as u64,
-    );
-    Ok(inbox)
-}
-
-/// Replays the fault schedule for one record phase, accumulating the
-/// retry/fault tallies into the caller's counters (kept even when the
-/// phase ultimately errors). The only in-phase degradation available on
-/// this transport is disabling compression (the mesh is already
-/// point-to-point, so there is no relay to fall back from); anything
-/// else exhausts the retry budget into an error.
-fn simulate_sends(
-    session: &mut FaultSession,
-    msgs: &[MsgDesc],
-    retry: &RetryPolicy,
-    compressed: bool,
-    retries: &mut u64,
-    faults: &mut u64,
-) -> Result<(), ExchangeError> {
-    loop {
-        let eff_compressed = compressed && !session.compression_disabled();
-        let report = session.deliver_phase(msgs, retry, eff_compressed);
-        *retries += report.retries;
-        *faults += report.faults_injected;
-        match report.error {
-            None => {
-                session.end_phase();
-                return Ok(());
-            }
-            Some(err) => {
-                if retry.compression_fallback && eff_compressed && report.truncations > 0 {
-                    session.degrade_compression();
-                    continue;
-                }
-                session.end_phase();
-                return Err(err);
-            }
-        }
-    }
-}
-
-/// Broadcast local stats, sum all ranks' (deterministic policy input).
-fn allreduce_stats(
-    st: &RankState,
-    mbox: &mut Mailbox,
-    senders: &[Sender<Packet>],
-    me: usize,
-    seq: &mut u64,
-) -> Result<(u64, u64, u64), ExchangeError> {
-    let this = *seq;
-    *seq += 1;
-    let local = (
-        st.frontier_vertices(),
-        st.frontier_edges(),
-        st.unvisited_edges(),
-    );
-    for d in 0..senders.len() {
-        if d != me {
-            send_to(
-                senders,
-                d,
-                Packet {
-                    seq: this,
-                    payload: Payload::Stats(local.0, local.1, local.2),
-                },
-            )?;
-        }
-    }
-    let (mut n_f, mut m_f, mut m_u) = local;
-    for pl in mbox.recv_phase(this, senders.len() - 1)? {
-        match pl {
-            Payload::Stats(a, b, c) => {
-                n_f += a;
-                m_f += b;
-                m_u += c;
-            }
-            _ => {
-                return Err(ExchangeError::Protocol {
-                    phase: this,
-                    detail: "expected stats",
-                })
-            }
-        }
-    }
-    Ok((n_f, m_f, m_u))
-}
-
-/// Broadcast hub contributions (from `next` + parent state) and merge.
-fn exchange_hubs(
-    st: &RankState,
-    hubs: &mut HubState,
-    mbox: &mut Mailbox,
-    senders: &[Sender<Packet>],
-    me: usize,
-    seq: &mut u64,
-) -> Result<(), ExchangeError> {
-    let this = *seq;
-    *seq += 1;
-    let nbits = hubs.set.len();
-    let mut curr = Bitmap::new(nbits);
-    let mut visited = Bitmap::new(nbits);
-    for (i, &hv) in hubs.set.hubs().iter().enumerate() {
-        if st.owns(hv) {
-            let l = st.local(hv);
-            if st.next.contains(l) {
-                curr.set(i);
-            }
-            if st.visited(l) {
-                visited.set(i);
-            }
-        }
-    }
-    for d in 0..senders.len() {
-        if d != me {
-            send_to(
-                senders,
-                d,
-                Packet {
-                    seq: this,
-                    payload: Payload::Hubs(
-                        curr.as_words().to_vec(),
-                        visited.as_words().to_vec(),
-                    ),
-                },
-            )?;
-        }
-    }
-    let mut merged_curr = curr;
-    let mut merged_visited = visited;
-    for pl in mbox.recv_phase(this, senders.len() - 1)? {
-        match pl {
-            Payload::Hubs(curr, visited) => {
-                merged_curr.union_with(&Bitmap::from_words(nbits, &curr));
-                merged_visited.union_with(&Bitmap::from_words(nbits, &visited));
-            }
-            _ => {
-                return Err(ExchangeError::Protocol {
-                    phase: this,
-                    detail: "expected hub contributions",
-                })
-            }
-        }
-    }
-    hubs.curr = merged_curr;
-    hubs.visited.union_with(&merged_visited);
-    Ok(())
-}
+/// Deprecated name for [`SuperstepEngine`] over the [`Channels`]
+/// transport. Prefer [`crate::engine::ClusterBuilder`].
+pub type ChannelCluster = SuperstepEngine<Channels>;
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use super::ChannelCluster;
+    use crate::config::BfsConfig;
+    use crate::error::{ExchangeError, ExecError};
+    use crate::faults::FaultPlan;
     use crate::threaded::ThreadedCluster;
     use sw_graph::{generate_kronecker, KroneckerConfig};
 
@@ -896,5 +143,23 @@ mod tests {
         let out = c.run(1).unwrap();
         let oracle = crate::baseline::sequential_bfs_levels(&el, 1);
         assert_eq!(out.levels_from_parents(), oracle);
+    }
+
+    /// The facade-era API drift is gone: the channel backend now exposes
+    /// the full telemetry surface the threaded backend always had.
+    #[test]
+    fn channel_backend_has_the_full_telemetry_surface() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(10, 3));
+        let mut c = ChannelCluster::new(&el, 4, BfsConfig::threaded_small(2))
+            .unwrap()
+            .with_fault_plan(FaultPlan::lossy(5));
+        c.run(2).unwrap();
+        // No buffer pool on this fabric — honestly zero, not absent.
+        assert_eq!(c.pool_counters(), (0, 0));
+        let (retries, injected, _) = c.fault_counters();
+        assert!(injected > 0, "lossy plan never fired");
+        assert!(retries > 0);
+        assert_eq!(c.injection_trace().len() as u64, injected);
+        assert!(!c.is_degraded(), "clamped lossy plan must not degrade");
     }
 }

@@ -1,0 +1,749 @@
+//! The unified superstep engine: one BFS lifecycle over a pluggable
+//! [`Transport`].
+//!
+//! The paper's contribution is a single traversal pipeline —
+//! direction-optimized supersteps, contention-free shuffling, group
+//! relay — that is independent of which fabric carries the messages.
+//! [`SuperstepEngine`] owns that pipeline once: construction and 1-D
+//! partitioning, the [`BfsConfig`] + [`crate::faults::RetryPolicy`]
+//! handling, the Top-Down/Bottom-Up policy loop, fault-plan arming and
+//! degraded-level tracking, the `Option<&Tracer>` span taxonomy
+//! (gen/handle/bucket/deliver/relay/level/hub-gather), and the single
+//! [`crate::instrument::absorb_exchange`] counter-merge path. The
+//! fabric-specific residue — how one phase's records physically move —
+//! lives behind the [`Transport`] trait, implemented by [`SharedMem`]
+//! (the pooled-arena fabric of the original `ThreadedCluster`) and
+//! [`Channels`] (the crossbeam mesh of the original `ChannelCluster`).
+//!
+//! Construction goes through [`ClusterBuilder`]:
+//!
+//! ```
+//! use swbfs_core::engine::{Channels, ClusterBuilder};
+//! use swbfs_core::BfsConfig;
+//! use sw_graph::{generate_kronecker, KroneckerConfig};
+//!
+//! let el = generate_kronecker(&KroneckerConfig::graph500(10, 1));
+//! let cfg = BfsConfig::threaded_small(2);
+//! // Default shared-memory fabric…
+//! let mut bfs = ClusterBuilder::new(&el, 4, cfg).build().unwrap();
+//! // …or any other transport, same lifecycle.
+//! let mut over_channels = ClusterBuilder::new(&el, 4, cfg)
+//!     .transport(Channels::new())
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(
+//!     bfs.run(1).unwrap().parents,
+//!     over_channels.run(1).unwrap().parents,
+//! );
+//! ```
+
+#![deny(missing_docs)]
+
+mod channels;
+mod shared_mem;
+mod transport;
+
+pub use channels::Channels;
+pub use shared_mem::SharedMem;
+pub use transport::Transport;
+
+use crate::config::BfsConfig;
+use crate::error::ExecError;
+use crate::exchange::{Codec, ExchangeStats};
+use crate::faults::{FaultPlan, FaultSession, InjectionEvent};
+use crate::hubs::{gather_hub_level, HubState};
+use crate::instrument as ins;
+use crate::messages::EdgeRec;
+use crate::modules::{
+    backward_generator, backward_handler, forward_generator, forward_handler, ModuleStats,
+    Outboxes,
+};
+use crate::policy::{Direction, PolicyInputs, TraversalPolicy};
+use crate::rank::RankState;
+use crate::result::{BfsOutput, LevelStats};
+use crate::shuffling::check_chip_feasibility;
+use crate::NO_PARENT;
+use rayon::prelude::*;
+use sw_arch::ChipConfig;
+use sw_graph::hub::HubSet;
+use sw_graph::{Bitmap, EdgeList, Partition1D, Vid};
+use sw_net::GroupLayout;
+use sw_trace::{CounterSet, Tracer, NO_LEVEL};
+
+/// Builds a [`SuperstepEngine`] over a chosen [`Transport`].
+///
+/// `ClusterBuilder::new(el, ranks, cfg)` starts on the default
+/// [`SharedMem`] fabric; [`ClusterBuilder::transport`] swaps in any
+/// other. Tracers and fault plans can be armed up front or later via
+/// the engine's setters.
+pub struct ClusterBuilder<'a, T: Transport = SharedMem> {
+    el: &'a EdgeList,
+    num_ranks: u32,
+    cfg: BfsConfig,
+    tracer: Option<Tracer>,
+    fault_plan: Option<FaultPlan>,
+    transport: T,
+}
+
+impl<'a> ClusterBuilder<'a, SharedMem> {
+    /// A builder over `el` partitioned across `num_ranks` ranks, on the
+    /// default shared-memory transport.
+    pub fn new(el: &'a EdgeList, num_ranks: u32, cfg: BfsConfig) -> Self {
+        Self {
+            el,
+            num_ranks,
+            cfg,
+            tracer: None,
+            fault_plan: None,
+            transport: SharedMem::new(),
+        }
+    }
+}
+
+impl<'a, T: Transport> ClusterBuilder<'a, T> {
+    /// Swaps the message fabric the engine will run over.
+    pub fn transport<U: Transport>(self, transport: U) -> ClusterBuilder<'a, U> {
+        ClusterBuilder {
+            el: self.el,
+            num_ranks: self.num_ranks,
+            cfg: self.cfg,
+            tracer: self.tracer,
+            fault_plan: self.fault_plan,
+            transport,
+        }
+    }
+
+    /// Arms a span tracer ([`Tracer::for_ranks`] lane convention).
+    #[must_use]
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Arms a deterministic fault schedule.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Builds the engine: validates the configuration, partitions the
+    /// graph, builds per-rank state and the distributed hub selection,
+    /// and sets the transport up for the job size.
+    pub fn build(self) -> Result<SuperstepEngine<T>, ExecError> {
+        let mut engine =
+            SuperstepEngine::with_transport(self.el, self.num_ranks, self.cfg, self.transport)?;
+        engine.set_tracer(self.tracer);
+        engine.set_fault_plan(self.fault_plan);
+        Ok(engine)
+    }
+
+    /// [`ClusterBuilder::build`] through the *distributed* construction
+    /// path (Graph500 step 3 as the machine runs it): generator chunks
+    /// are shuffled to endpoint owners over the configured messaging
+    /// mode before the local CSR builds. Functionally identical to
+    /// [`ClusterBuilder::build`]; also returns the construction traffic.
+    pub fn build_distributed(self) -> Result<(SuperstepEngine<T>, ExchangeStats), ExecError> {
+        let (el, messaging) = (self.el, self.cfg.messaging);
+        let mut engine = self.build()?;
+        let built = crate::construction::build_distributed(
+            el,
+            &engine.part,
+            &engine.layout,
+            messaging,
+        );
+        for (rank, csr) in built.csrs.into_iter().enumerate() {
+            debug_assert_eq!(csr, engine.ranks[rank].csr);
+            engine.ranks[rank].csr = csr;
+        }
+        Ok((engine, built.stats))
+    }
+}
+
+/// The one BFS lifecycle, generic over the message fabric.
+///
+/// Every run executes the Figure 1 module graph level-synchronously:
+/// the policy decides the direction from global sums, generators fill
+/// per-source outboxes in parallel, the [`Transport`] moves the records
+/// (under the fault session's deterministic schedule when armed),
+/// handlers apply them, and the replicated hub bitmaps are re-gathered.
+/// Statistics flatten through the single
+/// [`crate::instrument::absorb_exchange`] merge path regardless of
+/// fabric, which is what keeps the counter key sets — and, on identical
+/// traffic, the values — identical across transports.
+pub struct SuperstepEngine<T: Transport> {
+    cfg: BfsConfig,
+    part: Partition1D,
+    layout: GroupLayout,
+    ranks: Vec<RankState>,
+    hub_states: Vec<HubState>,
+    /// `(hub_index, local_index)` pairs per rank, for contribution builds.
+    owned_hubs: Vec<Vec<(u32, u32)>>,
+    total_directed_edges: u64,
+    input_edges: u64,
+    transport: T,
+    /// Canonical counter set of the most recent [`Self::run`].
+    metrics: CounterSet,
+    tracer: Option<Tracer>,
+    fault_plan: Option<FaultPlan>,
+    faults: Option<FaultSession>,
+    /// Tests flip this to route records through the seed's nested-Vec
+    /// exchange, the differential oracle for the pooled-arena path.
+    #[cfg(test)]
+    pub(crate) use_legacy_exchange: bool,
+}
+
+impl SuperstepEngine<SharedMem> {
+    /// Shared-memory engine over `el` — the constructor the deprecated
+    /// `ThreadedCluster` facade forwards to.
+    pub fn new(el: &EdgeList, num_ranks: u32, cfg: BfsConfig) -> Result<Self, ExecError> {
+        ClusterBuilder::new(el, num_ranks, cfg).build()
+    }
+
+    /// [`Self::new`] through the distributed construction path; also
+    /// returns the construction traffic.
+    pub fn new_distributed(
+        el: &EdgeList,
+        num_ranks: u32,
+        cfg: BfsConfig,
+    ) -> Result<(Self, ExchangeStats), ExecError> {
+        ClusterBuilder::new(el, num_ranks, cfg).build_distributed()
+    }
+}
+
+impl SuperstepEngine<Channels> {
+    /// Channel-fabric engine over `el` — the constructor the deprecated
+    /// `ChannelCluster` facade forwards to.
+    pub fn new(el: &EdgeList, num_ranks: u32, cfg: BfsConfig) -> Result<Self, ExecError> {
+        ClusterBuilder::new(el, num_ranks, cfg)
+            .transport(Channels::new())
+            .build()
+    }
+}
+
+impl<T: Transport> SuperstepEngine<T> {
+    /// Partitions `el` over `num_ranks` ranks, builds all per-rank state
+    /// including the distributed hub selection, and sets `transport` up
+    /// for the job size.
+    pub fn with_transport(
+        el: &EdgeList,
+        num_ranks: u32,
+        cfg: BfsConfig,
+        mut transport: T,
+    ) -> Result<Self, ExecError> {
+        if num_ranks == 0 {
+            return Err(ExecError::BadSetup("zero ranks".into()));
+        }
+        cfg.validate().map_err(ExecError::BadSetup)?;
+        if el.num_vertices < num_ranks as u64 {
+            return Err(ExecError::BadSetup(format!(
+                "{} ranks for {} vertices",
+                num_ranks, el.num_vertices
+            )));
+        }
+        let part = Partition1D::new(el.num_vertices, num_ranks);
+        let layout = GroupLayout::new(num_ranks, cfg.group_size.min(num_ranks));
+        check_chip_feasibility(&cfg, &ChipConfig::sw26010(), &layout)?;
+
+        let mut ranks: Vec<RankState> = (0..num_ranks)
+            .into_par_iter()
+            .map(|r| RankState::build(r, part, el))
+            .collect();
+
+        if cfg.degree_ordered_adjacency {
+            // Yasui-style Bottom-Up refinement: likely parents (hubs)
+            // first in every neighbour list. Degrees are global, so build
+            // the lookup once from all ranks' owned degrees.
+            let mut degrees = vec![0u64; el.num_vertices as usize];
+            for r in &ranks {
+                for (v, d) in r.owned_degrees() {
+                    degrees[v as usize] = d;
+                }
+            }
+            let degrees = &degrees;
+            ranks
+                .par_iter_mut()
+                .for_each(|r| r.csr.reorder_neighbors_by_degree(|v| degrees[v as usize]));
+        }
+
+        // Distributed hub selection: every rank nominates its local top-k;
+        // the global top-k is drawn from the union of nominations.
+        let k = cfg.bottom_up_hubs;
+        let nominations: Vec<(Vid, u64)> = ranks
+            .par_iter()
+            .flat_map_iter(|r| {
+                let mut d = r.owned_degrees();
+                d.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                d.truncate(k);
+                d
+            })
+            .collect();
+        let set = HubSet::from_degrees(nominations, k);
+        let td_limit = cfg.top_down_hubs.min(set.len()) as u32;
+        let hub_states: Vec<HubState> = (0..num_ranks)
+            .map(|_| HubState::with_td_limit(set.clone(), td_limit))
+            .collect();
+        let owned_hubs: Vec<Vec<(u32, u32)>> = (0..num_ranks)
+            .map(|r| {
+                set.hubs()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| part.owner(v) == r)
+                    .map(|(i, &v)| (i as u32, part.to_local(v)))
+                    .collect()
+            })
+            .collect();
+
+        let total_directed_edges = ranks.iter().map(|r| r.csr.num_entries()).sum();
+        transport.setup(num_ranks as usize);
+        Ok(Self {
+            cfg,
+            part,
+            layout,
+            ranks,
+            hub_states,
+            owned_hubs,
+            total_directed_edges,
+            input_edges: el.len() as u64,
+            transport,
+            metrics: CounterSet::new(),
+            tracer: None,
+            fault_plan: None,
+            faults: None,
+            #[cfg(test)]
+            use_legacy_exchange: false,
+        })
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> u32 {
+        self.part.num_ranks()
+    }
+
+    /// Global vertex count.
+    pub fn num_vertices(&self) -> Vid {
+        self.part.num_vertices()
+    }
+
+    /// Total directed adjacency entries.
+    pub fn total_directed_edges(&self) -> u64 {
+        self.total_directed_edges
+    }
+
+    /// Input edge tuples (the Graph500 TEPS numerator).
+    pub fn input_edges(&self) -> u64 {
+        self.input_edges
+    }
+
+    /// The BFS configuration in use.
+    pub fn config(&self) -> &BfsConfig {
+        &self.cfg
+    }
+
+    /// The message fabric this engine runs over.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Degree (with multiplicity) of a global vertex.
+    pub fn degree_of(&self, v: Vid) -> u64 {
+        self.ranks[self.part.owner(v) as usize].csr.degree(v)
+    }
+
+    /// Buffer-pool telemetry for the most recent [`Self::run`]:
+    /// `(buffer growths, bytes served from pooled capacity)`. On the
+    /// pooled shared-memory fabric the growth count is zero from the
+    /// second run on; pool-less fabrics report zeroes throughout. A view
+    /// over [`Self::metrics`].
+    pub fn pool_counters(&self) -> (u64, u64) {
+        (
+            self.metrics.get(ins::POOL_ALLOCS),
+            self.metrics.get(ins::POOL_REUSED_BYTES),
+        )
+    }
+
+    /// The canonical counter set of the most recent [`Self::run`] —
+    /// every exchange/pool/fault statistic flattened through
+    /// [`crate::instrument::absorb_exchange`], the single merge path
+    /// shared by every transport.
+    pub fn metrics(&self) -> &CounterSet {
+        &self.metrics
+    }
+
+    /// Arms (or disarms with `None`) a span tracer. Lanes follow the
+    /// [`Tracer::for_ranks`] convention: lane `r` records rank `r`'s
+    /// module and transport phases, the trailing lane records run-wide
+    /// phases (whole levels, hub gathers).
+    pub fn set_tracer(&mut self, tracer: Option<Tracer>) {
+        self.transport.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Builder form of [`Self::set_tracer`].
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.set_tracer(Some(tracer));
+        self
+    }
+
+    /// Arms (or disarms, with `None`) a deterministic fault schedule.
+    /// Every subsequent [`Self::run`] replays the schedule from phase 0
+    /// with a fresh session, so faulty runs are as repeatable as clean
+    /// ones.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan.clone().map(FaultSession::new);
+        self.fault_plan = plan;
+    }
+
+    /// Builder form of [`Self::set_fault_plan`].
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(Some(plan));
+        self
+    }
+
+    /// Fault-layer telemetry for the most recent [`Self::run`]:
+    /// `(re-sends, faults injected, levels delivered degraded)`. All
+    /// zero without an armed plan. A view over [`Self::metrics`].
+    pub fn fault_counters(&self) -> (u64, u64, u64) {
+        (
+            self.metrics.get(ins::FAULTS_RETRIES),
+            self.metrics.get(ins::FAULTS_INJECTED),
+            self.metrics.get(ins::FAULTS_DEGRADED_LEVELS),
+        )
+    }
+
+    /// The injection trace of the most recent [`Self::run`], in
+    /// injection order (empty without an armed plan).
+    pub fn injection_trace(&self) -> &[InjectionEvent] {
+        self.faults.as_ref().map_or(&[], |s| s.trace())
+    }
+
+    /// Did the most recent [`Self::run`] engage a graceful degradation
+    /// (relay→direct fallback or compression disable)?
+    pub fn is_degraded(&self) -> bool {
+        self.faults.as_ref().is_some_and(|s| s.is_degraded())
+    }
+
+    /// Runs one BFS from `root`, returning the parent map and per-level
+    /// statistics. The engine resets itself first, so runs are
+    /// repeatable.
+    pub fn run(&mut self, root: Vid) -> Result<BfsOutput, ExecError> {
+        if root >= self.part.num_vertices() {
+            return Err(ExecError::BadRoot {
+                root,
+                reason: "outside the vertex id space",
+            });
+        }
+        self.reset();
+
+        // Seed the root and promote it into the first frontier.
+        let owner = self.part.owner(root) as usize;
+        let rl = self.part.to_local(root) as usize;
+        self.ranks[owner].claim(rl, root);
+        let mut gather = self.traced_update_hubs(NO_LEVEL);
+        for r in &mut self.ranks {
+            r.advance_level();
+        }
+
+        let mut policy = TraversalPolicy::new(self.cfg.alpha, self.cfg.beta);
+        let mut levels: Vec<LevelStats> = Vec::new();
+        let mut level = 0u32;
+
+        loop {
+            let n_f: u64 = self.ranks.iter().map(|r| r.frontier_vertices()).sum();
+            if n_f == 0 {
+                break;
+            }
+            let m_f: u64 = self.ranks.par_iter().map(|r| r.frontier_edges()).sum();
+            let m_u: u64 = self.ranks.par_iter().map(|r| r.unvisited_edges()).sum();
+            let dir = if self.cfg.force_top_down {
+                Direction::TopDown
+            } else {
+                policy.decide(&PolicyInputs {
+                    frontier_vertices: n_f,
+                    frontier_edges: m_f,
+                    unvisited_edges: m_u,
+                    total_vertices: self.part.num_vertices(),
+                })
+            };
+
+            let mut ls = LevelStats {
+                level,
+                direction: dir,
+                frontier_vertices: n_f,
+                frontier_edges: m_f,
+                unvisited_edges: m_u,
+                hub_gather_bytes: gather,
+                ..Default::default()
+            };
+
+            self.transport.set_trace_level(level);
+            let lt0 = ins::span_begin(self.tracer.as_ref());
+            match dir {
+                Direction::TopDown => self.top_down_level(&mut ls)?,
+                Direction::BottomUp => self.bottom_up_level(&mut ls)?,
+            }
+            // Level work is charged in transport-invariant units (edges
+            // scanned + records generated + 1), so virtual-domain level
+            // spans line up across Direct and Relay.
+            if let Some(t) = &self.tracer {
+                t.end(
+                    t.run_lane(),
+                    ins::SPAN_LEVEL,
+                    ins::CAT_RUN,
+                    level,
+                    lt0,
+                    ls.edges_scanned + ls.records_generated + 1,
+                );
+            }
+            if self.is_degraded() {
+                self.metrics.add(ins::FAULTS_DEGRADED_LEVELS, 1);
+            }
+
+            gather = self.traced_update_hubs(level);
+            ls.settled = self.ranks.iter_mut().map(|r| r.advance_level()).sum();
+            levels.push(ls);
+            level += 1;
+        }
+
+        // Gather the distributed parent map.
+        let mut parents = vec![NO_PARENT; self.part.num_vertices() as usize];
+        for r in &self.ranks {
+            let (start, _) = self.part.range(r.rank);
+            parents[start as usize..start as usize + r.owned()].copy_from_slice(&r.parent);
+        }
+        Ok(BfsOutput {
+            root,
+            parents,
+            levels,
+        })
+    }
+
+    fn reset(&mut self) {
+        self.metrics.clear();
+        self.transport.set_trace_level(NO_LEVEL);
+        // Replay the fault schedule from phase 0 so repeat runs stay
+        // bit-identical.
+        self.faults = self.fault_plan.clone().map(FaultSession::new);
+        for r in &mut self.ranks {
+            r.parent.fill(NO_PARENT);
+            r.curr.clear();
+            r.next.clear();
+        }
+        for h in &mut self.hub_states {
+            h.curr.clear_all();
+            h.visited.clear_all();
+        }
+    }
+
+    /// One Top-Down level: Forward Generator → exchange → Forward Handler.
+    fn top_down_level(&mut self, ls: &mut LevelStats) -> Result<(), ExecError> {
+        let trace = self.tracer.clone();
+        let trace = trace.as_ref();
+        let lvl = ls.level;
+        let mut outs = self.transport.lend_outboxes();
+        let gen: Vec<ModuleStats> = self
+            .ranks
+            .par_iter_mut()
+            .zip(self.hub_states.par_iter())
+            .zip(outs.par_iter_mut())
+            .map(|((r, h), out)| {
+                let t0 = ins::span_begin(trace);
+                let st = forward_generator(r, h, out);
+                ins::span_end(trace, r.rank as usize, ins::SPAN_GEN, ins::CAT_COMPUTE, lvl, t0, st.records_out);
+                st
+            })
+            .collect();
+        for st in gen {
+            ls.edges_scanned += st.edges_scanned;
+            ls.local_claims += st.local_claims;
+            ls.hub_skips += st.hub_skips;
+            ls.records_generated += st.records_out;
+        }
+
+        let inboxes = self.run_exchange(outs, ls)?;
+
+        self.ranks
+            .par_iter_mut()
+            .zip(inboxes.par_iter())
+            .for_each(|(r, inbox)| {
+                let t0 = ins::span_begin(trace);
+                forward_handler(r, inbox);
+                ins::span_end(trace, r.rank as usize, ins::SPAN_HANDLE, ins::CAT_COMPUTE, lvl, t0, inbox.len() as u64);
+            });
+        self.transport.recycle_inboxes(inboxes);
+        Ok(())
+    }
+
+    /// One Bottom-Up level: Backward Generator → exchange → Backward
+    /// Handler → exchange → Forward Handler.
+    fn bottom_up_level(&mut self, ls: &mut LevelStats) -> Result<(), ExecError> {
+        let trace = self.tracer.clone();
+        let trace = trace.as_ref();
+        let lvl = ls.level;
+        let mut outs = self.transport.lend_outboxes();
+        let gen: Vec<ModuleStats> = self
+            .ranks
+            .par_iter_mut()
+            .zip(self.hub_states.par_iter())
+            .zip(outs.par_iter_mut())
+            .map(|((r, h), out)| {
+                let t0 = ins::span_begin(trace);
+                let st = backward_generator(r, h, out);
+                ins::span_end(trace, r.rank as usize, ins::SPAN_GEN, ins::CAT_COMPUTE, lvl, t0, st.records_out);
+                st
+            })
+            .collect();
+        for st in gen {
+            ls.edges_scanned += st.edges_scanned;
+            ls.local_claims += st.local_claims;
+            ls.hub_skips += st.hub_skips;
+            ls.records_generated += st.records_out;
+        }
+
+        let inboxes = self.run_exchange(outs, ls)?;
+
+        let mut replies = self.transport.lend_outboxes();
+        let handled: Vec<ModuleStats> = self
+            .ranks
+            .par_iter_mut()
+            .zip(inboxes.par_iter())
+            .zip(replies.par_iter_mut())
+            .map(|((r, inbox), out)| {
+                let t0 = ins::span_begin(trace);
+                let st = backward_handler(r, inbox, out);
+                ins::span_end(trace, r.rank as usize, ins::SPAN_HANDLE, ins::CAT_COMPUTE, lvl, t0, inbox.len() as u64);
+                st
+            })
+            .collect();
+        // Return the query inboxes *before* the reply exchange so a
+        // pooled transport's assembly pass finds its buffers in their
+        // slots.
+        self.transport.recycle_inboxes(inboxes);
+        for st in handled {
+            ls.edges_scanned += st.edges_scanned;
+            ls.local_claims += st.local_claims;
+            ls.records_generated += st.records_out;
+        }
+
+        let inboxes = self.run_exchange(replies, ls)?;
+
+        self.ranks
+            .par_iter_mut()
+            .zip(inboxes.par_iter())
+            .for_each(|(r, inbox)| {
+                let t0 = ins::span_begin(trace);
+                forward_handler(r, inbox);
+                ins::span_end(trace, r.rank as usize, ins::SPAN_HANDLE, ins::CAT_COMPUTE, lvl, t0, inbox.len() as u64);
+            });
+        self.transport.recycle_inboxes(inboxes);
+        Ok(())
+    }
+
+    /// Runs one record exchange through the transport — or, when a test
+    /// has requested the oracle, through the seed's nested-Vec path —
+    /// and folds the transport stats into `ls`. With an armed fault
+    /// session the exchange runs the injection/retry/degradation
+    /// pipeline; an unsurvivable schedule surfaces as a structured error
+    /// here.
+    fn run_exchange(
+        &mut self,
+        out: Vec<Outboxes>,
+        ls: &mut LevelStats,
+    ) -> Result<Vec<Vec<EdgeRec>>, ExecError> {
+        #[cfg(test)]
+        if self.use_legacy_exchange {
+            let nested: Vec<Vec<Vec<EdgeRec>>> =
+                out.into_iter().map(|o| o.into_inner()).collect();
+            let (inboxes, xs) = crate::exchange::legacy::exchange(
+                self.cfg.messaging,
+                nested,
+                &self.layout,
+                self.cfg.codec(),
+            );
+            self.absorb_exchange(ls, &xs);
+            return Ok(self.canonicalize(inboxes));
+        }
+        if self.faults.is_some() {
+            let plain = Codec::Fixed(self.cfg.edge_msg_bytes);
+            let (messaging, codec, retry) = (self.cfg.messaging, self.cfg.codec(), self.cfg.retry);
+            let (result, xs) = self.transport.exchange_faulty(
+                messaging,
+                out,
+                &self.layout,
+                codec,
+                plain,
+                &retry,
+                self.faults.as_mut().expect("checked above"),
+            );
+            self.absorb_exchange(ls, &xs);
+            let inboxes = result?;
+            return Ok(self.canonicalize(inboxes));
+        }
+        let (inboxes, xs) =
+            self.transport
+                .exchange(self.cfg.messaging, out, &self.layout, self.cfg.codec());
+        self.absorb_exchange(ls, &xs);
+        Ok(self.canonicalize(inboxes))
+    }
+
+    /// Folds one exchange into the level record and the canonical
+    /// counter set. The per-counter merge semantics (sum vs per-phase
+    /// maximum) live in [`crate::instrument::absorb_exchange`], shared
+    /// by every transport — not re-implemented here.
+    fn absorb_exchange(&mut self, ls: &mut LevelStats, xs: &ExchangeStats) {
+        ls.records_sent += xs.record_hops;
+        ls.messages_sent += xs.messages;
+        ls.bytes_sent += xs.bytes;
+        ins::absorb_exchange(&mut self.metrics, xs);
+    }
+
+    fn canonicalize(&self, mut inboxes: Vec<Vec<EdgeRec>>) -> Vec<Vec<EdgeRec>> {
+        if self.cfg.canonical_order && !self.transport.delivers_sorted() {
+            inboxes.par_iter_mut().for_each(|b| b.sort_unstable());
+        }
+        inboxes
+    }
+
+    /// [`Self::update_hubs`] under a `hub_gather` span on the run lane,
+    /// charged with the gather bytes (transport-invariant).
+    fn traced_update_hubs(&mut self, level: u32) -> u64 {
+        let t0 = ins::span_begin(self.tracer.as_ref());
+        let bytes = self.update_hubs();
+        if let Some(t) = &self.tracer {
+            t.end(t.run_lane(), ins::SPAN_HUB_GATHER, ins::CAT_GATHER, level, t0, bytes);
+        }
+        bytes
+    }
+
+    /// Rebuilds the replicated hub bitmaps from every rank's `next` +
+    /// parent state; returns the gather traffic in bytes.
+    fn update_hubs(&mut self) -> u64 {
+        let num_ranks = self.part.num_ranks() as usize;
+        let nbits = self.hub_states[0].curr.len();
+        let mut contrib_curr = Vec::with_capacity(num_ranks);
+        let mut contrib_visited = Vec::with_capacity(num_ranks);
+        for r in 0..num_ranks {
+            let mut c = Bitmap::new(nbits);
+            let mut v = Bitmap::new(nbits);
+            for &(hub_idx, local) in &self.owned_hubs[r] {
+                if self.ranks[r].next.contains(local as usize) {
+                    c.set(hub_idx as usize);
+                }
+                if self.ranks[r].visited(local as usize) {
+                    v.set(hub_idx as usize);
+                }
+            }
+            contrib_curr.push(c);
+            contrib_visited.push(v);
+        }
+        gather_hub_level(&mut self.hub_states, &contrib_curr, &contrib_visited).bytes
+    }
+}
+
+impl<T: Transport> Drop for SuperstepEngine<T> {
+    fn drop(&mut self) {
+        self.transport.teardown();
+    }
+}

@@ -1,0 +1,112 @@
+//! The pluggable message-fabric seam of the superstep engine.
+//!
+//! [`Transport`] is the narrow waist between the BFS lifecycle (owned by
+//! [`super::SuperstepEngine`]) and the fabric that carries edge records
+//! between ranks. The engine drives every transport through the same
+//! five-step contract — setup, per-phase exchange, faulty exchange with
+//! idempotent re-delivery, inbox recycling, teardown — so a new fabric
+//! (sharded, async, net-model-coupled) plugs in without a third copy of
+//! the level loop.
+
+use crate::config::Messaging;
+use crate::error::ExchangeError;
+use crate::exchange::{Codec, ExchangeStats};
+use crate::faults::{FaultSession, RetryPolicy};
+use crate::messages::EdgeRec;
+use crate::modules::Outboxes;
+use sw_net::GroupLayout;
+use sw_trace::Tracer;
+
+/// A message fabric the [`super::SuperstepEngine`] can run the BFS over.
+///
+/// Implementations move one phase's records from per-source outboxes to
+/// per-destination inboxes and report the wire traffic the move cost.
+/// The engine owns everything else: partitioning, the direction policy,
+/// generators/handlers, fault-session lifecycle, span taxonomy, and the
+/// single [`crate::instrument::absorb_exchange`] counter-merge path.
+///
+/// Contract:
+///
+/// * **Determinism** — identical outbox contents must yield identical
+///   inboxes and identical [`ExchangeStats`], independent of thread
+///   scheduling. Transports whose raw arrival order is nondeterministic
+///   must canonicalize (sort) and say so via
+///   [`Transport::delivers_sorted`].
+/// * **Idempotent faulty re-delivery** — [`Transport::exchange_faulty`]
+///   replays the armed [`FaultSession`]'s deterministic schedule against
+///   the phase's message set *before* delivering; on a terminal failure
+///   it must return the buffered records untouched enough that a
+///   degraded re-delivery (compression disable, relay→direct fallback)
+///   needs no re-generation. Wire stats count the successful delivery
+///   only; fault tallies are reported on success *and* failure.
+/// * **Pool honesty** — [`ExchangeStats::pool_allocs`] /
+///   [`ExchangeStats::pool_reused_bytes`] report real buffer-pool
+///   behaviour. A transport without a pool reports zeroes.
+pub trait Transport: Send {
+    /// Short stable identifier (used in reports and conformance tests).
+    fn name(&self) -> &'static str;
+
+    /// Called once by the engine after construction, before any
+    /// exchange, with the job size. Implementations size their buffer
+    /// pools / meshes here.
+    fn setup(&mut self, num_ranks: usize);
+
+    /// Checks out one outbox per source rank for the coming phase.
+    /// Pooled transports hand out recycled buffers; pool-less ones
+    /// allocate fresh.
+    fn lend_outboxes(&mut self) -> Vec<Outboxes>;
+
+    /// Delivers one phase: `out[s]`'s records travel to their
+    /// destination ranks. Returns per-destination inboxes (give them
+    /// back via [`Transport::recycle_inboxes`]) plus the phase's wire
+    /// stats.
+    fn exchange(
+        &mut self,
+        mode: Messaging,
+        out: Vec<Outboxes>,
+        layout: &GroupLayout,
+        codec: Codec,
+    ) -> (Vec<Vec<EdgeRec>>, ExchangeStats);
+
+    /// [`Transport::exchange`] under an armed fault session: the phase's
+    /// deterministic injection/retry schedule is replayed first, sticky
+    /// degradations (compression disable, relay→direct where the fabric
+    /// supports it) engage on terminal failures, and only a clean pass
+    /// delivers. `plain` is the codec degraded compression falls back
+    /// to. Stats carry the fault tallies even when the result is `Err`.
+    #[allow(clippy::too_many_arguments)]
+    fn exchange_faulty(
+        &mut self,
+        mode: Messaging,
+        out: Vec<Outboxes>,
+        layout: &GroupLayout,
+        codec: Codec,
+        plain: Codec,
+        policy: &RetryPolicy,
+        session: &mut FaultSession,
+    ) -> (Result<Vec<Vec<EdgeRec>>, ExchangeError>, ExchangeStats);
+
+    /// Returns inbox buffers once the handlers are done with them, so a
+    /// pooled transport can recycle the capacity. Pool-less transports
+    /// drop them.
+    fn recycle_inboxes(&mut self, inboxes: Vec<Vec<EdgeRec>>);
+
+    /// Arms (or disarms with `None`) span recording on the transport's
+    /// internal passes (bucket/deliver spans on rank lanes, fault
+    /// instants on the run lane).
+    fn set_tracer(&mut self, tracer: Option<Tracer>);
+
+    /// Tags subsequently recorded spans with BFS level `level`.
+    fn set_trace_level(&mut self, level: u32);
+
+    /// Whether inboxes come back canonically sorted already (the engine
+    /// then skips its `canonical_order` sort). Transports with
+    /// nondeterministic arrival order must sort and return `true`.
+    fn delivers_sorted(&self) -> bool {
+        false
+    }
+
+    /// Called when the owning engine is dropped or rebuilt. Default:
+    /// nothing to tear down.
+    fn teardown(&mut self) {}
+}

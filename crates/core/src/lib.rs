@@ -16,11 +16,14 @@
 //!
 //! Two execution backends run the *same* module code:
 //!
-//! * [`threaded`] — every simulated node is a real rank; messages really
-//!   move; results validate under Graph500 rules. Ground truth at up to a
-//!   few hundred ranks.
-//! * [`modeled`] — per-level traffic statistics (measured by the threaded
-//!   backend, [`traffic`]) are replayed through the chip and network cost
+//! * [`engine`] — the unified superstep engine: every simulated node is a
+//!   real rank; messages really move over a pluggable [`Transport`] fabric
+//!   ([`SharedMem`] pooled arena, or [`Channels`] OS threads + crossbeam
+//!   mesh); results validate under Graph500 rules. Ground truth at up to a
+//!   few hundred ranks. [`threaded`] and [`channels`] are its deprecated
+//!   per-transport facades.
+//! * [`modeled`] — per-level traffic statistics (measured by the engine,
+//!   [`traffic`]) are replayed through the chip and network cost
 //!   models at up to the full 40,960-node machine, reproducing Figures 11
 //!   and 12 including the Direct-mode crash points.
 //!
@@ -35,6 +38,7 @@ pub mod channels;
 pub mod compress;
 pub mod config;
 pub mod construction;
+pub mod engine;
 pub mod error;
 pub mod exchange;
 pub mod faults;
@@ -53,6 +57,7 @@ pub mod threaded;
 pub mod traffic;
 
 pub use config::{BfsConfig, Messaging, Processing};
+pub use engine::{Channels, ClusterBuilder, SharedMem, SuperstepEngine, Transport};
 pub use error::{ExchangeError, ExecError};
 pub use faults::{FaultKind, FaultPlan, FaultSession, InjectionEvent, RetryPolicy};
 pub use instrument::{absorb_exchange, exchange_view};

@@ -1,611 +1,40 @@
-//! The threaded execution backend: every simulated node is a real rank.
+//! Deprecated facade: the threaded backend is now the shared-memory
+//! configuration of the unified superstep engine.
 //!
-//! Ranks execute the Figure 1 module graph level-synchronously — the
-//! paper's asynchrony is a latency-hiding device whose *output* equals a
-//! level-synchronized execution; the pipeline overlap is charged by the
-//! modeled backend instead. Within each phase ranks run in parallel
-//! (rayon), records really travel through [`crate::exchange`] (Direct or
-//! Relay — bit-identical deliveries), hub bitmaps are really gathered, and
-//! every [`LevelStats`] field is measured, which is what
-//! [`crate::traffic`] turns into the scale-extrapolation profile.
+//! The ~900-line lifecycle that used to live here — construction and
+//! 1-D partitioning, the direction-policy loop, fault-plan arming,
+//! tracing spans, and the `absorb_exchange` stats flattening — moved
+//! to [`crate::engine::SuperstepEngine`], where it is written once and
+//! shared with every other [`crate::engine::Transport`]. What remains
+//! here is a name: [`ThreadedCluster`] is exactly
+//! `SuperstepEngine<SharedMem>`, kept so existing callers compile.
+//!
+//! New code should build through [`crate::engine::ClusterBuilder`]:
+//!
+//! ```no_run
+//! use swbfs_core::engine::ClusterBuilder;
+//! # let el = sw_graph::generate_kronecker(&sw_graph::KroneckerConfig::graph500(10, 1));
+//! # let cfg = swbfs_core::BfsConfig::threaded_small(2);
+//! let mut bfs = ClusterBuilder::new(&el, 8, cfg).build().unwrap();
+//! ```
 
-use crate::arena::ExchangeArena;
-use crate::config::BfsConfig;
-#[cfg(test)]
-use crate::config::Processing;
-use crate::error::ExecError;
-use crate::exchange::{Codec, ExchangeStats};
-use crate::faults::{FaultPlan, FaultSession, InjectionEvent};
-use crate::hubs::{gather_hub_level, HubState};
-use crate::instrument as ins;
-use crate::messages::EdgeRec;
-use crate::modules::{
-    backward_generator, backward_handler, forward_generator, forward_handler, ModuleStats,
-    Outboxes,
-};
-use crate::policy::{Direction, PolicyInputs, TraversalPolicy};
-use crate::rank::RankState;
-use crate::result::{BfsOutput, LevelStats};
-use crate::shuffling::check_chip_feasibility;
-use crate::NO_PARENT;
-use rayon::prelude::*;
-use sw_arch::ChipConfig;
-use sw_graph::hub::HubSet;
-use sw_graph::{Bitmap, EdgeList, Partition1D, Vid};
-use sw_net::GroupLayout;
-use sw_trace::{CounterSet, Tracer, NO_LEVEL};
+use crate::engine::{SharedMem, SuperstepEngine};
 
-/// A cluster of in-process ranks executing the distributed BFS.
-pub struct ThreadedCluster {
-    cfg: BfsConfig,
-    part: Partition1D,
-    layout: GroupLayout,
-    ranks: Vec<RankState>,
-    hub_states: Vec<HubState>,
-    /// `(hub_index, local_index)` pairs per rank, for contribution builds.
-    owned_hubs: Vec<Vec<(u32, u32)>>,
-    /// Total directed adjacency entries across ranks.
-    total_directed_edges: u64,
-    /// Input edge tuples (the Graph500 TEPS numerator).
-    input_edges: u64,
-    /// Pooled exchange buffers, recycled across levels and runs.
-    arena: ExchangeArena,
-    /// Canonical counter set of the most recent [`Self::run`]: every
-    /// exchange/pool/fault statistic flattened through
-    /// [`crate::instrument::absorb_exchange`] — the single merge path
-    /// shared with [`crate::channels::ChannelCluster`]. The tuple
-    /// accessors ([`Self::pool_counters`], [`Self::fault_counters`])
-    /// are views over this set.
-    metrics: CounterSet,
-    /// Armed span recorder, shared with the arena; `None` costs one
-    /// branch per phase.
-    tracer: Option<Tracer>,
-    /// Fault schedule this cluster runs under, if any; each [`Self::run`]
-    /// replays it from a fresh session so runs stay repeatable.
-    fault_plan: Option<FaultPlan>,
-    /// The armed injection state of the current/most recent run.
-    faults: Option<FaultSession>,
-    /// Tests flip this to route records through the seed's nested-Vec
-    /// exchange, the differential oracle for the arena path.
-    #[cfg(test)]
-    use_legacy_exchange: bool,
-}
-
-impl ThreadedCluster {
-    /// Partitions `el` over `num_ranks` ranks and builds all per-rank
-    /// state, including the distributed hub selection.
-    pub fn new(el: &EdgeList, num_ranks: u32, cfg: BfsConfig) -> Result<Self, ExecError> {
-        if num_ranks == 0 {
-            return Err(ExecError::BadSetup("zero ranks".into()));
-        }
-        cfg.validate().map_err(ExecError::BadSetup)?;
-        if el.num_vertices < num_ranks as u64 {
-            return Err(ExecError::BadSetup(format!(
-                "{} ranks for {} vertices",
-                num_ranks, el.num_vertices
-            )));
-        }
-        let part = Partition1D::new(el.num_vertices, num_ranks);
-        let layout = GroupLayout::new(num_ranks, cfg.group_size.min(num_ranks));
-        check_chip_feasibility(&cfg, &ChipConfig::sw26010(), &layout)?;
-
-        let mut ranks: Vec<RankState> = (0..num_ranks)
-            .into_par_iter()
-            .map(|r| RankState::build(r, part, el))
-            .collect();
-
-        if cfg.degree_ordered_adjacency {
-            // Yasui-style Bottom-Up refinement: likely parents (hubs)
-            // first in every neighbour list. Degrees are global, so build
-            // the lookup once from all ranks' owned degrees.
-            let mut degrees = vec![0u64; el.num_vertices as usize];
-            for r in &ranks {
-                for (v, d) in r.owned_degrees() {
-                    degrees[v as usize] = d;
-                }
-            }
-            let degrees = &degrees;
-            ranks
-                .par_iter_mut()
-                .for_each(|r| r.csr.reorder_neighbors_by_degree(|v| degrees[v as usize]));
-        }
-
-        // Distributed hub selection: every rank nominates its local top-k;
-        // the global top-k is drawn from the union of nominations.
-        let k = cfg.bottom_up_hubs;
-        let nominations: Vec<(Vid, u64)> = ranks
-            .par_iter()
-            .flat_map_iter(|r| {
-                let mut d = r.owned_degrees();
-                d.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-                d.truncate(k);
-                d
-            })
-            .collect();
-        let set = HubSet::from_degrees(nominations, k);
-        let td_limit = cfg.top_down_hubs.min(set.len()) as u32;
-        let hub_states: Vec<HubState> = (0..num_ranks)
-            .map(|_| HubState::with_td_limit(set.clone(), td_limit))
-            .collect();
-        let owned_hubs: Vec<Vec<(u32, u32)>> = (0..num_ranks)
-            .map(|r| {
-                set.hubs()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &v)| part.owner(v) == r)
-                    .map(|(i, &v)| (i as u32, part.to_local(v)))
-                    .collect()
-            })
-            .collect();
-
-        let total_directed_edges = ranks.iter().map(|r| r.csr.num_entries()).sum();
-        Ok(Self {
-            cfg,
-            part,
-            layout,
-            ranks,
-            hub_states,
-            owned_hubs,
-            total_directed_edges,
-            input_edges: el.len() as u64,
-            arena: ExchangeArena::new(num_ranks as usize),
-            metrics: CounterSet::new(),
-            tracer: None,
-            fault_plan: None,
-            faults: None,
-            #[cfg(test)]
-            use_legacy_exchange: false,
-        })
-    }
-
-    /// Builds the cluster with the *distributed* construction path
-    /// (Graph500 step 3 as the machine runs it): generator chunks are
-    /// shuffled to endpoint owners over the configured transport before
-    /// the local CSR builds. Functionally identical to [`Self::new`];
-    /// also returns the construction traffic.
-    pub fn new_distributed(
-        el: &EdgeList,
-        num_ranks: u32,
-        cfg: BfsConfig,
-    ) -> Result<(Self, crate::exchange::ExchangeStats), ExecError> {
-        let mut cluster = Self::new(el, num_ranks, cfg)?;
-        let built = crate::construction::build_distributed(
-            el,
-            &cluster.part,
-            &cluster.layout,
-            cfg.messaging,
-        );
-        for (rank, csr) in built.csrs.into_iter().enumerate() {
-            debug_assert_eq!(csr, cluster.ranks[rank].csr);
-            cluster.ranks[rank].csr = csr;
-        }
-        Ok((cluster, built.stats))
-    }
-
-    /// Number of ranks.
-    pub fn num_ranks(&self) -> u32 {
-        self.part.num_ranks()
-    }
-
-    /// Global vertex count.
-    pub fn num_vertices(&self) -> Vid {
-        self.part.num_vertices()
-    }
-
-    /// Total directed adjacency entries.
-    pub fn total_directed_edges(&self) -> u64 {
-        self.total_directed_edges
-    }
-
-    /// Input edge tuples.
-    pub fn input_edges(&self) -> u64 {
-        self.input_edges
-    }
-
-    /// The BFS configuration in use.
-    pub fn config(&self) -> &BfsConfig {
-        &self.cfg
-    }
-
-    /// Degree (with multiplicity) of a global vertex.
-    pub fn degree_of(&self, v: Vid) -> u64 {
-        self.ranks[self.part.owner(v) as usize].csr.degree(v)
-    }
-
-    /// Exchange-arena telemetry for the most recent [`Self::run`]:
-    /// `(buffer growths, bytes served from pooled capacity)`. After a
-    /// warm-up run the growth count stays at zero — the steady-state
-    /// exchange is allocation-free. A view over [`Self::metrics`].
-    pub fn pool_counters(&self) -> (u64, u64) {
-        (
-            self.metrics.get(ins::POOL_ALLOCS),
-            self.metrics.get(ins::POOL_REUSED_BYTES),
-        )
-    }
-
-    /// The canonical counter set of the most recent [`Self::run`].
-    pub fn metrics(&self) -> &CounterSet {
-        &self.metrics
-    }
-
-    /// Arms (or disarms with `None`) a span tracer. Lanes follow the
-    /// [`Tracer::for_ranks`] convention: lane `r` records rank `r`'s
-    /// module and transport phases, the trailing lane records run-wide
-    /// phases (whole levels, hub gathers).
-    pub fn set_tracer(&mut self, tracer: Option<Tracer>) {
-        self.arena.set_tracer(tracer.clone());
-        self.tracer = tracer;
-    }
-
-    /// Builder form of [`Self::set_tracer`].
-    #[must_use]
-    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
-        self.set_tracer(Some(tracer));
-        self
-    }
-
-    /// Arms (or disarms, with `None`) a deterministic fault schedule.
-    /// Every subsequent [`Self::run`] replays the schedule from phase 0
-    /// with a fresh session, so faulty runs are as repeatable as clean
-    /// ones.
-    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
-        self.faults = plan.clone().map(FaultSession::new);
-        self.fault_plan = plan;
-    }
-
-    /// Builder form of [`Self::set_fault_plan`].
-    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.set_fault_plan(Some(plan));
-        self
-    }
-
-    /// Fault-layer telemetry for the most recent [`Self::run`]:
-    /// `(re-sends, faults injected, levels delivered degraded)`. All
-    /// zero without an armed plan. A view over [`Self::metrics`].
-    pub fn fault_counters(&self) -> (u64, u64, u64) {
-        (
-            self.metrics.get(ins::FAULTS_RETRIES),
-            self.metrics.get(ins::FAULTS_INJECTED),
-            self.metrics.get(ins::FAULTS_DEGRADED_LEVELS),
-        )
-    }
-
-    /// The injection trace of the most recent [`Self::run`], in
-    /// injection order (empty without an armed plan).
-    pub fn injection_trace(&self) -> &[InjectionEvent] {
-        self.faults.as_ref().map_or(&[], |s| s.trace())
-    }
-
-    /// Did the most recent [`Self::run`] engage a graceful degradation
-    /// (relay→direct fallback or compression disable)?
-    pub fn is_degraded(&self) -> bool {
-        self.faults.as_ref().is_some_and(|s| s.is_degraded())
-    }
-
-    /// Runs one BFS from `root`, returning the parent map and per-level
-    /// statistics. The cluster resets itself first, so runs are repeatable.
-    pub fn run(&mut self, root: Vid) -> Result<BfsOutput, ExecError> {
-        if root >= self.part.num_vertices() {
-            return Err(ExecError::BadRoot {
-                root,
-                reason: "outside the vertex id space",
-            });
-        }
-        self.reset();
-
-        // Seed the root and promote it into the first frontier.
-        let owner = self.part.owner(root) as usize;
-        let rl = self.part.to_local(root) as usize;
-        self.ranks[owner].claim(rl, root);
-        let mut gather = self.traced_update_hubs(NO_LEVEL);
-        for r in &mut self.ranks {
-            r.advance_level();
-        }
-
-        let mut policy = TraversalPolicy::new(self.cfg.alpha, self.cfg.beta);
-        let mut levels: Vec<LevelStats> = Vec::new();
-        let mut level = 0u32;
-
-        loop {
-            let n_f: u64 = self.ranks.iter().map(|r| r.frontier_vertices()).sum();
-            if n_f == 0 {
-                break;
-            }
-            let m_f: u64 = self.ranks.par_iter().map(|r| r.frontier_edges()).sum();
-            let m_u: u64 = self.ranks.par_iter().map(|r| r.unvisited_edges()).sum();
-            let dir = if self.cfg.force_top_down {
-                Direction::TopDown
-            } else {
-                policy.decide(&PolicyInputs {
-                    frontier_vertices: n_f,
-                    frontier_edges: m_f,
-                    unvisited_edges: m_u,
-                    total_vertices: self.part.num_vertices(),
-                })
-            };
-
-            let mut ls = LevelStats {
-                level,
-                direction: dir,
-                frontier_vertices: n_f,
-                frontier_edges: m_f,
-                unvisited_edges: m_u,
-                hub_gather_bytes: gather,
-                ..Default::default()
-            };
-
-            self.arena.set_trace_level(level);
-            let lt0 = ins::span_begin(self.tracer.as_ref());
-            match dir {
-                Direction::TopDown => self.top_down_level(&mut ls)?,
-                Direction::BottomUp => self.bottom_up_level(&mut ls)?,
-            }
-            // Level work is charged in transport-invariant units (edges
-            // scanned + records generated + 1), so virtual-domain level
-            // spans line up across Direct and Relay.
-            if let Some(t) = &self.tracer {
-                t.end(
-                    t.run_lane(),
-                    ins::SPAN_LEVEL,
-                    ins::CAT_RUN,
-                    level,
-                    lt0,
-                    ls.edges_scanned + ls.records_generated + 1,
-                );
-            }
-            if self.is_degraded() {
-                self.metrics.add(ins::FAULTS_DEGRADED_LEVELS, 1);
-            }
-
-            gather = self.traced_update_hubs(level);
-            ls.settled = self
-                .ranks
-                .iter_mut()
-                .map(|r| r.advance_level())
-                .sum();
-            levels.push(ls);
-            level += 1;
-        }
-
-        // Gather the distributed parent map.
-        let mut parents = vec![NO_PARENT; self.part.num_vertices() as usize];
-        for r in &self.ranks {
-            let (start, _) = self.part.range(r.rank);
-            parents[start as usize..start as usize + r.owned()].copy_from_slice(&r.parent);
-        }
-        Ok(BfsOutput {
-            root,
-            parents,
-            levels,
-        })
-    }
-
-    fn reset(&mut self) {
-        self.metrics.clear();
-        self.arena.set_trace_level(NO_LEVEL);
-        // Replay the fault schedule from phase 0 so repeat runs stay
-        // bit-identical.
-        self.faults = self.fault_plan.clone().map(FaultSession::new);
-        for r in &mut self.ranks {
-            r.parent.fill(NO_PARENT);
-            r.curr.clear();
-            r.next.clear();
-        }
-        for h in &mut self.hub_states {
-            h.curr.clear_all();
-            h.visited.clear_all();
-        }
-    }
-
-    /// One Top-Down level: Forward Generator → exchange → Forward Handler.
-    fn top_down_level(&mut self, ls: &mut LevelStats) -> Result<(), ExecError> {
-        let trace = self.tracer.clone();
-        let trace = trace.as_ref();
-        let lvl = ls.level;
-        let mut outs = self.arena.lend_outboxes();
-        let gen: Vec<ModuleStats> = self
-            .ranks
-            .par_iter_mut()
-            .zip(self.hub_states.par_iter())
-            .zip(outs.par_iter_mut())
-            .map(|((r, h), out)| {
-                let t0 = ins::span_begin(trace);
-                let st = forward_generator(r, h, out);
-                ins::span_end(trace, r.rank as usize, ins::SPAN_GEN, ins::CAT_COMPUTE, lvl, t0, st.records_out);
-                st
-            })
-            .collect();
-        for st in gen {
-            ls.edges_scanned += st.edges_scanned;
-            ls.local_claims += st.local_claims;
-            ls.hub_skips += st.hub_skips;
-            ls.records_generated += st.records_out;
-        }
-
-        let inboxes = self.run_exchange(outs, ls)?;
-
-        self.ranks
-            .par_iter_mut()
-            .zip(inboxes.par_iter())
-            .for_each(|(r, inbox)| {
-                let t0 = ins::span_begin(trace);
-                forward_handler(r, inbox);
-                ins::span_end(trace, r.rank as usize, ins::SPAN_HANDLE, ins::CAT_COMPUTE, lvl, t0, inbox.len() as u64);
-            });
-        self.arena.recycle_inboxes(inboxes);
-        Ok(())
-    }
-
-    /// One Bottom-Up level: Backward Generator → exchange → Backward
-    /// Handler → exchange → Forward Handler.
-    fn bottom_up_level(&mut self, ls: &mut LevelStats) -> Result<(), ExecError> {
-        let trace = self.tracer.clone();
-        let trace = trace.as_ref();
-        let lvl = ls.level;
-        let mut outs = self.arena.lend_outboxes();
-        let gen: Vec<ModuleStats> = self
-            .ranks
-            .par_iter_mut()
-            .zip(self.hub_states.par_iter())
-            .zip(outs.par_iter_mut())
-            .map(|((r, h), out)| {
-                let t0 = ins::span_begin(trace);
-                let st = backward_generator(r, h, out);
-                ins::span_end(trace, r.rank as usize, ins::SPAN_GEN, ins::CAT_COMPUTE, lvl, t0, st.records_out);
-                st
-            })
-            .collect();
-        for st in gen {
-            ls.edges_scanned += st.edges_scanned;
-            ls.local_claims += st.local_claims;
-            ls.hub_skips += st.hub_skips;
-            ls.records_generated += st.records_out;
-        }
-
-        let inboxes = self.run_exchange(outs, ls)?;
-
-        let mut replies = self.arena.lend_outboxes();
-        let handled: Vec<ModuleStats> = self
-            .ranks
-            .par_iter_mut()
-            .zip(inboxes.par_iter())
-            .zip(replies.par_iter_mut())
-            .map(|((r, inbox), out)| {
-                let t0 = ins::span_begin(trace);
-                let st = backward_handler(r, inbox, out);
-                ins::span_end(trace, r.rank as usize, ins::SPAN_HANDLE, ins::CAT_COMPUTE, lvl, t0, inbox.len() as u64);
-                st
-            })
-            .collect();
-        // Return the query inboxes *before* the reply exchange so its
-        // assembly pass finds the pooled buffers in their slots.
-        self.arena.recycle_inboxes(inboxes);
-        for st in handled {
-            ls.edges_scanned += st.edges_scanned;
-            ls.local_claims += st.local_claims;
-            ls.records_generated += st.records_out;
-        }
-
-        let inboxes = self.run_exchange(replies, ls)?;
-
-        self.ranks
-            .par_iter_mut()
-            .zip(inboxes.par_iter())
-            .for_each(|(r, inbox)| {
-                let t0 = ins::span_begin(trace);
-                forward_handler(r, inbox);
-                ins::span_end(trace, r.rank as usize, ins::SPAN_HANDLE, ins::CAT_COMPUTE, lvl, t0, inbox.len() as u64);
-            });
-        self.arena.recycle_inboxes(inboxes);
-        Ok(())
-    }
-
-    /// Runs one record exchange through the pooled arena — or, when a test
-    /// has requested the oracle, through the seed's nested-Vec path — and
-    /// folds the transport stats into `ls`. With an armed fault session
-    /// the exchange runs the injection/retry/degradation pipeline; an
-    /// unsurvivable schedule surfaces as a structured error here.
-    fn run_exchange(
-        &mut self,
-        out: Vec<Outboxes>,
-        ls: &mut LevelStats,
-    ) -> Result<Vec<Vec<EdgeRec>>, ExecError> {
-        #[cfg(test)]
-        if self.use_legacy_exchange {
-            let nested: Vec<Vec<Vec<EdgeRec>>> =
-                out.into_iter().map(|o| o.into_inner()).collect();
-            let (inboxes, xs) = crate::exchange::legacy::exchange(
-                self.cfg.messaging,
-                nested,
-                &self.layout,
-                self.cfg.codec(),
-            );
-            self.absorb_exchange(ls, &xs);
-            return Ok(self.canonicalize(inboxes));
-        }
-        if self.faults.is_some() {
-            let plain = Codec::Fixed(self.cfg.edge_msg_bytes);
-            let (messaging, codec, retry) = (self.cfg.messaging, self.cfg.codec(), self.cfg.retry);
-            let (result, xs) = self.arena.exchange_faulty(
-                messaging,
-                out,
-                &self.layout,
-                codec,
-                plain,
-                &retry,
-                self.faults.as_mut().expect("checked above"),
-            );
-            self.absorb_exchange(ls, &xs);
-            let inboxes = result?;
-            return Ok(self.canonicalize(inboxes));
-        }
-        let (inboxes, xs) =
-            self.arena
-                .exchange(self.cfg.messaging, out, &self.layout, self.cfg.codec());
-        self.absorb_exchange(ls, &xs);
-        Ok(self.canonicalize(inboxes))
-    }
-
-    /// Folds one exchange into the level record and the canonical
-    /// counter set. The per-counter merge semantics (sum vs per-phase
-    /// maximum) live in [`crate::instrument::absorb_exchange`], shared
-    /// with the channel backend — not re-implemented here.
-    fn absorb_exchange(&mut self, ls: &mut LevelStats, xs: &ExchangeStats) {
-        ls.records_sent += xs.record_hops;
-        ls.messages_sent += xs.messages;
-        ls.bytes_sent += xs.bytes;
-        ins::absorb_exchange(&mut self.metrics, xs);
-    }
-
-    fn canonicalize(&self, mut inboxes: Vec<Vec<EdgeRec>>) -> Vec<Vec<EdgeRec>> {
-        if self.cfg.canonical_order {
-            inboxes.par_iter_mut().for_each(|b| b.sort_unstable());
-        }
-        inboxes
-    }
-
-    /// [`Self::update_hubs`] under a `hub_gather` span on the run lane,
-    /// charged with the gather bytes (transport-invariant).
-    fn traced_update_hubs(&mut self, level: u32) -> u64 {
-        let t0 = ins::span_begin(self.tracer.as_ref());
-        let bytes = self.update_hubs();
-        if let Some(t) = &self.tracer {
-            t.end(t.run_lane(), ins::SPAN_HUB_GATHER, ins::CAT_GATHER, level, t0, bytes);
-        }
-        bytes
-    }
-
-    /// Rebuilds the replicated hub bitmaps from every rank's `next` +
-    /// parent state; returns the gather traffic in bytes.
-    fn update_hubs(&mut self) -> u64 {
-        let num_ranks = self.part.num_ranks() as usize;
-        let nbits = self.hub_states[0].curr.len();
-        let mut contrib_curr = Vec::with_capacity(num_ranks);
-        let mut contrib_visited = Vec::with_capacity(num_ranks);
-        for r in 0..num_ranks {
-            let mut c = Bitmap::new(nbits);
-            let mut v = Bitmap::new(nbits);
-            for &(hub_idx, local) in &self.owned_hubs[r] {
-                if self.ranks[r].next.contains(local as usize) {
-                    c.set(hub_idx as usize);
-                }
-                if self.ranks[r].visited(local as usize) {
-                    v.set(hub_idx as usize);
-                }
-            }
-            contrib_curr.push(c);
-            contrib_visited.push(v);
-        }
-        gather_hub_level(&mut self.hub_states, &contrib_curr, &contrib_visited).bytes
-    }
-}
+/// Deprecated name for [`SuperstepEngine`] over the [`SharedMem`]
+/// transport. Prefer [`crate::engine::ClusterBuilder`].
+pub type ThreadedCluster = SuperstepEngine<SharedMem>;
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use super::ThreadedCluster;
     use crate::baseline::sequential_bfs_levels;
-    use crate::config::Messaging;
-    use sw_graph::{generate_kronecker, KroneckerConfig};
+    use crate::config::{BfsConfig, Messaging, Processing};
+    use crate::error::ExecError;
+    use crate::faults::FaultPlan;
+    use crate::policy::Direction;
+    use crate::result::BfsOutput;
+    use crate::NO_PARENT;
+    use sw_graph::{generate_kronecker, EdgeList, KroneckerConfig, Vid};
 
     fn kron(scale: u32, seed: u64) -> EdgeList {
         generate_kronecker(&KroneckerConfig::graph500(scale, seed))

@@ -18,7 +18,7 @@ use crate::config::BfsConfig;
 use crate::error::ExecError;
 use crate::policy::Direction;
 use crate::result::BfsOutput;
-use crate::threaded::ThreadedCluster;
+use crate::engine::ClusterBuilder;
 use serde::{Deserialize, Serialize};
 use sw_graph::{generate_kronecker, KroneckerConfig, Vid};
 
@@ -69,7 +69,7 @@ pub fn measure_profile(
     root: Vid,
 ) -> Result<Vec<LevelProfile>, ExecError> {
     let el = generate_kronecker(&KroneckerConfig::graph500(scale, seed));
-    let mut tc = ThreadedCluster::new(&el, ranks, cfg)?;
+    let mut tc = ClusterBuilder::new(&el, ranks, cfg).build()?;
     // Pick a root firmly inside the giant component: the highest-degree
     // vertex among a window of candidates after the requested id.
     let n = el.num_vertices;

@@ -1,0 +1,242 @@
+//! Transport conformance: every fabric behind the unified superstep
+//! engine passes one shared battery, so a future third transport
+//! (sharded, async, net-model-coupled) gets the full parity suite by
+//! adding one `conformance::battery(...)` call.
+//!
+//! The battery holds each transport to the engine's contract:
+//!
+//! 1. **Oracle parity** — bit-identical parents/levels vs the
+//!    sequential baseline at Graph500 scale 14.
+//! 2. **Canonical counters** — exactly the 11 canonical
+//!    `exchange.*`/`pool.*`/`faults.*` keys after every run, and
+//!    identical `exchange.*`/`faults.*` *values* across transports on
+//!    identical traffic.
+//! 3. **Fault determinism** — a survivable lossy plan leaves the output
+//!    bit-identical to the fault-free oracle and replays the same
+//!    injection trace run after run.
+//! 4. **Complete surface** — the whole telemetry/accessor API works for
+//!    every transport (the facade-era drift where `ChannelCluster`
+//!    lacked `pool_counters`/`injection_trace`/`is_degraded` cannot
+//!    recur).
+
+use swbfs_core::baseline::sequential_bfs_levels;
+use swbfs_core::engine::{Channels, ClusterBuilder, SharedMem, SuperstepEngine, Transport};
+use swbfs_core::{BfsConfig, FaultPlan, Messaging};
+use sw_graph::{generate_kronecker, EdgeList, KroneckerConfig, Vid};
+
+fn graph(scale: u32, seed: u64) -> EdgeList {
+    generate_kronecker(&KroneckerConfig::graph500(scale, seed))
+}
+
+/// The 11 canonical counter keys every run must report — the single
+/// `absorb_exchange` merge path's complete coverage.
+const CANONICAL_KEYS: [&str; 11] = [
+    "exchange.bytes",
+    "exchange.inter_group_bytes",
+    "exchange.max_send_bytes_per_rank",
+    "exchange.max_send_msgs_per_rank",
+    "exchange.messages",
+    "exchange.record_hops",
+    "faults.degraded_levels",
+    "faults.injected",
+    "faults.retries",
+    "pool.allocs",
+    "pool.reused_bytes",
+];
+
+fn build<T: Transport>(
+    el: &EdgeList,
+    ranks: u32,
+    cfg: BfsConfig,
+    make: fn() -> T,
+) -> SuperstepEngine<T> {
+    ClusterBuilder::new(el, ranks, cfg)
+        .transport(make())
+        .build()
+        .expect("conformance build")
+}
+
+/// A root inside the giant component (ids are permuted; low ids can be
+/// isolated on RMAT graphs).
+fn good_root<T: Transport>(engine: &SuperstepEngine<T>) -> Vid {
+    (0..512.min(engine.num_vertices()))
+        .max_by_key(|&v| engine.degree_of(v))
+        .unwrap()
+}
+
+/// Battery 1: bit-identical parents/levels vs the sequential oracle at
+/// scale 14, on both messaging modes.
+fn check_oracle_parity<T: Transport>(make: fn() -> T) {
+    let el = graph(14, 21);
+    for messaging in [Messaging::Direct, Messaging::Relay] {
+        let cfg = BfsConfig::threaded_small(4).with_messaging(messaging);
+        let mut engine = build(&el, 8, cfg, make);
+        let name = engine.transport().name();
+        let root = good_root(&engine);
+        let out = engine.run(root).unwrap();
+        let oracle = sequential_bfs_levels(&el, root);
+        assert_eq!(
+            out.levels_from_parents(),
+            oracle,
+            "{name}/{messaging:?}: level map diverges from the sequential oracle"
+        );
+        // Tree edges must exist in the graph (Graph500 validation rule).
+        let edges: std::collections::HashSet<(Vid, Vid)> = el.symmetric_iter().collect();
+        for (v, &p) in out.parents.iter().enumerate() {
+            if p != swbfs_core::NO_PARENT && v as Vid != root {
+                assert!(
+                    edges.contains(&(p, v as Vid)),
+                    "{name}/{messaging:?}: tree edge {p}->{v} not in graph"
+                );
+            }
+        }
+    }
+}
+
+/// Battery 2: exactly the 11 canonical counter keys after a clean run.
+fn check_canonical_counters<T: Transport>(make: fn() -> T) {
+    let el = graph(11, 5);
+    let mut engine = build(&el, 6, BfsConfig::threaded_small(3), make);
+    let name = engine.transport().name();
+    engine.run(good_root(&engine)).unwrap();
+    let keys: Vec<&str> = engine.metrics().iter().map(|(k, _)| k).collect();
+    assert_eq!(
+        keys, CANONICAL_KEYS,
+        "{name}: counter key set drifted from the canonical 11"
+    );
+}
+
+/// Battery 3: a survivable lossy schedule leaves the output
+/// bit-identical to the fault-free oracle and replays deterministically,
+/// injection trace included.
+fn check_fault_determinism<T: Transport>(make: fn() -> T) {
+    let el = graph(12, 9);
+    let cfg = BfsConfig::threaded_small(3);
+    let mut clean = build(&el, 6, cfg, make);
+    let name = clean.transport().name();
+    let root = good_root(&clean);
+    let oracle = clean.run(root).unwrap();
+
+    let mut faulty = ClusterBuilder::new(&el, 6, cfg)
+        .transport(make())
+        .fault_plan(FaultPlan::lossy(23))
+        .build()
+        .unwrap();
+    let out = faulty.run(root).unwrap();
+    assert_eq!(
+        out.parents, oracle.parents,
+        "{name}: survivable faults changed the answer"
+    );
+    let (retries, injected, degraded) = faulty.fault_counters();
+    assert!(injected > 0, "{name}: lossy plan never fired");
+    assert!(retries > 0, "{name}: faults without re-sends");
+    assert_eq!(degraded, 0, "{name}: clamped faults must not degrade");
+
+    let trace: Vec<_> = faulty.injection_trace().to_vec();
+    let counters = faulty.fault_counters();
+    let again = faulty.run(root).unwrap();
+    assert_eq!(again.parents, oracle.parents, "{name}: replay diverged");
+    assert_eq!(
+        faulty.injection_trace(),
+        trace.as_slice(),
+        "{name}: injection trace is not deterministic"
+    );
+    assert_eq!(faulty.fault_counters(), counters, "{name}: fault tallies drifted");
+}
+
+/// Battery 4: the complete engine surface works — every accessor the two
+/// pre-unification backends exposed between them, now on one type.
+fn check_complete_surface<T: Transport>(make: fn() -> T) {
+    let el = graph(10, 2);
+    let cfg = BfsConfig::threaded_small(2);
+    let mut engine = build(&el, 4, cfg, make);
+    let name = engine.transport().name();
+    assert!(!name.is_empty());
+    assert_eq!(engine.num_ranks(), 4);
+    assert_eq!(engine.num_vertices(), el.num_vertices);
+    assert_eq!(engine.input_edges(), el.len() as u64);
+    assert!(engine.total_directed_edges() > 0);
+    assert_eq!(engine.config().group_size, cfg.group_size);
+    assert!((0..engine.num_vertices()).any(|v| engine.degree_of(v) > 0));
+
+    // Telemetry surface, pre-run: empty but present.
+    assert_eq!(engine.fault_counters(), (0, 0, 0), "{name}");
+    assert!(engine.injection_trace().is_empty(), "{name}");
+    assert!(!engine.is_degraded(), "{name}");
+
+    let out = engine.run(1).unwrap();
+    assert_eq!(out.root, 1);
+    assert!(!engine.metrics().is_empty(), "{name}: no metrics after a run");
+    let (allocs, reused) = engine.pool_counters();
+    assert_eq!(
+        (allocs, reused),
+        (
+            engine.metrics().get("pool.allocs"),
+            engine.metrics().get("pool.reused_bytes")
+        ),
+        "{name}: pool_counters must be a view over metrics()"
+    );
+}
+
+#[test]
+fn shared_mem_matches_the_sequential_oracle_at_scale_14() {
+    check_oracle_parity(SharedMem::new);
+}
+
+#[test]
+fn channels_matches_the_sequential_oracle_at_scale_14() {
+    check_oracle_parity(Channels::new);
+}
+
+#[test]
+fn shared_mem_reports_the_canonical_counter_keys() {
+    check_canonical_counters(SharedMem::new);
+}
+
+#[test]
+fn channels_reports_the_canonical_counter_keys() {
+    check_canonical_counters(Channels::new);
+}
+
+#[test]
+fn shared_mem_replays_fault_plans_deterministically() {
+    check_fault_determinism(SharedMem::new);
+}
+
+#[test]
+fn channels_replays_fault_plans_deterministically() {
+    check_fault_determinism(Channels::new);
+}
+
+#[test]
+fn shared_mem_exposes_the_complete_surface() {
+    check_complete_surface(SharedMem::new);
+}
+
+#[test]
+fn channels_exposes_the_complete_surface() {
+    check_complete_surface(Channels::new);
+}
+
+/// Cross-transport parity on identical traffic: identical parent maps
+/// and identical `exchange.*`/`faults.*` counter values (Direct mode,
+/// fixed framing — the traffic both fabrics describe identically).
+#[test]
+fn transports_agree_with_each_other_on_identical_traffic() {
+    let el = graph(12, 17);
+    let cfg = BfsConfig::threaded_small(3).with_messaging(Messaging::Direct);
+    let mut shm = build(&el, 6, cfg, SharedMem::new);
+    let mut chn = build(&el, 6, cfg, Channels::new);
+    let root = good_root(&shm);
+    let a = shm.run(root).unwrap();
+    let b = chn.run(root).unwrap();
+    assert_eq!(a.parents, b.parents);
+    assert_eq!(a.levels, b.levels, "engine-owned level stats must agree");
+    for section in ["exchange.", "faults."] {
+        assert_eq!(
+            shm.metrics().section(section),
+            chn.metrics().section(section),
+            "{section}* values diverge between transports"
+        );
+    }
+}

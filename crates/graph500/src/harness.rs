@@ -1,0 +1,157 @@
+//! The per-root scaffolding both benchmark kernels share.
+//!
+//! Kernel 1 (BFS) and kernel 2 (SSSP) follow the same procedure: build
+//! the Kronecker instance, select the search roots, then — per root —
+//! time the kernel, validate its answer, count the traversed edges, and
+//! fold per-root TEPS into harmonic-mean statistics. Before this module
+//! the two drivers each re-implemented that loop; now they are thin
+//! strategy wrappers (which BFS/SSSP to run, how to validate) around
+//! [`drive_roots`].
+
+use crate::roots::select_roots;
+use crate::spec::Graph500Spec;
+use crate::teps::TepsStats;
+use std::time::Instant;
+use sw_graph::{generate_kronecker, EdgeList, Vid};
+
+/// One root's timed kernel run — the common shape both kernels report.
+#[derive(Clone, Copy, Debug)]
+pub struct RootRun {
+    /// The search key.
+    pub root: Vid,
+    /// Kernel wall time, seconds.
+    pub time_s: f64,
+    /// Input edges with a reached endpoint (from validation).
+    pub traversed_edges: u64,
+    /// TEPS for this run.
+    pub teps: f64,
+    /// Vertices reached.
+    pub reached: u64,
+    /// BFS depth (0 for kernels without a level structure).
+    pub depth: u32,
+}
+
+/// What a kernel's validation step reports back to the shared loop.
+#[derive(Clone, Copy, Debug)]
+pub struct RootAssessment {
+    /// Input edges with a reached endpoint (the TEPS numerator).
+    pub traversed_edges: u64,
+    /// Vertices reached.
+    pub reached: u64,
+    /// Depth of the produced tree (0 where meaningless).
+    pub depth: u32,
+}
+
+/// Steps 1–2: the Kronecker instance plus its selected search roots.
+/// `seed_mix` is XORed into the root-selection seed so different kernels
+/// draw independent root sets from the same instance. An empty root
+/// vector means the instance is degenerate — the caller maps that to its
+/// own error type.
+pub fn build_instance(spec: &Graph500Spec, seed_mix: u64) -> (EdgeList, Vec<Vid>) {
+    let el = generate_kronecker(&spec.kronecker());
+    let roots = select_roots(&el, spec.num_roots, spec.seed ^ seed_mix);
+    (el, roots)
+}
+
+/// Steps 4–6: the shared per-root loop. For each root, `kernel` runs
+/// under the wall clock (and nothing else — validation time never
+/// pollutes TEPS), `assess` validates the result and reports the
+/// traversed-edge count, and the loop derives per-root TEPS plus the
+/// harmonic-mean statistics. `degenerate` wraps the error for a
+/// non-positive TEPS sample.
+///
+/// Both closures receive the run index so tracing kernels can tag spans
+/// with it.
+pub fn drive_roots<T, E>(
+    roots: &[Vid],
+    mut kernel: impl FnMut(usize, Vid) -> Result<T, E>,
+    mut assess: impl FnMut(usize, Vid, T) -> Result<RootAssessment, E>,
+    degenerate: impl FnOnce(String) -> E,
+) -> Result<(Vec<RootRun>, TepsStats), E> {
+    let mut runs = Vec::with_capacity(roots.len());
+    for (i, &root) in roots.iter().enumerate() {
+        let t = Instant::now();
+        let out = kernel(i, root)?;
+        let time_s = t.elapsed().as_secs_f64();
+        let a = assess(i, root, out)?;
+        runs.push(RootRun {
+            root,
+            time_s,
+            traversed_edges: a.traversed_edges,
+            teps: a.traversed_edges as f64 / time_s,
+            reached: a.reached,
+            depth: a.depth,
+        });
+    }
+    let samples: Vec<f64> = runs.iter().map(|r| r.teps).collect();
+    let stats = TepsStats::from_samples(&samples)
+        .ok_or_else(|| degenerate("non-positive TEPS sample".into()))?;
+    Ok((runs, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drive_roots_times_kernel_not_assessment() {
+        let roots = [3u64, 5];
+        let (runs, stats) = drive_roots(
+            &roots,
+            |i, root| -> Result<u64, ()> { Ok(root + i as u64) },
+            |i, root, out| {
+                assert_eq!(out, root + i as u64, "kernel output reaches assess");
+                Ok(RootAssessment {
+                    traversed_edges: 100,
+                    reached: 10,
+                    depth: 2,
+                })
+            },
+            |_| (),
+        )
+        .unwrap();
+        assert_eq!(runs.len(), 2);
+        assert!(runs.iter().all(|r| r.teps > 0.0 && r.traversed_edges == 100));
+        assert!(stats.harmonic_mean > 0.0);
+    }
+
+    #[test]
+    fn kernel_error_short_circuits() {
+        let roots = [1u64, 2, 3];
+        let mut ran = 0;
+        let err = drive_roots(
+            &roots,
+            |_, root| {
+                ran += 1;
+                if root == 2 {
+                    Err("boom")
+                } else {
+                    Ok(())
+                }
+            },
+            |_, _, _| {
+                Ok(RootAssessment {
+                    traversed_edges: 1,
+                    reached: 1,
+                    depth: 0,
+                })
+            },
+            |m| {
+                let _ = m;
+                "degenerate"
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, "boom");
+        assert_eq!(ran, 2, "root 3 must not run after the failure");
+    }
+
+    #[test]
+    fn build_instance_mixes_root_seeds() {
+        let spec = Graph500Spec::quick(8, 3, 4);
+        let (el, a) = build_instance(&spec, 0);
+        let (el2, b) = build_instance(&spec, 0x55AA);
+        assert_eq!(el.edges, el2.edges, "same instance either way");
+        assert_ne!(a, b, "different seed mixes draw different root sets");
+    }
+}

@@ -1,14 +1,19 @@
-//! The benchmark kernel driver: generate, build, run each root, validate,
-//! and time.
+//! The BFS benchmark driver (kernel 1): a thin strategy wrapper over the
+//! shared [`crate::harness`] loop — this module only decides *which*
+//! kernel runs (the superstep engine's BFS) and *how* a result is
+//! validated (centralized or distributed checker); generation, root
+//! selection, timing, and TEPS statistics live in the harness.
 
-use crate::roots::select_roots;
+use crate::harness::{build_instance, drive_roots, RootAssessment};
 use crate::spec::Graph500Spec;
 use crate::teps::TepsStats;
 use crate::validate::{validate_bfs, ValidationError};
 use std::time::Instant;
-use sw_graph::{generate_kronecker, Vid};
+use sw_graph::Vid;
 use sw_trace::Tracer;
-use swbfs_core::{BfsConfig, ExecError, ThreadedCluster};
+use swbfs_core::{BfsConfig, ClusterBuilder, ExecError};
+
+pub use crate::harness::RootRun;
 
 /// Span names the traced benchmark records on the tracer's run lane.
 pub const SPAN_CONSTRUCT: &str = "construct";
@@ -18,23 +23,6 @@ pub const SPAN_KERNEL: &str = "kernel";
 pub const SPAN_VALIDATE: &str = "validate";
 /// Category of all benchmark-step spans.
 pub const CAT_BENCH: &str = "graph500";
-
-/// One root's kernel run.
-#[derive(Clone, Copy, Debug)]
-pub struct RootRun {
-    /// The search key.
-    pub root: Vid,
-    /// Kernel wall time, seconds.
-    pub time_s: f64,
-    /// Input edges with a reached endpoint (from validation).
-    pub traversed_edges: u64,
-    /// TEPS for this run.
-    pub teps: f64,
-    /// Vertices reached.
-    pub reached: u64,
-    /// BFS depth.
-    pub depth: u32,
-}
 
 /// Results of a full benchmark run.
 #[derive(Clone, Debug)]
@@ -132,8 +120,7 @@ fn run_benchmark_with(
     tracer: Option<&Tracer>,
 ) -> Result<BenchmarkResult, BenchmarkError> {
     // Steps 1–2.
-    let el = generate_kronecker(&spec.kronecker());
-    let roots = select_roots(&el, spec.num_roots, spec.seed);
+    let (el, roots) = build_instance(spec, 0);
     if roots.is_empty() {
         return Err(BenchmarkError::Degenerate("no eligible roots".into()));
     }
@@ -153,54 +140,51 @@ fn run_benchmark_with(
     let s0 = tracer.map_or(0, |t| t.begin());
     let t0 = Instant::now();
     let (mut cluster, _construction_traffic) =
-        ThreadedCluster::new_distributed(&el, ranks, cfg)?;
+        ClusterBuilder::new(&el, ranks, cfg).build_distributed()?;
     let construction_s = t0.elapsed().as_secs_f64();
     span(s0, SPAN_CONSTRUCT, sw_trace::NO_LEVEL, el.edges.len() as u64);
     cluster.set_tracer(tracer.cloned());
 
-    // Steps 4–5.
-    let mut runs = Vec::with_capacity(roots.len());
-    for (i, root) in roots.into_iter().enumerate() {
-        let s0 = tracer.map_or(0, |t| t.begin());
-        let t = Instant::now();
-        let out = cluster.run(root)?;
-        let time_s = t.elapsed().as_secs_f64();
-        span(s0, SPAN_KERNEL, i as u32, out.reached());
-        let s0 = tracer.map_or(0, |t| t.begin());
-        let traversed = if distributed_validation {
-            crate::validate_dist::DistValidator::new(
-                el.num_vertices,
-                ranks,
-                cfg.group_size.min(ranks),
-                cfg.messaging,
-            )
-            .validate(&el, &out)
-        } else {
-            validate_bfs(&el, &out)
-        }
-        .map_err(|error| BenchmarkError::Invalid { root, error })?;
-        span(s0, SPAN_VALIDATE, i as u32, traversed);
-        if let Some(t) = tracer {
-            let reg = t.registry();
-            reg.counter("graph500.roots_run").incr();
-            reg.counter("graph500.traversed_edges").add(traversed);
-            reg.counter("graph500.reached_vertices").add(out.reached());
-            reg.gauge("graph500.max_depth").record_max(out.depth() as u64);
-        }
-        runs.push(RootRun {
-            root,
-            time_s,
-            traversed_edges: traversed,
-            teps: traversed as f64 / time_s,
-            reached: out.reached(),
-            depth: out.depth(),
-        });
-    }
-
-    // Step 6.
-    let samples: Vec<f64> = runs.iter().map(|r| r.teps).collect();
-    let stats = TepsStats::from_samples(&samples)
-        .ok_or_else(|| BenchmarkError::Degenerate("non-positive TEPS sample".into()))?;
+    // Steps 4–6: the shared loop; this kernel's strategy is the BFS run
+    // plus the chosen validator.
+    let (runs, stats) = drive_roots(
+        &roots,
+        |i, root| {
+            let s0 = tracer.map_or(0, |t| t.begin());
+            let out = cluster.run(root)?;
+            span(s0, SPAN_KERNEL, i as u32, out.reached());
+            Ok::<_, BenchmarkError>(out)
+        },
+        |i, root, out| {
+            let s0 = tracer.map_or(0, |t| t.begin());
+            let traversed = if distributed_validation {
+                crate::validate_dist::DistValidator::new(
+                    el.num_vertices,
+                    ranks,
+                    cfg.group_size.min(ranks),
+                    cfg.messaging,
+                )
+                .validate(&el, &out)
+            } else {
+                validate_bfs(&el, &out)
+            }
+            .map_err(|error| BenchmarkError::Invalid { root, error })?;
+            span(s0, SPAN_VALIDATE, i as u32, traversed);
+            if let Some(t) = tracer {
+                let reg = t.registry();
+                reg.counter("graph500.roots_run").incr();
+                reg.counter("graph500.traversed_edges").add(traversed);
+                reg.counter("graph500.reached_vertices").add(out.reached());
+                reg.gauge("graph500.max_depth").record_max(out.depth() as u64);
+            }
+            Ok(RootAssessment {
+                traversed_edges: traversed,
+                reached: out.reached(),
+                depth: out.depth(),
+            })
+        },
+        BenchmarkError::Degenerate,
+    )?;
     Ok(BenchmarkResult {
         spec: *spec,
         ranks,

@@ -2,22 +2,23 @@
 //!
 //! The paper ran the BFS-only benchmark of 2016, but §8 argues the same
 //! framework carries SSSP; this module makes the claim concrete by
-//! running `sw-algos`' distributed SSSP under the benchmark's procedure:
-//! same Kronecker graph, same roots, per-root timing, validation against
-//! a sequential Dijkstra oracle, and harmonic-mean TEPS statistics.
+//! running `sw-algos`' distributed SSSP under the benchmark's procedure —
+//! a second thin strategy wrapper over the shared [`crate::harness`]
+//! loop: same Kronecker graph, independently drawn roots, per-root
+//! timing, validation against a sequential Dijkstra oracle, and
+//! harmonic-mean TEPS statistics.
 //!
 //! Weights follow the repo's deterministic synthetic scheme (the official
 //! generator attaches uniform random weights; ours are uniform in
 //! `1..=max_weight` and recomputable from the endpoints — same
 //! distribution class, no side file needed).
 
-use crate::roots::select_roots;
+use crate::harness::{build_instance, drive_roots, RootAssessment};
 use crate::spec::Graph500Spec;
 use crate::teps::TepsStats;
-use std::time::Instant;
 use sw_algos::sssp::{sssp_distributed, sssp_oracle, INF};
 use sw_algos::AlgoCluster;
-use sw_graph::{generate_kronecker, Vid};
+use sw_graph::Vid;
 use swbfs_core::config::Messaging;
 
 /// One SSSP root's run.
@@ -78,55 +79,59 @@ impl std::fmt::Display for Kernel2Error {
 impl std::error::Error for Kernel2Error {}
 
 /// Runs kernel 2 for every benchmark root, validating each distance map
-/// against Dijkstra.
+/// against Dijkstra. Roots are drawn with a mixed seed so kernel 2
+/// searches a different root set than kernel 1 on the same instance.
 pub fn run_kernel2(
     spec: &Graph500Spec,
     ranks: u32,
     group_size: u32,
     max_weight: u64,
 ) -> Result<Kernel2Result, Kernel2Error> {
-    let el = generate_kronecker(&spec.kronecker());
-    let roots = select_roots(&el, spec.num_roots, spec.seed ^ 0x55AA);
+    let (el, roots) = build_instance(spec, 0x55AA);
     if roots.is_empty() {
         return Err(Kernel2Error::Degenerate("no eligible roots".into()));
     }
     let mut cluster = AlgoCluster::new(&el, ranks, group_size, Messaging::Relay);
 
-    let mut runs = Vec::with_capacity(roots.len());
-    for root in roots {
-        let t = Instant::now();
-        let dist = sssp_distributed(&mut cluster, root, max_weight);
-        let time_s = t.elapsed().as_secs_f64();
-
-        let oracle = sssp_oracle(&el, root, max_weight);
-        if let Some((vertex, _)) = dist
-            .iter()
-            .zip(&oracle)
-            .enumerate()
-            .find(|(_, (a, b))| a != b)
-        {
-            return Err(Kernel2Error::Invalid {
-                root,
-                vertex: vertex as Vid,
-            });
-        }
-
-        let reached = dist.iter().filter(|&&d| d != INF).count() as u64;
-        let traversed = el
-            .edges
-            .iter()
-            .filter(|&&(u, v)| dist[u as usize] != INF || dist[v as usize] != INF)
-            .count() as u64;
-        runs.push(SsspRun {
-            root,
-            time_s,
-            reached,
-            traversed_edges: traversed,
-            teps: traversed as f64 / time_s,
-        });
-    }
-    let stats = TepsStats::from_samples(&runs.iter().map(|r| r.teps).collect::<Vec<_>>())
-        .ok_or_else(|| Kernel2Error::Degenerate("non-positive TEPS".into()))?;
+    let (runs, stats) = drive_roots(
+        &roots,
+        |_, root| Ok::<_, Kernel2Error>(sssp_distributed(&mut cluster, root, max_weight)),
+        |_, root, dist| {
+            let oracle = sssp_oracle(&el, root, max_weight);
+            if let Some((vertex, _)) = dist
+                .iter()
+                .zip(&oracle)
+                .enumerate()
+                .find(|(_, (a, b))| a != b)
+            {
+                return Err(Kernel2Error::Invalid {
+                    root,
+                    vertex: vertex as Vid,
+                });
+            }
+            Ok(RootAssessment {
+                traversed_edges: el
+                    .edges
+                    .iter()
+                    .filter(|&&(u, v)| dist[u as usize] != INF || dist[v as usize] != INF)
+                    .count() as u64,
+                reached: dist.iter().filter(|&&d| d != INF).count() as u64,
+                // A distance map has no BFS level structure.
+                depth: 0,
+            })
+        },
+        Kernel2Error::Degenerate,
+    )?;
+    let runs = runs
+        .into_iter()
+        .map(|r| SsspRun {
+            root: r.root,
+            time_s: r.time_s,
+            reached: r.reached,
+            traversed_edges: r.traversed_edges,
+            teps: r.teps,
+        })
+        .collect();
     Ok(Kernel2Result {
         spec: *spec,
         ranks,
@@ -139,6 +144,7 @@ pub fn run_kernel2(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sw_graph::generate_kronecker;
 
     #[test]
     fn kernel2_completes_and_validates() {

@@ -5,7 +5,8 @@
 //! 1. generate the raw Kronecker edge list ([`sw_graph::kronecker`]),
 //! 2. randomly select 64 non-trivial search roots ([`roots`]),
 //! 3. construct the distributed graph (the backend's build),
-//! 4. run the BFS kernel for each root ([`kernel`]),
+//! 4. run the BFS kernel for each root ([`kernel`], over the shared
+//!    per-root loop in [`harness`]),
 //! 5. validate every parent tree under the benchmark's rules
 //!    ([`validate`]),
 //! 6. compute and report TEPS statistics ([`teps`], [`report`]).
@@ -15,6 +16,7 @@
 //! machine-scale projections of the paper's figures come from
 //! `swbfs_core::modeled` and are reported separately by `sw-bench`.
 
+pub mod harness;
 pub mod kernel;
 pub mod kernel2;
 pub mod report;
@@ -24,9 +26,9 @@ pub mod teps;
 pub mod validate;
 pub mod validate_dist;
 
+pub use harness::{drive_roots, RootAssessment, RootRun};
 pub use kernel::{
     run_benchmark, run_benchmark_distributed_validation, run_benchmark_traced, BenchmarkResult,
-    RootRun,
 };
 pub use kernel2::{run_kernel2, Kernel2Result};
 pub use roots::select_roots;

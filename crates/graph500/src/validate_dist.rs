@@ -282,7 +282,7 @@ mod tests {
     use super::*;
     use crate::validate::validate_bfs;
     use swbfs_core::baseline::sequential_bfs_parents;
-    use swbfs_core::{BfsConfig, ThreadedCluster};
+    use swbfs_core::{BfsConfig, ClusterBuilder};
     use sw_graph::{generate_kronecker, Csr, KroneckerConfig};
 
     fn dist(n: Vid) -> DistValidator {
@@ -292,7 +292,9 @@ mod tests {
     #[test]
     fn agrees_with_centralized_on_valid_output() {
         let el = generate_kronecker(&KroneckerConfig::graph500(11, 5));
-        let mut tc = ThreadedCluster::new(&el, 6, BfsConfig::threaded_small(3)).unwrap();
+        let mut tc = ClusterBuilder::new(&el, 6, BfsConfig::threaded_small(3))
+            .build()
+            .unwrap();
         let out = tc.run(3).unwrap();
         let a = validate_bfs(&el, &out).unwrap();
         let b = dist(el.num_vertices).validate(&el, &out).unwrap();
@@ -387,8 +389,10 @@ mod tests {
         let el = generate_kronecker(&KroneckerConfig::graph500(14, 8));
         let cfg = BfsConfig::threaded_small(4)
             .with_messaging(Messaging::Relay);
-        let mut tc = ThreadedCluster::new(&el, 8, cfg).unwrap();
-        tc.set_fault_plan(Some(swbfs_core::FaultPlan::quiet(61).with_dead_relay(2)));
+        let mut tc = ClusterBuilder::new(&el, 8, cfg)
+            .fault_plan(swbfs_core::FaultPlan::quiet(61).with_dead_relay(2))
+            .build()
+            .unwrap();
         let out = tc.run(3).unwrap();
         assert!(tc.is_degraded(), "the dead relay must force a fallback");
         let (_, _, degraded_levels) = tc.fault_counters();
@@ -408,10 +412,10 @@ mod tests {
         let el = generate_kronecker(&KroneckerConfig::graph500(16, 8));
         let cfg = BfsConfig::threaded_small(4)
             .with_messaging(Messaging::Relay);
-        let mut tc = ThreadedCluster::new(&el, 8, cfg).unwrap();
-        tc.set_fault_plan(Some(
-            swbfs_core::FaultPlan::lossy(77).with_dead_relay(5),
-        ));
+        let mut tc = ClusterBuilder::new(&el, 8, cfg)
+            .fault_plan(swbfs_core::FaultPlan::lossy(77).with_dead_relay(5))
+            .build()
+            .unwrap();
         let out = tc.run(1).unwrap();
         assert!(tc.is_degraded());
         let (retries, injected, _) = tc.fault_counters();
@@ -424,7 +428,9 @@ mod tests {
     #[test]
     fn direct_and_relay_validators_agree() {
         let el = generate_kronecker(&KroneckerConfig::graph500(10, 9));
-        let mut tc = ThreadedCluster::new(&el, 5, BfsConfig::threaded_small(2)).unwrap();
+        let mut tc = ClusterBuilder::new(&el, 5, BfsConfig::threaded_small(2))
+            .build()
+            .unwrap();
         let out = tc.run(1).unwrap();
         let a = DistValidator::new(el.num_vertices, 5, 2, Messaging::Direct)
             .validate(&el, &out)

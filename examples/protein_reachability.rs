@@ -17,7 +17,7 @@
 use swbfs::algos::sssp::INF;
 use swbfs::algos::{kcore_distributed, sssp_distributed, AlgoCluster};
 use swbfs::bfs::config::Messaging;
-use swbfs::bfs::{BfsConfig, ThreadedCluster};
+use swbfs::bfs::{BfsConfig, ClusterBuilder};
 use swbfs::graph::kronecker::{generate_kronecker, KroneckerConfig};
 
 fn main() {
@@ -41,7 +41,9 @@ fn main() {
 
     // Query protein: a mid-degree one (not the hub — hubs are trivially
     // connected to everything).
-    let mut bfs = ThreadedCluster::new(&el, 6, BfsConfig::threaded_small(3)).unwrap();
+    let mut bfs = ClusterBuilder::new(&el, 6, BfsConfig::threaded_small(3))
+        .build()
+        .unwrap();
     let query = (0..el.num_vertices)
         .find(|&v| (4..=8).contains(&bfs.degree_of(v)))
         .expect("a mid-degree protein");

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use swbfs::bfs::{BfsConfig, ThreadedCluster};
+use swbfs::bfs::{BfsConfig, ClusterBuilder};
 use swbfs::graph::{generate_kronecker, KroneckerConfig};
 use swbfs::graph500::{select_roots, validate_bfs};
 
@@ -22,7 +22,7 @@ fn main() {
     // 2. Build a cluster of 8 simulated nodes (1-D partitioned, relay
     //    groups of 4 — the paper's §4 configuration scaled down).
     let cfg = BfsConfig::threaded_small(4);
-    let mut cluster = ThreadedCluster::new(&el, 8, cfg).expect("cluster build");
+    let mut cluster = ClusterBuilder::new(&el, 8, cfg).build().expect("cluster build");
     println!(
         "built {} ranks, {} directed adjacency entries",
         cluster.num_ranks(),

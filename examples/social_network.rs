@@ -19,7 +19,7 @@ use swbfs::algos::{
     AlgoCluster,
 };
 use swbfs::bfs::config::Messaging;
-use swbfs::bfs::{BfsConfig, ThreadedCluster};
+use swbfs::bfs::{BfsConfig, ClusterBuilder};
 use swbfs::graph::{generate_kronecker, KroneckerConfig};
 
 fn main() {
@@ -28,7 +28,9 @@ fn main() {
     println!("social network: {n} members, {} friendships\n", el.len());
 
     // --- Degrees of separation ---------------------------------------
-    let mut bfs = ThreadedCluster::new(&el, 8, BfsConfig::threaded_small(4)).unwrap();
+    let mut bfs = ClusterBuilder::new(&el, 8, BfsConfig::threaded_small(4))
+        .build()
+        .unwrap();
     let celebrity = (0..n).max_by_key(|&v| bfs.degree_of(v)).unwrap();
     let out = bfs.run(celebrity).unwrap();
     let levels = out.levels_from_parents();

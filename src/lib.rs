@@ -11,13 +11,15 @@
 //! * [`graph500`] ([`sw_graph500`]) — the Graph500 benchmark harness.
 //!
 //! ```
-//! use swbfs::bfs::{BfsConfig, ThreadedCluster};
+//! use swbfs::bfs::{BfsConfig, ClusterBuilder};
 //! use swbfs::graph::{generate_kronecker, KroneckerConfig};
 //! use swbfs::graph500::validate_bfs;
 //!
 //! // Graph500 steps 1–5 in a few lines.
 //! let el = generate_kronecker(&KroneckerConfig::graph500(10, 42));
-//! let mut cluster = ThreadedCluster::new(&el, 4, BfsConfig::threaded_small(2)).unwrap();
+//! let mut cluster = ClusterBuilder::new(&el, 4, BfsConfig::threaded_small(2))
+//!     .build()
+//!     .unwrap();
 //! let root = (0..64).max_by_key(|&v| cluster.degree_of(v)).unwrap();
 //! let out = cluster.run(root).unwrap();
 //! let traversed = validate_bfs(&el, &out).unwrap();

@@ -9,7 +9,7 @@ use swbfs::algos::{
 };
 use swbfs::bfs::baseline::sequential_bfs_levels;
 use swbfs::bfs::config::Messaging;
-use swbfs::bfs::{BfsConfig, ThreadedCluster};
+use swbfs::bfs::{BfsConfig, ClusterBuilder};
 use swbfs::graph::{generate_kronecker, KroneckerConfig};
 
 fn graph() -> swbfs::graph::EdgeList {
@@ -23,7 +23,9 @@ fn wcc_labels_agree_with_bfs_reachability() {
     let labels = wcc_distributed(&mut c);
 
     // BFS from vertex 0 must reach exactly label-of-0's component.
-    let mut tc = ThreadedCluster::new(&el, 6, BfsConfig::threaded_small(3)).unwrap();
+    let mut tc = ClusterBuilder::new(&el, 6, BfsConfig::threaded_small(3))
+        .build()
+        .unwrap();
     let out = tc.run(0).unwrap();
     let l0 = labels[0];
     for (v, &label) in labels.iter().enumerate() {

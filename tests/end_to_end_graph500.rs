@@ -32,7 +32,7 @@ fn every_configuration_produces_the_same_valid_tree() {
     for messaging in [Messaging::Direct, Messaging::Relay] {
         for processing in [Processing::Mpe, Processing::Cpe] {
             let cfg = base.with_messaging(messaging).with_processing(processing);
-            let mut tc = swbfs::bfs::ThreadedCluster::new(&el, 9, cfg).unwrap();
+            let mut tc = swbfs::bfs::ClusterBuilder::new(&el, 9, cfg).build().unwrap();
             let out = tc.run(root).unwrap();
             validate_bfs(&el, &out)
                 .unwrap_or_else(|e| panic!("{messaging:?}/{processing:?}: {e}"));
@@ -54,9 +54,10 @@ fn direction_optimization_beats_top_down_on_work() {
     let el = generate_kronecker(&KroneckerConfig::graph500(14, 9));
     let root = select_roots(&el, 1, 1)[0];
 
-    let mut optimized =
-        swbfs::bfs::ThreadedCluster::new(&el, 8, BfsConfig::threaded_small(4)).unwrap();
-    let mut plain = swbfs::bfs::ThreadedCluster::new(
+    let mut optimized = swbfs::bfs::ClusterBuilder::new(&el, 8, BfsConfig::threaded_small(4))
+        .build()
+        .unwrap();
+    let mut plain = swbfs::bfs::ClusterBuilder::new(
         &el,
         8,
         BfsConfig {
@@ -64,6 +65,7 @@ fn direction_optimization_beats_top_down_on_work() {
             ..BfsConfig::threaded_small(4)
         },
     )
+    .build()
     .unwrap();
 
     let a = optimized.run(root).unwrap();
@@ -94,8 +96,8 @@ fn hub_prefetch_reduces_remote_records() {
         bottom_up_hubs: 1,
         ..with_hubs
     };
-    let mut a = swbfs::bfs::ThreadedCluster::new(&el, 8, with_hubs).unwrap();
-    let mut b = swbfs::bfs::ThreadedCluster::new(&el, 8, without_hubs).unwrap();
+    let mut a = swbfs::bfs::ClusterBuilder::new(&el, 8, with_hubs).build().unwrap();
+    let mut b = swbfs::bfs::ClusterBuilder::new(&el, 8, without_hubs).build().unwrap();
     let oa = a.run(root).unwrap();
     let ob = b.run(root).unwrap();
     assert_eq!(oa.reached(), ob.reached());
@@ -115,8 +117,8 @@ fn degree_ordered_adjacency_cuts_bottom_up_scans() {
     let el = generate_kronecker(&KroneckerConfig::graph500(13, 17));
     let root = select_roots(&el, 1, 4)[0];
     let base = BfsConfig::threaded_small(4);
-    let mut plain = swbfs::bfs::ThreadedCluster::new(&el, 8, base).unwrap();
-    let mut ordered = swbfs::bfs::ThreadedCluster::new(
+    let mut plain = swbfs::bfs::ClusterBuilder::new(&el, 8, base).build().unwrap();
+    let mut ordered = swbfs::bfs::ClusterBuilder::new(
         &el,
         8,
         BfsConfig {
@@ -124,6 +126,7 @@ fn degree_ordered_adjacency_cuts_bottom_up_scans() {
             ..base
         },
     )
+    .build()
     .unwrap();
     let a = plain.run(root).unwrap();
     let b = ordered.run(root).unwrap();
@@ -154,10 +157,12 @@ fn relay_messaging_cuts_message_count_at_scale() {
     let root = select_roots(&el, 1, 5)[0];
     let cfg = BfsConfig::threaded_small(4); // 16 ranks -> 4 groups of 4
     let mut direct =
-        swbfs::bfs::ThreadedCluster::new(&el, 16, cfg.with_messaging(Messaging::Direct))
+        swbfs::bfs::ClusterBuilder::new(&el, 16, cfg.with_messaging(Messaging::Direct))
+            .build()
             .unwrap();
     let mut relay =
-        swbfs::bfs::ThreadedCluster::new(&el, 16, cfg.with_messaging(Messaging::Relay))
+        swbfs::bfs::ClusterBuilder::new(&el, 16, cfg.with_messaging(Messaging::Relay))
+            .build()
             .unwrap();
     let od = direct.run(root).unwrap();
     let or = relay.run(root).unwrap();

@@ -9,7 +9,7 @@ use swbfs::bfs::baseline2d::bfs_2d;
 use swbfs::bfs::compress::{compressed_size, decode_compressed, encode_compressed};
 use swbfs::bfs::exchange::{exchange_direct, exchange_relay, Codec};
 use swbfs::bfs::messages::EdgeRec;
-use swbfs::bfs::{BfsConfig, Messaging, ThreadedCluster};
+use swbfs::bfs::{BfsConfig, ClusterBuilder, Messaging};
 use swbfs::graph::io::{read_binary, read_text, write_binary, write_text};
 use swbfs::graph::{Bitmap, EdgeList, Partition1D};
 use swbfs::graph500::validate_bfs;
@@ -43,7 +43,7 @@ proptest! {
         } else {
             Messaging::Direct
         });
-        let mut tc = ThreadedCluster::new(&el, ranks, cfg).unwrap();
+        let mut tc = ClusterBuilder::new(&el, ranks, cfg).build().unwrap();
         let out = tc.run(root).unwrap();
         let oracle = sequential_bfs_levels(&el, root);
         prop_assert_eq!(out.levels_from_parents(), oracle);
