@@ -7,6 +7,21 @@ cargo build --release
 cargo test -q
 cargo clippy -- -D warnings
 
+# Benches must keep compiling (they link the kernel/reference seam and
+# the criterion shim; drift there otherwise surfaces only on demand).
+cargo bench --no-run -q
+
+# Pool-size determinism matrix: the work-stealing pool behind the rayon
+# shim must be invisible in outputs. Conformance + kernel parity + chaos
+# run sequentially (SW_POOL_THREADS=1, the default) and on a 4-worker
+# pool; every assertion in those suites is bit-exactness, so any
+# scheduling-dependent result fails the matrix.
+for threads in 1 4; do
+  SW_POOL_THREADS=$threads cargo test -q -p swbfs-core --test engine_conformance
+  SW_POOL_THREADS=$threads cargo test -q -p swbfs-core --test kernel_parity
+  SW_POOL_THREADS=$threads cargo test -q -p swbfs-core --test chaos
+done
+
 # Docs gate: the API surface must document cleanly (the engine module
 # additionally carries #[deny(missing_docs)], so an undocumented public
 # item on the Transport seam fails right here).

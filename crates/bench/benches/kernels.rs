@@ -1,0 +1,175 @@
+//! On-node kernel microbenches: the word-parallel sweeps and byte-coded
+//! hub rows against the preserved per-bit/per-edge reference kernels
+//! (`swbfs_core::modules::reference`).
+//!
+//! Everything runs on a single rank so no transport or exchange work
+//! pollutes the numbers — this is the Bottom-Up inner loop in
+//! isolation, on the scale-16 Graph500 graph the acceptance criteria
+//! name. Three groups:
+//!
+//! * `bottom_up_sweep` — dense mid-traversal frontier (the direction
+//!   switch point: half the graph settled, frontier = the previous
+//!   level). The word-parallel sweep and the per-bit loop do identical
+//!   claim work; the delta is the sweep machinery itself.
+//! * `bottom_up_tail` — late-traversal shape: ~98% settled, so almost
+//!   every visited word is all-ones and the word kernel dismisses 64
+//!   vertices per compare while the reference pays a predicate each.
+//! * `hub_decode` — summing every coded hub row through the varint
+//!   decoder vs the plain CSR slices: the decode overhead the byte
+//!   coding pays for its memory reduction (reported to stderr at
+//!   startup for BENCH_kernels.json).
+//!
+//! The generators mutate the rank state (claims), so each iteration
+//! restores the small mutable slice — parent map, visited words, both
+//! frontiers — from a snapshot. The restore is a ~0.6 MB memcpy against
+//! a multi-million-entry edge scan, charged identically to both arms.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sw_graph::hub::HubSet;
+use sw_graph::{generate_kronecker, Bitmap, KroneckerConfig, Partition1D, Vid};
+use swbfs_core::frontier::Frontier;
+use swbfs_core::hubs::HubState;
+use swbfs_core::modules::{backward_generator, reference, Outboxes};
+use swbfs_core::rank::RankState;
+
+const SCALE: u32 = 16;
+const SEED: u64 = 7;
+
+fn single_rank_state() -> RankState {
+    let el = generate_kronecker(&KroneckerConfig::graph500(SCALE, SEED));
+    let part = Partition1D::new(el.num_vertices, 1);
+    RankState::build(0, part, &el)
+}
+
+fn empty_hubs() -> HubState {
+    HubState::new(HubSet::from_degrees(vec![], 4))
+}
+
+/// The mutable slice of a [`RankState`] the generators touch.
+struct TraversalSnapshot {
+    parent: Vec<Vid>,
+    visited: Bitmap,
+    curr: Frontier,
+    next: Frontier,
+}
+
+impl TraversalSnapshot {
+    fn take(s: &RankState) -> Self {
+        Self {
+            parent: s.parent.clone(),
+            visited: s.visited_bits.clone(),
+            curr: s.curr.clone(),
+            next: s.next.clone(),
+        }
+    }
+
+    fn restore(&self, s: &mut RankState) {
+        s.parent.copy_from_slice(&self.parent);
+        s.visited_bits
+            .words_mut()
+            .copy_from_slice(self.visited.words());
+        s.curr = self.curr.clone();
+        s.next = self.next.clone();
+    }
+}
+
+/// Settles the vertices `keep` selects and promotes them into the
+/// current frontier, reproducing a mid-traversal Bottom-Up level:
+/// `curr` is the previous settled level, everything else unvisited.
+fn seed_settled(state: &mut RankState, keep: impl Fn(usize) -> bool) {
+    for i in 0..state.owned() {
+        if keep(i) {
+            state.claim(i, i as Vid);
+        }
+    }
+    state.advance_level();
+}
+
+fn bench_sweep(c: &mut Criterion, group: &str, state: &mut RankState) {
+    let hubs = empty_hubs();
+    let snapshot = TraversalSnapshot::take(state);
+    let edges = state.csr.num_entries();
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(edges));
+    g.bench_function("word", |b| {
+        b.iter(|| {
+            snapshot.restore(state);
+            let mut out = Outboxes::new(1);
+            backward_generator(state, &hubs, &mut out)
+        });
+    });
+    g.bench_function("reference", |b| {
+        b.iter(|| {
+            snapshot.restore(state);
+            let mut out = Outboxes::new(1);
+            reference::backward_generator(state, &hubs, &mut out)
+        });
+    });
+    g.finish();
+}
+
+fn bench_bottom_up(c: &mut Criterion) {
+    // Mid-traversal: every other vertex settled, frontier dense.
+    let mut state = single_rank_state();
+    seed_settled(&mut state, |i| i % 2 == 0);
+    bench_sweep(c, "bottom_up_sweep", &mut state);
+    // Tail: 63 of every 64 settled — the word-skip showcase.
+    let mut state = single_rank_state();
+    seed_settled(&mut state, |i| i % 64 != 0);
+    bench_sweep(c, "bottom_up_tail", &mut state);
+}
+
+fn bench_hub_decode(c: &mut Criterion) {
+    let mut state = single_rank_state();
+    let coded_rows = state.seal_adjacency(64);
+    let adj = state.adjacency.as_ref().unwrap();
+    // Memory ledger for BENCH_kernels.json: what the coded rows cost
+    // against the plain bytes they shadow.
+    eprintln!(
+        "hub_decode memory: coded_rows={} plain_bytes_replaced={} \
+         coded_bytes={} overhead_bytes={}",
+        coded_rows,
+        adj.plain_bytes_replaced(),
+        adj.coded_bytes(),
+        adj.overhead_bytes(),
+    );
+    let rows: Vec<usize> = (0..state.owned())
+        .filter(|&i| adj.is_compressed(i))
+        .collect();
+    let coded_targets: u64 = rows
+        .iter()
+        .map(|&i| state.csr.degree_local(i))
+        .sum();
+
+    let mut g = c.benchmark_group("hub_decode");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(coded_targets));
+    let adj = state.adjacency.as_ref().unwrap();
+    g.bench_function("coded", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &i in &rows {
+                for v in adj.coded_row(i).unwrap() {
+                    acc = acc.wrapping_add(v);
+                }
+            }
+            acc
+        });
+    });
+    g.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &i in &rows {
+                for &v in state.csr.neighbors_local(i) {
+                    acc = acc.wrapping_add(v);
+                }
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bottom_up, bench_hub_decode);
+criterion_main!(benches);

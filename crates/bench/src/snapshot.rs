@@ -502,6 +502,26 @@ mod tests {
                 "missing section {prefix}"
             );
         }
+        // The kernel.* observability section rides along under every
+        // transport prefix, with exact (0-permille) bands like all
+        // counts.
+        for prefix in ["direct", "relay", "channels"] {
+            assert!(
+                a.get(&format!("{prefix}.kernel.words_scanned")) > 0,
+                "{prefix}: word sweeps never engaged in the snapshot"
+            );
+            assert_eq!(
+                a.get(&format!("{prefix}.kernel.rows_compressed")),
+                0,
+                "{prefix}: hub-row coding is off in the snapshot workload"
+            );
+            assert_eq!(
+                ToleranceBands::standard()
+                    .band_for(&format!("{prefix}.kernel.words_scanned")),
+                0,
+                "kernel counters must diff exactly"
+            );
+        }
         // The accounting deviation rows are exact; the makespan row is
         // the only honest model error.
         assert_eq!(a.get("model.cross_bytes.error_permille"), 0);

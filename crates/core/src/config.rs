@@ -65,6 +65,17 @@ pub struct BfsConfig {
     /// Bounded-retry and degradation policy for injected transport
     /// faults; only consulted when a fault session is armed.
     pub retry: crate::faults::RetryPolicy,
+    /// Build byte-coded copies of high-degree rows at construction and
+    /// decode them in the generators instead of the plain CSR slices.
+    pub compress_hub_rows: bool,
+    /// Degree threshold for [`compress_hub_rows`](Self::compress_hub_rows):
+    /// rows with at least this many neighbours get a coded copy.
+    pub hub_compress_min_degree: u64,
+    /// Run the preserved pre-word-parallel generator kernels
+    /// ([`crate::modules::reference`]) instead of the word-parallel ones —
+    /// the differential-testing and benchmarking baseline, never a
+    /// production setting.
+    pub reference_kernels: bool,
 }
 
 impl Default for BfsConfig {
@@ -92,6 +103,9 @@ impl BfsConfig {
             compress: false,
             degree_ordered_adjacency: false,
             retry: crate::faults::RetryPolicy::default(),
+            compress_hub_rows: false,
+            hub_compress_min_degree: 64,
+            reference_kernels: false,
         }
     }
 
@@ -143,6 +157,13 @@ impl BfsConfig {
         }
         if self.edge_msg_bytes == 0 {
             return Err("edge_msg_bytes must be positive".into());
+        }
+        if self.compress_hub_rows && self.hub_compress_min_degree == 0 {
+            return Err(
+                "hub_compress_min_degree must be positive: coding every \
+                 empty row wastes a chunk header per vertex"
+                    .into(),
+            );
         }
         self.retry.validate()?;
         Ok(())
@@ -198,6 +219,13 @@ mod tests {
         .is_err());
         assert!(BfsConfig {
             edge_msg_bytes: 0,
+            ..BfsConfig::paper()
+        }
+        .validate()
+        .is_err());
+        assert!(BfsConfig {
+            compress_hub_rows: true,
+            hub_compress_min_degree: 0,
             ..BfsConfig::paper()
         }
         .validate()

@@ -181,6 +181,8 @@ pub struct SuperstepEngine<T: Transport> {
     owned_hubs: Vec<Vec<(u32, u32)>>,
     total_directed_edges: u64,
     input_edges: u64,
+    /// Rows holding a byte-coded copy, summed over ranks at construction.
+    rows_compressed: u64,
     transport: T,
     /// Canonical counter set of the most recent [`Self::run`].
     metrics: CounterSet,
@@ -266,6 +268,17 @@ impl<T: Transport> SuperstepEngine<T> {
                 .for_each(|r| r.csr.reorder_neighbors_by_degree(|v| degrees[v as usize]));
         }
 
+        // Byte-coded sidecar for high-degree rows — built *after* any
+        // adjacency reorder, since the coding snapshots rows as they are.
+        let rows_compressed: u64 = if cfg.compress_hub_rows {
+            ranks
+                .par_iter_mut()
+                .map(|r| r.seal_adjacency(cfg.hub_compress_min_degree))
+                .sum()
+        } else {
+            0
+        };
+
         // Distributed hub selection: every rank nominates its local top-k;
         // the global top-k is drawn from the union of nominations.
         let k = cfg.bottom_up_hubs;
@@ -305,6 +318,7 @@ impl<T: Transport> SuperstepEngine<T> {
             owned_hubs,
             total_directed_edges,
             input_edges: el.len() as u64,
+            rows_compressed,
             transport,
             metrics: CounterSet::new(),
             tracer: None,
@@ -436,6 +450,11 @@ impl<T: Transport> SuperstepEngine<T> {
             });
         }
         self.reset();
+        // Construction-time fact, re-recorded per run because reset()
+        // clears the counter set; recorded even at zero so counter key
+        // sets stay identical across configurations and transports.
+        self.metrics
+            .record(ins::KERNEL_ROWS_COMPRESSED, self.rows_compressed);
 
         // Seed the root and promote it into the first frontier.
         let owner = self.part.owner(root) as usize;
@@ -503,6 +522,7 @@ impl<T: Transport> SuperstepEngine<T> {
 
             gather = self.traced_update_hubs(level);
             ls.settled = self.ranks.iter_mut().map(|r| r.advance_level()).sum();
+            ins::absorb_kernel(&mut self.metrics, &ls);
             levels.push(ls);
             level += 1;
         }
@@ -527,9 +547,7 @@ impl<T: Transport> SuperstepEngine<T> {
         // bit-identical.
         self.faults = self.fault_plan.clone().map(FaultSession::new);
         for r in &mut self.ranks {
-            r.parent.fill(NO_PARENT);
-            r.curr.clear();
-            r.next.clear();
+            r.reset();
         }
         for h in &mut self.hub_states {
             h.curr.clear_all();
@@ -542,6 +560,7 @@ impl<T: Transport> SuperstepEngine<T> {
         let trace = self.tracer.clone();
         let trace = trace.as_ref();
         let lvl = ls.level;
+        let reference = self.cfg.reference_kernels;
         let mut outs = self.transport.lend_outboxes();
         let gen: Vec<ModuleStats> = self
             .ranks
@@ -550,7 +569,11 @@ impl<T: Transport> SuperstepEngine<T> {
             .zip(outs.par_iter_mut())
             .map(|((r, h), out)| {
                 let t0 = ins::span_begin(trace);
-                let st = forward_generator(r, h, out);
+                let st = if reference {
+                    crate::modules::reference::forward_generator(r, h, out)
+                } else {
+                    forward_generator(r, h, out)
+                };
                 ins::span_end(trace, r.rank as usize, ins::SPAN_GEN, ins::CAT_COMPUTE, lvl, t0, st.records_out);
                 st
             })
@@ -560,6 +583,9 @@ impl<T: Transport> SuperstepEngine<T> {
             ls.local_claims += st.local_claims;
             ls.hub_skips += st.hub_skips;
             ls.records_generated += st.records_out;
+            ls.words_scanned += st.words_scanned;
+            ls.words_skipped += st.words_skipped;
+            ls.bytes_decoded += st.bytes_decoded;
         }
 
         let inboxes = self.run_exchange(outs, ls)?;
@@ -582,6 +608,7 @@ impl<T: Transport> SuperstepEngine<T> {
         let trace = self.tracer.clone();
         let trace = trace.as_ref();
         let lvl = ls.level;
+        let reference = self.cfg.reference_kernels;
         let mut outs = self.transport.lend_outboxes();
         let gen: Vec<ModuleStats> = self
             .ranks
@@ -590,7 +617,11 @@ impl<T: Transport> SuperstepEngine<T> {
             .zip(outs.par_iter_mut())
             .map(|((r, h), out)| {
                 let t0 = ins::span_begin(trace);
-                let st = backward_generator(r, h, out);
+                let st = if reference {
+                    crate::modules::reference::backward_generator(r, h, out)
+                } else {
+                    backward_generator(r, h, out)
+                };
                 ins::span_end(trace, r.rank as usize, ins::SPAN_GEN, ins::CAT_COMPUTE, lvl, t0, st.records_out);
                 st
             })
@@ -600,6 +631,9 @@ impl<T: Transport> SuperstepEngine<T> {
             ls.local_claims += st.local_claims;
             ls.hub_skips += st.hub_skips;
             ls.records_generated += st.records_out;
+            ls.words_scanned += st.words_scanned;
+            ls.words_skipped += st.words_skipped;
+            ls.bytes_decoded += st.bytes_decoded;
         }
 
         let inboxes = self.run_exchange(outs, ls)?;

@@ -167,6 +167,86 @@ mod tests {
     }
 
     #[test]
+    fn switch_fires_exactly_at_the_density_boundary() {
+        // capacity 32·k: population k satisfies k·32 == len (sparse),
+        // population k+1 crosses it. Probe several capacities, including
+        // one that is not a multiple of the divisor.
+        for len in [32, 64, 320, 1000] {
+            let mut f = Frontier::new(len);
+            let boundary = len / DENSITY_DIVISOR; // last sparse population
+            for i in 0..boundary {
+                f.insert(i * 2); // spread members out
+                assert!(
+                    f.is_sparse(),
+                    "len {len}: population {} must still be sparse",
+                    i + 1
+                );
+            }
+            f.insert(len - 1);
+            assert!(
+                !f.is_sparse(),
+                "len {len}: population {} must have gone dense",
+                boundary + 1
+            );
+            assert_eq!(f.count(), boundary + 1);
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_at_the_boundary_does_not_switch() {
+        // A duplicate does not raise the population, so it must not
+        // trigger the density switch either.
+        let mut f = Frontier::new(64);
+        f.insert(0);
+        f.insert(1); // population 2 = boundary for len 64
+        assert!(f.is_sparse());
+        assert!(f.insert(1), "duplicate");
+        assert!(f.is_sparse(), "population unchanged, still sparse");
+        f.insert(2);
+        assert!(!f.is_sparse());
+    }
+
+    #[test]
+    fn membership_agrees_across_the_switch() {
+        // Same inserts into a frontier and a plain bitmap: membership,
+        // population, and sorted members agree before and after the
+        // representation flips.
+        let members = [9usize, 3, 50, 20, 33, 63, 0, 17];
+        let mut f = Frontier::new(64);
+        let mut reference = [false; 64];
+        for (k, &i) in members.iter().enumerate() {
+            f.insert(i);
+            reference[i] = true;
+            let expect: Vec<usize> = (0..64).filter(|&j| reference[j]).collect();
+            assert_eq!(f.sorted_members(), expect, "after {} inserts", k + 1);
+            for (j, &is_member) in reference.iter().enumerate() {
+                assert_eq!(f.contains(j), is_member);
+            }
+            assert_eq!(f.as_bitmap().count_ones(), f.count());
+            let mut iterated: Vec<usize> = f.iter().collect();
+            iterated.sort_unstable();
+            assert_eq!(iterated, expect, "iter covers the same set");
+        }
+        assert!(!f.is_sparse(), "8/64 ended dense");
+    }
+
+    #[test]
+    fn dense_clear_sparse_cycle_preserves_insertion_order() {
+        let mut f = Frontier::new(64);
+        for i in 0..10 {
+            f.insert(i);
+        }
+        assert!(!f.is_sparse());
+        f.clear();
+        assert!(f.is_sparse() && f.is_empty());
+        // Re-armed queue reports insertion order again, not index order.
+        f.insert(40);
+        f.insert(2);
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![40, 2]);
+        assert_eq!(f.as_bitmap().count_ones(), 2);
+    }
+
+    #[test]
     fn bitmap_view_tracks_members() {
         let mut f = Frontier::new(128);
         f.insert(127);

@@ -42,6 +42,15 @@ pub const FAULTS_RETRIES: &str = "faults.retries";
 pub const FAULTS_INJECTED: &str = "faults.injected";
 /// Levels delivered under an engaged degradation.
 pub const FAULTS_DEGRADED_LEVELS: &str = "faults.degraded_levels";
+/// Bitmap words examined by word-parallel generator sweeps.
+pub const KERNEL_WORDS_SCANNED: &str = "kernel.words_scanned";
+/// Of those, words dismissed with one all-zero compare.
+pub const KERNEL_WORDS_SKIPPED: &str = "kernel.words_skipped";
+/// Bytes pulled through byte-coded row decoders.
+pub const KERNEL_BYTES_DECODED: &str = "kernel.bytes_decoded";
+/// Adjacency rows holding a byte-coded copy (recorded once at
+/// construction, not per level).
+pub const KERNEL_ROWS_COMPRESSED: &str = "kernel.rows_compressed";
 
 /// Span: one generator module pass (work = records generated).
 pub const SPAN_GEN: &str = "gen";
@@ -133,6 +142,16 @@ pub fn absorb_exchange(cs: &mut CounterSet, xs: &ExchangeStats) {
     cs.record(FAULTS_RETRIES, xs.retries);
     cs.record(FAULTS_INJECTED, xs.faults_injected);
     cs.record(FAULTS_DEGRADED_LEVELS, xs.degraded_levels);
+}
+
+/// The generator-side companion to [`absorb_exchange`]: flattens one
+/// level's kernel counters (word-sweep and decoder work) into `cs`.
+/// Called unconditionally — zero-valued levels still create the keys,
+/// keeping counter sets transport-symmetric.
+pub fn absorb_kernel(cs: &mut CounterSet, ls: &crate::result::LevelStats) {
+    cs.record(KERNEL_WORDS_SCANNED, ls.words_scanned);
+    cs.record(KERNEL_WORDS_SKIPPED, ls.words_skipped);
+    cs.record(KERNEL_BYTES_DECODED, ls.bytes_decoded);
 }
 
 /// The inverse view: reads the canonical keys back into an

@@ -10,11 +10,52 @@
 //!    needed at all);
 //! 3. **remote** — a backward query `(u, v)` must go to `owner(u)`; these
 //!    are queued only if tiers 1–2 found no parent.
+//!
+//! The sweep over "every unvisited vertex" is **word-parallel**: the
+//! complement of the visited bitmap is examined one `u64` at a time, a
+//! fully-settled block of 64 vertices costs a single compare, and set
+//! bits are enumerated with `trailing_zeros` — ascending local index,
+//! exactly the order the scalar loop used, so parents are bit-identical
+//! to [`reference::backward_generator`](super::reference). Rows with a
+//! byte-coded copy ([`RankState::adjacency`]) decode through the varint
+//! stream instead of the plain slice; the early-exit `break` then also
+//! stops the decoder, and only the bytes actually pulled are charged.
 
 use super::{ModuleStats, Outboxes};
 use crate::hubs::HubState;
 use crate::messages::EdgeRec;
-use crate::rank::RankState;
+use crate::rank::{tail_mask, RankState};
+use sw_graph::Vid;
+
+/// One row scan: the three tiers over a neighbour stream. Returns the
+/// parent found, if any; buffered queries are only flushed by the
+/// caller when no tier answered.
+fn scan_row(
+    state: &RankState,
+    hubs: &HubState,
+    v: Vid,
+    neighbours: impl Iterator<Item = Vid>,
+    queries: &mut Vec<EdgeRec>,
+    stats: &mut ModuleStats,
+) -> Option<Vid> {
+    for u in neighbours {
+        stats.edges_scanned += 1;
+        if state.owns(u) {
+            if state.curr.contains(state.local(u)) {
+                return Some(u);
+            }
+        } else if let Some(idx) = hubs.hub_index(u) {
+            if hubs.in_frontier(idx) {
+                return Some(u);
+            }
+            // Hub not in frontier: authoritative no — skip the query.
+            stats.hub_skips += 1;
+        } else {
+            queries.push(EdgeRec { u, v });
+        }
+    }
+    None
+}
 
 /// Runs the Backward Generator over `state`'s unvisited vertices.
 pub fn backward_generator(
@@ -24,40 +65,49 @@ pub fn backward_generator(
 ) -> ModuleStats {
     let mut stats = ModuleStats::default();
     let mut queries: Vec<EdgeRec> = Vec::new();
-    for v_local in 0..state.owned() {
-        if state.visited(v_local) {
+    let owned = state.owned();
+    let num_words = state.visited_bits.words().len();
+    for wi in 0..num_words {
+        // Snapshot the word: the only bit a claim below can set is the
+        // claimed vertex's own, already cleared from the snapshot.
+        let mut w = !state.visited_bits.words()[wi] & tail_mask(wi, owned);
+        stats.words_scanned += 1;
+        if w == 0 {
+            stats.words_skipped += 1;
             continue;
         }
-        let v = state.global(v_local);
-        queries.clear();
-        let mut found: Option<sw_graph::Vid> = None;
-        let deg = state.csr.degree_local(v_local) as usize;
-        for e in 0..deg {
-            let u = state.csr.neighbors_local(v_local)[e];
-            stats.edges_scanned += 1;
-            if state.owns(u) {
-                if state.curr.contains(state.local(u)) {
-                    found = Some(u);
-                    break;
+        while w != 0 {
+            let v_local = wi * 64 + w.trailing_zeros() as usize;
+            w &= w - 1;
+            let v = state.global(v_local);
+            queries.clear();
+            let coded = state
+                .adjacency
+                .as_ref()
+                .and_then(|a| a.coded_row(v_local));
+            let found = match coded {
+                Some(mut it) => {
+                    let f = scan_row(state, hubs, v, it.by_ref(), &mut queries, &mut stats);
+                    stats.bytes_decoded += it.bytes_read() as u64;
+                    f
                 }
-            } else if let Some(idx) = hubs.hub_index(u) {
-                if hubs.in_frontier(idx) {
-                    found = Some(u);
-                    break;
-                }
-                // Hub not in frontier: authoritative no — skip the query.
-                stats.hub_skips += 1;
+                None => scan_row(
+                    state,
+                    hubs,
+                    v,
+                    state.csr.neighbors_local(v_local).iter().copied(),
+                    &mut queries,
+                    &mut stats,
+                ),
+            };
+            if let Some(u) = found {
+                state.claim(v_local, u);
+                stats.local_claims += 1;
             } else {
-                queries.push(EdgeRec { u, v });
-            }
-        }
-        if let Some(u) = found {
-            state.claim(v_local, u);
-            stats.local_claims += 1;
-        } else {
-            for q in &queries {
-                out.push(state.part.owner(q.u), *q);
-                stats.records_out += 1;
+                for q in &queries {
+                    out.push(state.part.owner(q.u), *q);
+                    stats.records_out += 1;
+                }
             }
         }
     }
@@ -67,6 +117,7 @@ pub fn backward_generator(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::modules::reference;
     use sw_graph::hub::HubSet;
     use sw_graph::{EdgeList, Partition1D};
 
@@ -80,11 +131,20 @@ mod tests {
         (state, hubs)
     }
 
+    /// Seeds a frontier the way the engine does: claim, then promote
+    /// `next` into `curr` — keeping parent map, visited bitmap, and
+    /// frontier consistent.
+    fn seed_frontier(state: &mut RankState, members: &[(usize, Vid)]) {
+        for &(local, parent) in members {
+            state.claim(local, parent);
+        }
+        state.advance_level();
+    }
+
     #[test]
     fn local_frontier_parent_short_circuits() {
         let (mut state, hubs) = setup();
-        state.parent[0] = 0;
-        state.curr.insert(0); // 0 in frontier
+        seed_frontier(&mut state, &[(0, 0)]); // 0 in frontier
         let mut out = Outboxes::new(2);
         let stats = backward_generator(&mut state, &hubs, &mut out);
         // v=1 finds local parent 0 and sends nothing for itself — and its
@@ -141,11 +201,57 @@ mod tests {
     fn visited_vertices_do_not_scan() {
         let (mut state, hubs) = setup();
         for i in 0..4 {
-            state.parent[i] = 0;
+            state.claim(i, 0);
         }
+        state.advance_level();
         let mut out = Outboxes::new(2);
         let stats = backward_generator(&mut state, &hubs, &mut out);
         assert_eq!(stats.edges_scanned, 0);
         assert_eq!(out.total_records(), 0);
+        // All four owned vertices settled: the single word is dismissed
+        // with one compare.
+        assert_eq!(stats.words_scanned, 1);
+        assert_eq!(stats.words_skipped, 1);
+    }
+
+    #[test]
+    fn matches_reference_kernel_with_and_without_coding() {
+        // A denser two-rank graph; frontier = two vertices on rank 0.
+        let edges: Vec<(Vid, Vid)> = (0..40u64)
+            .flat_map(|v| {
+                [
+                    (v, (v + 1) % 40),
+                    (v, (v * 7 + 3) % 40),
+                    (0, (v * 11 + 5) % 40),
+                ]
+            })
+            .collect();
+        let el = EdgeList::new(40, edges);
+        let part = Partition1D::new(40, 2);
+        let hubs = HubState::new(HubSet::from_degrees(vec![(0, 100)], 4));
+        for min_degree in [None, Some(1), Some(8)] {
+            let mut word = RankState::build(0, part, &el);
+            let mut refk = word.clone();
+            if let Some(d) = min_degree {
+                word.seal_adjacency(d);
+            }
+            seed_frontier(&mut word, &[(0, 0), (3, 3)]);
+            seed_frontier(&mut refk, &[(0, 0), (3, 3)]);
+            let (mut out_w, mut out_r) = (Outboxes::new(2), Outboxes::new(2));
+            let st_w = backward_generator(&mut word, &hubs, &mut out_w);
+            let st_r = reference::backward_generator(&mut refk, &hubs, &mut out_r);
+            assert_eq!(word.parent, refk.parent, "min_degree {min_degree:?}");
+            assert_eq!(out_w.parts(), out_r.parts());
+            assert_eq!(st_w.edges_scanned, st_r.edges_scanned);
+            assert_eq!(st_w.local_claims, st_r.local_claims);
+            assert_eq!(st_w.hub_skips, st_r.hub_skips);
+            assert_eq!(st_w.records_out, st_r.records_out);
+            // At Some(8) only hub row 0 is coded, and 0 sits in the
+            // frontier — so only the code-everything setting is
+            // guaranteed to pull bytes through the decoder.
+            if min_degree == Some(1) {
+                assert!(st_w.bytes_decoded > 0, "coded rows should be exercised");
+            }
+        }
     }
 }

@@ -46,12 +46,19 @@ mod tests {
         RankState::build(1, Partition1D::new(8, 2), &el)
     }
 
+    /// Puts vertex 4 in the current frontier the way the engine does —
+    /// claim then promote — so parent map, visited bitmap, and frontier
+    /// stay consistent.
+    fn seed_frontier_with_4(s: &mut RankState) {
+        let l4 = s.local(4);
+        s.claim(l4, 4);
+        s.advance_level();
+    }
+
     #[test]
     fn frontier_hit_emits_forward_claim() {
         let mut s = state();
-        let l4 = s.local(4);
-        s.parent[l4] = 4;
-        s.curr.insert(l4);
+        seed_frontier_with_4(&mut s);
         let mut out = Outboxes::new(2);
         let stats = backward_handler(
             &mut s,
@@ -76,9 +83,7 @@ mod tests {
     #[test]
     fn self_targeted_reply_claims_directly() {
         let mut s = state();
-        let l4 = s.local(4);
-        s.parent[l4] = 4;
-        s.curr.insert(l4);
+        seed_frontier_with_4(&mut s);
         let mut out = Outboxes::new(2);
         let stats = backward_handler(&mut s, &[EdgeRec { u: 4, v: 5 }], &mut out);
         assert_eq!(stats.local_claims, 1);

@@ -2,11 +2,59 @@
 //! frontier's edges, claim local targets immediately, and queue a forward
 //! record `(u, v)` to `owner(v)` for remote targets — unless the replicated
 //! hub-visited bitmap proves the message pointless.
+//!
+//! Local claims are **cache-blocked**: the scan stages `(target, parent)`
+//! pairs instead of claiming inline, then applies them grouped by target
+//! block so the parent-array writes land with locality instead of
+//! hopping across the whole owned range. The grouping is a *stable*
+//! counting sort and each target's competing claims live in one block,
+//! so the winner of every contest — and, via a final pass in original
+//! scan order, the `next`-frontier insertion order — is exactly what the
+//! inline loop produced: parents stay bit-identical to
+//! [`reference::forward_generator`](super::reference). Remote records
+//! are pushed during the scan, order unchanged.
+//!
+//! A dense frontier is swept word-parallel over its bitmap (zero words
+//! skipped with one compare); a sparse frontier keeps its queue order.
+//! Rows with a byte-coded copy decode through the varint stream.
 
 use super::{ModuleStats, Outboxes};
 use crate::hubs::HubState;
 use crate::messages::EdgeRec;
-use crate::rank::RankState;
+use crate::rank::{tail_mask, RankState};
+use crate::NO_PARENT;
+use sw_graph::Vid;
+
+/// Local-claim block: 2^12 targets = 32 KB of parent entries, sized for
+/// a core-local cache tile.
+const BLOCK_BITS: u32 = 12;
+
+/// One frontier row: hub-visited suppression, remote push, local stage.
+fn scan_row(
+    state: &RankState,
+    hubs: &HubState,
+    u: Vid,
+    neighbours: impl Iterator<Item = Vid>,
+    staged: &mut Vec<(u32, Vid)>,
+    out: &mut Outboxes,
+    stats: &mut ModuleStats,
+) {
+    for v in neighbours {
+        stats.edges_scanned += 1;
+        if let Some(idx) = hubs.hub_index(v) {
+            if idx < hubs.td_limit && hubs.is_visited(idx) {
+                stats.hub_skips += 1;
+                continue;
+            }
+        }
+        if state.owns(v) {
+            staged.push((state.local(v) as u32, u));
+        } else {
+            out.push(state.part.owner(v), EdgeRec { u, v });
+            stats.records_out += 1;
+        }
+    }
+}
 
 /// Runs the Forward Generator over `state`'s current frontier.
 pub fn forward_generator(
@@ -15,29 +63,91 @@ pub fn forward_generator(
     out: &mut Outboxes,
 ) -> ModuleStats {
     let mut stats = ModuleStats::default();
-    let frontier: Vec<usize> = state.curr.iter().collect();
-    for u_local in frontier {
-        let u = state.global(u_local);
-        // Neighbour list borrowed per edge to keep `claim` callable.
-        let deg = state.csr.degree_local(u_local) as usize;
-        for e in 0..deg {
-            let v = state.csr.neighbors_local(u_local)[e];
-            stats.edges_scanned += 1;
-            if let Some(idx) = hubs.hub_index(v) {
-                if idx < hubs.td_limit && hubs.is_visited(idx) {
-                    stats.hub_skips += 1;
-                    continue;
-                }
+
+    // Frontier enumeration: queue order while sparse (matching the
+    // reference kernel's `curr.iter()`), word-parallel bitmap sweep once
+    // dense — same ascending order the dense iterator produced.
+    let frontier: Vec<u32> = if state.curr.is_sparse() {
+        state.curr.iter().map(|i| i as u32).collect()
+    } else {
+        let bits = state.curr.as_bitmap();
+        let len = bits.len();
+        let mut members = Vec::with_capacity(state.curr.count());
+        for (wi, &word) in bits.words().iter().enumerate() {
+            stats.words_scanned += 1;
+            let mut w = word & tail_mask(wi, len);
+            if w == 0 {
+                stats.words_skipped += 1;
+                continue;
             }
-            if state.owns(v) {
-                let vl = state.local(v);
-                if state.claim(vl, u) {
-                    stats.local_claims += 1;
-                }
-            } else {
-                out.push(state.part.owner(v), EdgeRec { u, v });
-                stats.records_out += 1;
+            while w != 0 {
+                members.push((wi * 64) as u32 + w.trailing_zeros());
+                w &= w - 1;
             }
+        }
+        members
+    };
+
+    // Pass 1 — scan: remote records out in scan order, local claims
+    // staged as (target, parent) in scan order.
+    let mut staged: Vec<(u32, Vid)> = Vec::new();
+    for &u_local in &frontier {
+        let u = state.global(u_local as usize);
+        let coded = state
+            .adjacency
+            .as_ref()
+            .and_then(|a| a.coded_row(u_local as usize));
+        match coded {
+            Some(mut it) => {
+                scan_row(state, hubs, u, it.by_ref(), &mut staged, out, &mut stats);
+                stats.bytes_decoded += it.bytes_read() as u64;
+            }
+            None => scan_row(
+                state,
+                hubs,
+                u,
+                state.csr.neighbors_local(u_local as usize).iter().copied(),
+                &mut staged,
+                out,
+                &mut stats,
+            ),
+        }
+    }
+
+    // Pass 2 — blocked claim: stable counting sort by target block, then
+    // parent writes block by block. All claims on one target share a
+    // block and keep their scan order, so each contest's winner equals
+    // the inline loop's.
+    let num_blocks = (state.owned() >> BLOCK_BITS) + 1;
+    let mut cursors = vec![0u32; num_blocks + 1];
+    for &(vl, _) in &staged {
+        cursors[(vl >> BLOCK_BITS) as usize + 1] += 1;
+    }
+    for b in 0..num_blocks {
+        cursors[b + 1] += cursors[b];
+    }
+    let mut order = vec![0u32; staged.len()];
+    for (idx, &(vl, _)) in staged.iter().enumerate() {
+        let c = &mut cursors[(vl >> BLOCK_BITS) as usize];
+        order[*c as usize] = idx as u32;
+        *c += 1;
+    }
+    let mut winner = vec![false; staged.len()];
+    for &idx in &order {
+        let (vl, u) = staged[idx as usize];
+        if state.parent[vl as usize] == NO_PARENT {
+            state.parent[vl as usize] = u;
+            winner[idx as usize] = true;
+        }
+    }
+
+    // Pass 3 — publish winners in original scan order, so the `next`
+    // queue records discoveries exactly as the inline loop did.
+    for (idx, &(vl, _)) in staged.iter().enumerate() {
+        if winner[idx] {
+            state.visited_bits.set(vl as usize);
+            state.next.insert(vl as usize);
+            stats.local_claims += 1;
         }
     }
     stats
@@ -46,6 +156,7 @@ pub fn forward_generator(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::modules::reference;
     use sw_graph::hub::HubSet;
     use sw_graph::{EdgeList, Partition1D};
 
@@ -59,11 +170,19 @@ mod tests {
         (state, hubs)
     }
 
+    /// Engine-style seeding: claim then promote, keeping parent map,
+    /// visited bitmap, and frontier consistent.
+    fn seed_frontier(state: &mut RankState, members: &[(usize, Vid)]) {
+        for &(local, parent) in members {
+            state.claim(local, parent);
+        }
+        state.advance_level();
+    }
+
     #[test]
     fn claims_local_and_queues_remote() {
         let (mut state, hubs) = setup();
-        state.parent[0] = 0;
-        state.curr.insert(0); // frontier = {0}
+        seed_frontier(&mut state, &[(0, 0)]); // frontier = {0}
         let mut out = Outboxes::new(2);
         let stats = forward_generator(&mut state, &hubs, &mut out);
         assert_eq!(stats.edges_scanned, 3);
@@ -77,8 +196,7 @@ mod tests {
     #[test]
     fn hub_visited_suppresses_message() {
         let (mut state, mut hubs) = setup();
-        state.parent[0] = 0;
-        state.curr.insert(0);
+        seed_frontier(&mut state, &[(0, 0)]);
         let idx = hubs.hub_index(6).unwrap();
         hubs.visited.set(idx as usize);
         let mut out = Outboxes::new(2);
@@ -91,9 +209,9 @@ mod tests {
     #[test]
     fn already_visited_local_target_not_reclaimed() {
         let (mut state, hubs) = setup();
-        state.parent[0] = 0;
-        state.parent[1] = 0; // v=1 pre-settled
-        state.curr.insert(0);
+        // Settle v=1 a level before 0 enters the frontier.
+        seed_frontier(&mut state, &[(1, 0)]);
+        seed_frontier(&mut state, &[(0, 0)]); // frontier = {0}, next empty
         let mut out = Outboxes::new(2);
         let stats = forward_generator(&mut state, &hubs, &mut out);
         assert_eq!(stats.local_claims, 0);
@@ -107,5 +225,62 @@ mod tests {
         let stats = forward_generator(&mut state, &hubs, &mut out);
         assert_eq!(stats, ModuleStats::default());
         assert_eq!(out.total_records(), 0);
+    }
+
+    #[test]
+    fn dense_frontier_sweeps_words() {
+        // 130 owned vertices, frontier dense in the first word only:
+        // words 1 and 2 are skipped with one compare each.
+        let edges: Vec<(Vid, Vid)> = (0..130u64).map(|v| (v, (v + 1) % 130)).collect();
+        let el = EdgeList::new(130, edges);
+        let mut state = RankState::build(0, Partition1D::new(130, 1), &el);
+        let members: Vec<(usize, Vid)> = (0..8).map(|i| (i, i as Vid)).collect();
+        seed_frontier(&mut state, &members);
+        assert!(!state.curr.is_sparse(), "8/130 must be dense at divisor 32");
+        let hubs = HubState::new(HubSet::from_degrees(vec![], 4));
+        let mut out = Outboxes::new(1);
+        let stats = forward_generator(&mut state, &hubs, &mut out);
+        assert_eq!(stats.words_scanned, 3);
+        assert_eq!(stats.words_skipped, 2);
+    }
+
+    #[test]
+    fn matches_reference_kernel_with_and_without_coding() {
+        // Contested claims: many frontier vertices share targets, so the
+        // blocked pass must reproduce every first-wins outcome and the
+        // exact next-queue order.
+        let edges: Vec<(Vid, Vid)> = (0..60u64)
+            .flat_map(|v| [(v, (v + 1) % 60), (v, (v * 13 + 7) % 60), (v % 6, (v + 30) % 60)])
+            .collect();
+        let el = EdgeList::new(60, edges);
+        let part = Partition1D::new(60, 2);
+        let hubs = HubState::new(HubSet::from_degrees(vec![(2, 90)], 4));
+        for min_degree in [None, Some(1), Some(10)] {
+            let mut word = RankState::build(0, part, &el);
+            let mut refk = word.clone();
+            if let Some(d) = min_degree {
+                word.seal_adjacency(d);
+            }
+            let members: Vec<(usize, Vid)> = (0..12).map(|i| (i, i as Vid)).collect();
+            seed_frontier(&mut word, &members);
+            seed_frontier(&mut refk, &members);
+            let (mut out_w, mut out_r) = (Outboxes::new(2), Outboxes::new(2));
+            let st_w = forward_generator(&mut word, &hubs, &mut out_w);
+            let st_r = reference::forward_generator(&mut refk, &hubs, &mut out_r);
+            assert_eq!(word.parent, refk.parent, "min_degree {min_degree:?}");
+            assert_eq!(out_w.parts(), out_r.parts());
+            assert_eq!(
+                word.next.iter().collect::<Vec<_>>(),
+                refk.next.iter().collect::<Vec<_>>(),
+                "next-frontier insertion order must match"
+            );
+            assert_eq!(st_w.edges_scanned, st_r.edges_scanned);
+            assert_eq!(st_w.local_claims, st_r.local_claims);
+            assert_eq!(st_w.hub_skips, st_r.hub_skips);
+            assert_eq!(st_w.records_out, st_r.records_out);
+            if min_degree.is_some() {
+                assert!(st_w.bytes_decoded > 0, "coded rows should be exercised");
+            }
+        }
     }
 }

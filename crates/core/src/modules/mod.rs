@@ -12,6 +12,7 @@ mod backward_generator;
 mod backward_handler;
 mod forward_generator;
 mod forward_handler;
+pub mod reference;
 
 pub use backward_generator::backward_generator;
 pub use backward_handler::backward_handler;
@@ -150,6 +151,13 @@ pub struct ModuleStats {
     pub hub_skips: u64,
     /// Records queued for other ranks.
     pub records_out: u64,
+    /// Frontier/visited words examined by word-parallel sweeps.
+    pub words_scanned: u64,
+    /// Of those, words dismissed with a single all-zero compare.
+    pub words_skipped: u64,
+    /// Bytes pulled through byte-coded row decoders (chunk headers
+    /// included); early exits pay only for the prefix they read.
+    pub bytes_decoded: u64,
 }
 
 impl ModuleStats {
@@ -159,5 +167,8 @@ impl ModuleStats {
         self.local_claims += other.local_claims;
         self.hub_skips += other.hub_skips;
         self.records_out += other.records_out;
+        self.words_scanned += other.words_scanned;
+        self.words_skipped += other.words_skipped;
+        self.bytes_decoded += other.bytes_decoded;
     }
 }

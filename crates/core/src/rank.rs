@@ -3,7 +3,8 @@
 
 use crate::frontier::Frontier;
 use crate::NO_PARENT;
-use sw_graph::{Csr, EdgeList, Partition1D, Vid};
+use sw_graph::compressed::CompressedCsr;
+use sw_graph::{Bitmap, Csr, EdgeList, Partition1D, Vid};
 
 /// One rank's (node's) state under 1-D partitioning.
 #[derive(Clone, Debug)]
@@ -14,9 +15,17 @@ pub struct RankState {
     pub part: Partition1D,
     /// CSR rows owned by this rank (columns are global ids).
     pub csr: Csr,
+    /// Byte-coded copies of high-degree rows (armed by
+    /// [`RankState::seal_adjacency`]); kernels prefer a coded row when
+    /// one exists and fall back to [`RankState::csr`] otherwise.
+    pub adjacency: Option<CompressedCsr>,
     /// Parent of each owned vertex, by local index; `NO_PARENT` when
     /// unvisited.
     pub parent: Vec<Vid>,
+    /// Dense visited map, bit `i` ⟺ `parent[i] != NO_PARENT`. Kept in
+    /// lockstep by [`RankState::claim`]; the word surface is what the
+    /// Bottom-Up sweep scans to skip 64 settled vertices at a time.
+    pub visited_bits: Bitmap,
     /// Local frontier: owned vertices in the current level (hybrid
     /// sparse/dense representation).
     pub curr: Frontier,
@@ -34,10 +43,22 @@ impl RankState {
             rank,
             part,
             csr,
+            adjacency: None,
             parent: vec![NO_PARENT; owned],
+            visited_bits: Bitmap::new(owned),
             curr: Frontier::new(owned),
             next: Frontier::new(owned),
         }
+    }
+
+    /// Builds the byte-coded sidecar for rows with degree at least
+    /// `min_degree`. Call after any adjacency reordering — the coding
+    /// snapshots the rows as they are. Returns the number of coded rows.
+    pub fn seal_adjacency(&mut self, min_degree: u64) -> u64 {
+        let coded = CompressedCsr::from_csr(&self.csr, min_degree);
+        let n = coded.coded_rows() as u64;
+        self.adjacency = Some(coded);
+        n
     }
 
     /// Number of owned vertices.
@@ -67,15 +88,25 @@ impl RankState {
     }
 
     /// Claims vertex `local` for `parent` if unclaimed; returns whether the
-    /// claim won. Winners enter `next`.
+    /// claim won. Winners enter `next` and the visited bitmap.
     pub fn claim(&mut self, local: usize, parent: Vid) -> bool {
         if self.parent[local] == NO_PARENT {
             self.parent[local] = parent;
+            self.visited_bits.set(local);
             self.next.insert(local);
             true
         } else {
             false
         }
+    }
+
+    /// Returns the rank to its pre-run state: parents unset, visited and
+    /// both frontiers empty. Capacity (and the sealed adjacency) is kept.
+    pub fn reset(&mut self) {
+        self.parent.fill(NO_PARENT);
+        self.visited_bits.clear_all();
+        self.curr.clear();
+        self.next.clear();
     }
 
     /// Ends the level: `next` becomes `curr`, `next` clears. Returns the
@@ -95,11 +126,26 @@ impl RankState {
 
     /// Sum of degrees of unvisited owned vertices (this rank's share of
     /// `m_u`).
+    ///
+    /// Word-parallel: each 64-vertex block is one complement-and-test;
+    /// fully-settled blocks — most of the graph once Bottom-Up engages —
+    /// cost one word compare instead of 64 predicate calls.
     pub fn unvisited_edges(&self) -> u64 {
-        (0..self.owned())
-            .filter(|&i| !self.visited(i))
-            .map(|i| self.csr.degree_local(i))
-            .sum()
+        let owned = self.owned();
+        let offsets = self.csr.offsets();
+        let mut sum = 0u64;
+        for (wi, &vw) in self.visited_bits.words().iter().enumerate() {
+            let mut w = !vw & tail_mask(wi, owned);
+            if w == 0 {
+                continue;
+            }
+            while w != 0 {
+                let i = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                sum += offsets[i + 1] - offsets[i];
+            }
+        }
+        sum
     }
 
     /// Frontier vertex count (this rank's share of `n_f`).
@@ -116,6 +162,19 @@ impl RankState {
                 (d > 0).then(|| (self.global(i), d))
             })
             .collect()
+    }
+}
+
+/// Valid-bit mask for word `wi` of a `len`-bit surface: all-ones for
+/// interior words, low `len % 64` bits for a partial last word.
+#[inline]
+pub(crate) fn tail_mask(wi: usize, len: usize) -> u64 {
+    let base = wi * 64;
+    debug_assert!(base < len || len == 0);
+    if len - base >= 64 {
+        !0
+    } else {
+        (1u64 << (len - base)) - 1
     }
 }
 
@@ -173,6 +232,65 @@ mod tests {
         let before = r0.unvisited_edges();
         r0.claim(1, 0); // degree 2
         assert_eq!(r0.unvisited_edges(), before - 2);
+    }
+
+    #[test]
+    fn claim_tracks_visited_bitmap() {
+        let (mut r0, _) = two_rank_setup();
+        r0.claim(1, 0);
+        assert!(r0.visited_bits.get(1));
+        assert!(!r0.visited_bits.get(0));
+        // The bitmap and the parent map agree bit for bit.
+        for i in 0..r0.owned() {
+            assert_eq!(r0.visited_bits.get(i), r0.visited(i));
+        }
+        r0.reset();
+        assert!(r0.visited_bits.all_zero());
+        assert_eq!(r0.parent, vec![NO_PARENT; 3]);
+        assert!(r0.curr.is_empty() && r0.next.is_empty());
+    }
+
+    #[test]
+    fn unvisited_edges_matches_scalar_filter() {
+        // 70 vertices in a ring: every vertex degree 2, one rank.
+        let edges: Vec<(Vid, Vid)> = (0..70u64).map(|v| (v, (v + 1) % 70)).collect();
+        let el = EdgeList::new(70, edges);
+        let mut r = RankState::build(0, Partition1D::new(70, 1), &el);
+        for i in (0..70).step_by(3) {
+            r.claim(i, 0);
+        }
+        let scalar: u64 = (0..r.owned())
+            .filter(|&i| !r.visited(i))
+            .map(|i| r.csr.degree_local(i))
+            .sum();
+        assert_eq!(r.unvisited_edges(), scalar);
+        // Settle everything: the word sweep must short-circuit to zero.
+        for i in 0..70 {
+            r.claim(i, 0);
+        }
+        assert_eq!(r.unvisited_edges(), 0);
+    }
+
+    #[test]
+    fn seal_adjacency_codes_hub_rows() {
+        // Star around vertex 0 plus a pendant edge: 0 is the only hub.
+        let mut edges: Vec<(Vid, Vid)> = (1..=5u64).map(|v| (0, v)).collect();
+        edges.push((1, 2));
+        let el = EdgeList::new(6, edges);
+        let mut r = RankState::build(0, Partition1D::new(6, 1), &el);
+        assert_eq!(r.seal_adjacency(3), 1);
+        let adj = r.adjacency.as_ref().unwrap();
+        assert!(adj.is_compressed(0));
+        let decoded: Vec<Vid> = adj.coded_row(0).unwrap().collect();
+        assert_eq!(decoded, r.csr.neighbors_local(0));
+    }
+
+    #[test]
+    fn tail_mask_edges() {
+        assert_eq!(tail_mask(0, 64), !0);
+        assert_eq!(tail_mask(0, 3), 0b111);
+        assert_eq!(tail_mask(1, 70), (1 << 6) - 1);
+        assert_eq!(tail_mask(1, 128), !0);
     }
 
     #[test]

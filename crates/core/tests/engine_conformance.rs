@@ -7,8 +7,8 @@
 //!
 //! 1. **Oracle parity** — bit-identical parents/levels vs the
 //!    sequential baseline at Graph500 scale 14.
-//! 2. **Canonical counters** — exactly the 11 canonical
-//!    `exchange.*`/`pool.*`/`faults.*` keys after every run, and
+//! 2. **Canonical counters** — exactly the 15 canonical
+//!    `exchange.*`/`kernel.*`/`pool.*`/`faults.*` keys after every run, and
 //!    identical `exchange.*`/`faults.*` *values* across transports on
 //!    identical traffic.
 //! 3. **Fault determinism** — a survivable lossy plan leaves the output
@@ -28,9 +28,9 @@ fn graph(scale: u32, seed: u64) -> EdgeList {
     generate_kronecker(&KroneckerConfig::graph500(scale, seed))
 }
 
-/// The 11 canonical counter keys every run must report — the single
-/// `absorb_exchange` merge path's complete coverage.
-const CANONICAL_KEYS: [&str; 11] = [
+/// The 15 canonical counter keys every run must report — the
+/// `absorb_exchange` + `absorb_kernel` merge paths' complete coverage.
+const CANONICAL_KEYS: [&str; 15] = [
     "exchange.bytes",
     "exchange.inter_group_bytes",
     "exchange.max_send_bytes_per_rank",
@@ -40,6 +40,10 @@ const CANONICAL_KEYS: [&str; 11] = [
     "faults.degraded_levels",
     "faults.injected",
     "faults.retries",
+    "kernel.bytes_decoded",
+    "kernel.rows_compressed",
+    "kernel.words_scanned",
+    "kernel.words_skipped",
     "pool.allocs",
     "pool.reused_bytes",
 ];
@@ -93,7 +97,7 @@ fn check_oracle_parity<T: Transport>(make: fn() -> T) {
     }
 }
 
-/// Battery 2: exactly the 11 canonical counter keys after a clean run.
+/// Battery 2: exactly the 15 canonical counter keys after a clean run.
 fn check_canonical_counters<T: Transport>(make: fn() -> T) {
     let el = graph(11, 5);
     let mut engine = build(&el, 6, BfsConfig::threaded_small(3), make);
@@ -102,7 +106,7 @@ fn check_canonical_counters<T: Transport>(make: fn() -> T) {
     let keys: Vec<&str> = engine.metrics().iter().map(|(k, _)| k).collect();
     assert_eq!(
         keys, CANONICAL_KEYS,
-        "{name}: counter key set drifted from the canonical 11"
+        "{name}: counter key set drifted from the canonical 15"
     );
 }
 

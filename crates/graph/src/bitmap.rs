@@ -92,6 +92,83 @@ impl Bitmap {
         &self.words
     }
 
+    /// The packed `u64` words, low bit of word 0 = bit 0.
+    ///
+    /// Word-parallel kernels scan this surface directly: skip zero
+    /// words, enumerate set bits with `trailing_zeros`, AND against a
+    /// companion mask word. Bits at index `>= len` are always zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable view of the packed words.
+    ///
+    /// Callers must keep the tail invariant: bits at index `>= len`
+    /// (the unused high bits of the last word) must stay zero, or
+    /// [`Bitmap::count_ones`] and word-parallel sweeps over-count.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Word-level in-place OR from a raw word slice of the same shape.
+    ///
+    /// Equivalent to [`Bitmap::union_with`] but usable when the source
+    /// is a borrowed word surface (e.g. a received hub-frontier packet)
+    /// rather than an owned [`Bitmap`].
+    pub fn or_assign(&mut self, words: &[u64]) {
+        assert_eq!(self.words.len(), words.len(), "bitmap word-count mismatch");
+        for (a, &b) in self.words.iter_mut().zip(words) {
+            *a |= b;
+        }
+    }
+
+    /// Number of set bits in the half-open bit range `lo..hi`.
+    ///
+    /// Runs over whole words with popcount; the partial words at the
+    /// edges are masked, not iterated bit-by-bit.
+    pub fn count_ones_range(&self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi && hi <= self.len, "range {lo}..{hi} out of {}", self.len);
+        if lo == hi {
+            return 0;
+        }
+        let (lw, lb) = (lo / WORD_BITS, lo % WORD_BITS);
+        // Inclusive last bit keeps `hw` a valid word index even when
+        // `hi` is a multiple of 64 (including `hi == len`).
+        let (hw, hb) = ((hi - 1) / WORD_BITS, (hi - 1) % WORD_BITS + 1);
+        let head_mask = !0u64 << lb;
+        let tail_mask = if hb == WORD_BITS { !0u64 } else { (1u64 << hb) - 1 };
+        if lw == hw {
+            return (self.words[lw] & head_mask & tail_mask).count_ones() as usize;
+        }
+        let mut total = (self.words[lw] & head_mask).count_ones() as usize;
+        for &w in &self.words[lw + 1..hw] {
+            total += w.count_ones() as usize;
+        }
+        total + (self.words[hw] & tail_mask).count_ones() as usize
+    }
+
+    /// Index of the first set bit at position `>= from`, if any.
+    ///
+    /// Masks the word containing `from`, then skips zero words — the
+    /// find-first-set shape sparse sweeps use to jump over empty space.
+    pub fn first_set_from(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let start = from / WORD_BITS;
+        let first = self.words[start] & (!0u64 << (from % WORD_BITS));
+        if first != 0 {
+            return Some(start * WORD_BITS + first.trailing_zeros() as usize);
+        }
+        self.words[start + 1..]
+            .iter()
+            .position(|&w| w != 0)
+            .map(|off| {
+                let wi = start + 1 + off;
+                wi * WORD_BITS + self.words[wi].trailing_zeros() as usize
+            })
+    }
+
     /// Rebuilds from packed words produced by [`Bitmap::as_words`].
     pub fn from_words(len: usize, words: &[u64]) -> Self {
         assert_eq!(words.len(), len.div_ceil(WORD_BITS), "word count mismatch");
@@ -229,6 +306,56 @@ mod tests {
         let b = Bitmap::from_words(70, a.as_words());
         assert_eq!(a, b);
         assert_eq!(a.byte_size(), 16);
+    }
+
+    #[test]
+    fn word_surface_round_trips() {
+        let mut b = Bitmap::new(130);
+        b.set(1);
+        b.set(64);
+        assert_eq!(b.words().len(), 3);
+        assert_eq!(b.words()[0], 0b10);
+        b.words_mut()[2] |= 1; // bit 128
+        assert!(b.get(128));
+        let mut other = Bitmap::new(130);
+        other.or_assign(b.words());
+        assert_eq!(other, b);
+    }
+
+    #[test]
+    fn count_ones_range_matches_scalar() {
+        let mut b = Bitmap::new(400);
+        for i in (0..400).step_by(7) {
+            b.set(i);
+        }
+        let scalar = |lo: usize, hi: usize| (lo..hi).filter(|&i| b.get(i)).count();
+        for &(lo, hi) in &[
+            (0, 400),
+            (0, 0),
+            (64, 64),
+            (3, 61),   // within one word
+            (3, 64),   // ends on a word boundary
+            (64, 128), // exactly one aligned word
+            (61, 195), // straddles several words
+            (399, 400),
+            (128, 320),
+        ] {
+            assert_eq!(b.count_ones_range(lo, hi), scalar(lo, hi), "range {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn first_set_from_skips_zero_words() {
+        let mut b = Bitmap::new(1000);
+        b.set(5);
+        b.set(700);
+        assert_eq!(b.first_set_from(0), Some(5));
+        assert_eq!(b.first_set_from(5), Some(5));
+        assert_eq!(b.first_set_from(6), Some(700));
+        assert_eq!(b.first_set_from(700), Some(700));
+        assert_eq!(b.first_set_from(701), None);
+        assert_eq!(b.first_set_from(1000), None);
+        assert_eq!(Bitmap::new(0).first_set_from(0), None);
     }
 
     #[test]

@@ -1,0 +1,473 @@
+//! Byte-coded compressed adjacency rows for hub vertices.
+//!
+//! Power-law graphs concentrate most edges in a few hub rows, so those
+//! rows dominate adjacency memory and bandwidth. Following the
+//! byte-coding used by GBBS/Ligra+, a [`CompressedCsr`] sidecar stores
+//! selected rows as **zigzag-varint deltas**: each neighbour is encoded
+//! as the signed difference from its predecessor, zigzag-mapped and
+//! LEB128-coded so small gaps cost one byte. Sorted neighbour lists of
+//! hub vertices have tiny average gaps (expected gap ≈ n/degree), which
+//! is exactly where the coding wins.
+//!
+//! Every [`CHUNK_TARGETS`] targets a **chunk header** records the
+//! absolute value of that target and the byte offset just past its
+//! encoding, so decoding can start mid-row ([`decode_from_chunk`]) and
+//! early-exit sweeps only pay for the prefix they actually read. Rows
+//! are checked for monotonicity at encode time ([`row_sorted`]); only
+//! sorted rows support value-directed chunk skipping, but any row —
+//! including the non-ascending ones a degree-ordered adjacency produces
+//! — round-trips, because zigzag handles negative deltas.
+//!
+//! The sidecar is *selective*: [`CompressedCsr::from_csr`] codes only
+//! rows whose degree reaches a threshold, leaving the plain CSR
+//! authoritative for everything else. Which representation a kernel
+//! reads is decided per row via [`coded_row`].
+//!
+//! [`decode_from_chunk`]: CompressedCsr::decode_from_chunk
+//! [`row_sorted`]: CompressedCsr::row_sorted
+//! [`coded_row`]: CompressedCsr::coded_row
+
+use crate::csr::Csr;
+use crate::Vid;
+
+/// Targets per chunk: one header per 64 neighbours.
+///
+/// At 64, header overhead is ≤ 12/64 ≈ 0.19 bytes per target — well
+/// under the ≥ 7 bytes/target the coding saves on a hub row — while a
+/// partial decode never scans more than 63 unwanted targets to reach a
+/// chunk boundary.
+pub const CHUNK_TARGETS: usize = 64;
+
+/// Bytes a chunk header occupies (8-byte absolute value + 4-byte
+/// offset); charged to [`CodedIter::bytes_read`] once per decode start.
+pub const CHUNK_HEADER_BYTES: usize = 12;
+
+/// Sentinel in the row index marking "not compressed".
+const NONE: u32 = u32::MAX;
+
+/// Per-row bookkeeping for one coded row.
+#[derive(Clone, Debug)]
+struct RowEntry {
+    /// Range of this row's bytes in the shared data pool.
+    data_start: u32,
+    data_end: u32,
+    /// Range of this row's headers in the shared chunk tables.
+    chunk_start: u32,
+    chunk_end: u32,
+    /// Neighbour count.
+    degree: u32,
+    /// True when the row was non-descending at encode time.
+    sorted: bool,
+}
+
+/// A compressed-row sidecar over a local CSR partition.
+///
+/// Holds byte-coded copies of selected rows (by local row index); rows
+/// not selected keep the plain CSR as their only representation.
+#[derive(Clone, Debug)]
+pub struct CompressedCsr {
+    /// Local row index → entry index, or [`NONE`].
+    row_of: Vec<u32>,
+    entries: Vec<RowEntry>,
+    /// Concatenated varint streams of all coded rows.
+    data: Vec<u8>,
+    /// Absolute value of the first target of each chunk.
+    chunk_first: Vec<Vid>,
+    /// Byte offset (within the row's stream) just past that target.
+    chunk_offset: Vec<u32>,
+    /// Bytes the same rows occupy as plain `Vid` slices.
+    plain_bytes_replaced: usize,
+}
+
+impl CompressedCsr {
+    /// Codes every row of `rows` (local row index = slice index).
+    ///
+    /// Test/bench entry point; production builds go through
+    /// [`CompressedCsr::from_csr`] to code only hub rows.
+    pub fn from_rows(rows: &[Vec<Vid>]) -> Self {
+        Self::build(rows.len(), |i| Some(&rows[i]))
+    }
+
+    /// Codes the rows of `csr` whose degree is at least `min_degree`.
+    pub fn from_csr(csr: &Csr, min_degree: u64) -> Self {
+        let n = csr.num_rows() as usize;
+        Self::build(n, |i| {
+            (csr.degree_local(i) >= min_degree).then(|| csr.neighbors_local(i))
+        })
+    }
+
+    fn build<'a>(num_rows: usize, select: impl Fn(usize) -> Option<&'a [Vid]>) -> Self {
+        let mut out = Self {
+            row_of: vec![NONE; num_rows],
+            entries: Vec::new(),
+            data: Vec::new(),
+            chunk_first: Vec::new(),
+            chunk_offset: Vec::new(),
+            plain_bytes_replaced: 0,
+        };
+        for local in 0..num_rows {
+            let Some(targets) = select(local) else { continue };
+            out.push_row(local, targets);
+        }
+        out
+    }
+
+    fn push_row(&mut self, local: usize, targets: &[Vid]) {
+        assert!(
+            self.entries.len() < NONE as usize,
+            "too many coded rows for u32 index"
+        );
+        let data_start = self.data.len();
+        let chunk_start = self.chunk_first.len();
+        let mut prev: Vid = 0;
+        let mut sorted = true;
+        for (i, &t) in targets.iter().enumerate() {
+            let delta = t.wrapping_sub(prev) as i64;
+            write_varint(&mut self.data, zigzag(delta));
+            if i % CHUNK_TARGETS == 0 {
+                self.chunk_first.push(t);
+                self.chunk_offset.push((self.data.len() - data_start) as u32);
+            }
+            if i > 0 && t < prev {
+                sorted = false;
+            }
+            prev = t;
+        }
+        self.row_of[local] = self.entries.len() as u32;
+        self.entries.push(RowEntry {
+            data_start: data_start as u32,
+            data_end: self.data.len() as u32,
+            chunk_start: chunk_start as u32,
+            chunk_end: self.chunk_first.len() as u32,
+            degree: targets.len() as u32,
+            sorted,
+        });
+        self.plain_bytes_replaced += std::mem::size_of_val(targets);
+    }
+
+    /// Number of local rows this sidecar indexes (coded or not).
+    pub fn num_rows(&self) -> usize {
+        self.row_of.len()
+    }
+
+    /// True when local row `local` has a coded representation.
+    pub fn is_compressed(&self, local: usize) -> bool {
+        self.row_of[local] != NONE
+    }
+
+    /// Number of coded rows.
+    pub fn coded_rows(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Neighbour count of a coded row.
+    pub fn degree(&self, local: usize) -> Option<u32> {
+        self.entry(local).map(|e| e.degree)
+    }
+
+    /// True when the coded row was non-descending at encode time, i.e.
+    /// value-directed early exit and chunk skipping are meaningful.
+    pub fn row_sorted(&self, local: usize) -> Option<bool> {
+        self.entry(local).map(|e| e.sorted)
+    }
+
+    /// Number of chunks in a coded row (`ceil(degree / 64)`).
+    pub fn num_chunks(&self, local: usize) -> Option<usize> {
+        self.entry(local).map(|e| (e.chunk_end - e.chunk_start) as usize)
+    }
+
+    /// First target of each chunk of a coded row, in chunk order.
+    ///
+    /// On a sorted row this is an ascending sequence a sweep can scan
+    /// (or binary-search) to find the first chunk that could contain a
+    /// value, then [`CompressedCsr::decode_from_chunk`] from there.
+    pub fn chunk_firsts(&self, local: usize) -> Option<&[Vid]> {
+        self.entry(local)
+            .map(|e| &self.chunk_first[e.chunk_start as usize..e.chunk_end as usize])
+    }
+
+    /// Streaming decoder over the full coded row, or `None` when the
+    /// row is not coded (read the plain CSR instead).
+    pub fn coded_row(&self, local: usize) -> Option<CodedIter<'_>> {
+        let e = self.entry(local)?;
+        if e.degree == 0 {
+            return Some(CodedIter::empty());
+        }
+        Some(self.iter_from(e, 0))
+    }
+
+    /// Streaming decoder starting at chunk `chunk` (target index
+    /// `chunk * 64`), yielding the rest of the row.
+    ///
+    /// Panics if the row is not coded or `chunk` is out of range.
+    pub fn decode_from_chunk(&self, local: usize, chunk: usize) -> CodedIter<'_> {
+        let e = self.entry(local).expect("row is not coded");
+        let chunks = (e.chunk_end - e.chunk_start) as usize;
+        assert!(chunk < chunks.max(1), "chunk {chunk} out of {chunks}");
+        if e.degree == 0 {
+            return CodedIter::empty();
+        }
+        self.iter_from(e, chunk)
+    }
+
+    fn iter_from(&self, e: &RowEntry, chunk: usize) -> CodedIter<'_> {
+        let first = self.chunk_first[e.chunk_start as usize + chunk];
+        let offset = self.chunk_offset[e.chunk_start as usize + chunk] as usize;
+        let row = &self.data[e.data_start as usize..e.data_end as usize];
+        CodedIter {
+            data: row,
+            pos: offset,
+            start: offset,
+            prev: first,
+            pending: true,
+            remaining: e.degree - (chunk * CHUNK_TARGETS) as u32,
+            header_bytes: CHUNK_HEADER_BYTES,
+        }
+    }
+
+    fn entry(&self, local: usize) -> Option<&RowEntry> {
+        match self.row_of[local] {
+            NONE => None,
+            i => Some(&self.entries[i as usize]),
+        }
+    }
+
+    /// Bytes of varint stream across all coded rows.
+    pub fn coded_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Bytes the coded rows would occupy as plain `Vid` slices — the
+    /// memory the coding competes against.
+    pub fn plain_bytes_replaced(&self) -> usize {
+        self.plain_bytes_replaced
+    }
+
+    /// Index + chunk-table bytes the sidecar spends on top of the
+    /// streams.
+    pub fn overhead_bytes(&self) -> usize {
+        self.row_of.len() * std::mem::size_of::<u32>()
+            + self.entries.len() * std::mem::size_of::<RowEntry>()
+            + self.chunk_first.len() * std::mem::size_of::<Vid>()
+            + self.chunk_offset.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Total sidecar footprint: streams plus bookkeeping.
+    pub fn byte_size(&self) -> usize {
+        self.coded_bytes() + self.overhead_bytes()
+    }
+}
+
+/// Streaming decoder over one coded row (or a chunk-aligned suffix).
+///
+/// Yields targets in encode order and counts the bytes it actually
+/// touches, so early-exit consumers can report true decode traffic.
+pub struct CodedIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+    start: usize,
+    /// Next value when `pending`, else the last yielded value.
+    prev: Vid,
+    pending: bool,
+    remaining: u32,
+    header_bytes: usize,
+}
+
+impl CodedIter<'_> {
+    fn empty() -> Self {
+        CodedIter {
+            data: &[],
+            pos: 0,
+            start: 0,
+            prev: 0,
+            pending: false,
+            remaining: 0,
+            header_bytes: 0,
+        }
+    }
+
+    /// Bytes consumed so far: the chunk header plus every stream byte
+    /// decoded. Grows as the iterator advances; an early exit reports
+    /// only the prefix it paid for.
+    pub fn bytes_read(&self) -> usize {
+        self.header_bytes + (self.pos - self.start)
+    }
+
+    /// Targets not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.remaining as usize
+    }
+}
+
+impl Iterator for CodedIter<'_> {
+    type Item = Vid;
+
+    fn next(&mut self) -> Option<Vid> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.pending {
+            self.pending = false;
+            return Some(self.prev);
+        }
+        let z = read_varint(self.data, &mut self.pos);
+        let v = self.prev.wrapping_add(unzigzag(z) as u64);
+        self.prev = v;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for CodedIter<'_> {}
+
+/// Signed → unsigned so small magnitudes of either sign stay small.
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// LEB128: 7 value bits per byte, high bit = continuation.
+fn write_varint(out: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let b = (x & 0x7F) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn read_varint(data: &[u8], pos: &mut usize) -> u64 {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = data[*pos];
+        *pos += 1;
+        x |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return x;
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(rows: &[Vec<Vid>]) {
+        let c = CompressedCsr::from_rows(rows);
+        for (i, row) in rows.iter().enumerate() {
+            assert!(c.is_compressed(i));
+            let decoded: Vec<Vid> = c.coded_row(i).unwrap().collect();
+            assert_eq!(&decoded, row, "row {i}");
+            assert_eq!(c.degree(i), Some(row.len() as u32));
+        }
+    }
+
+    #[test]
+    fn round_trips_basic_shapes() {
+        round_trip(&[
+            vec![],
+            vec![0],
+            vec![7],
+            vec![1, 2, 3, 1_000_000, 1_000_001],
+            vec![u64::MAX - 1, u64::MAX],
+            (0..300).map(|i| i * 3).collect(),
+        ]);
+    }
+
+    #[test]
+    fn round_trips_unsorted_rows_and_flags_them() {
+        let rows = vec![vec![50, 10, 10, 9, 1 << 40, 0], (0..10).collect()];
+        round_trip(&rows);
+        let c = CompressedCsr::from_rows(&rows);
+        assert_eq!(c.row_sorted(0), Some(false));
+        assert_eq!(c.row_sorted(1), Some(true));
+    }
+
+    #[test]
+    fn max_delta_gap_round_trips() {
+        // 0 → u64::MAX is the largest positive gap; back down is the
+        // largest negative one. Zigzag must carry both.
+        round_trip(&[vec![0, u64::MAX, 0, u64::MAX]]);
+    }
+
+    #[test]
+    fn chunk_decode_matches_suffix() {
+        let row: Vec<Vid> = (0..1000u64).map(|i| i * i % 4096 + i).collect();
+        let c = CompressedCsr::from_rows(std::slice::from_ref(&row));
+        let chunks = c.num_chunks(0).unwrap();
+        assert_eq!(chunks, 1000usize.div_ceil(CHUNK_TARGETS));
+        for k in 0..chunks {
+            let got: Vec<Vid> = c.decode_from_chunk(0, k).collect();
+            assert_eq!(&got, &row[k * CHUNK_TARGETS..], "chunk {k}");
+        }
+        let firsts = c.chunk_firsts(0).unwrap();
+        for (k, &f) in firsts.iter().enumerate() {
+            assert_eq!(f, row[k * CHUNK_TARGETS]);
+        }
+    }
+
+    #[test]
+    fn bytes_read_tracks_early_exit() {
+        let row: Vec<Vid> = (0..256u64).collect();
+        let c = CompressedCsr::from_rows(&[row]);
+        let mut it = c.coded_row(0).unwrap();
+        assert_eq!(it.bytes_read(), CHUNK_HEADER_BYTES);
+        it.next();
+        let after_one = it.bytes_read();
+        it.by_ref().take(9).for_each(drop);
+        let after_ten = it.bytes_read();
+        assert!(after_one < after_ten);
+        let full: usize = it.by_ref().count();
+        assert_eq!(full, 246);
+        // Unit deltas cost one byte each; the chunk-0 header covers the
+        // first target, so the stream pays for the remaining 255.
+        assert_eq!(it.bytes_read(), CHUNK_HEADER_BYTES + 255);
+        assert_eq!(it.remaining(), 0);
+    }
+
+    #[test]
+    fn from_csr_codes_only_hubs() {
+        use crate::edge_list::EdgeList;
+        // Vertex 0 is a hub (degree 6), the rest are low-degree. The
+        // CSR symmetrizes tuples itself, so one direction suffices.
+        let mut edges: Vec<(u64, u64)> = (1..=6u64).map(|v| (0, v)).collect();
+        edges.push((1, 2));
+        let el = EdgeList::new(8, edges);
+        let csr = Csr::from_edge_list(&el);
+        let c = CompressedCsr::from_csr(&csr, 3);
+        assert!(c.is_compressed(0));
+        assert!(!c.is_compressed(1));
+        assert_eq!(c.coded_rows(), 1);
+        let decoded: Vec<Vid> = c.coded_row(0).unwrap().collect();
+        assert_eq!(decoded, csr.neighbors_local(0));
+        assert_eq!(c.plain_bytes_replaced(), 6 * 8);
+        assert!(c.coded_bytes() < c.plain_bytes_replaced());
+        assert!(c.byte_size() > c.coded_bytes());
+    }
+
+    #[test]
+    fn sorted_hub_row_compresses_well() {
+        // A hub row with small gaps — the representative case — must
+        // land near one byte per target.
+        let row: Vec<Vid> = (0..4096u64).map(|i| i * 5).collect();
+        let c = CompressedCsr::from_rows(&[row]);
+        assert!(
+            c.coded_bytes() <= 2 * 4096,
+            "{} bytes for 4096 small-gap targets",
+            c.coded_bytes()
+        );
+        assert!(c.coded_bytes() < c.plain_bytes_replaced() / 4);
+    }
+}

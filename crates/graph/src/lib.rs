@@ -14,7 +14,9 @@
 //!   the paper selects ("each vertex of the input graph belongs to only one
 //!   partition").
 //! * [`bitmap`] — dense bitsets (sequential and atomic) used for frontiers
-//!   and visited maps.
+//!   and visited maps, with a word-level surface for word-parallel kernels.
+//! * [`compressed`] — byte-coded (zigzag-varint delta) adjacency rows for
+//!   hub vertices, with chunk headers for early-exit decode.
 //! * [`hub`] — degree-aware hub vertex selection for the paper's
 //!   "degree aware prefetch" optimization (§5).
 //! * [`stats`] — degree-distribution statistics used by tests and by the
@@ -24,6 +26,7 @@
 //! regardless of thread count.
 
 pub mod bitmap;
+pub mod compressed;
 pub mod csr;
 pub mod edge_list;
 pub mod hub;
@@ -34,6 +37,7 @@ pub mod stats;
 pub mod transform;
 
 pub use bitmap::{AtomicBitmap, Bitmap};
+pub use compressed::{CodedIter, CompressedCsr};
 pub use csr::Csr;
 pub use edge_list::EdgeList;
 pub use kronecker::{generate_kronecker, KroneckerConfig};

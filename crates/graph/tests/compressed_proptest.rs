@@ -1,0 +1,113 @@
+//! Property tests for the byte-coded compressed CSR: every row —
+//! Kronecker-realistic or adversarial — must round-trip exactly, and
+//! early-exit / mid-row decode must agree with the plain representation.
+
+use proptest::prelude::*;
+use sw_graph::compressed::{CompressedCsr, CHUNK_TARGETS};
+use sw_graph::{generate_kronecker, Csr, KroneckerConfig, Vid};
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A batch of adversarial rows driven by one seed: empties, singletons,
+/// a long hub row, sorted small-gap rows, unsorted rows, and rows that
+/// alternate between 0 and huge values (max-magnitude deltas both ways).
+fn adversarial_rows(seed: u64) -> Vec<Vec<Vid>> {
+    let mut st = seed;
+    let mut rows: Vec<Vec<Vid>> = vec![
+        vec![],
+        vec![splitmix(&mut st)],
+        // Single hub row long enough to span many chunks.
+        {
+            let mut v: Vec<Vid> = (0..((splitmix(&mut st) % 2000) + CHUNK_TARGETS as u64))
+                .map(|_| splitmix(&mut st) % (1 << 30))
+                .collect();
+            v.sort_unstable();
+            v
+        },
+        // Max-delta gaps: 0 -> u64::MAX -> 0 -> ...
+        (0..130u64)
+            .map(|i| if i % 2 == 0 { 0 } else { u64::MAX })
+            .collect(),
+        // Exactly one chunk, exactly one chunk plus one target.
+        (0..CHUNK_TARGETS as u64).collect(),
+        (0..CHUNK_TARGETS as u64 + 1).collect(),
+    ];
+    // A spread of random rows, half left unsorted.
+    for r in 0..12 {
+        let len = (splitmix(&mut st) % 200) as usize;
+        let mut row: Vec<Vid> = (0..len).map(|_| splitmix(&mut st)).collect();
+        if r % 2 == 0 {
+            row.sort_unstable();
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// decode(encode(row)) == row for adversarial row shapes, from the
+    /// start and from every chunk header.
+    #[test]
+    fn adversarial_rows_round_trip(seed in 0u64..u64::MAX) {
+        let rows = adversarial_rows(seed);
+        let c = CompressedCsr::from_rows(&rows);
+        prop_assert_eq!(c.coded_rows(), rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let decoded: Vec<Vid> = c.coded_row(i).unwrap().collect();
+            prop_assert_eq!(&decoded, row);
+            for k in 0..c.num_chunks(i).unwrap() {
+                let suffix: Vec<Vid> = c.decode_from_chunk(i, k).collect();
+                prop_assert_eq!(&suffix, &row[k * CHUNK_TARGETS..]);
+            }
+        }
+    }
+
+    /// Hub rows of a real Kronecker graph round-trip through the
+    /// sidecar, the threshold selects exactly the rows it should, and
+    /// early-exit decode sees the same prefix the plain CSR serves.
+    #[test]
+    fn kronecker_hub_rows_round_trip(
+        seed in 0u64..u64::MAX,
+        scale in 8u32..11,
+        min_degree in 1u64..64,
+    ) {
+        let el = generate_kronecker(&KroneckerConfig::graph500(scale, seed));
+        let csr = Csr::from_edge_list(&el);
+        let c = CompressedCsr::from_csr(&csr, min_degree);
+        prop_assert_eq!(c.num_rows(), csr.num_rows() as usize);
+        let mut coded = 0usize;
+        for i in 0..csr.num_rows() as usize {
+            let plain = csr.neighbors_local(i);
+            if csr.degree_local(i) >= min_degree {
+                prop_assert!(c.is_compressed(i));
+                coded += 1;
+                let decoded: Vec<Vid> = c.coded_row(i).unwrap().collect();
+                prop_assert_eq!(decoded.as_slice(), plain);
+                // CSR rows are sorted, so the coding must agree and an
+                // early-exit scan (stop at the first target >= limit)
+                // must see the identical prefix.
+                prop_assert_eq!(c.row_sorted(i), Some(true));
+                let limit = plain[plain.len() / 2];
+                let coded_prefix: Vec<Vid> = c
+                    .coded_row(i)
+                    .unwrap()
+                    .take_while(|&t| t < limit)
+                    .collect();
+                let plain_prefix: Vec<Vid> =
+                    plain.iter().copied().take_while(|&t| t < limit).collect();
+                prop_assert_eq!(coded_prefix, plain_prefix);
+            } else {
+                prop_assert!(!c.is_compressed(i));
+            }
+        }
+        prop_assert_eq!(c.coded_rows(), coded);
+    }
+}

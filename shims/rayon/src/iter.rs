@@ -1,0 +1,472 @@
+//! Indexed parallel iterators over the work-stealing pool.
+//!
+//! Every producer is an *indexed* source: it knows its length and can
+//! materialize any contiguous sub-range as a plain sequential iterator
+//! ([`ParallelIterator::pi_range`]). Adapters (`map`, `zip`,
+//! `enumerate`) compose index-preservingly; consumers (`collect`,
+//! `sum`, `for_each`) split `0..len` into contiguous chunks, evaluate
+//! each chunk sequentially on the pool, and reassemble results **in
+//! chunk order**. No reduction ever goes through an atomic accumulator,
+//! so for associative folds over integers — this workspace's only
+//! reductions — the result is bit-identical at any `SW_POOL_THREADS`.
+//!
+//! With the pool disabled (the default), every consumer short-circuits
+//! to driving `pi_range(0, len)` inline: the exact sequential code the
+//! pre-pool shim ran.
+
+use crate::pool;
+
+/// An indexed parallel iterator: a length plus random access to
+/// contiguous sub-ranges as sequential iterators.
+pub trait ParallelIterator: Sync + Sized {
+    /// Element type.
+    type Item: Send;
+    /// The sequential iterator a sub-range materializes as.
+    type Seq<'s>: Iterator<Item = Self::Item>
+    where
+        Self: 's;
+
+    /// Total number of items.
+    fn pi_len(&self) -> usize;
+
+    /// Materializes items `lo..hi` as a sequential iterator.
+    ///
+    /// # Safety
+    ///
+    /// Producers yielding `&mut` references hand out aliasing borrows
+    /// if ranges overlap: concurrently live `pi_range` calls on one
+    /// value must use disjoint ranges. The consumers in this module
+    /// partition `0..pi_len()` exactly once.
+    unsafe fn pi_range(&self, lo: usize, hi: usize) -> Self::Seq<'_>;
+
+    /// Maps every item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs items with another indexed iterator (length = the minimum).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Pairs every item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// rayon's `flat_map_iter`: maps each item to a sequential
+    /// `IntoIterator` and flattens. The result is no longer indexed
+    /// (inner lengths are unknown), so it only offers `collect`.
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Work-splitting hint; chunking is computed from the pool size.
+    fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+
+    /// Work-splitting hint; chunking is computed from the pool size.
+    fn with_max_len(self, _len: usize) -> Self {
+        self
+    }
+
+    /// Calls `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let n = self.pi_len();
+        if pool::sequential() || n <= 1 {
+            // SAFETY: the single range covers 0..n once.
+            unsafe { self.pi_range(0, n) }.for_each(f);
+            return;
+        }
+        // SAFETY: run_chunked partitions 0..n into disjoint ranges.
+        pool::run_chunked(n, &|lo, hi| unsafe { self.pi_range(lo, hi) }.for_each(&f));
+    }
+
+    /// Collects into `C`, in index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        let n = self.pi_len();
+        if pool::sequential() || n <= 1 {
+            // SAFETY: the single range covers 0..n once.
+            return unsafe { self.pi_range(0, n) }.collect();
+        }
+        // SAFETY: run_chunked partitions 0..n into disjoint ranges.
+        pool::run_chunked(n, &|lo, hi| unsafe { self.pi_range(lo, hi) }.collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Sums the items: per-chunk sequential sums, folded in chunk
+    /// order — bit-identical to the sequential sum for integer sums.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let n = self.pi_len();
+        if pool::sequential() || n <= 1 {
+            // SAFETY: the single range covers 0..n once.
+            return unsafe { self.pi_range(0, n) }.sum();
+        }
+        // SAFETY: run_chunked partitions 0..n into disjoint ranges.
+        pool::run_chunked(n, &|lo, hi| unsafe { self.pi_range(lo, hi) }.sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Number of items (known without iterating).
+    fn count(self) -> usize {
+        self.pi_len()
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+    type Seq<'s>
+        = std::iter::Map<I::Seq<'s>, &'s F>
+    where
+        Self: 's;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    unsafe fn pi_range(&self, lo: usize, hi: usize) -> Self::Seq<'_> {
+        self.base.pi_range(lo, hi).map(&self.f)
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type Seq<'s>
+        = std::iter::Zip<A::Seq<'s>, B::Seq<'s>>
+    where
+        Self: 's;
+
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+
+    unsafe fn pi_range(&self, lo: usize, hi: usize) -> Self::Seq<'_> {
+        self.a.pi_range(lo, hi).zip(self.b.pi_range(lo, hi))
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type Seq<'s>
+        = std::iter::Zip<std::ops::Range<usize>, I::Seq<'s>>
+    where
+        Self: 's;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    unsafe fn pi_range(&self, lo: usize, hi: usize) -> Self::Seq<'_> {
+        (lo..hi).zip(self.base.pi_range(lo, hi))
+    }
+}
+
+/// See [`ParallelIterator::flat_map_iter`]. Not indexed; offers only
+/// order-preserving `collect`.
+pub struct FlatMapIter<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, U> FlatMapIter<I, F>
+where
+    I: ParallelIterator,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(I::Item) -> U + Sync,
+{
+    /// Collects the flattened items in source-index order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<U::Item>,
+    {
+        let n = self.base.pi_len();
+        if pool::sequential() || n <= 1 {
+            // SAFETY: the single range covers 0..n once.
+            return unsafe { self.base.pi_range(0, n) }.flat_map(&self.f).collect();
+        }
+        // SAFETY: run_chunked partitions 0..n into disjoint ranges.
+        pool::run_chunked(n, &|lo, hi| {
+            unsafe { self.base.pi_range(lo, hi) }
+                .flat_map(&self.f)
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+/// Borrowing producer over a shared slice.
+pub struct SliceIter<'a, T: Sync> {
+    s: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    type Seq<'s>
+        = std::slice::Iter<'a, T>
+    where
+        Self: 's;
+
+    fn pi_len(&self) -> usize {
+        self.s.len()
+    }
+
+    unsafe fn pi_range(&self, lo: usize, hi: usize) -> Self::Seq<'_> {
+        self.s[lo..hi].iter()
+    }
+}
+
+/// Mutably borrowing producer over a unique slice. Stored as raw parts
+/// so disjoint sub-ranges can be re-borrowed from multiple threads; the
+/// disjointness obligation is [`ParallelIterator::pi_range`]'s.
+pub struct SliceIterMut<'a, T: Send> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: equivalent to sharing &mut [T] across threads under the
+// pi_range disjointness contract.
+unsafe impl<'a, T: Send> Sync for SliceIterMut<'a, T> {}
+unsafe impl<'a, T: Send> Send for SliceIterMut<'a, T> {}
+
+impl<'a, T: Send> SliceIterMut<'a, T> {
+    fn new(s: &'a mut [T]) -> Self {
+        Self {
+            ptr: s.as_mut_ptr(),
+            len: s.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq<'s>
+        = std::slice::IterMut<'a, T>
+    where
+        Self: 's;
+
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn pi_range(&self, lo: usize, hi: usize) -> Self::Seq<'_> {
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo).iter_mut()
+    }
+}
+
+/// Producer over chunked shared slices (rayon's `par_chunks`).
+pub struct Chunks<'a, T: Sync> {
+    s: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Chunks<'a, T> {
+    pub(crate) fn new(s: &'a [T], size: usize) -> Self {
+        assert!(size > 0, "chunk size must be positive");
+        Self { s, size }
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for Chunks<'a, T> {
+    type Item = &'a [T];
+    type Seq<'s>
+        = std::slice::Chunks<'a, T>
+    where
+        Self: 's;
+
+    fn pi_len(&self) -> usize {
+        self.s.len().div_ceil(self.size)
+    }
+
+    unsafe fn pi_range(&self, lo: usize, hi: usize) -> Self::Seq<'_> {
+        self.s[lo * self.size..(hi * self.size).min(self.s.len())].chunks(self.size)
+    }
+}
+
+/// Producer over chunked unique slices (rayon's `par_chunks_mut`).
+pub struct ChunksMut<'a, T: Send> {
+    ptr: *mut T,
+    len: usize,
+    size: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: as for `SliceIterMut`.
+unsafe impl<'a, T: Send> Sync for ChunksMut<'a, T> {}
+unsafe impl<'a, T: Send> Send for ChunksMut<'a, T> {}
+
+impl<'a, T: Send> ChunksMut<'a, T> {
+    pub(crate) fn new(s: &'a mut [T], size: usize) -> Self {
+        assert!(size > 0, "chunk size must be positive");
+        Self {
+            ptr: s.as_mut_ptr(),
+            len: s.len(),
+            size,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq<'s>
+        = std::slice::ChunksMut<'a, T>
+    where
+        Self: 's;
+
+    fn pi_len(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+
+    unsafe fn pi_range(&self, lo: usize, hi: usize) -> Self::Seq<'_> {
+        let start = lo * self.size;
+        let end = (hi * self.size).min(self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), end - start).chunks_mut(self.size)
+    }
+}
+
+/// Producer over an integer range.
+pub struct RangeIter<T> {
+    start: T,
+    end: T,
+}
+
+macro_rules! range_impls {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            type Seq<'s>
+                = std::ops::Range<$t>
+            where
+                Self: 's;
+
+            fn pi_len(&self) -> usize {
+                self.end.saturating_sub(self.start) as usize
+            }
+
+            unsafe fn pi_range(&self, lo: usize, hi: usize) -> Self::Seq<'_> {
+                (self.start + lo as $t)..(self.start + hi as $t)
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                RangeIter { start: self.start, end: self.end }
+            }
+        }
+    )*};
+}
+
+range_impls!(u32, u64, usize);
+
+/// `into_par_iter()` — by-value conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Concrete parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` on shared references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: Send + 'a;
+    /// Concrete parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { s: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { s: self.as_slice() }
+    }
+}
+
+/// `par_iter_mut()` on unique references.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type.
+    type Item: Send + 'a;
+    /// Concrete parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Mutably borrowing parallel iterator.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = SliceIterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+        SliceIterMut::new(self)
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = SliceIterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+        SliceIterMut::new(self.as_mut_slice())
+    }
+}

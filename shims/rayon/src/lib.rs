@@ -1,197 +1,32 @@
-//! Offline shim for the `rayon` API subset this workspace uses.
+//! Offline shim for the `rayon` API subset this workspace uses — now
+//! backed by a real work-stealing pool.
 //!
 //! The parallel-iterator entry points (`par_iter`, `par_iter_mut`,
-//! `into_par_iter`) return the corresponding *standard* iterators, so
-//! every adapter chain (`map`, `zip`, `filter`, `collect`, `sum`,
-//! `for_each`, …) type-checks and runs **sequentially**. `flat_map_iter`
-//! and `with_min_len`, which exist only on rayon's iterators, are
-//! provided by a blanket extension trait.
+//! `into_par_iter`, `par_chunks`, `par_chunks_mut`) return *indexed*
+//! parallel iterators ([`iter::ParallelIterator`]): sources that know
+//! their length and can materialize any contiguous sub-range as a
+//! sequential iterator. Consumers split the index space into chunks,
+//! execute the chunks on a crossbeam-deque work-stealing pool
+//! ([`mod@pool`]), and reassemble results in chunk order — so every
+//! reduction is **bit-identical at any thread count**.
 //!
-//! This container exposes a single CPU, so sequential execution costs
-//! nothing here; on a multi-core machine, swapping this shim for the
-//! real rayon re-enables parallelism with no call-site changes.
+//! The pool is sized by `SW_POOL_THREADS` (default 1). At the default
+//! size no threads spawn and everything runs inline, preserving this
+//! container's single-CPU behaviour and all committed baselines; CI
+//! additionally runs the conformance and chaos suites at
+//! `SW_POOL_THREADS=4` to hold the determinism guarantee.
 
-/// Builder mirroring `rayon::ThreadPoolBuilder` (thread count ignored).
-#[derive(Default)]
-pub struct ThreadPoolBuilder {
-    _threads: usize,
-}
+pub mod iter;
+pub mod pool;
+pub mod slice;
 
-impl ThreadPoolBuilder {
-    /// New builder.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Accepted and ignored: the shim always executes inline.
-    pub fn num_threads(mut self, n: usize) -> Self {
-        self._threads = n;
-        self
-    }
-
-    /// Builds the (trivial) pool.
-    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool)
-    }
-}
-
-/// Error type for [`ThreadPoolBuilder::build`] (never produced).
-#[derive(Debug)]
-pub struct ThreadPoolBuildError;
-
-impl std::fmt::Display for ThreadPoolBuildError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "thread pool build error (unreachable in shim)")
-    }
-}
-
-impl std::error::Error for ThreadPoolBuildError {}
-
-/// Trivial pool: `install` just invokes the closure inline.
-pub struct ThreadPool;
-
-impl ThreadPool {
-    /// Runs `f` "inside" the pool.
-    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        f()
-    }
-}
-
-/// Runs both closures (sequentially here) and returns both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
-}
-
-/// Number of worker threads (always 1 in the shim).
-pub fn current_num_threads() -> usize {
-    1
-}
-
-pub mod iter {
-    //! Sequential stand-ins for rayon's parallel iterator traits.
-
-    /// `into_par_iter()` — the standard `IntoIterator` under another name.
-    pub trait IntoParallelIterator {
-        /// Element type.
-        type Item;
-        /// Concrete iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Converts into a ("parallel") iterator.
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `par_iter()` on shared references.
-    pub trait IntoParallelRefIterator<'a> {
-        /// Element type.
-        type Item: 'a;
-        /// Concrete iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Borrowing ("parallel") iterator.
-        fn par_iter(&'a self) -> Self::Iter;
-    }
-
-    impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
-    where
-        &'a C: IntoIterator,
-    {
-        type Item = <&'a C as IntoIterator>::Item;
-        type Iter = <&'a C as IntoIterator>::IntoIter;
-        fn par_iter(&'a self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `par_iter_mut()` on unique references.
-    pub trait IntoParallelRefMutIterator<'a> {
-        /// Element type.
-        type Item: 'a;
-        /// Concrete iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Mutably borrowing ("parallel") iterator.
-        fn par_iter_mut(&'a mut self) -> Self::Iter;
-    }
-
-    impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
-    where
-        &'a mut C: IntoIterator,
-    {
-        type Item = <&'a mut C as IntoIterator>::Item;
-        type Iter = <&'a mut C as IntoIterator>::IntoIter;
-        fn par_iter_mut(&'a mut self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// Adapters that exist on rayon's iterators but not on std's.
-    pub trait ParallelIteratorExt: Iterator + Sized {
-        /// rayon's `flat_map_iter` — sequential `flat_map`.
-        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
-        where
-            U: IntoIterator,
-            F: FnMut(Self::Item) -> U,
-        {
-            self.flat_map(f)
-        }
-
-        /// Work-splitting hint; meaningless sequentially.
-        fn with_min_len(self, _len: usize) -> Self {
-            self
-        }
-
-        /// Work-splitting hint; meaningless sequentially.
-        fn with_max_len(self, _len: usize) -> Self {
-            self
-        }
-    }
-
-    impl<I: Iterator> ParallelIteratorExt for I {}
-}
-
-pub mod slice {
-    //! Sequential stand-ins for rayon's parallel slice traits.
-
-    /// rayon's `par_chunks` — sequential `chunks`.
-    pub trait ParallelSlice<T> {
-        /// Chunked ("parallel") iteration over a shared slice.
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
-        }
-    }
-
-    /// rayon's `par_chunks_mut` — sequential `chunks_mut`.
-    pub trait ParallelSliceMut<T> {
-        /// Chunked ("parallel") iteration over a unique slice.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-    }
-
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
-    }
-}
+pub use pool::{current_num_threads, join, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
 
 pub mod prelude {
     //! Everything `use rayon::prelude::*` is expected to bring in.
     pub use crate::iter::{
         IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
-        ParallelIteratorExt,
+        ParallelIterator,
     };
     pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }
@@ -199,13 +34,14 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn iterator_surface_works() {
         let v = vec![1u64, 2, 3, 4];
         let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6, 8]);
-        let s: u64 = v.par_iter().sum();
+        let s: u64 = v.par_iter().map(|&x| x).sum();
         assert_eq!(s, 10);
         let flat: Vec<u64> = (0u64..3).into_par_iter().flat_map_iter(|x| 0..x).collect();
         assert_eq!(flat, vec![0, 0, 1]);
@@ -215,11 +51,80 @@ mod tests {
     }
 
     #[test]
+    fn zip_enumerate_chunks_compose() {
+        let a = vec![1u64, 2, 3, 4, 5];
+        let mut b = vec![10u64, 20, 30, 40, 50];
+        let pairs: Vec<(usize, (u64, u64))> = a
+            .par_iter()
+            .map(|&x| x)
+            .zip(b.par_iter_mut().map(|x| *x))
+            .enumerate()
+            .collect();
+        assert_eq!(pairs[2], (2, (3, 30)));
+        let sums: Vec<u64> = b.par_chunks(2).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![30, 70, 50]);
+        let mut c = vec![1u64; 7];
+        c.par_chunks_mut(3)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.iter_mut().for_each(|x| *x += i as u64));
+        assert_eq!(c, vec![1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
     fn pool_installs_inline() {
         let pool = super::ThreadPoolBuilder::new()
             .num_threads(1)
             .build()
             .unwrap();
         assert_eq!(pool.install(|| 7), 7);
+    }
+
+    #[test]
+    fn forced_pool_runs_every_chunk_once() {
+        let pool = crate::pool::PoolCore::new(4);
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(100, &|i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn forced_pool_chunked_reduction_matches_sequential() {
+        let pool = crate::pool::PoolCore::new(4);
+        let data: Vec<u64> = (0..10_000).map(|i| i * 2_654_435_761).collect();
+        let seq: u64 = data.iter().copied().fold(0u64, u64::wrapping_add);
+        let chunked = crate::pool::run_chunked_on(Some(&pool), data.len(), &|lo, hi| {
+            data[lo..hi].iter().copied().fold(0u64, u64::wrapping_add)
+        });
+        // Ordered per-chunk fold, then an ordered outer fold: identical
+        // to the sequential result even for wrapping arithmetic.
+        let par = chunked.into_iter().fold(0u64, u64::wrapping_add);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn forced_pool_propagates_panics() {
+        let pool = crate::pool::PoolCore::new(3);
+        let caught = std::panic::catch_unwind(|| {
+            pool.run(8, &|i| {
+                if i == 5 {
+                    panic!("chunk 5 exploded");
+                }
+            });
+        });
+        assert!(caught.is_err(), "worker panic must resurface at the submitter");
+        // The pool must stay usable afterwards.
+        let hits = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 6 * 7, || "ok");
+        assert_eq!((a, b), (42, "ok"));
     }
 }

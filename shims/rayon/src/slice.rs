@@ -1,0 +1,27 @@
+//! Parallel slice extensions (rayon's `par_chunks`/`par_chunks_mut`).
+
+use crate::iter::{Chunks, ChunksMut};
+
+/// Chunked parallel iteration over a shared slice.
+pub trait ParallelSlice<T: Sync> {
+    /// Splits into `chunk_size`-sized chunks (last may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T> {
+        Chunks::new(self, chunk_size)
+    }
+}
+
+/// Chunked parallel iteration over a unique slice.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits into `chunk_size`-sized mutable chunks (last may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        ChunksMut::new(self, chunk_size)
+    }
+}
