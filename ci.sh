@@ -22,6 +22,20 @@ for threads in 1 4; do
   SW_POOL_THREADS=$threads cargo test -q -p swbfs-core --test chaos
 done
 
+# Socket fabric gate: the multi-process transport (one swbfs-rankd
+# process per rank over Unix-domain/TCP sockets) must pass the same
+# conformance battery as the in-process fabrics, the physically-realized
+# chaos schedules, and the teardown/re-delivery contract — each suite
+# under a hard timeout so a fabric hang fails loudly instead of wedging
+# CI. (The conformance/chaos tests pin the daemon via CARGO_BIN_EXE; the
+# explicit build keeps target/release's copy fresh for runtime
+# discovery.)
+cargo build --release -q -p swbfs-core --bin swbfs-rankd
+timeout 600 cargo test -q -p swbfs-core --test engine_conformance socket
+timeout 600 cargo test -q -p swbfs-core --test chaos socket
+timeout 600 cargo test -q -p swbfs-core --test socket_teardown
+timeout 600 cargo test -q -p sw-graph500 --test socket_smoke
+
 # Docs gate: the API surface must document cleanly (the engine module
 # additionally carries #[deny(missing_docs)], so an undocumented public
 # item on the Transport seam fails right here).

@@ -126,10 +126,15 @@ impl<T: Transport> AlgoCluster<T> {
 
     /// Runs one exchange round under the configured transport, sorting
     /// inboxes for determinism, and accumulates traffic statistics.
+    ///
+    /// # Panics
+    /// Panics if the fabric fails structurally (e.g. a socket peer
+    /// died); the analytics kernels have no retry story of their own.
     pub fn exchange_round(&mut self, out: Vec<Outboxes>) -> Vec<Vec<EdgeRec>> {
-        let (mut inboxes, st) =
-            self.transport
-                .exchange(self.messaging, out, &self.layout, Codec::Fixed(16));
+        let (mut inboxes, st) = self
+            .transport
+            .exchange(self.messaging, out, &self.layout, Codec::Fixed(16))
+            .expect("transport failed structurally mid-round");
         self.stats.absorb(&st);
         ins::absorb_exchange(&mut self.metrics, &st);
         if !self.transport.delivers_sorted() {

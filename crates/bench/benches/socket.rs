@@ -1,0 +1,75 @@
+//! The cost of a real process boundary: full scale-14 BFS runs on the
+//! in-process shared-memory fabric vs the multi-process socket fabric
+//! (Unix-domain and TCP loopback), plus the one-time price of spawning
+//! and tearing down an 8-process fabric.
+//!
+//! The socket groups discover `swbfs-rankd` at runtime and are skipped
+//! (with a note) when the daemon binary was never built, so
+//! `cargo bench` stays runnable from a cold checkout.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sw_graph::{generate_kronecker, EdgeList, KroneckerConfig};
+use swbfs_core::config::BfsConfig;
+use swbfs_core::engine::{ClusterBuilder, SharedMem, SocketTransport, Transport};
+
+const RANKS: u32 = 8;
+const ROOT: u64 = 1;
+
+fn scale14() -> EdgeList {
+    generate_kronecker(&KroneckerConfig::graph500(14, 8))
+}
+
+fn bench_engine<T: Transport>(c: &mut Criterion, el: &EdgeList, name: &str, transport: T) {
+    let cfg = BfsConfig::threaded_small(4);
+    let mut engine = ClusterBuilder::new(el, RANKS, cfg)
+        .transport(transport)
+        .build()
+        .unwrap();
+    let edges = engine.run(ROOT).unwrap().total_edges_scanned();
+    let mut g = c.benchmark_group("bfs_scale14_8ranks");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(edges));
+    g.bench_function(name, |b| {
+        b.iter(|| engine.run(ROOT).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_fabrics(c: &mut Criterion) {
+    let el = scale14();
+    bench_engine(c, &el, "shared_mem", SharedMem::new());
+    if SocketTransport::unix().resolve_rankd().is_none() {
+        eprintln!(
+            "socket benches skipped: swbfs-rankd not found — \
+             `cargo build --release -p swbfs-core --bin swbfs-rankd` or set SWBFS_RANKD"
+        );
+        return;
+    }
+    bench_engine(c, &el, "socket_unix", SocketTransport::unix());
+    bench_engine(c, &el, "socket_tcp", SocketTransport::tcp());
+}
+
+/// Spawn 8 rank daemons, handshake, run one exchange-bearing BFS, tear
+/// everything down — the fixed cost a short-lived socket fabric pays.
+fn bench_fabric_lifecycle(c: &mut Criterion) {
+    if SocketTransport::unix().resolve_rankd().is_none() {
+        return;
+    }
+    let el = generate_kronecker(&KroneckerConfig::graph500(10, 8));
+    let cfg = BfsConfig::threaded_small(2);
+    let mut g = c.benchmark_group("socket_fabric_lifecycle");
+    g.sample_size(10);
+    g.bench_function("spawn_bfs10_teardown_8ranks", |b| {
+        b.iter(|| {
+            let mut engine = ClusterBuilder::new(&el, RANKS, cfg)
+                .transport(SocketTransport::unix())
+                .build()
+                .unwrap();
+            engine.run(ROOT).unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fabrics, bench_fabric_lifecycle);
+criterion_main!(benches);

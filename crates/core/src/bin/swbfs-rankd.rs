@@ -1,0 +1,20 @@
+//! `swbfs-rankd` — one rank endpoint of the socket fabric.
+//!
+//! Spawned by the orchestrator ([`swbfs_core::engine::SocketTransport`]),
+//! one process per rank: `swbfs-rankd <ctrl-addr> <rank> <num-ranks>`.
+//! Holds no BFS state; moves encoded record batches across the real
+//! socket mesh, realizing scheduled faults as short writes and closed
+//! connections. Exit codes: 0 clean teardown, 41 chaos die-knob,
+//! 43 protocol violation, 2 bad invocation.
+
+#[cfg(unix)]
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(swbfs_core::engine::socket::daemon_main(&args));
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("swbfs-rankd: the socket fabric requires a Unix platform");
+    std::process::exit(2);
+}

@@ -107,6 +107,54 @@ pub fn decode_compressed(buf: &[u8]) -> Vec<EdgeRec> {
     out
 }
 
+/// Checked [`decode_compressed`] for payloads that crossed a real wire
+/// (the socket transport): malformed frames come back as a static
+/// description instead of a panic, so the transport can surface them as
+/// `ExchangeError::Protocol`.
+pub fn try_decode_compressed(buf: &[u8]) -> Result<Vec<EdgeRec>, &'static str> {
+    let mut pos = 0;
+    let n = try_get_varint(buf, &mut pos)? as usize;
+    if n > buf.len().saturating_mul(8) {
+        // A varint byte encodes at least one record's worth of deltas
+        // every 16 bytes at most; a count wildly past the buffer is
+        // corruption, not a batch worth allocating for.
+        return Err("compressed batch count exceeds frame bytes");
+    }
+    let mut out = Vec::with_capacity(n);
+    let (mut pu, mut pv) = (0i64, 0i64);
+    for _ in 0..n {
+        pu += unzigzag(try_get_varint(buf, &mut pos)?);
+        pv += unzigzag(try_get_varint(buf, &mut pos)?);
+        out.push(EdgeRec {
+            u: pu as Vid,
+            v: pv as Vid,
+        });
+    }
+    if pos != buf.len() {
+        return Err("trailing bytes in compressed frame");
+    }
+    Ok(out)
+}
+
+/// Checked [`get_varint`]: truncation and over-long encodings are
+/// errors, not panics.
+fn try_get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, &'static str> {
+    let mut x = 0u64;
+    let mut shift = 0;
+    loop {
+        let byte = *buf.get(*pos).ok_or("compressed frame truncated")?;
+        *pos += 1;
+        x |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(x);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err("varint too long");
+        }
+    }
+}
+
 /// Size in bytes the compressed encoding of `records` would occupy,
 /// without allocating — the exchange's traffic accounting uses this.
 pub fn compressed_size(records: &[EdgeRec]) -> u64 {
@@ -153,6 +201,21 @@ mod tests {
         assert_eq!(enc.len(), 1);
         assert!(decode_compressed(&enc).is_empty());
         assert_eq!(compressed_size(&[]), 1);
+    }
+
+    #[test]
+    fn checked_decode_matches_and_rejects() {
+        let r = recs();
+        let enc = encode_compressed(&r);
+        assert_eq!(try_decode_compressed(&enc).unwrap(), r);
+        assert!(try_decode_compressed(&enc[..enc.len() - 1]).is_err());
+        let mut grown = enc.to_vec();
+        grown.push(0);
+        assert!(try_decode_compressed(&grown).is_err());
+        // A count announcing far more records than the frame could hold
+        // must be rejected before allocating.
+        assert!(try_decode_compressed(&[0xFF, 0xFF, 0xFF, 0xFF, 0x7F]).is_err());
+        assert_eq!(try_decode_compressed(&encode_compressed(&[])).unwrap(), Vec::new());
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use super::transport::Transport;
 use crate::config::Messaging;
 use crate::error::ExchangeError;
-use crate::exchange::{msgs_for, Codec, ExchangeStats, MSG_HEADER_BYTES};
+use crate::exchange::{direct_wire_stats, Codec, ExchangeStats};
 use crate::faults::{FaultSession, MsgDesc, RetryPolicy};
 use crate::instrument as ins;
 use crate::messages::EdgeRec;
@@ -44,43 +44,6 @@ impl Channels {
     /// A transport ready for [`Transport::setup`].
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// Per-source wire accounting of one phase: the Direct-mode
-    /// arithmetic (payload + per-batch headers, termination indicators
-    /// included), summed over sources with the per-rank maxima the
-    /// `max_*` counters track.
-    fn wire_stats(
-        &self,
-        boxes: &[Vec<Vec<EdgeRec>>],
-        layout: &GroupLayout,
-        codec: Codec,
-    ) -> ExchangeStats {
-        let mut stats = ExchangeStats::default();
-        for (s, bs) in boxes.iter().enumerate() {
-            let mut send_msgs = 0u64;
-            let mut send_bytes = 0u64;
-            for (d, recs) in bs.iter().enumerate() {
-                if d == s {
-                    debug_assert!(recs.is_empty(), "self-addressed records");
-                    continue;
-                }
-                let payload = codec.payload_bytes(recs);
-                let msgs = msgs_for(payload);
-                let bytes = payload + msgs * MSG_HEADER_BYTES;
-                send_msgs += msgs;
-                send_bytes += bytes;
-                stats.record_hops += recs.len() as u64;
-                if layout.group_of(s as u32) != layout.group_of(d as u32) {
-                    stats.inter_group_bytes += bytes;
-                }
-            }
-            stats.messages += send_msgs;
-            stats.bytes += send_bytes;
-            stats.max_send_msgs_per_rank = stats.max_send_msgs_per_rank.max(send_msgs);
-            stats.max_send_bytes_per_rank = stats.max_send_bytes_per_rank.max(send_bytes);
-        }
-        stats
     }
 
     /// Moves the records: one scoped thread per rank sends its boxes to
@@ -163,11 +126,11 @@ impl Transport for Channels {
         out: Vec<Outboxes>,
         layout: &GroupLayout,
         codec: Codec,
-    ) -> (Vec<Vec<EdgeRec>>, ExchangeStats) {
+    ) -> Result<(Vec<Vec<EdgeRec>>, ExchangeStats), ExchangeError> {
         let boxes: Vec<Vec<Vec<EdgeRec>>> =
             out.into_iter().map(|mut o| o.drain_into_boxes()).collect();
-        let stats = self.wire_stats(&boxes, layout, codec);
-        (self.move_records(boxes), stats)
+        let stats = direct_wire_stats(&boxes, layout, codec);
+        Ok((self.move_records(boxes), stats))
     }
 
     fn exchange_faulty(
@@ -221,7 +184,7 @@ impl Transport for Channels {
             stats.faults_injected += report.faults_injected;
             match report.error {
                 None => {
-                    let wire = self.wire_stats(&boxes, layout, eff_codec);
+                    let wire = direct_wire_stats(&boxes, layout, eff_codec);
                     stats.absorb(&wire);
                     let inboxes = self.move_records(boxes);
                     session.end_phase();

@@ -41,10 +41,14 @@
 
 mod channels;
 mod shared_mem;
+#[cfg(unix)]
+pub mod socket;
 mod transport;
 
 pub use channels::Channels;
 pub use shared_mem::SharedMem;
+#[cfg(unix)]
+pub use socket::SocketTransport;
 pub use transport::Transport;
 
 use crate::config::BfsConfig;
@@ -111,6 +115,16 @@ impl<'a, T: Transport> ClusterBuilder<'a, T> {
             fault_plan: self.fault_plan,
             transport,
         }
+    }
+
+    /// Swaps in the multi-process socket fabric (Unix-domain sockets,
+    /// one `swbfs-rankd` process per rank). Shorthand for
+    /// `.transport(SocketTransport::unix())`; use
+    /// [`SocketTransport::tcp`] via [`ClusterBuilder::transport`] for
+    /// the TCP flavour.
+    #[cfg(unix)]
+    pub fn socket(self) -> ClusterBuilder<'a, SocketTransport> {
+        self.transport(SocketTransport::unix())
     }
 
     /// Arms a span tracer ([`Tracer::for_ranks`] lane convention).
@@ -357,6 +371,14 @@ impl<T: Transport> SuperstepEngine<T> {
     /// The message fabric this engine runs over.
     pub fn transport(&self) -> &T {
         &self.transport
+    }
+
+    /// Mutable access to the fabric — for out-of-band transport
+    /// operations like an early explicit [`Transport::teardown`]
+    /// (idempotent on every fabric; the socket transport then exposes
+    /// post-mortem state such as [`SocketTransport::last_exits`]).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
     }
 
     /// Degree (with multiplicity) of a global vertex.
@@ -717,7 +739,7 @@ impl<T: Transport> SuperstepEngine<T> {
         }
         let (inboxes, xs) =
             self.transport
-                .exchange(self.cfg.messaging, out, &self.layout, self.cfg.codec());
+                .exchange(self.cfg.messaging, out, &self.layout, self.cfg.codec())?;
         self.absorb_exchange(ls, &xs);
         Ok(self.canonicalize(inboxes))
     }

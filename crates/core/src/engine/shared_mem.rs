@@ -56,8 +56,8 @@ impl Transport for SharedMem {
         out: Vec<Outboxes>,
         layout: &GroupLayout,
         codec: Codec,
-    ) -> (Vec<Vec<EdgeRec>>, ExchangeStats) {
-        self.arena().exchange(mode, out, layout, codec)
+    ) -> Result<(Vec<Vec<EdgeRec>>, ExchangeStats), ExchangeError> {
+        Ok(self.arena().exchange(mode, out, layout, codec))
     }
 
     fn exchange_faulty(

@@ -1,0 +1,557 @@
+//! The rank daemon: the per-rank OS process of the socket fabric.
+//!
+//! `swbfs-rankd` holds no BFS state. The orchestrator (the parent
+//! process, [`super::SocketTransport`]) keeps all compute — partitions,
+//! frontiers, generators — and uses the daemons purely as *wire
+//! endpoints*: every phase the parent hands rank `r`'s encoded outboxes
+//! to daemon `r` over its control connection, the daemons move them
+//! across a real socket mesh (realizing any scheduled faults as short
+//! writes, closed connections, and deferred flushes on actual file
+//! descriptors), and each daemon streams what it received back up.
+//! This keeps the process tree honest about the thing this fabric
+//! exists to prove — framing, partial delivery, disconnects, and
+//! teardown over real kernel sockets — without duplicating the
+//! traversal in every process.
+//!
+//! ## Protocol
+//!
+//! Handshake (control connection, frames from [`sw_net::framing`]):
+//!
+//! 1. daemon → parent `HELLO{src=rank, payload=mesh listener address}`
+//! 2. parent → daemon `TABLE{payload = newline-joined mesh addresses}`
+//! 3. daemon connects to every peer's listener, sending `PEER{src}`
+//!    first on each connection (the mesh is unidirectional per ordered
+//!    pair, so a fault realization closing `s → d` never disturbs
+//!    `d → s`)
+//! 4. daemon → parent `READY`
+//!
+//! Per phase `p`:
+//!
+//! 5. parent → daemon: one `XMIT{phase=p, dst}` per peer, payload
+//!    `[n_pre][codes…][defer][encoded records]` where each code asks
+//!    for one physical fault before the real send (1 = close the
+//!    connection cold, 2 = short-write a prefix then close) and `defer`
+//!    postpones the real send behind every non-deferred peer
+//! 6. daemon ↔ daemon: `MSG{phase=p, src, dst}` across the mesh
+//! 7. daemon → parent: one `INBOX{phase=p, src}` per peer received,
+//!    in ascending source order, then `STATX` with the realization
+//!    tallies `[torn][resets][deferred]` (sender-side counts — they
+//!    are deterministic, unlike racing to classify EOFs receive-side)
+//!
+//! Control-connection EOF (or `BYE`) means the parent is done — or
+//! gone — and the daemon exits 0 *from any state*, which is what makes
+//! orchestrator teardown a one-liner: close the control sockets.
+//! Protocol violations exit 43; the `SWBFS_RANKD_DIE_AT_PHASE` chaos
+//! knob exits 41 after collecting that phase's `XMIT`s.
+
+use super::sys::{poll_fds, Addr, Conn, Listener, PollFd, Stream, POLLIN, POLLOUT};
+use super::{
+    CODE_DROP, CODE_TRUNCATE, DIE_AT_PHASE_ENV, KIND_BYE, KIND_HELLO, KIND_INBOX, KIND_MSG,
+    KIND_PEER, KIND_READY, KIND_STATX, KIND_TABLE, KIND_XMIT,
+};
+use std::time::{Duration, Instant};
+use sw_net::framing::Frame;
+
+/// How long the daemon waits on any single blocking step (handshake
+/// connects, fault-realization flushes) before giving up. Generous: a
+/// stuck parent tears the daemon down via control-connection EOF long
+/// before this fires.
+const STEP_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// A protocol violation: the wire carried something the state machine
+/// forbids. Maps to exit code 43.
+struct Violation(&'static str);
+
+type Fate = Result<i32, Violation>;
+
+/// Entry point of the `swbfs-rankd` binary: runs one rank endpoint to
+/// completion and returns the process exit code (0 = clean teardown,
+/// 41 = chaos die-knob, 43 = protocol violation, 2 = bad invocation).
+pub fn daemon_main(args: &[String]) -> i32 {
+    let (ctrl_addr, rank, ranks) = match parse_args(args) {
+        Some(t) => t,
+        None => {
+            eprintln!("usage: swbfs-rankd <ctrl-addr> <rank> <num-ranks>");
+            return 2;
+        }
+    };
+    match Rankd::handshake(ctrl_addr, rank, ranks).and_then(Rankd::run) {
+        Ok(code) => code,
+        Err(Violation(why)) => {
+            eprintln!("swbfs-rankd[{rank}]: protocol violation: {why}");
+            43
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Option<(Addr, usize, usize)> {
+    if args.len() != 3 {
+        return None;
+    }
+    let addr = Addr::parse(&args[0])?;
+    let rank: usize = args[1].parse().ok()?;
+    let ranks: usize = args[2].parse().ok()?;
+    if ranks < 2 || rank >= ranks {
+        return None;
+    }
+    Some((addr, rank, ranks))
+}
+
+/// One rank endpoint: control connection up to the parent, a mesh of
+/// outgoing connections (one per peer we send to), and whatever
+/// incoming connections peers have opened toward us.
+struct Rankd {
+    rank: usize,
+    ranks: usize,
+    ctrl: Conn,
+    listener: Listener,
+    addrs: Vec<Addr>,
+    /// Outgoing mesh connection per peer (`None` only transiently,
+    /// mid-reconnect, and for `self.rank`).
+    out: Vec<Option<Conn>>,
+    /// Identified incoming connections, per source rank. A vector
+    /// because a fault realization replaces connections faster than the
+    /// old one's EOF is consumed.
+    ins: Vec<Vec<Conn>>,
+    /// Accepted but not yet identified (no `PEER` frame seen).
+    anon: Vec<Conn>,
+    phase: u32,
+    /// This phase's `XMIT` payloads, per destination.
+    xmits: Vec<Option<Frame>>,
+    xmit_count: usize,
+    /// This phase's received mesh messages: `(flags, payload)` per src.
+    msgs: Vec<Option<(u8, Vec<u8>)>>,
+    msg_count: usize,
+    sends_done: bool,
+    /// Realization tallies for the phase: short-writes, cold closes,
+    /// deferred flushes.
+    torn: u32,
+    resets: u32,
+    deferred: u32,
+    die_at: Option<u32>,
+}
+
+impl Rankd {
+    /// Steps 1–4 of the protocol; returns a daemon parked at phase 0.
+    fn handshake(ctrl_addr: Addr, rank: usize, ranks: usize) -> Result<Rankd, Violation> {
+        let deadline = Instant::now() + STEP_TIMEOUT;
+        let listener = match &ctrl_addr {
+            Addr::Unix(p) => {
+                let dir = p.parent().expect("control socket has a parent directory");
+                Listener::bind_unix(dir, &format!("mesh-{rank}.sock"))
+            }
+            Addr::Tcp(_) => Listener::bind_tcp(),
+        }
+        .map_err(|_| Violation("cannot bind mesh listener"))?;
+        let mesh_addr = listener.addr().map_err(|_| Violation("mesh listener has no address"))?;
+
+        let stream = Stream::connect(&ctrl_addr, deadline)
+            .map_err(|_| Violation("cannot reach orchestrator control socket"))?;
+        let mut ctrl = Conn::new(stream);
+        let mut hello = Frame::control(KIND_HELLO, 0, rank as u32, 0);
+        hello.payload = mesh_addr.to_string().into_bytes();
+        ctrl.queue(&hello);
+        flush_fully(&mut ctrl, deadline)?;
+
+        // Wait for the address table.
+        let table = wait_frame(&mut ctrl, deadline)?;
+        if table.kind != KIND_TABLE {
+            return Err(Violation("expected TABLE after HELLO"));
+        }
+        let text = String::from_utf8(table.payload)
+            .map_err(|_| Violation("TABLE payload is not UTF-8"))?;
+        let addrs: Vec<Addr> = text
+            .lines()
+            .map(Addr::parse)
+            .collect::<Option<_>>()
+            .ok_or(Violation("TABLE carries an unparsable address"))?;
+        if addrs.len() != ranks {
+            return Err(Violation("TABLE size disagrees with rank count"));
+        }
+
+        // Open the outgoing half of the mesh, identifying each
+        // connection with a PEER frame before anything else rides it.
+        let mut out: Vec<Option<Conn>> = (0..ranks).map(|_| None).collect();
+        for (d, slot) in out.iter_mut().enumerate() {
+            if d == rank {
+                continue;
+            }
+            let mut conn = connect_peer(&addrs[d], rank, deadline)?;
+            flush_fully(&mut conn, deadline)?;
+            *slot = Some(conn);
+        }
+
+        ctrl.queue(&Frame::control(KIND_READY, 0, rank as u32, 0));
+        flush_fully(&mut ctrl, deadline)?;
+
+        Ok(Rankd {
+            rank,
+            ranks,
+            ctrl,
+            listener,
+            addrs,
+            out,
+            ins: (0..ranks).map(|_| Vec::new()).collect(),
+            anon: Vec::new(),
+            phase: 0,
+            xmits: (0..ranks).map(|_| None).collect(),
+            xmit_count: 0,
+            msgs: (0..ranks).map(|_| None).collect(),
+            msg_count: 0,
+            sends_done: false,
+            torn: 0,
+            resets: 0,
+            deferred: 0,
+            die_at: std::env::var(DIE_AT_PHASE_ENV)
+                .ok()
+                .and_then(|s| s.parse().ok()),
+        })
+    }
+
+    /// The phase loop. Returns the process exit code.
+    fn run(mut self) -> Fate {
+        loop {
+            self.poll_once()?;
+
+            // Control plane first: XMITs in, teardown signals.
+            if let Some(code) = self.pump_ctrl()? {
+                return Ok(code);
+            }
+            self.pump_mesh_in()?;
+
+            if self.xmit_count == self.ranks - 1 && !self.sends_done {
+                if self.die_at == Some(self.phase) {
+                    // Chaos knob: die exactly here — XMITs consumed,
+                    // nothing sent — so peers wait on us and the
+                    // orchestrator must prove it notices and unwinds.
+                    std::process::exit(41);
+                }
+                self.realize_sends()?;
+                self.sends_done = true;
+            }
+
+            self.flush_all();
+
+            if self.sends_done && self.msg_count == self.ranks - 1 && self.mesh_out_drained() {
+                self.emit_phase_results();
+            }
+        }
+    }
+
+    /// One bounded wait for readiness across every file descriptor the
+    /// daemon owns.
+    fn poll_once(&mut self) -> Result<(), Violation> {
+        let mut fds = Vec::with_capacity(2 + 2 * self.ranks + self.anon.len());
+        let ev = if self.ctrl.pending_out() > 0 {
+            POLLIN | POLLOUT
+        } else {
+            POLLIN
+        };
+        fds.push(PollFd {
+            fd: self.ctrl.fd(),
+            events: ev,
+            revents: 0,
+        });
+        fds.push(PollFd {
+            fd: {
+                use std::os::unix::io::AsRawFd;
+                self.listener.as_raw_fd()
+            },
+            events: POLLIN,
+            revents: 0,
+        });
+        for conns in &self.ins {
+            for c in conns {
+                fds.push(PollFd {
+                    fd: c.fd(),
+                    events: POLLIN,
+                    revents: 0,
+                });
+            }
+        }
+        for c in &self.anon {
+            fds.push(PollFd {
+                fd: c.fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+        }
+        for conn in self.out.iter().flatten() {
+            if conn.pending_out() > 0 {
+                fds.push(PollFd {
+                    fd: conn.fd(),
+                    events: POLLOUT,
+                    revents: 0,
+                });
+            }
+        }
+        poll_fds(&mut fds, 100).map_err(|_| Violation("poll failed"))?;
+        Ok(())
+    }
+
+    /// Drains the control connection. `Some(code)` means exit.
+    fn pump_ctrl(&mut self) -> Result<Option<i32>, Violation> {
+        if self.ctrl.fill().is_err() {
+            // Parent vanished mid-read; same as EOF.
+            return Ok(Some(0));
+        }
+        loop {
+            match self.ctrl.next_frame() {
+                Ok(Some(f)) => match f.kind {
+                    KIND_XMIT => {
+                        if f.phase != self.phase {
+                            return Err(Violation("XMIT for a phase we are not in"));
+                        }
+                        let d = f.dst as usize;
+                        if d >= self.ranks || d == self.rank || self.xmits[d].is_some() {
+                            return Err(Violation("XMIT destination invalid or duplicated"));
+                        }
+                        if f.payload.len() < 2 {
+                            return Err(Violation("XMIT payload missing realization header"));
+                        }
+                        self.xmits[d] = Some(f);
+                        self.xmit_count += 1;
+                    }
+                    KIND_BYE => return Ok(Some(0)),
+                    _ => return Err(Violation("unexpected frame kind on control connection")),
+                },
+                Ok(None) => break,
+                Err(_) => return Err(Violation("malformed frame on control connection")),
+            }
+        }
+        if self.ctrl.eof {
+            return Ok(Some(0));
+        }
+        Ok(None)
+    }
+
+    /// Accepts new mesh connections, identifies them, and drains
+    /// identified ones into this phase's message slots.
+    fn pump_mesh_in(&mut self) -> Result<(), Violation> {
+        while let Ok(Some(stream)) = self.listener.accept() {
+            self.anon.push(Conn::new(stream));
+        }
+
+        // Identify: the first frame on any inbound mesh connection must
+        // be PEER{src}.
+        let mut still_anon = Vec::new();
+        for mut conn in std::mem::take(&mut self.anon) {
+            let _ = conn.fill();
+            match conn.next_frame() {
+                Ok(Some(f)) if f.kind == KIND_PEER => {
+                    let s = f.src as usize;
+                    if s >= self.ranks || s == self.rank {
+                        return Err(Violation("PEER from an impossible rank"));
+                    }
+                    self.ins[s].push(conn);
+                }
+                Ok(Some(_)) => return Err(Violation("mesh connection did not lead with PEER")),
+                Ok(None) => {
+                    if !conn.eof {
+                        still_anon.push(conn);
+                    }
+                    // An EOF before identification is a connect that a
+                    // fault realization killed instantly; forget it.
+                }
+                Err(_) => return Err(Violation("malformed frame before identification")),
+            }
+        }
+        self.anon = still_anon;
+
+        for s in 0..self.ranks {
+            let mut keep = Vec::new();
+            for mut conn in std::mem::take(&mut self.ins[s]) {
+                let _ = conn.fill();
+                loop {
+                    match conn.next_frame() {
+                        Ok(Some(f)) if f.kind == KIND_MSG => {
+                            if f.phase != self.phase || f.src as usize != s {
+                                return Err(Violation("MSG with wrong phase or source"));
+                            }
+                            if self.msgs[s].is_some() {
+                                return Err(Violation("duplicate MSG for one phase"));
+                            }
+                            self.msgs[s] = Some((f.flags, f.payload));
+                            self.msg_count += 1;
+                        }
+                        Ok(Some(_)) => return Err(Violation("unexpected frame kind on mesh")),
+                        Ok(None) => break,
+                        Err(_) => return Err(Violation("malformed frame on mesh connection")),
+                    }
+                }
+                if conn.eof {
+                    // A fault realization closed this connection. Torn
+                    // final frames stay buffered in the decoder and are
+                    // discarded with it — partial frames never surface
+                    // as records (`Conn::finish` classifies, if anyone
+                    // asks). The deterministic tally is the sender's.
+                    let _ = conn.finish();
+                } else {
+                    keep.push(conn);
+                }
+            }
+            self.ins[s] = keep;
+        }
+        Ok(())
+    }
+
+    /// Performs this phase's sends, physically realizing each
+    /// fault code the orchestrator scheduled, deferred flushes last.
+    fn realize_sends(&mut self) -> Result<(), Violation> {
+        let deadline = Instant::now() + STEP_TIMEOUT;
+        let mut late: Vec<(usize, Frame)> = Vec::new();
+        for d in 0..self.ranks {
+            if d == self.rank {
+                continue;
+            }
+            let xmit = self.xmits[d].take().ok_or(Violation("phase advanced without XMIT"))?;
+            self.xmit_count -= 1;
+            let payload = xmit.payload;
+            let n_pre = payload[0] as usize;
+            if payload.len() < 2 + n_pre {
+                return Err(Violation("XMIT realization header overruns payload"));
+            }
+            let codes = payload[1..1 + n_pre].to_vec();
+            let defer = payload[1 + n_pre] != 0;
+            let mut msg = Frame::control(KIND_MSG, self.phase, self.rank as u32, d as u32);
+            msg.flags = xmit.flags;
+            msg.payload = payload[2 + n_pre..].to_vec();
+
+            for code in codes {
+                let mut conn = self.out[d].take().ok_or(Violation("mesh connection missing"))?;
+                // Realize on a quiesced connection so the failure we
+                // fabricate is exactly the scheduled one.
+                flush_fully(&mut conn, deadline)?;
+                match code {
+                    CODE_DROP => {
+                        // The message never happened: the receiver
+                        // finds a bare EOF on a frame boundary.
+                        conn.shutdown();
+                        self.resets += 1;
+                    }
+                    CODE_TRUNCATE => {
+                        // A genuine short write: a strict prefix of the
+                        // frame reaches the kernel, then the stream
+                        // dies under the receiver's decoder.
+                        let total = msg.wire_len();
+                        let k = (total / 3).max(1).min(total - 1);
+                        conn.write_prefix_and_shutdown(&msg, k, deadline);
+                        self.torn += 1;
+                    }
+                    _ => return Err(Violation("unknown fault realization code")),
+                }
+                self.out[d] = Some(connect_peer(&self.addrs[d], self.rank, deadline)?);
+            }
+
+            if defer {
+                self.deferred += 1;
+                late.push((d, msg));
+            } else if let Some(conn) = self.out[d].as_mut() {
+                conn.queue(&msg);
+            }
+        }
+        for (d, msg) in late {
+            if let Some(conn) = self.out[d].as_mut() {
+                conn.queue(&msg);
+            }
+        }
+        Ok(())
+    }
+
+    /// Best-effort flush of every writable connection. A dead mesh peer
+    /// is not our error to report — the orchestrator notices the death
+    /// on its control plane and tears everyone down; we just stop
+    /// trying to write to the corpse.
+    fn flush_all(&mut self) {
+        for conn in self.out.iter_mut().flatten() {
+            if conn.flush().is_err() {
+                conn.forget_pending();
+            }
+        }
+        if self.ctrl.flush().is_err() {
+            // Parent gone; the next pump_ctrl sees EOF and exits.
+            self.ctrl.eof = true;
+        }
+    }
+
+    fn mesh_out_drained(&self) -> bool {
+        self.out
+            .iter()
+            .flatten()
+            .all(|c| c.pending_out() == 0)
+    }
+
+    /// Phase complete: stream the inbox back (ascending source order —
+    /// the canonical arrival order of this fabric), then the
+    /// realization tallies, and reset for the next phase.
+    fn emit_phase_results(&mut self) {
+        for s in 0..self.ranks {
+            if let Some((flags, payload)) = self.msgs[s].take() {
+                let mut f = Frame::control(KIND_INBOX, self.phase, s as u32, self.rank as u32);
+                f.flags = flags;
+                f.payload = payload;
+                self.ctrl.queue(&f);
+            }
+        }
+        let mut stat = Frame::control(KIND_STATX, self.phase, self.rank as u32, 0);
+        stat.payload = [
+            self.torn.to_le_bytes(),
+            self.resets.to_le_bytes(),
+            self.deferred.to_le_bytes(),
+        ]
+        .concat();
+        self.ctrl.queue(&stat);
+
+        self.msg_count = 0;
+        self.sends_done = false;
+        self.torn = 0;
+        self.resets = 0;
+        self.deferred = 0;
+        self.phase += 1;
+    }
+}
+
+/// Opens one outgoing mesh connection and queues its identifying
+/// `PEER` frame.
+fn connect_peer(addr: &Addr, rank: usize, deadline: Instant) -> Result<Conn, Violation> {
+    let stream = Stream::connect(addr, deadline)
+        .map_err(|_| Violation("cannot (re)connect to mesh peer"))?;
+    let mut conn = Conn::new(stream);
+    conn.queue(&Frame::control(KIND_PEER, 0, rank as u32, 0));
+    Ok(conn)
+}
+
+/// Flushes until the out-queue is empty, sleeping through `WouldBlock`,
+/// bounded by `deadline`.
+fn flush_fully(conn: &mut Conn, deadline: Instant) -> Result<(), Violation> {
+    while conn.pending_out() > 0 {
+        if conn.flush().is_err() || Instant::now() >= deadline {
+            return Err(Violation("peer unwritable during blocking flush"));
+        }
+        if conn.pending_out() > 0 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    Ok(())
+}
+
+/// Blocks (bounded) until one complete frame arrives on `conn`.
+fn wait_frame(conn: &mut Conn, deadline: Instant) -> Result<Frame, Violation> {
+    loop {
+        if let Ok(Some(f)) = conn.next_frame() {
+            return Ok(f);
+        }
+        if conn.eof || Instant::now() >= deadline {
+            return Err(Violation("connection ended while awaiting a frame"));
+        }
+        let mut fds = [PollFd {
+            fd: conn.fd(),
+            events: POLLIN,
+            revents: 0,
+        }];
+        poll_fds(&mut fds, 100).map_err(|_| Violation("poll failed"))?;
+        if conn.fill().is_err() {
+            return Err(Violation("connection broke while awaiting a frame"));
+        }
+    }
+}

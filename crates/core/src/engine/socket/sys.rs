@@ -1,0 +1,351 @@
+//! Nonblocking socket primitives for the socket fabric: `poll(2)`,
+//! address/listener/stream abstraction over Unix-domain and TCP, and
+//! the buffered [`Conn`] (frame decoder in, byte queue out) both the
+//! orchestrator and the rank daemon drive from a single-threaded poll
+//! loop.
+//!
+//! The container has no `libc` crate; `poll(2)` is declared directly
+//! (std already links the platform libc on every Unix target). Streams
+//! run nonblocking after connection setup — short reads, short writes,
+//! and `WouldBlock` are the normal case, which is exactly what the
+//! framing layer is built to absorb.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+use sw_net::framing::{Frame, FrameDecoder, FrameError};
+
+/// `struct pollfd` (see `poll(2)`).
+#[repr(C)]
+pub(crate) struct PollFd {
+    pub fd: RawFd,
+    pub events: i16,
+    pub revents: i16,
+}
+
+pub(crate) const POLLIN: i16 = 0x001;
+pub(crate) const POLLOUT: i16 = 0x004;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+}
+
+/// Waits for readiness on `fds` for up to `timeout_ms` (0 = immediate,
+/// negative = forever). `EINTR` counts as "no events", not an error.
+pub(crate) fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    // SAFETY: `fds` is a valid, exclusive slice of repr(C) pollfd
+    // structs for the duration of the call.
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(rc as usize)
+}
+
+/// A fabric endpoint address, serializable into the handshake TABLE.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Addr {
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+    /// TCP loopback address.
+    Tcp(SocketAddr),
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Addr::Unix(p) => write!(f, "unix:{}", p.display()),
+            Addr::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+impl Addr {
+    /// Parses the `Display` form back (the daemon receives addresses as
+    /// strings via argv and the TABLE frame).
+    pub fn parse(s: &str) -> Option<Addr> {
+        if let Some(p) = s.strip_prefix("unix:") {
+            return Some(Addr::Unix(PathBuf::from(p)));
+        }
+        if let Some(a) = s.strip_prefix("tcp:") {
+            return a.parse().ok().map(Addr::Tcp);
+        }
+        None
+    }
+}
+
+/// A listening socket of either family, nonblocking.
+pub(crate) enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds a Unix-domain listener at `dir/name`.
+    pub fn bind_unix(dir: &Path, name: &str) -> io::Result<Listener> {
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        let l = UnixListener::bind(&path)?;
+        l.set_nonblocking(true)?;
+        Ok(Listener::Unix(l))
+    }
+
+    /// Binds a TCP listener on an ephemeral loopback port.
+    pub fn bind_tcp() -> io::Result<Listener> {
+        let l = TcpListener::bind("127.0.0.1:0")?;
+        l.set_nonblocking(true)?;
+        Ok(Listener::Tcp(l))
+    }
+
+    /// The address peers connect to.
+    pub fn addr(&self) -> io::Result<Addr> {
+        match self {
+            Listener::Unix(l) => {
+                let sa = l.local_addr()?;
+                let p = sa
+                    .as_pathname()
+                    .ok_or_else(|| io::Error::other("unnamed unix listener"))?;
+                Ok(Addr::Unix(p.to_path_buf()))
+            }
+            Listener::Tcp(l) => Ok(Addr::Tcp(l.local_addr()?)),
+        }
+    }
+
+    /// Accepts one pending connection, if any (nonblocking).
+    pub fn accept(&self) -> io::Result<Option<Stream>> {
+        let res = match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        };
+        match res {
+            Ok(s) => {
+                s.set_nonblocking(true)?;
+                Ok(Some(s))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl AsRawFd for Listener {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Listener::Unix(l) => l.as_raw_fd(),
+            Listener::Tcp(l) => l.as_raw_fd(),
+        }
+    }
+}
+
+/// A connected stream of either family.
+pub(crate) enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Connects to `addr`, retrying briefly on refusals (a peer's
+    /// accept backlog can lag under the fault-realization reconnect
+    /// storm), then switches to nonblocking.
+    pub fn connect(addr: &Addr, deadline: Instant) -> io::Result<Stream> {
+        loop {
+            let res = match addr {
+                Addr::Unix(p) => UnixStream::connect(p).map(Stream::Unix),
+                Addr::Tcp(a) => TcpStream::connect(a).map(Stream::Tcp),
+            };
+            match res {
+                Ok(s) => {
+                    s.set_nonblocking(true)?;
+                    return Ok(s);
+                }
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_nonblocking(nb),
+            Stream::Tcp(s) => s.set_nonblocking(nb),
+        }
+    }
+
+    /// Half-closes the write side then fully shuts the stream down —
+    /// the receiver sees any bytes already written, then EOF.
+    pub fn shutdown(&self) {
+        let _ = match self {
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+
+    fn read_nb(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+
+    fn write_nb(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+}
+
+impl AsRawFd for Stream {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Stream::Unix(s) => s.as_raw_fd(),
+            Stream::Tcp(s) => s.as_raw_fd(),
+        }
+    }
+}
+
+/// A buffered framed connection: incremental [`FrameDecoder`] on the
+/// read side, a byte queue drained by `WouldBlock`-aware writes on the
+/// write side. One poll-loop thread services any number of these.
+pub(crate) struct Conn {
+    stream: Stream,
+    dec: FrameDecoder,
+    outq: Vec<u8>,
+    sent: usize,
+    /// The peer closed its write side (all buffered bytes already
+    /// consumed by `fill`).
+    pub eof: bool,
+}
+
+impl Conn {
+    pub fn new(stream: Stream) -> Self {
+        Self {
+            stream,
+            dec: FrameDecoder::new(),
+            outq: Vec::new(),
+            sent: 0,
+            eof: false,
+        }
+    }
+
+    pub fn fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+
+    /// Queues a frame for transmission (no I/O yet).
+    pub fn queue(&mut self, frame: &Frame) {
+        if self.sent > 0 && self.sent == self.outq.len() {
+            self.outq.clear();
+            self.sent = 0;
+        }
+        frame.encode_into(&mut self.outq);
+    }
+
+    /// Unsent bytes still queued.
+    pub fn pending_out(&self) -> usize {
+        self.outq.len() - self.sent
+    }
+
+    /// Writes queued bytes until drained or `WouldBlock`. Hard write
+    /// errors (EPIPE/ECONNRESET — the peer is gone) surface as `Err`.
+    pub fn flush(&mut self) -> io::Result<()> {
+        while self.sent < self.outq.len() {
+            match self.stream.write_nb(&self.outq[self.sent..]) {
+                Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "zero write")),
+                Ok(n) => self.sent += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.sent == self.outq.len() {
+            self.outq.clear();
+            self.sent = 0;
+        } else if self.sent >= 1 << 20 {
+            self.outq.drain(..self.sent);
+            self.sent = 0;
+        }
+        Ok(())
+    }
+
+    /// Discards everything still queued — used when the peer is known
+    /// dead and further writes would only error again.
+    pub fn forget_pending(&mut self) {
+        self.outq.clear();
+        self.sent = 0;
+    }
+
+    /// Reads until `WouldBlock` or EOF, feeding the frame decoder.
+    pub fn fill(&mut self) -> io::Result<()> {
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match self.stream.read_nb(&mut buf) {
+                Ok(0) => {
+                    self.eof = true;
+                    return Ok(());
+                }
+                Ok(n) => self.dec.extend(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Next complete frame already buffered, if any.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        self.dec.next_frame()
+    }
+
+    /// EOF verdict for the decoder: `Ok` on a frame boundary,
+    /// `Truncated` for a torn final frame.
+    pub fn finish(&self) -> Result<(), FrameError> {
+        self.dec.finish()
+    }
+
+    /// Writes the first `prefix` raw bytes of `frame` (spin-waiting
+    /// through `WouldBlock` until `deadline`), then shuts the stream
+    /// down — the physical realization of a truncation fault: the peer
+    /// reads a torn frame, then EOF. Returns how many bytes actually
+    /// made it out.
+    pub fn write_prefix_and_shutdown(
+        &mut self,
+        frame: &Frame,
+        prefix: usize,
+        deadline: Instant,
+    ) -> usize {
+        let bytes = frame.encode();
+        let k = prefix.min(bytes.len());
+        let mut done = 0;
+        while done < k && Instant::now() < deadline {
+            match self.stream.write_nb(&bytes[done..k]) {
+                Ok(n) => done += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        self.stream.shutdown();
+        done
+    }
+
+    /// Shuts the stream down without writing anything — the physical
+    /// realization of a drop fault: the peer sees a bare EOF (or
+    /// `ECONNRESET`) where a message was due.
+    pub fn shutdown(&self) {
+        self.stream.shutdown();
+    }
+}

@@ -39,6 +39,19 @@ use sw_trace::Tracer;
 ///   degraded re-delivery (compression disable, relay→direct fallback)
 ///   needs no re-generation. Wire stats count the successful delivery
 ///   only; fault tallies are reported on success *and* failure.
+/// * **Re-delivery without regeneration** — once the engine hands a
+///   phase's outboxes to [`Transport::exchange_faulty`], every retry,
+///   sticky degradation, and re-encode (compressed → fixed) of that
+///   phase MUST be served from buffers the transport retained — the BFS
+///   generators will not run again for the phase. This holds even for a
+///   fabric whose outboxes were already partially flushed to a real
+///   wire: bytes written to a socket are copies; the transport keeps
+///   the record batches (and re-encodes from them per variant) until
+///   the phase either delivers or fails terminally. The observable
+///   consequence, pinned by `tests/socket_teardown.rs` and the chaos
+///   suite, is that a truncate/drop-heavy survivable run reports
+///   per-level `edges_scanned`/`records_generated` identical to the
+///   fault-free oracle — generation happened exactly once per phase.
 /// * **Pool honesty** — [`ExchangeStats::pool_allocs`] /
 ///   [`ExchangeStats::pool_reused_bytes`] report real buffer-pool
 ///   behaviour. A transport without a pool reports zeroes.
@@ -60,13 +73,18 @@ pub trait Transport: Send {
     /// destination ranks. Returns per-destination inboxes (give them
     /// back via [`Transport::recycle_inboxes`]) plus the phase's wire
     /// stats.
+    ///
+    /// In-process fabrics are infallible here; a fabric backed by real
+    /// OS resources (the socket transport) surfaces peer death or wire
+    /// corruption as a structured [`ExchangeError`] even with no fault
+    /// plan armed — never a hang, never a panic.
     fn exchange(
         &mut self,
         mode: Messaging,
         out: Vec<Outboxes>,
         layout: &GroupLayout,
         codec: Codec,
-    ) -> (Vec<Vec<EdgeRec>>, ExchangeStats);
+    ) -> Result<(Vec<Vec<EdgeRec>>, ExchangeStats), ExchangeError>;
 
     /// [`Transport::exchange`] under an armed fault session: the phase's
     /// deterministic injection/retry schedule is replayed first, sticky

@@ -135,6 +135,46 @@ pub(crate) fn msgs_for(payload: u64) -> u64 {
     1 + payload / MAX_BATCH_BYTES
 }
 
+/// Per-source wire accounting of one point-to-point phase: the
+/// Direct-mode arithmetic (payload + per-batch headers, termination
+/// indicators included), summed over sources with the per-rank maxima
+/// the `max_*` counters track. Shared by every fabric whose physical
+/// mesh is point-to-point regardless of the configured [`Messaging`]
+/// mode — the channel transport and the socket transport — which is
+/// what pins their `exchange.*` counter *values* equal on identical
+/// traffic.
+pub(crate) fn direct_wire_stats(
+    boxes: &[Vec<Vec<EdgeRec>>],
+    layout: &GroupLayout,
+    codec: Codec,
+) -> ExchangeStats {
+    let mut stats = ExchangeStats::default();
+    for (s, bs) in boxes.iter().enumerate() {
+        let mut send_msgs = 0u64;
+        let mut send_bytes = 0u64;
+        for (d, recs) in bs.iter().enumerate() {
+            if d == s {
+                debug_assert!(recs.is_empty(), "self-addressed records");
+                continue;
+            }
+            let payload = codec.payload_bytes(recs);
+            let msgs = msgs_for(payload);
+            let bytes = payload + msgs * MSG_HEADER_BYTES;
+            send_msgs += msgs;
+            send_bytes += bytes;
+            stats.record_hops += recs.len() as u64;
+            if layout.group_of(s as u32) != layout.group_of(d as u32) {
+                stats.inter_group_bytes += bytes;
+            }
+        }
+        stats.messages += send_msgs;
+        stats.bytes += send_bytes;
+        stats.max_send_msgs_per_rank = stats.max_send_msgs_per_rank.max(send_msgs);
+        stats.max_send_bytes_per_rank = stats.max_send_bytes_per_rank.max(send_bytes);
+    }
+    stats
+}
+
 /// Converts a nested per-destination outbox matrix into flat outboxes
 /// (destinations ascending, push order preserved within a destination —
 /// the order every inbox guarantee is stated in).

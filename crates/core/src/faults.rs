@@ -407,6 +407,15 @@ impl FaultSession {
         self.phase
     }
 
+    /// Current delivery variant within the open phase (bumps on each
+    /// sticky degradation). Transports that physically realize the
+    /// schedule replay [`FaultPlan::attempt_fault`] under this variant
+    /// to reconstruct exactly the fault sequence the verdict pass
+    /// charged.
+    pub(crate) fn variant(&self) -> u32 {
+        self.variant
+    }
+
     /// Every fault injected so far, in injection order.
     pub fn trace(&self) -> &[InjectionEvent] {
         &self.trace

@@ -60,6 +60,28 @@ pub fn decode_batch(mut buf: Bytes) -> Vec<EdgeRec> {
         .collect()
 }
 
+/// Checked [`decode_batch`] over a borrowed slice, for payloads that
+/// arrived over a real socket: malformed framing is a static
+/// description (mapped by the transport to `ExchangeError::Protocol`),
+/// never a panic and never a partial batch.
+pub fn try_decode_batch(buf: &[u8]) -> Result<Vec<EdgeRec>, &'static str> {
+    if buf.len() < 8 {
+        return Err("record frame shorter than its count header");
+    }
+    let n = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")) as usize;
+    let body = &buf[8..];
+    if body.len() != n.checked_mul(EdgeRec::WIRE_BYTES).ok_or("record count overflows")? {
+        return Err("record frame length disagrees with its count");
+    }
+    Ok(body
+        .chunks_exact(EdgeRec::WIRE_BYTES)
+        .map(|c| EdgeRec {
+            u: u64::from_le_bytes(c[0..8].try_into().expect("8 bytes")),
+            v: u64::from_le_bytes(c[8..16].try_into().expect("8 bytes")),
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +110,19 @@ mod tests {
         b.put_u64_le(5);
         b.put_u64_le(1);
         decode_batch(b.freeze());
+    }
+
+    #[test]
+    fn checked_decode_matches_and_rejects() {
+        let recs = vec![EdgeRec { u: 3, v: 9 }, EdgeRec { u: 0, v: u64::MAX }];
+        let bytes = encode_batch(&recs);
+        assert_eq!(try_decode_batch(&bytes).unwrap(), recs);
+        assert!(try_decode_batch(&bytes[..bytes.len() - 1]).is_err());
+        assert!(try_decode_batch(&bytes[..4]).is_err());
+        let mut grown = bytes.to_vec();
+        grown.push(0);
+        assert!(try_decode_batch(&grown).is_err());
+        assert_eq!(try_decode_batch(&encode_batch(&[])).unwrap(), Vec::new());
     }
 
     #[test]

@@ -18,9 +18,14 @@
 //!   cluster must remain usable afterwards.
 
 use swbfs_core::config::{BfsConfig, Messaging};
+use swbfs_core::engine::{ClusterBuilder, SocketTransport};
 use swbfs_core::threaded::ThreadedCluster;
 use swbfs_core::{ExchangeError, ExecError, FaultPlan};
 use sw_graph::{generate_kronecker, EdgeList, KroneckerConfig};
+
+fn socket_unix() -> SocketTransport {
+    SocketTransport::unix().with_rankd(env!("CARGO_BIN_EXE_swbfs-rankd"))
+}
 
 fn splitmix(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -187,6 +192,82 @@ fn unsurvivable_schedules_fail_with_structured_errors() {
     // After every failure the cluster recovers once disarmed.
     cluster.set_fault_plan(None);
     assert_eq!(cluster.run(root).unwrap(), oracle);
+}
+
+/// Socket chaos: randomized survivable schedules where the faults are
+/// *physically realized* — every scheduled drop closes a real
+/// connection, every truncation short-writes a real frame prefix —
+/// and the output must still be bit-identical to the in-process
+/// shared-memory oracle, full `BfsOutput` equality. The incident
+/// counters prove the wire actually suffered.
+#[test]
+fn socket_survivable_schedules_are_bit_identical_to_the_oracle() {
+    let el = scale14();
+    let mut state = 0x50CE_7CA5u64;
+    for compress in [false, true] {
+        let mut cfg = BfsConfig::threaded_small(4).with_messaging(Messaging::Direct);
+        if compress {
+            cfg = cfg.with_compression();
+        }
+        let root = splitmix(&mut state) % el.num_vertices;
+        let oracle = ThreadedCluster::new(&el, 8, cfg).unwrap().run(root).unwrap();
+        let mut engine = ClusterBuilder::new(&el, 8, cfg)
+            .transport(socket_unix())
+            .build()
+            .unwrap();
+        assert_eq!(engine.run(root).unwrap(), oracle, "fault-free socket run diverges");
+        let mut realized = 0u64;
+        for round in 0..4 {
+            let plan = random_survivable_plan(&mut state);
+            engine.set_fault_plan(Some(plan.clone()));
+            let chaotic = engine.run(root).unwrap();
+            assert_eq!(
+                chaotic, oracle,
+                "socket chaos diverged: compress {compress} round {round} plan {plan:?}"
+            );
+            let (_, _, degraded) = engine.fault_counters();
+            assert_eq!(degraded, 0, "survivable schedules must not degrade");
+            realized += engine.transport().wire_incidents().total();
+            engine.set_fault_plan(None);
+        }
+        assert!(
+            realized > 0,
+            "four lossy schedules realized nothing on the wire (compress {compress})"
+        );
+        let inc = engine.transport().wire_incidents();
+        assert!(
+            inc.torn_frames + inc.resets > 0,
+            "no physical short-write or disconnect was realized"
+        );
+    }
+}
+
+/// Socket chaos failures replay identically: the same unsurvivable
+/// plan on two fresh fabrics produces the same structured error and
+/// the same injection trace — process boundaries don't cost
+/// reproducibility.
+#[test]
+fn socket_failing_runs_replay_identically() {
+    let el = scale14();
+    let cfg = BfsConfig::threaded_small(4).with_messaging(Messaging::Direct);
+    let plan = FaultPlan::quiet(47).with_dead_link(0, 3);
+    let run = |plan: FaultPlan| {
+        let mut engine = ClusterBuilder::new(&el, 8, cfg)
+            .transport(socket_unix())
+            .fault_plan(plan)
+            .build()
+            .unwrap();
+        let err = engine.run(5).unwrap_err();
+        (format!("{err}"), engine.injection_trace().to_vec())
+    };
+    let (ea, ta) = run(plan.clone());
+    let (eb, tb) = run(plan);
+    assert_eq!(ea, eb);
+    assert_eq!(ta, tb);
+    match ea {
+        ref s if s.contains("0->3") => {}
+        other => panic!("expected the dead link in the error, got {other}"),
+    }
 }
 
 /// The injection trace of a failing run pins down the culprit: replay

@@ -20,9 +20,22 @@
 //!    recur).
 
 use swbfs_core::baseline::sequential_bfs_levels;
-use swbfs_core::engine::{Channels, ClusterBuilder, SharedMem, SuperstepEngine, Transport};
+use swbfs_core::engine::{
+    Channels, ClusterBuilder, SharedMem, SocketTransport, SuperstepEngine, Transport,
+};
 use swbfs_core::{BfsConfig, FaultPlan, Messaging};
 use sw_graph::{generate_kronecker, EdgeList, KroneckerConfig, Vid};
+
+/// The socket fabric over Unix-domain sockets, pinned to the rank
+/// daemon Cargo built alongside this test binary.
+fn socket_unix() -> SocketTransport {
+    SocketTransport::unix().with_rankd(env!("CARGO_BIN_EXE_swbfs-rankd"))
+}
+
+/// The same fabric over TCP loopback.
+fn socket_tcp() -> SocketTransport {
+    SocketTransport::tcp().with_rankd(env!("CARGO_BIN_EXE_swbfs-rankd"))
+}
 
 fn graph(scale: u32, seed: u64) -> EdgeList {
     generate_kronecker(&KroneckerConfig::graph500(scale, seed))
@@ -222,6 +235,48 @@ fn channels_exposes_the_complete_surface() {
     check_complete_surface(Channels::new);
 }
 
+// ---- the socket fabric: real processes, real sockets, same battery ----
+
+#[test]
+fn socket_unix_matches_the_sequential_oracle_at_scale_14() {
+    check_oracle_parity(socket_unix);
+}
+
+#[test]
+fn socket_tcp_matches_the_sequential_oracle_at_scale_14() {
+    check_oracle_parity(socket_tcp);
+}
+
+#[test]
+fn socket_unix_reports_the_canonical_counter_keys() {
+    check_canonical_counters(socket_unix);
+}
+
+#[test]
+fn socket_tcp_reports_the_canonical_counter_keys() {
+    check_canonical_counters(socket_tcp);
+}
+
+#[test]
+fn socket_unix_replays_fault_plans_deterministically() {
+    check_fault_determinism(socket_unix);
+}
+
+#[test]
+fn socket_tcp_replays_fault_plans_deterministically() {
+    check_fault_determinism(socket_tcp);
+}
+
+#[test]
+fn socket_unix_exposes_the_complete_surface() {
+    check_complete_surface(socket_unix);
+}
+
+#[test]
+fn socket_tcp_exposes_the_complete_surface() {
+    check_complete_surface(socket_tcp);
+}
+
 /// Cross-transport parity on identical traffic: identical parent maps
 /// and identical `exchange.*`/`faults.*` counter values (Direct mode,
 /// fixed framing — the traffic both fabrics describe identically).
@@ -231,16 +286,51 @@ fn transports_agree_with_each_other_on_identical_traffic() {
     let cfg = BfsConfig::threaded_small(3).with_messaging(Messaging::Direct);
     let mut shm = build(&el, 6, cfg, SharedMem::new);
     let mut chn = build(&el, 6, cfg, Channels::new);
+    let mut sock = build(&el, 6, cfg, socket_unix);
     let root = good_root(&shm);
     let a = shm.run(root).unwrap();
     let b = chn.run(root).unwrap();
+    let c = sock.run(root).unwrap();
     assert_eq!(a.parents, b.parents);
+    assert_eq!(a.parents, c.parents);
     assert_eq!(a.levels, b.levels, "engine-owned level stats must agree");
+    assert_eq!(a.levels, c.levels, "socket level stats must agree");
     for section in ["exchange.", "faults."] {
         assert_eq!(
             shm.metrics().section(section),
             chn.metrics().section(section),
             "{section}* values diverge between transports"
         );
+        assert_eq!(
+            shm.metrics().section(section),
+            sock.metrics().section(section),
+            "{section}* values diverge between shared-mem and socket"
+        );
     }
+}
+
+/// Fault-free scale-14 counter snapshot parity: the socket fabric must
+/// report bit-identical `exchange.*`/`faults.*` counters to the
+/// shared-memory oracle on Direct traffic — the wire arithmetic is
+/// shared, and a real kernel in the middle must not perturb it (this is
+/// what keeps the perf-regression bands transport-independent).
+#[test]
+fn socket_scale_14_counter_snapshot_matches_shared_mem() {
+    let el = graph(14, 21);
+    let cfg = BfsConfig::threaded_small(4).with_messaging(Messaging::Direct);
+    let mut shm = build(&el, 8, cfg, SharedMem::new);
+    let mut sock = build(&el, 8, cfg, socket_unix);
+    let root = good_root(&shm);
+    let a = shm.run(root).unwrap();
+    let b = sock.run(root).unwrap();
+    assert_eq!(a, b, "scale-14 outputs diverge between fabrics");
+    for section in ["exchange.", "faults."] {
+        assert_eq!(
+            shm.metrics().section(section),
+            sock.metrics().section(section),
+            "{section}* snapshot diverges at scale 14"
+        );
+    }
+    // A fault-free run realizes nothing physically.
+    assert_eq!(sock.transport().wire_incidents().total(), 0);
 }

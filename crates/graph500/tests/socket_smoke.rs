@@ -1,0 +1,56 @@
+//! Graph500 smoke run over the socket fabric: the benchmark's per-root
+//! loop driving a multi-process `SocketTransport` engine, with every
+//! parent tree put through the benchmark validator.
+//!
+//! The rank daemon is discovered at runtime ([`SocketTransport::
+//! resolve_rankd`]); when the binary was never built the test skips
+//! rather than fails, so `cargo test -p sw-graph500` alone stays green.
+
+#![cfg(unix)]
+
+use sw_graph500::harness::{build_instance, drive_roots, RootAssessment};
+use sw_graph500::{validate_bfs, Graph500Spec};
+use swbfs_core::config::BfsConfig;
+use swbfs_core::engine::{ClusterBuilder, SocketTransport};
+
+#[test]
+fn graph500_kernel_runs_over_the_socket_fabric() {
+    let probe = SocketTransport::unix();
+    let Some(rankd) = probe.resolve_rankd() else {
+        eprintln!(
+            "skipping: swbfs-rankd not found — \
+             `cargo build -p swbfs-core --bin swbfs-rankd` or set SWBFS_RANKD"
+        );
+        return;
+    };
+
+    let spec = Graph500Spec::quick(12, 7, 4);
+    let (el, roots) = build_instance(&spec, 0);
+    assert!(!roots.is_empty(), "scale-12 instance must yield roots");
+
+    let cfg = BfsConfig::threaded_small(4);
+    let mut cluster = ClusterBuilder::new(&el, 8, cfg)
+        .transport(SocketTransport::unix().with_rankd(rankd))
+        .build()
+        .unwrap();
+
+    let (runs, stats) = drive_roots(
+        &roots,
+        |_, root| cluster.run(root).map_err(|e| format!("kernel: {e}")),
+        |_, root, out| {
+            let traversed =
+                validate_bfs(&el, &out).map_err(|e| format!("root {root} invalid: {e:?}"))?;
+            Ok(RootAssessment {
+                traversed_edges: traversed,
+                reached: out.reached(),
+                depth: out.depth(),
+            })
+        },
+        |m| m,
+    )
+    .unwrap();
+
+    assert_eq!(runs.len(), roots.len());
+    assert!(stats.harmonic_mean > 0.0, "TEPS must be positive");
+    assert!(runs.iter().all(|r| r.traversed_edges > 0 && r.depth >= 1));
+}

@@ -1,0 +1,320 @@
+//! Length-prefixed framing for the socket fabric.
+//!
+//! Every byte that crosses a kernel boundary in the socket transport is
+//! part of a [`Frame`]: a fixed 22-byte little-endian header followed by
+//! an opaque payload. The framing layer is deliberately pure — it maps
+//! between frames and byte slices and never touches an fd — so it can be
+//! property-tested exhaustively (`tests/framing_proptest.rs`: split
+//! reads at every byte boundary, torn final frames, arbitrary noise)
+//! without any I/O in the loop.
+//!
+//! Header layout (all fields little-endian):
+//!
+//! | offset | size | field                                     |
+//! |--------|------|-------------------------------------------|
+//! | 0      | 4    | magic `0x5357_4652` (`"SWFR"`)            |
+//! | 4      | 1    | kind (transport-defined discriminant)     |
+//! | 5      | 1    | flags (bit 0 = compressed payload)        |
+//! | 6      | 4    | phase (exchange sequence number)          |
+//! | 10     | 4    | src rank                                  |
+//! | 14     | 4    | dst rank                                  |
+//! | 18     | 4    | payload length                            |
+//!
+//! A stream is a plain concatenation of frames. The decoder is
+//! incremental: feed it whatever the socket produced (any split, any
+//! coalescing) and it yields exactly the frames whose bytes are
+//! complete. A stream that *ends* mid-frame is a torn frame — a
+//! structured [`FrameError::Truncated`], never a panic and never a
+//! partial frame delivered.
+
+/// Frame magic: `"SWFR"` little-endian.
+pub const FRAME_MAGIC: u32 = 0x5357_4652;
+
+/// Header bytes preceding every payload.
+pub const FRAME_HEADER_BYTES: usize = 22;
+
+/// Largest payload the decoder accepts; bigger length fields are
+/// treated as corruption ([`FrameError::Oversize`]), bounding the
+/// memory a hostile or scrambled stream can make the decoder commit.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 26;
+
+/// Flag bit 0: the payload is delta+varint compressed.
+pub const FLAG_COMPRESSED: u8 = 1;
+
+/// One framed message of the socket fabric.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Discriminant of the message (handshake, records, stats, …) —
+    /// the framing layer carries it opaquely.
+    pub kind: u8,
+    /// Bit flags ([`FLAG_COMPRESSED`]).
+    pub flags: u8,
+    /// Exchange sequence number the frame belongs to.
+    pub phase: u32,
+    /// Sending rank.
+    pub src: u32,
+    /// Destination rank.
+    pub dst: u32,
+    /// Opaque payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A payload-less frame (handshake/control messages).
+    pub fn control(kind: u8, phase: u32, src: u32, dst: u32) -> Self {
+        Self {
+            kind,
+            flags: 0,
+            phase,
+            src,
+            dst,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Total wire bytes of the encoded frame.
+    pub fn wire_len(&self) -> usize {
+        FRAME_HEADER_BYTES + self.payload.len()
+    }
+
+    /// Serializes the frame onto `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.reserve(self.wire_len());
+        buf.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        buf.push(self.kind);
+        buf.push(self.flags);
+        buf.extend_from_slice(&self.phase.to_le_bytes());
+        buf.extend_from_slice(&self.src.to_le_bytes());
+        buf.extend_from_slice(&self.dst.to_le_bytes());
+        buf.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.payload);
+    }
+
+    /// Serializes the frame into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut buf);
+        buf
+    }
+}
+
+/// Why a byte stream failed to parse as frames.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The next four bytes are not [`FRAME_MAGIC`] — the stream lost
+    /// frame alignment (or never had it).
+    BadMagic {
+        /// The bytes found where the magic belonged.
+        found: u32,
+    },
+    /// The header announces a payload larger than
+    /// [`MAX_FRAME_PAYLOAD`].
+    Oversize {
+        /// Announced payload length.
+        len: u64,
+    },
+    /// The stream ended mid-frame: a torn final frame (short write /
+    /// dropped connection on the sender side).
+    Truncated {
+        /// Bytes of the unfinished frame that did arrive.
+        have: usize,
+        /// Bytes the frame needed (header + announced payload); zero
+        /// when even the header is incomplete.
+        need: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic { found } => {
+                write!(f, "bad frame magic {found:#010x} (stream out of alignment)")
+            }
+            FrameError::Oversize { len } => {
+                write!(f, "frame payload of {len} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte cap")
+            }
+            FrameError::Truncated { have, need } => {
+                write!(f, "torn frame: {have} of {need} bytes before end of stream")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Incremental frame parser over an arbitrarily-split byte stream.
+///
+/// Feed socket reads in via [`FrameDecoder::extend`], drain complete
+/// frames via [`FrameDecoder::next_frame`], and on EOF call
+/// [`FrameDecoder::finish`] to turn any buffered partial frame into a
+/// structured [`FrameError::Truncated`].
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted opportunistically.
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw stream bytes (any split the socket produced).
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing so a long-lived connection doesn't
+        // accrete its whole history.
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as complete frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Parses the next complete frame, if its bytes have all arrived.
+    ///
+    /// `Ok(None)` means "need more bytes" — a partial frame is held
+    /// back in its entirety, never delivered piecemeal. Errors are
+    /// sticky corruption verdicts; the connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < FRAME_HEADER_BYTES {
+            return Ok(None);
+        }
+        let magic = u32::from_le_bytes(avail[0..4].try_into().expect("4 bytes"));
+        if magic != FRAME_MAGIC {
+            return Err(FrameError::BadMagic { found: magic });
+        }
+        let len = u32::from_le_bytes(avail[18..22].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(FrameError::Oversize { len: len as u64 });
+        }
+        if avail.len() < FRAME_HEADER_BYTES + len {
+            return Ok(None);
+        }
+        let frame = Frame {
+            kind: avail[4],
+            flags: avail[5],
+            phase: u32::from_le_bytes(avail[6..10].try_into().expect("4 bytes")),
+            src: u32::from_le_bytes(avail[10..14].try_into().expect("4 bytes")),
+            dst: u32::from_le_bytes(avail[14..18].try_into().expect("4 bytes")),
+            payload: avail[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len].to_vec(),
+        };
+        self.pos += FRAME_HEADER_BYTES + len;
+        Ok(Some(frame))
+    }
+
+    /// EOF check: a cleanly-closed stream ends exactly on a frame
+    /// boundary; anything buffered past the last complete frame is a
+    /// torn final frame.
+    pub fn finish(&self) -> Result<(), FrameError> {
+        let have = self.pending();
+        if have == 0 {
+            return Ok(());
+        }
+        let avail = &self.buf[self.pos..];
+        let need = if avail.len() >= FRAME_HEADER_BYTES {
+            let len = u32::from_le_bytes(avail[18..22].try_into().expect("4 bytes")) as usize;
+            FRAME_HEADER_BYTES + len
+        } else {
+            0
+        };
+        Err(FrameError::Truncated { have, need })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: u8, n: usize) -> Frame {
+        Frame {
+            kind,
+            flags: FLAG_COMPRESSED,
+            phase: 7,
+            src: 1,
+            dst: 2,
+            payload: (0..n).map(|i| i as u8).collect(),
+        }
+    }
+
+    #[test]
+    fn round_trip_single() {
+        let f = sample(5, 33);
+        let mut d = FrameDecoder::new();
+        d.extend(&f.encode());
+        assert_eq!(d.next_frame().unwrap(), Some(f));
+        assert_eq!(d.next_frame().unwrap(), None);
+        assert!(d.finish().is_ok());
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery() {
+        let frames = [sample(1, 0), sample(2, 5), sample(3, 100)];
+        let mut wire = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut wire);
+        }
+        let mut d = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            d.extend(std::slice::from_ref(b));
+            while let Some(f) = d.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert!(d.finish().is_ok());
+    }
+
+    #[test]
+    fn torn_final_frame_is_structured() {
+        let f = sample(6, 64);
+        let wire = f.encode();
+        let mut d = FrameDecoder::new();
+        d.extend(&wire[..wire.len() - 1]);
+        assert_eq!(d.next_frame().unwrap(), None);
+        match d.finish() {
+            Err(FrameError::Truncated { have, need }) => {
+                assert_eq!(have, wire.len() - 1);
+                assert_eq!(need, wire.len());
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        let mut wire = sample(1, 4).encode();
+        wire[0] ^= 0xFF;
+        let mut d = FrameDecoder::new();
+        d.extend(&wire);
+        assert!(matches!(d.next_frame(), Err(FrameError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn oversize_is_an_error_not_an_allocation() {
+        let mut wire = sample(1, 0).encode();
+        wire[18..22].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut d = FrameDecoder::new();
+        d.extend(&wire);
+        assert!(matches!(d.next_frame(), Err(FrameError::Oversize { .. })));
+    }
+
+    #[test]
+    fn compaction_keeps_pending_bytes() {
+        let mut d = FrameDecoder::new();
+        for i in 0..1000 {
+            d.extend(&sample((i % 250) as u8, 200).encode());
+            assert!(d.next_frame().unwrap().is_some());
+        }
+        assert_eq!(d.pending(), 0);
+        assert!(d.finish().is_ok());
+    }
+}

@@ -28,12 +28,16 @@
 //!   traffic (bytes, message counts, intra/inter split), returns simulated
 //!   phase time under injection, ejection, central-switch and per-message
 //!   limits.
+//! * [`framing`] — length-prefixed frame codec for the real socket
+//!   fabric (`swbfs-core`'s `SocketTransport`): pure byte-level
+//!   encode/decode with torn-frame detection, no I/O.
 
 pub mod cost;
 pub mod endpoint;
 pub mod eventsim;
 pub mod error;
 pub mod faults;
+pub mod framing;
 pub mod group;
 pub mod placement;
 pub mod routing;
@@ -47,6 +51,7 @@ pub use eventsim::{
 };
 pub use error::NetError;
 pub use faults::NetFaults;
+pub use framing::{Frame, FrameDecoder, FrameError};
 pub use group::GroupLayout;
 pub use placement::Placement;
 pub use routing::{classify, PathClass};

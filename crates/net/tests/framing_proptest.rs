@@ -1,0 +1,200 @@
+//! Property tests for the socket-fabric framing layer: arbitrary record
+//! batches must round-trip through the length-prefixed codec under any
+//! read splitting, torn final frames must surface as structured errors
+//! (which the transport maps to `ExchangeError::Protocol`), and no
+//! input — aligned, torn, or pure noise — may panic the decoder or make
+//! it deliver a partial frame.
+
+use proptest::prelude::*;
+use sw_net::framing::{
+    Frame, FrameDecoder, FrameError, FLAG_COMPRESSED, FRAME_HEADER_BYTES, FRAME_MAGIC,
+};
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seed-driven batch of frames shaped like real exchange traffic:
+/// control frames, empty termination indicators, record payloads of
+/// assorted sizes (some "compressed"-flagged), spread over ranks and
+/// phases.
+fn frame_batch(seed: u64) -> Vec<Frame> {
+    let mut st = seed;
+    let n = 1 + (splitmix(&mut st) % 12) as usize;
+    (0..n)
+        .map(|_| {
+            let len = match splitmix(&mut st) % 4 {
+                0 => 0,
+                1 => (splitmix(&mut st) % 9) as usize,
+                2 => (splitmix(&mut st) % 300) as usize,
+                _ => (splitmix(&mut st) % 5000) as usize,
+            };
+            Frame {
+                kind: 1 + (splitmix(&mut st) % 9) as u8,
+                flags: if splitmix(&mut st) % 2 == 0 { FLAG_COMPRESSED } else { 0 },
+                phase: (splitmix(&mut st) % 1000) as u32,
+                src: (splitmix(&mut st) % 64) as u32,
+                dst: (splitmix(&mut st) % 64) as u32,
+                payload: (0..len).map(|_| splitmix(&mut st) as u8).collect(),
+            }
+        })
+        .collect()
+}
+
+fn encode_all(frames: &[Frame]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for f in frames {
+        f.encode_into(&mut wire);
+    }
+    wire
+}
+
+/// Decodes an already-fed decoder to exhaustion.
+fn drain(d: &mut FrameDecoder) -> Vec<Frame> {
+    let mut got = Vec::new();
+    while let Some(f) = d.next_frame().expect("well-formed stream") {
+        got.push(f);
+    }
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Round trip under seed-driven chunked delivery: however the wire
+    /// bytes are split into reads, the same frames come out in order
+    /// and the stream finishes clean.
+    #[test]
+    fn round_trip_survives_arbitrary_read_chunking(seed in 0u64..u64::MAX) {
+        let frames = frame_batch(seed);
+        let wire = encode_all(&frames);
+        let mut st = seed ^ 0xC0FF_EE;
+        let mut d = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut pos = 0usize;
+        while pos < wire.len() {
+            let take = 1 + (splitmix(&mut st) as usize) % 97;
+            let end = (pos + take).min(wire.len());
+            d.extend(&wire[pos..end]);
+            got.extend(drain(&mut d));
+            pos = end;
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert!(d.finish().is_ok());
+    }
+
+    /// A stream cut at *every* byte boundary: the complete prefix of
+    /// frames is delivered, no partial frame ever escapes, and a cut
+    /// that is not a frame boundary reports `Truncated` on EOF.
+    #[test]
+    fn every_cut_point_yields_prefix_or_structured_truncation(seed in 0u64..u64::MAX) {
+        // Small batch so the per-byte scan stays cheap.
+        let frames: Vec<Frame> = frame_batch(seed)
+            .into_iter()
+            .take(3)
+            .map(|mut f| { f.payload.truncate(40); f })
+            .collect();
+        let wire = encode_all(&frames);
+        // Frame boundary offsets.
+        let mut bounds = vec![0usize];
+        for f in &frames {
+            bounds.push(bounds.last().unwrap() + f.wire_len());
+        }
+        for cut in 0..=wire.len() {
+            let mut d = FrameDecoder::new();
+            d.extend(&wire[..cut]);
+            let got = drain(&mut d);
+            // Delivered frames are exactly the fully-contained prefix.
+            let complete = bounds.iter().filter(|&&b| b <= cut).count() - 1;
+            prop_assert_eq!(got.len(), complete);
+            prop_assert_eq!(&got[..], &frames[..complete]);
+            if bounds.contains(&cut) {
+                prop_assert!(d.finish().is_ok(), "cut {} is a boundary", cut);
+            } else {
+                let fin = d.finish();
+                prop_assert!(
+                    matches!(fin, Err(FrameError::Truncated { .. })),
+                    "cut {} must be a torn frame, got {:?}", cut, fin
+                );
+            }
+        }
+    }
+
+    /// Arbitrary noise never panics: the decoder either parses frames
+    /// (only possible if the noise happens to start with the magic) or
+    /// returns a structured error, and `finish` is always callable.
+    #[test]
+    fn noise_never_panics_and_never_delivers_partial_frames(seed in 0u64..u64::MAX) {
+        let mut st = seed;
+        let len = (splitmix(&mut st) % 4096) as usize;
+        let noise: Vec<u8> = (0..len).map(|_| splitmix(&mut st) as u8).collect();
+        let mut d = FrameDecoder::new();
+        d.extend(&noise);
+        loop {
+            match d.next_frame() {
+                Ok(Some(f)) => {
+                    // Anything parsed must have had a full header + payload.
+                    prop_assert!(f.wire_len() >= FRAME_HEADER_BYTES);
+                }
+                Ok(None) => break,
+                Err(_) => break, // structured corruption verdict
+            }
+        }
+        let _ = d.finish();
+    }
+
+    /// Flipping any single header byte of a lone frame is detected: the
+    /// decode either errors (magic/oversize), comes back incomplete
+    /// (longer length announced), or yields a frame that differs — it
+    /// never silently yields the original frame.
+    #[test]
+    fn header_corruption_cannot_impersonate_the_original(seed in 0u64..u64::MAX) {
+        let f = &frame_batch(seed)[0];
+        let wire = f.encode();
+        for i in 0..FRAME_HEADER_BYTES {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x5A;
+            let mut d = FrameDecoder::new();
+            d.extend(&bad);
+            match d.next_frame() {
+                Ok(Some(g)) => prop_assert_ne!(&g, f),
+                Ok(None) => {
+                    // Length grew: EOF must then report the tear.
+                    prop_assert!(d.finish().is_err());
+                }
+                Err(FrameError::BadMagic { found }) => prop_assert_ne!(found, FRAME_MAGIC),
+                Err(_) => {}
+            }
+        }
+    }
+}
+
+/// Deterministic spot check: the documented header layout is the wire
+/// layout (offset-for-offset), so an independent implementation (the
+/// rank daemon is a separate OS process) can rely on the table in the
+/// module docs.
+#[test]
+fn header_layout_matches_the_documented_table() {
+    let f = Frame {
+        kind: 5,
+        flags: FLAG_COMPRESSED,
+        phase: 0x0A0B_0C0D,
+        src: 3,
+        dst: 9,
+        payload: vec![0xEE; 4],
+    };
+    let w = f.encode();
+    assert_eq!(&w[0..4], &FRAME_MAGIC.to_le_bytes());
+    assert_eq!(w[4], 5);
+    assert_eq!(w[5], FLAG_COMPRESSED);
+    assert_eq!(&w[6..10], &0x0A0B_0C0Du32.to_le_bytes());
+    assert_eq!(&w[10..14], &3u32.to_le_bytes());
+    assert_eq!(&w[14..18], &9u32.to_le_bytes());
+    assert_eq!(&w[18..22], &4u32.to_le_bytes());
+    assert_eq!(&w[22..], &[0xEE; 4]);
+    assert_eq!(w.len(), f.wire_len());
+}

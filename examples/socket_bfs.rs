@@ -1,0 +1,78 @@
+//! Multi-process BFS: the same traversal as `quickstart`, but with every
+//! rank an OS process wired together over Unix-domain sockets — the
+//! socket fabric from `swbfs::bfs::engine::SocketTransport`.
+//!
+//! Build the rank daemon first, then run:
+//!
+//! ```text
+//! cargo build --release -p swbfs-core --bin swbfs-rankd
+//! cargo run --release --example socket_bfs
+//! ```
+//!
+//! The daemon is discovered next to the current executable or via the
+//! `SWBFS_RANKD` environment variable; the example exits with a hint
+//! (not a panic) when it is missing.
+
+use swbfs::bfs::engine::SocketTransport;
+use swbfs::bfs::{BfsConfig, ClusterBuilder};
+use swbfs::graph::{generate_kronecker, KroneckerConfig};
+use swbfs::graph500::{select_roots, validate_bfs};
+
+fn main() {
+    let transport = SocketTransport::unix();
+    let Some(rankd) = transport.resolve_rankd() else {
+        eprintln!(
+            "swbfs-rankd not found. Build it first:\n\
+             \n    cargo build --release -p swbfs-core --bin swbfs-rankd\n\
+             \nor point SWBFS_RANKD at the binary."
+        );
+        std::process::exit(1);
+    };
+    println!("rank daemon: {}", rankd.display());
+
+    // 1. A scale-14 Kronecker instance (16,384 vertices, ~260k tuples).
+    let el = generate_kronecker(&KroneckerConfig::graph500(14, 42));
+    println!(
+        "generated Kronecker graph: {} vertices, {} edge tuples",
+        el.num_vertices,
+        el.len()
+    );
+
+    // 2. Eight ranks, each a separate `swbfs-rankd` process; the
+    //    orchestrator keeps the BFS compute and the children move the
+    //    frontier batches across a real socket mesh.
+    let cfg = BfsConfig::threaded_small(4);
+    let mut cluster = ClusterBuilder::new(&el, 8, cfg)
+        .socket()
+        .build()
+        .expect("cluster build");
+
+    // 3. Traverse and validate — byte-identical semantics to the
+    //    in-process backends, proven by the conformance battery.
+    let root = select_roots(&el, 1, 7)[0];
+    let out = cluster.run(root).expect("bfs over the socket fabric");
+    let traversed = validate_bfs(&el, &out).expect("benchmark validation");
+    println!(
+        "\nBFS from root {root}: reached {} of {} vertices in {} levels \
+         ({traversed} edges traversed)",
+        out.reached(),
+        el.num_vertices,
+        out.depth()
+    );
+    for l in &out.levels {
+        println!(
+            "  level {:>2} [{:?}] frontier {:>6} scanned {:>8}",
+            l.level, l.direction, l.frontier_vertices, l.edges_scanned
+        );
+    }
+
+    // 4. Teardown is part of the contract: reaping all eight children
+    //    happens on drop, or explicitly — after which the transport
+    //    reports every child's exit code.
+    use swbfs::bfs::engine::Transport;
+    cluster.transport_mut().teardown();
+    println!(
+        "\nchild exit codes after teardown: {:?}",
+        cluster.transport().last_exits()
+    );
+}
