@@ -31,10 +31,16 @@ done
 # explicit build keeps target/release's copy fresh for runtime
 # discovery.)
 cargo build --release -q -p swbfs-core --bin swbfs-rankd
+# Pin the freshly-built daemon and forbid the skip-if-missing fallback:
+# with SWBFS_RANKD_REQUIRE set, a socket test that cannot find the
+# daemon fails instead of silently passing as a skip.
+export SWBFS_RANKD="$PWD/target/release/swbfs-rankd"
+export SWBFS_RANKD_REQUIRE=1
 timeout 600 cargo test -q -p swbfs-core --test engine_conformance socket
 timeout 600 cargo test -q -p swbfs-core --test chaos socket
 timeout 600 cargo test -q -p swbfs-core --test socket_teardown
 timeout 600 cargo test -q -p sw-graph500 --test socket_smoke
+timeout 600 cargo test -q -p sw-algos --test msbfs_differential socket
 
 # Docs gate: the API surface must document cleanly (the engine module
 # additionally carries #[deny(missing_docs)], so an undocumented public
@@ -58,3 +64,12 @@ cargo run --release -p sw-bench --bin tracecheck
 # tolerance bands (counts exact, timing-flavoured keys 50 permille).
 # Exits non-zero naming the offending keys on any drift.
 cargo run --release -p sw-bench --bin regress
+
+# Service gate: the query server's end-to-end battery (oracle
+# correctness, structured deadlines, BUSY shedding and recovery, clean
+# shutdown), then svcbench — which gates the MS-BFS batch-64 speedup,
+# asserts zero shed under light load, and diffs the deterministic
+# serve.* counter snapshot against BENCH_service.json (svc.* timing
+# keys are recorded but never gated; re-baseline with --write).
+timeout 600 cargo test -q -p sw-serve
+timeout 600 cargo run --release -q -p sw-bench --bin svcbench

@@ -16,13 +16,16 @@
 //! * [`sssp`] — level-synchronous relaxation with deterministic synthetic
 //!   edge weights;
 //! * [`pagerank`] — damped power iteration with shuffled contributions;
-//! * [`kcore`] — iterative peeling with remote degree-decrement records.
+//! * [`kcore`] — iterative peeling with remote degree-decrement records;
+//! * [`msbfs`] — bit-parallel multi-source BFS (up to 64 traversals per
+//!   sweep), the batching kernel behind the `sw-serve` query service.
 //!
 //! [`runtime`] holds the shared distributed scaffolding.
 
 pub mod betweenness;
 pub mod delta_stepping;
 pub mod kcore;
+pub mod msbfs;
 pub mod pagerank;
 pub mod runtime;
 pub mod sssp;
@@ -31,6 +34,7 @@ pub mod wcc;
 pub use betweenness::betweenness_distributed;
 pub use delta_stepping::sssp_delta_stepping;
 pub use kcore::kcore_distributed;
+pub use msbfs::msbfs_distributed;
 pub use pagerank::pagerank_distributed;
 pub use runtime::AlgoCluster;
 pub use sssp::sssp_distributed;

@@ -1,0 +1,347 @@
+//! MS-BFS: up to 64 concurrent BFS traversals in one bit-parallel sweep.
+//!
+//! The query-service kernel (ROADMAP item 2, after Then et al.'s
+//! multi-source BFS and the GBBS observation that one cache-resident
+//! edge pass can serve many logical traversals): instead of running K
+//! single-source BFS sweeps, pack K ≤ 64 sources into the bits of a
+//! `u64` and carry a *mask* per vertex. A vertex's frontier word holds
+//! one bit per source whose wave reached it this round; one pass over
+//! the adjacency then advances all K traversals at once, and the wire
+//! carries `(vertex, mask)` records — at most one per (source rank,
+//! target vertex) per round thanks to sender-side mask aggregation —
+//! instead of K separate record streams.
+//!
+//! The kernel rides the same [`AlgoCluster`] scaffolding as the other
+//! shuffle-shaped kernels: 1-D partitioning, the pooled record
+//! exchange over any [`Transport`], gen/handle spans per round, and
+//! the canonical `exchange.*` counter path. `tests/msbfs_differential.rs`
+//! proves the batch bit-identical to K independent single-source runs
+//! across the shared-memory and socket fabrics.
+
+use crate::runtime::AlgoCluster;
+use sw_graph::{Csr, EdgeList, Vid};
+use swbfs_core::engine::Transport;
+use swbfs_core::instrument as ins;
+use swbfs_core::messages::EdgeRec;
+
+/// Most sources one sweep can carry: the bit width of the mask word.
+pub const MAX_BATCH: usize = 64;
+
+/// Level value for vertices a source never reaches.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// The result of one batched sweep.
+#[derive(Clone, Debug)]
+pub struct MsBfsOutput {
+    /// The batch, in bit order: `levels[k]` answers `sources[k]`.
+    pub sources: Vec<Vid>,
+    /// `levels[k][v]` = BFS distance from `sources[k]` to vertex `v`
+    /// ([`UNREACHED`] when no path exists).
+    pub levels: Vec<Vec<u32>>,
+    /// Synchronous rounds the sweep ran (= deepest settled level).
+    pub rounds: u32,
+}
+
+/// Runs one bit-parallel multi-source sweep over the cluster.
+///
+/// Duplicate sources are legal (each bit advances independently); every
+/// source must lie inside the vertex id space.
+///
+/// # Panics
+/// Panics if `sources` is empty, longer than [`MAX_BATCH`], or names a
+/// vertex outside the graph.
+pub fn msbfs_distributed<T: Transport>(
+    cluster: &mut AlgoCluster<T>,
+    sources: &[Vid],
+) -> MsBfsOutput {
+    let kq = sources.len();
+    assert!(
+        (1..=MAX_BATCH).contains(&kq),
+        "batch of {kq} sources (1..={MAX_BATCH} supported)"
+    );
+    let n = cluster.num_vertices();
+    for &s in sources {
+        assert!(s < n, "source {s} outside the {n}-vertex id space");
+    }
+    let ranks = cluster.num_ranks() as usize;
+    let tracer = cluster.tracer().cloned();
+    let tr = tracer.as_ref();
+
+    // Per-rank mask state, one u64 per owned vertex: `seen` (any wave
+    // that ever arrived), `curr` (waves arriving this round), `next`
+    // (waves found for the coming round). `dist` is the flattened
+    // per-source level array, stride kq.
+    let owned: Vec<usize> = (0..ranks)
+        .map(|r| {
+            let (s, e) = cluster.part.range(r as u32);
+            (e - s) as usize
+        })
+        .collect();
+    let mut seen: Vec<Vec<u64>> = owned.iter().map(|&m| vec![0u64; m]).collect();
+    let mut curr: Vec<Vec<u64>> = owned.iter().map(|&m| vec![0u64; m]).collect();
+    let mut next: Vec<Vec<u64>> = owned.iter().map(|&m| vec![0u64; m]).collect();
+    let mut dist: Vec<Vec<u32>> = owned.iter().map(|&m| vec![UNREACHED; m * kq]).collect();
+
+    // Sender-side aggregation scratch: one mask slot per *global*
+    // vertex plus the list of touched targets, reused every round so
+    // the steady state allocates nothing.
+    let mut agg: Vec<Vec<u64>> = (0..ranks).map(|_| vec![0u64; n as usize]).collect();
+    let mut touched: Vec<Vec<Vid>> = (0..ranks).map(|_| Vec::new()).collect();
+
+    // Seed: each source claims its bit at distance 0.
+    for (b, &s) in sources.iter().enumerate() {
+        let r = cluster.part.owner(s) as usize;
+        let i = cluster.part.to_local(s) as usize;
+        let bit = 1u64 << b;
+        curr[r][i] |= bit;
+        seen[r][i] |= bit;
+        dist[r][i * kq + b] = 0;
+    }
+
+    let mut round = 0u32;
+    loop {
+        if curr.iter().all(|c| c.iter().all(|&w| w == 0)) {
+            break;
+        }
+        cluster.set_round(round);
+        let settle_at = round + 1;
+
+        // Generate: every frontier vertex offers its mask to all
+        // neighbours; local waves apply straight into `next`, remote
+        // ones aggregate per target so each (rank, target) sends one
+        // record regardless of how many frontier vertices feed it.
+        let mut out = cluster.lend_outboxes();
+        for r in 0..ranks {
+            let t0 = ins::span_begin(tr);
+            let csr = &cluster.csrs[r];
+            let part = cluster.part;
+            for (i, &mask) in curr[r].iter().enumerate() {
+                if mask == 0 {
+                    continue;
+                }
+                for &v in csr.neighbors_local(i) {
+                    let o = part.owner(v) as usize;
+                    if o == r {
+                        let vl = part.to_local(v) as usize;
+                        apply_mask(
+                            mask,
+                            vl,
+                            kq,
+                            settle_at,
+                            &mut seen[r],
+                            &mut next[r],
+                            &mut dist[r],
+                        );
+                    } else {
+                        let slot = &mut agg[r][v as usize];
+                        if *slot == 0 {
+                            touched[r].push(v);
+                        }
+                        *slot |= mask;
+                    }
+                }
+            }
+            // Ascending-target emission keeps message contents (not
+            // just sorted inboxes) deterministic across runs.
+            touched[r].sort_unstable();
+            let produced = touched[r].len() as u64;
+            for &v in &touched[r] {
+                let mask = std::mem::take(&mut agg[r][v as usize]);
+                out[r].push(part.owner(v), EdgeRec { u: v, v: mask });
+            }
+            touched[r].clear();
+            ins::span_end(tr, r, ins::SPAN_GEN, ins::CAT_COMPUTE, round, t0, produced);
+        }
+
+        // Exchange + apply remote waves.
+        let inboxes = cluster.exchange_round(out);
+        for (r, inbox) in inboxes.iter().enumerate() {
+            let t0 = ins::span_begin(tr);
+            for rec in inbox {
+                let vl = cluster.part.to_local(rec.u) as usize;
+                apply_mask(
+                    rec.v,
+                    vl,
+                    kq,
+                    settle_at,
+                    &mut seen[r],
+                    &mut next[r],
+                    &mut dist[r],
+                );
+            }
+            ins::span_end(
+                tr,
+                r,
+                ins::SPAN_HANDLE,
+                ins::CAT_COMPUTE,
+                round,
+                t0,
+                inbox.len() as u64,
+            );
+        }
+        cluster.recycle_inboxes(inboxes);
+
+        for r in 0..ranks {
+            std::mem::swap(&mut curr[r], &mut next[r]);
+            next[r].fill(0);
+        }
+        round += 1;
+    }
+
+    // Assemble the per-source global level arrays.
+    let mut levels: Vec<Vec<u32>> = (0..kq).map(|_| vec![UNREACHED; n as usize]).collect();
+    for r in 0..ranks {
+        let (start, _) = cluster.part.range(r as u32);
+        for i in 0..owned[r] {
+            for (b, lv) in levels.iter_mut().enumerate() {
+                lv[start as usize + i] = dist[r][i * kq + b];
+            }
+        }
+    }
+    MsBfsOutput {
+        sources: sources.to_vec(),
+        levels,
+        rounds: round,
+    }
+}
+
+/// Applies an arriving mask to one owned vertex: bits not yet seen
+/// settle at `settle_at` and join the next frontier. Local and remote
+/// arrivals of the same round commute — both write the same distance,
+/// and `seen` keeps the first writer's claim idempotent.
+#[inline]
+fn apply_mask(
+    mask: u64,
+    vl: usize,
+    kq: usize,
+    settle_at: u32,
+    seen: &mut [u64],
+    next: &mut [u64],
+    dist: &mut [u32],
+) {
+    let mut new = mask & !seen[vl];
+    if new == 0 {
+        return;
+    }
+    seen[vl] |= new;
+    next[vl] |= new;
+    while new != 0 {
+        let b = new.trailing_zeros() as usize;
+        dist[vl * kq + b] = settle_at;
+        new &= new - 1;
+    }
+}
+
+/// Single-node reference: one sequential BFS, the differential oracle
+/// for every bit of a batched sweep.
+pub fn bfs_levels_oracle(el: &EdgeList, root: Vid) -> Vec<u32> {
+    let csr = Csr::from_edge_list(el);
+    let mut levels = vec![UNREACHED; el.num_vertices as usize];
+    levels[root as usize] = 0;
+    let mut frontier = vec![root];
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut nf = Vec::new();
+        for &u in &frontier {
+            for &v in csr.neighbors(u) {
+                if levels[v as usize] == UNREACHED {
+                    levels[v as usize] = depth;
+                    nf.push(v);
+                }
+            }
+        }
+        frontier = nf;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_graph::{generate_kronecker, KroneckerConfig};
+    use swbfs_core::config::Messaging;
+
+    #[test]
+    fn single_source_matches_oracle() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(10, 3));
+        let oracle = bfs_levels_oracle(&el, 1);
+        for ranks in [1u32, 4, 7] {
+            let mut c = AlgoCluster::new(&el, ranks, 2, Messaging::Relay);
+            let out = msbfs_distributed(&mut c, &[1]);
+            assert_eq!(out.levels[0], oracle, "ranks = {ranks}");
+        }
+    }
+
+    #[test]
+    fn batch_bits_are_independent() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(9, 5));
+        let sources = [0u64, 7, 31, 101, 255];
+        let mut c = AlgoCluster::new(&el, 4, 2, Messaging::Direct);
+        let out = msbfs_distributed(&mut c, &sources);
+        for (k, &s) in sources.iter().enumerate() {
+            assert_eq!(out.levels[k], bfs_levels_oracle(&el, s), "source {s}");
+        }
+    }
+
+    #[test]
+    fn duplicate_sources_answer_identically() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(8, 1));
+        let mut c = AlgoCluster::new(&el, 3, 2, Messaging::Relay);
+        let out = msbfs_distributed(&mut c, &[5, 5, 9]);
+        assert_eq!(out.levels[0], out.levels[1]);
+        assert_eq!(out.levels[0], bfs_levels_oracle(&el, 5));
+    }
+
+    #[test]
+    fn isolated_source_reaches_only_itself() {
+        let el = EdgeList::new(6, vec![(0, 1), (1, 2)]);
+        let mut c = AlgoCluster::new(&el, 2, 2, Messaging::Direct);
+        let out = msbfs_distributed(&mut c, &[4]);
+        let mut expect = vec![UNREACHED; 6];
+        expect[4] = 0;
+        assert_eq!(out.levels[0], expect);
+        assert_eq!(out.rounds, 1, "one round discovers the empty frontier");
+    }
+
+    #[test]
+    fn aggregation_collapses_duplicate_targets() {
+        // A star: every leaf reaches the hub in one hop. With all
+        // leaves as sources, sender-side aggregation must emit one
+        // record per (rank, target), not one per frontier edge.
+        let el = EdgeList::new(9, (1..9).map(|v| (0u64, v)).collect());
+        let mut c = AlgoCluster::new(&el, 3, 2, Messaging::Direct);
+        let sources: Vec<Vid> = (1..9).collect();
+        let out = msbfs_distributed(&mut c, &sources);
+        for (k, &s) in sources.iter().enumerate() {
+            assert_eq!(out.levels[k][s as usize], 0);
+            assert_eq!(out.levels[k][0], 1);
+        }
+        // Round 0: each rank sends at most one record to vertex 0's
+        // owner (aggregated), plus round-1 fan-out back to the leaves.
+        assert!(
+            c.stats.record_hops < 8 + 8,
+            "aggregation failed: {} record hops",
+            c.stats.record_hops
+        );
+    }
+
+    #[test]
+    fn full_width_batch_runs() {
+        let el = generate_kronecker(&KroneckerConfig::graph500(8, 9));
+        let sources: Vec<Vid> = (0..MAX_BATCH as u64).collect();
+        let mut c = AlgoCluster::new(&el, 4, 2, Messaging::Relay);
+        let out = msbfs_distributed(&mut c, &sources);
+        assert_eq!(out.levels.len(), MAX_BATCH);
+        assert_eq!(out.levels[63], bfs_levels_oracle(&el, 63));
+    }
+
+    #[test]
+    #[should_panic(expected = "sources")]
+    fn oversize_batch_is_rejected() {
+        let el = EdgeList::new(70, vec![(0, 1)]);
+        let mut c = AlgoCluster::new(&el, 2, 2, Messaging::Direct);
+        let sources: Vec<Vid> = (0..65).collect();
+        msbfs_distributed(&mut c, &sources);
+    }
+}

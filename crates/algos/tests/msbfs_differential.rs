@@ -1,0 +1,150 @@
+//! Differential proof of the MS-BFS batching trick: a batch of K
+//! sources swept bit-parallel must produce level arrays bit-identical
+//! to K *independent* single-source runs — for K ∈ {1, 3, 64}, across
+//! the in-process shared-memory fabric and the multi-process socket
+//! fabric, and against the sequential oracle.
+//!
+//! The socket half discovers `swbfs-rankd` at runtime like the
+//! graph500 smoke test; with `SWBFS_RANKD_REQUIRE` set (ci.sh does,
+//! right after building the daemon) a missing binary is a hard failure
+//! rather than a silent skip.
+
+use sw_algos::msbfs::{bfs_levels_oracle, msbfs_distributed, MAX_BATCH};
+use sw_algos::runtime::AlgoCluster;
+use sw_graph::{generate_kronecker, EdgeList, KroneckerConfig, Vid};
+use swbfs_core::config::Messaging;
+
+/// Distinct deterministic sources spread over the id space.
+fn pick_sources(n: u64, k: usize) -> Vec<Vid> {
+    let mut out = Vec::with_capacity(k);
+    let mut x = 0x9E37_79B9u64;
+    while out.len() < k {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let v = x % n;
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// The shared differential core: batch-of-K over `make()`-built
+/// clusters equals K independent single-source runs (each on a fresh
+/// cluster, so no state can leak between them) and the oracle.
+fn assert_batch_equals_independent<T, F>(el: &EdgeList, k: usize, mut make: F)
+where
+    T: swbfs_core::engine::Transport,
+    F: FnMut() -> AlgoCluster<T>,
+{
+    let sources = pick_sources(el.num_vertices, k);
+    let batch = {
+        let mut c = make();
+        msbfs_distributed(&mut c, &sources)
+    };
+    assert_eq!(batch.levels.len(), k);
+    for (i, &s) in sources.iter().enumerate() {
+        let single = {
+            let mut c = make();
+            msbfs_distributed(&mut c, &[s])
+        };
+        assert_eq!(
+            batch.levels[i], single.levels[0],
+            "K={k}: batch bit {i} (source {s}) differs from its independent run"
+        );
+        assert_eq!(
+            batch.levels[i],
+            bfs_levels_oracle(el, s),
+            "K={k}: source {s} differs from the sequential oracle"
+        );
+    }
+}
+
+#[test]
+fn shared_mem_batch_equals_independent_runs() {
+    let el = generate_kronecker(&KroneckerConfig::graph500(12, 11));
+    for k in [1usize, 3, MAX_BATCH] {
+        assert_batch_equals_independent(&el, k, || {
+            AlgoCluster::new(&el, 6, 3, Messaging::Relay)
+        });
+    }
+}
+
+#[test]
+fn direct_and_relay_batches_agree() {
+    let el = generate_kronecker(&KroneckerConfig::graph500(11, 4));
+    let sources = pick_sources(el.num_vertices, 17);
+    let mut a = AlgoCluster::new(&el, 5, 2, Messaging::Direct);
+    let mut b = AlgoCluster::new(&el, 5, 2, Messaging::Relay);
+    let oa = msbfs_distributed(&mut a, &sources);
+    let ob = msbfs_distributed(&mut b, &sources);
+    assert_eq!(oa.levels, ob.levels);
+    assert_eq!(oa.rounds, ob.rounds);
+}
+
+#[cfg(unix)]
+mod socket {
+    use super::*;
+    use swbfs_core::engine::SocketTransport;
+
+    /// Resolves the rank daemon; honours the CI contract that a
+    /// missing daemon under `SWBFS_RANKD_REQUIRE` fails loudly.
+    fn rankd_or_skip() -> Option<std::path::PathBuf> {
+        match SocketTransport::unix().resolve_rankd() {
+            Some(p) => Some(p),
+            None => {
+                if std::env::var_os("SWBFS_RANKD_REQUIRE").is_some() {
+                    panic!(
+                        "SWBFS_RANKD_REQUIRE is set but swbfs-rankd was not found — \
+                         build it first: cargo build -p swbfs-core --bin swbfs-rankd"
+                    );
+                }
+                eprintln!(
+                    "skipping: swbfs-rankd not found — \
+                     `cargo build -p swbfs-core --bin swbfs-rankd` or set SWBFS_RANKD"
+                );
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn socket_batch_equals_independent_runs() {
+        let Some(rankd) = rankd_or_skip() else { return };
+        // Smaller instance: every make() spawns a 4-process fabric.
+        let el = generate_kronecker(&KroneckerConfig::graph500(10, 23));
+        for k in [1usize, 3, MAX_BATCH] {
+            assert_batch_equals_independent(&el, k, || {
+                AlgoCluster::with_transport(
+                    &el,
+                    4,
+                    2,
+                    Messaging::Relay,
+                    SocketTransport::unix().with_rankd(rankd.clone()),
+                )
+            });
+        }
+    }
+
+    #[test]
+    fn socket_and_shared_mem_sweeps_are_bit_identical() {
+        let Some(rankd) = rankd_or_skip() else { return };
+        let el = generate_kronecker(&KroneckerConfig::graph500(10, 42));
+        let sources = pick_sources(el.num_vertices, 32);
+        let mut shm = AlgoCluster::new(&el, 4, 2, Messaging::Direct);
+        let mut sock = AlgoCluster::with_transport(
+            &el,
+            4,
+            2,
+            Messaging::Direct,
+            SocketTransport::unix().with_rankd(rankd),
+        );
+        let a = msbfs_distributed(&mut shm, &sources);
+        let b = msbfs_distributed(&mut sock, &sources);
+        assert_eq!(a.levels, b.levels, "fabrics disagree on a batched sweep");
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(
+            shm.stats.record_hops, sock.stats.record_hops,
+            "fabrics count different record hops on identical traffic"
+        );
+    }
+}

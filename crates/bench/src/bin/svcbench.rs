@@ -1,0 +1,363 @@
+//! svcbench — the query-service benchmark and its regression sentinel.
+//!
+//! Three axes, one committed baseline (`BENCH_service.json`):
+//!
+//! * **Kernel** — 64 distinct roots covered with MS-BFS sweeps of
+//!   width 1, 4, 16, 64 on a fixed Kronecker graph: the batching payoff
+//!   as a QPS table, gated on batch-64 beating sequential single-source
+//!   by at least `--min-speedup` (default 4×). Sweep round totals are
+//!   deterministic and snapshot exactly (`kernel.*`); wall-clock QPS is
+//!   recorded informationally (`svc.*`).
+//! * **Latency** — a live server driven with sequential mixed queries;
+//!   client-observed p50/p99 and QPS (`svc.service.*`, informational),
+//!   gated on zero shed under this light load.
+//! * **Counters** — two staged bursts against a paused server (the
+//!   worker releases only after the whole burst is admitted), making
+//!   every `serve.*` counter a pure function of the query sequence;
+//!   snapshot-checked exactly, regress-sentinel style.
+//!
+//! ```text
+//! svcbench [--write [--force]] [--baseline PATH] [--scale N]
+//!          [--ranks N] [--seed S] [--min-speedup X]
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use sw_algos::msbfs::msbfs_distributed;
+use sw_algos::runtime::AlgoCluster;
+use sw_bench::snapshot::{diff_snapshot, guard_baseline_overwrite, ToleranceBands};
+use sw_graph::{generate_kronecker, KroneckerConfig};
+use sw_net::framing::{QueryOp, QueryStatus};
+use sw_serve::{Client, Response, ServeConfig, Server};
+use sw_trace::json::parse_flat_u64;
+use sw_trace::CounterSet;
+use swbfs_core::config::Messaging;
+
+struct Opts {
+    write: bool,
+    force: bool,
+    baseline: String,
+    scale: u32,
+    ranks: u32,
+    seed: u64,
+    min_speedup: f64,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut o = Opts {
+        write: false,
+        force: false,
+        baseline: "BENCH_service.json".to_string(),
+        scale: 16,
+        ranks: 8,
+        seed: 42,
+        min_speedup: 4.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match a.as_str() {
+            "--write" => o.write = true,
+            "--force" => o.force = true,
+            "--baseline" => o.baseline = val("--baseline")?,
+            "--scale" => {
+                o.scale = val("--scale")?.parse().map_err(|e| format!("bad --scale: {e}"))?
+            }
+            "--ranks" => {
+                o.ranks = val("--ranks")?.parse().map_err(|e| format!("bad --ranks: {e}"))?
+            }
+            "--seed" => o.seed = val("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--min-speedup" => {
+                o.min_speedup = val("--min-speedup")?
+                    .parse()
+                    .map_err(|e| format!("bad --min-speedup: {e}"))?
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(o)
+}
+
+/// 64 distinct roots spread over the vertex space, deterministically.
+fn pick_roots(n: u64, count: usize) -> Vec<u64> {
+    let mut roots = Vec::with_capacity(count);
+    let mut x = 0x243F_6A88_85A3_08D3u64;
+    while roots.len() < count {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let r = x % n;
+        if !roots.contains(&r) {
+            roots.push(r);
+        }
+    }
+    roots
+}
+
+/// The batching payoff: cover the same 64 roots with sweeps of growing
+/// width. Returns the batch-64 speedup over batch-1.
+fn kernel_axis(o: &Opts, cs: &mut CounterSet) -> f64 {
+    let el = generate_kronecker(&KroneckerConfig::graph500(o.scale, o.seed));
+    let roots = pick_roots(el.num_vertices, 64);
+    println!(
+        "kernel axis: scale {} ({} vertices, {} edges), {} ranks, 64 roots",
+        o.scale,
+        el.num_vertices,
+        el.edges.len(),
+        o.ranks
+    );
+    println!("  batch   sweeps   rounds   time_ms      qps   speedup");
+
+    let mut secs_batch1 = 0.0f64;
+    let mut speedup64 = 0.0f64;
+    for &batch in &[1usize, 4, 16, 64] {
+        // A fresh cluster per width: every configuration pays its own
+        // pool warm-up, so wider batches get no carried-over advantage.
+        let mut cluster = AlgoCluster::new(&el, o.ranks, 2, Messaging::Direct);
+        let t0 = Instant::now();
+        let mut rounds = 0u64;
+        let mut sweeps = 0u64;
+        for chunk in roots.chunks(batch) {
+            let out = msbfs_distributed(&mut cluster, chunk);
+            rounds += u64::from(out.rounds);
+            sweeps += 1;
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let qps = roots.len() as f64 / secs;
+        if batch == 1 {
+            secs_batch1 = secs;
+        }
+        let speedup = secs_batch1 / secs;
+        if batch == 64 {
+            speedup64 = speedup;
+        }
+        println!(
+            "  {batch:>5}   {sweeps:>6}   {rounds:>6}   {:>7.1}   {qps:>6.0}   {speedup:>6.2}x",
+            secs * 1e3
+        );
+        cs.set(&format!("kernel.batch{batch}.rounds"), rounds);
+        cs.set(&format!("kernel.batch{batch}.sweeps"), sweeps);
+        cs.set(&format!("svc.kernel.batch{batch}.micros"), (secs * 1e6) as u64);
+        cs.set(&format!("svc.kernel.batch{batch}.qps"), qps as u64);
+    }
+    cs.set("svc.kernel.speedup_x100", (speedup64 * 100.0) as u64);
+    speedup64
+}
+
+/// Client-observed latency under sequential mixed load. Returns the
+/// shed count (must be zero).
+fn latency_axis(o: &Opts, cs: &mut CounterSet) -> Result<u64, String> {
+    let el = generate_kronecker(&KroneckerConfig::graph500(14, o.seed));
+    let n = el.num_vertices;
+    let mut server =
+        Server::start(&el, ServeConfig::default()).map_err(|e| format!("server: {e}"))?;
+    let mut client = Client::connect(&server.addr()).map_err(|e| format!("connect: {e}"))?;
+
+    const QUERIES: usize = 240;
+    let mut lat = Vec::with_capacity(QUERIES);
+    let t0 = Instant::now();
+    for i in 0..QUERIES {
+        let root = ((i as u64) * 11) % 40 * (n / 40);
+        let target = ((i as u64) * 7919) % n;
+        let q0 = Instant::now();
+        let resp = match i % 3 {
+            0 => client.query(QueryOp::Distance, root, target, 0, 0),
+            1 => client.query(QueryOp::Reachable, root, target, 0, 0),
+            _ => client.query(QueryOp::KHop, root, 0, 2, 0),
+        }
+        .map_err(|e| format!("query {i}: {e}"))?;
+        match resp {
+            Response::Answer(a) if a.status == QueryStatus::Ok => {}
+            Response::Answer(a) => return Err(format!("query {i}: status {:?}", a.status)),
+            Response::Busy(_) => return Err(format!("query {i}: shed under light load")),
+        }
+        lat.push(q0.elapsed().as_micros() as u64);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    lat.sort_unstable();
+    let p50 = lat[lat.len() / 2];
+    let p99 = lat[(lat.len() * 99) / 100 - 1];
+    let qps = QUERIES as f64 / secs;
+    println!(
+        "latency axis: {QUERIES} sequential queries, scale 14 — \
+         p50 {p50} µs, p99 {p99} µs, {qps:.0} qps"
+    );
+    cs.set("svc.service.p50_micros", p50);
+    cs.set("svc.service.p99_micros", p99);
+    cs.set("svc.service.qps", qps as u64);
+
+    let shed = server.metrics().get("serve.shed");
+    server.shutdown();
+    Ok(shed)
+}
+
+/// Stages `queries` against a paused server, releases the worker only
+/// once the whole burst is admitted, and drains the answers.
+fn staged_burst(
+    server: &Server,
+    client: &mut Client,
+    queries: &[(QueryOp, u64, u64, u32)],
+) -> Result<(), String> {
+    server.pause();
+    for &(op, root, target, hops) in queries {
+        client.send(op, root, target, hops, 0).map_err(|e| format!("send: {e}"))?;
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.queue_depth() < queries.len() {
+        if Instant::now() > deadline {
+            return Err("staged burst never fully admitted".into());
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    server.resume();
+    for i in 0..queries.len() {
+        match client.recv().map_err(|e| format!("recv {i}: {e}"))? {
+            Response::Answer(_) => {}
+            Response::Busy(_) => return Err(format!("staged query {i} shed")),
+        }
+    }
+    Ok(())
+}
+
+/// The deterministic counter snapshot: a fixed two-burst query
+/// sequence whose `serve.*` counters are a pure function of the input.
+fn counter_axis(o: &Opts, cs: &mut CounterSet) -> Result<(), String> {
+    let el = generate_kronecker(&KroneckerConfig::graph500(12, o.seed));
+    let n = el.num_vertices;
+    let cfg = ServeConfig {
+        ranks: 4,
+        cache_capacity: 16,
+        start_paused: true,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(&el, cfg).map_err(|e| format!("server: {e}"))?;
+    let mut client = Client::connect(&server.addr()).map_err(|e| format!("connect: {e}"))?;
+
+    // Burst A: 80 queries over 20 distinct roots — one 20-root sweep,
+    // heavy coalescing.
+    let burst_a: Vec<(QueryOp, u64, u64, u32)> = (0..80u64)
+        .map(|i| {
+            let root = (i % 20) * (n / 20);
+            match i % 3 {
+                0 => (QueryOp::Distance, root, (root + 17) % n, 0),
+                1 => (QueryOp::Reachable, root, (root * 3 + 1) % n, 0),
+                _ => (QueryOp::KHop, root, 0, 2),
+            }
+        })
+        .collect();
+    staged_burst(&server, &mut client, &burst_a)?;
+
+    // Burst B: repeats of burst A's roots (cache hits, modulo the
+    // 16-entry LRU's deterministic evictions), fresh roots, and two
+    // out-of-range queries answered as structured BadQuery.
+    let mut burst_b: Vec<(QueryOp, u64, u64, u32)> = (0..12u64)
+        .map(|i| (QueryOp::Distance, (i + 8) * (n / 20), 5, 0))
+        .collect();
+    burst_b.extend((0..30u64).map(|i| (QueryOp::KHop, i * (n / 40) + 3, 0, 1)));
+    burst_b.push((QueryOp::Distance, n + 3, 0, 0));
+    burst_b.push((QueryOp::Reachable, 0, n + 9, 0));
+    staged_burst(&server, &mut client, &burst_b)?;
+
+    let m = server.metrics();
+    println!(
+        "counter axis: {} queries, {} batches, {} swept roots, {} cache hits, {} coalesced",
+        m.get("serve.queries"),
+        m.get("serve.batches"),
+        m.get("serve.swept_roots"),
+        m.get("serve.cache_hits"),
+        m.get("serve.coalesced"),
+    );
+    cs.merge(&m);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let o = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("svcbench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut cs = CounterSet::new();
+    let speedup = kernel_axis(&o, &mut cs);
+    if speedup < o.min_speedup {
+        eprintln!(
+            "svcbench: batch-64 speedup {speedup:.2}x below the {:.1}x gate",
+            o.min_speedup
+        );
+        return ExitCode::FAILURE;
+    }
+    match latency_axis(&o, &mut cs) {
+        Ok(0) => {}
+        Ok(shed) => {
+            eprintln!("svcbench: {shed} queries shed under light load");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("svcbench: latency axis: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = counter_axis(&o, &mut cs) {
+        eprintln!("svcbench: counter axis: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // serve.* and kernel.* are exact; svc.* keys are wall-clock
+    // observations — kept in the baseline for the record, never gated.
+    let bands = ToleranceBands::exact().with_rule("svc.", 1_000_000_000);
+
+    if o.write {
+        if let Err(e) = guard_baseline_overwrite(&o.baseline, o.force) {
+            eprintln!("svcbench: {e}");
+            return ExitCode::FAILURE;
+        }
+        fs::write(&o.baseline, cs.to_json() + "\n").expect("write baseline");
+        println!(
+            "wrote {} counters to {} (scale {}, {} ranks, seed {})",
+            cs.len(),
+            o.baseline,
+            o.scale,
+            o.ranks,
+            o.seed
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let text = match fs::read_to_string(&o.baseline) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "svcbench: cannot read baseline {} ({e}); generate one with --write",
+                o.baseline
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match parse_flat_u64(&text) {
+        Ok(kv) => kv,
+        Err(e) => {
+            eprintln!("svcbench: malformed baseline {}: {e}", o.baseline);
+            return ExitCode::FAILURE;
+        }
+    };
+    let diff = diff_snapshot(&baseline, &cs, &bands);
+    if diff.failures() > 0 {
+        print!("{}", diff.unified_diff(&o.baseline));
+        eprintln!(
+            "svcbench: {} regression(s) over {} checked counters: {}",
+            diff.failures(),
+            diff.checked,
+            diff.offending_keys().join(", ")
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "svcbench: {} counters within tolerance of {} (batch-64 speedup {speedup:.2}x)",
+            diff.checked, o.baseline
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -5,6 +5,9 @@
 //! The rank daemon is discovered at runtime ([`SocketTransport::
 //! resolve_rankd`]); when the binary was never built the test skips
 //! rather than fails, so `cargo test -p sw-graph500` alone stays green.
+//! CI exports `SWBFS_RANKD_REQUIRE=1` after explicitly building the
+//! daemon, turning that skip into a hard failure — the gate can never
+//! silently pass by not finding the binary.
 
 #![cfg(unix)]
 
@@ -17,6 +20,11 @@ use swbfs_core::engine::{ClusterBuilder, SocketTransport};
 fn graph500_kernel_runs_over_the_socket_fabric() {
     let probe = SocketTransport::unix();
     let Some(rankd) = probe.resolve_rankd() else {
+        assert!(
+            std::env::var_os("SWBFS_RANKD_REQUIRE").is_none(),
+            "SWBFS_RANKD_REQUIRE is set but swbfs-rankd was not found — \
+             the socket gate must not skip"
+        );
         eprintln!(
             "skipping: swbfs-rankd not found — \
              `cargo build -p swbfs-core --bin swbfs-rankd` or set SWBFS_RANKD"

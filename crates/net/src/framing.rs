@@ -229,6 +229,274 @@ impl FrameDecoder {
     }
 }
 
+// ---- query-service protocol (sw-serve) --------------------------------
+//
+// The always-on query service speaks the same framed stream as the rank
+// fabric, with three additional kinds. Payload layouts are fixed-size
+// little-endian, documented per type; the typed codecs below are the
+// single source of truth for both the server and its clients, and the
+// framing proptests round-trip them under every read splitting.
+
+/// Frame kind: a client query (payload = [`QueryFrame`]).
+pub const KIND_QUERY: u8 = 16;
+/// Frame kind: a server answer (payload = [`ResultFrame`]).
+pub const KIND_RESULT: u8 = 17;
+/// Frame kind: admission control shed the query (payload =
+/// [`BusyFrame`]) — the client should back off and retry.
+pub const KIND_BUSY: u8 = 18;
+
+/// A traversal operation the query service can answer. Every operation
+/// is a function of the BFS level array of its root, which is what lets
+/// the service batch arbitrary operation mixes into one MS-BFS sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryOp {
+    /// BFS distance from `root` to `target` (`u64::MAX` = unreachable).
+    Distance = 0,
+    /// Is `target` reachable from `root`? (value 0 or 1.)
+    Reachable = 1,
+    /// How many vertices lie within `hops` BFS levels of `root`
+    /// (the root itself included)?
+    KHop = 2,
+}
+
+impl QueryOp {
+    /// Decodes the wire discriminant.
+    pub fn from_u8(b: u8) -> Option<QueryOp> {
+        match b {
+            0 => Some(QueryOp::Distance),
+            1 => Some(QueryOp::Reachable),
+            2 => Some(QueryOp::KHop),
+            _ => None,
+        }
+    }
+}
+
+/// Terminal status of a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// Answered; `value` holds the result.
+    Ok = 0,
+    /// The per-query deadline expired before the answer was ready; the
+    /// structured alternative to a client-side hang.
+    Timeout = 1,
+    /// The query was malformed (root/target outside the vertex space,
+    /// unknown operation).
+    BadQuery = 2,
+}
+
+impl QueryStatus {
+    /// Decodes the wire discriminant.
+    pub fn from_u8(b: u8) -> Option<QueryStatus> {
+        match b {
+            0 => Some(QueryStatus::Ok),
+            1 => Some(QueryStatus::Timeout),
+            2 => Some(QueryStatus::BadQuery),
+            _ => None,
+        }
+    }
+}
+
+/// [`KIND_QUERY`] payload — one traversal question.
+///
+/// Layout (33 bytes, little-endian):
+///
+/// | offset | size | field        |
+/// |--------|------|--------------|
+/// | 0      | 8    | id           |
+/// | 8      | 1    | op           |
+/// | 9      | 8    | root         |
+/// | 17     | 8    | target       |
+/// | 25     | 4    | hops         |
+/// | 29     | 4    | deadline_ms  |
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryFrame {
+    /// Client-chosen correlation id, echoed on the answer.
+    pub id: u64,
+    /// The traversal operation.
+    pub op: QueryOp,
+    /// Source vertex of the traversal.
+    pub root: u64,
+    /// Target vertex ([`QueryOp::Distance`]/[`QueryOp::Reachable`];
+    /// ignored for [`QueryOp::KHop`]).
+    pub target: u64,
+    /// Neighbourhood radius ([`QueryOp::KHop`]; ignored otherwise).
+    pub hops: u32,
+    /// Deadline in milliseconds from arrival; 0 = no deadline.
+    pub deadline_ms: u32,
+}
+
+/// Wire bytes of a [`QueryFrame`] payload.
+pub const QUERY_PAYLOAD_BYTES: usize = 33;
+
+impl QueryFrame {
+    /// Wraps the query into a wire [`Frame`].
+    pub fn into_frame(self) -> Frame {
+        let mut payload = Vec::with_capacity(QUERY_PAYLOAD_BYTES);
+        payload.extend_from_slice(&self.id.to_le_bytes());
+        payload.push(self.op as u8);
+        payload.extend_from_slice(&self.root.to_le_bytes());
+        payload.extend_from_slice(&self.target.to_le_bytes());
+        payload.extend_from_slice(&self.hops.to_le_bytes());
+        payload.extend_from_slice(&self.deadline_ms.to_le_bytes());
+        Frame {
+            kind: KIND_QUERY,
+            flags: 0,
+            phase: 0,
+            src: 0,
+            dst: 0,
+            payload,
+        }
+    }
+
+    /// Parses a [`KIND_QUERY`] frame. Malformed payloads are a static
+    /// description (the server answers [`QueryStatus::BadQuery`] when
+    /// it can still recover an id, and drops the connection otherwise),
+    /// never a panic.
+    pub fn from_frame(f: &Frame) -> Result<QueryFrame, &'static str> {
+        if f.kind != KIND_QUERY {
+            return Err("not a QUERY frame");
+        }
+        let p = &f.payload;
+        if p.len() != QUERY_PAYLOAD_BYTES {
+            return Err("QUERY payload has the wrong length");
+        }
+        let op = QueryOp::from_u8(p[8]).ok_or("unknown query operation")?;
+        Ok(QueryFrame {
+            id: u64::from_le_bytes(p[0..8].try_into().expect("8 bytes")),
+            op,
+            root: u64::from_le_bytes(p[9..17].try_into().expect("8 bytes")),
+            target: u64::from_le_bytes(p[17..25].try_into().expect("8 bytes")),
+            hops: u32::from_le_bytes(p[25..29].try_into().expect("4 bytes")),
+            deadline_ms: u32::from_le_bytes(p[29..33].try_into().expect("4 bytes")),
+        })
+    }
+}
+
+/// [`KIND_RESULT`] payload — the answer to one query.
+///
+/// Layout (29 bytes, little-endian):
+///
+/// | offset | size | field        |
+/// |--------|------|--------------|
+/// | 0      | 8    | id           |
+/// | 8      | 1    | status       |
+/// | 9      | 8    | value        |
+/// | 17     | 4    | batch_roots  |
+/// | 21     | 8    | micros       |
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResultFrame {
+    /// The query's correlation id.
+    pub id: u64,
+    /// Terminal status.
+    pub status: QueryStatus,
+    /// Operation result (distance / 0-1 reachability / k-hop count);
+    /// 0 for non-[`QueryStatus::Ok`] answers.
+    pub value: u64,
+    /// Roots swept in the batch that served this answer (0 = served
+    /// from the hot-root cache) — the per-query batching attribution.
+    pub batch_roots: u32,
+    /// Server-side latency, admission to answer, in microseconds.
+    pub micros: u64,
+}
+
+/// Wire bytes of a [`ResultFrame`] payload.
+pub const RESULT_PAYLOAD_BYTES: usize = 29;
+
+impl ResultFrame {
+    /// Wraps the answer into a wire [`Frame`].
+    pub fn into_frame(self) -> Frame {
+        let mut payload = Vec::with_capacity(RESULT_PAYLOAD_BYTES);
+        payload.extend_from_slice(&self.id.to_le_bytes());
+        payload.push(self.status as u8);
+        payload.extend_from_slice(&self.value.to_le_bytes());
+        payload.extend_from_slice(&self.batch_roots.to_le_bytes());
+        payload.extend_from_slice(&self.micros.to_le_bytes());
+        Frame {
+            kind: KIND_RESULT,
+            flags: 0,
+            phase: 0,
+            src: 0,
+            dst: 0,
+            payload,
+        }
+    }
+
+    /// Parses a [`KIND_RESULT`] frame.
+    pub fn from_frame(f: &Frame) -> Result<ResultFrame, &'static str> {
+        if f.kind != KIND_RESULT {
+            return Err("not a RESULT frame");
+        }
+        let p = &f.payload;
+        if p.len() != RESULT_PAYLOAD_BYTES {
+            return Err("RESULT payload has the wrong length");
+        }
+        let status = QueryStatus::from_u8(p[8]).ok_or("unknown result status")?;
+        Ok(ResultFrame {
+            id: u64::from_le_bytes(p[0..8].try_into().expect("8 bytes")),
+            status,
+            value: u64::from_le_bytes(p[9..17].try_into().expect("8 bytes")),
+            batch_roots: u32::from_le_bytes(p[17..21].try_into().expect("4 bytes")),
+            micros: u64::from_le_bytes(p[21..29].try_into().expect("8 bytes")),
+        })
+    }
+}
+
+/// [`KIND_BUSY`] payload — admission control shed the query.
+///
+/// Layout (16 bytes, little-endian):
+///
+/// | offset | size | field        |
+/// |--------|------|--------------|
+/// | 0      | 8    | id           |
+/// | 8      | 4    | queue_depth  |
+/// | 12     | 4    | queue_limit  |
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BusyFrame {
+    /// The shed query's correlation id.
+    pub id: u64,
+    /// Queued queries at shed time.
+    pub queue_depth: u32,
+    /// The admission bound that was hit.
+    pub queue_limit: u32,
+}
+
+/// Wire bytes of a [`BusyFrame`] payload.
+pub const BUSY_PAYLOAD_BYTES: usize = 16;
+
+impl BusyFrame {
+    /// Wraps the shed notice into a wire [`Frame`].
+    pub fn into_frame(self) -> Frame {
+        let mut payload = Vec::with_capacity(BUSY_PAYLOAD_BYTES);
+        payload.extend_from_slice(&self.id.to_le_bytes());
+        payload.extend_from_slice(&self.queue_depth.to_le_bytes());
+        payload.extend_from_slice(&self.queue_limit.to_le_bytes());
+        Frame {
+            kind: KIND_BUSY,
+            flags: 0,
+            phase: 0,
+            src: 0,
+            dst: 0,
+            payload,
+        }
+    }
+
+    /// Parses a [`KIND_BUSY`] frame.
+    pub fn from_frame(f: &Frame) -> Result<BusyFrame, &'static str> {
+        if f.kind != KIND_BUSY {
+            return Err("not a BUSY frame");
+        }
+        let p = &f.payload;
+        if p.len() != BUSY_PAYLOAD_BYTES {
+            return Err("BUSY payload has the wrong length");
+        }
+        Ok(BusyFrame {
+            id: u64::from_le_bytes(p[0..8].try_into().expect("8 bytes")),
+            queue_depth: u32::from_le_bytes(p[8..12].try_into().expect("4 bytes")),
+            queue_limit: u32::from_le_bytes(p[12..16].try_into().expect("4 bytes")),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +573,86 @@ mod tests {
         let mut d = FrameDecoder::new();
         d.extend(&wire);
         assert!(matches!(d.next_frame(), Err(FrameError::Oversize { .. })));
+    }
+
+    #[test]
+    fn query_result_busy_round_trip_typed() {
+        let q = QueryFrame {
+            id: 77,
+            op: QueryOp::KHop,
+            root: 1234,
+            target: 0,
+            hops: 3,
+            deadline_ms: 250,
+        };
+        let r = ResultFrame {
+            id: 77,
+            status: QueryStatus::Ok,
+            value: 512,
+            batch_roots: 64,
+            micros: 1_999,
+        };
+        let b = BusyFrame {
+            id: 78,
+            queue_depth: 256,
+            queue_limit: 256,
+        };
+        let mut d = FrameDecoder::new();
+        let mut wire = Vec::new();
+        q.into_frame().encode_into(&mut wire);
+        r.into_frame().encode_into(&mut wire);
+        b.into_frame().encode_into(&mut wire);
+        d.extend(&wire);
+        let fq = d.next_frame().unwrap().unwrap();
+        let fr = d.next_frame().unwrap().unwrap();
+        let fb = d.next_frame().unwrap().unwrap();
+        assert_eq!(QueryFrame::from_frame(&fq).unwrap(), q);
+        assert_eq!(ResultFrame::from_frame(&fr).unwrap(), r);
+        assert_eq!(BusyFrame::from_frame(&fb).unwrap(), b);
+        assert!(d.finish().is_ok());
+    }
+
+    #[test]
+    fn typed_decoders_reject_wrong_kind_and_shape() {
+        let q = QueryFrame {
+            id: 1,
+            op: QueryOp::Distance,
+            root: 2,
+            target: 3,
+            hops: 0,
+            deadline_ms: 0,
+        };
+        let f = q.into_frame();
+        assert!(ResultFrame::from_frame(&f).is_err(), "kind mismatch");
+        assert!(BusyFrame::from_frame(&f).is_err(), "kind mismatch");
+        let mut torn = f.clone();
+        torn.payload.pop();
+        assert!(QueryFrame::from_frame(&torn).is_err(), "short payload");
+        let mut bad_op = f.clone();
+        bad_op.payload[8] = 200;
+        assert!(QueryFrame::from_frame(&bad_op).is_err(), "unknown op");
+        let mut r = ResultFrame {
+            id: 1,
+            status: QueryStatus::Timeout,
+            value: 0,
+            batch_roots: 0,
+            micros: 7,
+        }
+        .into_frame();
+        r.payload[8] = 99;
+        assert!(ResultFrame::from_frame(&r).is_err(), "unknown status");
+    }
+
+    #[test]
+    fn service_kinds_are_disjoint_from_fabric_kinds() {
+        // The rank fabric uses kinds 1..=9; the service protocol must
+        // not collide so a stream is always unambiguous.
+        for k in [KIND_QUERY, KIND_RESULT, KIND_BUSY] {
+            assert!(k >= 16, "service kind {k} collides with fabric range");
+        }
+        assert_ne!(KIND_QUERY, KIND_RESULT);
+        assert_ne!(KIND_RESULT, KIND_BUSY);
+        assert_ne!(KIND_QUERY, KIND_BUSY);
     }
 
     #[test]

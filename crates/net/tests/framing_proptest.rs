@@ -7,7 +7,8 @@
 
 use proptest::prelude::*;
 use sw_net::framing::{
-    Frame, FrameDecoder, FrameError, FLAG_COMPRESSED, FRAME_HEADER_BYTES, FRAME_MAGIC,
+    BusyFrame, Frame, FrameDecoder, FrameError, QueryFrame, QueryOp, QueryStatus, ResultFrame,
+    FLAG_COMPRESSED, FRAME_HEADER_BYTES, FRAME_MAGIC, KIND_BUSY, KIND_QUERY, KIND_RESULT,
 };
 
 fn splitmix(state: &mut u64) -> u64 {
@@ -41,6 +42,50 @@ fn frame_batch(seed: u64) -> Vec<Frame> {
                 dst: (splitmix(&mut st) % 64) as u32,
                 payload: (0..len).map(|_| splitmix(&mut st) as u8).collect(),
             }
+        })
+        .collect()
+}
+
+/// A seed-driven batch of *query-service* frames (QUERY/RESULT/BUSY
+/// typed payloads), shaped like a real client session: questions with
+/// assorted operations and deadlines interleaved with answers and shed
+/// notices.
+fn service_batch(seed: u64) -> Vec<Frame> {
+    let mut st = seed ^ 0x5EED;
+    let n = 1 + (splitmix(&mut st) % 10) as usize;
+    (0..n)
+        .map(|_| match splitmix(&mut st) % 3 {
+            0 => QueryFrame {
+                id: splitmix(&mut st),
+                op: match splitmix(&mut st) % 3 {
+                    0 => QueryOp::Distance,
+                    1 => QueryOp::Reachable,
+                    _ => QueryOp::KHop,
+                },
+                root: splitmix(&mut st),
+                target: splitmix(&mut st),
+                hops: (splitmix(&mut st) % 32) as u32,
+                deadline_ms: (splitmix(&mut st) % 10_000) as u32,
+            }
+            .into_frame(),
+            1 => ResultFrame {
+                id: splitmix(&mut st),
+                status: match splitmix(&mut st) % 3 {
+                    0 => QueryStatus::Ok,
+                    1 => QueryStatus::Timeout,
+                    _ => QueryStatus::BadQuery,
+                },
+                value: splitmix(&mut st),
+                batch_roots: (splitmix(&mut st) % 65) as u32,
+                micros: splitmix(&mut st) % 1_000_000_000,
+            }
+            .into_frame(),
+            _ => BusyFrame {
+                id: splitmix(&mut st),
+                queue_depth: (splitmix(&mut st) % 4096) as u32,
+                queue_limit: (splitmix(&mut st) % 4096) as u32,
+            }
+            .into_frame(),
         })
         .collect()
 }
@@ -145,6 +190,85 @@ proptest! {
             }
         }
         let _ = d.finish();
+    }
+
+    /// QUERY/RESULT/BUSY frames round-trip *typed* under arbitrary read
+    /// chunking: whatever splits the socket produces, every frame comes
+    /// back with its kind intact and its payload decoding to the exact
+    /// typed value that was sent.
+    #[test]
+    fn service_frames_round_trip_typed_under_chunking(seed in 0u64..u64::MAX) {
+        let frames = service_batch(seed);
+        let wire = encode_all(&frames);
+        let mut st = seed ^ 0xFACE;
+        let mut d = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut pos = 0usize;
+        while pos < wire.len() {
+            let take = 1 + (splitmix(&mut st) as usize) % 61;
+            let end = (pos + take).min(wire.len());
+            d.extend(&wire[pos..end]);
+            got.extend(drain(&mut d));
+            pos = end;
+        }
+        prop_assert_eq!(got.len(), frames.len());
+        for (g, f) in got.iter().zip(&frames) {
+            prop_assert_eq!(g.kind, f.kind);
+            match f.kind {
+                KIND_QUERY => prop_assert_eq!(
+                    QueryFrame::from_frame(g).unwrap(),
+                    QueryFrame::from_frame(f).unwrap()
+                ),
+                KIND_RESULT => prop_assert_eq!(
+                    ResultFrame::from_frame(g).unwrap(),
+                    ResultFrame::from_frame(f).unwrap()
+                ),
+                KIND_BUSY => prop_assert_eq!(
+                    BusyFrame::from_frame(g).unwrap(),
+                    BusyFrame::from_frame(f).unwrap()
+                ),
+                other => prop_assert!(false, "unexpected kind {}", other),
+            }
+        }
+        prop_assert!(d.finish().is_ok());
+    }
+
+    /// A service stream cut at every byte boundary: complete frames of
+    /// the prefix are delivered and typed-decodable, a cut inside a
+    /// frame is a structured `Truncated` on EOF, and no partial QUERY/
+    /// RESULT/BUSY payload ever reaches a typed decoder.
+    #[test]
+    fn torn_service_frames_are_structured_not_partial(seed in 0u64..u64::MAX) {
+        let frames: Vec<Frame> = service_batch(seed).into_iter().take(3).collect();
+        let wire = encode_all(&frames);
+        let mut bounds = vec![0usize];
+        for f in &frames {
+            bounds.push(bounds.last().unwrap() + f.wire_len());
+        }
+        for cut in 0..=wire.len() {
+            let mut d = FrameDecoder::new();
+            d.extend(&wire[..cut]);
+            let got = drain(&mut d);
+            let complete = bounds.iter().filter(|&&b| b <= cut).count() - 1;
+            prop_assert_eq!(got.len(), complete);
+            for (g, f) in got.iter().zip(&frames) {
+                // Whatever arrived complete decodes exactly; a typed
+                // decoder never sees a torn payload because the framing
+                // layer withholds incomplete frames entirely.
+                prop_assert_eq!(g, f);
+                match g.kind {
+                    KIND_QUERY => prop_assert!(QueryFrame::from_frame(g).is_ok()),
+                    KIND_RESULT => prop_assert!(ResultFrame::from_frame(g).is_ok()),
+                    KIND_BUSY => prop_assert!(BusyFrame::from_frame(g).is_ok()),
+                    _ => {}
+                }
+            }
+            if bounds.contains(&cut) {
+                prop_assert!(d.finish().is_ok());
+            } else {
+                prop_assert!(matches!(d.finish(), Err(FrameError::Truncated { .. })));
+            }
+        }
     }
 
     /// Flipping any single header byte of a lone frame is detected: the

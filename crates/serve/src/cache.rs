@@ -1,0 +1,118 @@
+//! LRU cache of hot-root level arrays.
+//!
+//! Every service operation is a function of its root's BFS level
+//! array, so the unit of caching is the whole array (`Arc`-shared with
+//! in-flight answers). Capacity is small (tens of entries — a scale-20
+//! level array is 4 MB), so eviction does a plain O(capacity) scan for
+//! the stalest recency stamp instead of carrying an intrusive list.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use sw_graph::Vid;
+
+/// An LRU map from root vertex to its level array.
+#[derive(Debug)]
+pub struct LevelCache {
+    cap: usize,
+    tick: u64,
+    map: HashMap<Vid, (Arc<Vec<u32>>, u64)>,
+    evictions: u64,
+}
+
+impl LevelCache {
+    /// An empty cache holding at most `cap` roots (`cap` = 0 disables
+    /// caching entirely).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            tick: 0,
+            map: HashMap::with_capacity(cap.saturating_add(1)),
+            evictions: 0,
+        }
+    }
+
+    /// Looks `root` up, refreshing its recency on a hit.
+    pub fn get(&mut self, root: Vid) -> Option<Arc<Vec<u32>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&root).map(|(levels, used)| {
+            *used = tick;
+            Arc::clone(levels)
+        })
+    }
+
+    /// Inserts (or refreshes) `root`'s level array, evicting the least
+    /// recently used entry when over capacity.
+    pub fn insert(&mut self, root: Vid, levels: Arc<Vec<u32>>) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.map.insert(root, (levels, self.tick));
+        while self.map.len() > self.cap {
+            let stalest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(&r, _)| r)
+                .expect("non-empty map over capacity");
+            self.map.remove(&stalest);
+            self.evictions += 1;
+        }
+    }
+
+    /// Roots currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Evictions since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc(v: u32) -> Arc<Vec<u32>> {
+        Arc::new(vec![v])
+    }
+
+    #[test]
+    fn hit_refreshes_recency() {
+        let mut c = LevelCache::new(2);
+        c.insert(1, arc(1));
+        c.insert(2, arc(2));
+        assert!(c.get(1).is_some()); // 1 is now fresher than 2
+        c.insert(3, arc(3));
+        assert!(c.get(2).is_none(), "2 was stalest and must be evicted");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn reinsert_does_not_grow() {
+        let mut c = LevelCache::new(2);
+        c.insert(1, arc(1));
+        c.insert(1, arc(10));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(1).unwrap()[0], 10);
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LevelCache::new(0);
+        c.insert(1, arc(1));
+        assert!(c.is_empty());
+        assert!(c.get(1).is_none());
+    }
+}

@@ -1,0 +1,600 @@
+//! The query server: admission → batcher → MS-BFS sweep → result
+//! cache, behind a Unix-domain or TCP listener.
+//!
+//! One accept thread hands each connection to a reader thread; readers
+//! admit `QUERY` frames onto one bounded queue (full queue → immediate
+//! `BUSY`, never unbounded latency); a single worker thread owns the
+//! graph cluster, drains the queue in FIFO order through
+//! [`crate::batcher::CyclePlan`], runs at most one
+//! [`sw_algos::msbfs`] sweep per cycle, and answers every query from a
+//! level array — freshly swept or cached. Deadlines are enforced at
+//! answer time as structured [`QueryStatus::Timeout`] results, so an
+//! overloaded server degrades to late-but-shaped answers and sheds the
+//! rest, instead of hanging clients.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sw_algos::msbfs::{msbfs_distributed, MAX_BATCH, UNREACHED};
+use sw_algos::runtime::AlgoCluster;
+use sw_graph::{EdgeList, Vid};
+use sw_net::framing::{
+    BusyFrame, FrameDecoder, QueryFrame, QueryOp, QueryStatus, ResultFrame, KIND_QUERY,
+};
+use sw_trace::{CounterSet, Tracer};
+use swbfs_core::config::Messaging;
+use swbfs_core::instrument as ins;
+
+use crate::batcher::{CyclePlan, Placement};
+use crate::cache::LevelCache;
+use crate::counters as c;
+use crate::wire::{read_frame, write_frame, ReadEvent, Stream};
+
+/// How the server is reachable.
+#[derive(Clone, Debug)]
+pub enum ServerAddr {
+    /// Path of a Unix-domain socket.
+    #[cfg(unix)]
+    Unix(PathBuf),
+    /// A TCP endpoint on the loopback interface.
+    Tcp(SocketAddr),
+}
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Logical ranks of the in-process cluster.
+    pub ranks: u32,
+    /// Relay-group width of the cluster.
+    pub group_size: u32,
+    /// Exchange mode for sweep rounds.
+    pub messaging: Messaging,
+    /// Admission bound: queued-but-unanswered queries beyond this are
+    /// shed with `BUSY`.
+    pub max_queue: usize,
+    /// Most roots one sweep may carry (clamped to [`MAX_BATCH`]).
+    pub max_batch: usize,
+    /// Hot-root level arrays kept resident (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Start with the worker paused — queries queue (and shed) but are
+    /// not answered until [`Server::resume`]. Lets tests and `svcbench`
+    /// stage a whole burst into one deterministic cycle.
+    pub start_paused: bool,
+    /// Artificial pre-sweep delay per cycle, a test hook for exercising
+    /// deadlines and overload without a slow graph.
+    pub service_delay: Duration,
+    /// Span recorder for `query`/`sweep` spans (counters are always on).
+    pub tracer: Option<Tracer>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            ranks: 4,
+            group_size: 2,
+            messaging: Messaging::Direct,
+            max_queue: 256,
+            max_batch: MAX_BATCH,
+            cache_capacity: 32,
+            start_paused: false,
+            service_delay: Duration::ZERO,
+            tracer: None,
+        }
+    }
+}
+
+/// One admitted query awaiting its cycle.
+struct Job {
+    query: QueryFrame,
+    received: Instant,
+    reply: Arc<Mutex<Stream>>,
+}
+
+/// State shared by the accept, reader, and worker threads.
+struct Shared {
+    stop: AtomicBool,
+    paused: AtomicBool,
+    /// Set by the worker only while it is sleeping in the paused
+    /// state — the acknowledgement [`Server::pause`] blocks on.
+    parked: AtomicBool,
+    depth: AtomicUsize,
+    max_queue: usize,
+    metrics: Mutex<CounterSet>,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+enum Listener {
+    #[cfg(unix)]
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn set_nonblocking(&self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(true),
+            Listener::Tcp(l) => l.set_nonblocking(true),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+}
+
+/// A running query server. Dropping it shuts it down.
+pub struct Server {
+    addr: ServerAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    worker: Option<JoinHandle<()>>,
+    /// Kept alive until shutdown so readers' sends see `Full`, not a
+    /// disconnected channel, while the worker is busy.
+    queue_tx: Option<SyncSender<Job>>,
+    unix_dir: Option<PathBuf>,
+}
+
+impl Server {
+    /// Loads `el` into an in-process cluster and starts serving on a
+    /// fresh Unix-domain socket (TCP on non-Unix platforms).
+    pub fn start(el: &EdgeList, cfg: ServeConfig) -> io::Result<Server> {
+        #[cfg(unix)]
+        {
+            static SEQ: AtomicUsize = AtomicUsize::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "sw-serve-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir)?;
+            let path = dir.join("sock");
+            let listener = Listener::Unix(UnixListener::bind(&path)?);
+            Self::spawn(el, cfg, listener, ServerAddr::Unix(path), Some(dir))
+        }
+        #[cfg(not(unix))]
+        {
+            Self::start_tcp(el, cfg)
+        }
+    }
+
+    /// Like [`Server::start`], but listening on an ephemeral loopback
+    /// TCP port.
+    pub fn start_tcp(el: &EdgeList, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = ServerAddr::Tcp(listener.local_addr()?);
+        Self::spawn(el, cfg, Listener::Tcp(listener), addr, None)
+    }
+
+    fn spawn(
+        el: &EdgeList,
+        cfg: ServeConfig,
+        listener: Listener,
+        addr: ServerAddr,
+        unix_dir: Option<PathBuf>,
+    ) -> io::Result<Server> {
+        listener.set_nonblocking()?;
+        let max_batch = cfg.max_batch.clamp(1, MAX_BATCH);
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            paused: AtomicBool::new(cfg.start_paused),
+            parked: AtomicBool::new(false),
+            depth: AtomicUsize::new(0),
+            max_queue: cfg.max_queue.max(1),
+            metrics: Mutex::new(CounterSet::new()),
+            conns: Mutex::new(Vec::new()),
+        });
+        let (tx, rx) = mpsc::sync_channel::<Job>(shared.max_queue);
+
+        // The cluster is built on the caller's thread (parallel CSR
+        // construction) and moved into the worker.
+        let cluster = AlgoCluster::new(el, cfg.ranks, cfg.group_size, cfg.messaging);
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let cache_cap = cfg.cache_capacity;
+            let delay = cfg.service_delay;
+            let tracer = cfg.tracer.clone();
+            std::thread::Builder::new()
+                .name("sw-serve-worker".into())
+                .spawn(move || {
+                    worker_loop(cluster, rx, shared, cache_cap, max_batch, delay, tracer)
+                })?
+        };
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let tx = tx.clone();
+            std::thread::Builder::new()
+                .name("sw-serve-accept".into())
+                .spawn(move || accept_loop(listener, tx, shared))?
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            worker: Some(worker),
+            queue_tx: Some(tx),
+            unix_dir,
+        })
+    }
+
+    /// Where clients should connect.
+    pub fn addr(&self) -> ServerAddr {
+        self.addr.clone()
+    }
+
+    /// A snapshot of the accumulated `serve.*` counters.
+    pub fn metrics(&self) -> CounterSet {
+        self.shared.metrics.lock().unwrap().clone()
+    }
+
+    /// Holds the worker: queries keep queuing (and shedding past the
+    /// admission bound) but no cycle runs until [`Server::resume`].
+    ///
+    /// Blocks until the worker has finished any in-flight cycle and
+    /// actually parked, so everything sent after `pause` returns is
+    /// guaranteed to be staged, not served early.
+    pub fn pause(&self) {
+        self.shared.paused.store(true, Ordering::SeqCst);
+        while !self.shared.parked.load(Ordering::SeqCst)
+            && !self.shared.stop.load(Ordering::SeqCst)
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Releases a [`Server::pause`] — the worker drains everything
+    /// queued in FIFO order.
+    pub fn resume(&self) {
+        self.shared.paused.store(false, Ordering::SeqCst);
+    }
+
+    /// Queries currently admitted but not yet dequeued.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.depth.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, drains the threads, and removes the socket.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Un-pause so a held worker can observe the stop flag promptly.
+        self.shared.paused.store(false, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.shared.conns.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+        // With the accept thread and every reader gone, dropping the
+        // last sender lets the worker's recv disconnect.
+        self.queue_tx = None;
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+        if let Some(dir) = self.unix_dir.take() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: Listener, tx: SyncSender<Job>, shared: Arc<Shared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(stream) => {
+                let tx = tx.clone();
+                let sh = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("sw-serve-conn".into())
+                    .spawn(move || reader_loop(stream, tx, sh));
+                if let Ok(h) = handle {
+                    shared.conns.lock().unwrap().push(h);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn reader_loop(stream: Stream, tx: SyncSender<Job>, shared: Arc<Shared>) {
+    let reply = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut stream = stream;
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(25)))
+        .is_err()
+    {
+        return;
+    }
+    let mut dec = FrameDecoder::new();
+    while !shared.stop.load(Ordering::SeqCst) {
+        let frame = match read_frame(&mut stream, &mut dec) {
+            Ok(ReadEvent::Frame(f)) => f,
+            Ok(ReadEvent::TimedOut) => continue,
+            Ok(ReadEvent::Closed) | Err(_) => break,
+        };
+        if frame.kind != KIND_QUERY {
+            // A peer speaking the wrong protocol gets disconnected
+            // rather than interpreted.
+            break;
+        }
+        match QueryFrame::from_frame(&frame) {
+            Ok(query) => {
+                let job = Job {
+                    query,
+                    received: Instant::now(),
+                    reply: Arc::clone(&reply),
+                };
+                match tx.try_send(job) {
+                    Ok(()) => {
+                        shared.depth.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(TrySendError::Full(job)) => {
+                        shared.metrics.lock().unwrap().add(c::SHED, 1);
+                        let busy = BusyFrame {
+                            id: job.query.id,
+                            queue_depth: shared.depth.load(Ordering::SeqCst) as u32,
+                            queue_limit: shared.max_queue as u32,
+                        };
+                        let mut w = job.reply.lock().unwrap();
+                        let _ = write_frame(&mut w, &busy.into_frame());
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Err(_) => {
+                // Structurally broken QUERY payload: answer BadQuery on
+                // a best-effort id (the first 8 payload bytes) so the
+                // client's correlation does not silently leak.
+                shared.metrics.lock().unwrap().add(c::BAD_QUERIES, 1);
+                let id = frame
+                    .payload
+                    .get(..8)
+                    .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                    .unwrap_or(0);
+                let res = ResultFrame {
+                    id,
+                    status: QueryStatus::BadQuery,
+                    value: 0,
+                    batch_roots: 0,
+                    micros: 0,
+                };
+                let mut w = reply.lock().unwrap();
+                let _ = write_frame(&mut w, &res.into_frame());
+            }
+        }
+    }
+}
+
+/// Is the query answerable, and from which root's level array?
+fn valid_root(q: &QueryFrame, n: Vid) -> Option<Vid> {
+    if q.root >= n {
+        return None;
+    }
+    match q.op {
+        QueryOp::Distance | QueryOp::Reachable if q.target >= n => None,
+        _ => Some(q.root),
+    }
+}
+
+/// Answers one well-formed query from its root's level array.
+fn compute_value(q: &QueryFrame, levels: &[u32]) -> u64 {
+    match q.op {
+        QueryOp::Distance => {
+            let l = levels[q.target as usize];
+            if l == UNREACHED {
+                u64::MAX
+            } else {
+                u64::from(l)
+            }
+        }
+        QueryOp::Reachable => u64::from(levels[q.target as usize] != UNREACHED),
+        QueryOp::KHop => levels
+            .iter()
+            .filter(|&&l| l != UNREACHED && l <= q.hops)
+            .count() as u64,
+    }
+}
+
+/// The worker: one service cycle per iteration — collect, sweep once,
+/// answer everything collected.
+fn worker_loop(
+    mut cluster: AlgoCluster,
+    rx: Receiver<Job>,
+    shared: Arc<Shared>,
+    cache_cap: usize,
+    max_batch: usize,
+    delay: Duration,
+    tracer: Option<Tracer>,
+) {
+    let n = cluster.num_vertices();
+    let mut cache = LevelCache::new(cache_cap);
+    let mut evictions_seen = 0u64;
+    let mut carry: Option<Job> = None;
+    let mut cycle = 0u32;
+    let tr = tracer.as_ref();
+    let sweep_lane = tracer.as_ref().map_or(0, |t| 1 % t.num_lanes().max(1));
+
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if shared.paused.load(Ordering::SeqCst) {
+            shared.parked.store(true, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        }
+        shared.parked.store(false, Ordering::SeqCst);
+
+        // Collect the cycle: the carried query (if any) goes first,
+        // then everything already queued, FIFO, until a root doesn't
+        // fit the sweep.
+        let first = match carry.take() {
+            Some(job) => job,
+            None => match rx.recv_timeout(Duration::from_millis(10)) {
+                Ok(job) => {
+                    shared.depth.fetch_sub(1, Ordering::SeqCst);
+                    job
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            },
+        };
+
+        let mut local = CounterSet::new();
+        let mut plan = CyclePlan::new(max_batch);
+        let mut resident: HashMap<Vid, Arc<Vec<u32>>> = HashMap::new();
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut pending = Some(first);
+        loop {
+            let job = match pending.take() {
+                Some(j) => j,
+                None => match rx.try_recv() {
+                    Ok(j) => {
+                        shared.depth.fetch_sub(1, Ordering::SeqCst);
+                        j
+                    }
+                    Err(_) => break,
+                },
+            };
+            let root = valid_root(&job.query, n);
+            let hit = match root {
+                Some(r) if resident.contains_key(&r) => true,
+                Some(r) => {
+                    if let Some(levels) = cache.get(r) {
+                        resident.insert(r, levels);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => false,
+            };
+            match plan.offer(root, hit) {
+                Some(_) => jobs.push(job),
+                None => {
+                    local.add(c::CARRIED, 1);
+                    carry = Some(job);
+                    break;
+                }
+            }
+        }
+
+        // Test hook: make the service measurably slow so deadline and
+        // overload paths are exercisable without a huge graph.
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+
+        // One sweep answers every uncached root of the cycle.
+        if !plan.roots.is_empty() {
+            let t0 = ins::span_begin(tr);
+            let mut out = msbfs_distributed(&mut cluster, &plan.roots);
+            for (k, &root) in out.sources.iter().enumerate() {
+                let levels = Arc::new(std::mem::take(&mut out.levels[k]));
+                cache.insert(root, Arc::clone(&levels));
+                resident.insert(root, levels);
+            }
+            local.add(c::BATCHES, 1);
+            local.add(c::SWEPT_ROOTS, plan.roots.len() as u64);
+            local.add(c::CACHE_MISSES, plan.roots.len() as u64);
+            local.record(c::MAX_ROOTS_PER_BATCH, plan.roots.len() as u64);
+            local.add(c::SWEEP_ROUNDS, u64::from(out.rounds));
+            ins::span_end(
+                tr,
+                sweep_lane,
+                c::SPAN_SWEEP,
+                c::CAT_SERVE,
+                cycle,
+                t0,
+                plan.roots.len() as u64,
+            );
+        }
+
+        // Answer phase: compute every accepted query's result first, in
+        // admission order.
+        let mut answers: Vec<(ResultFrame, u64, u64)> = Vec::with_capacity(jobs.len());
+        for (k, job) in jobs.iter().enumerate() {
+            let q = &job.query;
+            let t0 = ins::span_begin(tr);
+            let elapsed = job.received.elapsed();
+            let placement = plan.placements[k];
+            local.add(c::QUERIES, 1);
+            match placement {
+                Placement::CacheHit => local.add(c::CACHE_HITS, 1),
+                Placement::Coalesced => local.add(c::COALESCED, 1),
+                Placement::FreshRoot | Placement::NoSweep => {}
+            }
+            let deadline = Duration::from_millis(u64::from(q.deadline_ms));
+            let (status, value) = if placement == Placement::NoSweep {
+                (QueryStatus::BadQuery, 0)
+            } else if q.deadline_ms > 0 && elapsed > deadline {
+                (QueryStatus::Timeout, 0)
+            } else {
+                let levels = resident
+                    .get(&q.root)
+                    .expect("accepted root resident after sweep");
+                (QueryStatus::Ok, compute_value(q, levels))
+            };
+            match status {
+                QueryStatus::Ok => local.add(c::RESULTS_OK, 1),
+                QueryStatus::Timeout => local.add(c::TIMEOUTS, 1),
+                QueryStatus::BadQuery => local.add(c::BAD_QUERIES, 1),
+            }
+            let micros = elapsed.as_micros() as u64;
+            let res = ResultFrame {
+                id: q.id,
+                status,
+                value,
+                batch_roots: match placement {
+                    Placement::CacheHit | Placement::NoSweep => 0,
+                    Placement::FreshRoot | Placement::Coalesced => plan.roots.len() as u32,
+                },
+                micros,
+            };
+            answers.push((res, t0, micros));
+        }
+
+        // Flush counters *before* the replies go out, so a client that
+        // reads `Server::metrics` right after its answer arrives always
+        // sees the cycle that produced it.
+        let evictions = cache.evictions();
+        local.add(c::CACHE_EVICTIONS, evictions - evictions_seen);
+        evictions_seen = evictions;
+        shared.metrics.lock().unwrap().merge(&local);
+
+        for (job, (res, t0, micros)) in jobs.iter().zip(answers) {
+            {
+                let mut w = job.reply.lock().unwrap();
+                let _ = write_frame(&mut w, &res.into_frame());
+            }
+            ins::span_end(tr, 0, c::SPAN_QUERY, c::CAT_SERVE, cycle, t0, micros);
+        }
+        cycle = cycle.wrapping_add(1);
+    }
+}

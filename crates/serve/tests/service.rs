@@ -1,0 +1,240 @@
+//! End-to-end battery for the query service: correctness against the
+//! sequential oracle, structured deadlines (a late answer is a
+//! `Timeout` result, never a hang), overload shedding (`BUSY`, then
+//! full recovery), batching attribution, and clean shutdown.
+
+use std::time::Duration;
+
+use sw_algos::msbfs::bfs_levels_oracle;
+use sw_graph::{generate_kronecker, EdgeList, KroneckerConfig};
+use sw_net::framing::{QueryOp, QueryStatus, ResultFrame};
+use sw_serve::{Client, Response, ServeConfig, Server};
+
+fn graph() -> EdgeList {
+    generate_kronecker(&KroneckerConfig::graph500(10, 77))
+}
+
+fn answer(r: Response) -> ResultFrame {
+    match r {
+        Response::Answer(a) => a,
+        Response::Busy(b) => panic!("unexpected BUSY (depth {})", b.queue_depth),
+    }
+}
+
+#[test]
+fn light_load_answers_match_oracle_with_zero_shed() {
+    let el = graph();
+    let n = el.num_vertices;
+    let mut server = Server::start(&el, ServeConfig::default()).unwrap();
+    let mut client = Client::connect(&server.addr()).unwrap();
+
+    let roots = [1u64, 5, 1, 900, 5, 33];
+    for (i, &root) in roots.iter().enumerate() {
+        let target = (root * 7 + i as u64) % n;
+        let oracle = bfs_levels_oracle(&el, root);
+
+        let d = answer(client.query(QueryOp::Distance, root, target, 0, 0).unwrap());
+        assert_eq!(d.status, QueryStatus::Ok);
+        let want = oracle[target as usize];
+        let want = if want == u32::MAX { u64::MAX } else { u64::from(want) };
+        assert_eq!(d.value, want, "distance {root}->{target}");
+
+        let r = answer(client.query(QueryOp::Reachable, root, target, 0, 0).unwrap());
+        assert_eq!(r.value, u64::from(oracle[target as usize] != u32::MAX));
+
+        let k = answer(client.query(QueryOp::KHop, root, 0, 2, 0).unwrap());
+        let want_k = oracle.iter().filter(|&&l| l != u32::MAX && l <= 2).count() as u64;
+        assert_eq!(k.value, want_k, "2-hop neighbourhood of {root}");
+    }
+
+    let m = server.metrics();
+    assert_eq!(m.get("serve.shed"), 0, "light load must never shed");
+    assert_eq!(m.get("serve.queries"), 3 * roots.len() as u64);
+    assert_eq!(m.get("serve.results_ok"), 3 * roots.len() as u64);
+    assert!(m.get("serve.cache_hits") > 0, "repeat roots must hit the cache");
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadline_is_a_structured_timeout_not_a_hang() {
+    let el = graph();
+    let cfg = ServeConfig {
+        service_delay: Duration::from_millis(60),
+        ..ServeConfig::default()
+    };
+    let mut server = Server::start(&el, cfg).unwrap();
+    let mut client = Client::connect(&server.addr()).unwrap();
+
+    // 1 ms budget against a 60 ms service floor: must come back quickly
+    // and shaped, with the timeout attributed in the counters.
+    let t = answer(client.query(QueryOp::Distance, 1, 2, 0, 1).unwrap());
+    assert_eq!(t.status, QueryStatus::Timeout);
+    assert_eq!(t.value, 0);
+    assert!(t.micros >= 1_000, "timeout must report real latency");
+
+    // The same server keeps answering: a deadline-free query succeeds,
+    // and a generous deadline is honoured.
+    let ok = answer(client.query(QueryOp::Distance, 1, 2, 0, 0).unwrap());
+    assert_eq!(ok.status, QueryStatus::Ok);
+    let ok = answer(client.query(QueryOp::Distance, 1, 2, 0, 60_000).unwrap());
+    assert_eq!(ok.status, QueryStatus::Ok);
+
+    let m = server.metrics();
+    assert_eq!(m.get("serve.timeouts"), 1);
+    assert_eq!(m.get("serve.results_ok"), 2);
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_busy_and_recovers() {
+    let el = graph();
+    let cfg = ServeConfig {
+        max_queue: 4,
+        start_paused: true,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::start(&el, cfg).unwrap();
+    let mut client = Client::connect(&server.addr()).unwrap();
+
+    // With the worker held, only the queue's 4 slots admit; the rest of
+    // the burst must shed immediately with BUSY.
+    const BURST: usize = 30;
+    for i in 0..BURST {
+        client.send(QueryOp::Distance, (i % 8) as u64, 1, 0, 0).unwrap();
+    }
+    // Wait until the reader has disposed of the whole burst (4 queued +
+    // 26 shed) before releasing the worker, so the split is exact.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.metrics().get("serve.shed") + server.queue_depth() as u64 != BURST as u64 {
+        assert!(std::time::Instant::now() < deadline, "burst never fully admitted/shed");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    server.resume();
+
+    let mut busy = 0usize;
+    let mut ok = 0usize;
+    for _ in 0..BURST {
+        match client.recv().unwrap() {
+            Response::Busy(b) => {
+                busy += 1;
+                assert_eq!(b.queue_limit, 4);
+                assert!(b.queue_depth <= 4);
+            }
+            Response::Answer(a) => {
+                assert_eq!(a.status, QueryStatus::Ok);
+                ok += 1;
+            }
+        }
+    }
+    assert_eq!(busy + ok, BURST);
+    assert_eq!(busy, BURST - 4, "exactly the queue overflow must shed");
+
+    // Recovered: a fresh query on the same connection answers fine.
+    let a = answer(client.query(QueryOp::Distance, 3, 9, 0, 0).unwrap());
+    assert_eq!(a.status, QueryStatus::Ok);
+
+    let m = server.metrics();
+    assert_eq!(m.get("serve.shed"), busy as u64);
+    assert_eq!(m.get("serve.queries"), 5);
+    server.shutdown();
+}
+
+#[test]
+fn batching_attribution_and_cache_hits() {
+    let el = graph();
+    let cfg = ServeConfig {
+        start_paused: true,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::start(&el, cfg).unwrap();
+    let mut client = Client::connect(&server.addr()).unwrap();
+
+    // Five queries over three distinct roots, staged into one cycle.
+    let roots = [10u64, 20, 30, 10, 20];
+    for &r in &roots {
+        client.send(QueryOp::Distance, r, 1, 0, 0).unwrap();
+    }
+    server.resume();
+    for _ in &roots {
+        let a = answer(client.recv().unwrap());
+        assert_eq!(a.status, QueryStatus::Ok);
+        assert_eq!(a.batch_roots, 3, "one 3-root sweep serves the cycle");
+    }
+
+    // Re-asking a swept root is a cache hit: no sweep attribution.
+    let a = answer(client.query(QueryOp::KHop, 20, 0, 1, 0).unwrap());
+    assert_eq!(a.status, QueryStatus::Ok);
+    assert_eq!(a.batch_roots, 0);
+
+    let m = server.metrics();
+    assert_eq!(m.get("serve.batches"), 1);
+    assert_eq!(m.get("serve.swept_roots"), 3);
+    assert_eq!(m.get("serve.max_roots_per_batch"), 3);
+    assert_eq!(m.get("serve.coalesced"), 2);
+    assert_eq!(m.get("serve.cache_hits"), 1);
+    assert_eq!(m.get("serve.cache_misses"), 3);
+    server.shutdown();
+}
+
+#[test]
+fn out_of_range_queries_are_bad_not_fatal() {
+    let el = graph();
+    let n = el.num_vertices;
+    let mut server = Server::start(&el, ServeConfig::default()).unwrap();
+    let mut client = Client::connect(&server.addr()).unwrap();
+
+    let bad_root = answer(client.query(QueryOp::Distance, n + 5, 0, 0, 0).unwrap());
+    assert_eq!(bad_root.status, QueryStatus::BadQuery);
+    let bad_target = answer(client.query(QueryOp::Reachable, 0, n, 0, 0).unwrap());
+    assert_eq!(bad_target.status, QueryStatus::BadQuery);
+
+    // KHop ignores `target`, so an out-of-range target is still valid.
+    let ok = answer(client.query(QueryOp::KHop, 0, n + 9, 1, 0).unwrap());
+    assert_eq!(ok.status, QueryStatus::Ok);
+
+    let m = server.metrics();
+    assert_eq!(m.get("serve.bad_queries"), 2);
+    assert_eq!(m.get("serve.results_ok"), 1);
+    server.shutdown();
+}
+
+#[test]
+fn tcp_and_unix_serve_identical_answers() {
+    let el = graph();
+    let mut tcp = Server::start_tcp(&el, ServeConfig::default()).unwrap();
+    let mut unix = Server::start(&el, ServeConfig::default()).unwrap();
+    let mut ct = Client::connect(&tcp.addr()).unwrap();
+    let mut cu = Client::connect(&unix.addr()).unwrap();
+    for root in [2u64, 40, 600] {
+        let at = answer(ct.query(QueryOp::KHop, root, 0, 3, 0).unwrap());
+        let au = answer(cu.query(QueryOp::KHop, root, 0, 3, 0).unwrap());
+        assert_eq!(at.value, au.value, "root {root}");
+        assert_eq!(at.status, QueryStatus::Ok);
+    }
+    tcp.shutdown();
+    unix.shutdown();
+}
+
+#[test]
+fn shutdown_is_idempotent_and_unblocks_clients() {
+    let el = graph();
+    let mut server = Server::start(&el, ServeConfig::default()).unwrap();
+    let addr = server.addr();
+    let mut client = Client::connect(&addr).unwrap();
+    let a = answer(client.query(QueryOp::Distance, 1, 2, 0, 0).unwrap());
+    assert_eq!(a.status, QueryStatus::Ok);
+
+    server.shutdown();
+    server.shutdown(); // idempotent
+
+    // The socket is gone: the pending read errors out instead of
+    // hanging, and reconnecting fails.
+    client.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+    client.send(QueryOp::Distance, 1, 2, 0, 0).ok();
+    assert!(client.recv().is_err(), "read after shutdown must fail");
+    assert!(Client::connect(&addr).is_err(), "socket must be removed");
+
+    if let sw_serve::ServerAddr::Unix(path) = &addr {
+        assert!(!path.exists(), "unix socket file must be cleaned up");
+    }
+}

@@ -7,8 +7,9 @@
 //! * [`arch`] ([`sw_arch`]) — SW26010 chip simulator.
 //! * [`net`] ([`sw_net`]) — TaihuLight interconnect model.
 //! * [`bfs`] ([`swbfs_core`]) — the distributed direction-optimizing BFS.
-//! * [`algos`] ([`sw_algos`]) — SSSP / WCC / PageRank / K-core extensions.
+//! * [`algos`] ([`sw_algos`]) — SSSP / WCC / PageRank / K-core / MS-BFS extensions.
 //! * [`graph500`] ([`sw_graph500`]) — the Graph500 benchmark harness.
+//! * [`serve`] ([`sw_serve`]) — the always-on query service over batched MS-BFS.
 //!
 //! ```
 //! use swbfs::bfs::{BfsConfig, ClusterBuilder};
@@ -31,4 +32,5 @@ pub use sw_arch as arch;
 pub use sw_graph as graph;
 pub use sw_graph500 as graph500;
 pub use sw_net as net;
+pub use sw_serve as serve;
 pub use swbfs_core as bfs;
