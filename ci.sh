@@ -70,6 +70,21 @@ cargo run --release -p sw-bench --bin regress
 # shutdown), then svcbench — which gates the MS-BFS batch-64 speedup,
 # asserts zero shed under light load, and diffs the deterministic
 # serve.* counter snapshot against BENCH_service.json (svc.* timing
-# keys are recorded but never gated; re-baseline with --write).
+# keys get a wide 20x band; re-baseline with --write).
 timeout 600 cargo test -q -p sw-serve
 timeout 600 cargo run --release -q -p sw-bench --bin svcbench
+
+# Live-telemetry gate. Two halves:
+#  1. swtop --selftest starts in-process servers on both listener
+#     families, drives load, polls the STATS endpoint, and validates
+#     the JSON and Prometheus renderings line-by-line.
+#  2. Zero-perturbation: the deterministic suites re-run with the live
+#     plane armed (SW_LIVE=1). Every assertion in golden_trace,
+#     engine_conformance, and tracecheck is bit-exactness against a
+#     disarmed baseline or committed snapshot, so any leak from the
+#     wall-clock plane into deterministic state fails right here.
+timeout 600 cargo run --release -q -p sw-bench --bin swtop -- --selftest
+SW_LIVE=1 timeout 600 cargo test -q -p swbfs-core --test golden_trace
+SW_LIVE=1 timeout 600 cargo test -q -p swbfs-core --test engine_conformance socket
+SW_LIVE=1 timeout 600 cargo test -q -p swbfs-core --test socket_telemetry
+SW_LIVE=1 cargo run --release -p sw-bench --bin tracecheck

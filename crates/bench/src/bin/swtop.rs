@@ -1,0 +1,279 @@
+//! swtop — a live terminal dashboard for a running sw-serve instance.
+//!
+//! Polls the STATS endpoint (kind 19/20, answered by the reader thread
+//! without touching admission) and renders the `live.*` histogram /
+//! window plane next to the deterministic `serve.*` counters: QPS,
+//! latency quantiles, shed and cache rates, in-flight depth, slow-query
+//! count, and per-lane trace-ring drops.
+//!
+//! ```text
+//! swtop --unix /path/to.sock [--interval-ms N] [--iters N] [--once]
+//! swtop --tcp 127.0.0.1:4242 --prom      # raw Prometheus exposition
+//! swtop --selftest                       # CI: in-process servers, both
+//!                                        # families, validate + render
+//! ```
+//!
+//! Polling is pure observation: the endpoint bypasses admission, is
+//! never shed, and moves no deterministic counter (the invariant is
+//! test-enforced in `sw-serve`), so leaving swtop running against a
+//! production server perturbs nothing but the NIC.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use sw_serve::{Client, ServeConfig, Server, ServerAddr};
+use sw_trace::CounterSet;
+
+struct Opts {
+    target: Option<ServerAddr>,
+    interval: Duration,
+    iters: u64,
+    once: bool,
+    prom: bool,
+    selftest: bool,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut o = Opts {
+        target: None,
+        interval: Duration::from_millis(1000),
+        iters: 0,
+        once: false,
+        prom: false,
+        selftest: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match a.as_str() {
+            "--unix" => o.target = Some(ServerAddr::Unix(val("--unix")?.into())),
+            "--tcp" => {
+                let sa = val("--tcp")?
+                    .parse()
+                    .map_err(|e| format!("bad --tcp address: {e}"))?;
+                o.target = Some(ServerAddr::Tcp(sa));
+            }
+            "--interval-ms" => {
+                let ms: u64 =
+                    val("--interval-ms")?.parse().map_err(|e| format!("bad --interval-ms: {e}"))?;
+                o.interval = Duration::from_millis(ms);
+            }
+            "--iters" => {
+                o.iters = val("--iters")?.parse().map_err(|e| format!("bad --iters: {e}"))?
+            }
+            "--once" => o.once = true,
+            "--prom" => o.prom = true,
+            "--selftest" => o.selftest = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if !o.selftest && o.target.is_none() {
+        return Err("need --unix PATH, --tcp ADDR, or --selftest".into());
+    }
+    Ok(o)
+}
+
+/// One histogram row: count, quantiles, max, mean — all in µs.
+fn hist_row(cs: &CounterSet, name: &str) -> String {
+    let g = |suffix: &str| cs.get(&format!("live.{name}.{suffix}"));
+    format!(
+        "n {:<8} p50 {:<8} p90 {:<8} p99 {:<8} max {:<8} mean {}",
+        g("count"),
+        g("p50"),
+        g("p90"),
+        g("p99"),
+        g("max"),
+        g("mean"),
+    )
+}
+
+/// Renders one dashboard frame from a stats snapshot.
+fn render(cs: &CounterSet, target: &str, frame: u64) -> String {
+    let mut out = String::new();
+    let g = |k: &str| cs.get(k);
+    out.push_str(&format!("swtop — {target} — frame {frame}\n\n"));
+
+    out.push_str(&format!(
+        "queries   total {:<10} ok {:<10} bad {:<6} timeout {}\n",
+        g("serve.queries"),
+        g("serve.results_ok"),
+        g("serve.results_bad"),
+        g("serve.results_timeout"),
+    ));
+    out.push_str(&format!(
+        "rate      answers/s {:<6} (10s avg {:<6}) lookups/s {:<6} shed/s {}\n",
+        g("live.serve.answers.1s"),
+        g("live.serve.answers.10s") / 10,
+        g("live.serve.lookups.1s"),
+        g("live.serve.shed.1s"),
+    ));
+    out.push_str(&format!("latency µs  {}\n", hist_row(cs, "serve.latency_micros")));
+    out.push_str(&format!("sweep µs    {}\n", hist_row(cs, "serve.sweep_micros")));
+
+    let (hits, misses) = (g("serve.cache_hits"), g("serve.cache_misses"));
+    let lookups = hits + misses;
+    let pct = if lookups == 0 { 0 } else { hits * 100 / lookups };
+    out.push_str(&format!(
+        "cache     hits {hits} / {lookups} lookups ({pct}%)   hits/s {}   evictions {}\n",
+        g("live.serve.cache_hits.1s"),
+        g("serve.cache_evictions"),
+    ));
+    out.push_str(&format!(
+        "pressure  in-flight {:<4} shed total {:<6} slow queries {}\n",
+        g("live.serve.inflight"),
+        g("serve.shed"),
+        g("live.serve.slow_queries"),
+    ));
+
+    // Per-lane trace rings and per-rank fabric rows, whichever the
+    // server exposes (generic over the gauge namespace).
+    let mut lanes: Vec<(&str, u64)> = cs
+        .iter()
+        .filter(|(k, _)| {
+            (k.starts_with("live.trace.") || k.starts_with("live.socket.rank"))
+                && (k.ends_with(".dropped") || k.ends_with(".frames") || k.ends_with(".bytes"))
+        })
+        .collect();
+    lanes.sort();
+    if !lanes.is_empty() {
+        out.push_str("lanes/ranks\n");
+        for (k, v) in lanes {
+            out.push_str(&format!("  {:<40} {v}\n", k.trim_start_matches("live.")));
+        }
+    }
+    out
+}
+
+/// Checks one snapshot for the keys every healthy server must expose.
+fn validate_json(json: &str) -> Result<CounterSet, String> {
+    let cs = CounterSet::from_json(json).map_err(|e| format!("stats JSON: {e}"))?;
+    for key in [
+        "live.serve.latency_micros.count",
+        "live.serve.latency_micros.p50",
+        "live.serve.latency_micros.p99",
+        "live.serve.answers.1s",
+        "live.serve.inflight",
+        "serve.queries",
+        "serve.results_ok",
+    ] {
+        if !cs.iter().any(|(k, _)| k == key) {
+            return Err(format!("stats snapshot is missing {key}"));
+        }
+    }
+    Ok(cs)
+}
+
+/// Checks the Prometheus rendering: typed summaries, numeric values.
+fn validate_prometheus(prom: &str) -> Result<(), String> {
+    if !prom.contains("# TYPE live_serve_latency_micros summary") {
+        return Err("missing latency summary TYPE line".into());
+    }
+    if !prom.contains("live_serve_latency_micros{quantile=\"0.99\"}") {
+        return Err("missing p99 quantile sample".into());
+    }
+    for line in prom.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        let (_, value) = line.rsplit_once(' ').ok_or_else(|| format!("malformed line {line:?}"))?;
+        value.parse::<u64>().map_err(|_| format!("non-numeric value in {line:?}"))?;
+    }
+    Ok(())
+}
+
+fn poll_loop(o: &Opts) -> Result<(), String> {
+    let addr = o.target.clone().expect("target checked in parse_opts");
+    let target = match &addr {
+        ServerAddr::Unix(p) => format!("unix:{}", p.display()),
+        ServerAddr::Tcp(sa) => format!("tcp:{sa}"),
+    };
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect {target}: {e}"))?;
+    let mut frame = 0u64;
+    loop {
+        frame += 1;
+        if o.prom {
+            let prom = client.stats_prometheus().map_err(|e| format!("stats: {e}"))?;
+            print!("{prom}");
+        } else {
+            let cs = validate_json(&client.stats_json().map_err(|e| format!("stats: {e}"))?)?;
+            if !o.once {
+                print!("\x1b[2J\x1b[H"); // clear + home between frames
+            }
+            print!("{}", render(&cs, &target, frame));
+        }
+        if o.once || (o.iters > 0 && frame >= o.iters) {
+            return Ok(());
+        }
+        std::thread::sleep(o.interval);
+    }
+}
+
+/// Drives light mixed load so the selftest dashboard has something to
+/// show: a few distinct roots, one repeat (cache hit).
+fn drive_load(addr: &ServerAddr) -> Result<(), String> {
+    use sw_net::framing::QueryOp;
+    let mut client = Client::connect(addr).map_err(|e| format!("load connect: {e}"))?;
+    for root in [1u64, 5, 9, 1, 13, 5] {
+        match client
+            .query(QueryOp::Distance, root, root + 2, 0, 0)
+            .map_err(|e| format!("load query: {e}"))?
+        {
+            sw_serve::Response::Answer(_) => {}
+            sw_serve::Response::Busy(_) => return Err("selftest load shed".into()),
+        }
+    }
+    Ok(())
+}
+
+/// CI mode: start in-process servers on both listener families, drive
+/// load, validate both stats renderings, render one frame each.
+fn selftest() -> Result<(), String> {
+    use sw_graph::{generate_kronecker, KroneckerConfig};
+    let el = generate_kronecker(&KroneckerConfig::graph500(10, 77));
+
+    let starters: [(&str, fn(&sw_graph::EdgeList) -> std::io::Result<Server>); 2] = [
+        ("unix", |el| Server::start(el, ServeConfig::default())),
+        ("tcp", |el| Server::start_tcp(el, ServeConfig::default())),
+    ];
+    for (family, start) in starters {
+        let mut server = start(&el).map_err(|e| format!("{family} server: {e}"))?;
+        drive_load(&server.addr())?;
+
+        let mut monitor =
+            Client::connect(&server.addr()).map_err(|e| format!("{family} monitor: {e}"))?;
+        let json = monitor.stats_json().map_err(|e| format!("{family} stats: {e}"))?;
+        let cs = validate_json(&json).map_err(|e| format!("{family}: {e}"))?;
+        if cs.get("live.serve.latency_micros.count") != 6 {
+            return Err(format!(
+                "{family}: histogram saw {} samples, expected 6",
+                cs.get("live.serve.latency_micros.count")
+            ));
+        }
+        if cs.get("serve.queries") != 6 {
+            return Err(format!("{family}: serve.queries != 6"));
+        }
+        let prom = monitor.stats_prometheus().map_err(|e| format!("{family} prom: {e}"))?;
+        validate_prometheus(&prom).map_err(|e| format!("{family}: {e}"))?;
+
+        print!("{}", render(&cs, &format!("selftest:{family}"), 1));
+        println!();
+        server.shutdown();
+    }
+    println!("swtop selftest: both families OK");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let o = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("swtop: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if o.selftest { selftest() } else { poll_loop(&o) };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("swtop: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

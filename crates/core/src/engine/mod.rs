@@ -48,7 +48,7 @@ mod transport;
 pub use channels::Channels;
 pub use shared_mem::SharedMem;
 #[cfg(unix)]
-pub use socket::SocketTransport;
+pub use socket::{RankTelemetry, SocketTransport};
 pub use transport::Transport;
 
 use crate::config::BfsConfig;
@@ -721,6 +721,12 @@ impl<T: Transport> SuperstepEngine<T> {
             self.absorb_exchange(ls, &xs);
             return Ok(self.canonicalize(inboxes));
         }
+        // Wall-clock leg of the observability split: when the live
+        // plane is armed, each exchange also lands in a log2-bucketed
+        // latency histogram. The timer wraps the deterministic work but
+        // never feeds it — `exchange.*` counters come only from
+        // `ExchangeStats`.
+        let live_t0 = sw_trace::live::armed().then(std::time::Instant::now);
         if self.faults.is_some() {
             let plain = Codec::Fixed(self.cfg.edge_msg_bytes);
             let (messaging, codec, retry) = (self.cfg.messaging, self.cfg.codec(), self.cfg.retry);
@@ -735,13 +741,26 @@ impl<T: Transport> SuperstepEngine<T> {
             );
             self.absorb_exchange(ls, &xs);
             let inboxes = result?;
+            Self::live_record_exchange(live_t0);
             return Ok(self.canonicalize(inboxes));
         }
         let (inboxes, xs) =
             self.transport
                 .exchange(self.cfg.messaging, out, &self.layout, self.cfg.codec())?;
         self.absorb_exchange(ls, &xs);
+        Self::live_record_exchange(live_t0);
         Ok(self.canonicalize(inboxes))
+    }
+
+    /// Publishes one exchange's wall-clock duration to the armed live
+    /// plane. A `None` start means the plane was disarmed when the
+    /// exchange began — record nothing rather than half a sample.
+    fn live_record_exchange(live_t0: Option<std::time::Instant>) {
+        if let Some(t0) = live_t0 {
+            sw_trace::live::global()
+                .histogram("exchange.micros")
+                .record(t0.elapsed().as_micros() as u64);
+        }
     }
 
     /// Folds one exchange into the level record and the canonical

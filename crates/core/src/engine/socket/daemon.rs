@@ -36,7 +36,14 @@
 //! 7. daemon → parent: one `INBOX{phase=p, src}` per peer received,
 //!    in ascending source order, then `STATX` with the realization
 //!    tallies `[torn][resets][deferred]` (sender-side counts — they
-//!    are deterministic, unlike racing to classify EOFs receive-side)
+//!    are deterministic, unlike racing to classify EOFs receive-side),
+//!    then `TELEM` with the rank's cumulative wall-clock telemetry:
+//!    the phase-latency histogram (first `XMIT` arrival → results
+//!    emitted, microseconds, [`sw_trace::live::HistogramSnapshot`]
+//!    wire layout) followed by total mesh frames sent and payload
+//!    bytes moved. Cumulative totals, so the parent *replaces* its
+//!    per-rank copy on every report — losing a frame loses freshness,
+//!    never correctness.
 //!
 //! Control-connection EOF (or `BYE`) means the parent is done — or
 //! gone — and the daemon exits 0 *from any state*, which is what makes
@@ -47,10 +54,11 @@
 use super::sys::{poll_fds, Addr, Conn, Listener, PollFd, Stream, POLLIN, POLLOUT};
 use super::{
     CODE_DROP, CODE_TRUNCATE, DIE_AT_PHASE_ENV, KIND_BYE, KIND_HELLO, KIND_INBOX, KIND_MSG,
-    KIND_PEER, KIND_READY, KIND_STATX, KIND_TABLE, KIND_XMIT,
+    KIND_PEER, KIND_READY, KIND_STATX, KIND_TABLE, KIND_TELEM, KIND_XMIT,
 };
 use std::time::{Duration, Instant};
 use sw_net::framing::Frame;
+use sw_trace::live::LatencyHistogram;
 
 /// How long the daemon waits on any single blocking step (handshake
 /// connects, fault-realization flushes) before giving up. Generous: a
@@ -129,6 +137,15 @@ struct Rankd {
     resets: u32,
     deferred: u32,
     die_at: Option<u32>,
+    /// Wall-clock start of the current phase (first `XMIT` arrival);
+    /// taken at results emission into `phase_hist`.
+    phase_started: Option<Instant>,
+    /// Cumulative per-phase wall latency, shipped up as `TELEM`.
+    phase_hist: LatencyHistogram,
+    /// Cumulative mesh frames queued for send.
+    frames_sent: u64,
+    /// Cumulative mesh payload bytes queued for send.
+    bytes_sent: u64,
 }
 
 impl Rankd {
@@ -205,6 +222,10 @@ impl Rankd {
             die_at: std::env::var(DIE_AT_PHASE_ENV)
                 .ok()
                 .and_then(|s| s.parse().ok()),
+            phase_started: None,
+            phase_hist: LatencyHistogram::new(),
+            frames_sent: 0,
+            bytes_sent: 0,
         })
     }
 
@@ -308,6 +329,9 @@ impl Rankd {
                         }
                         if f.payload.len() < 2 {
                             return Err(Violation("XMIT payload missing realization header"));
+                        }
+                        if self.phase_started.is_none() {
+                            self.phase_started = Some(Instant::now());
                         }
                         self.xmits[d] = Some(f);
                         self.xmit_count += 1;
@@ -443,6 +467,8 @@ impl Rankd {
                 self.out[d] = Some(connect_peer(&self.addrs[d], self.rank, deadline)?);
             }
 
+            self.frames_sent += 1;
+            self.bytes_sent += msg.payload.len() as u64;
             if defer {
                 self.deferred += 1;
                 late.push((d, msg));
@@ -501,6 +527,21 @@ impl Rankd {
         ]
         .concat();
         self.ctrl.queue(&stat);
+
+        // The TELEM leg: cumulative wall-clock telemetry, always on —
+        // one ~560-byte frame per phase on a connection that already
+        // carries the whole inbox, and nothing here feeds the
+        // deterministic counters.
+        if let Some(t0) = self.phase_started.take() {
+            self.phase_hist.record(t0.elapsed().as_micros() as u64);
+        }
+        let mut telem = Frame::control(KIND_TELEM, self.phase, self.rank as u32, 0);
+        let mut body = Vec::new();
+        self.phase_hist.snapshot().encode_wire(&mut body);
+        body.extend_from_slice(&self.frames_sent.to_le_bytes());
+        body.extend_from_slice(&self.bytes_sent.to_le_bytes());
+        telem.payload = body;
+        self.ctrl.queue(&telem);
 
         self.msg_count = 0;
         self.sends_done = false;

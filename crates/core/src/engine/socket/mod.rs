@@ -17,10 +17,11 @@
 //! protocol). Records for rank `s → d` travel parent → daemon `s` →
 //! daemon `d` → parent: down the control connection as `XMIT`, across
 //! the daemons' unidirectional socket mesh as `MSG`, and back up as
-//! `INBOX`. The parent starts phase `p + 1` only after every `INBOX`
-//! and `STATX` of phase `p` arrived, so mesh traffic of different
-//! phases never interleaves — the lockstep that makes arrival
-//! accounting deterministic.
+//! `INBOX`. The parent starts phase `p + 1` only after every `INBOX`,
+//! `STATX`, and `TELEM` of phase `p` arrived, so mesh traffic of
+//! different phases never interleaves — the lockstep that makes
+//! arrival accounting deterministic (and gives the telemetry leg a
+//! deterministic delivery point for free).
 //!
 //! ## Fault realization
 //!
@@ -64,6 +65,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use sw_net::framing::{Frame, FLAG_COMPRESSED};
 use sw_net::GroupLayout;
+use sw_trace::live::{self, HistogramSnapshot, HIST_WIRE_BYTES};
 use sw_trace::Tracer;
 
 /// Frame kinds of the control and mesh protocol (one shared numbering;
@@ -77,6 +79,7 @@ pub(crate) const KIND_MSG: u8 = 6;
 pub(crate) const KIND_INBOX: u8 = 7;
 pub(crate) const KIND_STATX: u8 = 8;
 pub(crate) const KIND_BYE: u8 = 9;
+pub(crate) const KIND_TELEM: u8 = 10;
 
 /// Fault-realization codes carried in the `XMIT` pre-send header.
 pub(crate) const CODE_DROP: u8 = 1;
@@ -129,6 +132,22 @@ impl WireIncidents {
     }
 }
 
+/// One rank daemon's cumulative wall-clock telemetry, shipped up the
+/// control connection as a `TELEM` frame every phase and merged
+/// parent-side — the live plane's cross-process aggregation leg.
+/// Strictly wall-clock: nothing here enters the deterministic
+/// `exchange.*` counters or the fault-realization tallies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RankTelemetry {
+    /// Per-phase wall latency (first `XMIT` arrival → results
+    /// emitted), microseconds, cumulative over the fabric's life.
+    pub hist: HistogramSnapshot,
+    /// Mesh frames this rank queued for send, cumulative.
+    pub frames: u64,
+    /// Mesh payload bytes this rank queued for send, cumulative.
+    pub bytes: u64,
+}
+
 /// A live rank-process mesh: children, their control connections, and
 /// the temp directory the Unix sockets live in.
 struct Fabric {
@@ -172,6 +191,7 @@ pub struct SocketTransport {
     phase: u32,
     incidents: WireIncidents,
     last_exits: Vec<Option<i32>>,
+    telemetry: Vec<RankTelemetry>,
 }
 
 impl SocketTransport {
@@ -201,6 +221,7 @@ impl SocketTransport {
             phase: 0,
             incidents: WireIncidents::default(),
             last_exits: Vec::new(),
+            telemetry: Vec::new(),
         }
     }
 
@@ -228,6 +249,25 @@ impl SocketTransport {
     /// Physical wire events realized so far.
     pub fn wire_incidents(&self) -> WireIncidents {
         self.incidents
+    }
+
+    /// The latest per-rank daemon telemetry, merged parent-side from
+    /// the `TELEM` frames each rank ships every phase. Empty until the
+    /// first exchange completes. Index = rank.
+    pub fn rank_telemetry(&self) -> &[RankTelemetry] {
+        &self.telemetry
+    }
+
+    /// All ranks' phase histograms folded into one aggregate (merge is
+    /// associative + commutative, so fold order is irrelevant).
+    pub fn merged_telemetry(&self) -> RankTelemetry {
+        let mut agg = RankTelemetry::default();
+        for t in &self.telemetry {
+            agg.hist.merge(&t.hist);
+            agg.frames += t.frames;
+            agg.bytes += t.bytes;
+        }
+        agg
     }
 
     /// Exit codes recorded by the most recent teardown, one per rank
@@ -408,9 +448,13 @@ impl SocketTransport {
         let phase = self.phase;
         let mut raw: RawInboxes = (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
         let mut statx = vec![false; p];
+        let mut telem_done = vec![false; p];
         let mut inboxes_left = p * (p - 1);
         let mut incidents = WireIncidents::default();
         let deadline = Instant::now() + PHASE_TIMEOUT;
+        if self.telemetry.len() != p {
+            self.telemetry = vec![RankTelemetry::default(); p];
+        }
 
         let failure = {
             let fab = self.fabric.as_mut().expect("fabric live in run_phase");
@@ -418,7 +462,16 @@ impl SocketTransport {
                 fab.ctrl[f.src as usize].queue(f);
             }
             drive_phase(
-                fab, phase, p, &mut raw, &mut statx, &mut inboxes_left, &mut incidents, deadline,
+                fab,
+                phase,
+                p,
+                &mut raw,
+                &mut statx,
+                &mut telem_done,
+                &mut self.telemetry,
+                &mut inboxes_left,
+                &mut incidents,
+                deadline,
             )
         };
         self.incidents.torn_frames += incidents.torn_frames;
@@ -427,6 +480,20 @@ impl SocketTransport {
         match failure {
             None => {
                 self.phase += 1;
+                // Armed process-wide plane: publish the per-rank phase
+                // histograms as absolute (replace-on-report) remote
+                // snapshots, so `live.socket.rank*` keys track the
+                // fabric from any exporter in this process.
+                if live::armed() {
+                    let g = live::global();
+                    for (r, t) in self.telemetry.iter().enumerate() {
+                        g.set_remote_histogram(&format!("socket.rank{r}.phase_micros"), t.hist);
+                        g.gauge(&format!("socket.rank{r}.frames"))
+                            .store(t.frames, Ordering::Relaxed);
+                        g.gauge(&format!("socket.rank{r}.bytes"))
+                            .store(t.bytes, Ordering::Relaxed);
+                    }
+                }
                 Ok(raw)
             }
             Some(PhaseFailure::Peer(r)) => {
@@ -711,11 +778,13 @@ fn drive_phase(
     p: usize,
     raw: &mut [RawInboxRow],
     statx: &mut [bool],
+    telem_done: &mut [bool],
+    telemetry: &mut [RankTelemetry],
     inboxes_left: &mut usize,
     incidents: &mut WireIncidents,
     deadline: Instant,
 ) -> Option<PhaseFailure> {
-    while *inboxes_left > 0 || statx.iter().any(|s| !s) {
+    while *inboxes_left > 0 || statx.iter().any(|s| !s) || telem_done.iter().any(|t| !t) {
         if Instant::now() >= deadline {
             return Some(PhaseFailure::Proto("exchange deadline exceeded"));
         }
@@ -765,6 +834,30 @@ fn drive_phase(
                             incidents.resets += word(1);
                             incidents.deferred += word(2);
                             statx[r] = true;
+                        }
+                        KIND_TELEM => {
+                            if f.phase != phase
+                                || telem_done[r]
+                                || f.payload.len() != HIST_WIRE_BYTES + 16
+                            {
+                                return Some(PhaseFailure::Proto("TELEM out of protocol"));
+                            }
+                            let hist = HistogramSnapshot::decode_wire(
+                                &f.payload[..HIST_WIRE_BYTES],
+                            )
+                            .expect("length checked above");
+                            let u64_at = |o: usize| {
+                                u64::from_le_bytes(
+                                    f.payload[o..o + 8].try_into().expect("8 bytes"),
+                                )
+                            };
+                            // Cumulative totals: replace, never add.
+                            telemetry[r] = RankTelemetry {
+                                hist,
+                                frames: u64_at(HIST_WIRE_BYTES),
+                                bytes: u64_at(HIST_WIRE_BYTES + 8),
+                            };
+                            telem_done[r] = true;
                         }
                         _ => {
                             return Some(PhaseFailure::Proto("unexpected frame kind from daemon"))

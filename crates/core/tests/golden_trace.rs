@@ -173,3 +173,45 @@ fn wall_trace_smoke() {
     assert!(report.lanes[4].events.iter().any(|e| e.name == "level"));
     check_syntax(&report.chrome_trace_json()).expect("chrome export well-formed");
 }
+
+/// Arming the live telemetry plane must be a pure observer: the same
+/// fixed-seed BFS produces byte-identical deterministic counters and
+/// an identical virtual-work trace whether the plane is armed or not —
+/// the only difference is that the armed run leaves wall-clock
+/// exchange samples behind in the `live.*` namespace.
+#[test]
+fn armed_live_plane_never_perturbs_deterministic_state() {
+    use sw_trace::live;
+
+    let el = graph(12, 8);
+    let run = || {
+        let cfg = BfsConfig::threaded_small(4).with_messaging(Messaging::Direct);
+        let mut cluster = ThreadedCluster::new(&el, 6, cfg).unwrap();
+        let tracer = Tracer::for_ranks(ClockDomain::VirtualWork, 6, 1 << 14);
+        cluster.set_tracer(Some(tracer.clone()));
+        let out = cluster.run(1).unwrap();
+        (out.parents, cluster.metrics().to_json(), tracer.report().to_json())
+    };
+
+    live::set_armed(false);
+    let (pa, ma, ja) = run();
+
+    live::set_armed(true);
+    let before = live::global()
+        .histogram_snapshot("exchange.micros")
+        .map_or(0, |s| s.count());
+    let (pb, mb, jb) = run();
+    live::set_armed(false);
+
+    assert_eq!(pa, pb, "arming live telemetry changed the BFS result");
+    assert_eq!(ma, mb, "arming live telemetry moved a deterministic counter");
+    assert_eq!(ja, jb, "arming live telemetry perturbed the virtual trace");
+
+    let after = live::global()
+        .histogram_snapshot("exchange.micros")
+        .map_or(0, |s| s.count());
+    assert!(
+        after > before,
+        "the armed run must have recorded exchange samples ({before} -> {after})"
+    );
+}

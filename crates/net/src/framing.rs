@@ -244,6 +244,13 @@ pub const KIND_RESULT: u8 = 17;
 /// Frame kind: admission control shed the query (payload =
 /// [`BusyFrame`]) — the client should back off and retry.
 pub const KIND_BUSY: u8 = 18;
+/// Frame kind: a telemetry snapshot request (payload =
+/// [`StatsReqFrame`]). Answered directly by the server's reader
+/// thread — never enters admission, never shed, never counted in the
+/// deterministic `serve.*` plane.
+pub const KIND_STATS_REQ: u8 = 19;
+/// Frame kind: a telemetry snapshot answer (payload = [`StatsFrame`]).
+pub const KIND_STATS: u8 = 20;
 
 /// A traversal operation the query service can answer. Every operation
 /// is a function of the BFS level array of its root, which is what lets
@@ -497,6 +504,142 @@ impl BusyFrame {
     }
 }
 
+/// The rendering a [`StatsReqFrame`] asks the stats snapshot to come
+/// back in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// Flat JSON object of `live.*` + deterministic counter keys.
+    Json = 0,
+    /// Prometheus text exposition format.
+    Prometheus = 1,
+}
+
+impl StatsFormat {
+    /// Decodes the wire discriminant.
+    pub fn from_u8(b: u8) -> Option<StatsFormat> {
+        match b {
+            0 => Some(StatsFormat::Json),
+            1 => Some(StatsFormat::Prometheus),
+            _ => None,
+        }
+    }
+}
+
+/// [`KIND_STATS_REQ`] payload — ask the server for a telemetry
+/// snapshot.
+///
+/// Layout (9 bytes, little-endian):
+///
+/// | offset | size | field  |
+/// |--------|------|--------|
+/// | 0      | 8    | id     |
+/// | 8      | 1    | format |
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatsReqFrame {
+    /// Client-chosen correlation id, echoed on the answer.
+    pub id: u64,
+    /// Rendering the snapshot should come back in.
+    pub format: StatsFormat,
+}
+
+/// Wire bytes of a [`StatsReqFrame`] payload.
+pub const STATS_REQ_PAYLOAD_BYTES: usize = 9;
+
+impl StatsReqFrame {
+    /// Wraps the request into a wire [`Frame`].
+    pub fn into_frame(self) -> Frame {
+        let mut payload = Vec::with_capacity(STATS_REQ_PAYLOAD_BYTES);
+        payload.extend_from_slice(&self.id.to_le_bytes());
+        payload.push(self.format as u8);
+        Frame {
+            kind: KIND_STATS_REQ,
+            flags: 0,
+            phase: 0,
+            src: 0,
+            dst: 0,
+            payload,
+        }
+    }
+
+    /// Parses a [`KIND_STATS_REQ`] frame.
+    pub fn from_frame(f: &Frame) -> Result<StatsReqFrame, &'static str> {
+        if f.kind != KIND_STATS_REQ {
+            return Err("not a STATS_REQ frame");
+        }
+        let p = &f.payload;
+        if p.len() != STATS_REQ_PAYLOAD_BYTES {
+            return Err("STATS_REQ payload has the wrong length");
+        }
+        let format = StatsFormat::from_u8(p[8]).ok_or("unknown stats format")?;
+        Ok(StatsReqFrame {
+            id: u64::from_le_bytes(p[0..8].try_into().expect("8 bytes")),
+            format,
+        })
+    }
+}
+
+/// [`KIND_STATS`] payload — a telemetry snapshot, rendered in the
+/// requested format.
+///
+/// Layout (9 + N bytes, little-endian):
+///
+/// | offset | size | field  |
+/// |--------|------|--------|
+/// | 0      | 8    | id     |
+/// | 8      | 1    | format |
+/// | 9      | N    | body   |
+///
+/// The body is the UTF-8 rendering (JSON object or Prometheus text);
+/// its length is the frame payload length minus the 9-byte prefix, so
+/// no separate length field is needed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatsFrame {
+    /// The request's correlation id.
+    pub id: u64,
+    /// Rendering of `body`.
+    pub format: StatsFormat,
+    /// The rendered snapshot (UTF-8).
+    pub body: Vec<u8>,
+}
+
+/// Fixed prefix bytes of a [`StatsFrame`] payload before the body.
+pub const STATS_PREFIX_BYTES: usize = 9;
+
+impl StatsFrame {
+    /// Wraps the snapshot into a wire [`Frame`].
+    pub fn into_frame(self) -> Frame {
+        let mut payload = Vec::with_capacity(STATS_PREFIX_BYTES + self.body.len());
+        payload.extend_from_slice(&self.id.to_le_bytes());
+        payload.push(self.format as u8);
+        payload.extend_from_slice(&self.body);
+        Frame {
+            kind: KIND_STATS,
+            flags: 0,
+            phase: 0,
+            src: 0,
+            dst: 0,
+            payload,
+        }
+    }
+
+    /// Parses a [`KIND_STATS`] frame.
+    pub fn from_frame(f: &Frame) -> Result<StatsFrame, &'static str> {
+        if f.kind != KIND_STATS {
+            return Err("not a STATS frame");
+        }
+        let p = &f.payload;
+        if p.len() < STATS_PREFIX_BYTES {
+            return Err("STATS payload shorter than its prefix");
+        }
+        let format = StatsFormat::from_u8(p[8]).ok_or("unknown stats format")?;
+        Ok(StatsFrame {
+            id: u64::from_le_bytes(p[0..8].try_into().expect("8 bytes")),
+            format,
+            body: p[STATS_PREFIX_BYTES..].to_vec(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -645,14 +788,73 @@ mod tests {
 
     #[test]
     fn service_kinds_are_disjoint_from_fabric_kinds() {
-        // The rank fabric uses kinds 1..=9; the service protocol must
+        // The rank fabric uses kinds 1..=10; the service protocol must
         // not collide so a stream is always unambiguous.
-        for k in [KIND_QUERY, KIND_RESULT, KIND_BUSY] {
+        let service = [KIND_QUERY, KIND_RESULT, KIND_BUSY, KIND_STATS_REQ, KIND_STATS];
+        for k in service {
             assert!(k >= 16, "service kind {k} collides with fabric range");
         }
-        assert_ne!(KIND_QUERY, KIND_RESULT);
-        assert_ne!(KIND_RESULT, KIND_BUSY);
-        assert_ne!(KIND_QUERY, KIND_BUSY);
+        for (i, a) in service.iter().enumerate() {
+            for b in &service[i + 1..] {
+                assert_ne!(a, b, "duplicate service kind");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_round_trip_typed() {
+        let req = StatsReqFrame {
+            id: 901,
+            format: StatsFormat::Prometheus,
+        };
+        let resp = StatsFrame {
+            id: 901,
+            format: StatsFormat::Prometheus,
+            body: b"# TYPE live_serve_qps gauge\nlive_serve_qps 42\n".to_vec(),
+        };
+        let mut d = FrameDecoder::new();
+        let mut wire = Vec::new();
+        req.into_frame().encode_into(&mut wire);
+        resp.clone().into_frame().encode_into(&mut wire);
+        d.extend(&wire);
+        let fq = d.next_frame().unwrap().unwrap();
+        let fr = d.next_frame().unwrap().unwrap();
+        assert_eq!(StatsReqFrame::from_frame(&fq).unwrap(), req);
+        assert_eq!(StatsFrame::from_frame(&fr).unwrap(), resp);
+        assert!(d.finish().is_ok());
+        // An empty body is legal — the 9-byte prefix alone.
+        let empty = StatsFrame {
+            id: 1,
+            format: StatsFormat::Json,
+            body: Vec::new(),
+        };
+        let f = empty.clone().into_frame();
+        assert_eq!(f.payload.len(), STATS_PREFIX_BYTES);
+        assert_eq!(StatsFrame::from_frame(&f).unwrap(), empty);
+    }
+
+    #[test]
+    fn stats_decoders_reject_wrong_kind_and_shape() {
+        let req = StatsReqFrame {
+            id: 5,
+            format: StatsFormat::Json,
+        };
+        let f = req.into_frame();
+        assert!(StatsFrame::from_frame(&f).is_err(), "kind mismatch");
+        let mut torn = f.clone();
+        torn.payload.pop();
+        assert!(StatsReqFrame::from_frame(&torn).is_err(), "short payload");
+        let mut bad_fmt = f.clone();
+        bad_fmt.payload[8] = 9;
+        assert!(StatsReqFrame::from_frame(&bad_fmt).is_err(), "unknown format");
+        let mut short_stats = StatsFrame {
+            id: 5,
+            format: StatsFormat::Json,
+            body: Vec::new(),
+        }
+        .into_frame();
+        short_stats.payload.truncate(8);
+        assert!(StatsFrame::from_frame(&short_stats).is_err(), "short prefix");
     }
 
     #[test]

@@ -8,7 +8,8 @@
 use proptest::prelude::*;
 use sw_net::framing::{
     BusyFrame, Frame, FrameDecoder, FrameError, QueryFrame, QueryOp, QueryStatus, ResultFrame,
-    FLAG_COMPRESSED, FRAME_HEADER_BYTES, FRAME_MAGIC, KIND_BUSY, KIND_QUERY, KIND_RESULT,
+    StatsFormat, StatsFrame, StatsReqFrame, FLAG_COMPRESSED, FRAME_HEADER_BYTES, FRAME_MAGIC,
+    KIND_BUSY, KIND_QUERY, KIND_RESULT, KIND_STATS, KIND_STATS_REQ,
 };
 
 fn splitmix(state: &mut u64) -> u64 {
@@ -46,15 +47,37 @@ fn frame_batch(seed: u64) -> Vec<Frame> {
         .collect()
 }
 
-/// A seed-driven batch of *query-service* frames (QUERY/RESULT/BUSY
-/// typed payloads), shaped like a real client session: questions with
-/// assorted operations and deadlines interleaved with answers and shed
-/// notices.
+/// A seed-driven batch of *query-service* frames (QUERY/RESULT/BUSY/
+/// STATS_REQ/STATS typed payloads), shaped like a real client session:
+/// questions with assorted operations and deadlines interleaved with
+/// answers, shed notices, and telemetry polls.
 fn service_batch(seed: u64) -> Vec<Frame> {
     let mut st = seed ^ 0x5EED;
     let n = 1 + (splitmix(&mut st) % 10) as usize;
     (0..n)
-        .map(|_| match splitmix(&mut st) % 3 {
+        .map(|_| match splitmix(&mut st) % 5 {
+            3 => StatsReqFrame {
+                id: splitmix(&mut st),
+                format: if splitmix(&mut st) % 2 == 0 {
+                    StatsFormat::Json
+                } else {
+                    StatsFormat::Prometheus
+                },
+            }
+            .into_frame(),
+            4 => {
+                let len = (splitmix(&mut st) % 2000) as usize;
+                StatsFrame {
+                    id: splitmix(&mut st),
+                    format: if splitmix(&mut st) % 2 == 0 {
+                        StatsFormat::Json
+                    } else {
+                        StatsFormat::Prometheus
+                    },
+                    body: (0..len).map(|_| splitmix(&mut st) as u8).collect(),
+                }
+                .into_frame()
+            }
             0 => QueryFrame {
                 id: splitmix(&mut st),
                 op: match splitmix(&mut st) % 3 {
@@ -227,6 +250,14 @@ proptest! {
                     BusyFrame::from_frame(g).unwrap(),
                     BusyFrame::from_frame(f).unwrap()
                 ),
+                KIND_STATS_REQ => prop_assert_eq!(
+                    StatsReqFrame::from_frame(g).unwrap(),
+                    StatsReqFrame::from_frame(f).unwrap()
+                ),
+                KIND_STATS => prop_assert_eq!(
+                    StatsFrame::from_frame(g).unwrap(),
+                    StatsFrame::from_frame(f).unwrap()
+                ),
                 other => prop_assert!(false, "unexpected kind {}", other),
             }
         }
@@ -260,6 +291,8 @@ proptest! {
                     KIND_QUERY => prop_assert!(QueryFrame::from_frame(g).is_ok()),
                     KIND_RESULT => prop_assert!(ResultFrame::from_frame(g).is_ok()),
                     KIND_BUSY => prop_assert!(BusyFrame::from_frame(g).is_ok()),
+                    KIND_STATS_REQ => prop_assert!(StatsReqFrame::from_frame(g).is_ok()),
+                    KIND_STATS => prop_assert!(StatsFrame::from_frame(g).is_ok()),
                     _ => {}
                 }
             }

@@ -13,7 +13,8 @@ use std::os::unix::net::UnixStream;
 use std::time::Duration;
 
 use sw_net::framing::{
-    BusyFrame, FrameDecoder, QueryFrame, QueryOp, ResultFrame, KIND_BUSY, KIND_RESULT,
+    BusyFrame, FrameDecoder, QueryFrame, QueryOp, ResultFrame, StatsFormat, StatsFrame,
+    StatsReqFrame, KIND_BUSY, KIND_RESULT, KIND_STATS,
 };
 
 use crate::server::ServerAddr;
@@ -117,6 +118,62 @@ impl Client {
             KIND_BUSY => BusyFrame::from_frame(&frame).map(Response::Busy).map_err(bad),
             _ => Err(bad("unexpected frame kind from server")),
         }
+    }
+
+    /// Polls the server's telemetry endpoint and returns the rendered
+    /// snapshot body. Stats answers come back on the same ordered
+    /// stream as query answers, so don't interleave with outstanding
+    /// [`Client::send`]s on this connection — or use a dedicated
+    /// monitoring connection, as `swtop` does.
+    pub fn stats(&mut self, format: StatsFormat) -> io::Result<Vec<u8>> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = StatsReqFrame { id, format };
+        write_frame(&mut self.stream, &req.into_frame())?;
+        let frame = match read_frame(&mut self.stream, &mut self.decoder)? {
+            ReadEvent::Frame(f) => f,
+            ReadEvent::Closed => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ))
+            }
+            ReadEvent::TimedOut => {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "timed out waiting for stats",
+                ))
+            }
+        };
+        if frame.kind != KIND_STATS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unexpected frame kind from server",
+            ));
+        }
+        let resp = StatsFrame::from_frame(&frame)
+            .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))?;
+        if resp.id != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "stats answer id does not match the request",
+            ));
+        }
+        Ok(resp.body)
+    }
+
+    /// The telemetry snapshot as a flat JSON string.
+    pub fn stats_json(&mut self) -> io::Result<String> {
+        let body = self.stats(StatsFormat::Json)?;
+        String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "stats body is not UTF-8"))
+    }
+
+    /// The telemetry snapshot in Prometheus text format.
+    pub fn stats_prometheus(&mut self) -> io::Result<String> {
+        let body = self.stats(StatsFormat::Prometheus)?;
+        String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "stats body is not UTF-8"))
     }
 
     /// Sends one query and waits for its response.

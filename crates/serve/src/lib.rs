@@ -52,4 +52,4 @@ pub mod server;
 pub mod wire;
 
 pub use client::{Client, Response};
-pub use server::{ServeConfig, Server, ServerAddr};
+pub use server::{ServeConfig, Server, ServerAddr, SlowQuery};

@@ -12,7 +12,7 @@
 //! overloaded server degrades to late-but-shaped answers and sheds the
 //! rest, instead of hanging clients.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 #[cfg(unix)]
@@ -28,8 +28,10 @@ use sw_algos::msbfs::{msbfs_distributed, MAX_BATCH, UNREACHED};
 use sw_algos::runtime::AlgoCluster;
 use sw_graph::{EdgeList, Vid};
 use sw_net::framing::{
-    BusyFrame, FrameDecoder, QueryFrame, QueryOp, QueryStatus, ResultFrame, KIND_QUERY,
+    BusyFrame, FrameDecoder, QueryFrame, QueryOp, QueryStatus, ResultFrame, StatsFormat,
+    StatsFrame, StatsReqFrame, KIND_QUERY, KIND_STATS_REQ,
 };
+use sw_trace::live::LivePlane;
 use sw_trace::{CounterSet, Tracer};
 use swbfs_core::config::Messaging;
 use swbfs_core::instrument as ins;
@@ -74,6 +76,10 @@ pub struct ServeConfig {
     pub service_delay: Duration,
     /// Span recorder for `query`/`sweep` spans (counters are always on).
     pub tracer: Option<Tracer>,
+    /// Queries slower than this (admission → answer, in microseconds)
+    /// are recorded in the slow-query log with their bottleneck class;
+    /// 0 disables the log.
+    pub slow_query_micros: u64,
 }
 
 impl Default for ServeConfig {
@@ -88,9 +94,37 @@ impl Default for ServeConfig {
             start_paused: false,
             service_delay: Duration::ZERO,
             tracer: None,
+            slow_query_micros: 100_000,
         }
     }
 }
+
+/// One entry of the slow-query log: a query whose admission-to-answer
+/// latency crossed [`ServeConfig::slow_query_micros`], with enough
+/// attribution to say *why* it was slow without replaying the trace.
+#[derive(Clone, Debug)]
+pub struct SlowQuery {
+    /// The query's correlation id.
+    pub id: u64,
+    /// Root vertex of the traversal.
+    pub root: u64,
+    /// The traversal operation.
+    pub op: QueryOp,
+    /// Admission-to-answer latency in microseconds.
+    pub micros: u64,
+    /// Synchronous rounds of the sweep that served it (0 = no sweep).
+    pub rounds: u32,
+    /// Roots in the batch that served it (0 = cache hit).
+    pub batch_roots: u32,
+    /// Bottleneck class: `"cache"` (slow despite a cache hit — queue
+    /// wait dominated), `"sweep"` (the MS-BFS sweep dominated),
+    /// `"queue"` (waiting for its cycle dominated), or `"bad"` (a
+    /// malformed query that still crossed the threshold).
+    pub class: &'static str,
+}
+
+/// Most recent slow queries kept; older entries are discarded first.
+const SLOW_LOG_CAP: usize = 128;
 
 /// One admitted query awaiting its cycle.
 struct Job {
@@ -110,6 +144,14 @@ struct Shared {
     max_queue: usize,
     metrics: Mutex<CounterSet>,
     conns: Mutex<Vec<JoinHandle<()>>>,
+    /// The wall-clock telemetry plane — strictly beside the
+    /// deterministic `metrics` above, never feeding into them.
+    live: Arc<LivePlane>,
+    /// Ring buffer of recent slow queries (newest at the back).
+    slow: Mutex<VecDeque<SlowQuery>>,
+    slow_threshold: u64,
+    /// Kept for the stats endpoint's per-lane ring-drop gauges.
+    tracer: Option<Tracer>,
 }
 
 enum Listener {
@@ -196,6 +238,10 @@ impl Server {
             max_queue: cfg.max_queue.max(1),
             metrics: Mutex::new(CounterSet::new()),
             conns: Mutex::new(Vec::new()),
+            live: Arc::new(LivePlane::new()),
+            slow: Mutex::new(VecDeque::new()),
+            slow_threshold: cfg.slow_query_micros,
+            tracer: cfg.tracer.clone(),
         });
         let (tx, rx) = mpsc::sync_channel::<Job>(shared.max_queue);
 
@@ -240,6 +286,19 @@ impl Server {
     /// A snapshot of the accumulated `serve.*` counters.
     pub fn metrics(&self) -> CounterSet {
         self.shared.metrics.lock().unwrap().clone()
+    }
+
+    /// The server's live telemetry plane — the same registry the
+    /// STATS endpoint exports. Useful for in-process consumers
+    /// (svcbench reads its latency quantiles here).
+    pub fn live(&self) -> Arc<LivePlane> {
+        Arc::clone(&self.shared.live)
+    }
+
+    /// Recent slow queries, oldest first (bounded ring of the last
+    /// [`SLOW_LOG_CAP`] entries).
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.shared.slow.lock().unwrap().iter().cloned().collect()
     }
 
     /// Holds the worker: queries keep queuing (and shedding past the
@@ -338,6 +397,28 @@ fn reader_loop(stream: Stream, tx: SyncSender<Job>, shared: Arc<Shared>) {
             Ok(ReadEvent::TimedOut) => continue,
             Ok(ReadEvent::Closed) | Err(_) => break,
         };
+        if frame.kind == KIND_STATS_REQ {
+            // Telemetry polls are answered right here on the reader
+            // thread: they never enter admission (so they cannot be
+            // shed and cannot displace a query) and they never touch
+            // the deterministic `serve.*` counters.
+            match StatsReqFrame::from_frame(&frame) {
+                Ok(req) => {
+                    let body = stats_body(&shared, req.format);
+                    let resp = StatsFrame {
+                        id: req.id,
+                        format: req.format,
+                        body,
+                    };
+                    let mut w = reply.lock().unwrap();
+                    if write_frame(&mut w, &resp.into_frame()).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+            continue;
+        }
         if frame.kind != KIND_QUERY {
             // A peer speaking the wrong protocol gets disconnected
             // rather than interpreted.
@@ -356,6 +437,7 @@ fn reader_loop(stream: Stream, tx: SyncSender<Job>, shared: Arc<Shared>) {
                     }
                     Err(TrySendError::Full(job)) => {
                         shared.metrics.lock().unwrap().add(c::SHED, 1);
+                        shared.live.window("serve.shed").record_now(1);
                         let busy = BusyFrame {
                             id: job.query.id,
                             queue_depth: shared.depth.load(Ordering::SeqCst) as u32,
@@ -387,6 +469,59 @@ fn reader_loop(stream: Stream, tx: SyncSender<Job>, shared: Arc<Shared>) {
                 let mut w = reply.lock().unwrap();
                 let _ = write_frame(&mut w, &res.into_frame());
             }
+        }
+    }
+}
+
+/// Renders the stats endpoint's body: point-in-time gauges are
+/// refreshed first, then the live plane and a snapshot of the
+/// deterministic `serve.*` counters are concatenated into one view.
+/// Reading the deterministic counters is the only contact between the
+/// planes — strictly a read, under the same lock `Server::metrics`
+/// takes.
+fn stats_body(shared: &Shared, format: StatsFormat) -> Vec<u8> {
+    // Refresh exported gauges.
+    shared
+        .live
+        .gauge("serve.inflight")
+        .store(shared.depth.load(Ordering::SeqCst) as u64, Ordering::Relaxed);
+    shared.live.gauge("serve.slow_queries").store(
+        shared.slow.lock().unwrap().len() as u64,
+        Ordering::Relaxed,
+    );
+    if let Some(tr) = &shared.tracer {
+        // Per-lane EventRing overflow drops: silent trace loss becomes
+        // a live, per-rank visible number.
+        for lane in 0..tr.num_lanes() {
+            let name = tr.lane_name(lane).to_string();
+            shared
+                .live
+                .gauge(&format!("trace.{name}.dropped"))
+                .store(tr.lane_dropped(lane), Ordering::Relaxed);
+            shared
+                .live
+                .gauge(&format!("trace.{name}.events"))
+                .store(tr.lane_recorded(lane) as u64, Ordering::Relaxed);
+        }
+    }
+    match format {
+        StatsFormat::Json => {
+            let mut cs = shared.live.to_counters();
+            cs.merge(&shared.metrics.lock().unwrap());
+            cs.to_json().into_bytes()
+        }
+        StatsFormat::Prometheus => {
+            let mut text = shared.live.to_prometheus();
+            // The deterministic counters ride along as plain counter
+            // families so one scrape sees both planes.
+            for (name, v) in shared.metrics.lock().unwrap().iter() {
+                let m: String = name
+                    .chars()
+                    .map(|ch| if ch.is_ascii_alphanumeric() || ch == '_' { ch } else { '_' })
+                    .collect();
+                text.push_str(&format!("# TYPE {m} counter\n{m} {v}\n"));
+            }
+            text.into_bytes()
         }
     }
 }
@@ -439,6 +574,16 @@ fn worker_loop(
     let mut cycle = 0u32;
     let tr = tracer.as_ref();
     let sweep_lane = tracer.as_ref().map_or(0, |t| 1 % t.num_lanes().max(1));
+
+    // Live-plane instruments, resolved once — recording is then one
+    // atomic op, no registry lock on the cycle path. These are
+    // wall-clock measurements beside the deterministic `local`
+    // counters below, never mixed into them.
+    let lat_hist = shared.live.histogram("serve.latency_micros");
+    let sweep_hist = shared.live.histogram("serve.sweep_micros");
+    let answers_w = shared.live.window("serve.answers");
+    let lookups_w = shared.live.window("serve.lookups");
+    let hits_w = shared.live.window("serve.cache_hits");
 
     loop {
         if shared.stop.load(Ordering::SeqCst) {
@@ -512,9 +657,15 @@ fn worker_loop(
         }
 
         // One sweep answers every uncached root of the cycle.
+        let mut sweep_micros = 0u64;
+        let mut sweep_rounds = 0u32;
         if !plan.roots.is_empty() {
             let t0 = ins::span_begin(tr);
+            let wall0 = Instant::now();
             let mut out = msbfs_distributed(&mut cluster, &plan.roots);
+            sweep_micros = wall0.elapsed().as_micros() as u64;
+            sweep_rounds = out.rounds;
+            sweep_hist.record(sweep_micros);
             for (k, &root) in out.sources.iter().enumerate() {
                 let levels = Arc::new(std::mem::take(&mut out.levels[k]));
                 cache.insert(root, Arc::clone(&levels));
@@ -567,16 +718,50 @@ fn worker_loop(
                 QueryStatus::BadQuery => local.add(c::BAD_QUERIES, 1),
             }
             let micros = elapsed.as_micros() as u64;
+            let batch_roots = match placement {
+                Placement::CacheHit | Placement::NoSweep => 0,
+                Placement::FreshRoot | Placement::Coalesced => plan.roots.len() as u32,
+            };
             let res = ResultFrame {
                 id: q.id,
                 status,
                 value,
-                batch_roots: match placement {
-                    Placement::CacheHit | Placement::NoSweep => 0,
-                    Placement::FreshRoot | Placement::Coalesced => plan.roots.len() as u32,
-                },
+                batch_roots,
                 micros,
             };
+
+            // Live plane: latency histogram, QPS/lookup/hit windows,
+            // and the slow-query log — all beside `local`.
+            lat_hist.record(micros);
+            answers_w.record_now(1);
+            lookups_w.record_now(1);
+            if placement == Placement::CacheHit {
+                hits_w.record_now(1);
+            }
+            if shared.slow_threshold > 0 && micros >= shared.slow_threshold {
+                let class = match placement {
+                    Placement::NoSweep => "bad",
+                    Placement::CacheHit => "cache",
+                    // The sweep is charged when it accounts for most of
+                    // the latency; otherwise the query spent its time
+                    // waiting for its cycle.
+                    _ if sweep_micros * 2 >= micros => "sweep",
+                    _ => "queue",
+                };
+                let mut slow = shared.slow.lock().unwrap();
+                if slow.len() == SLOW_LOG_CAP {
+                    slow.pop_front();
+                }
+                slow.push_back(SlowQuery {
+                    id: q.id,
+                    root: q.root,
+                    op: q.op,
+                    micros,
+                    rounds: if batch_roots == 0 { 0 } else { sweep_rounds },
+                    batch_roots,
+                    class,
+                });
+            }
             answers.push((res, t0, micros));
         }
 

@@ -1,0 +1,230 @@
+//! End-to-end battery for the live telemetry endpoint: STATS polls on
+//! both listener families, format well-formedness, the never-shed
+//! guarantee (stats answered while admission is saturated), and the
+//! zero-perturbation invariant (polling stats does not move a single
+//! deterministic `serve.*` counter).
+
+use std::time::Duration;
+
+use sw_graph::{generate_kronecker, EdgeList, KroneckerConfig};
+use sw_net::framing::{QueryOp, QueryStatus};
+use sw_serve::{Client, Response, ServeConfig, Server};
+use sw_trace::CounterSet;
+
+fn graph() -> EdgeList {
+    generate_kronecker(&KroneckerConfig::graph500(10, 77))
+}
+
+/// Drives a few queries, then checks both stats renderings.
+fn exercise_stats(server: &Server) {
+    let mut client = Client::connect(&server.addr()).unwrap();
+    for root in [1u64, 5, 9, 1, 5] {
+        match client.query(QueryOp::Distance, root, root + 1, 0, 0).unwrap() {
+            Response::Answer(a) => assert_eq!(a.status, QueryStatus::Ok),
+            Response::Busy(_) => panic!("light load must not shed"),
+        }
+    }
+
+    let json = client.stats_json().unwrap();
+    let cs = CounterSet::from_json(&json).expect("stats JSON parses as a flat counter set");
+    assert_eq!(cs.get("live.serve.latency_micros.count"), 5);
+    assert!(cs.get("live.serve.latency_micros.p99") >= cs.get("live.serve.latency_micros.p50"));
+    assert!(cs.get("live.serve.latency_micros.max") > 0);
+    // Both planes ride in one snapshot: deterministic counters too.
+    assert_eq!(cs.get("serve.queries"), 5);
+    assert_eq!(cs.get("serve.results_ok"), 5);
+    // Window + gauge keys exist.
+    assert!(cs.iter().any(|(k, _)| k == "live.serve.answers.1s"));
+    assert!(cs.iter().any(|(k, _)| k == "live.serve.inflight"));
+
+    let prom = client.stats_prometheus().unwrap();
+    assert!(prom.contains("# TYPE live_serve_latency_micros summary"));
+    assert!(prom.contains("live_serve_latency_micros{quantile=\"0.99\"}"));
+    assert!(prom.contains("live_serve_latency_micros_count 5"));
+    assert!(prom.contains("# TYPE serve_queries counter\nserve_queries 5"));
+    for line in prom.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        let (name, value) = line.rsplit_once(' ').expect("name value");
+        assert!(!name.is_empty());
+        value.parse::<u64>().unwrap_or_else(|_| panic!("non-numeric value in {line:?}"));
+    }
+}
+
+#[test]
+fn stats_work_over_unix() {
+    let el = graph();
+    let mut server = Server::start(&el, ServeConfig::default()).unwrap();
+    exercise_stats(&server);
+    server.shutdown();
+}
+
+#[test]
+fn stats_work_over_tcp() {
+    let el = graph();
+    let mut server = Server::start_tcp(&el, ServeConfig::default()).unwrap();
+    exercise_stats(&server);
+    server.shutdown();
+}
+
+#[test]
+fn stats_bypass_admission_even_when_saturated() {
+    let el = graph();
+    let cfg = ServeConfig {
+        max_queue: 2,
+        start_paused: true, // worker parked: the queue can only fill
+        ..ServeConfig::default()
+    };
+    let mut server = Server::start(&el, cfg).unwrap();
+
+    // Saturate admission from one connection.
+    let mut loader = Client::connect(&server.addr()).unwrap();
+    for _ in 0..8 {
+        loader.send(QueryOp::Distance, 1, 2, 0, 0).unwrap();
+    }
+    // Wait until the queue is actually full (reader thread is async).
+    let t0 = std::time::Instant::now();
+    while server.queue_depth() < 2 && t0.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.queue_depth(), 2, "admission must be saturated");
+
+    // A monitoring connection still gets stats instantly — no BUSY, no
+    // queue interaction, no waiting on the parked worker.
+    let mut monitor = Client::connect(&server.addr()).unwrap();
+    let json = monitor.stats_json().unwrap();
+    let cs = CounterSet::from_json(&json).unwrap();
+    assert_eq!(cs.get("live.serve.inflight"), 2, "gauge sees the saturated queue");
+    // Shed notices from the overfilled queue are visible live.
+    assert!(cs.iter().any(|(k, _)| k == "live.serve.shed.1s"));
+
+    server.resume();
+    server.shutdown();
+}
+
+#[test]
+fn polling_stats_never_moves_deterministic_counters() {
+    let el = graph();
+    let mut server = Server::start(&el, ServeConfig::default()).unwrap();
+    let mut client = Client::connect(&server.addr()).unwrap();
+    for root in [3u64, 4, 5] {
+        match client.query(QueryOp::Reachable, root, 0, 0, 0).unwrap() {
+            Response::Answer(a) => assert_eq!(a.status, QueryStatus::Ok),
+            Response::Busy(_) => panic!("light load must not shed"),
+        }
+    }
+    let before = server.metrics();
+    // Hammer the stats endpoint.
+    for _ in 0..50 {
+        let _ = client.stats_json().unwrap();
+        let _ = client.stats_prometheus().unwrap();
+    }
+    let after = server.metrics();
+    assert_eq!(
+        before.to_json(),
+        after.to_json(),
+        "stats polling perturbed the deterministic serve.* plane"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn slow_query_log_records_over_threshold_with_class() {
+    let el = graph();
+    let cfg = ServeConfig {
+        // 20 ms artificial service floor against a 1 µs threshold:
+        // every query is "slow", and the sweep dominates.
+        service_delay: Duration::from_millis(20),
+        slow_query_micros: 1,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::start(&el, cfg).unwrap();
+    let mut client = Client::connect(&server.addr()).unwrap();
+    match client.query(QueryOp::Distance, 7, 8, 0, 0).unwrap() {
+        Response::Answer(a) => assert_eq!(a.status, QueryStatus::Ok),
+        Response::Busy(_) => panic!("light load must not shed"),
+    }
+    let slow = server.slow_queries();
+    assert_eq!(slow.len(), 1);
+    let s = &slow[0];
+    assert_eq!(s.root, 7);
+    assert_eq!(s.op, QueryOp::Distance);
+    assert!(s.micros >= 20_000, "latency includes the service floor");
+    assert!(s.batch_roots >= 1);
+    assert!(s.rounds >= 1);
+    // The artificial delay sits outside the sweep timer, so the wait
+    // is attributed to the queue, not the sweep.
+    assert!(
+        s.class == "queue" || s.class == "sweep",
+        "unexpected class {:?}",
+        s.class
+    );
+    // The log is visible through the stats endpoint too.
+    let cs = CounterSet::from_json(&client.stats_json().unwrap()).unwrap();
+    assert_eq!(cs.get("live.serve.slow_queries"), 1);
+    server.shutdown();
+}
+
+#[test]
+fn event_ring_overflow_is_visible_per_lane() {
+    use sw_trace::{ClockDomain, Tracer};
+    let el = graph();
+    // 4 events per lane is far less than the sweeps of even one query
+    // record: the ring must overflow and the drops must surface as
+    // per-lane live gauges through the stats endpoint.
+    let tracer = Tracer::for_ranks(ClockDomain::Wall, 2, 4);
+    let cfg = ServeConfig {
+        ranks: 2,
+        tracer: Some(tracer.clone()),
+        ..ServeConfig::default()
+    };
+    let mut server = Server::start(&el, cfg).unwrap();
+    let mut client = Client::connect(&server.addr()).unwrap();
+    for root in 0..24u64 {
+        match client.query(QueryOp::Distance, root * 17 % 600, 2, 0, 0).unwrap() {
+            Response::Answer(_) => {}
+            Response::Busy(_) => panic!("light load must not shed"),
+        }
+    }
+    assert!(tracer.dropped_events() > 0, "the tiny ring must overflow");
+
+    // The worker may still be sealing trailing spans when the first
+    // poll refreshes the gauges; once it quiesces, a poll must agree
+    // with the tracer exactly.
+    let mut cs = CounterSet::new();
+    let mut dropped = 0u64;
+    for _ in 0..50 {
+        cs = CounterSet::from_json(&client.stats_json().unwrap()).unwrap();
+        dropped = cs
+            .iter()
+            .filter(|(k, _)| k.starts_with("live.trace.") && k.ends_with(".dropped"))
+            .map(|(_, v)| v)
+            .sum();
+        if dropped == tracer.dropped_events() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(dropped > 0, "per-lane drop gauges must reflect the overflow");
+    assert_eq!(dropped, tracer.dropped_events(), "gauges must sum to the tracer total");
+    assert!(
+        cs.iter().any(|(k, v)| k.starts_with("live.trace.")
+            && k.ends_with(".events")
+            && v > 0),
+        "recorded-event gauges ride along"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn disabled_threshold_logs_nothing() {
+    let el = graph();
+    let cfg = ServeConfig {
+        slow_query_micros: 0,
+        service_delay: Duration::from_millis(5),
+        ..ServeConfig::default()
+    };
+    let mut server = Server::start(&el, cfg).unwrap();
+    let mut client = Client::connect(&server.addr()).unwrap();
+    let _ = client.query(QueryOp::Distance, 1, 2, 0, 0).unwrap();
+    assert!(server.slow_queries().is_empty());
+    server.shutdown();
+}

@@ -35,6 +35,7 @@
 
 pub mod analyze;
 pub mod json;
+pub mod live;
 pub mod metrics;
 pub mod report;
 pub mod ring;
@@ -42,6 +43,7 @@ pub mod tracer;
 
 pub use analyze::{analyze, InsightReport, MachineContext};
 pub use json::check_syntax;
+pub use live::{HistogramSnapshot, LatencyHistogram, LivePlane, RollingCounter};
 pub use metrics::{is_max_key, Counter, CounterSet, Gauge, Registry};
 pub use report::{LaneReport, TraceReport};
 pub use ring::EventRing;

@@ -1,0 +1,84 @@
+//! Prometheus text exposition for a [`LivePlane`].
+//!
+//! Histograms export as `summary` families (quantile-labelled sample
+//! lines plus `_sum`/`_count`), windows and gauges as `gauge`
+//! families. Metric names are the `live.*` keys with every character
+//! outside `[a-zA-Z0-9_:]` folded to `_`, per the exposition format.
+
+use std::sync::atomic::Ordering;
+
+use super::LivePlane;
+
+/// Folds a dotted live key into a legal Prometheus metric name.
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders the whole plane in Prometheus text format. Deterministic
+/// ordering (name-sorted families) so tests can assert on the output.
+pub(super) fn to_prometheus(plane: &LivePlane) -> String {
+    let mut out = String::new();
+    for (name, s) in plane.histogram_snapshots() {
+        let m = sanitize(&format!("live.{name}"));
+        out.push_str(&format!("# TYPE {m} summary\n"));
+        for (label, p) in [("0.5", 500u64), ("0.9", 900), ("0.99", 990)] {
+            out.push_str(&format!(
+                "{m}{{quantile=\"{label}\"}} {}\n",
+                s.quantile_permille(p)
+            ));
+        }
+        out.push_str(&format!("{m}_sum {}\n", s.sum));
+        out.push_str(&format!("{m}_count {}\n", s.count()));
+        out.push_str(&format!("# TYPE {m}_max gauge\n{m}_max {}\n", s.max));
+    }
+    for (name, w) in plane.windows.lock().unwrap().iter() {
+        let m = sanitize(&format!("live.{name}"));
+        out.push_str(&format!("# TYPE {m}_1s gauge\n{m}_1s {}\n", w.rate_1s()));
+        out.push_str(&format!("# TYPE {m}_10s gauge\n{m}_10s {}\n", w.rate_10s()));
+    }
+    for (name, g) in plane.gauges.lock().unwrap().iter() {
+        let m = sanitize(&format!("live.{name}"));
+        out.push_str(&format!("# TYPE {m} gauge\n{m} {}\n", g.load(Ordering::Relaxed)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_folds_illegal_chars() {
+        assert_eq!(sanitize("live.serve.p99-micros"), "live_serve_p99_micros");
+        assert_eq!(sanitize("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn exposition_is_well_formed() {
+        let p = LivePlane::new();
+        let h = p.histogram("serve.latency_micros");
+        h.record(100);
+        h.record(200);
+        p.gauge("serve.inflight").store(2, Ordering::Relaxed);
+        let text = p.to_prometheus();
+        assert!(text.contains("# TYPE live_serve_latency_micros summary"));
+        assert!(text.contains("live_serve_latency_micros{quantile=\"0.99\"}"));
+        assert!(text.contains("live_serve_latency_micros_sum 300"));
+        assert!(text.contains("live_serve_latency_micros_count 2"));
+        assert!(text.contains("live_serve_inflight 2"));
+        // Every non-comment line is `name{labels}? value` with a
+        // numeric value.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("space-separated");
+            assert!(!name.is_empty());
+            value.parse::<u64>().expect("numeric value");
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! The live telemetry plane: wall-clock observability beside — never
+//! inside — the deterministic counters.
+//!
+//! Everything in `sw-trace` up to this module is *deterministic*:
+//! virtual clocks, byte-reproducible traces, counter sets that CI
+//! diffs bit-for-bit. That machinery answers "did this run behave
+//! exactly like the baseline", but it is post-hoc by design — you
+//! export and diff after the run. This module is the other half: an
+//! online, wall-clock plane you can watch while `sw-serve` is under
+//! load, built from primitives that cannot perturb the deterministic
+//! plane because they never touch it:
+//!
+//! - [`LatencyHistogram`] — lock-free 64-bucket log2 histograms,
+//!   mergeable across ranks ([`HistogramSnapshot::merge`]).
+//! - [`RollingCounter`] — sliding 1 s / 10 s windows for QPS, shed
+//!   rate, cache hits.
+//! - [`LivePlane`] — a named registry of the above plus point-in-time
+//!   gauges, exported under the reserved `live.*` namespace as flat
+//!   counters, JSON, or Prometheus text ([`LivePlane::to_counters`],
+//!   [`LivePlane::to_json`], [`LivePlane::to_prometheus`]).
+//!
+//! # The `live.*` namespace split
+//!
+//! Deterministic counters (`serve.*`, `exchange.*`, `kernel.*`, …)
+//! are pure functions of inputs and are gated by golden baselines.
+//! `live.*` keys are wall-clock measurements — latencies, rates,
+//! queue depths — and are *never* written into a deterministic
+//! `CounterSet` that a baseline diff reads. The two planes meet only
+//! at export time, when a stats endpoint concatenates both views for
+//! a human or a scraper.
+//!
+//! # Arming
+//!
+//! Recording into the shared [`global`] plane is gated on [`armed`]
+//! (the `SW_LIVE` environment variable, or [`set_armed`] at runtime)
+//! so the default hot path pays a single relaxed atomic load and
+//! nothing else. Components that own their own [`LivePlane`] (the
+//! query server) record unconditionally — their recorders are off the
+//! deterministic paths entirely.
+
+mod export;
+mod histogram;
+mod window;
+
+pub use histogram::{HistogramSnapshot, LatencyHistogram, HIST_BUCKETS, HIST_WIRE_BYTES};
+pub use window::RollingCounter;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::CounterSet;
+
+/// A named registry of live instruments. Cheap to share (`Arc` the
+/// whole thing or hand out the `Arc`ed instruments themselves); all
+/// maps are locked only on first registration and at export, never on
+/// the record path.
+#[derive(Default)]
+pub struct LivePlane {
+    hists: Mutex<BTreeMap<String, Arc<LatencyHistogram>>>,
+    /// Absolute snapshots set from elsewhere (remote ranks): replace,
+    /// don't accumulate — each TELEM report is a cumulative total.
+    remote: Mutex<BTreeMap<String, HistogramSnapshot>>,
+    windows: Mutex<BTreeMap<String, Arc<RollingCounter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+}
+
+impl LivePlane {
+    /// An empty plane.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The histogram named `name` (created on first use). Hold the
+    /// returned `Arc` to record without re-locking the registry.
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        let mut m = self.hists.lock().unwrap();
+        m.entry(name.to_string())
+            .or_insert_with(|| Arc::new(LatencyHistogram::new()))
+            .clone()
+    }
+
+    /// The rolling window counter named `name` (created on first use).
+    pub fn window(&self, name: &str) -> Arc<RollingCounter> {
+        let mut m = self.windows.lock().unwrap();
+        m.entry(name.to_string())
+            .or_insert_with(|| Arc::new(RollingCounter::new()))
+            .clone()
+    }
+
+    /// The point-in-time gauge named `name` (created on first use).
+    pub fn gauge(&self, name: &str) -> Arc<AtomicU64> {
+        let mut m = self.gauges.lock().unwrap();
+        m.entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone()
+    }
+
+    /// Stores an externally produced cumulative snapshot under `name`
+    /// (replacing any previous one). This is how per-rank daemon
+    /// histograms from the TELEM leg land in the parent's plane: each
+    /// report is an absolute total, so the merge rule is *set*, not
+    /// *add* — adding would double-count every earlier report.
+    pub fn set_remote_histogram(&self, name: &str, snap: HistogramSnapshot) {
+        self.remote.lock().unwrap().insert(name.to_string(), snap);
+    }
+
+    /// One named histogram's current snapshot, whether local or
+    /// remote. `None` if that name was never registered.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        if let Some(h) = self.hists.lock().unwrap().get(name) {
+            return Some(h.snapshot());
+        }
+        self.remote.lock().unwrap().get(name).copied()
+    }
+
+    /// Every histogram (local live + remote absolute) as snapshots,
+    /// name-sorted.
+    pub fn histogram_snapshots(&self) -> BTreeMap<String, HistogramSnapshot> {
+        let mut out: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
+        for (k, h) in self.hists.lock().unwrap().iter() {
+            out.insert(k.clone(), h.snapshot());
+        }
+        for (k, s) in self.remote.lock().unwrap().iter() {
+            // A remote report shadows a local histogram of the same
+            // name — remote names are rank-qualified so this only
+            // matters on misuse.
+            out.entry(k.clone()).or_insert(*s);
+        }
+        out
+    }
+
+    /// Flattens the whole plane into `live.*` keys in a [`CounterSet`]
+    /// — histograms become `.count/.p50/.p90/.p99/.max/.mean`, windows
+    /// become `.1s/.10s`, gauges their value. This is the common core
+    /// behind both exporters and the STATS wire payload.
+    pub fn to_counters(&self) -> CounterSet {
+        let mut cs = CounterSet::new();
+        for (name, s) in self.histogram_snapshots() {
+            let base = format!("live.{name}");
+            cs.set(&format!("{base}.count"), s.count());
+            cs.set(&format!("{base}.p50"), s.quantile_permille(500));
+            cs.set(&format!("{base}.p90"), s.quantile_permille(900));
+            cs.set(&format!("{base}.p99"), s.quantile_permille(990));
+            cs.set(&format!("{base}.max"), s.max);
+            cs.set(&format!("{base}.mean"), s.mean());
+        }
+        for (name, w) in self.windows.lock().unwrap().iter() {
+            cs.set(&format!("live.{name}.1s"), w.rate_1s());
+            cs.set(&format!("live.{name}.10s"), w.rate_10s());
+        }
+        for (name, g) in self.gauges.lock().unwrap().iter() {
+            cs.set(&format!("live.{name}"), g.load(Ordering::Relaxed));
+        }
+        cs
+    }
+
+    /// The plane as a flat JSON object of `live.*` keys.
+    pub fn to_json(&self) -> String {
+        self.to_counters().to_json()
+    }
+
+    /// The plane in Prometheus text exposition format (histograms as
+    /// `summary` families, windows and gauges as `gauge`s).
+    pub fn to_prometheus(&self) -> String {
+        export::to_prometheus(self)
+    }
+}
+
+impl std::fmt::Debug for LivePlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LivePlane")
+            .field("hists", &self.hists.lock().unwrap().len())
+            .field("remote", &self.remote.lock().unwrap().len())
+            .field("windows", &self.windows.lock().unwrap().len())
+            .field("gauges", &self.gauges.lock().unwrap().len())
+            .finish()
+    }
+}
+
+/// Whether the shared [`global`] plane is armed. Initialized once from
+/// the `SW_LIVE` environment variable (any non-empty value other than
+/// `0`); [`set_armed`] overrides it afterwards.
+pub fn armed() -> bool {
+    armed_cell().load(Ordering::Relaxed)
+}
+
+/// Arms or disarms the shared [`global`] plane at runtime (tests, the
+/// server, CI differential gates).
+pub fn set_armed(on: bool) {
+    armed_cell().store(on, Ordering::Relaxed);
+}
+
+fn armed_cell() -> &'static AtomicBool {
+    static CELL: OnceLock<AtomicBool> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let env = std::env::var("SW_LIVE").unwrap_or_default();
+        AtomicBool::new(!env.is_empty() && env != "0")
+    })
+}
+
+/// The process-wide live plane. Instruments anywhere in the process
+/// (the engine's exchange timer, the socket fabric's TELEM merge)
+/// record here when [`armed`]; readers may export it at any time.
+pub fn global() -> &'static LivePlane {
+    static PLANE: OnceLock<LivePlane> = OnceLock::new();
+    PLANE.get_or_init(LivePlane::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_flatten_with_live_prefix() {
+        let p = LivePlane::new();
+        let h = p.histogram("serve.latency_micros");
+        for v in [10u64, 20, 30, 4000] {
+            h.record(v);
+        }
+        p.window("serve.qps").record_at(5, 12);
+        p.gauge("serve.inflight").store(3, Ordering::Relaxed);
+        let cs = p.to_counters();
+        assert_eq!(cs.get("live.serve.latency_micros.count"), 4);
+        assert_eq!(cs.get("live.serve.latency_micros.max"), 4000);
+        assert!(cs.get("live.serve.latency_micros.p50") >= 10);
+        assert_eq!(cs.get("live.serve.inflight"), 3);
+        // Window keys exist even if the wall second has moved on.
+        assert!(cs.iter().any(|(k, _)| k == "live.serve.qps.1s"));
+    }
+
+    #[test]
+    fn remote_snapshots_replace_not_accumulate() {
+        let p = LivePlane::new();
+        let mut s = HistogramSnapshot::default();
+        s.buckets[3] = 10;
+        s.sum = 50;
+        s.max = 7;
+        p.set_remote_histogram("rank0.phase_micros", s);
+        p.set_remote_histogram("rank0.phase_micros", s); // re-report
+        let got = p.histogram_snapshot("rank0.phase_micros").unwrap();
+        assert_eq!(got.count(), 10, "second report replaced the first");
+    }
+
+    #[test]
+    fn instruments_are_shared_by_name() {
+        let p = LivePlane::new();
+        p.histogram("x").record(1);
+        p.histogram("x").record(2);
+        assert_eq!(p.histogram_snapshot("x").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn armed_toggle_round_trips() {
+        let was = armed();
+        set_armed(true);
+        assert!(armed());
+        set_armed(false);
+        assert!(!armed());
+        set_armed(was);
+    }
+}

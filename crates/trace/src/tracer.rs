@@ -259,6 +259,18 @@ impl Tracer {
         self.inner.lanes.iter().map(|l| l.ring.dropped()).sum()
     }
 
+    /// Events dropped on ring overflow in one lane — the cheap
+    /// accessor behind the live exporter's per-rank drop gauges
+    /// (unlike [`Tracer::report`], no event cloning).
+    pub fn lane_dropped(&self, lane: usize) -> u64 {
+        self.inner.lanes[lane].ring.dropped()
+    }
+
+    /// Events currently recorded in one lane.
+    pub fn lane_recorded(&self, lane: usize) -> usize {
+        self.inner.lanes[lane].ring.len()
+    }
+
     /// Total events currently recorded, across lanes.
     pub fn recorded_events(&self) -> usize {
         self.inner.lanes.iter().map(|l| l.ring.len()).sum()
