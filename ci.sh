@@ -74,6 +74,17 @@ cargo run --release -p sw-bench --bin regress
 timeout 600 cargo test -q -p sw-serve
 timeout 600 cargo run --release -q -p sw-bench --bin svcbench
 
+# Store gate: build-once/serve-forever. swstore cold-builds a scale-16
+# instance, persists the partition files, restarts through both storage
+# backends, and hard-gates on (a) bit-identical BFS results and
+# deterministic counters after restart, (b) the mmap path copying zero
+# adjacency bytes, (c) a store-restarted sw-serve answering a mixed
+# query battery identically to a cold-built server, and (d) the
+# committed BENCH_*.json snapshots carrying the store.* keys at zero —
+# so a store re-baseline can only ever be additive (new store.* keys;
+# the sentinels above pin every pre-existing counter exactly).
+timeout 600 cargo run --release -q -p sw-bench --bin swstore
+
 # Live-telemetry gate. Two halves:
 #  1. swtop --selftest starts in-process servers on both listener
 #     families, drives load, polls the STATS endpoint, and validates

@@ -2,7 +2,9 @@
 //! CSRs plus the BFS's record exchange, over any [`Transport`].
 
 use rayon::prelude::*;
-use sw_graph::{Csr, EdgeList, Partition1D, Vid};
+use std::path::Path;
+use sw_graph::store::{partition_path, PartitionMeta};
+use sw_graph::{Csr, EdgeList, GraphStore, Partition1D, StorageBackend, StoreManifest, Vid};
 use sw_net::GroupLayout;
 use sw_trace::{CounterSet, Tracer};
 use swbfs_core::config::Messaging;
@@ -34,11 +36,14 @@ pub struct AlgoCluster<T: Transport = SharedMem> {
     /// Optional span recorder (same `Option<&Tracer>` hooks as the BFS
     /// engine; a `None` costs one discriminant check per phase).
     tracer: Option<Tracer>,
-    /// Canonical flattened counters (`exchange.*`/`pool.*`/`faults.*`),
-    /// merged through `absorb_exchange` like the BFS engine.
+    /// Canonical flattened counters (`exchange.*`/`pool.*`/`faults.*`/
+    /// `store.*`), merged through `absorb_exchange` + `absorb_store`
+    /// like the BFS engine.
     metrics: CounterSet,
     /// Current algorithm round, used as the span level tag.
     round: u32,
+    /// Undirected input-edge count (persisted into store manifests).
+    input_edges: u64,
 }
 
 impl AlgoCluster<SharedMem> {
@@ -46,6 +51,17 @@ impl AlgoCluster<SharedMem> {
     /// `group_size`, on the default shared-memory transport.
     pub fn new(el: &EdgeList, ranks: u32, group_size: u32, messaging: Messaging) -> Self {
         Self::with_transport(el, ranks, group_size, messaging, SharedMem::new())
+    }
+
+    /// Reopens a persisted store directory on the default shared-memory
+    /// transport, each partition's CSR a zero-copy view over its file.
+    pub fn from_store_dir(
+        dir: &Path,
+        backend: StorageBackend,
+        group_size: u32,
+        messaging: Messaging,
+    ) -> std::io::Result<Self> {
+        Self::from_store_with_transport(dir, backend, group_size, messaging, SharedMem::new())
     }
 }
 
@@ -68,6 +84,10 @@ impl<T: Transport> AlgoCluster<T> {
             })
             .collect();
         transport.setup(ranks as usize);
+        let mut metrics = CounterSet::new();
+        // Key-set parity with the BFS engine: the storage counters exist
+        // on every cluster, zero when no store was opened.
+        ins::absorb_store(&mut metrics, &ins::StoreStats::default());
         Self {
             part,
             layout: GroupLayout::new(ranks, group_size.min(ranks)),
@@ -76,9 +96,108 @@ impl<T: Transport> AlgoCluster<T> {
             stats: ExchangeStats::default(),
             transport,
             tracer: None,
-            metrics: CounterSet::new(),
+            metrics,
             round: 0,
+            input_edges: el.len() as u64,
         }
+    }
+
+    /// [`AlgoCluster::from_store_dir`] over an explicit message fabric.
+    ///
+    /// The analytics kernels traverse the plain CSR only, so any store
+    /// opens — including one persisted by the BFS engine with a hub
+    /// sidecar — but a degree-reordered store is refused: neighbour
+    /// order changes floating-point summation order in PageRank and
+    /// betweenness, and these kernels have no reorder-aware oracle.
+    pub fn from_store_with_transport(
+        dir: &Path,
+        backend: StorageBackend,
+        group_size: u32,
+        messaging: Messaging,
+        mut transport: T,
+    ) -> std::io::Result<Self> {
+        let corrupt =
+            |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
+        let manifest = StoreManifest::read(dir)?;
+        if manifest.degree_ordered {
+            return Err(corrupt(format!(
+                "store {} holds a degree-reordered adjacency; the analytics kernels \
+                 need the natural neighbour order — rebuild the store without reordering",
+                dir.display()
+            )));
+        }
+        let ranks = manifest.num_ranks;
+        if ranks == 0 || manifest.num_vertices < ranks as u64 {
+            return Err(corrupt(format!(
+                "store {}: {} ranks for {} vertices",
+                dir.display(),
+                ranks,
+                manifest.num_vertices
+            )));
+        }
+        let part = Partition1D::new(manifest.num_vertices, ranks);
+        let mut store_stats = ins::StoreStats::default();
+        let mut csrs = Vec::with_capacity(ranks as usize);
+        for r in 0..ranks {
+            let path = partition_path(dir, r as usize);
+            let store = GraphStore::open(&path, backend)?;
+            let h = store.header();
+            let (lo, hi) = part.range(r);
+            if h.rank != r
+                || h.num_ranks != ranks
+                || h.num_vertices != manifest.num_vertices
+                || h.row_base != lo
+                || h.rows != hi - lo
+            {
+                return Err(corrupt(format!(
+                    "{}: partition header disagrees with the manifest",
+                    path.display()
+                )));
+            }
+            store_stats.absorb_open(store.stats());
+            csrs.push(store.csr());
+        }
+        transport.setup(ranks as usize);
+        let mut metrics = CounterSet::new();
+        ins::absorb_store(&mut metrics, &store_stats);
+        Ok(Self {
+            part,
+            layout: GroupLayout::new(ranks, group_size.min(ranks)),
+            csrs,
+            messaging,
+            stats: ExchangeStats::default(),
+            transport,
+            tracer: None,
+            metrics,
+            round: 0,
+            input_edges: manifest.input_edges,
+        })
+    }
+
+    /// Persists every partition plus the manifest under `dir` (created
+    /// if absent): a plain store — natural neighbour order, no sidecar —
+    /// which is exactly what [`Self::from_store_with_transport`] accepts.
+    pub fn persist_store(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for (r, csr) in self.csrs.iter().enumerate() {
+            let meta = PartitionMeta {
+                rank: r as u32,
+                num_ranks: self.part.num_ranks(),
+                input_edges: self.input_edges,
+                degree_ordered: false,
+                hub_min_degree: 0,
+            };
+            GraphStore::persist(dir, csr, None, &meta)?;
+        }
+        StoreManifest {
+            num_vertices: self.part.num_vertices(),
+            num_ranks: self.part.num_ranks(),
+            input_edges: self.input_edges,
+            degree_ordered: false,
+            compressed: false,
+            hub_min_degree: 0,
+        }
+        .write(dir)
     }
 
     /// Arms (or disarms) span/counter recording. Also arms the

@@ -69,6 +69,39 @@ fn shared_mem_batch_equals_independent_runs() {
     }
 }
 
+/// Storage differential: a batched sweep over a store-restored cluster
+/// (both backends) is bit-identical to the heap-built run, and the
+/// `store.*` counters prove the mmap path copied no adjacency bytes.
+#[test]
+fn store_restored_batches_are_bit_identical() {
+    let el = generate_kronecker(&KroneckerConfig::graph500(11, 29));
+    let sources = pick_sources(el.num_vertices, 32);
+    let dir = std::env::temp_dir().join("sw_algos_msbfs_store");
+    std::fs::remove_dir_all(&dir).ok();
+    let mut cold = AlgoCluster::new(&el, 5, 2, Messaging::Relay);
+    cold.persist_store(&dir).unwrap();
+    let oracle = msbfs_distributed(&mut cold, &sources);
+    for backend in [sw_graph::StorageBackend::Mapped, sw_graph::StorageBackend::Heap] {
+        let mut warm =
+            AlgoCluster::from_store_dir(&dir, backend, 2, Messaging::Relay).unwrap();
+        let out = msbfs_distributed(&mut warm, &sources);
+        assert_eq!(out.levels, oracle.levels, "{backend:?}: levels diverge");
+        assert_eq!(out.rounds, oracle.rounds, "{backend:?}: rounds diverge");
+        let copied = warm.metrics().get("store.bytes_copied");
+        let mapped = warm.metrics().get("store.bytes_mapped");
+        assert_eq!(warm.metrics().get("store.partitions_mapped"), 5);
+        match backend {
+            sw_graph::StorageBackend::Mapped => {
+                assert!(mapped > 0 && copied == 0, "mmap restore must be zero-copy")
+            }
+            sw_graph::StorageBackend::Heap => {
+                assert!(copied > 0 && mapped == 0, "heap restore copies once")
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn direct_and_relay_batches_agree() {
     let el = generate_kronecker(&KroneckerConfig::graph500(11, 4));
@@ -123,6 +156,35 @@ mod socket {
                 )
             });
         }
+    }
+
+    /// The store restart seam is orthogonal to the fabric: a sweep over
+    /// mmap-restored partitions on the socket transport matches the
+    /// heap-built shared-memory run bit for bit.
+    #[test]
+    fn socket_sweep_over_mapped_store_matches_heap_build() {
+        let Some(rankd) = rankd_or_skip() else { return };
+        let el = generate_kronecker(&KroneckerConfig::graph500(10, 31));
+        let sources = pick_sources(el.num_vertices, 16);
+        let dir = std::env::temp_dir().join("sw_algos_msbfs_store_socket");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut cold = AlgoCluster::new(&el, 4, 2, Messaging::Direct);
+        cold.persist_store(&dir).unwrap();
+        let oracle = msbfs_distributed(&mut cold, &sources);
+        let mut warm = AlgoCluster::from_store_with_transport(
+            &dir,
+            sw_graph::StorageBackend::Mapped,
+            2,
+            Messaging::Direct,
+            SocketTransport::unix().with_rankd(rankd),
+        )
+        .unwrap();
+        let out = msbfs_distributed(&mut warm, &sources);
+        assert_eq!(out.levels, oracle.levels);
+        assert_eq!(out.rounds, oracle.rounds);
+        assert_eq!(warm.metrics().get("store.bytes_copied"), 0);
+        assert!(warm.metrics().get("store.bytes_mapped") > 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

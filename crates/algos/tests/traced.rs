@@ -27,11 +27,12 @@ fn graph(scale: u32, seed: u64) -> EdgeList {
     generate_kronecker(&KroneckerConfig::graph500(scale, seed))
 }
 
-/// The canonical flattened key set, derived from the one merge path the
+/// The canonical flattened key set, derived from the merge paths the
 /// BFS backends use — not hand-listed, so it cannot drift.
 fn canonical_keys() -> Vec<String> {
     let mut cs = CounterSet::new();
     swbfs_core::absorb_exchange(&mut cs, &ExchangeStats::default());
+    swbfs_core::absorb_store(&mut cs, &swbfs_core::StoreStats::default());
     cs.iter().map(|(k, _)| k.to_string()).collect()
 }
 

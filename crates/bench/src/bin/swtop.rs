@@ -112,7 +112,7 @@ fn render(cs: &CounterSet, target: &str, frame: u64) -> String {
 
     let (hits, misses) = (g("serve.cache_hits"), g("serve.cache_misses"));
     let lookups = hits + misses;
-    let pct = if lookups == 0 { 0 } else { hits * 100 / lookups };
+    let pct = (hits * 100).checked_div(lookups).unwrap_or(0);
     out.push_str(&format!(
         "cache     hits {hits} / {lookups} lookups ({pct}%)   hits/s {}   evictions {}\n",
         g("live.serve.cache_hits.1s"),
@@ -228,7 +228,8 @@ fn selftest() -> Result<(), String> {
     use sw_graph::{generate_kronecker, KroneckerConfig};
     let el = generate_kronecker(&KroneckerConfig::graph500(10, 77));
 
-    let starters: [(&str, fn(&sw_graph::EdgeList) -> std::io::Result<Server>); 2] = [
+    type Starter = fn(&sw_graph::EdgeList) -> std::io::Result<Server>;
+    let starters: [(&str, Starter); 2] = [
         ("unix", |el| Server::start(el, ServeConfig::default())),
         ("tcp", |el| Server::start_tcp(el, ServeConfig::default())),
     ];

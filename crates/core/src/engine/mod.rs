@@ -68,11 +68,23 @@ use crate::result::{BfsOutput, LevelStats};
 use crate::shuffling::check_chip_feasibility;
 use crate::NO_PARENT;
 use rayon::prelude::*;
+use std::path::{Path, PathBuf};
 use sw_arch::ChipConfig;
 use sw_graph::hub::HubSet;
-use sw_graph::{Bitmap, EdgeList, Partition1D, Vid};
+use sw_graph::store::{partition_path, PartitionMeta};
+use sw_graph::{Bitmap, EdgeList, GraphStore, Partition1D, StorageBackend, StoreManifest, Vid};
 use sw_net::GroupLayout;
 use sw_trace::{CounterSet, Tracer, NO_LEVEL};
+
+/// Where a builder gets its graph: the classic in-memory edge list, or
+/// a persisted store directory whose partitions open as zero-copy views.
+enum Source<'a> {
+    /// Partition and build from an edge list (the cold-build path).
+    Edges(&'a EdgeList),
+    /// Open `part-NNNNN.swgs` files under a directory written by
+    /// [`SuperstepEngine::persist_store`] (the restart path).
+    Store { dir: PathBuf, backend: StorageBackend },
+}
 
 /// Builds a [`SuperstepEngine`] over a chosen [`Transport`].
 ///
@@ -81,7 +93,7 @@ use sw_trace::{CounterSet, Tracer, NO_LEVEL};
 /// other. Tracers and fault plans can be armed up front or later via
 /// the engine's setters.
 pub struct ClusterBuilder<'a, T: Transport = SharedMem> {
-    el: &'a EdgeList,
+    source: Source<'a>,
     num_ranks: u32,
     cfg: BfsConfig,
     tracer: Option<Tracer>,
@@ -94,8 +106,37 @@ impl<'a> ClusterBuilder<'a, SharedMem> {
     /// default shared-memory transport.
     pub fn new(el: &'a EdgeList, num_ranks: u32, cfg: BfsConfig) -> Self {
         Self {
-            el,
+            source: Source::Edges(el),
             num_ranks,
+            cfg,
+            tracer: None,
+            fault_plan: None,
+            transport: SharedMem::new(),
+        }
+    }
+}
+
+impl ClusterBuilder<'static, SharedMem> {
+    /// A builder over a persisted store directory (written by
+    /// [`SuperstepEngine::persist_store`]): the rank count comes from
+    /// the manifest and each rank's partition file opens as zero-copy
+    /// views — `mmap`-backed by default (see
+    /// [`ClusterBuilder::storage`]) — instead of rebuilding from edges.
+    ///
+    /// The store is a *sealed* adjacency, so `cfg` must request exactly
+    /// the preparation that was persisted (`degree_ordered_adjacency`,
+    /// `compress_hub_rows`, `hub_compress_min_degree`); [`build`]
+    /// refuses a disagreement rather than traversing a graph the config
+    /// mis-describes.
+    ///
+    /// [`build`]: ClusterBuilder::build
+    pub fn from_store_dir(dir: impl Into<PathBuf>, cfg: BfsConfig) -> Self {
+        Self {
+            source: Source::Store {
+                dir: dir.into(),
+                backend: StorageBackend::Mapped,
+            },
+            num_ranks: 0, // manifest-authoritative; unused for stores
             cfg,
             tracer: None,
             fault_plan: None,
@@ -108,13 +149,27 @@ impl<'a, T: Transport> ClusterBuilder<'a, T> {
     /// Swaps the message fabric the engine will run over.
     pub fn transport<U: Transport>(self, transport: U) -> ClusterBuilder<'a, U> {
         ClusterBuilder {
-            el: self.el,
+            source: self.source,
             num_ranks: self.num_ranks,
             cfg: self.cfg,
             tracer: self.tracer,
             fault_plan: self.fault_plan,
             transport,
         }
+    }
+
+    /// Picks the storage backend for a store-directory source ([`Heap`]
+    /// copies once into aligned buffers, [`Mapped`] — the default — maps
+    /// the files in place). No effect on an edge-list source.
+    ///
+    /// [`Heap`]: StorageBackend::Heap
+    /// [`Mapped`]: StorageBackend::Mapped
+    #[must_use]
+    pub fn storage(mut self, backend: StorageBackend) -> Self {
+        if let Source::Store { backend: b, .. } = &mut self.source {
+            *b = backend;
+        }
+        self
     }
 
     /// Swaps in the multi-process socket fabric (Unix-domain sockets,
@@ -145,8 +200,14 @@ impl<'a, T: Transport> ClusterBuilder<'a, T> {
     /// graph, builds per-rank state and the distributed hub selection,
     /// and sets the transport up for the job size.
     pub fn build(self) -> Result<SuperstepEngine<T>, ExecError> {
-        let mut engine =
-            SuperstepEngine::with_transport(self.el, self.num_ranks, self.cfg, self.transport)?;
+        let mut engine = match self.source {
+            Source::Edges(el) => {
+                SuperstepEngine::with_transport(el, self.num_ranks, self.cfg, self.transport)?
+            }
+            Source::Store { dir, backend } => {
+                SuperstepEngine::from_store_with_transport(&dir, backend, self.cfg, self.transport)?
+            }
+        };
         engine.set_tracer(self.tracer);
         engine.set_fault_plan(self.fault_plan);
         Ok(engine)
@@ -158,7 +219,17 @@ impl<'a, T: Transport> ClusterBuilder<'a, T> {
     /// mode before the local CSR builds. Functionally identical to
     /// [`ClusterBuilder::build`]; also returns the construction traffic.
     pub fn build_distributed(self) -> Result<(SuperstepEngine<T>, ExchangeStats), ExecError> {
-        let (el, messaging) = (self.el, self.cfg.messaging);
+        let el = match &self.source {
+            Source::Edges(el) => *el,
+            Source::Store { .. } => {
+                return Err(ExecError::BadSetup(
+                    "distributed construction shuffles generator chunks, so it needs an \
+                     edge-list source; a persisted store is already partitioned — use build()"
+                        .into(),
+                ))
+            }
+        };
+        let messaging = self.cfg.messaging;
         let mut engine = self.build()?;
         let built = crate::construction::build_distributed(
             el,
@@ -197,6 +268,9 @@ pub struct SuperstepEngine<T: Transport> {
     input_edges: u64,
     /// Rows holding a byte-coded copy, summed over ranks at construction.
     rows_compressed: u64,
+    /// Storage accounting from construction: zero for edge-list builds,
+    /// open costs summed over partitions for store restarts.
+    store_stats: ins::StoreStats,
     transport: T,
     /// Canonical counter set of the most recent [`Self::run`].
     metrics: CounterSet,
@@ -245,7 +319,7 @@ impl<T: Transport> SuperstepEngine<T> {
         el: &EdgeList,
         num_ranks: u32,
         cfg: BfsConfig,
-        mut transport: T,
+        transport: T,
     ) -> Result<Self, ExecError> {
         if num_ranks == 0 {
             return Err(ExecError::BadSetup("zero ranks".into()));
@@ -257,6 +331,10 @@ impl<T: Transport> SuperstepEngine<T> {
                 num_ranks, el.num_vertices
             )));
         }
+        // Wall-clock leg of the build-once/serve-forever comparison:
+        // landed next to `store.map_micros` so the live plane shows what
+        // a restart saves.
+        let live_t0 = sw_trace::live::armed().then(std::time::Instant::now);
         let part = Partition1D::new(el.num_vertices, num_ranks);
         let layout = GroupLayout::new(num_ranks, cfg.group_size.min(num_ranks));
         check_chip_feasibility(&cfg, &ChipConfig::sw26010(), &layout)?;
@@ -293,6 +371,138 @@ impl<T: Transport> SuperstepEngine<T> {
             0
         };
 
+        let engine = Self::assemble(
+            cfg,
+            part,
+            layout,
+            ranks,
+            rows_compressed,
+            el.len() as u64,
+            ins::StoreStats::default(),
+            transport,
+        );
+        Self::live_record_build("store.cold_build_micros", live_t0);
+        Ok(engine)
+    }
+
+    /// Opens every partition of a persisted store directory and builds
+    /// the engine over zero-copy views — the restart path of
+    /// build-once/serve-forever. Refuses a manifest that disagrees with
+    /// `cfg` about the sealed preparation (degree order, sidecar,
+    /// hub threshold), a partition whose header disagrees with the
+    /// manifest, and any file the store layer's checksum/coherence
+    /// verification rejects.
+    pub fn from_store_with_transport(
+        dir: &Path,
+        backend: StorageBackend,
+        cfg: BfsConfig,
+        transport: T,
+    ) -> Result<Self, ExecError> {
+        let manifest = StoreManifest::read(dir).map_err(|e| {
+            ExecError::BadSetup(format!("store manifest in {}: {e}", dir.display()))
+        })?;
+        cfg.validate().map_err(ExecError::BadSetup)?;
+        if cfg.degree_ordered_adjacency != manifest.degree_ordered
+            || cfg.compress_hub_rows != manifest.compressed
+            || (manifest.compressed && cfg.hub_compress_min_degree != manifest.hub_min_degree)
+        {
+            return Err(ExecError::BadSetup(format!(
+                "store {} was sealed with degree_ordered={} compressed={} hub_min_degree={}; \
+                 the config asks for degree_ordered={} compressed={} hub_min_degree={} — \
+                 a persisted adjacency cannot be re-prepared, rebuild from edges instead",
+                dir.display(),
+                manifest.degree_ordered,
+                manifest.compressed,
+                manifest.hub_min_degree,
+                cfg.degree_ordered_adjacency,
+                cfg.compress_hub_rows,
+                cfg.hub_compress_min_degree,
+            )));
+        }
+        let num_ranks = manifest.num_ranks;
+        if num_ranks == 0 {
+            return Err(ExecError::BadSetup("store manifest: zero ranks".into()));
+        }
+        if manifest.num_vertices < num_ranks as u64 {
+            return Err(ExecError::BadSetup(format!(
+                "{} ranks for {} vertices",
+                num_ranks, manifest.num_vertices
+            )));
+        }
+        let live_t0 = sw_trace::live::armed().then(std::time::Instant::now);
+        let part = Partition1D::new(manifest.num_vertices, num_ranks);
+        let layout = GroupLayout::new(num_ranks, cfg.group_size.min(num_ranks));
+        check_chip_feasibility(&cfg, &ChipConfig::sw26010(), &layout)?;
+
+        let mut store_stats = ins::StoreStats::default();
+        let mut ranks = Vec::with_capacity(num_ranks as usize);
+        for r in 0..num_ranks {
+            let path = partition_path(dir, r as usize);
+            let store = GraphStore::open(&path, backend)
+                .map_err(|e| ExecError::BadSetup(format!("{}: {e}", path.display())))?;
+            let h = store.header();
+            let (lo, hi) = part.range(r);
+            if h.rank != r
+                || h.num_ranks != num_ranks
+                || h.num_vertices != manifest.num_vertices
+                || h.row_base != lo
+                || h.rows != hi - lo
+                || h.degree_ordered() != manifest.degree_ordered
+                || h.has_compressed() != manifest.compressed
+            {
+                return Err(ExecError::BadSetup(format!(
+                    "{}: partition header disagrees with the manifest \
+                     (rank {}/{}, rows {}..{}, expected rank {}/{}, rows {}..{})",
+                    path.display(),
+                    h.rank,
+                    h.num_ranks,
+                    h.row_base,
+                    h.row_base + h.rows,
+                    r,
+                    num_ranks,
+                    lo,
+                    hi,
+                )));
+            }
+            store_stats.absorb_open(store.stats());
+            ranks.push(RankState::from_store(r, part, &store));
+        }
+        let rows_compressed = ranks
+            .iter()
+            .map(|r| r.adjacency.as_ref().map_or(0, |a| a.coded_rows() as u64))
+            .sum();
+
+        let engine = Self::assemble(
+            cfg,
+            part,
+            layout,
+            ranks,
+            rows_compressed,
+            manifest.input_edges,
+            store_stats,
+            transport,
+        );
+        Self::live_record_build("store.map_micros", live_t0);
+        Ok(engine)
+    }
+
+    /// The construction tail both sources share: distributed hub
+    /// selection, edge totals, transport setup. Hub selection reads only
+    /// owned degrees — identical between a cold build and a store
+    /// restart of the same graph, which is what makes restarts
+    /// bit-reproducible.
+    #[allow(clippy::too_many_arguments)] // internal seam between two constructors
+    fn assemble(
+        cfg: BfsConfig,
+        part: Partition1D,
+        layout: GroupLayout,
+        ranks: Vec<RankState>,
+        rows_compressed: u64,
+        input_edges: u64,
+        store_stats: ins::StoreStats,
+        mut transport: T,
+    ) -> Self {
+        let num_ranks = part.num_ranks();
         // Distributed hub selection: every rank nominates its local top-k;
         // the global top-k is drawn from the union of nominations.
         let k = cfg.bottom_up_hubs;
@@ -323,7 +533,7 @@ impl<T: Transport> SuperstepEngine<T> {
 
         let total_directed_edges = ranks.iter().map(|r| r.csr.num_entries()).sum();
         transport.setup(num_ranks as usize);
-        Ok(Self {
+        Self {
             cfg,
             part,
             layout,
@@ -331,8 +541,9 @@ impl<T: Transport> SuperstepEngine<T> {
             hub_states,
             owned_hubs,
             total_directed_edges,
-            input_edges: el.len() as u64,
+            input_edges,
             rows_compressed,
+            store_stats,
             transport,
             metrics: CounterSet::new(),
             tracer: None,
@@ -340,7 +551,51 @@ impl<T: Transport> SuperstepEngine<T> {
             faults: None,
             #[cfg(test)]
             use_legacy_exchange: false,
-        })
+        }
+    }
+
+    /// Publishes one construction's wall-clock duration to the armed
+    /// live plane, under the source-specific histogram (`cold_build` for
+    /// edge lists, `map` for store restarts).
+    fn live_record_build(histogram: &'static str, live_t0: Option<std::time::Instant>) {
+        if let Some(t0) = live_t0 {
+            sw_trace::live::global()
+                .histogram(histogram)
+                .record(t0.elapsed().as_micros() as u64);
+        }
+    }
+
+    /// Persists every rank's partition plus the directory manifest under
+    /// `dir` (created if absent) — the build-once half of
+    /// build-once/serve-forever. Each partition writes through a temp
+    /// file + rename, and the manifest is written last, so a crashed
+    /// persist never leaves a directory that opens.
+    pub fn persist_store(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let hub_min_degree = if self.cfg.compress_hub_rows {
+            self.cfg.hub_compress_min_degree
+        } else {
+            0
+        };
+        for r in &self.ranks {
+            let meta = PartitionMeta {
+                rank: r.rank,
+                num_ranks: self.part.num_ranks(),
+                input_edges: self.input_edges,
+                degree_ordered: self.cfg.degree_ordered_adjacency,
+                hub_min_degree,
+            };
+            GraphStore::persist(dir, &r.csr, r.adjacency.as_ref(), &meta)?;
+        }
+        StoreManifest {
+            num_vertices: self.part.num_vertices(),
+            num_ranks: self.part.num_ranks(),
+            input_edges: self.input_edges,
+            degree_ordered: self.cfg.degree_ordered_adjacency,
+            compressed: self.cfg.compress_hub_rows,
+            hub_min_degree,
+        }
+        .write(dir)
     }
 
     /// Number of ranks.
@@ -395,6 +650,22 @@ impl<T: Transport> SuperstepEngine<T> {
         (
             self.metrics.get(ins::POOL_ALLOCS),
             self.metrics.get(ins::POOL_REUSED_BYTES),
+        )
+    }
+
+    /// Storage telemetry fixed at construction: `(bytes mapped, bytes
+    /// copied, sections verified, partitions opened)`. All zero for an
+    /// edge-list build; on a store restart the backend shows here —
+    /// `Mapped` reports mapped bytes and zero copies (the zero-copy
+    /// assertion), `Heap` the inverse. Re-recorded into
+    /// [`Self::metrics`] on every run as the `store.*` counters.
+    pub fn store_counters(&self) -> (u64, u64, u64, u64) {
+        let s = self.store_stats;
+        (
+            s.bytes_mapped,
+            s.bytes_copied,
+            s.sections_verified,
+            s.partitions_mapped,
         )
     }
 
@@ -472,11 +743,13 @@ impl<T: Transport> SuperstepEngine<T> {
             });
         }
         self.reset();
-        // Construction-time fact, re-recorded per run because reset()
+        // Construction-time facts, re-recorded per run because reset()
         // clears the counter set; recorded even at zero so counter key
-        // sets stay identical across configurations and transports.
+        // sets stay identical across configurations, transports, and
+        // storage backends.
         self.metrics
             .record(ins::KERNEL_ROWS_COMPRESSED, self.rows_compressed);
+        ins::absorb_store(&mut self.metrics, &self.store_stats);
 
         // Seed the root and promote it into the first frontier.
         let owner = self.part.owner(root) as usize;

@@ -51,6 +51,16 @@ pub const KERNEL_BYTES_DECODED: &str = "kernel.bytes_decoded";
 /// Adjacency rows holding a byte-coded copy (recorded once at
 /// construction, not per level).
 pub const KERNEL_ROWS_COMPRESSED: &str = "kernel.rows_compressed";
+/// Bytes made visible through `mmap(2)` when opening graph-store
+/// partitions (0 for engines built from edge lists or heap restores).
+pub const STORE_BYTES_MAPPED: &str = "store.bytes_mapped";
+/// Bytes copied into heap buffers when opening graph-store partitions
+/// (0 on the mmap path — the zero-copy assertion reads this key).
+pub const STORE_BYTES_COPIED: &str = "store.bytes_copied";
+/// Store sections that passed checksum + coherence verification.
+pub const STORE_SECTIONS_VERIFIED: &str = "store.sections_verified";
+/// Partition files opened from a store directory.
+pub const STORE_PARTITIONS_MAPPED: &str = "store.partitions_mapped";
 
 /// Span: one generator module pass (work = records generated).
 pub const SPAN_GEN: &str = "gen";
@@ -152,6 +162,42 @@ pub fn absorb_kernel(cs: &mut CounterSet, ls: &crate::result::LevelStats) {
     cs.record(KERNEL_WORDS_SCANNED, ls.words_scanned);
     cs.record(KERNEL_WORDS_SKIPPED, ls.words_skipped);
     cs.record(KERNEL_BYTES_DECODED, ls.bytes_decoded);
+}
+
+/// Construction-time storage accounting: what opening (or not opening)
+/// a graph store cost. Zero-valued for engines built from edge lists —
+/// recorded anyway so counter key sets stay identical across storage
+/// backends, exactly like the kernel counters across transports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Bytes made visible through `mmap(2)`.
+    pub bytes_mapped: u64,
+    /// Bytes copied into heap buffers.
+    pub bytes_copied: u64,
+    /// Sections that passed checksum + coherence verification.
+    pub sections_verified: u64,
+    /// Partition files opened.
+    pub partitions_mapped: u64,
+}
+
+impl StoreStats {
+    /// Folds one opened partition's accounting in.
+    pub fn absorb_open(&mut self, s: sw_graph::store::StoreOpenStats) {
+        self.bytes_mapped += s.bytes_mapped;
+        self.bytes_copied += s.bytes_copied;
+        self.sections_verified += s.sections_verified;
+        self.partitions_mapped += 1;
+    }
+}
+
+/// The storage-side companion to [`absorb_exchange`]: flattens store
+/// accounting into `cs`. Called once per run on every engine — zero
+/// values still create the keys.
+pub fn absorb_store(cs: &mut CounterSet, ss: &StoreStats) {
+    cs.record(STORE_BYTES_MAPPED, ss.bytes_mapped);
+    cs.record(STORE_BYTES_COPIED, ss.bytes_copied);
+    cs.record(STORE_SECTIONS_VERIFIED, ss.sections_verified);
+    cs.record(STORE_PARTITIONS_MAPPED, ss.partitions_mapped);
 }
 
 /// The inverse view: reads the canonical keys back into an

@@ -60,7 +60,7 @@ pub use config::{BfsConfig, Messaging, Processing};
 pub use engine::{Channels, ClusterBuilder, SharedMem, SuperstepEngine, Transport};
 pub use error::{ExchangeError, ExecError};
 pub use faults::{FaultKind, FaultPlan, FaultSession, InjectionEvent, RetryPolicy};
-pub use instrument::{absorb_exchange, exchange_view};
+pub use instrument::{absorb_exchange, absorb_store, exchange_view, StoreStats};
 pub use modeled::{ModelOutcome, ModeledCluster};
 pub use result::{BfsOutput, LevelStats};
 pub use channels::ChannelCluster;

@@ -4,7 +4,7 @@
 use crate::frontier::Frontier;
 use crate::NO_PARENT;
 use sw_graph::compressed::CompressedCsr;
-use sw_graph::{Bitmap, Csr, EdgeList, Partition1D, Vid};
+use sw_graph::{Bitmap, Csr, EdgeList, GraphStore, Partition1D, Vid};
 
 /// One rank's (node's) state under 1-D partitioning.
 #[derive(Clone, Debug)]
@@ -44,6 +44,30 @@ impl RankState {
             part,
             csr,
             adjacency: None,
+            parent: vec![NO_PARENT; owned],
+            visited_bits: Bitmap::new(owned),
+            curr: Frontier::new(owned),
+            next: Frontier::new(owned),
+        }
+    }
+
+    /// Builds rank `rank`'s state from an opened partition store.
+    ///
+    /// The CSR (and the byte-coded sidecar, when the store carries one)
+    /// are *views* into the store's backing bytes — on the mmap backend
+    /// no adjacency word is copied. The store is already sealed: callers
+    /// must not reorder or re-seal, which is why the persisted manifest
+    /// records `degree_ordered` / `hub_min_degree` and engine
+    /// construction refuses a config that disagrees.
+    pub fn from_store(rank: u32, part: Partition1D, store: &GraphStore) -> Self {
+        let csr = store.csr();
+        let adjacency = store.compressed();
+        let owned = csr.num_rows() as usize;
+        Self {
+            rank,
+            part,
+            csr,
+            adjacency,
             parent: vec![NO_PARENT; owned],
             visited_bits: Bitmap::new(owned),
             curr: Frontier::new(owned),

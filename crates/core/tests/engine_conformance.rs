@@ -24,7 +24,7 @@ use swbfs_core::engine::{
     Channels, ClusterBuilder, SharedMem, SocketTransport, SuperstepEngine, Transport,
 };
 use swbfs_core::{BfsConfig, FaultPlan, Messaging};
-use sw_graph::{generate_kronecker, EdgeList, KroneckerConfig, Vid};
+use sw_graph::{generate_kronecker, EdgeList, KroneckerConfig, StorageBackend, Vid};
 
 /// The socket fabric over Unix-domain sockets, pinned to the rank
 /// daemon Cargo built alongside this test binary.
@@ -41,9 +41,10 @@ fn graph(scale: u32, seed: u64) -> EdgeList {
     generate_kronecker(&KroneckerConfig::graph500(scale, seed))
 }
 
-/// The 15 canonical counter keys every run must report — the
-/// `absorb_exchange` + `absorb_kernel` merge paths' complete coverage.
-const CANONICAL_KEYS: [&str; 15] = [
+/// The 19 canonical counter keys every run must report — the
+/// `absorb_exchange` + `absorb_kernel` + `absorb_store` merge paths'
+/// complete coverage.
+const CANONICAL_KEYS: [&str; 19] = [
     "exchange.bytes",
     "exchange.inter_group_bytes",
     "exchange.max_send_bytes_per_rank",
@@ -59,6 +60,10 @@ const CANONICAL_KEYS: [&str; 15] = [
     "kernel.words_skipped",
     "pool.allocs",
     "pool.reused_bytes",
+    "store.bytes_copied",
+    "store.bytes_mapped",
+    "store.partitions_mapped",
+    "store.sections_verified",
 ];
 
 fn build<T: Transport>(
@@ -110,7 +115,7 @@ fn check_oracle_parity<T: Transport>(make: fn() -> T) {
     }
 }
 
-/// Battery 2: exactly the 15 canonical counter keys after a clean run.
+/// Battery 2: exactly the 19 canonical counter keys after a clean run.
 fn check_canonical_counters<T: Transport>(make: fn() -> T) {
     let el = graph(11, 5);
     let mut engine = build(&el, 6, BfsConfig::threaded_small(3), make);
@@ -119,8 +124,75 @@ fn check_canonical_counters<T: Transport>(make: fn() -> T) {
     let keys: Vec<&str> = engine.metrics().iter().map(|(k, _)| k).collect();
     assert_eq!(
         keys, CANONICAL_KEYS,
-        "{name}: counter key set drifted from the canonical 15"
+        "{name}: counter key set drifted from the canonical 19"
     );
+    // An edge-list build opened no store: the storage counters exist
+    // (key-set parity) but are all zero.
+    assert_eq!(engine.store_counters(), (0, 0, 0, 0), "{name}");
+}
+
+/// Battery 5: storage-backend conformance. A persisted store restarted
+/// on either backend must be indistinguishable from the cold build —
+/// bit-identical parents/levels and bit-identical values for all 15
+/// pre-store canonical counters — while the `store.*` counters prove
+/// which path ran (mmap maps every byte and copies none; heap the
+/// inverse).
+fn check_store_restart_parity<T: Transport>(make: fn() -> T) {
+    let el = graph(12, 33);
+    let cfg = BfsConfig::threaded_small(3);
+    let mut cold = build(&el, 6, cfg, make);
+    let name = cold.transport().name();
+    let dir = std::env::temp_dir().join(format!("swbfs_conformance_store_{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    cold.persist_store(&dir).expect("persist store");
+    let root = good_root(&cold);
+    let oracle = cold.run(root).unwrap();
+
+    for backend in [StorageBackend::Mapped, StorageBackend::Heap] {
+        let mut warm = ClusterBuilder::from_store_dir(&dir, cfg)
+            .storage(backend)
+            .transport(make())
+            .build()
+            .unwrap_or_else(|e| panic!("{name}/{backend:?}: store restart refused: {e}"));
+        let out = warm.run(root).unwrap();
+        assert_eq!(
+            out, oracle,
+            "{name}/{backend:?}: restart output diverges from the cold build"
+        );
+        for section in ["exchange.", "kernel.", "pool.", "faults."] {
+            assert_eq!(
+                warm.metrics().section(section),
+                cold.metrics().section(section),
+                "{name}/{backend:?}: {section}* counters diverge after restart"
+            );
+        }
+        let (mapped, copied, verified, parts) = warm.store_counters();
+        assert_eq!(parts, 6, "{name}/{backend:?}: one partition per rank");
+        assert!(verified >= 2 * parts, "{name}/{backend:?}: sections unverified");
+        match backend {
+            StorageBackend::Mapped => {
+                assert!(mapped > 0, "{name}: mmap restart mapped nothing");
+                assert_eq!(copied, 0, "{name}: mmap restart copied adjacency bytes");
+            }
+            StorageBackend::Heap => {
+                assert!(copied > 0, "{name}: heap restart copied nothing");
+                assert_eq!(mapped, 0, "{name}: heap restart mapped bytes");
+            }
+        }
+        // The view over construction facts and the per-run counters
+        // must agree.
+        assert_eq!(
+            (mapped, copied, verified, parts),
+            (
+                warm.metrics().get("store.bytes_mapped"),
+                warm.metrics().get("store.bytes_copied"),
+                warm.metrics().get("store.sections_verified"),
+                warm.metrics().get("store.partitions_mapped"),
+            ),
+            "{name}/{backend:?}: store_counters must be a view over metrics()"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Battery 3: a survivable lossy schedule leaves the output
@@ -231,6 +303,16 @@ fn shared_mem_exposes_the_complete_surface() {
 }
 
 #[test]
+fn shared_mem_restarts_from_a_store_bit_identically() {
+    check_store_restart_parity(SharedMem::new);
+}
+
+#[test]
+fn channels_restarts_from_a_store_bit_identically() {
+    check_store_restart_parity(Channels::new);
+}
+
+#[test]
 fn channels_exposes_the_complete_surface() {
     check_complete_surface(Channels::new);
 }
@@ -275,6 +357,11 @@ fn socket_unix_exposes_the_complete_surface() {
 #[test]
 fn socket_tcp_exposes_the_complete_surface() {
     check_complete_surface(socket_tcp);
+}
+
+#[test]
+fn socket_unix_restarts_from_a_store_bit_identically() {
+    check_store_restart_parity(socket_unix);
 }
 
 /// Cross-transport parity on identical traffic: identical parent maps

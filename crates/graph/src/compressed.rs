@@ -28,6 +28,7 @@
 //! [`coded_row`]: CompressedCsr::coded_row
 
 use crate::csr::Csr;
+use crate::store::view::{ByteSec, U32s, U64s};
 use crate::Vid;
 
 /// Targets per chunk: one header per 64 neighbours.
@@ -46,8 +47,13 @@ pub const CHUNK_HEADER_BYTES: usize = 12;
 const NONE: u32 = u32::MAX;
 
 /// Per-row bookkeeping for one coded row.
-#[derive(Clone, Debug)]
-struct RowEntry {
+///
+/// Serialized in the store format as six `u32` words
+/// (`data_start, data_end, chunk_start, chunk_end, degree, flags`
+/// with flags bit 0 = `sorted`), so the entry table can be mapped and
+/// decoded per access without a resident `Vec<RowEntry>`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct RowEntry {
     /// Range of this row's bytes in the shared data pool.
     data_start: u32,
     data_end: u32,
@@ -60,24 +66,94 @@ struct RowEntry {
     sorted: bool,
 }
 
+/// `u32` words one [`RowEntry`] occupies on disk.
+pub(crate) const ENTRY_WORDS: usize = 6;
+
+impl RowEntry {
+    fn from_words(w: &[u32]) -> RowEntry {
+        RowEntry {
+            data_start: w[0],
+            data_end: w[1],
+            chunk_start: w[2],
+            chunk_end: w[3],
+            degree: w[4],
+            sorted: w[5] & 1 != 0,
+        }
+    }
+
+    fn to_words(self) -> [u32; ENTRY_WORDS] {
+        [
+            self.data_start,
+            self.data_end,
+            self.chunk_start,
+            self.chunk_end,
+            self.degree,
+            u32::from(self.sorted),
+        ]
+    }
+}
+
+/// The entry table: builder-owned structs or a mapped `u32` section
+/// read [`ENTRY_WORDS`] at a time.
+#[derive(Clone, Debug)]
+pub(crate) enum Entries {
+    Owned(Vec<RowEntry>),
+    Mapped(U32s),
+}
+
+impl Entries {
+    fn len(&self) -> usize {
+        match self {
+            Entries::Owned(v) => v.len(),
+            Entries::Mapped(w) => w.len() / ENTRY_WORDS,
+        }
+    }
+
+    fn get(&self, i: usize) -> RowEntry {
+        match self {
+            Entries::Owned(v) => v[i],
+            Entries::Mapped(w) => RowEntry::from_words(&w[i * ENTRY_WORDS..(i + 1) * ENTRY_WORDS]),
+        }
+    }
+}
+
 /// A compressed-row sidecar over a local CSR partition.
 ///
 /// Holds byte-coded copies of selected rows (by local row index); rows
 /// not selected keep the plain CSR as their only representation.
+///
+/// Like [`Csr`], storage is view-typed: built in memory the sections
+/// are owned vectors, opened from a
+/// [`GraphStore`](crate::store::GraphStore) they are zero-copy views
+/// over the mapped file. Equality is by content either way.
 #[derive(Clone, Debug)]
 pub struct CompressedCsr {
     /// Local row index → entry index, or [`NONE`].
-    row_of: Vec<u32>,
-    entries: Vec<RowEntry>,
+    row_of: U32s,
+    entries: Entries,
     /// Concatenated varint streams of all coded rows.
-    data: Vec<u8>,
+    data: ByteSec,
     /// Absolute value of the first target of each chunk.
-    chunk_first: Vec<Vid>,
+    chunk_first: U64s,
     /// Byte offset (within the row's stream) just past that target.
-    chunk_offset: Vec<u32>,
+    chunk_offset: U32s,
     /// Bytes the same rows occupy as plain `Vid` slices.
     plain_bytes_replaced: usize,
 }
+
+impl PartialEq for CompressedCsr {
+    fn eq(&self, other: &CompressedCsr) -> bool {
+        self.row_of == other.row_of
+            && self.entries.len() == other.entries.len()
+            && (0..self.entries.len()).all(|i| self.entries.get(i) == other.entries.get(i))
+            && self.data == other.data
+            && self.chunk_first == other.chunk_first
+            && self.chunk_offset == other.chunk_offset
+            && self.plain_bytes_replaced == other.plain_bytes_replaced
+    }
+}
+
+impl Eq for CompressedCsr {}
 
 impl CompressedCsr {
     /// Codes every row of `rows` (local row index = slice index).
@@ -97,7 +173,7 @@ impl CompressedCsr {
     }
 
     fn build<'a>(num_rows: usize, select: impl Fn(usize) -> Option<&'a [Vid]>) -> Self {
-        let mut out = Self {
+        let mut b = Builder {
             row_of: vec![NONE; num_rows],
             entries: Vec::new(),
             data: Vec::new(),
@@ -107,42 +183,16 @@ impl CompressedCsr {
         };
         for local in 0..num_rows {
             let Some(targets) = select(local) else { continue };
-            out.push_row(local, targets);
+            b.push_row(local, targets);
         }
-        out
-    }
-
-    fn push_row(&mut self, local: usize, targets: &[Vid]) {
-        assert!(
-            self.entries.len() < NONE as usize,
-            "too many coded rows for u32 index"
-        );
-        let data_start = self.data.len();
-        let chunk_start = self.chunk_first.len();
-        let mut prev: Vid = 0;
-        let mut sorted = true;
-        for (i, &t) in targets.iter().enumerate() {
-            let delta = t.wrapping_sub(prev) as i64;
-            write_varint(&mut self.data, zigzag(delta));
-            if i % CHUNK_TARGETS == 0 {
-                self.chunk_first.push(t);
-                self.chunk_offset.push((self.data.len() - data_start) as u32);
-            }
-            if i > 0 && t < prev {
-                sorted = false;
-            }
-            prev = t;
+        Self {
+            row_of: b.row_of.into(),
+            entries: Entries::Owned(b.entries),
+            data: b.data.into(),
+            chunk_first: b.chunk_first.into(),
+            chunk_offset: b.chunk_offset.into(),
+            plain_bytes_replaced: b.plain_bytes_replaced,
         }
-        self.row_of[local] = self.entries.len() as u32;
-        self.entries.push(RowEntry {
-            data_start: data_start as u32,
-            data_end: self.data.len() as u32,
-            chunk_start: chunk_start as u32,
-            chunk_end: self.chunk_first.len() as u32,
-            degree: targets.len() as u32,
-            sorted,
-        });
-        self.plain_bytes_replaced += std::mem::size_of_val(targets);
     }
 
     /// Number of local rows this sidecar indexes (coded or not).
@@ -210,7 +260,7 @@ impl CompressedCsr {
         self.iter_from(e, chunk)
     }
 
-    fn iter_from(&self, e: &RowEntry, chunk: usize) -> CodedIter<'_> {
+    fn iter_from(&self, e: RowEntry, chunk: usize) -> CodedIter<'_> {
         let first = self.chunk_first[e.chunk_start as usize + chunk];
         let offset = self.chunk_offset[e.chunk_start as usize + chunk] as usize;
         let row = &self.data[e.data_start as usize..e.data_end as usize];
@@ -225,10 +275,10 @@ impl CompressedCsr {
         }
     }
 
-    fn entry(&self, local: usize) -> Option<&RowEntry> {
+    fn entry(&self, local: usize) -> Option<RowEntry> {
         match self.row_of[local] {
             NONE => None,
-            i => Some(&self.entries[i as usize]),
+            i => Some(self.entries.get(i as usize)),
         }
     }
 
@@ -255,6 +305,143 @@ impl CompressedCsr {
     /// Total sidecar footprint: streams plus bookkeeping.
     pub fn byte_size(&self) -> usize {
         self.coded_bytes() + self.overhead_bytes()
+    }
+
+    // ---- store persistence seam (crate-internal) ----
+
+    /// Row-index words as stored on disk.
+    pub(crate) fn row_of_words(&self) -> &[u32] {
+        &self.row_of
+    }
+
+    /// Entry table serialized to its six-word on-disk layout.
+    pub(crate) fn entry_words(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.entries.len() * ENTRY_WORDS);
+        for i in 0..self.entries.len() {
+            out.extend_from_slice(&self.entries.get(i).to_words());
+        }
+        out
+    }
+
+    /// The concatenated varint streams.
+    pub(crate) fn data_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The chunk-first table.
+    pub(crate) fn chunk_first_words(&self) -> &[Vid] {
+        &self.chunk_first
+    }
+
+    /// The chunk-offset table.
+    pub(crate) fn chunk_offset_words(&self) -> &[u32] {
+        &self.chunk_offset
+    }
+
+    /// Assembles a sidecar from store sections. Checksums already
+    /// passed, but checksums only prove the bytes are what was written
+    /// — cross-table coherence (index ranges, chunk bounds) is checked
+    /// here so a well-formed-but-lying file cannot drive decoders out
+    /// of bounds.
+    pub(crate) fn from_parts(
+        row_of: U32s,
+        entries: U32s,
+        data: ByteSec,
+        chunk_first: U64s,
+        chunk_offset: U32s,
+        plain_bytes_replaced: usize,
+    ) -> Result<Self, String> {
+        if !entries.len().is_multiple_of(ENTRY_WORDS) {
+            return Err(format!("entry table not a multiple of {ENTRY_WORDS} words"));
+        }
+        if chunk_first.len() != chunk_offset.len() {
+            return Err("chunk-first and chunk-offset tables differ in length".into());
+        }
+        let n = entries.len() / ENTRY_WORDS;
+        for local in 0..row_of.len() {
+            let i = row_of[local];
+            if i != NONE && i as usize >= n {
+                return Err(format!("row {local} points at entry {i} of {n}"));
+            }
+        }
+        let out = Self {
+            row_of,
+            entries: Entries::Mapped(entries),
+            data,
+            chunk_first,
+            chunk_offset,
+            plain_bytes_replaced,
+        };
+        for i in 0..n {
+            let e = out.entries.get(i);
+            if e.data_start > e.data_end || e.data_end as usize > out.data.len() {
+                return Err(format!("entry {i} data range exceeds stream"));
+            }
+            if e.chunk_start > e.chunk_end || e.chunk_end as usize > out.chunk_first.len() {
+                return Err(format!("entry {i} chunk range exceeds tables"));
+            }
+            let chunks = (e.chunk_end - e.chunk_start) as usize;
+            if chunks != (e.degree as usize).div_ceil(CHUNK_TARGETS) {
+                return Err(format!("entry {i} chunk count disagrees with degree"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// True when every section is a zero-copy view into a mapped store
+    /// region.
+    pub fn is_mapped(&self) -> bool {
+        self.row_of.is_mapped()
+            && matches!(&self.entries, Entries::Mapped(w) if w.is_mapped())
+            && self.data.is_mapped()
+            && self.chunk_first.is_mapped()
+            && self.chunk_offset.is_mapped()
+    }
+}
+
+/// Owned scratch state while coding rows; wrapped into view-typed
+/// sections when the build finishes.
+struct Builder {
+    row_of: Vec<u32>,
+    entries: Vec<RowEntry>,
+    data: Vec<u8>,
+    chunk_first: Vec<Vid>,
+    chunk_offset: Vec<u32>,
+    plain_bytes_replaced: usize,
+}
+
+impl Builder {
+    fn push_row(&mut self, local: usize, targets: &[Vid]) {
+        assert!(
+            self.entries.len() < NONE as usize,
+            "too many coded rows for u32 index"
+        );
+        let data_start = self.data.len();
+        let chunk_start = self.chunk_first.len();
+        let mut prev: Vid = 0;
+        let mut sorted = true;
+        for (i, &t) in targets.iter().enumerate() {
+            let delta = t.wrapping_sub(prev) as i64;
+            write_varint(&mut self.data, zigzag(delta));
+            if i % CHUNK_TARGETS == 0 {
+                self.chunk_first.push(t);
+                self.chunk_offset.push((self.data.len() - data_start) as u32);
+            }
+            if i > 0 && t < prev {
+                sorted = false;
+            }
+            prev = t;
+        }
+        self.row_of[local] = self.entries.len() as u32;
+        self.entries.push(RowEntry {
+            data_start: data_start as u32,
+            data_end: self.data.len() as u32,
+            chunk_start: chunk_start as u32,
+            chunk_end: self.chunk_first.len() as u32,
+            degree: targets.len() as u32,
+            sorted,
+        });
+        self.plain_bytes_replaced += std::mem::size_of_val(targets);
     }
 }
 

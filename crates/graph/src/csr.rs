@@ -6,6 +6,7 @@
 //! counting sort. Neighbour lists are sorted, which the Bottom-Up traversal
 //! exploits (early exit on the first parent found is deterministic).
 
+use crate::store::view::U64s;
 use crate::{EdgeList, Vid};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -15,6 +16,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Column ids are always *global* vertex ids; rows are addressed by local
 /// index (`0..num_rows`). A whole-graph CSR is simply one with
 /// `row_base == 0` and `rows == num_vertices`.
+///
+/// Storage is a pair of [`U64s`] views: builders produce owned vectors,
+/// while [`GraphStore`](crate::store::GraphStore) opens hand out
+/// zero-copy views over the store's backing bytes — same type, same
+/// kernels, no copies. Equality is by content either way.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Csr {
     /// Global id of row 0.
@@ -22,9 +28,9 @@ pub struct Csr {
     /// Global vertex count (id space size).
     num_vertices: Vid,
     /// `offsets[i]..offsets[i+1]` indexes `targets` for local row `i`.
-    offsets: Vec<u64>,
+    offsets: U64s,
     /// Concatenated neighbour lists (global ids), sorted within each row.
-    targets: Vec<Vid>,
+    targets: U64s,
 }
 
 impl Csr {
@@ -104,9 +110,25 @@ impl Csr {
         Self {
             row_base,
             num_vertices: el.num_vertices,
-            offsets,
-            targets,
+            offsets: offsets.into(),
+            targets: targets.into(),
         }
+    }
+
+    /// Assembles a CSR from raw storage views — the store-open seam.
+    ///
+    /// The caller (the store module, after checksum verification) is
+    /// responsible for offsets coherence; cheap shape invariants are
+    /// asserted here.
+    pub(crate) fn from_parts(row_base: Vid, num_vertices: Vid, offsets: U64s, targets: U64s) -> Self {
+        assert!(!offsets.is_empty(), "offsets must hold rows + 1 entries");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            targets.len() as u64,
+            "offsets must end at the target count"
+        );
+        Self { row_base, num_vertices, offsets, targets }
     }
 
     /// Global id of the first owned row.
@@ -170,16 +192,32 @@ impl Csr {
         &self.offsets
     }
 
+    /// Raw concatenated targets slice (for store persistence).
+    pub(crate) fn targets_raw(&self) -> &[Vid] {
+        &self.targets
+    }
+
+    /// True when both storage sections are zero-copy views into a
+    /// mapped store region (no owned adjacency bytes).
+    pub fn is_mapped(&self) -> bool {
+        self.offsets.is_mapped() && self.targets.is_mapped()
+    }
+
     /// Reorders every neighbour list by **descending degree** of the
     /// neighbour (ties by ascending id) — the Yasui-style Bottom-Up
     /// refinement (paper §7, ref \[25\]): scanning likely parents (hubs)
     /// first lets the Bottom-Up early exit fire sooner. `degree_of` must
     /// return the global degree of any vertex id.
+    ///
+    /// # Panics
+    /// Panics on a store-mapped CSR: mapped sections are read-only.
+    /// Reorder before persisting — the store manifest records the
+    /// ordering, so a loaded partition never needs it again.
     pub fn reorder_neighbors_by_degree(&mut self, degree_of: impl Fn(Vid) -> u64 + Sync) {
         let rows = self.num_rows() as usize;
-        let offs = self.offsets.clone();
+        let offs: Vec<u64> = self.offsets.to_vec();
         let mut slices: Vec<&mut [Vid]> = Vec::with_capacity(rows);
-        let mut rest: &mut [Vid] = &mut self.targets;
+        let mut rest: &mut [Vid] = self.targets.as_mut_slice();
         for i in 0..rows {
             let len = (offs[i + 1] - offs[i]) as usize;
             let (head, tail) = rest.split_at_mut(len);

@@ -27,11 +27,23 @@ pub fn write_binary<W: Write>(el: &EdgeList, w: W) -> io::Result<()> {
     w.flush()
 }
 
+/// Cap on the edge capacity reserved up front from an (untrusted)
+/// header count. A corrupt header claiming 2^60 edges must not be able
+/// to abort the process with one giant allocation; beyond this the
+/// vector grows only as actual edge bytes arrive, so a truncated file
+/// fails with `UnexpectedEof` after a bounded reserve.
+const MAX_PREALLOC_EDGES: usize = 1 << 24;
+
 /// Reads the binary format.
+///
+/// Corrupt or truncated input yields structured errors, never a panic
+/// or unbounded allocation: bad magic and out-of-range endpoints are
+/// `InvalidData`, torn prefixes (mid-header or mid-edge) are
+/// `UnexpectedEof`.
 pub fn read_binary<R: Read>(r: R) -> io::Result<EdgeList> {
     let mut r = BufReader::new(r);
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
+    r.read_exact(&mut magic).map_err(|e| torn("magic", e))?;
     if &magic != MAGIC {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -39,25 +51,39 @@ pub fn read_binary<R: Read>(r: R) -> io::Result<EdgeList> {
         ));
     }
     let mut buf8 = [0u8; 8];
-    r.read_exact(&mut buf8)?;
+    r.read_exact(&mut buf8).map_err(|e| torn("vertex count", e))?;
     let n = u64::from_le_bytes(buf8);
-    r.read_exact(&mut buf8)?;
-    let m = u64::from_le_bytes(buf8) as usize;
-    let mut edges = Vec::with_capacity(m);
-    for _ in 0..m {
-        r.read_exact(&mut buf8)?;
+    r.read_exact(&mut buf8).map_err(|e| torn("edge count", e))?;
+    let m = usize::try_from(u64::from_le_bytes(buf8))
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "edge count exceeds address space"))?;
+    let mut edges = Vec::with_capacity(m.min(MAX_PREALLOC_EDGES));
+    for i in 0..m {
+        let ctx = "edge tuple";
+        r.read_exact(&mut buf8).map_err(|e| torn(ctx, e))?;
         let u = u64::from_le_bytes(buf8);
-        r.read_exact(&mut buf8)?;
+        r.read_exact(&mut buf8).map_err(|e| torn(ctx, e))?;
         let v = u64::from_le_bytes(buf8);
         if u >= n || v >= n {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("edge ({u},{v}) out of range for {n} vertices"),
+                format!("edge {i} ({u},{v}) out of range for {n} vertices"),
             ));
         }
         edges.push((u, v));
     }
     Ok(EdgeList::new(n, edges))
+}
+
+/// Annotates an EOF hit mid-structure so the error names what was torn.
+fn torn(what: &str, e: io::Error) -> io::Error {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("edge-list file truncated inside {what}"),
+        )
+    } else {
+        e
+    }
 }
 
 /// Writes the text format (`# vertices <n>` header then `u v` lines).
@@ -157,6 +183,42 @@ mod tests {
     fn bad_magic_rejected() {
         let err = read_binary(&b"NOTMAGIC........"[..]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn every_torn_prefix_is_a_structured_error() {
+        let el = EdgeList::new(6, vec![(0, 1), (2, 3), (4, 5)]);
+        let mut buf = Vec::new();
+        write_binary(&el, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            let err = read_binary(&buf[..cut]).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::UnexpectedEof,
+                "prefix of {cut} bytes: {err}"
+            );
+            assert!(err.to_string().contains("truncated"), "prefix {cut}: {err}");
+        }
+        assert_eq!(read_binary(&buf[..]).unwrap(), el);
+    }
+
+    #[test]
+    fn huge_claimed_edge_count_fails_bounded() {
+        // Header claims 2^60 edges but carries none: must fail with
+        // UnexpectedEof without first attempting a 16-EiB allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&8u64.to_le_bytes());
+        buf.extend_from_slice(&(1u64 << 60).to_le_bytes());
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn trailing_garbage_after_magic_only() {
+        let err = read_binary(&MAGIC[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(err.to_string().contains("vertex count"), "{err}");
     }
 
     #[test]

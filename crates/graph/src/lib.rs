@@ -21,6 +21,9 @@
 //!   "degree aware prefetch" optimization (§5).
 //! * [`stats`] — degree-distribution statistics used by tests and by the
 //!   traffic model.
+//! * [`store`] — zero-copy graph storage: an on-disk partition format with
+//!   per-section checksums, opened as an `mmap`-backed [`GraphStore`] whose
+//!   CSR views traverse the file in place.
 //!
 //! All randomness is seed-driven; identical seeds give identical graphs
 //! regardless of thread count.
@@ -34,6 +37,7 @@ pub mod io;
 pub mod kronecker;
 pub mod partition;
 pub mod stats;
+pub mod store;
 pub mod transform;
 
 pub use bitmap::{AtomicBitmap, Bitmap};
@@ -42,6 +46,7 @@ pub use csr::Csr;
 pub use edge_list::EdgeList;
 pub use kronecker::{generate_kronecker, KroneckerConfig};
 pub use partition::Partition1D;
+pub use store::{GraphStore, StorageBackend, StoreManifest};
 
 /// Global vertex identifier. Graph500 scale 40 needs 2^40 ids, so 64 bits.
 pub type Vid = u64;

@@ -1,0 +1,178 @@
+//! Backing memory for a [`GraphStore`](super::GraphStore): either an
+//! anonymous heap buffer or an `mmap(2)`-ed partition file.
+//!
+//! The container has no `libc` crate; `mmap`/`munmap` are declared
+//! directly, matching the `poll(2)` pattern in the socket fabric (std
+//! already links the platform libc on every Unix target). Mappings are
+//! read-only (`PROT_READ`, `MAP_PRIVATE`), so sharing a region across
+//! threads behind an `Arc` is sound.
+//!
+//! The heap variant is backed by `Vec<u64>` rather than `Vec<u8>` so
+//! the buffer start is always 8-byte aligned — the store format casts
+//! section payloads to `&[u64]`/`&[u32]` in place, which needs element
+//! alignment that a byte vector does not guarantee.
+
+use std::fs::File;
+use std::io;
+use std::os::unix::io::AsRawFd;
+use std::path::Path;
+
+const PROT_READ: i32 = 0x1;
+const MAP_PRIVATE: i32 = 0x2;
+
+extern "C" {
+    fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
+    fn munmap(addr: *mut u8, len: usize) -> i32;
+}
+
+/// A read-only `mmap(2)` region, unmapped on drop.
+pub struct MmapRegion {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the region is mapped PROT_READ and never written through;
+// concurrent reads from multiple threads are sound, and ownership of
+// the unmap is unique to the one `MmapRegion` value.
+unsafe impl Send for MmapRegion {}
+unsafe impl Sync for MmapRegion {}
+
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` came from a successful mmap of exactly
+        // this length and have not been unmapped since.
+        unsafe {
+            munmap(self.ptr, self.len);
+        }
+    }
+}
+
+impl MmapRegion {
+    fn as_bytes(&self) -> &[u8] {
+        // SAFETY: the mapping covers `len` readable bytes for as long
+        // as `self` lives, and nothing writes through it.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+/// The bytes behind a store: owned heap memory or a file mapping.
+pub enum StoreBytes {
+    /// Anonymous heap buffer (`Vec<u64>` for alignment; second field is
+    /// the real byte length, which the word count rounds up).
+    Heap(Vec<u64>, usize),
+    /// A read-only mapping of a partition file.
+    Mapped(MmapRegion),
+}
+
+impl StoreBytes {
+    /// Wraps encoded bytes in an aligned heap buffer (one copy).
+    pub fn from_vec(bytes: Vec<u8>) -> StoreBytes {
+        let byte_len = bytes.len();
+        let mut words = vec![0u64; byte_len.div_ceil(8)];
+        // SAFETY: the word buffer spans at least `byte_len` bytes and
+        // the two allocations cannot overlap.
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), words.as_mut_ptr().cast::<u8>(), byte_len);
+        }
+        StoreBytes::Heap(words, byte_len)
+    }
+
+    /// Maps a partition file read-only. Zero copies: the kernel pages
+    /// the file in on demand and the views read it in place.
+    pub fn map_file(path: &Path) -> io::Result<StoreBytes> {
+        let f = File::open(path)?;
+        let len = usize::try_from(f.metadata()?.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "store file exceeds address space"))?;
+        if len == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "empty store file"));
+        }
+        // SAFETY: plain read-only private mapping of an open file; the
+        // fd may close after the call (the mapping keeps the file pinned).
+        let ptr = unsafe { mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, f.as_raw_fd(), 0) };
+        if ptr as usize == usize::MAX {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(StoreBytes::Mapped(MmapRegion { ptr, len }))
+    }
+
+    /// The full byte region.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            // SAFETY: a u64 buffer is validly readable as bytes; only
+            // the first `len` of them carry store content.
+            StoreBytes::Heap(words, len) => unsafe {
+                std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), *len)
+            },
+            StoreBytes::Mapped(m) => m.as_bytes(),
+        }
+    }
+
+    /// Byte length of the region.
+    pub fn len(&self) -> usize {
+        match self {
+            StoreBytes::Heap(_, len) => *len,
+            StoreBytes::Mapped(m) => m.len,
+        }
+    }
+
+    /// True when the region holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True for the `mmap` variant (the zero-copy path).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, StoreBytes::Mapped(_))
+    }
+}
+
+impl std::fmt::Debug for StoreBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreBytes::Heap(_, len) => write!(f, "StoreBytes::Heap({len} bytes)"),
+            StoreBytes::Mapped(m) => write!(f, "StoreBytes::Mapped({} bytes)", m.len),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_round_trip_preserves_bytes() {
+        let src: Vec<u8> = (0..=250u8).collect();
+        let sb = StoreBytes::from_vec(src.clone());
+        assert_eq!(sb.as_bytes(), &src[..]);
+        assert_eq!(sb.len(), src.len());
+        assert!(!sb.is_mapped());
+        // 8-byte alignment is the whole point of the u64 backing.
+        assert_eq!(sb.as_bytes().as_ptr() as usize % 8, 0);
+    }
+
+    #[test]
+    fn map_file_round_trips_and_is_mapped() {
+        let dir = std::env::temp_dir().join("swgs_bytes_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("region.bin");
+        let src: Vec<u8> = (0..4096u32).flat_map(|i| i.to_le_bytes()).collect();
+        std::fs::write(&path, &src).unwrap();
+        let sb = StoreBytes::map_file(&path).unwrap();
+        assert!(sb.is_mapped());
+        assert_eq!(sb.as_bytes(), &src[..]);
+        // Page alignment: u64 casts at 64-byte section offsets are sound.
+        assert_eq!(sb.as_bytes().as_ptr() as usize % 4096, 0);
+        drop(sb);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        let dir = std::env::temp_dir().join("swgs_bytes_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        assert!(StoreBytes::map_file(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

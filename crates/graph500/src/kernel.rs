@@ -276,6 +276,35 @@ mod tests {
         );
     }
 
+    /// Build-once/serve-forever under the benchmark's rules: a BFS over
+    /// an mmap-restored store must pass full Graph500 validation on
+    /// every root and answer bit-identically to the cold build — while
+    /// copying zero adjacency bytes.
+    #[test]
+    fn store_restored_engine_passes_benchmark_validation() {
+        let spec = Graph500Spec::quick(10, 13, 3);
+        let (el, roots) = build_instance(&spec, 0);
+        assert!(!roots.is_empty());
+        let cfg = BfsConfig::threaded_small(2);
+        let mut cold = ClusterBuilder::new(&el, 4, cfg).build().unwrap();
+        let dir = std::env::temp_dir().join("sw_g500_store_restart");
+        std::fs::remove_dir_all(&dir).ok();
+        cold.persist_store(&dir).unwrap();
+        let mut warm = ClusterBuilder::from_store_dir(&dir, cfg).build().unwrap();
+        for &root in &roots {
+            let a = cold.run(root).unwrap();
+            let b = warm.run(root).unwrap();
+            assert_eq!(a, b, "root {root}: restart diverges from cold build");
+            let traversed = validate_bfs(&el, &b)
+                .unwrap_or_else(|e| panic!("root {root} failed validation: {e}"));
+            assert!(traversed > 0);
+        }
+        let (mapped, copied, _, parts) = warm.store_counters();
+        assert!(mapped > 0 && copied == 0, "restart must be zero-copy");
+        assert_eq!(parts, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn single_rank_benchmark() {
         let spec = Graph500Spec::quick(9, 3, 2);

@@ -37,7 +37,7 @@ fn frame_batch(seed: u64) -> Vec<Frame> {
             };
             Frame {
                 kind: 1 + (splitmix(&mut st) % 9) as u8,
-                flags: if splitmix(&mut st) % 2 == 0 { FLAG_COMPRESSED } else { 0 },
+                flags: if splitmix(&mut st).is_multiple_of(2) { FLAG_COMPRESSED } else { 0 },
                 phase: (splitmix(&mut st) % 1000) as u32,
                 src: (splitmix(&mut st) % 64) as u32,
                 dst: (splitmix(&mut st) % 64) as u32,
@@ -58,7 +58,7 @@ fn service_batch(seed: u64) -> Vec<Frame> {
         .map(|_| match splitmix(&mut st) % 5 {
             3 => StatsReqFrame {
                 id: splitmix(&mut st),
-                format: if splitmix(&mut st) % 2 == 0 {
+                format: if splitmix(&mut st).is_multiple_of(2) {
                     StatsFormat::Json
                 } else {
                     StatsFormat::Prometheus
@@ -69,7 +69,7 @@ fn service_batch(seed: u64) -> Vec<Frame> {
                 let len = (splitmix(&mut st) % 2000) as usize;
                 StatsFrame {
                     id: splitmix(&mut st),
-                    format: if splitmix(&mut st) % 2 == 0 {
+                    format: if splitmix(&mut st).is_multiple_of(2) {
                         StatsFormat::Json
                     } else {
                         StatsFormat::Prometheus
@@ -140,7 +140,7 @@ proptest! {
     fn round_trip_survives_arbitrary_read_chunking(seed in 0u64..u64::MAX) {
         let frames = frame_batch(seed);
         let wire = encode_all(&frames);
-        let mut st = seed ^ 0xC0FF_EE;
+        let mut st = seed ^ 0xC0_FFEE;
         let mut d = FrameDecoder::new();
         let mut got = Vec::new();
         let mut pos = 0usize;

@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use sw_algos::msbfs::{msbfs_distributed, MAX_BATCH, UNREACHED};
 use sw_algos::runtime::AlgoCluster;
-use sw_graph::{EdgeList, Vid};
+use sw_graph::{EdgeList, StorageBackend, Vid};
 use sw_net::framing::{
     BusyFrame, FrameDecoder, QueryFrame, QueryOp, QueryStatus, ResultFrame, StatsFormat,
     StatsFrame, StatsReqFrame, KIND_QUERY, KIND_STATS_REQ,
@@ -194,8 +194,65 @@ impl Server {
     /// Loads `el` into an in-process cluster and starts serving on a
     /// fresh Unix-domain socket (TCP on non-Unix platforms).
     pub fn start(el: &EdgeList, cfg: ServeConfig) -> io::Result<Server> {
+        // The cluster is built on the caller's thread (parallel CSR
+        // construction) and moved into the worker.
+        let t0 = Instant::now();
+        let cluster = AlgoCluster::new(el, cfg.ranks, cfg.group_size, cfg.messaging);
+        Self::start_cluster(cluster, cfg, "serve.store_build_micros", t0.elapsed())
+    }
+
+    /// Like [`Server::start`], but listening on an ephemeral loopback
+    /// TCP port.
+    pub fn start_tcp(el: &EdgeList, cfg: ServeConfig) -> io::Result<Server> {
+        let t0 = Instant::now();
+        let cluster = AlgoCluster::new(el, cfg.ranks, cfg.group_size, cfg.messaging);
+        let micros = t0.elapsed();
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = ServerAddr::Tcp(listener.local_addr()?);
+        let server = Self::spawn(cluster, cfg, Listener::Tcp(listener), addr, None)?;
+        server
+            .shared
+            .live
+            .histogram("serve.store_build_micros")
+            .record(micros.as_micros() as u64);
+        Ok(server)
+    }
+
+    /// The serve-forever half of build-once/serve-forever: restarts the
+    /// service from a store directory persisted by
+    /// [`Server::build_store`], mapping each partition in place — no
+    /// Kronecker regeneration, no CSR rebuild, and (on the default
+    /// [`StorageBackend::Mapped`]) zero adjacency bytes copied. The rank
+    /// count comes from the store's manifest; [`ServeConfig::ranks`] is
+    /// ignored. Query results are bit-identical to a cold
+    /// [`Server::start`] on the same graph.
+    pub fn start_from_store(
+        dir: &std::path::Path,
+        backend: StorageBackend,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
+        let t0 = Instant::now();
+        let cluster = AlgoCluster::from_store_dir(dir, backend, cfg.group_size, cfg.messaging)?;
+        Self::start_cluster(cluster, cfg, "serve.store_map_micros", t0.elapsed())
+    }
+
+    /// The build-once half: partitions `el` across `ranks` and persists
+    /// the store directory [`Server::start_from_store`] restarts from.
+    pub fn build_store(el: &EdgeList, ranks: u32, dir: &std::path::Path) -> io::Result<()> {
+        AlgoCluster::new(el, ranks, 1, Messaging::Direct).persist_store(dir)
+    }
+
+    /// Binds the default listener (Unix-domain socket; TCP elsewhere)
+    /// and records the construction wall clock — `store_build` vs
+    /// `store_map` is the live plane's cold-build/restart comparison.
+    fn start_cluster(
+        cluster: AlgoCluster,
+        cfg: ServeConfig,
+        build_histogram: &'static str,
+        build_elapsed: Duration,
+    ) -> io::Result<Server> {
         #[cfg(unix)]
-        {
+        let server = {
             static SEQ: AtomicUsize = AtomicUsize::new(0);
             let dir = std::env::temp_dir().join(format!(
                 "sw-serve-{}-{}",
@@ -205,24 +262,24 @@ impl Server {
             std::fs::create_dir_all(&dir)?;
             let path = dir.join("sock");
             let listener = Listener::Unix(UnixListener::bind(&path)?);
-            Self::spawn(el, cfg, listener, ServerAddr::Unix(path), Some(dir))
-        }
+            Self::spawn(cluster, cfg, listener, ServerAddr::Unix(path), Some(dir))?
+        };
         #[cfg(not(unix))]
-        {
-            Self::start_tcp(el, cfg)
-        }
-    }
-
-    /// Like [`Server::start`], but listening on an ephemeral loopback
-    /// TCP port.
-    pub fn start_tcp(el: &EdgeList, cfg: ServeConfig) -> io::Result<Server> {
-        let listener = TcpListener::bind(("127.0.0.1", 0))?;
-        let addr = ServerAddr::Tcp(listener.local_addr()?);
-        Self::spawn(el, cfg, Listener::Tcp(listener), addr, None)
+        let server = {
+            let listener = TcpListener::bind(("127.0.0.1", 0))?;
+            let addr = ServerAddr::Tcp(listener.local_addr()?);
+            Self::spawn(cluster, cfg, Listener::Tcp(listener), addr, None)?
+        };
+        server
+            .shared
+            .live
+            .histogram(build_histogram)
+            .record(build_elapsed.as_micros() as u64);
+        Ok(server)
     }
 
     fn spawn(
-        el: &EdgeList,
+        cluster: AlgoCluster,
         cfg: ServeConfig,
         listener: Listener,
         addr: ServerAddr,
@@ -245,9 +302,15 @@ impl Server {
         });
         let (tx, rx) = mpsc::sync_channel::<Job>(shared.max_queue);
 
-        // The cluster is built on the caller's thread (parallel CSR
-        // construction) and moved into the worker.
-        let cluster = AlgoCluster::new(el, cfg.ranks, cfg.group_size, cfg.messaging);
+        // Surface the cluster's construction-time storage accounting
+        // through the server's counter snapshot and stats endpoint: the
+        // `store.*` keys exist on every server (zero for a cold build)
+        // and prove the zero-copy property after a store restart.
+        shared
+            .metrics
+            .lock()
+            .unwrap()
+            .merge_prefixed("store.", &cluster.metrics().section("store."));
         let worker = {
             let shared = Arc::clone(&shared);
             let cache_cap = cfg.cache_capacity;

@@ -55,6 +55,56 @@ fn light_load_answers_match_oracle_with_zero_shed() {
     server.shutdown();
 }
 
+/// Build-once/serve-forever: a server restarted from a persisted store
+/// answers every query bit-identically to the cold-built server — over
+/// mmap'ed partitions with zero adjacency bytes copied — and the
+/// `store.*` counters and live-plane restart timing prove which path
+/// ran.
+#[test]
+fn store_restarted_server_answers_bit_identically() {
+    let el = graph();
+    let n = el.num_vertices;
+    let dir = std::env::temp_dir().join("sw_serve_store_restart");
+    std::fs::remove_dir_all(&dir).ok();
+    Server::build_store(&el, 4, &dir).unwrap();
+
+    let mut cold = Server::start(&el, ServeConfig::default()).unwrap();
+    let mut warm =
+        Server::start_from_store(&dir, sw_graph::StorageBackend::Mapped, ServeConfig::default())
+            .unwrap();
+    let mut cc = Client::connect(&cold.addr()).unwrap();
+    let mut wc = Client::connect(&warm.addr()).unwrap();
+
+    for (i, root) in [1u64, 5, 900, 33, 5, 411].into_iter().enumerate() {
+        let target = (root * 13 + i as u64) % n;
+        for (op, t, hops) in [
+            (QueryOp::Distance, target, 0),
+            (QueryOp::Reachable, target, 0),
+            (QueryOp::KHop, 0, 3),
+        ] {
+            let a = answer(cc.query(op, root, t, hops, 0).unwrap());
+            let b = answer(wc.query(op, root, t, hops, 0).unwrap());
+            assert_eq!(a.status, b.status, "{op:?} {root}->{t}");
+            assert_eq!(a.value, b.value, "{op:?} {root}->{t}: restart changed the answer");
+        }
+    }
+
+    // The cold server opened no store; the restarted one mapped every
+    // partition and copied nothing.
+    let (mc, mw) = (cold.metrics(), warm.metrics());
+    assert_eq!(mc.get("store.partitions_mapped"), 0);
+    assert_eq!(mw.get("store.partitions_mapped"), 4);
+    assert!(mw.get("store.bytes_mapped") > 0, "restart must map partitions");
+    assert_eq!(mw.get("store.bytes_copied"), 0, "mmap restart must be zero-copy");
+    // Live plane: each server recorded its construction under the
+    // matching histogram.
+    assert_eq!(cold.live().to_counters().get("live.serve.store_build_micros.count"), 1);
+    assert_eq!(warm.live().to_counters().get("live.serve.store_map_micros.count"), 1);
+    warm.shutdown();
+    cold.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn expired_deadline_is_a_structured_timeout_not_a_hang() {
     let el = graph();
